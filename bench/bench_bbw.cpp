@@ -1,0 +1,104 @@
+// Experiments E4/E6 (paper section 4, aims 1 and 3): the full SETTA
+// demonstration pipeline -- model construction, integrated HW+SW fault
+// tree synthesis, cut sets, reliability, common cause, completeness audit,
+// exports -- timed end to end, per stage.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/completeness.h"
+#include "analysis/report.h"
+#include "casestudy/setta.h"
+#include "ftp/ftp_writer.h"
+#include "ftp/json_writer.h"
+#include "ftp/xml_writer.h"
+#include "fta/synthesis.h"
+
+namespace {
+
+using namespace ftsynth;
+
+void BM_BuildBbwModel(benchmark::State& state) {
+  std::size_t blocks = 0;
+  for (auto _ : state) {
+    Model model = setta::build_bbw();
+    blocks = model.block_count();
+    benchmark::DoNotOptimize(&model);
+  }
+  state.counters["blocks"] = static_cast<double>(blocks);
+}
+BENCHMARK(BM_BuildBbwModel);
+
+void BM_AnalyseBbwTopEvent(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  const std::vector<std::string> tops = setta::bbw_top_events();
+  const std::string& top = tops[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(top);
+  AnalysisOptions options;
+  options.probability.mission_time_hours = 1000.0;
+  double p_exact = 0.0;
+  std::size_t cut_sets = 0;
+  std::size_t spofs = 0;
+  for (auto _ : state) {
+    Synthesiser synthesiser(model);
+    FaultTree tree = synthesiser.synthesise(top);
+    TreeAnalysis analysis = analyse_tree(tree, options);
+    p_exact = analysis.p_exact;
+    cut_sets = analysis.cut_sets.cut_sets.size();
+    spofs = analysis.common_cause.single_points_of_failure.size();
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+  state.counters["spofs"] = static_cast<double>(spofs);
+  state.counters["p_exact_1000h"] = p_exact;
+}
+BENCHMARK(BM_AnalyseBbwTopEvent)->DenseRange(0, 15, 1);
+
+void BM_CompletenessAuditBbw(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    findings = audit_completeness(model).size();
+  }
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_CompletenessAuditBbw);
+
+void BM_ExportBbwProject(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  Synthesiser synthesiser(model);
+  std::vector<FaultTree> trees;
+  for (const std::string& top : setta::bbw_top_events())
+    trees.push_back(synthesiser.synthesise(top));
+  std::vector<const FaultTree*> pointers;
+  for (const FaultTree& tree : trees) pointers.push_back(&tree);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string ftp = write_ftp_project("bbw", pointers);
+    std::string xml = write_xml(pointers);
+    std::string json = write_json(trees.front());
+    bytes = ftp.size() + xml.size() + json.size();
+    benchmark::DoNotOptimize(ftp.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ExportBbwProject);
+
+void BM_FullDemonstrationPipeline(benchmark::State& state) {
+  // Everything the conference demo does: build, synthesise every top
+  // event, analyse, export.
+  AnalysisOptions options;
+  options.probability.mission_time_hours = 1000.0;
+  for (auto _ : state) {
+    Model model = setta::build_bbw();
+    Synthesiser synthesiser(model);
+    double total_p = 0.0;
+    for (const std::string& top : setta::bbw_top_events()) {
+      FaultTree tree = synthesiser.synthesise(top);
+      TreeAnalysis analysis = analyse_tree(tree, options);
+      total_p += analysis.p_exact;
+    }
+    benchmark::DoNotOptimize(total_p);
+  }
+}
+BENCHMARK(BM_FullDemonstrationPipeline);
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Experiment E5 (analysis side): cost of the downstream cut-set analysis
+// that the paper delegates to Fault Tree Plus, comparing the 2001-era
+// top-down MOCUS engine against the bottom-up engine and the exact BDD
+// encoding on the same synthesized trees.
+//
+// Expected shape: MOCUS's working set (rows) grows combinatorially with
+// the number of AND-combined replicated lanes, while the bottom-up engine
+// with early absorption and the BDD stay small.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cutsets.h"
+#include "analysis/probability.h"
+#include "casestudy/setta.h"
+#include "casestudy/synthetic.h"
+#include "fta/synthesis.h"
+
+namespace {
+
+using namespace ftsynth;
+
+FaultTree replicated_tree(int channels, int stages) {
+  synthetic::ReplicatedConfig config;
+  config.channels = channels;
+  config.stages = stages;
+  Model model = synthetic::build_replicated(config);
+  SynthesisOptions options;
+  options.environment = SynthesisOptions::EnvironmentPolicy::kPrune;
+  // The returned tree is self-contained (leaf names and rates are copied),
+  // so the model can die with this scope.
+  return Synthesiser(model, options).synthesise("Omission-sink");
+}
+
+void BM_BottomUpReplicated(benchmark::State& state) {
+  FaultTree tree = replicated_tree(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  std::size_t sets = 0;
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = minimal_cut_sets(tree);
+    sets = analysis.cut_sets.size();
+    peak = analysis.peak_sets;
+  }
+  state.counters["cut_sets"] = static_cast<double>(sets);
+  state.counters["peak_sets"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_BottomUpReplicated)
+    ->Args({2, 4})->Args({3, 4})->Args({4, 4})->Args({5, 4})->Args({6, 4});
+
+void BM_MocusReplicated(benchmark::State& state) {
+  FaultTree tree = replicated_tree(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  std::size_t sets = 0;
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = mocus_cut_sets(tree);
+    sets = analysis.cut_sets.size();
+    peak = analysis.peak_sets;
+  }
+  state.counters["cut_sets"] = static_cast<double>(sets);
+  state.counters["peak_sets"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_MocusReplicated)
+    ->Args({2, 4})->Args({3, 4})->Args({4, 4})->Args({5, 4})->Args({6, 4});
+
+void BM_BddCutSetsReplicated(benchmark::State& state) {
+  FaultTree tree = replicated_tree(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  std::size_t sets = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = bdd_cut_sets(tree);
+    sets = analysis.cut_sets.size();
+  }
+  state.counters["cut_sets"] = static_cast<double>(sets);
+}
+BENCHMARK(BM_BddCutSetsReplicated)
+    ->Args({2, 4})->Args({3, 4})->Args({4, 4})->Args({5, 4})->Args({6, 4});
+
+void BM_BddEncodeReplicated(benchmark::State& state) {
+  FaultTree tree = replicated_tree(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    BddEncoding encoding = encode_bdd(tree);
+    nodes = encoding.bdd.node_count(encoding.root);
+    benchmark::DoNotOptimize(encoding.root);
+  }
+  state.counters["bdd_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_BddEncodeReplicated)
+    ->Args({2, 4})->Args({3, 4})->Args({4, 4})->Args({5, 4})->Args({6, 4});
+
+// -- On the demonstrator's trees -------------------------------------------------
+
+void BM_CutSetsBbw(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  Synthesiser synthesiser(model);
+  const std::vector<std::string> tops = setta::bbw_top_events();
+  const std::string& top = tops[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(top);
+  FaultTree tree = synthesiser.synthesise(top);
+  std::size_t sets = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = minimal_cut_sets(tree);
+    sets = analysis.cut_sets.size();
+  }
+  state.counters["cut_sets"] = static_cast<double>(sets);
+}
+BENCHMARK(BM_CutSetsBbw)->DenseRange(0, 15, 5);
+
+void BM_MocusBbw(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  Synthesiser synthesiser(model);
+  const std::vector<std::string> tops = setta::bbw_top_events();
+  const std::string& top = tops[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(top);
+  FaultTree tree = synthesiser.synthesise(top);
+  std::size_t sets = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = mocus_cut_sets(tree);
+    sets = analysis.cut_sets.size();
+  }
+  state.counters["cut_sets"] = static_cast<double>(sets);
+}
+BENCHMARK(BM_MocusBbw)->DenseRange(0, 15, 5);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Experiment E2 (Figure 4 tool chain): throughput of the annotated-model
+// text pipeline -- the export from the modelling tool and the parser that
+// "performs syntactical analysis and interpretation of the model file and
+// regenerates the model and the data structures required for the fault
+// tree synthesis" (section 3).
+
+#include <benchmark/benchmark.h>
+
+#include "casestudy/setta.h"
+#include "casestudy/synthetic.h"
+#include "mdl/lexer.h"
+#include "mdl/parser.h"
+#include "mdl/writer.h"
+
+namespace {
+
+using namespace ftsynth;
+
+void BM_WriteMdlChain(benchmark::State& state) {
+  Model model = synthetic::build_chain(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = write_mdl(model);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.counters["blocks"] = static_cast<double>(model.block_count());
+}
+BENCHMARK(BM_WriteMdlChain)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_TokenizeChain(benchmark::State& state) {
+  Model model = synthetic::build_chain(static_cast<int>(state.range(0)));
+  const std::string text = write_mdl(model);
+  for (auto _ : state) {
+    auto tokens = mdl::tokenize(text);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_TokenizeChain)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_ParseMdlChain(benchmark::State& state) {
+  Model model = synthetic::build_chain(static_cast<int>(state.range(0)));
+  const std::string text = write_mdl(model);
+  for (auto _ : state) {
+    Model reparsed = parse_mdl(text);
+    benchmark::DoNotOptimize(reparsed.block_count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+  state.counters["blocks"] = static_cast<double>(model.block_count());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParseMdlChain)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_ParseMdlBbw(benchmark::State& state) {
+  Model model = setta::build_bbw();
+  const std::string text = write_mdl(model);
+  for (auto _ : state) {
+    Model reparsed = parse_mdl(text);
+    benchmark::DoNotOptimize(reparsed.block_count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+  state.counters["bytes"] = static_cast<double>(text.size());
+  state.counters["blocks"] = static_cast<double>(model.block_count());
+}
+BENCHMARK(BM_ParseMdlBbw);
+
+void BM_RoundTripBbw(benchmark::State& state) {
+  Model model = setta::build_bbw();
+  for (auto _ : state) {
+    Model reparsed = parse_mdl(write_mdl(model));
+    benchmark::DoNotOptimize(reparsed.block_count());
+  }
+}
+BENCHMARK(BM_RoundTripBbw);
+
+}  // namespace

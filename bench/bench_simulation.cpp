@@ -1,0 +1,95 @@
+// Experiment E9: the validation substrate. Forward propagation throughput
+// on the demonstrator, and Monte Carlo fault-injection convergence towards
+// the exact tree probability (the agreement the property tests check
+// exhaustively on small models, here measured statistically at scale).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/probability.h"
+#include "casestudy/setta.h"
+#include "casestudy/synthetic.h"
+#include "fta/synthesis.h"
+#include "sim/monte_carlo.h"
+#include "sim/propagation.h"
+
+namespace {
+
+using namespace ftsynth;
+
+void BM_PropagateBbwSingleScenario(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  PropagationEngine engine(model);
+  std::unordered_set<Symbol> active{Symbol("bbw/bus_a.bus_failure"),
+                                    Symbol("bbw/pedal_sensor_1.stuck")};
+  std::size_t deviations = 0;
+  for (auto _ : state) {
+    PropagationResult result = engine.propagate(active);
+    deviations = result.system_output_deviations().size();
+  }
+  state.counters["output_deviations"] = static_cast<double>(deviations);
+}
+BENCHMARK(BM_PropagateBbwSingleScenario);
+
+void BM_MonteCarloBbw(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  MonteCarloOptions options;
+  options.trials = static_cast<std::size_t>(state.range(0));
+  options.probability.mission_time_hours = 1000.0;
+  const Deviation top{model.registry().omission(),
+                      Symbol("brake_force_fl")};
+  MonteCarloResult result;
+  for (auto _ : state) {
+    result = simulate_top_event(model, top, options);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(options.trials));
+  state.counters["estimate"] = result.estimate;
+  state.counters["std_error"] = result.std_error;
+}
+BENCHMARK(BM_MonteCarloBbw)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Convergence: |MC - exact| must shrink ~ 1/sqrt(trials). The counters
+// give the series for the validation figure.
+void BM_MonteCarloConvergence(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  static FaultTree tree =
+      Synthesiser(model).synthesise("Omission-brake_force_fl");
+  MonteCarloOptions options;
+  options.trials = static_cast<std::size_t>(state.range(0));
+  options.probability.mission_time_hours = 1000.0;
+  const double exact = exact_probability(tree, options.probability);
+  const Deviation top{model.registry().omission(),
+                      Symbol("brake_force_fl")};
+  double error = 0.0;
+  MonteCarloResult result;
+  for (auto _ : state) {
+    result = simulate_top_event(model, top, options);
+    error = std::abs(result.estimate - exact);
+  }
+  state.counters["exact"] = exact;
+  state.counters["estimate"] = result.estimate;
+  state.counters["abs_error"] = error;
+  state.counters["std_error"] = result.std_error;
+}
+BENCHMARK(BM_MonteCarloConvergence)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PropagateSyntheticScale(benchmark::State& state) {
+  synthetic::RandomModelConfig config;
+  config.blocks = static_cast<int>(state.range(0));
+  config.seed = 99;
+  Model model = synthetic::build_random(config);
+  PropagationEngine engine(model);
+  std::unordered_set<Symbol> active{Symbol("env:Omission-env1")};
+  for (auto _ : state) {
+    PropagationResult result = engine.propagate(active);
+    benchmark::DoNotOptimize(&result);
+  }
+  state.counters["blocks"] = static_cast<double>(model.block_count());
+}
+BENCHMARK(BM_PropagateSyntheticScale)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace

@@ -1,0 +1,90 @@
+// The paper's demonstration (section 4): the SETTA distributed
+// brake-by-wire + adaptive cruise control system.
+//
+// Demonstration aims reproduced here:
+//   1. integrated HW+SW analysis of programmable nodes (Figure 3):
+//      node-level hardware common causes appear in every output's tree;
+//   2. operation on a complex model, synthesising large fault trees;
+//   3. the synthesised trees point out weak areas of the design
+//      (single points of failure, shared-resource dependencies).
+//
+// Exports the trees as an FTP-style project, XML, DOT and JSON next to the
+// executable (bbw_trees.*).
+
+#include <iostream>
+
+#include "analysis/completeness.h"
+#include "analysis/fmea.h"
+#include "analysis/report.h"
+#include "casestudy/setta.h"
+#include "ftp/dot_writer.h"
+#include "ftp/ftp_writer.h"
+#include "ftp/json_writer.h"
+#include "ftp/xml_writer.h"
+#include "fta/synthesis.h"
+
+int main() {
+  using namespace ftsynth;
+
+  Model model = setta::build_bbw();
+  std::cout << "SETTA brake-by-wire + ACC model: " << model.block_count()
+            << " blocks\n\n";
+
+  // The hazard analysis of one programmable node, Figure 2 style.
+  std::cout << model.block("bbw/pedal_node/voter")
+                   .annotation()
+                   .render_table("pedal_node/voter")
+            << "\n";
+
+  Synthesiser synthesiser(model);
+  AnalysisOptions options;
+  options.probability.mission_time_hours = 1000.0;  // ~1 year of driving
+
+  std::vector<FaultTree> trees;
+  for (const std::string& top : setta::bbw_top_events()) {
+    trees.push_back(synthesiser.synthesise(top));
+  }
+
+  for (const FaultTree& tree : trees) {
+    TreeAnalysis analysis = analyse_tree(tree, options);
+    std::cout << render(tree, analysis, options) << "\n";
+  }
+
+  // Dependencies between nominally independent wheel channels: basic
+  // events shared between the FL and FR braking-loss trees are exactly the
+  // common causes (pedal path, buses) replication does not remove.
+  std::cout << "Common causes between Omission-brake_force_fl and _fr:\n";
+  for (Symbol shared : shared_between(trees[0], trees[3])) {
+    std::cout << "  " << shared.view() << "\n";
+  }
+  std::cout << "\n";
+
+  // HAZOP completeness audit (section 2, questions a/b).
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  std::cout << "Completeness audit: " << findings.size() << " findings\n";
+  for (std::size_t i = 0; i < findings.size() && i < 12; ++i) {
+    std::cout << "  " << findings[i].to_string() << "\n";
+  }
+
+  // System-level FMEA (HiP-HOPS companion output): the trees inverted into
+  // per-malfunction effect rows. Shown here for the catastrophic hazard.
+  {
+    FaultTree total = synthesiser.synthesise("Omission-total_braking");
+    CutSetAnalysis cut_sets = minimal_cut_sets(total);
+    std::vector<FmeaRow> fmea =
+        synthesise_fmea({&total}, {&cut_sets}, options.probability);
+    std::cout << "FMEA (effects on Omission-total_braking):\n"
+              << render_fmea(fmea) << "\n";
+  }
+
+  // Exports for the downstream FTA tool (the paper's Fault Tree Plus
+  // hand-off).
+  std::vector<const FaultTree*> pointers;
+  for (const FaultTree& tree : trees) pointers.push_back(&tree);
+  write_ftp_project_file("bbw", pointers, "bbw_trees.ftp");
+  write_xml_file(trees.front(), "bbw_trees.xml");
+  write_dot_file(trees.front(), "bbw_trees.dot");
+  write_json_file(trees.front(), "bbw_trees.json");
+  std::cout << "\nexported: bbw_trees.ftp / .xml / .dot / .json\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Design iteration (section 4, aim 3): "how automatic fault tree synthesis
+// simplifies the re-analysis of a system following a design iteration".
+//
+// Iteration 0: single pedal sensor, single bus -- the baseline design.
+// Iteration 1: three voted pedal sensors, two replicated buses.
+//
+// The trees are re-synthesised mechanically after the change; the report
+// contrasts single points of failure, minimal cut-set order and top-event
+// probability. No manual fault tree maintenance is involved -- the point
+// of the paper.
+
+#include <iostream>
+
+#include "analysis/report.h"
+#include "casestudy/setta.h"
+#include "core/strings.h"
+#include "core/text_table.h"
+#include "model/diff.h"
+#include "fta/synthesis.h"
+
+int main() {
+  using namespace ftsynth;
+
+  AnalysisOptions options;
+  options.probability.mission_time_hours = 1000.0;
+
+  struct Iteration {
+    const char* label;
+    Model model;
+  };
+  Iteration iterations[] = {
+      {"baseline (1 sensor, 1 bus)", setta::build_bbw_single_channel()},
+      {"revised (3 voted sensors, 2 buses)", setta::build_bbw()},
+  };
+
+  // What actually changed between the iterations (read this next to the
+  // re-analysis): the mechanical model delta.
+  {
+    ModelDiff delta = diff_models(iterations[0].model, iterations[1].model);
+    std::cout << "Design delta (baseline -> revised): "
+              << delta.added_blocks.size() << " blocks added, "
+              << delta.added_connections.size() << " lines added, "
+              << delta.changed_blocks.size() << " blocks changed\n";
+    for (const std::string& path : delta.added_blocks)
+      std::cout << "  + " << path << "\n";
+    std::cout << "\n";
+  }
+
+  const std::vector<std::string> tops = {
+      "Omission-total_braking",  // the catastrophic, vehicle-level hazard
+      "Omission-brake_force_fl",
+      "Value-brake_force_fl",
+      "Commission-brake_force_fl",
+  };
+
+  for (const std::string& top : tops) {
+    std::cout << "=== " << top << " ===\n";
+    TextTable table({"design", "cut sets", "min order", "order-1 (SPOF)",
+                     "P(top) exact"});
+    for (Iteration& iteration : iterations) {
+      Synthesiser synthesiser(iteration.model);
+      FaultTree tree = synthesiser.synthesise(top);
+      TreeAnalysis analysis = analyse_tree(tree, options);
+      table.add_row(
+          {iteration.label,
+           std::to_string(analysis.cut_sets.cut_sets.size()),
+           std::to_string(analysis.cut_sets.min_order()),
+           std::to_string(analysis.common_cause.single_points_of_failure.size()),
+           format_double(analysis.p_exact)});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  // Show what the revision eliminated: the baseline's single points of
+  // failure for loss of braking.
+  Synthesiser baseline(iterations[0].model);
+  FaultTree tree = baseline.synthesise("Omission-brake_force_fl");
+  TreeAnalysis analysis = analyse_tree(tree, options);
+  std::cout << "Baseline single points of failure for "
+               "Omission-brake_force_fl:\n";
+  for (const FtNode* event :
+       analysis.common_cause.single_points_of_failure) {
+    std::cout << "  ! " << event->name().view() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces the paper's Figure 2: the hypothetical component and its
+// hazard analysis table, then the fault tree synthesised from it.
+//
+// Figure 2 (verbatim from the paper):
+//
+//   Output Failure Mode | Input Deviation Logic              | Component
+//                       |                                    | Malfunction Logic
+//   --------------------+------------------------------------+------------------
+//   Omission-output     | Omission-input_1 AND               | Jammed OR
+//                       | Omission-input_2                   | Short_circuited
+//                       |                                    | (5e-7, 6e-6)
+//   Wrong-output        | Wrong-input_1 OR Wrong-input_2     | Biased (6e-8)
+//   Early-output        |                                    |
+//
+// "Wrong" and the λ column are modelled with a custom failure class and
+// the malfunction rates; the expected minimal cut sets for Omission-output
+// are {Jammed}, {Short_circuited} and {Omission-input_1 ∧ Omission-input_2}.
+
+#include <iostream>
+
+#include "analysis/report.h"
+#include "fta/synthesis.h"
+#include "model/builder.h"
+
+int main() {
+  using namespace ftsynth;
+
+  ModelBuilder b("figure2");
+  // The paper's table uses the guide word "Wrong" for value failures.
+  b.registry().add("Wrong", FailureCategory::kValue);
+
+  Block& sys = b.root();
+  b.inport(sys, "input_1");
+  b.inport(sys, "input_2");
+
+  Block& component = b.basic(sys, "component");
+  component.set_description("hypothetical component of Figure 2");
+  b.in(component, "input_1");
+  b.in(component, "input_2");
+  b.out(component, "output");
+  b.malfunction(component, "Jammed", 5e-7);
+  b.malfunction(component, "Short_circuited", 6e-6);
+  b.malfunction(component, "Biased", 6e-8);
+  b.annotate(component, "Omission-output",
+             "Omission-input_1 AND Omission-input_2 OR Jammed OR "
+             "Short_circuited",
+             "The component fails to generate the output");
+  b.annotate(component, "Wrong-output",
+             "Wrong-input_1 OR Wrong-input_2 OR Biased",
+             "The component generates wrong output");
+
+  b.outport(sys, "output");
+  b.connect(sys, "input_1", "component.input_1");
+  b.connect(sys, "input_2", "component.input_2");
+  b.connect(sys, "component.output", "output");
+
+  Model model = b.take();
+
+  // The Figure 2 hazard-analysis table, regenerated.
+  std::cout << model.block("component").annotation().render_table(
+      "component (Figure 2)");
+  std::cout << "\n";
+
+  Synthesiser synthesiser(model);
+  AnalysisOptions options;
+  options.render_tree = true;
+  for (const char* top : {"Omission-output", "Wrong-output"}) {
+    FaultTree tree = synthesiser.synthesise(top);
+    TreeAnalysis analysis = analyse_tree(tree, options);
+    std::cout << render(tree, analysis, options) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Common-cause and dependency analysis.
+//
+// The paper's key selling point for placing synthesized trees "in the
+// context of a global view of failure" is exposing hazardous dependencies
+// between components assumed independent (section 2): shared buses, shared
+// processors, shared power -- events that defeat replication. Because
+// synthesis memoises shared causes into single DAG nodes, these show up
+// mechanically:
+//
+//   * order-1 minimal cut sets are single points of failure;
+//   * a basic event referenced by several gates is a shared cause within
+//     one tree;
+//   * a basic event appearing in the trees of several distinct top events
+//     couples nominally independent system functions.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cutsets.h"
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+struct SharedCause {
+  const FtNode* event = nullptr;
+  std::size_t parent_count = 0;  ///< distinct gates referencing the event
+};
+
+struct CommonCauseReport {
+  /// Basic events forming order-1 minimal cut sets.
+  std::vector<const FtNode*> single_points_of_failure;
+  /// Events with more than one parent gate, most-shared first.
+  std::vector<SharedCause> shared_causes;
+
+  std::string to_string() const;
+};
+
+CommonCauseReport analyse_common_cause(const FaultTree& tree,
+                                       const CutSetAnalysis& analysis);
+
+/// Names of basic events appearing in both trees -- dependencies between
+/// the two system functions the trees describe.
+std::vector<Symbol> shared_between(const FaultTree& a, const FaultTree& b);
+
+/// Pairwise dependency matrix over several top events: cell (i, j) counts
+/// the basic events shared between the trees of top events i and j (the
+/// diagonal is each tree's own event count). Rendered as a text table with
+/// the tree names as row/column labels -- the "global view of failure"
+/// summary for a whole analysis campaign.
+std::string render_dependency_matrix(
+    const std::vector<const FaultTree*>& trees);
+
+}  // namespace ftsynth

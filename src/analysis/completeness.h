@@ -1,0 +1,56 @@
+// HAZOP completeness audit.
+//
+// During the local analysis the paper tells analysts to ask (section 2):
+//   a) does the component respond to all failures propagated by components
+//      further upstream?
+//   b) are the failures generated or propagated by the component handled
+//      further downstream?
+// This module mechanises those questions over the whole model: for every
+// input of every analysed component it traces the structural upstream
+// producers (through subsystem boundaries, mux/demux, data stores) and
+// compares the deviation classes they can emit with the deviation classes
+// the component's annotation actually examines.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace ftsynth {
+
+enum class CompletenessKind {
+  /// Upstream can emit a deviation the downstream annotation never
+  /// examines -- an unhandled propagated failure (question a).
+  kUnhandledPropagation,
+  /// An annotation references an input deviation no upstream producer can
+  /// emit -- dead defence or missing upstream analysis (question b).
+  kUnproducedDeviation,
+  /// A basic block in the failure-propagation path has no annotation rows
+  /// at all.
+  kUnanalysedComponent,
+  /// A malfunction used in causes but carrying no failure rate.
+  kUnquantifiedMalfunction,
+};
+
+std::string_view to_string(CompletenessKind kind) noexcept;
+
+struct CompletenessFinding {
+  CompletenessKind kind;
+  std::string block_path;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// Runs the audit; findings are ordered by block path.
+std::vector<CompletenessFinding> audit_completeness(const Model& model);
+
+/// Structural upstream trace: the basic/subsystem output ports (and model
+/// boundary inputs, returned as the root's own ports) that can feed
+/// `input`, resolved through proxies, mux/demux and data stores.
+std::vector<const Port*> upstream_producers(const Model& model,
+                                            const Port& input);
+
+}  // namespace ftsynth

@@ -1,0 +1,509 @@
+#include "analysis/cutsets.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "core/error.h"
+#include "analysis/probability.h"
+#include "fta/simplify.h"
+
+namespace ftsynth {
+
+std::size_t CutSetAnalysis::min_order() const noexcept {
+  return cut_sets.empty() ? 0 : cut_sets.front().size();
+}
+
+std::vector<const CutSet*> CutSetAnalysis::of_order(std::size_t order) const {
+  std::vector<const CutSet*> out;
+  for (const CutSet& cs : cut_sets) {
+    if (cs.size() == order) out.push_back(&cs);
+  }
+  return out;
+}
+
+std::string CutSetAnalysis::to_string() const {
+  std::string out;
+  for (const CutSet& cs : cut_sets) {
+    out += "{";
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (i != 0) out += ", ";
+      if (cs[i].negated) out += "NOT ";
+      out += cs[i].event->name().view();
+    }
+    out += "}\n";
+  }
+  if (truncated) out += "(truncated: limits reached)\n";
+  return out;
+}
+
+namespace {
+
+// Internal representation: a literal id is 2 * event_index + negated; a set
+// is a sorted vector<int> plus a 64-bit membership signature for fast
+// subset rejection.
+struct Set {
+  std::vector<int> literals;  // sorted, unique
+  std::uint64_t signature = 0;
+};
+
+std::uint64_t literal_bit(int literal) noexcept {
+  return 1ULL << (static_cast<unsigned>(literal) % 64u);
+}
+
+Set make_set(std::vector<int> literals) {
+  std::sort(literals.begin(), literals.end());
+  literals.erase(std::unique(literals.begin(), literals.end()),
+                 literals.end());
+  Set set{std::move(literals), 0};
+  for (int lit : set.literals) set.signature |= literal_bit(lit);
+  return set;
+}
+
+/// True if the set contains both x and NOT x.
+bool contradictory(const Set& set) noexcept {
+  for (std::size_t i = 1; i < set.literals.size(); ++i) {
+    if ((set.literals[i] ^ 1) == set.literals[i - 1]) return true;
+  }
+  return false;
+}
+
+bool subset(const Set& small, const Set& big) noexcept {
+  if (small.literals.size() > big.literals.size()) return false;
+  if ((small.signature & ~big.signature) != 0) return false;
+  return std::includes(big.literals.begin(), big.literals.end(),
+                       small.literals.begin(), small.literals.end());
+}
+
+/// Removes non-minimal, duplicate and contradictory sets; result is sorted
+/// by (size, lexicographic literal ids).
+std::vector<Set> minimise(std::vector<Set> sets) {
+  std::sort(sets.begin(), sets.end(), [](const Set& a, const Set& b) {
+    if (a.literals.size() != b.literals.size())
+      return a.literals.size() < b.literals.size();
+    return a.literals < b.literals;
+  });
+  std::vector<Set> kept;
+  for (Set& candidate : sets) {
+    if (contradictory(candidate)) continue;
+    bool subsumed = std::any_of(
+        kept.begin(), kept.end(),
+        [&](const Set& k) { return subset(k, candidate); });
+    if (!subsumed) kept.push_back(std::move(candidate));
+  }
+  return kept;
+}
+
+/// Shared bookkeeping: literal ids and limit tracking.
+class Context {
+ public:
+  explicit Context(const CutSetOptions& options) : options_(options) {}
+
+  int literal_id(const FtNode* event, bool negated) {
+    auto [it, inserted] = event_index_.emplace(
+        event, static_cast<int>(events_.size()));
+    if (inserted) events_.push_back(event);
+    return it->second * 2 + (negated ? 1 : 0);
+  }
+
+  /// Applies the order/count limits; sets the truncation flag when they
+  /// bite. Keeps the smallest sets when over the count limit.
+  std::vector<Set> clamp(std::vector<Set> sets) {
+    std::vector<Set> kept;
+    kept.reserve(sets.size());
+    for (Set& set : sets) {
+      if (set.literals.size() > options_.max_order) {
+        truncated_ = true;
+        continue;
+      }
+      kept.push_back(std::move(set));
+    }
+    if (kept.size() > options_.max_sets) {
+      truncated_ = true;
+      // minimise() sorted by size already when used on its result; sort
+      // defensively so the kept prefix is the smallest sets.
+      std::sort(kept.begin(), kept.end(), [](const Set& a, const Set& b) {
+        return a.literals.size() < b.literals.size();
+      });
+      kept.resize(options_.max_sets);
+    }
+    return kept;
+  }
+
+  CutSetAnalysis finish(std::vector<Set> sets) const {
+    CutSetAnalysis analysis;
+    analysis.truncated = truncated_;
+    analysis.peak_sets = peak_sets_;
+    analysis.cut_sets.reserve(sets.size());
+    for (const Set& set : sets) {
+      CutSet cs;
+      cs.reserve(set.literals.size());
+      for (int lit : set.literals) {
+        cs.push_back({events_[static_cast<std::size_t>(lit / 2)],
+                      (lit & 1) != 0});
+      }
+      std::sort(cs.begin(), cs.end(), [](const CutLiteral& a,
+                                         const CutLiteral& b) {
+        if (a.event->name() != b.event->name())
+          return a.event->name() < b.event->name();
+        return a.negated < b.negated;
+      });
+      analysis.cut_sets.push_back(std::move(cs));
+    }
+    std::sort(analysis.cut_sets.begin(), analysis.cut_sets.end(),
+              [](const CutSet& a, const CutSet& b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                for (std::size_t i = 0; i < a.size(); ++i) {
+                  if (a[i].event->name() != b[i].event->name())
+                    return a[i].event->name() < b[i].event->name();
+                  if (a[i].negated != b[i].negated)
+                    return a[i].negated < b[i].negated;
+                }
+                return false;
+              });
+    return analysis;
+  }
+
+  void track_peak(std::size_t size) noexcept {
+    peak_sets_ = std::max(peak_sets_, size);
+  }
+  void mark_truncated() noexcept { truncated_ = true; }
+  const CutSetOptions& options() const noexcept { return options_; }
+
+ private:
+  const CutSetOptions& options_;
+  std::unordered_map<const FtNode*, int> event_index_;
+  std::vector<const FtNode*> events_;
+  bool truncated_ = false;
+  std::size_t peak_sets_ = 0;
+};
+
+// -- Bottom-up engine ----------------------------------------------------------
+
+class BottomUp {
+ public:
+  BottomUp(const FaultTree& tree, Context& context)
+      : tree_(tree), context_(context) {}
+
+  std::vector<Set> run() {
+    if (tree_.top() == nullptr) return {};
+    return resolve(tree_.top());
+  }
+
+ private:
+  std::vector<Set> resolve(const FtNode* node) {
+    if (auto it = memo_.find(node); it != memo_.end()) return it->second;
+    std::vector<Set> result = resolve_uncached(node);
+    context_.track_peak(result.size());
+    memo_.emplace(node, result);
+    return result;
+  }
+
+  std::vector<Set> resolve_uncached(const FtNode* node) {
+    switch (node->kind()) {
+      case NodeKind::kHouse:
+        return {make_set({})};  // constant true: the empty cut set
+      case NodeKind::kBasic:
+      case NodeKind::kUndeveloped:
+      case NodeKind::kLoop:
+        return {make_set({context_.literal_id(node, false)})};
+      case NodeKind::kGate:
+        break;
+    }
+    if (node->gate() == GateKind::kNot) {
+      const FtNode* child = node->children().front();
+      check_internal(child->is_leaf(),
+                     "cut sets need a normalised tree (NOT over leaf)");
+      return {make_set({context_.literal_id(child, true)})};
+    }
+    std::vector<Set> acc;
+    bool first = true;
+    // kPand is quantified by analysis/temporal.h; for cut-set purposes the
+    // *event sets* are those of the AND (a conservative upper bound).
+    for (const FtNode* child : node->children()) {
+      std::vector<Set> sets = resolve(child);
+      if (node->gate() == GateKind::kOr) {
+        acc.insert(acc.end(), std::make_move_iterator(sets.begin()),
+                   std::make_move_iterator(sets.end()));
+      } else if (first) {
+        acc = std::move(sets);
+      } else {
+        // AND: cross product, dropping contradictions as they appear.
+        std::vector<Set> product;
+        product.reserve(acc.size() * sets.size());
+        for (const Set& a : acc) {
+          for (const Set& b : sets) {
+            std::vector<int> merged;
+            merged.reserve(a.literals.size() + b.literals.size());
+            std::merge(a.literals.begin(), a.literals.end(),
+                       b.literals.begin(), b.literals.end(),
+                       std::back_inserter(merged));
+            merged.erase(std::unique(merged.begin(), merged.end()),
+                         merged.end());
+            Set set{std::move(merged), a.signature | b.signature};
+            if (!contradictory(set)) product.push_back(std::move(set));
+          }
+          if (product.size() > context_.options().max_sets * 4) {
+            // Keep the blow-up bounded before minimisation.
+            product = context_.clamp(minimise(std::move(product)));
+          }
+        }
+        acc = std::move(product);
+      }
+      first = false;
+      context_.track_peak(acc.size());
+    }
+    return context_.clamp(minimise(std::move(acc)));
+  }
+
+  const FaultTree& tree_;
+  Context& context_;
+  std::unordered_map<const FtNode*, std::vector<Set>> memo_;
+};
+
+// -- Top-down MOCUS engine -------------------------------------------------------
+
+class Mocus {
+ public:
+  Mocus(const FaultTree& tree, Context& context)
+      : tree_(tree), context_(context) {}
+
+  std::vector<Set> run() {
+    const FtNode* top = tree_.top();
+    if (top == nullptr) return {};
+
+    // A row is a conjunction of unresolved nodes plus resolved literals.
+    struct Row {
+      std::vector<const FtNode*> gates;
+      std::vector<int> literals;
+    };
+    std::deque<Row> rows;
+    rows.push_back({{top}, {}});
+    std::vector<Set> done;
+
+    while (!rows.empty()) {
+      Row row = std::move(rows.front());
+      rows.pop_front();
+      context_.track_peak(rows.size() + done.size());
+      if (row.gates.empty()) {
+        Set set = make_set(std::move(row.literals));
+        if (set.literals.size() > context_.options().max_order) {
+          context_.mark_truncated();
+        } else if (!contradictory(set)) {
+          done.push_back(std::move(set));
+        }
+        continue;
+      }
+      const FtNode* node = row.gates.back();
+      row.gates.pop_back();
+      switch (node->kind()) {
+        case NodeKind::kHouse:
+          rows.push_back(std::move(row));  // true: contributes nothing
+          break;
+        case NodeKind::kBasic:
+        case NodeKind::kUndeveloped:
+        case NodeKind::kLoop:
+          row.literals.push_back(context_.literal_id(node, false));
+          rows.push_back(std::move(row));
+          break;
+        case NodeKind::kGate:
+          if (node->gate() == GateKind::kNot) {
+            const FtNode* child = node->children().front();
+            check_internal(child->is_leaf(),
+                           "MOCUS needs a normalised tree (NOT over leaf)");
+            row.literals.push_back(context_.literal_id(child, true));
+            rows.push_back(std::move(row));
+          } else if (node->gate() == GateKind::kAnd ||
+                     node->gate() == GateKind::kPand) {
+            for (const FtNode* child : node->children())
+              row.gates.push_back(child);
+            rows.push_back(std::move(row));
+          } else {  // OR: one row per child
+            for (const FtNode* child : node->children()) {
+              Row branch = row;
+              branch.gates.push_back(child);
+              rows.push_back(std::move(branch));
+            }
+          }
+          break;
+      }
+      if (rows.size() > context_.options().max_sets * 4) {
+        // Row explosion guard: finish the rows we have, drop the rest.
+        context_.mark_truncated();
+        while (rows.size() > context_.options().max_sets) rows.pop_back();
+      }
+    }
+    return context_.clamp(minimise(std::move(done)));
+  }
+
+ private:
+  const FaultTree& tree_;
+  Context& context_;
+};
+
+/// The engines run on a temporary normalised copy of the tree; its nodes
+/// die with it. Remap every literal to the equally-named leaf of the
+/// original tree before returning.
+void remap_events(CutSetAnalysis& analysis, const FaultTree& original) {
+  for (CutSet& cs : analysis.cut_sets) {
+    for (CutLiteral& literal : cs) {
+      const FtNode* mapped = original.find_event(literal.event->name());
+      check_internal(mapped != nullptr,
+                     "normalised tree invented leaf '" +
+                         literal.event->name().str() + "'");
+      literal.event = mapped;
+    }
+  }
+}
+
+}  // namespace
+
+CutSetAnalysis minimal_cut_sets(const FaultTree& tree,
+                                const CutSetOptions& options) {
+  FaultTree flat = normalise(tree);
+  Context context(options);
+  std::vector<Set> sets = BottomUp(flat, context).run();
+  CutSetAnalysis analysis = context.finish(std::move(sets));
+  remap_events(analysis, tree);
+  return analysis;
+}
+
+CutSetAnalysis mocus_cut_sets(const FaultTree& tree,
+                              const CutSetOptions& options) {
+  FaultTree flat = normalise(tree);
+  Context context(options);
+  std::vector<Set> sets = Mocus(flat, context).run();
+  CutSetAnalysis analysis = context.finish(std::move(sets));
+  remap_events(analysis, tree);
+  return analysis;
+}
+
+namespace {
+
+/// Rauzy's `without` operator on cut-set BDDs (variables occur positively;
+/// the low branch means "variable absent"): drops every solution of `f`
+/// that is a superset of some solution of `g`.
+class MinimalSolutions {
+ public:
+  explicit MinimalSolutions(Bdd& bdd) : bdd_(bdd) {}
+
+  Bdd::Ref minsol(Bdd::Ref f) {
+    if (bdd_.is_terminal(f)) return f;
+    if (auto it = minsol_memo_.find(f); it != minsol_memo_.end())
+      return it->second;
+    const Bdd::Node node = bdd_.node(f);
+    Bdd::Ref low = minsol(node.low);
+    Bdd::Ref high = without(minsol(node.high), low);
+    Bdd::Ref result = make(node.var, low, high);
+    minsol_memo_.emplace(f, result);
+    return result;
+  }
+
+ private:
+  Bdd::Ref without(Bdd::Ref f, Bdd::Ref g) {
+    if (bdd_.is_false(f)) return Bdd::kFalse;
+    if (bdd_.is_true(g)) return Bdd::kFalse;   // the empty set subsumes all
+    if (bdd_.is_false(g)) return f;
+    if (bdd_.is_true(f)) return Bdd::kTrue;    // {} is only subsumed by {}
+    auto key = std::make_pair(f, g);
+    if (auto it = without_memo_.find(key); it != without_memo_.end())
+      return it->second;
+    const Bdd::Node nf = bdd_.node(f);
+    const Bdd::Node ng = bdd_.node(g);
+    Bdd::Ref result;
+    if (nf.var < ng.var) {
+      // g never mentions nf.var at this level.
+      result = make(nf.var, without(nf.low, g), without(nf.high, g));
+    } else if (nf.var > ng.var) {
+      // Solutions of f exclude ng.var; only g-solutions excluding it
+      // (g.low) can subsume them.
+      result = without(f, ng.low);
+    } else {
+      Bdd::Ref low = without(nf.low, ng.low);
+      Bdd::Ref high = without(without(nf.high, ng.low), ng.high);
+      result = make(nf.var, low, high);
+    }
+    without_memo_.emplace(key, result);
+    return result;
+  }
+
+  Bdd::Ref make(int var, Bdd::Ref low, Bdd::Ref high) {
+    // Rebuild through ite on the variable to stay reduced and hashed.
+    return bdd_.ite(bdd_.var(var), high, low);
+  }
+
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<Bdd::Ref, Bdd::Ref>& key) const noexcept {
+      return std::hash<Bdd::Ref>{}(key.first) * 1000003u ^ key.second;
+    }
+  };
+
+  Bdd& bdd_;
+  std::unordered_map<Bdd::Ref, Bdd::Ref> minsol_memo_;
+  std::unordered_map<std::pair<Bdd::Ref, Bdd::Ref>, Bdd::Ref, PairHash>
+      without_memo_;
+};
+
+}  // namespace
+
+CutSetAnalysis bdd_cut_sets(const FaultTree& tree,
+                            const CutSetOptions& options) {
+  // Coherence check: Rauzy's minimal solutions assume a monotone function.
+  bool has_not = false;
+  tree.for_each_reachable([&](const FtNode& node) {
+    if (node.kind() == NodeKind::kGate && node.gate() == GateKind::kNot)
+      has_not = true;
+  });
+  require(!has_not, ErrorKind::kAnalysis,
+          "bdd_cut_sets needs a coherent tree (no NOT gates); use "
+          "minimal_cut_sets instead");
+
+  BddEncoding encoding = encode_bdd(tree);
+  Context context(options);
+  if (tree.top() == nullptr) return context.finish({});
+
+  MinimalSolutions engine(encoding.bdd);
+  Bdd::Ref solutions = engine.minsol(encoding.root);
+
+  // Enumerate paths: a high edge includes the variable, low (and skipped
+  // levels) exclude it.
+  std::vector<Set> sets;
+  std::vector<int> literals;
+  bool truncated_paths = false;
+  auto enumerate = [&](auto&& self, Bdd::Ref ref) -> void {
+    if (sets.size() > context.options().max_sets) {
+      truncated_paths = true;
+      return;
+    }
+    if (encoding.bdd.is_false(ref)) return;
+    if (encoding.bdd.is_true(ref)) {
+      if (literals.size() > context.options().max_order) {
+        truncated_paths = true;
+        return;
+      }
+      std::vector<int> ids;
+      ids.reserve(literals.size());
+      for (int var : literals) {
+        ids.push_back(context.literal_id(
+            encoding.events[static_cast<std::size_t>(var)], false));
+      }
+      sets.push_back(make_set(std::move(ids)));
+      context.track_peak(sets.size());
+      return;
+    }
+    const Bdd::Node node = encoding.bdd.node(ref);
+    self(self, node.low);
+    literals.push_back(node.var);
+    self(self, node.high);
+    literals.pop_back();
+  };
+  enumerate(enumerate, solutions);
+  if (truncated_paths) context.mark_truncated();
+
+  CutSetAnalysis analysis = context.finish(minimise(std::move(sets)));
+  remap_events(analysis, tree);
+  return analysis;
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,81 @@
+// Minimal cut sets.
+//
+// The paper hands synthesized trees to Fault Tree Plus for "cut-set
+// analysis, for example" (section 2). This module provides that analysis
+// natively, with two engines:
+//
+//   * minimal_cut_sets -- bottom-up combination over the tree DAG
+//     (MICSUP-style): each node's minimal cut sets are computed from its
+//     children's, with absorption applied at every step. Fast, and the
+//     default.
+//   * mocus_cut_sets -- the classic top-down MOCUS row expansion as run by
+//     2001-era FTA tools. Kept as an independently-implemented oracle and
+//     for the engine-comparison benchmark (bench_cutsets).
+//
+// Both engines return the same canonical result: cut sets sorted by
+// (order, lexicographic event names). Negated literals (from NOT gates)
+// are supported; a set containing x and NOT x is contradictory and dropped.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+struct CutSetOptions {
+  /// Drop cut sets with more literals than this (truncation is reported).
+  std::size_t max_order = 64;
+  /// Abort growth beyond this many working sets (truncation is reported).
+  std::size_t max_sets = 1u << 20;
+};
+
+/// One literal of a cut set: an event, possibly negated.
+struct CutLiteral {
+  const FtNode* event = nullptr;
+  bool negated = false;
+
+  friend bool operator==(const CutLiteral& a, const CutLiteral& b) noexcept {
+    return a.event == b.event && a.negated == b.negated;
+  }
+};
+
+/// A minimal cut set: literals sorted by event name.
+using CutSet = std::vector<CutLiteral>;
+
+/// Result of a cut-set computation. Literals point INTO the analysed tree:
+/// the FaultTree must outlive the analysis (do not pass a temporary).
+struct CutSetAnalysis {
+  std::vector<CutSet> cut_sets;  ///< minimal, canonically ordered
+  bool truncated = false;        ///< some sets were dropped by the limits
+  std::size_t peak_sets = 0;     ///< working-set high-water mark (bench metric)
+
+  /// Smallest cut set order present (0 when there are no cut sets).
+  std::size_t min_order() const noexcept;
+  /// Cut sets of exactly `order` literals.
+  std::vector<const CutSet*> of_order(std::size_t order) const;
+
+  /// "{a, b} {c}" rendering, one line per cut set.
+  std::string to_string() const;
+};
+
+/// Bottom-up engine (default).
+CutSetAnalysis minimal_cut_sets(const FaultTree& tree,
+                                const CutSetOptions& options = {});
+
+/// Classic top-down MOCUS engine (oracle / benchmark comparator).
+CutSetAnalysis mocus_cut_sets(const FaultTree& tree,
+                              const CutSetOptions& options = {});
+
+/// BDD engine (Rauzy's minimal-solutions algorithm): encodes the tree as a
+/// BDD, computes the minimal-solutions BDD with the `without` operator and
+/// enumerates its paths. Polynomial in the BDD size where the set-based
+/// engines blow up combinatorially (bench_cutsets). Coherent trees only:
+/// throws ErrorKind::kAnalysis when the tree contains NOT gates.
+CutSetAnalysis bdd_cut_sets(const FaultTree& tree,
+                            const CutSetOptions& options = {});
+
+}  // namespace ftsynth

@@ -1,0 +1,93 @@
+#include "analysis/fmea.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.h"
+#include "core/strings.h"
+#include "core/text_table.h"
+
+namespace ftsynth {
+
+bool FmeaRow::has_direct_effect() const noexcept {
+  return std::any_of(effects.begin(), effects.end(),
+                     [](const FmeaEffect& effect) { return effect.direct; });
+}
+
+std::vector<FmeaRow> synthesise_fmea(
+    const std::vector<const FaultTree*>& trees,
+    const std::vector<const CutSetAnalysis*>& cut_sets,
+    const ProbabilityOptions& options) {
+  require(trees.size() == cut_sets.size(), ErrorKind::kAnalysis,
+          "synthesise_fmea needs one cut-set analysis per tree");
+
+  // Keyed by event name so the same malfunction in different trees lands
+  // in one row. std::map keeps deterministic ordering.
+  std::map<Symbol, FmeaRow> rows;
+
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    const FaultTree& tree = *trees[i];
+    const CutSetAnalysis& analysis = *cut_sets[i];
+    const double total = rare_event_bound(analysis, options);
+
+    for (const CutSet& cs : analysis.cut_sets) {
+      const double p = cut_set_probability(cs, options);
+      for (const CutLiteral& literal : cs) {
+        if (literal.negated) continue;  // an inhibitor is not a failure mode
+        if (literal.event->kind() != NodeKind::kBasic) continue;
+        // Data-condition events enable failures but are not failure modes.
+        if (literal.event->has_fixed_probability()) continue;
+
+        FmeaRow& row = rows[literal.event->name()];
+        if (row.event == nullptr) {
+          row.event = literal.event;
+          row.origin = literal.event->origin();
+          row.rate = literal.event->rate();
+        }
+        FmeaEffect* effect = nullptr;
+        for (FmeaEffect& existing : row.effects) {
+          if (existing.top_event == tree.top_description())
+            effect = &existing;
+        }
+        if (effect == nullptr) {
+          row.effects.push_back({tree.top_description(), false, 0, 0.0});
+          effect = &row.effects.back();
+        }
+        effect->direct = effect->direct || cs.size() == 1;
+        if (effect->smallest_order == 0 ||
+            cs.size() < effect->smallest_order)
+          effect->smallest_order = cs.size();
+        if (total > 0.0) effect->fussell_vesely += p / total;
+      }
+    }
+  }
+
+  std::vector<FmeaRow> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const FmeaRow& a, const FmeaRow& b) {
+    if (a.origin != b.origin) return a.origin < b.origin;
+    return a.event->name() < b.event->name();
+  });
+  return out;
+}
+
+std::string render_fmea(const std::vector<FmeaRow>& rows) {
+  TextTable table({"Component", "Failure mode", "lambda (f/h)",
+                   "System effect", "Direct", "Min order", "FV"});
+  for (const FmeaRow& row : rows) {
+    bool first = true;
+    for (const FmeaEffect& effect : row.effects) {
+      table.add_row({first ? row.origin : "",
+                     first ? std::string(row.event->name().view()) : "",
+                     first && row.rate > 0.0 ? format_double(row.rate) : "",
+                     effect.top_event, effect.direct ? "YES" : "no",
+                     std::to_string(effect.smallest_order),
+                     format_double(effect.fussell_vesely)});
+      first = false;
+    }
+  }
+  return table.render();
+}
+
+}  // namespace ftsynth

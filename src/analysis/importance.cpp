@@ -1,0 +1,84 @@
+#include "analysis/importance.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "bdd/bdd_prob.h"
+#include "core/strings.h"
+#include "core/text_table.h"
+
+namespace ftsynth {
+
+std::vector<ImportanceEntry> importance_ranking(
+    const FaultTree& tree, const CutSetAnalysis& analysis,
+    const ProbabilityOptions& options) {
+  std::unordered_map<const FtNode*, ImportanceEntry> entries;
+  for (const FtNode* event : tree.basic_events())
+    entries.emplace(event, ImportanceEntry{event, 0.0, 0.0, 0.0, 0.0, 0, 0});
+
+  // Fussell-Vesely from the cut sets.
+  const double total = rare_event_bound(analysis, options);
+  for (const CutSet& cs : analysis.cut_sets) {
+    const double p = cut_set_probability(cs, options);
+    for (const CutLiteral& literal : cs) {
+      auto it = entries.find(literal.event);
+      if (it == entries.end()) continue;  // undeveloped / loop leaves
+      ImportanceEntry& entry = it->second;
+      if (total > 0.0) entry.fussell_vesely += p / total;
+      ++entry.cut_set_count;
+      if (entry.smallest_order == 0 || cs.size() < entry.smallest_order)
+        entry.smallest_order = cs.size();
+    }
+  }
+
+  // Birnbaum, RAW and RRW exactly on the BDD.
+  BddEncoding encoding = encode_bdd(tree);
+  const std::vector<double> probabilities =
+      encoding.probabilities(options);
+  const double p_top =
+      bdd_probability(encoding.bdd, encoding.root, probabilities);
+  for (std::size_t v = 0; v < encoding.events.size(); ++v) {
+    auto it = entries.find(encoding.events[v]);
+    if (it == entries.end()) continue;
+    const double p_given = bdd_probability_given(
+        encoding.bdd, encoding.root, probabilities, static_cast<int>(v),
+        true);
+    const double p_without = bdd_probability_given(
+        encoding.bdd, encoding.root, probabilities, static_cast<int>(v),
+        false);
+    it->second.birnbaum = p_given - p_without;
+    it->second.raw = p_top > 0.0 ? p_given / p_top : 0.0;
+    it->second.rrw = p_without > 0.0 ? p_top / p_without
+                     : p_top > 0.0   ? std::numeric_limits<double>::infinity()
+                                     : 0.0;
+  }
+
+  std::vector<ImportanceEntry> ranking;
+  ranking.reserve(entries.size());
+  for (auto& [event, entry] : entries) ranking.push_back(entry);
+  std::sort(ranking.begin(), ranking.end(),
+            [](const ImportanceEntry& a, const ImportanceEntry& b) {
+              if (a.fussell_vesely != b.fussell_vesely)
+                return a.fussell_vesely > b.fussell_vesely;
+              if (a.birnbaum != b.birnbaum) return a.birnbaum > b.birnbaum;
+              return a.event->name() < b.event->name();
+            });
+  return ranking;
+}
+
+std::string render_importance(const std::vector<ImportanceEntry>& ranking) {
+  TextTable table({"Basic event", "FV", "Birnbaum", "RAW", "RRW",
+                   "#cut sets", "min order"});
+  for (const ImportanceEntry& entry : ranking) {
+    table.add_row({entry.event->name().str(),
+                   format_double(entry.fussell_vesely),
+                   format_double(entry.birnbaum), format_double(entry.raw),
+                   format_double(entry.rrw),
+                   std::to_string(entry.cut_set_count),
+                   std::to_string(entry.smallest_order)});
+  }
+  return table.render();
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,42 @@
+// Importance measures -- ranking basic events by their contribution to the
+// top event, the analysis that "helps identify weak areas of the design"
+// (paper, sections 2 and 4, aim 3).
+//
+//   * Fussell-Vesely: fraction of the (rare-event) top probability carried
+//     by cut sets containing the event.
+//   * Birnbaum: dP(top)/dp(event), computed exactly on the BDD.
+//   * RAW (Risk Achievement Worth): P(top | event occurred) / P(top) --
+//     how much worse things get if the component is known failed.
+//   * RRW (Risk Reduction Worth): P(top) / P(top | event perfect) -- how
+//     much is gained by making the component perfect.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cutsets.h"
+#include "analysis/probability.h"
+
+namespace ftsynth {
+
+struct ImportanceEntry {
+  const FtNode* event = nullptr;
+  double fussell_vesely = 0.0;
+  double birnbaum = 0.0;
+  double raw = 0.0;  ///< risk achievement worth (1 = no effect)
+  double rrw = 0.0;  ///< risk reduction worth (1 = no effect)
+  std::size_t cut_set_count = 0;    ///< cut sets containing the event
+  std::size_t smallest_order = 0;   ///< order of the smallest such cut set
+};
+
+/// Ranks every basic event of `tree`, most important (by Fussell-Vesely,
+/// then Birnbaum) first.
+std::vector<ImportanceEntry> importance_ranking(
+    const FaultTree& tree, const CutSetAnalysis& analysis,
+    const ProbabilityOptions& options);
+
+/// Renders the ranking as a text table.
+std::string render_importance(const std::vector<ImportanceEntry>& ranking);
+
+}  // namespace ftsynth

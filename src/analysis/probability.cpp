@@ -1,0 +1,175 @@
+#include "analysis/probability.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "bdd/bdd_prob.h"
+#include "core/error.h"
+
+namespace ftsynth {
+
+double event_probability(const FtNode& event,
+                         const ProbabilityOptions& options) {
+  switch (event.kind()) {
+    case NodeKind::kHouse:
+      return 1.0;
+    case NodeKind::kBasic:
+      if (event.has_fixed_probability()) return event.fixed_probability();
+      if (event.rate() > 0.0)
+        return 1.0 - std::exp(-event.rate() * options.mission_time_hours);
+      return options.default_event_probability;
+    case NodeKind::kUndeveloped:
+    case NodeKind::kLoop:
+      return options.default_event_probability;
+    case NodeKind::kGate:
+      break;
+  }
+  throw Error(ErrorKind::kAnalysis,
+              "event_probability called on a gate node");
+}
+
+double cut_set_probability(const CutSet& cut_set,
+                           const ProbabilityOptions& options) {
+  double p = 1.0;
+  for (const CutLiteral& literal : cut_set) {
+    const double q = event_probability(*literal.event, options);
+    p *= literal.negated ? (1.0 - q) : q;
+  }
+  return p;
+}
+
+double rare_event_bound(const CutSetAnalysis& analysis,
+                        const ProbabilityOptions& options) {
+  double sum = 0.0;
+  for (const CutSet& cs : analysis.cut_sets)
+    sum += cut_set_probability(cs, options);
+  return sum;
+}
+
+double esary_proschan_bound(const CutSetAnalysis& analysis,
+                            const ProbabilityOptions& options) {
+  double product = 1.0;
+  for (const CutSet& cs : analysis.cut_sets)
+    product *= 1.0 - cut_set_probability(cs, options);
+  return 1.0 - product;
+}
+
+namespace {
+
+/// Probability of the union of literal sets `indices` (intersection of the
+/// chosen cut sets): every literal must hold; a contradiction gives 0.
+double intersection_probability(const CutSetAnalysis& analysis,
+                                const std::vector<std::size_t>& indices,
+                                const ProbabilityOptions& options) {
+  // Collect literals; detect x & NOT x.
+  std::unordered_map<const FtNode*, bool> literals;
+  for (std::size_t index : indices) {
+    for (const CutLiteral& literal : analysis.cut_sets[index]) {
+      auto [it, inserted] = literals.emplace(literal.event, literal.negated);
+      if (!inserted && it->second != literal.negated) return 0.0;
+    }
+  }
+  double p = 1.0;
+  for (const auto& [event, negated] : literals) {
+    const double q = event_probability(*event, options);
+    p *= negated ? (1.0 - q) : q;
+  }
+  return p;
+}
+
+}  // namespace
+
+double inclusion_exclusion(const CutSetAnalysis& analysis,
+                           const ProbabilityOptions& options,
+                           std::size_t max_terms) {
+  const std::size_t n = analysis.cut_sets.size();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::vector<std::size_t> indices;
+  // Enumerate subsets by order k = 1..max_terms with a recursive chooser.
+  auto choose = [&](auto&& self, std::size_t start, std::size_t remaining)
+      -> void {
+    if (remaining == 0) {
+      const double p = intersection_probability(analysis, indices, options);
+      total += (indices.size() % 2 == 1) ? p : -p;
+      return;
+    }
+    for (std::size_t i = start; i + remaining <= n; ++i) {
+      indices.push_back(i);
+      self(self, i + 1, remaining - 1);
+      indices.pop_back();
+    }
+  };
+  for (std::size_t k = 1; k <= std::min(max_terms, n); ++k)
+    choose(choose, 0, k);
+  return total;
+}
+
+std::vector<double> BddEncoding::probabilities(
+    const ProbabilityOptions& options) const {
+  std::vector<double> out;
+  out.reserve(events.size());
+  for (const FtNode* event : events)
+    out.push_back(event_probability(*event, options));
+  return out;
+}
+
+BddEncoding encode_bdd(const FaultTree& tree) {
+  BddEncoding encoding;
+  if (tree.top() == nullptr) return encoding;
+
+  std::unordered_map<const FtNode*, int> var_of;
+  // Declare variables in leaf id order for deterministic encodings.
+  for (const FtNode* leaf : tree.leaves()) {
+    if (leaf->kind() == NodeKind::kHouse) continue;
+    var_of.emplace(leaf, encoding.bdd.new_var());
+    encoding.events.push_back(leaf);
+  }
+
+  std::unordered_map<const FtNode*, Bdd::Ref> memo;
+  auto build = [&](auto&& self, const FtNode* node) -> Bdd::Ref {
+    if (auto it = memo.find(node); it != memo.end()) return it->second;
+    Bdd::Ref result = Bdd::kFalse;
+    switch (node->kind()) {
+      case NodeKind::kHouse:
+        result = Bdd::kTrue;
+        break;
+      case NodeKind::kBasic:
+      case NodeKind::kUndeveloped:
+      case NodeKind::kLoop:
+        result = encoding.bdd.var(var_of.at(node));
+        break;
+      case NodeKind::kGate: {
+        if (node->gate() == GateKind::kNot) {
+          result =
+              encoding.bdd.apply_not(self(self, node->children().front()));
+          break;
+        }
+        // kPand encodes as AND: an upper bound (see analysis/temporal.h).
+        const bool is_and = node->gate() == GateKind::kAnd ||
+                            node->gate() == GateKind::kPand;
+        result = is_and ? Bdd::kTrue : Bdd::kFalse;
+        for (const FtNode* child : node->children()) {
+          Bdd::Ref c = self(self, child);
+          result = is_and ? encoding.bdd.apply_and(result, c)
+                          : encoding.bdd.apply_or(result, c);
+        }
+        break;
+      }
+    }
+    memo.emplace(node, result);
+    return result;
+  };
+  encoding.root = build(build, tree.top());
+  return encoding;
+}
+
+double exact_probability(const FaultTree& tree,
+                         const ProbabilityOptions& options) {
+  BddEncoding encoding = encode_bdd(tree);
+  if (tree.top() == nullptr) return 0.0;
+  return bdd_probability(encoding.bdd, encoding.root,
+                         encoding.probabilities(options));
+}
+
+}  // namespace ftsynth

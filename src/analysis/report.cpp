@@ -1,0 +1,93 @@
+#include "analysis/report.h"
+
+#include "core/strings.h"
+
+namespace ftsynth {
+
+TreeAnalysis analyse_tree(const FaultTree& tree,
+                          const AnalysisOptions& options) {
+  TreeAnalysis analysis;
+  analysis.top_event = tree.top_description();
+  analysis.tree_stats = tree.stats();
+  analysis.cut_sets = minimal_cut_sets(tree, options.cut_sets);
+  analysis.common_cause = analyse_common_cause(tree, analysis.cut_sets);
+  analysis.importance =
+      importance_ranking(tree, analysis.cut_sets, options.probability);
+  analysis.p_rare_event =
+      rare_event_bound(analysis.cut_sets, options.probability);
+  analysis.p_esary_proschan =
+      esary_proschan_bound(analysis.cut_sets, options.probability);
+  analysis.p_exact = exact_probability(tree, options.probability);
+  return analysis;
+}
+
+std::string render(const FaultTree& tree, const TreeAnalysis& analysis,
+                   const AnalysisOptions& options) {
+  std::string out;
+  out += "=== Top event: " + analysis.top_event + " ===\n";
+  const FaultTreeStats& s = analysis.tree_stats;
+  out += "tree: " + std::to_string(s.node_count) + " nodes (" +
+         std::to_string(s.gate_count) + " gates, " +
+         std::to_string(s.basic_event_count) + " basic events, " +
+         std::to_string(s.undeveloped_count) + " undeveloped), depth " +
+         std::to_string(s.depth) + ", expanded size " +
+         std::to_string(s.expanded_size) + "\n";
+  if (options.render_tree) out += tree.to_text();
+
+  out += "minimal cut sets: " +
+         std::to_string(analysis.cut_sets.cut_sets.size()) +
+         (analysis.cut_sets.truncated ? " (TRUNCATED)" : "") +
+         ", smallest order " +
+         std::to_string(analysis.cut_sets.min_order()) + "\n";
+  const std::size_t shown = std::min<std::size_t>(
+      analysis.cut_sets.cut_sets.size(), 20);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const CutSet& cs = analysis.cut_sets.cut_sets[i];
+    out += "  {";
+    for (std::size_t j = 0; j < cs.size(); ++j) {
+      if (j != 0) out += ", ";
+      if (cs[j].negated) out += "NOT ";
+      out += cs[j].event->name().view();
+    }
+    out += "}\n";
+  }
+  if (analysis.cut_sets.cut_sets.size() > shown) {
+    out += "  ... and " +
+           std::to_string(analysis.cut_sets.cut_sets.size() - shown) +
+           " more\n";
+  }
+
+  out += "P(top): rare-event " + format_double(analysis.p_rare_event) +
+         ", Esary-Proschan " + format_double(analysis.p_esary_proschan) +
+         ", exact (BDD) " + format_double(analysis.p_exact) + "  [t = " +
+         format_double(options.probability.mission_time_hours) + " h]\n";
+
+  out += analysis.common_cause.to_string();
+
+  if (!analysis.importance.empty()) {
+    std::vector<ImportanceEntry> top(
+        analysis.importance.begin(),
+        analysis.importance.begin() +
+            static_cast<std::ptrdiff_t>(std::min(
+                analysis.importance.size(), options.max_importance_rows)));
+    out += render_importance(top);
+  }
+  return out;
+}
+
+std::string analyse_model_report(const Model& model,
+                                 const std::vector<std::string>& top_events,
+                                 const SynthesisOptions& synthesis,
+                                 const AnalysisOptions& options) {
+  std::string out = "Model: " + model.name() + " (" +
+                    std::to_string(model.block_count()) + " blocks)\n\n";
+  Synthesiser synthesiser(model, synthesis);
+  for (const std::string& top : top_events) {
+    FaultTree tree = synthesiser.synthesise(top);
+    TreeAnalysis analysis = analyse_tree(tree, options);
+    out += render(tree, analysis, options) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ftsynth

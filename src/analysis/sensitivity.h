@@ -1,0 +1,44 @@
+// Sensitivity analysis: how the top-event probability responds to changes
+// in the component failure rates -- the design-exploration companion of
+// the importance measures ("which lambda should the next engineering
+// dollar improve?").
+//
+// For every quantified basic event the analysis re-evaluates the exact
+// top-event probability with that event's rate scaled by `scale_factor`
+// (default: improved 10x, i.e. scaled by 0.1) and reports the resulting
+// top-event probability and the improvement ratio.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/probability.h"
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+struct SensitivityEntry {
+  const FtNode* event = nullptr;
+  double baseline_rate = 0.0;
+  double p_top_baseline = 0.0;
+  double p_top_scaled = 0.0;
+  /// p_top_baseline / p_top_scaled (> 1: improving the component helps).
+  double improvement = 1.0;
+};
+
+struct SensitivityOptions {
+  ProbabilityOptions probability;
+  /// Factor applied to the event's failure rate (< 1 improves it).
+  double scale_factor = 0.1;
+};
+
+/// One entry per quantified basic event, sorted by improvement (largest
+/// first). Events with fixed probabilities and unquantified leaves are
+/// scaled on their probability directly.
+std::vector<SensitivityEntry> rate_sensitivity(
+    const FaultTree& tree, const SensitivityOptions& options = {});
+
+std::string render_sensitivity(const std::vector<SensitivityEntry>& entries);
+
+}  // namespace ftsynth

@@ -1,0 +1,195 @@
+#include "analysis/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+bool has_temporal_gates(const FaultTree& tree) {
+  bool found = false;
+  tree.for_each_reachable([&](const FtNode& node) {
+    if (node.kind() == NodeKind::kGate && node.gate() == GateKind::kPand)
+      found = true;
+  });
+  return found;
+}
+
+namespace {
+
+/// A function of s in the family  sum_i c_i * exp(-a_i * s)  (a_i >= 0).
+/// Closed under the two operations the ordered-probability recursion needs:
+/// multiplication by lambda * exp(-lambda s) and integration from 0 to s.
+class ExpSum {
+ public:
+  void add_term(double coefficient, double rate) {
+    for (auto& [a, c] : terms_) {
+      if (std::abs(a - rate) < 1e-15 * (1.0 + std::abs(rate))) {
+        c += coefficient;
+        return;
+      }
+    }
+    terms_.emplace_back(rate, coefficient);
+  }
+
+  /// this(s) * lambda * exp(-lambda * s)
+  ExpSum times_exponential(double lambda) const {
+    ExpSum out;
+    for (const auto& [a, c] : terms_) out.add_term(c * lambda, a + lambda);
+    return out;
+  }
+
+  /// F(s) = integral_0^s this(u) du. Every term must have rate > 0 (true
+  /// throughout the recursion: see the caller).
+  ExpSum integral() const {
+    ExpSum out;
+    for (const auto& [a, c] : terms_) {
+      check_internal(a > 0.0, "ExpSum::integral needs positive rates");
+      out.add_term(c / a, 0.0);  // the constant part
+      out.add_term(-c / a, a);
+    }
+    return out;
+  }
+
+  double evaluate(double s) const {
+    double total = 0.0;
+    for (const auto& [a, c] : terms_) total += c * std::exp(-a * s);
+    return total;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> terms_;  // (rate, coefficient)
+};
+
+}  // namespace
+
+double ordered_exponential_probability(const std::vector<double>& rates,
+                                       double mission_time_hours) {
+  require(mission_time_hours >= 0.0, ErrorKind::kAnalysis,
+          "mission time must be >= 0");
+  for (double rate : rates) {
+    require(rate > 0.0, ErrorKind::kAnalysis,
+            "ordered_exponential_probability needs positive rates");
+  }
+  // F_0(s) = 1;  f_j(s) = lambda_j e^{-lambda_j s} F_{j-1}(s);
+  // F_j(s) = int_0^s f_j.  The result is F_k(t).
+  ExpSum cumulative;
+  cumulative.add_term(1.0, 0.0);
+  for (double rate : rates) {
+    cumulative = cumulative.times_exponential(rate).integral();
+  }
+  return cumulative.evaluate(mission_time_hours);
+}
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Occurrence time of a node under one sampled scenario, or kNever.
+double occurrence_time(const FtNode* node,
+                       const std::unordered_map<const FtNode*, double>& leaf_times,
+                       std::unordered_map<const FtNode*, double>& memo) {
+  if (auto it = memo.find(node); it != memo.end()) return it->second;
+  double time = kNever;
+  switch (node->kind()) {
+    case NodeKind::kHouse:
+      time = 0.0;
+      break;
+    case NodeKind::kBasic:
+    case NodeKind::kUndeveloped:
+    case NodeKind::kLoop:
+      time = leaf_times.at(node);
+      break;
+    case NodeKind::kGate: {
+      switch (node->gate()) {
+        case GateKind::kNot:
+          throw Error(ErrorKind::kAnalysis,
+                      "timed_monte_carlo does not support NOT gates");
+        case GateKind::kOr: {
+          time = kNever;
+          for (const FtNode* child : node->children()) {
+            time = std::min(time,
+                            occurrence_time(child, leaf_times, memo));
+          }
+          break;
+        }
+        case GateKind::kAnd: {
+          time = 0.0;
+          for (const FtNode* child : node->children()) {
+            time = std::max(time,
+                            occurrence_time(child, leaf_times, memo));
+          }
+          break;
+        }
+        case GateKind::kPand: {
+          time = 0.0;
+          double previous = -kNever;
+          for (const FtNode* child : node->children()) {
+            const double t = occurrence_time(child, leaf_times, memo);
+            if (t == kNever || t < previous) {
+              time = kNever;  // missing or out of order
+              break;
+            }
+            previous = t;
+            time = std::max(time, t);
+          }
+          break;
+        }
+      }
+      break;
+    }
+  }
+  memo.emplace(node, time);
+  return time;
+}
+
+}  // namespace
+
+TimedMonteCarloResult timed_monte_carlo(
+    const FaultTree& tree, const TimedMonteCarloOptions& options) {
+  TimedMonteCarloResult result;
+  result.trials = options.trials;
+  if (tree.top() == nullptr || options.trials == 0) return result;
+
+  const double horizon = options.probability.mission_time_hours;
+  std::vector<const FtNode*> leaves = tree.leaves();
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  std::unordered_map<const FtNode*, double> leaf_times;
+  std::unordered_map<const FtNode*, double> memo;
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    leaf_times.clear();
+    memo.clear();
+    for (const FtNode* leaf : leaves) {
+      double time = kNever;
+      if (leaf->kind() == NodeKind::kHouse) {
+        time = 0.0;
+      } else if (leaf->kind() == NodeKind::kBasic && !leaf->has_fixed_probability() &&
+                 leaf->rate() > 0.0) {
+        // Exp(lambda) failure time; beyond the horizon = never.
+        const double sample = -std::log(1.0 - uniform(rng)) / leaf->rate();
+        if (sample <= horizon) time = sample;
+      } else {
+        // Fixed-probability / unquantified leaves: occur with their
+        // probability at a uniform time within the mission.
+        const double p = event_probability(*leaf, options.probability);
+        if (p > 0.0 && uniform(rng) < p) time = uniform(rng) * horizon;
+      }
+      leaf_times.emplace(leaf, time);
+    }
+    if (occurrence_time(tree.top(), leaf_times, memo) < kNever)
+      ++result.occurrences;
+  }
+  result.estimate = static_cast<double>(result.occurrences) /
+                    static_cast<double>(result.trials);
+  result.std_error = std::sqrt(result.estimate * (1.0 - result.estimate) /
+                               static_cast<double>(result.trials));
+  return result;
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,59 @@
+// Temporal (priority-AND) quantification.
+//
+// The Pandora line of work -- the direct successor of this paper's method
+// in the same research group -- extends fault trees with order-sensitive
+// gates. GateKind::kPand ("priority AND") occurs when all children occur
+// AND their occurrence times are non-decreasing left to right.
+//
+// The untimed engines in this library deliberately treat PAND as AND
+// (a sound upper bound for probabilities and event sets); this module
+// provides the genuinely temporal quantification:
+//
+//  * a closed form for the canonical case -- independent exponential
+//    events observed over a mission time;
+//  * a timed Monte Carlo evaluator for arbitrary coherent trees with PAND
+//    gates (each basic event fails at an Exp(lambda) time; AND = max,
+//    OR = min of occurring children; PAND additionally checks the order).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/probability.h"
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+/// True if any reachable gate of `tree` is a PAND.
+bool has_temporal_gates(const FaultTree& tree);
+
+/// Exact P[T1 < T2 < ... < Tk <= t] for independent exponentials with the
+/// given rates (all > 0). Computed symbolically in the exponential-sum
+/// family, so it is exact up to floating point for any k. With k = 0 the
+/// result is 1; throws ErrorKind::kAnalysis on non-positive rates.
+double ordered_exponential_probability(const std::vector<double>& rates,
+                                       double mission_time_hours);
+
+struct TimedMonteCarloOptions {
+  std::size_t trials = 20000;
+  std::uint64_t seed = 20010702;
+  ProbabilityOptions probability;  ///< mission time + default probability
+};
+
+struct TimedMonteCarloResult {
+  std::size_t trials = 0;
+  std::size_t occurrences = 0;
+  double estimate = 0.0;
+  double std_error = 0.0;
+};
+
+/// Estimates P[top occurs within the mission time] respecting PAND order.
+/// Basic events with rates fail at Exp(lambda) times; fixed-probability and
+/// unquantified leaves fail at a uniform random time within the mission
+/// with their (fixed / default) probability. Throws ErrorKind::kAnalysis on
+/// NOT gates (non-coherent trees have no timed occurrence semantics here).
+TimedMonteCarloResult timed_monte_carlo(
+    const FaultTree& tree, const TimedMonteCarloOptions& options = {});
+
+}  // namespace ftsynth

@@ -1,0 +1,152 @@
+#include "bdd/bdd.h"
+
+#include <climits>
+#include <unordered_set>
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+namespace {
+constexpr int kTerminalVar = INT_MAX;
+}
+
+Bdd::Bdd() {
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true
+}
+
+int Bdd::new_var() { return var_count_++; }
+
+Bdd::Ref Bdd::make(int var, Ref low, Ref high) {
+  if (low == high) return low;
+  UniqueKey key{var, low, high};
+  if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+  check_internal(nodes_.size() < UINT32_MAX, "BDD node table overflow");
+  Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+Bdd::Ref Bdd::var(int v) {
+  check_internal(v >= 0 && v < var_count_, "BDD variable out of range");
+  return make(v, kFalse, kTrue);
+}
+
+Bdd::Ref Bdd::nvar(int v) {
+  check_internal(v >= 0 && v < var_count_, "BDD variable out of range");
+  return make(v, kTrue, kFalse);
+}
+
+Bdd::Ref Bdd::apply_not(Ref a) {
+  if (a == kFalse) return kTrue;
+  if (a == kTrue) return kFalse;
+  OpKey key{Op::kNot, a, 0};
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const Node n = nodes_[a];
+  Ref result = make(n.var, apply_not(n.low), apply_not(n.high));
+  cache_.emplace(key, result);
+  return result;
+}
+
+Bdd::Ref Bdd::apply(Op op, Ref a, Ref b) {
+  switch (op) {
+    case Op::kAnd:
+      if (a == kFalse || b == kFalse) return kFalse;
+      if (a == kTrue) return b;
+      if (b == kTrue) return a;
+      if (a == b) return a;
+      break;
+    case Op::kOr:
+      if (a == kTrue || b == kTrue) return kTrue;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return a;
+      break;
+    case Op::kXor:
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return kFalse;
+      if (a == kTrue) return apply_not(b);
+      if (b == kTrue) return apply_not(a);
+      break;
+    case Op::kNot:
+      check_internal(false, "kNot goes through apply_not");
+  }
+  // Commutative ops: canonicalise the operand order for the cache.
+  if (a > b) std::swap(a, b);
+  OpKey key{op, a, b};
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  // Copy: the recursive apply() below may grow nodes_ and invalidate
+  // references into it.
+  const Node na = nodes_[a];
+  const Node nb = nodes_[b];
+  const int v = std::min(na.var, nb.var);
+  const Ref a_low = na.var == v ? na.low : a;
+  const Ref a_high = na.var == v ? na.high : a;
+  const Ref b_low = nb.var == v ? nb.low : b;
+  const Ref b_high = nb.var == v ? nb.high : b;
+  Ref result = make(v, apply(op, a_low, b_low), apply(op, a_high, b_high));
+  cache_.emplace(key, result);
+  return result;
+}
+
+Bdd::Ref Bdd::apply_and(Ref a, Ref b) { return apply(Op::kAnd, a, b); }
+Bdd::Ref Bdd::apply_or(Ref a, Ref b) { return apply(Op::kOr, a, b); }
+Bdd::Ref Bdd::apply_xor(Ref a, Ref b) { return apply(Op::kXor, a, b); }
+
+Bdd::Ref Bdd::ite(Ref f, Ref g, Ref h) {
+  return apply_or(apply_and(f, g), apply_and(apply_not(f), h));
+}
+
+std::size_t Bdd::node_count(Ref a) const {
+  if (is_terminal(a)) return 0;
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{a};
+  while (!stack.empty()) {
+    Ref ref = stack.back();
+    stack.pop_back();
+    if (is_terminal(ref) || !seen.insert(ref).second) continue;
+    stack.push_back(nodes_[ref].low);
+    stack.push_back(nodes_[ref].high);
+  }
+  return seen.size();
+}
+
+bool Bdd::evaluate(Ref a, const std::vector<bool>& assignment) const {
+  while (!is_terminal(a)) {
+    const Node& n = nodes_[a];
+    check_internal(static_cast<std::size_t>(n.var) < assignment.size(),
+                   "assignment too short for BDD evaluation");
+    a = assignment[static_cast<std::size_t>(n.var)] ? n.high : n.low;
+  }
+  return a == kTrue;
+}
+
+double Bdd::sat_count(Ref a) const {
+  // count(n) over remaining variables below var(n); scale at the top.
+  std::unordered_map<Ref, double> memo;
+  auto count = [&](auto&& self, Ref ref) -> double {
+    if (ref == kFalse) return 0.0;
+    if (ref == kTrue) return 1.0;
+    if (auto it = memo.find(ref); it != memo.end()) return it->second;
+    const Node& n = nodes_[ref];
+    auto weight = [&](Ref child) {
+      const int child_var =
+          is_terminal(child) ? var_count_ : nodes_[child].var;
+      // Variables skipped between this node and the child are free.
+      return self(self, child) *
+             static_cast<double>(1ULL << (child_var - n.var - 1));
+    };
+    double result = weight(n.low) + weight(n.high);
+    memo.emplace(ref, result);
+    return result;
+  };
+  if (a == kFalse) return 0.0;
+  const int top_var = is_terminal(a) ? var_count_ : nodes_[a].var;
+  return count(count, a) * static_cast<double>(1ULL << top_var);
+}
+
+}  // namespace ftsynth

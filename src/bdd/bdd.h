@@ -1,0 +1,120 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// The analysis layer uses BDDs as its exact engine: top-event probability
+// without the rare-event approximation, equivalence checks between trees
+// (design-iteration comparisons), and an oracle for the MOCUS cut-set
+// engine in the property tests. 2001-era FTA tools (the Fault Tree Plus of
+// the paper's tool chain) shipped exactly this pairing of a classical
+// cut-set engine with an exact evaluator.
+//
+// Implementation: classic ROBDD with a unique table and an operation cache.
+// No complement edges; variables are ordered by creation index.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ftsynth {
+
+/// A BDD manager owning every node it creates. References (BddRef) stay
+/// valid for the manager's lifetime; functions from different managers must
+/// not be mixed.
+class Bdd {
+ public:
+  using Ref = std::uint32_t;
+
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  Bdd();
+
+  /// Declares a fresh variable; variables are ordered by declaration.
+  int new_var();
+
+  int var_count() const noexcept { return var_count_; }
+
+  /// The function "variable v" / "NOT variable v".
+  Ref var(int v);
+  Ref nvar(int v);
+
+  Ref apply_not(Ref a);
+  Ref apply_and(Ref a, Ref b);
+  Ref apply_or(Ref a, Ref b);
+  Ref apply_xor(Ref a, Ref b);
+
+  /// If-then-else: f ? g : h.
+  Ref ite(Ref f, Ref g, Ref h);
+
+  bool is_true(Ref a) const noexcept { return a == kTrue; }
+  bool is_false(Ref a) const noexcept { return a == kFalse; }
+
+  /// Number of distinct nodes in the subgraph of `a` (terminals excluded).
+  std::size_t node_count(Ref a) const;
+
+  /// Total nodes allocated by this manager.
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Evaluates under a full assignment (indexed by variable).
+  bool evaluate(Ref a, const std::vector<bool>& assignment) const;
+
+  /// Number of satisfying assignments over all declared variables.
+  double sat_count(Ref a) const;
+
+  // Structural access (used by probability / cut-set extraction).
+  struct Node {
+    int var;   ///< decision variable; terminals use a sentinel
+    Ref low;   ///< cofactor with var = false
+    Ref high;  ///< cofactor with var = true
+  };
+  const Node& node(Ref a) const { return nodes_[a]; }
+  bool is_terminal(Ref a) const noexcept { return a <= kTrue; }
+
+ private:
+  Ref make(int var, Ref low, Ref high);
+
+  enum class Op : std::uint8_t { kAnd, kOr, kXor, kNot };
+
+  struct UniqueKey {
+    int var;
+    Ref low;
+    Ref high;
+    friend bool operator==(const UniqueKey& a, const UniqueKey& b) noexcept {
+      return a.var == b.var && a.low == b.low && a.high == b.high;
+    }
+  };
+  struct UniqueHash {
+    std::size_t operator()(const UniqueKey& k) const noexcept {
+      std::size_t h = static_cast<std::size_t>(k.var);
+      h = h * 1000003u ^ k.low;
+      h = h * 1000003u ^ k.high;
+      return h;
+    }
+  };
+  struct OpKey {
+    Op op;
+    Ref a;
+    Ref b;
+    friend bool operator==(const OpKey& x, const OpKey& y) noexcept {
+      return x.op == y.op && x.a == y.a && x.b == y.b;
+    }
+  };
+  struct OpHash {
+    std::size_t operator()(const OpKey& k) const noexcept {
+      std::size_t h = static_cast<std::size_t>(k.op);
+      h = h * 1000003u ^ k.a;
+      h = h * 1000003u ^ k.b;
+      return h;
+    }
+  };
+
+  Ref apply(Op op, Ref a, Ref b);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, Ref, UniqueHash> unique_;
+  std::unordered_map<OpKey, Ref, OpHash> cache_;
+  int var_count_ = 0;
+};
+
+}  // namespace ftsynth

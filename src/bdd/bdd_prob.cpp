@@ -1,0 +1,74 @@
+#include "bdd/bdd_prob.h"
+
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+namespace {
+
+double probability_rec(const Bdd& bdd, Bdd::Ref f,
+                       const std::vector<double>& probabilities,
+                       std::unordered_map<Bdd::Ref, double>& memo) {
+  if (bdd.is_false(f)) return 0.0;
+  if (bdd.is_true(f)) return 1.0;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const Bdd::Node& n = bdd.node(f);
+  check_internal(static_cast<std::size_t>(n.var) < probabilities.size(),
+                 "probability vector too short for BDD");
+  const double p = probabilities[static_cast<std::size_t>(n.var)];
+  const double result =
+      p * probability_rec(bdd, n.high, probabilities, memo) +
+      (1.0 - p) * probability_rec(bdd, n.low, probabilities, memo);
+  memo.emplace(f, result);
+  return result;
+}
+
+// Restricts f by fixing variable v to `value`.
+Bdd::Ref restrict_var(Bdd& bdd, Bdd::Ref f, int v, bool value,
+                      std::unordered_map<Bdd::Ref, Bdd::Ref>& memo) {
+  if (bdd.is_terminal(f)) return f;
+  const Bdd::Node n = bdd.node(f);
+  if (n.var > v) return f;  // v cannot appear below (ordering)
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  Bdd::Ref result;
+  if (n.var == v) {
+    result = value ? n.high : n.low;
+  } else {
+    Bdd::Ref low = restrict_var(bdd, n.low, v, value, memo);
+    Bdd::Ref high = restrict_var(bdd, n.high, v, value, memo);
+    // Rebuild through ite on the decision variable to stay reduced.
+    result = bdd.ite(bdd.var(n.var), high, low);
+  }
+  memo.emplace(f, result);
+  return result;
+}
+
+}  // namespace
+
+double bdd_probability(const Bdd& bdd, Bdd::Ref f,
+                       const std::vector<double>& probabilities) {
+  std::unordered_map<Bdd::Ref, double> memo;
+  return probability_rec(bdd, f, probabilities, memo);
+}
+
+double bdd_birnbaum(Bdd& bdd, Bdd::Ref f,
+                    const std::vector<double>& probabilities, int v) {
+  std::unordered_map<Bdd::Ref, Bdd::Ref> memo_high;
+  std::unordered_map<Bdd::Ref, Bdd::Ref> memo_low;
+  Bdd::Ref f_high = restrict_var(bdd, f, v, true, memo_high);
+  Bdd::Ref f_low = restrict_var(bdd, f, v, false, memo_low);
+  return bdd_probability(bdd, f_high, probabilities) -
+         bdd_probability(bdd, f_low, probabilities);
+}
+
+double bdd_probability_given(Bdd& bdd, Bdd::Ref f,
+                             const std::vector<double>& probabilities, int v,
+                             bool value) {
+  std::unordered_map<Bdd::Ref, Bdd::Ref> memo;
+  return bdd_probability(bdd, restrict_var(bdd, f, v, value, memo),
+                         probabilities);
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,33 @@
+// Exact probability of a BDD-encoded boolean function under independent
+// per-variable probabilities. Because every variable occurs at most once on
+// any root-to-terminal path of an ROBDD, Shannon expansion gives the exact
+// probability in one linear pass:
+//
+//   P(node v) = p_v * P(high) + (1 - p_v) * P(low)
+
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace ftsynth {
+
+/// Exact P[f = true] with P[var i = true] = probabilities[i].
+/// `probabilities` must cover every variable appearing in `f`.
+double bdd_probability(const Bdd& bdd, Bdd::Ref f,
+                       const std::vector<double>& probabilities);
+
+/// Birnbaum importance of variable `v`: P[f | v=1] - P[f | v=0], computed
+/// exactly on the BDD. Non-const: restriction may allocate nodes (existing
+/// references remain valid).
+double bdd_birnbaum(Bdd& bdd, Bdd::Ref f,
+                    const std::vector<double>& probabilities, int v);
+
+/// Exact P[f | v = value] (conditional probability with the variable
+/// pinned). Non-const for the same reason as bdd_birnbaum.
+double bdd_probability_given(Bdd& bdd, Bdd::Ref f,
+                             const std::vector<double>& probabilities, int v,
+                             bool value);
+
+}  // namespace ftsynth

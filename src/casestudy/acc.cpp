@@ -1,0 +1,129 @@
+// Adaptive cruise control side of the SETTA demonstrator: radar sensor,
+// ACC node (tracker + speed controller + bus tx) and the vehicle-speed
+// sensing that closes the distributed cruise control loop.
+
+#include "casestudy/internal.h"
+
+namespace ftsynth::setta::detail {
+
+void add_acc(ModelBuilder& b, const BbwConfig& config) {
+  Block& root = b.root();
+
+  // Radar environment and sensor.
+  b.inport(root, "radar_scene");
+  Block& radar = b.basic(root, "radar_sensor");
+  radar.set_description("forward radar");
+  b.in(radar, "scene");
+  b.out(radar, "echo");
+  b.malfunction(radar, "radar_blind", rates::kRadarBlind,
+                "radar loses the target (blindness, weather)");
+  b.malfunction(radar, "radar_ghost", rates::kRadarGhost,
+                "radar reports a non-existent target");
+  b.annotate(radar, "Omission-echo", "radar_blind OR Omission-scene");
+  b.annotate(radar, "Value-echo", "Value-scene");
+  b.annotate(radar, "Commission-echo", "radar_ghost OR Commission-scene",
+             "a ghost target can trigger spurious braking");
+  b.connect(root, "radar_scene", "radar_sensor.scene");
+
+  // Vehicle speed sensor feeding the ACC (closes the outer loop).
+  Block& vsensor = b.basic(root, "vspeed_sensor");
+  vsensor.set_description("vehicle speed sensor for the ACC");
+  b.in(vsensor, "v");
+  b.out(vsensor, "speed");
+  b.malfunction(vsensor, "vs_open", rates::kSensorOpen,
+                "speed sensor open circuit");
+  b.malfunction(vsensor, "vs_stuck", rates::kSensorStuck,
+                "speed sensor stuck");
+  b.annotate(vsensor, "Omission-speed", "vs_open OR Omission-v");
+  b.annotate(vsensor, "Value-speed", "vs_stuck OR Value-v");
+  b.connect(root, "vehicle.speed", "vspeed_sensor.v");
+
+  // The ACC node (programmable, Renault part).
+  Block& node = b.subsystem(root, "acc_node");
+  node.set_description("adaptive cruise control node");
+  const std::vector<std::string> outputs =
+      config.buses >= 2 ? std::vector<std::string>{"request_a", "request_b"}
+                        : std::vector<std::string>{"request_a"};
+  b.inport(node, "radar");
+  b.inport(node, "speed");
+
+  Block& tracker = b.basic(node, "tracker");
+  tracker.set_description("target tracking task");
+  b.in(tracker, "radar");
+  b.out(tracker, "target");
+  b.malfunction(tracker, "tracker_defect", rates::kTaskDefect,
+                "residual defect in the tracking filter");
+  b.annotate(tracker, "Omission-target", "tracker_defect OR Omission-radar");
+  b.annotate(tracker, "Value-target", "tracker_defect OR Value-radar");
+  b.annotate(tracker, "Commission-target", "Commission-radar");
+  b.connect(node, "radar", "tracker.radar");
+
+  Block& ctrl = b.basic(node, "speed_ctrl");
+  ctrl.set_description("distance / speed control law (distributed loop)");
+  b.in(ctrl, "target");
+  b.in(ctrl, "speed");
+  b.out(ctrl, "request");
+  b.malfunction(ctrl, "sc_defect", rates::kTaskDefect,
+                "residual defect in the control law");
+  b.annotate(ctrl, "Omission-request", "sc_defect OR Omission-target",
+             "no target, no ACC braking request");
+  b.annotate(ctrl, "Value-request",
+             "sc_defect OR Value-target OR Value-speed");
+  b.annotate(ctrl, "Commission-request",
+             "sc_defect OR Commission-target OR Value-speed",
+             "a wrong speed reading can raise a spurious request");
+  b.connect(node, "tracker.target", "speed_ctrl.target");
+  b.connect(node, "speed", "speed_ctrl.speed");
+
+  // Scheduler + transmit task, as on the pedal node.
+  Block& scheduler = b.basic(node, "acc_sched");
+  scheduler.set_description("time-triggered dispatch of the ACC tx slot");
+  b.out(scheduler, "tick");
+  b.malfunction(scheduler, "sched_crash", rates::kTaskDefect,
+                "scheduler task crash");
+  b.malfunction(scheduler, "clock_drift", rates::kBusLate,
+                "oscillator drift beyond the TT tolerance");
+  b.annotate(scheduler, "Omission-tick", "sched_crash");
+  b.annotate(scheduler, "Late-tick", "clock_drift");
+
+  Block& tx = b.basic(node, "acc_tx");
+  tx.set_description("broadcasts the ACC request on the buses");
+  b.in(tx, "request");
+  b.trigger(tx, "sched");
+  b.malfunction(tx, "tx_defect", rates::kTaskDefect,
+                "residual defect in the transmit task");
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const std::string frame = i == 0 ? "frame_a" : "frame_b";
+    b.out(tx, frame);
+    b.annotate(tx, "Omission-" + frame, "tx_defect OR Omission-request");
+    b.annotate(tx, "Value-" + frame, "tx_defect OR Value-request");
+    b.annotate(tx, "Late-" + frame, "Late-request OR Late-sched");
+    b.annotate(tx, "Commission-" + frame, "Commission-request");
+    b.outport(node, outputs[i]);
+    b.connect(node, "acc_tx." + frame, outputs[i]);
+  }
+  b.connect(node, "speed_ctrl.request", "acc_tx.request");
+  b.connect(node, "acc_sched.tick", "acc_tx.sched");
+
+  // Hardware common cause of the ACC node (Figure 3).
+  b.malfunction(node, "cpu_failure", rates::kCpu, "node processor failure");
+  b.malfunction(node, "power_loss", rates::kPower, "node power supply loss");
+  b.malfunction(node, "emi", rates::kEmi,
+                "electromagnetic interference at the node");
+  for (const std::string& output : outputs) {
+    b.annotate(node, "Omission-" + output, "cpu_failure OR power_loss");
+    b.annotate(node, "Value-" + output, "emi");
+  }
+
+  // Root wiring: sensors in, buses out, arbiter in.
+  b.connect(root, "radar_sensor.echo", "acc_node.radar");
+  b.connect(root, "vspeed_sensor.speed", "acc_node.speed");
+  b.connect(root, "acc_node.request_a", "bus_a.acc_in");
+  b.connect(root, "bus_a.acc_out", "pedal_node.acc_a");
+  if (config.buses >= 2) {
+    b.connect(root, "acc_node.request_b", "bus_b.acc_in");
+    b.connect(root, "bus_b.acc_out", "pedal_node.acc_b");
+  }
+}
+
+}  // namespace ftsynth::setta::detail

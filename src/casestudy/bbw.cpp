@@ -1,0 +1,447 @@
+// Brake-by-wire side of the SETTA demonstrator: pedal path, buses, wheel
+// nodes, vehicle dynamics and the data-store diagnostics monitor.
+
+#include <string>
+#include <vector>
+
+#include "casestudy/internal.h"
+
+namespace ftsynth::setta {
+
+std::vector<std::string> corners(int wheels) {
+  static const std::vector<std::string> all{"fl", "fr", "rl", "rr"};
+  return {all.begin(), all.begin() + wheels};
+}
+
+namespace detail {
+
+namespace {
+
+std::vector<std::string> bus_names(const BbwConfig& config) {
+  std::vector<std::string> names{"bus_a"};
+  if (config.buses >= 2) names.push_back("bus_b");
+  return names;
+}
+
+/// The Figure 3 hardware common-cause analysis of a programmable node:
+/// processor or power loss silences every output; EMI corrupts them.
+void annotate_node_hardware(ModelBuilder& b, Block& node,
+                            const std::vector<std::string>& outputs) {
+  b.malfunction(node, "cpu_failure", rates::kCpu, "node processor failure");
+  b.malfunction(node, "power_loss", rates::kPower, "node power supply loss");
+  b.malfunction(node, "emi", rates::kEmi,
+                "electromagnetic interference at the node");
+  for (const std::string& output : outputs) {
+    b.annotate(node, "Omission-" + output, "cpu_failure OR power_loss",
+               "hardware failure silences the node");
+    b.annotate(node, "Value-" + output, "emi",
+               "EMI corrupts the node outputs");
+  }
+}
+
+}  // namespace
+
+void add_pedal_path(ModelBuilder& b, const BbwConfig& config) {
+  Block& root = b.root();
+  b.inport(root, "pedal_demand", FlowKind::kMaterial);
+
+  // Redundant pedal sensors at root level (hardware, outside the node).
+  for (int i = 1; i <= config.pedal_sensors; ++i) {
+    Block& sensor = b.basic(root, "pedal_sensor_" + std::to_string(i));
+    sensor.set_description("brake pedal position sensor " +
+                           std::to_string(i));
+    b.in(sensor, "demand", FlowKind::kMaterial);
+    b.out(sensor, "signal");
+    b.malfunction(sensor, "open_circuit", rates::kSensorOpen,
+                  "sensor open circuit");
+    b.malfunction(sensor, "stuck", rates::kSensorStuck,
+                  "sensor stuck at last value");
+    b.malfunction(sensor, "bias", rates::kSensorBias, "sensor bias drift");
+    b.annotate(sensor, "Omission-signal", "open_circuit OR Omission-demand");
+    b.annotate(sensor, "Value-signal", "stuck OR bias OR Value-demand");
+    b.annotate(sensor, "Late-signal", "Late-demand");
+    b.annotate(sensor, "Commission-signal", "Commission-demand");
+    b.connect(root, "pedal_demand", "pedal_sensor_" + std::to_string(i) +
+                                        ".demand");
+  }
+
+  // The pedal node (programmable, DaimlerChrysler part).
+  Block& node = b.subsystem(root, "pedal_node");
+  node.set_description("brake pedal node: voting, arbitration, bus tx");
+  for (int i = 1; i <= config.pedal_sensors; ++i)
+    b.inport(node, "s" + std::to_string(i));
+  if (config.with_acc) {
+    b.inport(node, "acc_a");
+    if (config.buses >= 2) b.inport(node, "acc_b");
+  }
+
+  // Voter task (only with redundant sensors).
+  std::string driver_source;  // endpoint feeding the arbiter's driver input
+  if (config.pedal_sensors >= 3) {
+    Block& voter = b.basic(node, "voter");
+    voter.set_description("2-of-3 majority voter over the pedal sensors");
+    b.in(voter, "s1");
+    b.in(voter, "s2");
+    b.in(voter, "s3");
+    b.out(voter, "voted");
+    b.malfunction(voter, "voter_defect", rates::kTaskDefect,
+                  "residual defect in the voting logic");
+    b.annotate(voter, "Omission-voted",
+               "voter_defect OR (Omission-s1 AND Omission-s2) OR "
+               "(Omission-s1 AND Omission-s3) OR "
+               "(Omission-s2 AND Omission-s3)",
+               "voting masks a single sensor loss");
+    b.annotate(voter, "Value-voted",
+               "voter_defect OR (Value-s1 AND Value-s2) OR "
+               "(Value-s1 AND Value-s3) OR (Value-s2 AND Value-s3)",
+               "voting masks a single wrong sensor");
+    b.annotate(voter, "Late-voted", "Late-s1 AND Late-s2 AND Late-s3");
+    b.annotate(voter, "Commission-voted",
+               "(Commission-s1 AND Commission-s2) OR "
+               "(Commission-s1 AND Commission-s3) OR "
+               "(Commission-s2 AND Commission-s3)");
+    for (int i = 1; i <= 3; ++i) {
+      b.connect(node, "s" + std::to_string(i),
+                "voter.s" + std::to_string(i));
+    }
+    driver_source = "voter.voted";
+  } else {
+    driver_source = "s1";
+  }
+
+  // Demand arbiter: driver demand has priority over ACC requests.
+  Block& arbiter = b.basic(node, "arbiter");
+  arbiter.set_description("arbitrates driver demand against ACC requests");
+  b.in(arbiter, "driver");
+  if (config.with_acc) {
+    b.in(arbiter, "acc_a");
+    if (config.buses >= 2) b.in(arbiter, "acc_b");
+  }
+  b.out(arbiter, "demand");
+  b.malfunction(arbiter, "arbiter_defect", rates::kTaskDefect,
+                "residual defect in the arbitration logic");
+  b.annotate(arbiter, "Omission-demand", "arbiter_defect OR Omission-driver",
+             "driver braking must never be lost");
+  b.annotate(arbiter, "Value-demand", "arbiter_defect OR Value-driver");
+  b.annotate(arbiter, "Late-demand", "Late-driver");
+  {
+    std::string commission = "arbiter_defect OR Commission-driver";
+    if (config.with_acc) {
+      commission += " OR Commission-acc_a";
+      if (config.buses >= 2) commission += " OR Commission-acc_b";
+    }
+    b.annotate(arbiter, "Commission-demand", commission,
+               "a spurious ACC request on either bus commands braking");
+  }
+  b.connect(node, driver_source, "arbiter.driver");
+  if (config.with_acc) {
+    b.connect(node, "acc_a", "arbiter.acc_a");
+    if (config.buses >= 2) b.connect(node, "acc_b", "arbiter.acc_b");
+  }
+
+  // Time-triggered scheduler driving the transmit task.
+  Block& scheduler = b.basic(node, "scheduler");
+  scheduler.set_description("time-triggered dispatch of the tx slot");
+  b.out(scheduler, "tick");
+  b.malfunction(scheduler, "sched_crash", rates::kTaskDefect,
+                "scheduler task crash");
+  b.malfunction(scheduler, "clock_drift", rates::kBusLate,
+                "oscillator drift beyond the TT tolerance");
+  b.annotate(scheduler, "Omission-tick", "sched_crash");
+  b.annotate(scheduler, "Late-tick", "clock_drift");
+
+  // Bus transmit task (triggered).
+  Block& tx = b.basic(node, "com_tx");
+  tx.set_description("broadcasts the arbitrated demand on the buses");
+  b.in(tx, "demand");
+  b.trigger(tx, "sched");
+  b.malfunction(tx, "tx_defect", rates::kTaskDefect,
+                "residual defect in the transmit task");
+  for (const std::string& suffix :
+       config.buses >= 2 ? std::vector<std::string>{"a", "b"}
+                         : std::vector<std::string>{"a"}) {
+    const std::string frame = "frame_" + suffix;
+    b.out(tx, frame);
+    b.annotate(tx, "Omission-" + frame, "tx_defect OR Omission-demand");
+    b.annotate(tx, "Value-" + frame, "tx_defect OR Value-demand");
+    b.annotate(tx, "Late-" + frame, "Late-demand OR Late-sched",
+               "a late dispatch slot delays the frame");
+    b.annotate(tx, "Commission-" + frame, "Commission-demand");
+    b.outport(node, "demand_" + suffix);
+    b.connect(node, "com_tx." + frame, "demand_" + suffix);
+  }
+  b.connect(node, "arbiter.demand", "com_tx.demand");
+  b.connect(node, "scheduler.tick", "com_tx.sched");
+
+  // Hardware common cause of the pedal node (Figure 3): the node is a
+  // single programmable unit, so its processor/power/EMI hit both frames.
+  {
+    std::vector<std::string> frames{"demand_a"};
+    if (config.buses >= 2) frames.push_back("demand_b");
+    annotate_node_hardware(b, node, frames);
+  }
+
+  // Sensors into the node.
+  for (int i = 1; i <= config.pedal_sensors; ++i) {
+    b.connect(root, "pedal_sensor_" + std::to_string(i) + ".signal",
+              "pedal_node.s" + std::to_string(i));
+  }
+}
+
+void add_buses(ModelBuilder& b, const BbwConfig& config) {
+  Block& root = b.root();
+  const std::vector<std::string> names = bus_names(config);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Block& bus = b.basic(root, names[i]);
+    bus.set_description("replicated time-triggered broadcast bus " +
+                        names[i]);
+    b.malfunction(bus, "bus_failure", rates::kBusFailure,
+                  "bus medium or guardian failure");
+    b.malfunction(bus, "corruption", rates::kBusCorrupt,
+                  "undetected frame corruption");
+    b.malfunction(bus, "overload", rates::kBusLate,
+                  "slot overrun delays frames");
+    std::vector<std::string> channels{"pedal"};
+    if (config.with_acc) channels.push_back("acc");
+    for (const std::string& channel : channels) {
+      b.in(bus, channel + "_in");
+      b.out(bus, channel + "_out");
+      b.annotate(bus, "Omission-" + channel + "_out",
+                 "bus_failure OR Omission-" + channel + "_in");
+      b.annotate(bus, "Value-" + channel + "_out",
+                 "corruption OR Value-" + channel + "_in");
+      b.annotate(bus, "Late-" + channel + "_out",
+                 "overload OR Late-" + channel + "_in");
+      // The TT bus guardian prevents bus-generated commission: only an
+      // upstream commission propagates.
+      b.annotate(bus, "Commission-" + channel + "_out",
+                 "Commission-" + channel + "_in");
+    }
+    const std::string suffix = i == 0 ? "a" : "b";
+    b.connect(root, "pedal_node.demand_" + suffix, names[i] + ".pedal_in");
+  }
+}
+
+void add_wheel(ModelBuilder& b, const BbwConfig& config,
+               const std::string& corner) {
+  Block& root = b.root();
+  const std::vector<std::string> buses = bus_names(config);
+
+  Block& node = b.subsystem(root, "wheel_" + corner);
+  node.set_description("wheel brake node " + corner +
+                       ": bus rx, control loop, PWM");
+  annotate_node_hardware(b, node, {"force_cmd"});
+
+  b.inport(node, "bus_a");
+  if (config.buses >= 2) b.inport(node, "bus_b");
+  b.inport(node, "speed");
+
+  // Bus receive task: tolerates the loss of one bus, but a corrupted value
+  // on either bus gets through (a deliberate weak area the analysis must
+  // expose -- two buses can detect but not out-vote a value failure).
+  Block& rx = b.basic(node, "com_rx");
+  rx.set_description("receives the demand frames from the buses");
+  b.in(rx, "a");
+  if (config.buses >= 2) b.in(rx, "b");
+  b.out(rx, "demand");
+  b.malfunction(rx, "rx_defect", rates::kTaskDefect,
+                "residual defect in the receive task");
+  if (config.buses >= 2) {
+    b.annotate(rx, "Omission-demand",
+               "rx_defect OR (Omission-a AND Omission-b)",
+               "replication masks a single bus loss");
+    b.annotate(rx, "Value-demand", "rx_defect OR Value-a OR Value-b",
+               "no voting across two buses: either corruption wins");
+    b.annotate(rx, "Late-demand", "rx_defect OR (Late-a AND Late-b)");
+    b.annotate(rx, "Commission-demand", "Commission-a OR Commission-b");
+  } else {
+    b.annotate(rx, "Omission-demand", "rx_defect OR Omission-a");
+    b.annotate(rx, "Value-demand", "rx_defect OR Value-a");
+    b.annotate(rx, "Late-demand", "rx_defect OR Late-a");
+    b.annotate(rx, "Commission-demand", "Commission-a");
+  }
+  b.connect(node, "bus_a", "com_rx.a");
+  if (config.buses >= 2) b.connect(node, "bus_b", "com_rx.b");
+
+  // Brake controller: closed loop with the wheel speed.
+  Block& ctrl = b.basic(node, "brake_ctrl");
+  ctrl.set_description("wheel slip controller (local control loop)");
+  b.in(ctrl, "demand");
+  b.in(ctrl, "speed");
+  b.out(ctrl, "cmd");
+  b.malfunction(ctrl, "ctrl_defect", rates::kTaskDefect,
+                "residual defect in the control law");
+  b.annotate(ctrl, "Omission-cmd", "ctrl_defect OR Omission-demand");
+  b.annotate(ctrl, "Value-cmd",
+             "ctrl_defect OR Value-demand OR Value-speed",
+             "corrupted feedback corrupts the actuation");
+  b.annotate(ctrl, "Late-cmd", "Late-demand");
+  b.annotate(ctrl, "Commission-cmd", "ctrl_defect OR Commission-demand");
+  b.connect(node, "com_rx.demand", "brake_ctrl.demand");
+  b.connect(node, "speed", "brake_ctrl.speed");
+
+  // PWM driver.
+  Block& pwm = b.basic(node, "pwm");
+  pwm.set_description("PWM power stage driving the actuator");
+  b.in(pwm, "cmd");
+  b.out(pwm, "drive");
+  b.malfunction(pwm, "pwm_defect", rates::kTaskDefect,
+                "PWM stage fault");
+  b.annotate(pwm, "Omission-drive", "pwm_defect OR Omission-cmd");
+  b.annotate(pwm, "Value-drive", "pwm_defect OR Value-cmd");
+  b.annotate(pwm, "Late-drive", "Late-cmd");
+  b.annotate(pwm, "Commission-drive", "Commission-cmd");
+  b.connect(node, "brake_ctrl.cmd", "pwm.cmd");
+
+  // Diagnostics tap into the shared status store.
+  if (config.with_monitor) {
+    Block& status = b.basic(node, "status_tx");
+    status.set_description("publishes the actuation status");
+    b.in(status, "cmd");
+    b.out(status, "status");
+    b.malfunction(status, "stx_defect", rates::kTaskDefect,
+                  "status task defect");
+    b.annotate(status, "Omission-status", "stx_defect OR Omission-cmd");
+    b.annotate(status, "Value-status", "stx_defect OR Value-cmd");
+    b.store_write(node, "status_w", "wheel_status");
+    b.connect(node, "brake_ctrl.cmd", "status_tx.cmd");
+    b.connect(node, "status_tx.status", "status_w");
+  }
+
+  b.outport(node, "force_cmd");
+  b.connect(node, "pwm.drive", "force_cmd");
+
+  // Wire the buses in at root level.
+  for (std::size_t i = 0; i < buses.size(); ++i) {
+    const std::string port = i == 0 ? "bus_a" : "bus_b";
+    b.connect(root, buses[i] + ".pedal_out", "wheel_" + corner + "." + port);
+  }
+
+  // The electromechanical actuator (Siemens part, root level).
+  Block& actuator = b.basic(root, "actuator_" + corner);
+  actuator.set_description("electromechanical brake actuator " + corner);
+  b.in(actuator, "cmd");
+  b.out(actuator, "force", FlowKind::kEnergy);
+  b.malfunction(actuator, "jammed", rates::kActuatorJam,
+                "actuator mechanically jammed");
+  b.malfunction(actuator, "coil_open", rates::kActuatorCoil,
+                "actuator coil open circuit");
+  b.annotate(actuator, "Omission-force",
+             "jammed OR coil_open OR Omission-cmd");
+  b.annotate(actuator, "Value-force", "Value-cmd");
+  b.annotate(actuator, "Late-force", "Late-cmd");
+  b.annotate(actuator, "Commission-force", "Commission-cmd",
+             "unintended braking at this wheel");
+  b.connect(root, "wheel_" + corner + ".force_cmd",
+            "actuator_" + corner + ".cmd");
+
+  // Boundary output: braking at this wheel.
+  b.outport(root, "brake_force_" + corner, FlowKind::kEnergy);
+  b.connect(root, "actuator_" + corner + ".force",
+            "brake_force_" + corner);
+}
+
+void add_vehicle(ModelBuilder& b, const BbwConfig& config) {
+  Block& root = b.root();
+  const std::vector<std::string> names = corners(config.wheels);
+
+  // Brake forces mux into the vehicle dynamics.
+  b.mux(root, "force_mux", config.wheels, FlowKind::kEnergy);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    b.connect(root, "actuator_" + names[i] + ".force",
+              "force_mux.in" + std::to_string(i + 1));
+  }
+
+  b.inport(root, "road_load", FlowKind::kEnergy);
+
+  Block& vehicle = b.basic(root, "vehicle");
+  vehicle.set_description(
+      "longitudinal vehicle dynamics (executable plant model)");
+  b.in(vehicle, "forces", FlowKind::kEnergy, config.wheels);
+  b.in(vehicle, "road", FlowKind::kEnergy);
+  b.out(vehicle, "wheel_speeds", FlowKind::kData, config.wheels);
+  b.out(vehicle, "speed");
+  b.malfunction(vehicle, "wheel_lock", rates::kWheelLock,
+                "mechanical wheel/bearing fault");
+  // Physics: any braking misbehaviour shows up in the measured speeds.
+  b.annotate(vehicle, "Value-wheel_speeds",
+             "wheel_lock OR Value-forces OR Commission-forces OR "
+             "Omission-forces OR Value-road");
+  b.annotate(vehicle, "Value-speed",
+             "wheel_lock OR Value-forces OR Commission-forces OR "
+             "Omission-forces OR Value-road");
+  b.connect(root, "force_mux.out", "vehicle.forces");
+  b.connect(root, "road_load", "vehicle.road");
+
+  // Wheel speed sensing back into the wheel nodes (closes the loops).
+  b.demux(root, "speed_demux", config.wheels);
+  b.connect(root, "vehicle.wheel_speeds", "speed_demux.in");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Block& sensor = b.basic(root, "speed_sensor_" + names[i]);
+    sensor.set_description("wheel speed sensor " + names[i]);
+    b.in(sensor, "ws");
+    b.out(sensor, "speed");
+    b.malfunction(sensor, "sensor_open", rates::kSensorOpen,
+                  "speed sensor open circuit");
+    b.malfunction(sensor, "sensor_stuck", rates::kSensorStuck,
+                  "speed sensor stuck");
+    b.annotate(sensor, "Omission-speed", "sensor_open OR Omission-ws");
+    b.annotate(sensor, "Value-speed", "sensor_stuck OR Value-ws");
+    b.connect(root, "speed_demux.out" + std::to_string(i + 1),
+              "speed_sensor_" + names[i] + ".ws");
+    b.connect(root, "speed_sensor_" + names[i] + ".speed",
+              "wheel_" + names[i] + ".speed");
+  }
+
+  // Vehicle speed is also a system observation point.
+  b.outport(root, "vehicle_speed");
+  b.connect(root, "vehicle.speed", "vehicle_speed");
+
+  // Hazard observer for the catastrophic event: loss of the braking
+  // *function* needs every wheel lost simultaneously, while unintended
+  // braking at any single wheel is already hazardous. This is where the
+  // baseline's shared pedal path / single bus shows up as a common cause
+  // that defeats all four "independent" wheel channels.
+  Block& integrity = b.basic(root, "brake_integrity");
+  integrity.set_description("observer for the vehicle-level braking hazard");
+  std::string all_lost;
+  std::string any_spurious;
+  std::string any_wrong;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string port = "f" + std::to_string(i + 1);
+    b.in(integrity, port, FlowKind::kEnergy);
+    b.connect(root, "actuator_" + names[i] + ".force",
+              "brake_integrity." + port);
+    all_lost += (i == 0 ? "" : " AND ") + ("Omission-" + port);
+    any_spurious += (i == 0 ? "" : " OR ") + ("Commission-" + port);
+    any_wrong += (i == 0 ? "" : " OR ") + ("Value-" + port);
+  }
+  b.out(integrity, "braking", FlowKind::kEnergy);
+  b.annotate(integrity, "Omission-braking", all_lost,
+             "total loss of braking: every wheel lost");
+  b.annotate(integrity, "Commission-braking", any_spurious,
+             "unintended braking at any wheel");
+  b.annotate(integrity, "Value-braking", any_wrong);
+  b.outport(root, "total_braking", FlowKind::kEnergy);
+  b.connect(root, "brake_integrity.braking", "total_braking");
+}
+
+void add_monitor(ModelBuilder& b, const BbwConfig& config) {
+  (void)config;
+  Block& root = b.root();
+  b.store_read(root, "status_read", "wheel_status");
+  Block& monitor = b.basic(root, "monitor");
+  monitor.set_description("diagnostics monitor driving the warning lamp");
+  b.in(monitor, "status");
+  b.out(monitor, "lamp");
+  b.malfunction(monitor, "mon_defect", rates::kTaskDefect,
+                "monitor task defect");
+  b.annotate(monitor, "Omission-lamp", "mon_defect OR Omission-status");
+  b.annotate(monitor, "Value-lamp", "mon_defect OR Value-status");
+  b.connect(root, "status_read", "monitor.status");
+  b.outport(root, "warning_lamp");
+  b.connect(root, "monitor.lamp", "warning_lamp");
+}
+
+}  // namespace detail
+}  // namespace ftsynth::setta

@@ -1,0 +1,234 @@
+#include "casestudy/fuel.h"
+
+#include "model/builder.h"
+
+namespace ftsynth::fuel {
+
+namespace {
+
+/// A tank: refuel line in, fuel out. A leak empties it; contamination
+/// corrupts the fuel quality.
+void add_tank(ModelBuilder& b, const std::string& name) {
+  Block& tank = b.basic(b.root(), name);
+  tank.set_description("fuel tank " + name);
+  b.in(tank, "refill", FlowKind::kMaterial);
+  b.out(tank, "fuel", FlowKind::kMaterial);
+  b.malfunction(tank, "leak", rates::kTankLeak, "tank leak empties it");
+  b.malfunction(tank, "contaminated", rates::kContamination,
+                "water / debris in the tank");
+  b.annotate(tank, "Omission-fuel", "leak OR Omission-refill");
+  b.annotate(tank, "Value-fuel", "contaminated OR Value-refill");
+}
+
+/// A motorised valve: fuel in, command in, fuel out. No command = closed.
+void add_valve(ModelBuilder& b, const std::string& name) {
+  Block& valve = b.basic(b.root(), name);
+  valve.set_description("motorised shutoff valve " + name);
+  b.in(valve, "fuel", FlowKind::kMaterial);
+  b.in(valve, "cmd");
+  b.out(valve, "out", FlowKind::kMaterial);
+  b.malfunction(valve, "stuck_closed", rates::kValveStuckClosed,
+                "valve seized closed");
+  b.malfunction(valve, "stuck_open", rates::kValveStuckOpen,
+                "valve seized open");
+  b.annotate(valve, "Omission-out",
+             "stuck_closed OR Omission-fuel OR Omission-cmd",
+             "a lost command closes the valve");
+  b.annotate(valve, "Value-out", "Value-fuel");
+  b.annotate(valve, "Commission-out", "stuck_open AND Commission-cmd",
+             "flow when it should be shut off");
+}
+
+/// A pump: fuel in, electrical power in, pressurised flow out.
+void add_pump(ModelBuilder& b, const std::string& name) {
+  Block& pump = b.basic(b.root(), name);
+  pump.set_description("fuel pump " + name);
+  b.in(pump, "fuel", FlowKind::kMaterial);
+  b.in(pump, "power", FlowKind::kEnergy);
+  b.out(pump, "flow", FlowKind::kMaterial);
+  b.malfunction(pump, "seized", rates::kPumpSeized, "pump seized");
+  b.malfunction(pump, "cavitation", rates::kPumpCavitation,
+                "cavitation degrades delivery");
+  b.annotate(pump, "Omission-flow",
+             "seized OR Omission-fuel OR Omission-power");
+  b.annotate(pump, "Value-flow", "cavitation OR Value-fuel");
+}
+
+}  // namespace
+
+Model build_fuel_system(const FuelConfig& config) {
+  ModelBuilder b("fuel");
+  Block& root = b.root();
+
+  b.inport(root, "refuel", FlowKind::kMaterial);
+
+  // Supply chains.
+  add_tank(b, "main_tank");
+  add_valve(b, "main_valve");
+  add_pump(b, "main_pump");
+  b.connect(root, "refuel", "main_tank.refill");
+  b.connect(root, "main_tank.fuel", "main_valve.fuel");
+  b.connect(root, "main_valve.out", "main_pump.fuel");
+  if (config.with_reserve) {
+    add_tank(b, "reserve_tank");
+    add_valve(b, "reserve_valve");
+    add_pump(b, "standby_pump");
+    b.connect(root, "refuel", "reserve_tank.refill");
+    b.connect(root, "reserve_tank.fuel", "reserve_valve.fuel");
+    b.connect(root, "reserve_valve.out", "standby_pump.fuel");
+  }
+
+  // The shared electrical bus -- the common cause across the redundancy.
+  Block& power = b.basic(root, "power_bus");
+  power.set_description("28 V DC bus feeding both pumps");
+  b.out(power, "rail", FlowKind::kEnergy);
+  b.malfunction(power, "bus_fault", rates::kPowerBus,
+                "electrical bus failure");
+  b.annotate(power, "Omission-rail", "bus_fault");
+  b.connect(root, "power_bus.rail", "main_pump.power");
+  if (config.with_reserve)
+    b.connect(root, "power_bus.rail", "standby_pump.power");
+
+  // Selector: feeds the engine from whichever pump delivers.
+  Block& selector = b.basic(root, "selector");
+  selector.set_description("shuttle valve selecting the live pump");
+  b.in(selector, "main", FlowKind::kMaterial);
+  if (config.with_reserve) b.in(selector, "standby", FlowKind::kMaterial);
+  b.out(selector, "feed", FlowKind::kMaterial);
+  b.malfunction(selector, "jammed", rates::kSelectorJam,
+                "shuttle valve jammed");
+  if (config.with_reserve) {
+    b.annotate(selector, "Omission-feed",
+               "jammed OR (Omission-main AND Omission-standby)",
+               "either chain keeps the engine fed");
+    b.annotate(selector, "Value-feed", "Value-main OR Value-standby");
+  } else {
+    b.annotate(selector, "Omission-feed", "jammed OR Omission-main");
+    b.annotate(selector, "Value-feed", "Value-main");
+  }
+  b.connect(root, "main_pump.flow", "selector.main");
+  if (config.with_reserve)
+    b.connect(root, "standby_pump.flow", "selector.standby");
+
+  // Instrumentation.
+  Block& meter = b.basic(root, "flow_meter");
+  meter.set_description("engine feed flow meter");
+  b.in(meter, "feed", FlowKind::kMaterial);
+  b.out(meter, "reading");
+  b.malfunction(meter, "meter_fault", rates::kMeterFault,
+                "flow meter fault");
+  b.annotate(meter, "Omission-reading", "meter_fault OR Omission-feed");
+  b.annotate(meter, "Value-reading",
+             "meter_fault OR Value-feed OR Omission-feed",
+             "starvation reads as an (incorrect) zero-flow value");
+  b.connect(root, "selector.feed", "flow_meter.feed");
+
+  auto add_level_sensor = [&](const std::string& name,
+                              const std::string& tank) {
+    Block& sensor = b.basic(root, name);
+    sensor.set_description("level sensor on " + tank);
+    b.in(sensor, "fuel", FlowKind::kMaterial);
+    b.out(sensor, "level");
+    b.malfunction(sensor, "sensor_fault", rates::kLevelSensor,
+                  "level sensor fault");
+    b.annotate(sensor, "Omission-level", "sensor_fault");
+    b.annotate(sensor, "Value-level", "sensor_fault OR Omission-fuel",
+               "an empty tank reads like a sensor deviation");
+    b.connect(root, tank + ".fuel", name + ".fuel");
+  };
+  add_level_sensor("level_main", "main_tank");
+  if (config.with_reserve) add_level_sensor("level_reserve", "reserve_tank");
+
+  // The programmable fuel controller (Figure 3 node).
+  Block& controller = b.subsystem(root, "controller");
+  controller.set_description("fuel management controller");
+  b.inport(controller, "flow");
+  b.inport(controller, "lvl_main");
+  if (config.with_reserve) b.inport(controller, "lvl_reserve");
+
+  Block& monitor = b.basic(controller, "level_monitor");
+  monitor.set_description("tank level monitoring task");
+  b.in(monitor, "m");
+  if (config.with_reserve) b.in(monitor, "r");
+  b.out(monitor, "status");
+  b.malfunction(monitor, "mon_defect", rates::kTaskDefect);
+  {
+    std::string omission = "mon_defect OR Omission-m";
+    std::string value = "mon_defect OR Value-m";
+    if (config.with_reserve) {
+      omission += " OR Omission-r";
+      value += " OR Value-r";
+    }
+    b.annotate(monitor, "Omission-status", omission);
+    b.annotate(monitor, "Value-status", value);
+  }
+  b.connect(controller, "lvl_main", "level_monitor.m");
+  if (config.with_reserve)
+    b.connect(controller, "lvl_reserve", "level_monitor.r");
+
+  Block& logic = b.basic(controller, "valve_logic");
+  logic.set_description("valve scheduling against flow demand");
+  b.in(logic, "flow");
+  b.in(logic, "status");
+  b.out(logic, "cmd_main");
+  if (config.with_reserve) b.out(logic, "cmd_reserve");
+  b.out(logic, "warning");
+  b.malfunction(logic, "logic_defect", rates::kTaskDefect);
+  for (const char* cmd : {"cmd_main", "cmd_reserve"}) {
+    if (!config.with_reserve && std::string(cmd) == "cmd_reserve") continue;
+    b.annotate(logic, std::string("Omission-") + cmd,
+               "logic_defect OR (Value-status AND Value-flow)",
+               "the logic shuts a valve only when level AND flow agree on "
+               "an anomaly -- the flow reading closes a control loop");
+    b.annotate(logic, std::string("Commission-") + cmd, "logic_defect");
+  }
+  b.annotate(logic, "Omission-warning",
+             "logic_defect OR Omission-status");
+  b.annotate(logic, "Value-warning", "Value-status OR Value-flow");
+  b.connect(controller, "flow", "valve_logic.flow");
+  b.connect(controller, "level_monitor.status", "valve_logic.status");
+
+  b.outport(controller, "main_cmd");
+  b.connect(controller, "valve_logic.cmd_main", "main_cmd");
+  if (config.with_reserve) {
+    b.outport(controller, "reserve_cmd");
+    b.connect(controller, "valve_logic.cmd_reserve", "reserve_cmd");
+  }
+  b.outport(controller, "warn");
+  b.connect(controller, "valve_logic.warning", "warn");
+
+  // Controller hardware common cause (Figure 3).
+  b.malfunction(controller, "cpu_failure", rates::kCpu,
+                "controller processor failure");
+  b.malfunction(controller, "emi", rates::kEmi,
+                "interference at the controller");
+  b.annotate(controller, "Omission-main_cmd", "cpu_failure");
+  if (config.with_reserve)
+    b.annotate(controller, "Omission-reserve_cmd", "cpu_failure");
+  b.annotate(controller, "Omission-warn", "cpu_failure");
+  b.annotate(controller, "Value-warn", "emi");
+
+  // Root wiring: sensors in, commands out (closing the loop).
+  b.connect(root, "flow_meter.reading", "controller.flow");
+  b.connect(root, "level_main.level", "controller.lvl_main");
+  if (config.with_reserve)
+    b.connect(root, "level_reserve.level", "controller.lvl_reserve");
+  b.connect(root, "controller.main_cmd", "main_valve.cmd");
+  if (config.with_reserve)
+    b.connect(root, "controller.reserve_cmd", "reserve_valve.cmd");
+
+  // System outputs.
+  b.outport(root, "engine_feed", FlowKind::kMaterial);
+  b.connect(root, "selector.feed", "engine_feed");
+  b.outport(root, "low_fuel_warning");
+  b.connect(root, "controller.warn", "low_fuel_warning");
+
+  return b.take();
+}
+
+std::vector<std::string> fuel_top_events(const FuelConfig&) {
+  return {"Omission-engine_feed", "Value-engine_feed",
+          "Omission-low_fuel_warning"};
+}
+
+}  // namespace ftsynth::fuel

@@ -1,0 +1,34 @@
+// Internal composition helpers shared between the SETTA case-study
+// translation units (bbw.cpp, acc.cpp, setta.cpp). Not installed API.
+
+#pragma once
+
+#include "casestudy/setta.h"
+#include "model/builder.h"
+
+namespace ftsynth::setta::detail {
+
+/// Pedal sensors (root level) + the pedal node subsystem (voter, arbiter,
+/// scheduler-triggered bus transmit). Adds the root inport "pedal_demand".
+void add_pedal_path(ModelBuilder& b, const BbwConfig& config);
+
+/// The replicated time-triggered buses "bus_a" / "bus_b" (root level).
+/// Wires pedal_node outputs in; wheel/acc wiring is done by the callers.
+void add_buses(ModelBuilder& b, const BbwConfig& config);
+
+/// One wheel node subsystem + its actuator (root level) for `corner`.
+void add_wheel(ModelBuilder& b, const BbwConfig& config,
+               const std::string& corner);
+
+/// Vehicle dynamics, the force mux and the wheel-speed demux + per-corner
+/// speed sensors; closes the local brake control loops.
+void add_vehicle(ModelBuilder& b, const BbwConfig& config);
+
+/// The ACC node, radar sensor and vehicle-speed sensor; closes the
+/// distributed cruise control loop. Requires add_buses and add_vehicle.
+void add_acc(ModelBuilder& b, const BbwConfig& config);
+
+/// Data-store diagnostics: store reader + monitor + warning lamp outport.
+void add_monitor(ModelBuilder& b, const BbwConfig& config);
+
+}  // namespace ftsynth::setta::detail

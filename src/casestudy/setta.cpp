@@ -1,0 +1,50 @@
+// Assembly of the SETTA brake-by-wire / ACC demonstrator.
+
+#include "casestudy/setta.h"
+
+#include "casestudy/internal.h"
+#include "core/error.h"
+
+namespace ftsynth::setta {
+
+Model build_bbw(const BbwConfig& config) {
+  require(config.pedal_sensors == 1 || config.pedal_sensors == 3,
+          ErrorKind::kModel, "BbwConfig::pedal_sensors must be 1 or 3");
+  require(config.buses == 1 || config.buses == 2, ErrorKind::kModel,
+          "BbwConfig::buses must be 1 or 2");
+  require(config.wheels >= 1 && config.wheels <= 4, ErrorKind::kModel,
+          "BbwConfig::wheels must be 1..4");
+
+  ModelBuilder b("bbw");
+  detail::add_pedal_path(b, config);
+  detail::add_buses(b, config);
+  for (const std::string& corner : corners(config.wheels))
+    detail::add_wheel(b, config, corner);
+  detail::add_vehicle(b, config);
+  if (config.with_acc) detail::add_acc(b, config);
+  if (config.with_monitor) detail::add_monitor(b, config);
+  return b.take();
+}
+
+Model build_bbw_single_channel() {
+  BbwConfig config;
+  config.pedal_sensors = 1;
+  config.buses = 1;
+  return build_bbw(config);
+}
+
+std::vector<std::string> bbw_top_events(const BbwConfig& config) {
+  std::vector<std::string> tops;
+  for (const std::string& corner : corners(config.wheels)) {
+    tops.push_back("Omission-brake_force_" + corner);
+    tops.push_back("Commission-brake_force_" + corner);
+    tops.push_back("Value-brake_force_" + corner);
+  }
+  tops.push_back("Omission-total_braking");
+  tops.push_back("Commission-total_braking");
+  tops.push_back("Value-vehicle_speed");
+  if (config.with_monitor) tops.push_back("Omission-warning_lamp");
+  return tops;
+}
+
+}  // namespace ftsynth::setta

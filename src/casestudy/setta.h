@@ -1,0 +1,81 @@
+// The SETTA demonstrator: a prototypical distributed brake-by-wire (BBW)
+// and adaptive cruise control (ACC) system for cars -- the paper's
+// demonstration platform (section 4).
+//
+// Architecture modelled (paper description in brackets):
+//   * a brake pedal node [DaimlerChrysler pedal] with redundant pedal
+//     sensors, a voter task, a demand arbiter (driver vs ACC) and a bus
+//     transmit task driven by a time-triggered scheduler (trigger port);
+//   * four wheel nodes [Siemens actuator] each with bus receivers on both
+//     buses, a brake controller in a local control loop with the wheel,
+//     a PWM driver, and an electromechanical actuator;
+//   * an ACC node [Renault vehicle dynamics] with a radar tracker and a
+//     speed controller closed around the vehicle dynamics -- the second
+//     distributed control loop;
+//   * two replicated time-triggered buses carrying both pedal and ACC
+//     traffic [TTP over two replicated busses];
+//   * vehicle dynamics closing both loops, and a diagnostics monitor fed
+//     through a data store (exercises implicit communication).
+//
+// Every programmable node is a subsystem carrying its own hardware
+// common-cause analysis (CPU, power supply, EMI) in the Figure 3 style,
+// with the software tasks analysed individually inside.
+//
+// Failure rates: the real SETTA data is proprietary; the values in
+// `rates` are representative automotive figures (1e-8..1e-5 f/h band)
+// and are the single source used everywhere (see DESIGN.md substitutions).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace ftsynth::setta {
+
+/// Representative failure rates, failures/hour.
+namespace rates {
+inline constexpr double kCpu = 2e-6;           ///< node processor failure
+inline constexpr double kPower = 5e-7;         ///< node power supply loss
+inline constexpr double kEmi = 1e-7;           ///< EMI corrupting node outputs
+inline constexpr double kBusFailure = 1e-6;    ///< bus medium / guardian dead
+inline constexpr double kBusCorrupt = 2e-7;    ///< undetected frame corruption
+inline constexpr double kBusLate = 5e-7;       ///< schedule overrun
+inline constexpr double kSensorStuck = 1e-5;   ///< pedal sensor stuck
+inline constexpr double kSensorBias = 2e-6;    ///< pedal sensor bias
+inline constexpr double kSensorOpen = 3e-6;    ///< sensor open circuit
+inline constexpr double kRadarBlind = 8e-6;    ///< radar loses the target
+inline constexpr double kRadarGhost = 1e-6;    ///< radar invents a target
+inline constexpr double kActuatorJam = 3e-6;   ///< brake actuator jammed
+inline constexpr double kActuatorCoil = 1e-6;  ///< actuator coil open
+inline constexpr double kTaskDefect = 1e-7;    ///< residual software defect
+inline constexpr double kWheelLock = 1e-6;     ///< mechanical wheel fault
+}  // namespace rates
+
+/// Architecture configuration; the defaults build the full replicated
+/// SETTA design. The design-iteration experiment (E7) compares this
+/// against the single-channel baseline.
+struct BbwConfig {
+  int pedal_sensors = 3;    ///< 1 (baseline) or 3 (voted)
+  int buses = 2;            ///< 1 (baseline) or 2 (replicated)
+  int wheels = 4;
+  bool with_acc = true;     ///< include the ACC node and vehicle loop
+  bool with_monitor = true; ///< data-store diagnostics and warning lamp
+};
+
+/// Builds and validates the model. Block paths are stable API for tests
+/// (e.g. "bbw/pedal_node/voter", "bbw/wheel_fl/actuator").
+Model build_bbw(const BbwConfig& config = {});
+
+/// The baseline before the design iteration: one pedal sensor, one bus.
+Model build_bbw_single_channel();
+
+/// Hazardous top events for the analysis, in "Class-port" notation, e.g.
+/// "Omission-brake_force_fl" (loss of braking at the front-left wheel).
+std::vector<std::string> bbw_top_events(const BbwConfig& config = {});
+
+/// The wheel corners used for a given wheel count ("fl", "fr", "rl", "rr").
+std::vector<std::string> corners(int wheels);
+
+}  // namespace ftsynth::setta

@@ -1,0 +1,50 @@
+#include "core/symbol.h"
+
+#include <mutex>
+#include <unordered_set>
+
+namespace ftsynth {
+
+namespace {
+
+/// Process-wide intern table. Node-based so element addresses are stable.
+/// Sharded by string hash: parallel synthesis interns heavily (every event
+/// and gate name), and a single mutex serialises the whole fleet.
+class Interner {
+ public:
+  const std::string* intern(std::string_view text) {
+    Shard& shard = shards_[std::hash<std::string_view>{}(text) % kShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.table.emplace(text);
+    return &*it;
+  }
+
+  static Interner& instance() {
+    static Interner interner;
+    return interner;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_set<std::string> table;
+  };
+  Shard shards_[kShards];
+};
+
+const std::string& empty_string() {
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace
+
+Symbol::Symbol(std::string_view text)
+    : text_(Interner::instance().intern(text)) {}
+
+const std::string& Symbol::str() const {
+  return text_ ? *text_ : empty_string();
+}
+
+}  // namespace ftsynth

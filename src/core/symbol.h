@@ -1,0 +1,60 @@
+// Interned strings.
+//
+// Fault tree synthesis keys nodes on (block path, port, failure class)
+// triples and the analyses hash millions of basic-event names while
+// expanding cut sets. Interning turns those string comparisons into pointer
+// comparisons and de-duplicates storage.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace ftsynth {
+
+/// A handle to an interned, immutable string. Cheap to copy and compare;
+/// two Symbols made from equal strings compare equal by pointer identity.
+/// The empty Symbol{} is a distinct null value (text() == "").
+class Symbol {
+ public:
+  /// Null symbol; view() returns an empty string.
+  constexpr Symbol() noexcept = default;
+
+  /// Interns `text` in the process-wide table (thread-safe).
+  explicit Symbol(std::string_view text);
+
+  std::string_view view() const noexcept {
+    return text_ ? std::string_view(*text_) : std::string_view();
+  }
+  const std::string& str() const;
+
+  bool empty() const noexcept { return text_ == nullptr || text_->empty(); }
+
+  friend bool operator==(Symbol a, Symbol b) noexcept {
+    return a.text_ == b.text_;
+  }
+  friend bool operator!=(Symbol a, Symbol b) noexcept {
+    return a.text_ != b.text_;
+  }
+  /// Orders by string content (stable across runs, unlike pointer order).
+  friend bool operator<(Symbol a, Symbol b) noexcept {
+    return a.view() < b.view();
+  }
+
+  /// Hash of the underlying pointer -- O(1), independent of string length.
+  std::size_t hash() const noexcept {
+    return std::hash<const std::string*>{}(text_);
+  }
+
+ private:
+  const std::string* text_ = nullptr;
+};
+
+}  // namespace ftsynth
+
+template <>
+struct std::hash<ftsynth::Symbol> {
+  std::size_t operator()(ftsynth::Symbol s) const noexcept { return s.hash(); }
+};

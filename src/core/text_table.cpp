@@ -1,0 +1,48 @@
+#include "core/text_table.h"
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), ErrorKind::kInternal,
+          "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), ErrorKind::kInternal,
+          "TextTable row has " + std::to_string(cells.size()) +
+              " cells, expected " + std::to_string(headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule() + emit(headers_) + rule();
+  for (const auto& row : rows_) out += emit(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace ftsynth

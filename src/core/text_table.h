@@ -1,0 +1,35 @@
+// Plain-text table rendering for analysis reports. Produces the boxed,
+// column-aligned tables used to reproduce the paper's Figure 2 hazard
+// analysis table and the benchmark report rows.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftsynth {
+
+/// Builds a column-aligned ASCII table.
+///
+///   TextTable t({"Failure Mode", "Input Deviation Logic", "lambda(f/h)"});
+///   t.add_row({"Omission-output", "Omission-in1 AND Omission-in2", "5e-7"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a data row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with +---+ borders, one line per row.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftsynth

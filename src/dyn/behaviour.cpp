@@ -1,0 +1,223 @@
+#include "dyn/behaviour.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "core/error.h"
+
+namespace ftsynth::dyn {
+
+namespace {
+
+class Gain : public Behaviour {
+ public:
+  explicit Gain(double k) : k_(k) {}
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext&) override {
+    check_internal(inputs.size() == 1, "gain needs exactly one input");
+    Signal out = inputs[0];
+    for (double& v : out) v *= k_;
+    return {std::move(out)};
+  }
+
+ private:
+  double k_;
+};
+
+class Sum : public Behaviour {
+ public:
+  explicit Sum(std::vector<double> weights) : weights_(std::move(weights)) {}
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext&) override {
+    check_internal(inputs.size() == weights_.size(),
+                   "sum weight count mismatch");
+    std::size_t width = 1;
+    for (const Signal& in : inputs) width = std::max(width, in.size());
+    Signal out(width, 0.0);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (std::size_t c = 0; c < width; ++c) {
+        const double v =
+            inputs[i].size() == 1 ? inputs[i][0] : inputs[i][c];
+        out[c] += weights_[i] * v;
+      }
+    }
+    return {std::move(out)};
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+class Integrator : public Behaviour {
+ public:
+  Integrator(double k, double initial) : k_(k), initial_(initial) {}
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext& context) override {
+    check_internal(inputs.size() == 1, "integrator needs one input");
+    if (state_.size() != inputs[0].size())
+      state_.assign(inputs[0].size(), initial_);
+    for (std::size_t c = 0; c < state_.size(); ++c)
+      state_[c] += k_ * inputs[0][c] * context.dt;
+    return {state_};
+  }
+  void reset() override { state_.clear(); }
+
+ private:
+  double k_;
+  double initial_;
+  Signal state_;
+};
+
+class Delay : public Behaviour {
+ public:
+  Delay(int steps, double initial) : steps_(steps), initial_(initial) {}
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext&) override {
+    check_internal(inputs.size() == 1, "delay needs one input");
+    buffer_.push_back(inputs[0]);
+    Signal out;
+    if (static_cast<int>(buffer_.size()) > steps_) {
+      out = buffer_.front();
+      buffer_.pop_front();
+    } else {
+      out.assign(inputs[0].size(), initial_);
+    }
+    return {std::move(out)};
+  }
+  void reset() override { buffer_.clear(); }
+
+ private:
+  int steps_;
+  double initial_;
+  std::deque<Signal> buffer_;
+};
+
+class Saturate : public Behaviour {
+ public:
+  Saturate(double lo, double hi) : lo_(lo), hi_(hi) {}
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext&) override {
+    check_internal(inputs.size() == 1, "saturate needs one input");
+    Signal out = inputs[0];
+    for (double& v : out) v = std::clamp(v, lo_, hi_);
+    return {std::move(out)};
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class Constant : public Behaviour {
+ public:
+  explicit Constant(double value) : value_(value) {}
+  std::vector<Signal> step(const std::vector<Signal>&,
+                           const StepContext&) override {
+    return {Signal{value_}};
+  }
+
+ private:
+  double value_;
+};
+
+class Passthrough : public Behaviour {
+ public:
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext&) override {
+    return inputs;
+  }
+};
+
+class MedianVoter : public Behaviour {
+ public:
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext&) override {
+    std::vector<double> values;
+    for (const Signal& in : inputs) {
+      for (double v : in) {
+        if (!std::isnan(v)) values.push_back(v);
+      }
+    }
+    if (values.empty()) {
+      return {Signal{std::nan("")}};
+    }
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    return {Signal{values[values.size() / 2]}};
+  }
+};
+
+class FirstOrder : public Behaviour {
+ public:
+  FirstOrder(double tau, double initial) : tau_(tau), initial_(initial) {}
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext& context) override {
+    check_internal(inputs.size() == 1, "first-order lag needs one input");
+    if (state_.size() != inputs[0].size())
+      state_.assign(inputs[0].size(), initial_);
+    for (std::size_t c = 0; c < state_.size(); ++c)
+      state_[c] += (inputs[0][c] - state_[c]) * context.dt / tau_;
+    return {state_};
+  }
+  void reset() override { state_.clear(); }
+
+ private:
+  double tau_;
+  double initial_;
+  Signal state_;
+};
+
+class FunctionBehaviour : public Behaviour {
+ public:
+  explicit FunctionBehaviour(
+      std::function<std::vector<Signal>(const std::vector<Signal>&,
+                                        const StepContext&)> function)
+      : function_(std::move(function)) {}
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext& context) override {
+    return function_(inputs, context);
+  }
+
+ private:
+  std::function<std::vector<Signal>(const std::vector<Signal>&,
+                                    const StepContext&)> function_;
+};
+
+}  // namespace
+
+std::unique_ptr<Behaviour> make_gain(double k) {
+  return std::make_unique<Gain>(k);
+}
+std::unique_ptr<Behaviour> make_sum(std::vector<double> weights) {
+  return std::make_unique<Sum>(std::move(weights));
+}
+std::unique_ptr<Behaviour> make_integrator(double k, double initial) {
+  return std::make_unique<Integrator>(k, initial);
+}
+std::unique_ptr<Behaviour> make_delay(int steps, double initial) {
+  return std::make_unique<Delay>(steps, initial);
+}
+std::unique_ptr<Behaviour> make_saturate(double lo, double hi) {
+  return std::make_unique<Saturate>(lo, hi);
+}
+std::unique_ptr<Behaviour> make_constant(double value) {
+  return std::make_unique<Constant>(value);
+}
+std::unique_ptr<Behaviour> make_passthrough() {
+  return std::make_unique<Passthrough>();
+}
+std::unique_ptr<Behaviour> make_median_voter() {
+  return std::make_unique<MedianVoter>();
+}
+std::unique_ptr<Behaviour> make_first_order(double tau, double initial) {
+  return std::make_unique<FirstOrder>(tau, initial);
+}
+std::unique_ptr<Behaviour> make_function(
+    std::function<std::vector<Signal>(const std::vector<Signal>&,
+                                      const StepContext&)> function) {
+  return std::make_unique<FunctionBehaviour>(std::move(function));
+}
+
+}  // namespace ftsynth::dyn

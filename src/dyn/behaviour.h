@@ -1,0 +1,89 @@
+// Numeric block behaviours -- what makes a model "executable".
+//
+// The paper's demonstration plan builds an *executable* Simulink model of
+// the SETTA platform ("an executable model of vehicle dynamics provided by
+// Renault", section 4). This module provides the numeric side: a Behaviour
+// computes a block's output signals from its input signals once per fixed
+// simulation step. The static failure-logic world (annotations, synthesis)
+// and this dynamic world are bridged by the fault injector and the
+// deviation detector (dyn/fault.h, dyn/detector.h).
+//
+// Semantics: synchronous update. Every step, all blocks compute their new
+// outputs from the *previous* step's values, so feedback loops are
+// well-defined without algebraic-loop solving (each cycle edge carries an
+// implicit unit delay).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ftsynth::dyn {
+
+/// Signal values of one port: one double per channel. NaN encodes an
+/// absent (omitted) signal.
+using Signal = std::vector<double>;
+
+/// Context handed to a behaviour on every step.
+struct StepContext {
+  double time = 0.0;  ///< simulation time, seconds
+  double dt = 0.0;    ///< step size, seconds
+  /// True when the block's trigger input (if any) is active this step.
+  bool triggered = true;
+};
+
+/// Computes output signals from input signals. Inputs/outputs are indexed
+/// in the block's port declaration order (triggers are not included).
+/// Implementations may keep state (integrators, delays) -- one Behaviour
+/// instance belongs to exactly one block instance.
+class Behaviour {
+ public:
+  virtual ~Behaviour() = default;
+
+  /// `inputs[i]` has the width of the block's i-th (non-trigger) input
+  /// port; the result must match the output ports' widths.
+  virtual std::vector<Signal> step(const std::vector<Signal>& inputs,
+                                   const StepContext& context) = 0;
+
+  /// Resets internal state to time zero.
+  virtual void reset() {}
+};
+
+// -- Stock behaviours ------------------------------------------------------------
+
+/// out = k * in (element-wise; single input, single output).
+std::unique_ptr<Behaviour> make_gain(double k);
+
+/// out = sum_i w_i * in_i (inputs broadcast to the widest input).
+std::unique_ptr<Behaviour> make_sum(std::vector<double> weights);
+
+/// out(t) = out(t-dt) + k * in * dt, starting from `initial`.
+std::unique_ptr<Behaviour> make_integrator(double k = 1.0,
+                                           double initial = 0.0);
+
+/// out = in delayed by `steps` simulation steps (initially `initial`).
+std::unique_ptr<Behaviour> make_delay(int steps, double initial = 0.0);
+
+/// out = clamp(in, lo, hi).
+std::unique_ptr<Behaviour> make_saturate(double lo, double hi);
+
+/// out = constant `value` (no inputs).
+std::unique_ptr<Behaviour> make_constant(double value);
+
+/// out_i = in_i for every output port (identity; widths must match).
+std::unique_ptr<Behaviour> make_passthrough();
+
+/// out = median of the (single-channel) inputs -- a voter. NaN inputs are
+/// ignored; all-NaN yields NaN (the voted signal is lost).
+std::unique_ptr<Behaviour> make_median_voter();
+
+/// First-order lag: out += (in - out) * dt / tau.
+std::unique_ptr<Behaviour> make_first_order(double tau, double initial = 0.0);
+
+/// Arbitrary stateless function of the inputs.
+std::unique_ptr<Behaviour> make_function(
+    std::function<std::vector<Signal>(const std::vector<Signal>&,
+                                      const StepContext&)> function);
+
+}  // namespace ftsynth::dyn

@@ -1,0 +1,126 @@
+#include "dyn/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ftsynth::dyn {
+
+namespace {
+
+struct Symptoms {
+  std::size_t samples = 0;     ///< comparable (channel, step) pairs
+  std::size_t omitted = 0;     ///< faulty NaN where golden is defined
+  std::size_t spurious = 0;    ///< faulty active where golden is inactive
+  std::size_t wrong = 0;       ///< both defined, difference beyond tolerance
+};
+
+Symptoms gather(const Trace& golden, const Trace& faulty,
+                const DetectionOptions& options) {
+  Symptoms symptoms;
+  const std::size_t n = std::min(golden.size(), faulty.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Signal& g = golden.values[i];
+    const Signal& f = faulty.values[i];
+    const std::size_t channels = std::min(g.size(), f.size());
+    for (std::size_t c = 0; c < channels; ++c) {
+      ++symptoms.samples;
+      const bool g_defined = !std::isnan(g[c]);
+      const bool f_defined = !std::isnan(f[c]);
+      if (g_defined && !f_defined) {
+        ++symptoms.omitted;
+        continue;
+      }
+      if (!f_defined) continue;
+      const bool g_active = g_defined && std::abs(g[c]) > options.activity_threshold;
+      const bool f_active = std::abs(f[c]) > options.activity_threshold;
+      if (f_active && !g_active) {
+        ++symptoms.spurious;
+        continue;
+      }
+      if (g_defined && std::abs(f[c] - g[c]) > options.value_tolerance)
+        ++symptoms.wrong;
+    }
+  }
+  return symptoms;
+}
+
+/// Mean absolute error of faulty[i] against golden[i - lag] (defined
+/// samples only); large when nothing is comparable.
+double lag_error(const Trace& golden, const Trace& faulty, int lag,
+                 const DetectionOptions& options) {
+  double total = 0.0;
+  std::size_t count = 0;
+  const std::size_t n = std::min(golden.size(), faulty.size());
+  for (std::size_t i = static_cast<std::size_t>(lag); i < n; ++i) {
+    const Signal& g = golden.values[i - static_cast<std::size_t>(lag)];
+    const Signal& f = faulty.values[i];
+    const std::size_t channels = std::min(g.size(), f.size());
+    for (std::size_t c = 0; c < channels; ++c) {
+      if (std::isnan(g[c]) || std::isnan(f[c])) continue;
+      total += std::abs(f[c] - g[c]);
+      ++count;
+    }
+  }
+  (void)options;
+  if (count == 0) return 1e300;
+  return total / static_cast<double>(count);
+}
+
+}  // namespace
+
+std::vector<FailureClass> classify_deviation(
+    const Trace& golden, const Trace& faulty,
+    const FailureClassRegistry& registry, const DetectionOptions& options) {
+  std::vector<FailureClass> classes;
+  const Symptoms symptoms = gather(golden, faulty, options);
+  if (symptoms.samples == 0) return classes;
+  const auto fraction = [&](std::size_t count) {
+    return static_cast<double>(count) /
+           static_cast<double>(symptoms.samples);
+  };
+
+  if (fraction(symptoms.omitted) > options.persistence)
+    classes.push_back(registry.omission());
+  if (fraction(symptoms.spurious) > options.persistence)
+    classes.push_back(registry.commission());
+
+  if (fraction(symptoms.wrong) > options.persistence) {
+    // A pure delay reads as a value error at lag 0; if shifting the golden
+    // trace explains the difference, it is a timing failure instead.
+    const double aligned = lag_error(golden, faulty, 0, options);
+    double best = aligned;
+    int best_lag = 0;
+    for (int lag = 1; lag <= options.max_lag_steps; ++lag) {
+      const double error = lag_error(golden, faulty, lag, options);
+      if (error < best) {
+        best = error;
+        best_lag = lag;
+      }
+    }
+    if (best_lag > 0 && best <= options.value_tolerance) {
+      classes.push_back(registry.late());
+    } else {
+      classes.push_back(registry.value());
+    }
+  }
+  return classes;
+}
+
+std::vector<Deviation> observed_output_deviations(
+    const Model& model, const Simulation& golden, const Simulation& faulty,
+    const DetectionOptions& options) {
+  std::vector<Deviation> observed;
+  for (const Port* port : model.root().outputs()) {
+    const std::string name = port->name().str();
+    std::vector<FailureClass> classes = classify_deviation(
+        golden.trace(name), faulty.trace(name), model.registry(), options);
+    for (FailureClass cls : classes)
+      observed.push_back(Deviation{cls, port->name()});
+  }
+  std::sort(observed.begin(), observed.end());
+  return observed;
+}
+
+}  // namespace ftsynth::dyn

@@ -1,0 +1,46 @@
+// Deviation detection: classifying numeric disturbances back into the
+// HAZOP failure classes.
+//
+// Given a golden (fault-free) trace and a faulty trace of the same port,
+// the detector decides which deviation classes the disturbance manifests
+// as -- omission (signal lost), commission (spurious activity), late
+// (shifted in time), value (wrong magnitude). This closes the loop between
+// the numeric simulation and the discrete safety analysis: injecting the
+// numeric realisation of a malfunction must produce, at the system
+// outputs, deviations whose synthesized fault trees contain that
+// malfunction (tested in tests/test_dyn.cpp).
+
+#pragma once
+
+#include <vector>
+
+#include "dyn/simulator.h"
+#include "failure/failure_class.h"
+
+namespace ftsynth::dyn {
+
+struct DetectionOptions {
+  double value_tolerance = 1e-6;     ///< |faulty - golden| beyond this = Value
+  double activity_threshold = 1e-9;  ///< |signal| beyond this = active
+  int max_lag_steps = 50;            ///< search window for Late detection
+  /// Fraction of samples that must show a symptom before it is reported.
+  double persistence = 0.05;
+};
+
+/// Classifies the deviations visible in `faulty` relative to `golden`
+/// (same port, same sampling). Returns the matching standard classes from
+/// `registry` ("Omission", "Commission", "Late", "Value"), most severe
+/// first; empty when the traces agree.
+std::vector<FailureClass> classify_deviation(
+    const Trace& golden, const Trace& faulty,
+    const FailureClassRegistry& registry,
+    const DetectionOptions& options = {});
+
+/// Runs the classifier on every boundary output of the model underlying
+/// the two simulations and returns the observed output deviations.
+/// Both simulations must have been run over the same horizon.
+std::vector<Deviation> observed_output_deviations(
+    const Model& model, const Simulation& golden, const Simulation& faulty,
+    const DetectionOptions& options = {});
+
+}  // namespace ftsynth::dyn

@@ -1,0 +1,127 @@
+#include "dyn/fault.h"
+
+#include <cmath>
+
+namespace ftsynth::dyn {
+
+namespace {
+
+class Omission : public FaultModel {
+ public:
+  Signal apply(const Signal& value, const StepContext&) override {
+    return Signal(value.size(), std::nan(""));
+  }
+};
+
+class Stuck : public FaultModel {
+ public:
+  explicit Stuck(double initial) : initial_(initial) {}
+  Signal apply(const Signal& value, const StepContext&) override {
+    if (!frozen_) {
+      held_ = value;
+      for (double& v : held_) {
+        if (std::isnan(v)) v = initial_;
+      }
+      frozen_ = true;
+    }
+    if (held_.size() != value.size()) held_.assign(value.size(), initial_);
+    return held_;
+  }
+  void reset() override {
+    frozen_ = false;
+    held_.clear();
+  }
+
+ private:
+  double initial_;
+  bool frozen_ = false;
+  Signal held_;
+};
+
+class Bias : public FaultModel {
+ public:
+  explicit Bias(double offset) : offset_(offset) {}
+  Signal apply(const Signal& value, const StepContext&) override {
+    Signal out = value;
+    for (double& v : out) v += offset_;
+    return out;
+  }
+
+ private:
+  double offset_;
+};
+
+class Drift : public FaultModel {
+ public:
+  explicit Drift(double rate) : rate_(rate) {}
+  Signal apply(const Signal& value, const StepContext& context) override {
+    if (start_ < 0.0) start_ = context.time;
+    const double offset = rate_ * (context.time - start_);
+    Signal out = value;
+    for (double& v : out) v += offset;
+    return out;
+  }
+  void reset() override { start_ = -1.0; }
+
+ private:
+  double rate_;
+  double start_ = -1.0;
+};
+
+class Erratic : public FaultModel {
+ public:
+  Erratic(double amplitude, unsigned seed)
+      : amplitude_(amplitude), state_(seed == 0 ? 1u : seed) {}
+  Signal apply(const Signal& value, const StepContext&) override {
+    Signal out = value;
+    for (double& v : out) v += amplitude_ * (next_uniform() * 2.0 - 1.0);
+    return out;
+  }
+
+ private:
+  double next_uniform() {
+    // xorshift32: deterministic, cheap, good enough for a disturbance.
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 17;
+    state_ ^= state_ << 5;
+    return static_cast<double>(state_) /
+           static_cast<double>(UINT32_MAX);
+  }
+
+  double amplitude_;
+  std::uint32_t state_;
+};
+
+class Commission : public FaultModel {
+ public:
+  explicit Commission(double value) : value_(value) {}
+  Signal apply(const Signal& value, const StepContext&) override {
+    return Signal(value.size(), value_);
+  }
+
+ private:
+  double value_;
+};
+
+}  // namespace
+
+std::unique_ptr<FaultModel> make_omission() {
+  return std::make_unique<Omission>();
+}
+std::unique_ptr<FaultModel> make_stuck(double initial) {
+  return std::make_unique<Stuck>(initial);
+}
+std::unique_ptr<FaultModel> make_bias(double offset) {
+  return std::make_unique<Bias>(offset);
+}
+std::unique_ptr<FaultModel> make_drift(double rate) {
+  return std::make_unique<Drift>(rate);
+}
+std::unique_ptr<FaultModel> make_erratic(double amplitude, unsigned seed) {
+  return std::make_unique<Erratic>(amplitude, seed);
+}
+std::unique_ptr<FaultModel> make_commission(double value) {
+  return std::make_unique<Commission>(value);
+}
+
+}  // namespace ftsynth::dyn

@@ -1,0 +1,64 @@
+// Numeric fault models.
+//
+// The failure classes of the HAZOP taxonomy, realised as signal
+// disturbances: an injected fault transforms the signal a block output
+// produces during a time window. This gives physical meaning to the
+// abstract malfunctions of the hazard analysis ("stuck", "bias", "drift")
+// and lets the detector (dyn/detector.h) observe how the disturbance
+// manifests downstream.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dyn/behaviour.h"
+
+namespace ftsynth::dyn {
+
+/// Transforms one port's signal, step by step, while active.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// `value` is the healthy signal this step; returns the disturbed one.
+  virtual Signal apply(const Signal& value, const StepContext& context) = 0;
+
+  virtual void reset() {}
+};
+
+/// Omission: the signal disappears (every channel becomes NaN).
+std::unique_ptr<FaultModel> make_omission();
+
+/// Stuck: the signal freezes at the last healthy value (or `value` if
+/// given before any healthy sample was seen).
+std::unique_ptr<FaultModel> make_stuck(double initial = 0.0);
+
+/// Bias: a constant offset.
+std::unique_ptr<FaultModel> make_bias(double offset);
+
+/// Drift: an offset growing linearly at `rate` per second of activity.
+std::unique_ptr<FaultModel> make_drift(double rate);
+
+/// Erratic: deterministic pseudo-noise of the given amplitude.
+std::unique_ptr<FaultModel> make_erratic(double amplitude,
+                                         unsigned seed = 1);
+
+/// Commission: the signal is replaced by a spurious constant.
+std::unique_ptr<FaultModel> make_commission(double value);
+
+/// An injection: `fault` applied to output port `port_path`
+/// ("block/path.port") from t_start to t_end (seconds; end <= start means
+/// "until the end of the run").
+struct Injection {
+  std::string port_path;
+  std::shared_ptr<FaultModel> fault;
+  double t_start = 0.0;
+  double t_end = -1.0;
+
+  bool active(double time) const noexcept {
+    return time >= t_start && (t_end < t_start || time < t_end);
+  }
+};
+
+}  // namespace ftsynth::dyn

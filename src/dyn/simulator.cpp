@@ -1,0 +1,362 @@
+#include "dyn/simulator.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth::dyn {
+
+Stimulus constant_stimulus(double value) {
+  return [value](double) { return value; };
+}
+Stimulus step_stimulus(double t_on, double value) {
+  return [t_on, value](double t) { return t >= t_on ? value : 0.0; };
+}
+Stimulus ramp_stimulus(double rate) {
+  return [rate](double t) { return rate * t; };
+}
+Stimulus sine_stimulus(double amplitude, double frequency_hz) {
+  return [amplitude, frequency_hz](double t) {
+    return amplitude * std::sin(2.0 * 3.14159265358979323846 *
+                                frequency_hz * t);
+  };
+}
+
+namespace {
+
+/// Unassigned basic blocks copy their first input to every output.
+class DefaultBehaviour : public Behaviour {
+ public:
+  std::vector<Signal> step(const std::vector<Signal>& inputs,
+                           const StepContext&) override {
+    Signal source = inputs.empty() ? Signal{0.0} : inputs.front();
+    return {source};  // widths are fixed up by the engine's broadcast rule
+  }
+};
+
+}  // namespace
+
+class Simulation::Impl {
+ public:
+  explicit Impl(const Model& model) : model_(model) {
+    model_.for_each_block([&](const Block& block) {
+      if (block.kind() == BlockKind::kBasic) basic_blocks_.push_back(&block);
+    });
+    // State lives on basic-block outputs.
+    for (const Block* block : basic_blocks_) {
+      for (const Port* port : block->outputs())
+        state_[port] = Signal(static_cast<std::size_t>(port->width()), 0.0);
+    }
+    // Boundary outputs are always observable.
+    for (const Port* port : model_.root().outputs())
+      watch_port(port, port->name().str());
+  }
+
+  void set_behaviour(std::string_view block_path,
+                     std::unique_ptr<Behaviour> behaviour) {
+    const Block& block = model_.block(block_path);
+    require(block.kind() == BlockKind::kBasic, ErrorKind::kAnalysis,
+            "behaviours attach to basic blocks; '" + block.path() + "' is " +
+                std::string(to_string(block.kind())));
+    behaviours_[&block] = std::move(behaviour);
+  }
+
+  void set_stimulus(std::string_view port_name, Stimulus stimulus) {
+    const Port& port = model_.root().port(port_name);
+    require(port.is_input(), ErrorKind::kAnalysis,
+            "stimulus target '" + std::string(port_name) +
+                "' is not a boundary input");
+    stimuli_[&port] = std::move(stimulus);
+  }
+
+  void add_injection(Injection injection) {
+    const Port* port = resolve_port_path(injection.port_path);
+    const Block& owner = port->owner();
+    const bool basic_output =
+        owner.kind() == BlockKind::kBasic && port->is_output();
+    const bool boundary_input = owner.is_root() && port->is_input();
+    require(basic_output || boundary_input, ErrorKind::kAnalysis,
+            "injections attach to basic block outputs or boundary inputs; "
+            "got '" +
+                injection.port_path + "'");
+    injections_.push_back({port, std::move(injection)});
+  }
+
+  void watch(std::string_view port_path) {
+    watch_port(resolve_port_path(port_path), std::string(port_path));
+  }
+
+  void run(double duration, double dt) {
+    require(dt > 0.0 && duration >= 0.0, ErrorKind::kAnalysis,
+            "simulation needs dt > 0 and duration >= 0");
+    const auto steps = static_cast<std::size_t>(duration / dt + 0.5);
+    for (std::size_t i = 0; i < steps; ++i) step(dt);
+  }
+
+  void reset() {
+    time_ = 0.0;
+    for (auto& [port, value] : state_)
+      value.assign(value.size(), 0.0);
+    stores_.clear();
+    boundary_cache_.clear();
+    for (auto& [block, behaviour] : behaviours_) behaviour->reset();
+    for (auto& [port, injection] : injections_) injection.fault->reset();
+    for (auto& [port, trace] : traces_) trace = Trace{};
+  }
+
+  const Trace& trace(std::string_view port_path) const {
+    const Port* port = resolve_port_path(port_path);
+    auto it = traces_.find(port);
+    require(it != traces_.end(), ErrorKind::kAnalysis,
+            "port '" + std::string(port_path) + "' is not watched");
+    return it->second;
+  }
+
+  const Signal& value(std::string_view port_path) const {
+    const Trace& t = trace(port_path);
+    require(!t.values.empty(), ErrorKind::kAnalysis,
+            "no samples recorded yet for '" + std::string(port_path) + "'");
+    return t.values.back();
+  }
+
+  double time() const noexcept { return time_; }
+
+ private:
+  void watch_port(const Port* port, std::string label) {
+    traces_.emplace(port, Trace{});
+    labels_.emplace(std::move(label), port);
+  }
+
+  const Port* resolve_port_path(std::string_view path) const {
+    std::string_view block_path = trim(path);
+    std::string_view port_name;
+    if (std::size_t dot = block_path.rfind('.');
+        dot != std::string_view::npos) {
+      port_name = trim(block_path.substr(dot + 1));
+      block_path = trim(block_path.substr(0, dot));
+      return &model_.block(block_path).port(port_name);
+    }
+    return &model_.root().port(block_path);  // bare boundary port name
+  }
+
+  // -- Value derivation over the previous step's state -------------------------
+
+  Signal read_output(const Port& port) const {
+    const Block& block = port.owner();
+    switch (block.kind()) {
+      case BlockKind::kBasic:
+        return state_.at(&port);
+      case BlockKind::kSubsystem: {
+        const Block* proxy = block.find_child(port.name());
+        check_internal(proxy != nullptr, "missing Outport proxy");
+        return read_input(*proxy->inputs().front());
+      }
+      case BlockKind::kInport: {
+        const Block* subsystem = block.parent();
+        check_internal(subsystem != nullptr, "Inport proxy without parent");
+        return read_input(subsystem->port(block.name()));
+      }
+      case BlockKind::kMux: {
+        Signal out;
+        for (const Port* input : block.inputs()) {
+          Signal piece = read_input(*input);
+          out.insert(out.end(), piece.begin(), piece.end());
+        }
+        return out;
+      }
+      case BlockKind::kDemux: {
+        Signal whole = read_input(*block.inputs().front());
+        int offset = 0;
+        for (const Port* output : block.outputs()) {
+          if (output == &port) break;
+          offset += output->width();
+        }
+        const auto lo = static_cast<std::size_t>(offset);
+        const auto hi =
+            std::min(whole.size(), lo + static_cast<std::size_t>(port.width()));
+        if (lo >= whole.size())
+          return Signal(static_cast<std::size_t>(port.width()),
+                        std::nan(""));
+        return Signal(whole.begin() + static_cast<std::ptrdiff_t>(lo),
+                      whole.begin() + static_cast<std::ptrdiff_t>(hi));
+      }
+      case BlockKind::kDataStoreRead: {
+        auto it = stores_.find(block.store_name());
+        if (it == stores_.end())
+          return Signal(static_cast<std::size_t>(port.width()), 0.0);
+        return it->second;
+      }
+      case BlockKind::kGround:
+        return Signal(static_cast<std::size_t>(port.width()), 0.0);
+      case BlockKind::kOutport:
+      case BlockKind::kDataStoreWrite:
+        break;
+    }
+    throw Error(ErrorKind::kInternal, "read_output on block without outputs");
+  }
+
+  Signal read_input(const Port& port) const {
+    const Block& owner = port.owner();
+    const Block* parent = owner.parent();
+    if (parent == nullptr) {
+      // Boundary input of the model root: stimulus (cached per step).
+      auto it = boundary_cache_.find(&port);
+      require(it != boundary_cache_.end(), ErrorKind::kAnalysis,
+              "no stimulus for boundary input '" + port.name().str() + "'");
+      return it->second;
+    }
+    const Connection* connection = parent->connection_into(port);
+    if (connection == nullptr)
+      return Signal(static_cast<std::size_t>(port.width()), std::nan(""));
+    return read_output(*connection->from);
+  }
+
+  /// Fits a behaviour result onto a port: broadcast a single channel, or
+  /// require an exact width match.
+  Signal fit(Signal value, const Port& port, const Block& block) const {
+    const auto width = static_cast<std::size_t>(port.width());
+    if (value.size() == width) return value;
+    if (value.size() == 1) return Signal(width, value[0]);
+    throw Error(ErrorKind::kAnalysis,
+                "behaviour of '" + block.path() + "' produced width " +
+                    std::to_string(value.size()) + " for port '" +
+                    port.name().str() + "' (width " + std::to_string(width) +
+                    ")");
+  }
+
+  void step(double dt) {
+    const StepContext context{time_, dt, true};
+
+    // 1. Boundary inputs for this step (stimuli + input-side injections).
+    boundary_cache_.clear();
+    for (const Port* port : model_.root().inputs()) {
+      auto it = stimuli_.find(port);
+      require(it != stimuli_.end(), ErrorKind::kAnalysis,
+              "no stimulus for boundary input '" + port->name().str() + "'");
+      Signal value(static_cast<std::size_t>(port->width()),
+                   it->second(time_));
+      for (const auto& [target, injection] : injections_) {
+        if (target == port && injection.active(time_))
+          value = injection.fault->apply(value, context);
+      }
+      boundary_cache_.emplace(port, std::move(value));
+    }
+
+    // 2. New basic-block outputs from the previous state.
+    std::unordered_map<const Port*, Signal> next;
+    for (const Block* block : basic_blocks_) {
+      std::vector<Signal> inputs;
+      bool triggered = true;
+      for (const Port* input : block->inputs()) {
+        if (input->is_trigger()) {
+          Signal t = read_input(*input);
+          triggered = !t.empty() && !std::isnan(t[0]) && t[0] > 0.5;
+          continue;
+        }
+        inputs.push_back(read_input(*input));
+      }
+      const std::vector<Port*> outputs = block->outputs();
+      if (!triggered) {
+        for (const Port* port : outputs) next[port] = state_.at(port);
+      } else {
+        Behaviour* behaviour = find_behaviour(*block);
+        StepContext block_context = context;
+        block_context.triggered = triggered;
+        std::vector<Signal> produced = behaviour->step(inputs, block_context);
+        require(produced.size() == outputs.size() ||
+                    (produced.size() == 1 && !outputs.empty()),
+                ErrorKind::kAnalysis,
+                "behaviour of '" + block->path() + "' produced " +
+                    std::to_string(produced.size()) + " signals for " +
+                    std::to_string(outputs.size()) + " outputs");
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+          const Signal& raw =
+              produced.size() == outputs.size() ? produced[i] : produced[0];
+          next[outputs[i]] = fit(raw, *outputs[i], *block);
+        }
+      }
+      // Output-side injections.
+      for (const auto& [target, injection] : injections_) {
+        if (injection.active(time_) && &target->owner() == block &&
+            next.count(target) != 0) {
+          next[target] = injection.fault->apply(next[target], context);
+        }
+      }
+    }
+
+    // 3. Data stores: written values become visible next step.
+    std::unordered_map<Symbol, Signal> next_stores = stores_;
+    model_.for_each_block([&](const Block& block) {
+      if (block.kind() != BlockKind::kDataStoreWrite) return;
+      next_stores[block.store_name()] =
+          read_input(*block.inputs().front());
+    });
+
+    // 4. Commit.
+    for (auto& [port, value] : next) state_[port] = std::move(value);
+    stores_ = std::move(next_stores);
+
+    // 5. Record traces against the committed state.
+    for (auto& [port, trace] : traces_) {
+      trace.times.push_back(time_);
+      trace.values.push_back(port->is_output()
+                                 ? read_output(*port)
+                                 : read_input(*port));
+    }
+    time_ += dt;
+  }
+
+  Behaviour* find_behaviour(const Block& block) {
+    auto it = behaviours_.find(&block);
+    if (it != behaviours_.end()) return it->second.get();
+    auto [inserted, ok] =
+        behaviours_.emplace(&block, std::make_unique<DefaultBehaviour>());
+    return inserted->second.get();
+  }
+
+  const Model& model_;
+  double time_ = 0.0;
+  std::vector<const Block*> basic_blocks_;
+  std::unordered_map<const Port*, Signal> state_;
+  std::unordered_map<Symbol, Signal> stores_;
+  std::unordered_map<const Port*, Signal> boundary_cache_;
+  std::unordered_map<const Block*, std::unique_ptr<Behaviour>> behaviours_;
+  std::unordered_map<const Port*, Stimulus> stimuli_;
+  std::vector<std::pair<const Port*, Injection>> injections_;
+  std::unordered_map<const Port*, Trace> traces_;
+  std::unordered_map<std::string, const Port*> labels_;
+};
+
+Simulation::Simulation(const Model& model)
+    : impl_(std::make_unique<Impl>(model)) {}
+Simulation::~Simulation() = default;
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
+
+void Simulation::set_behaviour(std::string_view block_path,
+                               std::unique_ptr<Behaviour> behaviour) {
+  impl_->set_behaviour(block_path, std::move(behaviour));
+}
+void Simulation::set_stimulus(std::string_view port_name, Stimulus stimulus) {
+  impl_->set_stimulus(port_name, std::move(stimulus));
+}
+void Simulation::add_injection(Injection injection) {
+  impl_->add_injection(std::move(injection));
+}
+void Simulation::watch(std::string_view port_path) {
+  impl_->watch(port_path);
+}
+void Simulation::run(double duration, double dt) {
+  impl_->run(duration, dt);
+}
+void Simulation::reset() { impl_->reset(); }
+const Trace& Simulation::trace(std::string_view port_path) const {
+  return impl_->trace(port_path);
+}
+const Signal& Simulation::value(std::string_view port_path) const {
+  return impl_->value(port_path);
+}
+double Simulation::time() const noexcept { return impl_->time(); }
+
+}  // namespace ftsynth::dyn

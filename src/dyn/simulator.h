@@ -1,0 +1,89 @@
+// Fixed-step numeric simulation of a model.
+//
+// Executes the same hierarchical models the safety analysis runs on:
+// basic blocks are given Behaviours (dyn/behaviour.h), boundary inputs are
+// driven by stimuli, and numeric faults (dyn/fault.h) can be injected on
+// block outputs. Signals propagate through the structural elements --
+// subsystem boundaries, mux/demux, data stores, grounds, triggers --
+// exactly as the synthesiser traces failures through them.
+//
+// Update rule: synchronous. Every step all basic blocks read the previous
+// step's values and produce new outputs, so the model's control loops
+// execute without algebraic-loop solving.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dyn/fault.h"
+#include "model/model.h"
+
+namespace ftsynth::dyn {
+
+/// A stimulus drives one model boundary input: value as a function of
+/// time (broadcast across the port's channels).
+using Stimulus = std::function<double(double)>;
+
+// Common stimuli.
+Stimulus constant_stimulus(double value);
+Stimulus step_stimulus(double t_on, double value);
+Stimulus ramp_stimulus(double rate);
+Stimulus sine_stimulus(double amplitude, double frequency_hz);
+
+/// Recorded samples of one watched port.
+struct Trace {
+  std::vector<double> times;
+  std::vector<Signal> values;
+
+  std::size_t size() const noexcept { return times.size(); }
+};
+
+/// One executable instance of a model. The model must outlive it.
+class Simulation {
+ public:
+  explicit Simulation(const Model& model);
+  ~Simulation();
+
+  Simulation(Simulation&&) noexcept;
+  Simulation& operator=(Simulation&&) noexcept;
+
+  /// Assigns the behaviour of a basic block (path as in Model::block).
+  /// Unassigned basic blocks copy their first input to every output
+  /// (0 when they have no inputs).
+  void set_behaviour(std::string_view block_path,
+                     std::unique_ptr<Behaviour> behaviour);
+
+  /// Drives the boundary input `port_name` of the model root.
+  void set_stimulus(std::string_view port_name, Stimulus stimulus);
+
+  /// Injects a numeric fault. The injection's port_path must name a basic
+  /// block output ("wheel_fl/pwm.drive") or a root boundary input.
+  void add_injection(Injection injection);
+
+  /// Records `port_path` ("block/path.port") every step. Boundary outputs
+  /// of the root are watched automatically.
+  void watch(std::string_view port_path);
+
+  /// Runs for `duration` seconds at step `dt`, appending to the traces.
+  /// Throws ErrorKind::kAnalysis on missing stimuli or width mismatches.
+  void run(double duration, double dt);
+
+  /// Clears time, state and traces (keeps behaviours/stimuli/injections).
+  void reset();
+
+  const Trace& trace(std::string_view port_path) const;
+
+  /// Last value observed at a watched port.
+  const Signal& value(std::string_view port_path) const;
+
+  double time() const noexcept;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ftsynth::dyn

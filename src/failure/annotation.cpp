@@ -1,0 +1,98 @@
+#include "failure/annotation.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/strings.h"
+#include "core/text_table.h"
+
+namespace ftsynth {
+
+void Annotation::add_malfunction(Symbol name, double rate,
+                                 std::string description) {
+  require(!name.empty(), ErrorKind::kModel, "malfunction needs a name");
+  require(rate >= 0.0, ErrorKind::kModel,
+          "malfunction '" + name.str() + "' has negative failure rate");
+  require(!find_malfunction(name).has_value(), ErrorKind::kModel,
+          "duplicate malfunction '" + name.str() + "'");
+  malfunctions_.push_back({name, rate, std::move(description)});
+}
+
+void Annotation::add_row(Deviation output, ExprPtr cause,
+                         std::string description,
+                         double condition_probability) {
+  require(output.failure_class.valid() && !output.port.empty(),
+          ErrorKind::kModel, "annotation row needs an output deviation");
+  require(cause != nullptr, ErrorKind::kModel,
+          "annotation row for " + output.to_string() + " has no cause");
+  require(condition_probability > 0.0 && condition_probability <= 1.0,
+          ErrorKind::kModel,
+          "condition probability of " + output.to_string() +
+              " must be in (0, 1]");
+  rows_.push_back({output, std::move(cause), std::move(description),
+                   condition_probability});
+}
+
+std::optional<Malfunction> Annotation::find_malfunction(Symbol name) const {
+  for (const Malfunction& m : malfunctions_) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+ExprPtr Annotation::cause(const Deviation& output) const {
+  std::vector<ExprPtr> causes;
+  for (const AnnotationRow& row : rows_) {
+    if (row.output == output) causes.push_back(row.cause);
+  }
+  if (causes.empty()) return nullptr;
+  return Expr::make_or(std::move(causes));
+}
+
+bool Annotation::has_row(const Deviation& output) const {
+  return std::any_of(rows_.begin(), rows_.end(), [&](const AnnotationRow& r) {
+    return r.output == output;
+  });
+}
+
+std::vector<Deviation> Annotation::output_deviations() const {
+  std::vector<Deviation> out;
+  for (const AnnotationRow& row : rows_) {
+    if (std::find(out.begin(), out.end(), row.output) == out.end())
+      out.push_back(row.output);
+  }
+  return out;
+}
+
+std::vector<Deviation> Annotation::referenced_input_deviations() const {
+  std::vector<Deviation> out;
+  for (const AnnotationRow& row : rows_) {
+    for (const Deviation& d : row.cause->input_deviations()) {
+      if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::string Annotation::render_table(const std::string& component_name) const {
+  std::string out = "Hazard analysis: " + component_name + "\n";
+  TextTable table({"Output Failure Mode", "Description", "Causes"});
+  for (const AnnotationRow& row : rows_) {
+    std::string cause = row.cause->to_string();
+    if (row.condition_probability < 1.0)
+      cause += " [data condition p=" + format_double(row.condition_probability) + "]";
+    table.add_row({row.output.to_string(), row.description, std::move(cause)});
+  }
+  out += table.render();
+  if (!malfunctions_.empty()) {
+    TextTable rates({"Malfunction", "Description", "lambda (f/h)"});
+    for (const Malfunction& m : malfunctions_) {
+      rates.add_row({m.name.str(), m.description,
+                     m.rate > 0.0 ? format_double(m.rate) : "-"});
+    }
+    out += rates.render();
+  }
+  return out;
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,99 @@
+// Component hazard-analysis annotations.
+//
+// The result of the HAZOP-style examination of one component is a table
+// (paper, Figure 2) listing, for every identified output failure mode:
+//   - the output deviation (failure class + output port),
+//   - a description,
+//   - the Input Deviation Logic (causes among input deviations),
+//   - the Component Malfunction Logic (causes among internal malfunctions),
+//   - failure rates (lambda, in failures/hour) for each malfunction.
+//
+// An Annotation holds that table for one component, plus the component's
+// malfunction list. The analysis is deliberately local -- confined to the
+// component's I/O interface -- which is what makes annotations reusable
+// across applications (paper, section 2).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "failure/expression.h"
+#include "failure/failure_class.h"
+
+namespace ftsynth {
+
+/// An internal malfunction of a component ("Jammed", "Biased", ...), with an
+/// estimated or experimentally derived failure rate in failures/hour.
+struct Malfunction {
+  Symbol name;
+  double rate = 0.0;  ///< lambda, failures per hour; 0 = unquantified
+  std::string description;
+};
+
+/// One row of the hazard-analysis table: the causes of one output deviation.
+///
+/// `condition_probability` addresses the paper's data-dependent failure
+/// discussion (section 2: a stuck register bit corrupts only the values
+/// that exercise it): when < 1, the causes produce the output deviation
+/// only under an input-data condition of that probability. Synthesis ANDs
+/// the row with a fixed-probability condition event.
+struct AnnotationRow {
+  Deviation output;      ///< the output failure mode being explained
+  ExprPtr cause;         ///< causes: input deviations and/or malfunctions
+  std::string description;
+  double condition_probability = 1.0;  ///< P[causes manifest at the output]
+};
+
+/// The complete local failure model of one component.
+class Annotation {
+ public:
+  Annotation() = default;
+
+  /// Declares a malfunction; throws ErrorKind::kModel on duplicate names.
+  void add_malfunction(Symbol name, double rate,
+                       std::string description = {});
+
+  /// Adds a hazard-analysis row. Multiple rows for the same output deviation
+  /// are permitted and are OR-ed together by cause().
+  /// `condition_probability` must be in (0, 1]; values < 1 mark the row as
+  /// data-dependent (see AnnotationRow).
+  void add_row(Deviation output, ExprPtr cause, std::string description = {},
+               double condition_probability = 1.0);
+
+  const std::vector<Malfunction>& malfunctions() const noexcept {
+    return malfunctions_;
+  }
+  const std::vector<AnnotationRow>& rows() const noexcept { return rows_; }
+
+  bool empty() const noexcept {
+    return malfunctions_.empty() && rows_.empty();
+  }
+
+  std::optional<Malfunction> find_malfunction(Symbol name) const;
+
+  /// Combined cause expression for `output` (rows OR-ed together), or
+  /// nullptr when no row mentions that deviation.
+  ExprPtr cause(const Deviation& output) const;
+
+  /// True if some row explains `output`.
+  bool has_row(const Deviation& output) const;
+
+  /// Every distinct output deviation that has at least one row.
+  std::vector<Deviation> output_deviations() const;
+
+  /// Every distinct input deviation referenced by any row -- the deviations
+  /// this component "responds to" (paper, section 2, question a).
+  std::vector<Deviation> referenced_input_deviations() const;
+
+  /// Renders the annotation as a Figure 2-style text table with columns
+  /// Failure Mode | Description | Causes | lambda(f/h).
+  std::string render_table(const std::string& component_name) const;
+
+ private:
+  std::vector<Malfunction> malfunctions_;
+  std::vector<AnnotationRow> rows_;
+};
+
+}  // namespace ftsynth

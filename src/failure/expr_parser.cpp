@@ -1,0 +1,230 @@
+#include "failure/expr_parser.h"
+
+#include <cctype>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+namespace {
+
+enum class TokenKind {
+  kIdent, kLParen, kRParen, kHyphen, kAnd, kOr, kNot,
+  kComma, kColon, kInteger, kEnd
+};
+
+struct Token {
+  TokenKind kind;
+  std::string_view text;
+  int column;  // 1-based offset into the expression text
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_space();
+    const int column = static_cast<int>(pos_) + 1;
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, {}, column};
+    const char c = text_[pos_];
+    switch (c) {
+      case '(':
+        ++pos_;
+        return {TokenKind::kLParen, text_.substr(pos_ - 1, 1), column};
+      case ')':
+        ++pos_;
+        return {TokenKind::kRParen, text_.substr(pos_ - 1, 1), column};
+      case '-':
+        ++pos_;
+        return {TokenKind::kHyphen, text_.substr(pos_ - 1, 1), column};
+      case '&':
+        ++pos_;
+        return {TokenKind::kAnd, text_.substr(pos_ - 1, 1), column};
+      case '|':
+        ++pos_;
+        return {TokenKind::kOr, text_.substr(pos_ - 1, 1), column};
+      case '!':
+        ++pos_;
+        return {TokenKind::kNot, text_.substr(pos_ - 1, 1), column};
+      case ',':
+        ++pos_;
+        return {TokenKind::kComma, text_.substr(pos_ - 1, 1), column};
+      case ':':
+        ++pos_;
+        return {TokenKind::kColon, text_.substr(pos_ - 1, 1), column};
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      return {TokenKind::kInteger, text_.substr(start, pos_ - start), column};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_'))
+        ++pos_;
+      std::string_view word = text_.substr(start, pos_ - start);
+      if (iequals(word, "AND")) return {TokenKind::kAnd, word, column};
+      if (iequals(word, "OR")) return {TokenKind::kOr, word, column};
+      if (iequals(word, "NOT")) return {TokenKind::kNot, word, column};
+      return {TokenKind::kIdent, word, column};
+    }
+    throw ParseError(
+        "unexpected character '" + std::string(1, c) + "' in failure expression",
+        1, column);
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const FailureClassRegistry& registry)
+      : lexer_(text), registry_(registry) {
+    advance();
+  }
+
+  ExprPtr parse() {
+    ExprPtr expr = parse_or();
+    expect(TokenKind::kEnd, "end of expression");
+    return expr;
+  }
+
+  Deviation parse_single_deviation() {
+    expect(TokenKind::kIdent, "failure class name");
+    Token head = current_;
+    advance();
+    expect(TokenKind::kHyphen, "'-' after failure class");
+    advance();
+    expect(TokenKind::kIdent, "port name after '-'");
+    Deviation deviation = make_deviation(head, current_);
+    advance();
+    expect(TokenKind::kEnd, "end of deviation");
+    return deviation;
+  }
+
+ private:
+  ExprPtr parse_or() {
+    std::vector<ExprPtr> terms{parse_and()};
+    while (current_.kind == TokenKind::kOr) {
+      advance();
+      terms.push_back(parse_and());
+    }
+    return Expr::make_or(std::move(terms));
+  }
+
+  ExprPtr parse_and() {
+    std::vector<ExprPtr> factors{parse_unary()};
+    while (current_.kind == TokenKind::kAnd) {
+      advance();
+      factors.push_back(parse_unary());
+    }
+    return Expr::make_and(std::move(factors));
+  }
+
+  ExprPtr parse_unary() {
+    if (current_.kind == TokenKind::kNot) {
+      advance();
+      return Expr::make_not(parse_unary());
+    }
+    if (current_.kind == TokenKind::kLParen) {
+      advance();
+      ExprPtr inner = parse_or();
+      expect(TokenKind::kRParen, "')'");
+      advance();
+      return inner;
+    }
+    return parse_atom();
+  }
+
+  ExprPtr parse_atom() {
+    expect(TokenKind::kIdent, "identifier, 'NOT' or '('");
+    Token head = current_;
+    advance();
+    // VOTE(k: expr, expr, ...) -- the k-of-N vote.
+    if (iequals(head.text, "VOTE") && current_.kind == TokenKind::kLParen) {
+      advance();
+      expect(TokenKind::kInteger, "vote threshold");
+      int threshold = 0;
+      for (char digit : current_.text)
+        threshold = threshold * 10 + (digit - '0');
+      advance();
+      expect(TokenKind::kColon, "':' after the vote threshold");
+      advance();
+      std::vector<ExprPtr> children{parse_or()};
+      while (current_.kind == TokenKind::kComma) {
+        advance();
+        children.push_back(parse_or());
+      }
+      expect(TokenKind::kRParen, "')'");
+      advance();
+      return Expr::make_at_least(threshold, std::move(children));
+    }
+    if (current_.kind == TokenKind::kHyphen) {
+      advance();
+      expect(TokenKind::kIdent, "port name after '-'");
+      Deviation deviation = make_deviation(head, current_);
+      advance();
+      return Expr::deviation(deviation);
+    }
+    if (iequals(head.text, "true")) return Expr::constant(true);
+    if (iequals(head.text, "false")) return Expr::constant(false);
+    return Expr::malfunction(Symbol(head.text));
+  }
+
+  Deviation make_deviation(const Token& class_token,
+                           const Token& port_token) const {
+    auto cls = registry_.find(class_token.text);
+    if (!cls) {
+      throw ParseError("unknown failure class '" + std::string(class_token.text) +
+                           "' in deviation",
+                       1, class_token.column);
+    }
+    return Deviation{*cls, Symbol(port_token.text)};
+  }
+
+  void advance() { current_ = lexer_.next(); }
+
+  void expect(TokenKind kind, const std::string& what) const {
+    if (current_.kind != kind) {
+      std::string got = current_.kind == TokenKind::kEnd
+                            ? "end of input"
+                            : "'" + std::string(current_.text) + "'";
+      throw ParseError("expected " + what + ", got " + got, 1,
+                       current_.column);
+    }
+  }
+
+  Lexer lexer_;
+  const FailureClassRegistry& registry_;
+  Token current_{TokenKind::kEnd, {}, 0};
+};
+
+}  // namespace
+
+ExprPtr parse_expression(std::string_view text,
+                         const FailureClassRegistry& registry) {
+  return Parser(text, registry).parse();
+}
+
+Deviation parse_deviation(std::string_view text,
+                          const FailureClassRegistry& registry) {
+  return Parser(text, registry).parse_single_deviation();
+}
+
+}  // namespace ftsynth

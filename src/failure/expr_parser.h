@@ -1,0 +1,41 @@
+// Parser for the textual failure-expression notation used in annotation
+// tables (the paper's Figure 2 columns), e.g.
+//
+//   "Omission-input_1 AND Omission-input_2"
+//   "Jammed OR Short_circuited"
+//   "Wrong-input_1 OR Wrong-input_2 OR Biased"
+//   "NOT (Stuck-in AND monitor_failed)"
+//
+// Grammar (case-insensitive keywords; & | ! accepted as operator aliases):
+//
+//   expr   := or
+//   or     := and  ( ("OR"  | "|") and  )*
+//   and    := unary( ("AND" | "&") unary)*
+//   unary  := ("NOT" | "!") unary | "(" expr ")" | atom
+//   atom   := "true" | "false"
+//           | IDENT "-" IDENT      -- FailureClass "-" port  => deviation
+//           | IDENT                -- malfunction name
+//
+// A hyphenated atom's head must name a registered failure class; a bare
+// identifier is a component malfunction.
+
+#pragma once
+
+#include <string_view>
+
+#include "failure/expression.h"
+#include "failure/failure_class.h"
+
+namespace ftsynth {
+
+/// Parses `text` into an expression; throws ParseError on syntax errors and
+/// on deviations whose failure class is not in `registry`.
+ExprPtr parse_expression(std::string_view text,
+                         const FailureClassRegistry& registry);
+
+/// Parses a single deviation in "Class-port" notation (used for top-event
+/// specifications); throws ParseError if `text` is not exactly a deviation.
+Deviation parse_deviation(std::string_view text,
+                          const FailureClassRegistry& registry);
+
+}  // namespace ftsynth

@@ -1,0 +1,306 @@
+#include "failure/expression.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+const Deviation& Expr::deviation() const {
+  check_internal(op_ == ExprOp::kDeviation,
+                 "Expr::deviation() on a non-deviation node");
+  return deviation_;
+}
+
+int Expr::threshold() const {
+  check_internal(op_ == ExprOp::kAtLeast,
+                 "Expr::threshold() on a non-vote node");
+  return threshold_;
+}
+
+Symbol Expr::malfunction() const {
+  check_internal(op_ == ExprOp::kMalfunction,
+                 "Expr::malfunction() on a non-malfunction node");
+  return malfunction_;
+}
+
+namespace {
+
+// Precedence for printing: OR(1) < AND(2) < NOT(3) < leaf(4).
+int precedence(ExprOp op) noexcept {
+  switch (op) {
+    case ExprOp::kOr:
+      return 1;
+    case ExprOp::kAnd:
+      return 2;
+    case ExprOp::kNot:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+void print(const Expr& e, int parent_precedence, std::string& out) {
+  const int mine = precedence(e.op());
+  const bool parens = mine < parent_precedence;
+  if (parens) out += "(";
+  switch (e.op()) {
+    case ExprOp::kFalse:
+      out += "false";
+      break;
+    case ExprOp::kTrue:
+      out += "true";
+      break;
+    case ExprOp::kDeviation:
+      out += e.deviation().to_string();
+      break;
+    case ExprOp::kMalfunction:
+      out += e.malfunction().view();
+      break;
+    case ExprOp::kNot:
+      out += "NOT ";
+      print(*e.children().front(), mine, out);
+      break;
+    case ExprOp::kAtLeast: {
+      out += "VOTE(" + std::to_string(e.threshold()) + ":";
+      for (std::size_t i = 0; i < e.children().size(); ++i) {
+        out += i == 0 ? " " : ", ";
+        print(*e.children()[i], 0, out);
+      }
+      out += ")";
+      break;
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      const char* sep = e.op() == ExprOp::kAnd ? " AND " : " OR ";
+      for (std::size_t i = 0; i < e.children().size(); ++i) {
+        if (i != 0) out += sep;
+        // Children at equal precedence need no parens for the same
+        // associative operator, so pass `mine` (not mine + 1).
+        print(*e.children()[i], mine, out);
+      }
+      break;
+    }
+  }
+  if (parens) out += ")";
+}
+
+}  // namespace
+
+std::string Expr::to_string() const {
+  std::string out;
+  print(*this, 0, out);
+  return out;
+}
+
+bool Expr::evaluate(
+    const std::function<bool(const Deviation&)>& deviation_value,
+    const std::function<bool(Symbol)>& malfunction_value) const {
+  switch (op_) {
+    case ExprOp::kFalse:
+      return false;
+    case ExprOp::kTrue:
+      return true;
+    case ExprOp::kDeviation:
+      return deviation_value(deviation_);
+    case ExprOp::kMalfunction:
+      return malfunction_value(malfunction_);
+    case ExprOp::kNot:
+      return !children_.front()->evaluate(deviation_value, malfunction_value);
+    case ExprOp::kAnd:
+      return std::all_of(children_.begin(), children_.end(),
+                         [&](const ExprPtr& c) {
+                           return c->evaluate(deviation_value,
+                                              malfunction_value);
+                         });
+    case ExprOp::kOr:
+      return std::any_of(children_.begin(), children_.end(),
+                         [&](const ExprPtr& c) {
+                           return c->evaluate(deviation_value,
+                                              malfunction_value);
+                         });
+    case ExprOp::kAtLeast: {
+      int holding = 0;
+      for (const ExprPtr& child : children_) {
+        if (child->evaluate(deviation_value, malfunction_value)) ++holding;
+      }
+      return holding >= threshold_;
+    }
+  }
+  throw Error(ErrorKind::kInternal, "corrupt ExprOp");
+}
+
+void Expr::for_each_leaf(const std::function<void(const Expr&)>& visit) const {
+  if (is_leaf()) {
+    visit(*this);
+    return;
+  }
+  for (const ExprPtr& child : children_) child->for_each_leaf(visit);
+}
+
+std::vector<Deviation> Expr::input_deviations() const {
+  std::vector<Deviation> out;
+  for_each_leaf([&](const Expr& leaf) {
+    if (leaf.op() != ExprOp::kDeviation) return;
+    if (std::find(out.begin(), out.end(), leaf.deviation()) == out.end())
+      out.push_back(leaf.deviation());
+  });
+  return out;
+}
+
+std::vector<Symbol> Expr::malfunctions() const {
+  std::vector<Symbol> out;
+  for_each_leaf([&](const Expr& leaf) {
+    if (leaf.op() != ExprOp::kMalfunction) return;
+    if (std::find(out.begin(), out.end(), leaf.malfunction()) == out.end())
+      out.push_back(leaf.malfunction());
+  });
+  return out;
+}
+
+bool equal(const Expr& a, const Expr& b) noexcept {
+  if (&a == &b) return true;
+  if (a.op_ != b.op_) return false;
+  switch (a.op_) {
+    case ExprOp::kFalse:
+    case ExprOp::kTrue:
+      return true;
+    case ExprOp::kDeviation:
+      return a.deviation_ == b.deviation_;
+    case ExprOp::kMalfunction:
+      return a.malfunction_ == b.malfunction_;
+    case ExprOp::kAtLeast:
+      if (a.threshold_ != b.threshold_) return false;
+      break;
+    default:
+      break;
+  }
+  if (a.children_.size() != b.children_.size()) return false;
+  for (std::size_t i = 0; i < a.children_.size(); ++i) {
+    if (!equal(*a.children_[i], *b.children_[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr Expr::make(ExprOp op, std::vector<ExprPtr> children,
+                   Deviation deviation, Symbol malfunction, int threshold) {
+  return std::make_shared<const Expr>(Private{}, op, std::move(children),
+                                      deviation, malfunction, threshold);
+}
+
+ExprPtr Expr::constant(bool value) {
+  static const ExprPtr kTrueExpr =
+      make(ExprOp::kTrue, {}, Deviation{}, Symbol{});
+  static const ExprPtr kFalseExpr =
+      make(ExprOp::kFalse, {}, Deviation{}, Symbol{});
+  return value ? kTrueExpr : kFalseExpr;
+}
+
+ExprPtr Expr::deviation(FailureClass failure_class, Symbol port) {
+  return deviation(Deviation{failure_class, port});
+}
+
+ExprPtr Expr::deviation(const Deviation& deviation) {
+  check_internal(deviation.failure_class.valid() && !deviation.port.empty(),
+                 "deviation leaf needs a failure class and a port");
+  return make(ExprOp::kDeviation, {}, deviation, Symbol{});
+}
+
+ExprPtr Expr::malfunction(Symbol name) {
+  check_internal(!name.empty(), "malfunction leaf needs a name");
+  return make(ExprOp::kMalfunction, {}, Deviation{}, name);
+}
+
+namespace {
+
+// Shared n-ary builder for AND/OR. `identity` is the constant absorbed
+// (kTrue for AND), `annihilator` the constant that dominates (kFalse for
+// AND).
+ExprPtr make_nary(ExprOp op, std::vector<ExprPtr> children, ExprOp identity,
+                  ExprOp annihilator,
+                  ExprPtr (*rebuild)(std::vector<ExprPtr>)) {
+  std::vector<ExprPtr> flat;
+  flat.reserve(children.size());
+  for (ExprPtr& child : children) {
+    check_internal(child != nullptr, "null child in expression factory");
+    if (child->op() == identity) continue;
+    if (child->op() == annihilator) return Expr::constant(op == ExprOp::kOr);
+    if (child->op() == op) {
+      // Flatten (a AND b) AND c -> AND(a, b, c); keeps printing and cut-set
+      // expansion shallow.
+      for (const ExprPtr& grandchild : child->children())
+        flat.push_back(grandchild);
+    } else {
+      flat.push_back(std::move(child));
+    }
+  }
+  // Drop structural duplicates (X AND X == X).
+  std::vector<ExprPtr> unique;
+  for (ExprPtr& candidate : flat) {
+    bool seen = std::any_of(unique.begin(), unique.end(), [&](const ExprPtr& u) {
+      return equal(*u, *candidate);
+    });
+    if (!seen) unique.push_back(std::move(candidate));
+  }
+  if (unique.empty()) return Expr::constant(op == ExprOp::kAnd);
+  if (unique.size() == 1) return unique.front();
+  return rebuild(std::move(unique));
+}
+
+}  // namespace
+
+ExprPtr Expr::make_and(std::vector<ExprPtr> children) {
+  return make_nary(
+      ExprOp::kAnd, std::move(children), ExprOp::kTrue, ExprOp::kFalse,
+      +[](std::vector<ExprPtr> c) {
+        return make(ExprOp::kAnd, std::move(c), Deviation{}, Symbol{});
+      });
+}
+
+ExprPtr Expr::make_and(ExprPtr a, ExprPtr b) {
+  return make_and(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+
+ExprPtr Expr::make_or(std::vector<ExprPtr> children) {
+  return make_nary(
+      ExprOp::kOr, std::move(children), ExprOp::kFalse, ExprOp::kTrue,
+      +[](std::vector<ExprPtr> c) {
+        return make(ExprOp::kOr, std::move(c), Deviation{}, Symbol{});
+      });
+}
+
+ExprPtr Expr::make_or(ExprPtr a, ExprPtr b) {
+  return make_or(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+
+ExprPtr Expr::make_not(ExprPtr child) {
+  check_internal(child != nullptr, "null child in make_not");
+  if (child->op() == ExprOp::kTrue) return constant(false);
+  if (child->op() == ExprOp::kFalse) return constant(true);
+  if (child->op() == ExprOp::kNot) return child->children().front();
+  return make(ExprOp::kNot, {std::move(child)}, Deviation{}, Symbol{});
+}
+
+ExprPtr Expr::make_at_least(int threshold, std::vector<ExprPtr> children) {
+  for (const ExprPtr& child : children)
+    check_internal(child != nullptr, "null child in make_at_least");
+  // Fold constants: true children always count, false children never do.
+  std::vector<ExprPtr> kept;
+  for (ExprPtr& child : children) {
+    if (child->op() == ExprOp::kTrue) {
+      --threshold;
+      continue;
+    }
+    if (child->op() == ExprOp::kFalse) continue;
+    kept.push_back(std::move(child));
+  }
+  if (threshold <= 0) return constant(true);
+  if (threshold > static_cast<int>(kept.size())) return constant(false);
+  if (threshold == 1) return make_or(std::move(kept));
+  if (threshold == static_cast<int>(kept.size()))
+    return make_and(std::move(kept));
+  return make(ExprOp::kAtLeast, std::move(kept), Deviation{}, Symbol{},
+              threshold);
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,129 @@
+// Failure expressions.
+//
+// Each row of a component's hazard analysis gives the causes of an output
+// deviation as a logical expression over (a) deviations of the component's
+// inputs and (b) internal malfunctions of the component (paper, Figure 2:
+// "Input Deviation Logic" and "Component Malfunction Logic" columns).
+//
+// Expr is an immutable AST shared via shared_ptr<const Expr>; subtrees are
+// freely shared between annotations and between synthesized trees.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "failure/failure_class.h"
+
+namespace ftsynth {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Node kinds of a failure expression.
+enum class ExprOp {
+  kFalse,        ///< constant: cannot happen
+  kTrue,         ///< constant: always (used for unconditional propagation)
+  kAnd,          ///< n-ary conjunction
+  kOr,           ///< n-ary disjunction
+  kNot,          ///< negation (one child)
+  kAtLeast,      ///< k-of-N vote over the children ("VOTE(k: ...)")
+  kDeviation,    ///< leaf: deviation of one of the component's input ports
+  kMalfunction,  ///< leaf: internal malfunction of the component
+};
+
+/// Immutable failure-expression node. Construct through the factory
+/// functions below, which flatten nested AND/OR and fold constants.
+class Expr {
+ public:
+  ExprOp op() const noexcept { return op_; }
+
+  /// Children of kAnd / kOr / kNot; empty for leaves and constants.
+  const std::vector<ExprPtr>& children() const noexcept { return children_; }
+
+  /// For kDeviation leaves.
+  const Deviation& deviation() const;
+  /// For kAtLeast nodes: the vote threshold k.
+  int threshold() const;
+  /// For kMalfunction leaves.
+  Symbol malfunction() const;
+
+  bool is_leaf() const noexcept {
+    return op_ == ExprOp::kDeviation || op_ == ExprOp::kMalfunction;
+  }
+  bool is_constant() const noexcept {
+    return op_ == ExprOp::kTrue || op_ == ExprOp::kFalse;
+  }
+
+  /// Renders in the paper's notation, e.g.
+  /// "Omission-input_1 AND Omission-input_2 OR Jammed"; parenthesises only
+  /// where required by precedence (NOT > AND > OR).
+  std::string to_string() const;
+
+  /// Evaluates under a truth assignment for the leaves.
+  bool evaluate(
+      const std::function<bool(const Deviation&)>& deviation_value,
+      const std::function<bool(Symbol)>& malfunction_value) const;
+
+  /// Visits every leaf once (duplicates within the tree included).
+  void for_each_leaf(const std::function<void(const Expr&)>& visit) const;
+
+  /// All distinct input-port deviations referenced by the expression.
+  std::vector<Deviation> input_deviations() const;
+  /// All distinct malfunction names referenced by the expression.
+  std::vector<Symbol> malfunctions() const;
+
+  /// Structural equality (same shape, same leaves).
+  friend bool equal(const Expr& a, const Expr& b) noexcept;
+
+  // -- Factories -------------------------------------------------------------
+
+  static ExprPtr constant(bool value);
+  static ExprPtr deviation(FailureClass failure_class, Symbol port);
+  static ExprPtr deviation(const Deviation& deviation);
+  static ExprPtr malfunction(Symbol name);
+
+  /// Conjunction; flattens nested ANDs, drops kTrue children, returns kFalse
+  /// if any child is kFalse, and collapses a single remaining child.
+  static ExprPtr make_and(std::vector<ExprPtr> children);
+  static ExprPtr make_and(ExprPtr a, ExprPtr b);
+
+  /// Disjunction with the dual simplifications of make_and.
+  static ExprPtr make_or(std::vector<ExprPtr> children);
+  static ExprPtr make_or(ExprPtr a, ExprPtr b);
+
+  /// Negation; folds constants and double negation.
+  static ExprPtr make_not(ExprPtr child);
+
+  /// k-of-N vote: true when at least `threshold` children hold. Folds the
+  /// degenerate cases (k <= 0 -> true; k > N -> false; k == 1 -> OR;
+  /// k == N -> AND).
+  static ExprPtr make_at_least(int threshold, std::vector<ExprPtr> children);
+
+ private:
+  struct Private {};  // gates construction to the factories
+
+ public:
+  Expr(Private, ExprOp op, std::vector<ExprPtr> children, Deviation deviation,
+       Symbol malfunction, int threshold) noexcept
+      : op_(op),
+        children_(std::move(children)),
+        deviation_(deviation),
+        malfunction_(malfunction),
+        threshold_(threshold) {}
+
+ private:
+  static ExprPtr make(ExprOp op, std::vector<ExprPtr> children,
+                      Deviation deviation, Symbol malfunction,
+                      int threshold = 0);
+
+  ExprOp op_;
+  std::vector<ExprPtr> children_;
+  Deviation deviation_;  // valid iff op_ == kDeviation
+  Symbol malfunction_;   // valid iff op_ == kMalfunction
+  int threshold_ = 0;    // valid iff op_ == kAtLeast
+};
+
+}  // namespace ftsynth

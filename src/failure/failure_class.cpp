@@ -1,0 +1,69 @@
+#include "failure/failure_class.h"
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+std::string_view to_string(FailureCategory category) noexcept {
+  switch (category) {
+    case FailureCategory::kProvision:
+      return "provision";
+    case FailureCategory::kTiming:
+      return "timing";
+    case FailureCategory::kValue:
+      return "value";
+  }
+  return "unknown";
+}
+
+FailureClassRegistry::FailureClassRegistry() {
+  add("Omission", FailureCategory::kProvision);
+  add("Commission", FailureCategory::kProvision);
+  add("Early", FailureCategory::kTiming);
+  add("Late", FailureCategory::kTiming);
+  add("Value", FailureCategory::kValue);
+  add("OutOfRange", FailureCategory::kValue);
+  add("Stuck", FailureCategory::kValue);
+  add("Biased", FailureCategory::kValue);
+  add("Drift", FailureCategory::kValue);
+  add("Erratic", FailureCategory::kValue);
+}
+
+FailureClass FailureClassRegistry::add(std::string_view name,
+                                       FailureCategory category) {
+  require(is_identifier(name), ErrorKind::kModel,
+          "failure class name is not an identifier: '" + std::string(name) +
+              "'");
+  if (auto existing = find(name)) {
+    require(existing->category() == category, ErrorKind::kModel,
+            "failure class '" + std::string(name) +
+                "' already registered with category " +
+                std::string(to_string(existing->category())));
+    return *existing;
+  }
+  FailureClass cls{Symbol(name), category};
+  classes_.push_back(cls);
+  return cls;
+}
+
+std::optional<FailureClass> FailureClassRegistry::find(
+    std::string_view name) const {
+  for (FailureClass cls : classes_) {
+    if (cls.view() == name) return cls;
+  }
+  return std::nullopt;
+}
+
+FailureClass FailureClassRegistry::at(std::string_view name) const {
+  auto cls = find(name);
+  require(cls.has_value(), ErrorKind::kLookup,
+          "unknown failure class '" + std::string(name) + "'");
+  return *cls;
+}
+
+std::string Deviation::to_string() const {
+  return std::string(failure_class.view()) + "-" + std::string(port.view());
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,130 @@
+// Failure classes -- the vocabulary of the HAZOP-style analysis.
+//
+// The paper examines every component output for deviations in three
+// categories (section 2):
+//   (A) service provision failures: omission, commission of the output;
+//   (B) timing failures: early, late delivery;
+//   (C) value failures: out of range, stuck, biased, linear / non-linear
+//       drift, erratic behaviour.
+//
+// A FailureClass names one such deviation type; applied to a port it forms a
+// Deviation ("Omission-output"). The registry is extensible so analysts can
+// add domain-specific classes (e.g. "Babbling" for a bus guardian study).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/symbol.h"
+
+namespace ftsynth {
+
+/// The paper's three deviation categories (section 2, A/B/C).
+enum class FailureCategory {
+  kProvision,  ///< omission / commission of a service
+  kTiming,     ///< early / late delivery
+  kValue,      ///< wrong value: out of range, stuck, biased, drift, erratic
+};
+
+std::string_view to_string(FailureCategory category) noexcept;
+
+/// An immutable, interned failure class. Value type; compares by identity.
+class FailureClass {
+ public:
+  constexpr FailureClass() noexcept = default;
+  FailureClass(Symbol name, FailureCategory category) noexcept
+      : name_(name), category_(category) {}
+
+  Symbol name() const noexcept { return name_; }
+  std::string_view view() const noexcept { return name_.view(); }
+  FailureCategory category() const noexcept { return category_; }
+  bool valid() const noexcept { return !name_.empty(); }
+
+  friend bool operator==(FailureClass a, FailureClass b) noexcept {
+    return a.name_ == b.name_;
+  }
+  friend bool operator!=(FailureClass a, FailureClass b) noexcept {
+    return a.name_ != b.name_;
+  }
+  friend bool operator<(FailureClass a, FailureClass b) noexcept {
+    return a.name_ < b.name_;
+  }
+
+  std::size_t hash() const noexcept { return name_.hash(); }
+
+ private:
+  Symbol name_;
+  FailureCategory category_ = FailureCategory::kProvision;
+};
+
+/// Registry of known failure classes. A registry instance is shared by a
+/// model and every analysis run on it; the standard taxonomy above is
+/// pre-registered by the default constructor.
+class FailureClassRegistry {
+ public:
+  /// Constructs with the paper's standard taxonomy registered:
+  /// Omission, Commission (provision); Early, Late (timing);
+  /// Value, OutOfRange, Stuck, Biased, Drift, Erratic (value).
+  FailureClassRegistry();
+
+  /// Registers a new class; throws ErrorKind::kModel if the name is not an
+  /// identifier or is already registered with a different category.
+  /// Re-registering with the same category is a no-op (idempotent).
+  FailureClass add(std::string_view name, FailureCategory category);
+
+  /// Looks a class up by (case-sensitive) name.
+  std::optional<FailureClass> find(std::string_view name) const;
+
+  /// Like find(), but throws ErrorKind::kLookup on a miss.
+  FailureClass at(std::string_view name) const;
+
+  /// All registered classes in registration order.
+  const std::vector<FailureClass>& all() const noexcept { return classes_; }
+
+  // Convenience accessors for the pre-registered standard classes.
+  FailureClass omission() const { return at("Omission"); }
+  FailureClass commission() const { return at("Commission"); }
+  FailureClass early() const { return at("Early"); }
+  FailureClass late() const { return at("Late"); }
+  FailureClass value() const { return at("Value"); }
+
+ private:
+  std::vector<FailureClass> classes_;
+};
+
+/// A deviation: a failure class observed at a named port. Rendered in the
+/// paper's hyphenated notation, e.g. "Omission-input_1".
+struct Deviation {
+  FailureClass failure_class;
+  Symbol port;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Deviation& a, const Deviation& b) noexcept {
+    return a.failure_class == b.failure_class && a.port == b.port;
+  }
+  friend bool operator<(const Deviation& a, const Deviation& b) noexcept {
+    if (a.failure_class != b.failure_class)
+      return a.failure_class < b.failure_class;
+    return a.port < b.port;
+  }
+};
+
+}  // namespace ftsynth
+
+template <>
+struct std::hash<ftsynth::FailureClass> {
+  std::size_t operator()(ftsynth::FailureClass c) const noexcept {
+    return c.hash();
+  }
+};
+
+template <>
+struct std::hash<ftsynth::Deviation> {
+  std::size_t operator()(const ftsynth::Deviation& d) const noexcept {
+    return d.failure_class.hash() * 1000003u ^ d.port.hash();
+  }
+};

@@ -1,0 +1,608 @@
+#include "fta/synthesis.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+#include "failure/expr_parser.h"
+#include "fta/simplify.h"
+
+namespace ftsynth {
+
+namespace {
+
+/// Memoisation / cycle-detection key: one traversal target.
+struct Key {
+  const Port* port;
+  ChannelRange range;  // always concrete
+  FailureClass cls;
+
+  friend bool operator==(const Key& a, const Key& b) noexcept {
+    return a.port == b.port && a.range == b.range && a.cls == b.cls;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    std::size_t h = std::hash<const void*>{}(k.port);
+    h = h * 1000003u ^ static_cast<std::size_t>(k.range.lo + 1);
+    h = h * 1000003u ^ static_cast<std::size_t>(k.range.hi + 1);
+    h = h * 1000003u ^ k.cls.hash();
+    return h;
+  }
+};
+
+/// One synthesise() invocation. Builds a single FaultTree.
+///
+/// FtNode* result semantics throughout: nullptr == the deviation cannot
+/// occur (constant false); a kHouse node == constant true; anything else is
+/// a proper event.
+class Run {
+ public:
+  Run(const Model& model, const SynthesisOptions& options,
+      SynthesisStats& stats, FaultTree& tree)
+      : model_(model),
+        options_(options),
+        stats_(stats),
+        tree_(tree),
+        omission_(model.registry().omission()) {
+    // One model walk up front turns every per-port lookup into O(1); the
+    // naive connection scan made synthesis quadratic on flat models.
+    model_.for_each_block([&](const Block& block) {
+      if (block.is_subsystem()) {
+        for (const Connection& connection : block.connections())
+          feed_.emplace(connection.to, &connection);
+      }
+      if (block.kind() == BlockKind::kDataStoreWrite)
+        writers_[block.store_name()].push_back(&block);
+    });
+  }
+
+  /// Entry point: resolve a deviation at a boundary output of `subsystem`
+  /// (used for the model root, and internally when crossing nested
+  /// subsystem boundaries).
+  FtNode* resolve_subsystem_output(const Block& subsystem, const Port& port,
+                                   ChannelRange range, FailureClass cls) {
+    // Inner propagation: through the Outport proxy of the same name.
+    const Block* proxy = subsystem.find_child(port.name());
+    check_internal(proxy != nullptr && proxy->kind() == BlockKind::kOutport,
+                   "missing Outport proxy for " + port.qualified_name());
+    std::vector<Port*> proxy_inputs = proxy->inputs();
+    check_internal(proxy_inputs.size() == 1, "malformed Outport proxy");
+    FtNode* inner = resolve_input(*proxy_inputs.front(), range, cls);
+
+    // Enclosing-level (hardware / environment) common cause: Figure 3.
+    FtNode* common = nullptr;
+    if (options_.subsystem_common_cause) {
+      bool any_row = false;
+      common = convert_rows(subsystem, Deviation{cls, port.name()}, any_row);
+    }
+    return make_or({inner, common},
+                   describe(cls, port.name(), subsystem.path()));
+  }
+
+ private:
+  // -- Gate construction (nullptr = false, kHouse = true) ---------------------
+
+  static bool is_house(const FtNode* node) noexcept {
+    return node != nullptr && node->kind() == NodeKind::kHouse;
+  }
+
+  FtNode* house() {
+    return tree_.add_house(Symbol("always"), "condition fixed true");
+  }
+
+  FtNode* make_or(std::vector<FtNode*> children, std::string description) {
+    std::vector<FtNode*> kept;
+    for (FtNode* child : children) {
+      if (child == nullptr) continue;
+      if (is_house(child)) return child;
+      if (std::find(kept.begin(), kept.end(), child) == kept.end())
+        kept.push_back(child);
+    }
+    if (kept.empty()) return nullptr;
+    if (kept.size() == 1) return kept.front();
+    return tree_.add_gate(GateKind::kOr, std::move(description),
+                          std::move(kept));
+  }
+
+  FtNode* make_and(std::vector<FtNode*> children, std::string description) {
+    std::vector<FtNode*> kept;
+    for (FtNode* child : children) {
+      if (child == nullptr) return nullptr;
+      if (is_house(child)) continue;
+      if (std::find(kept.begin(), kept.end(), child) == kept.end())
+        kept.push_back(child);
+    }
+    if (kept.empty()) return house();
+    if (kept.size() == 1) return kept.front();
+    return tree_.add_gate(GateKind::kAnd, std::move(description),
+                          std::move(kept));
+  }
+
+  FtNode* make_not(FtNode* child, std::string description) {
+    if (child == nullptr) return house();
+    if (is_house(child)) return nullptr;
+    return tree_.add_gate(GateKind::kNot, std::move(description), {child});
+  }
+
+  static std::string describe(FailureClass cls, Symbol port,
+                              const std::string& where) {
+    return Deviation{cls, port}.to_string() + " at " + where;
+  }
+
+  // -- Expression conversion ---------------------------------------------------
+
+  /// Converts a local failure expression of `block` into fault tree nodes:
+  /// malfunctions become basic events, input deviations recurse upstream.
+  FtNode* convert(const Expr& expr, const Block& block) {
+    switch (expr.op()) {
+      case ExprOp::kFalse:
+        return nullptr;
+      case ExprOp::kTrue:
+        return house();
+      case ExprOp::kMalfunction: {
+        Symbol name = expr.malfunction();
+        double rate = 0.0;
+        std::string description;
+        if (auto malfunction = block.annotation().find_malfunction(name)) {
+          rate = malfunction->rate;
+          description = malfunction->description;
+        }
+        if (description.empty())
+          description = "malfunction of " + block.path();
+        return tree_.add_basic(Symbol(block.path() + "." + name.str()), rate,
+                               std::move(description), block.path());
+      }
+      case ExprOp::kDeviation: {
+        const Deviation& d = expr.deviation();
+        const Port& port = block.port(d.port);
+        require(port.is_input(), ErrorKind::kAnalysis,
+                "cause expression of '" + block.path() +
+                    "' references non-input deviation " + d.to_string());
+        return resolve_input(port, ChannelRange::whole(), d.failure_class);
+      }
+      case ExprOp::kNot:
+        return make_not(convert(*expr.children().front(), block),
+                        "NOT at " + block.path());
+      case ExprOp::kAtLeast: {
+        // Expand the k-of-N vote into the OR of all k-subsets; every
+        // downstream engine then works unchanged. N is the handful of
+        // redundant channels a voter sees, so C(N, k) stays small.
+        std::vector<FtNode*> resolved;
+        resolved.reserve(expr.children().size());
+        for (const ExprPtr& child : expr.children())
+          resolved.push_back(convert(*child, block));
+        const int n = static_cast<int>(resolved.size());
+        const int k = expr.threshold();
+        std::vector<FtNode*> alternatives;
+        std::vector<int> pick;
+        auto choose = [&](auto&& self, int start) -> void {
+          if (static_cast<int>(pick.size()) == k) {
+            std::vector<FtNode*> conjuncts;
+            for (int index : pick) {
+              conjuncts.push_back(resolved[static_cast<std::size_t>(index)]);
+            }
+            alternatives.push_back(
+                make_and(std::move(conjuncts),
+                         std::to_string(k) + "-of-" + std::to_string(n) +
+                             " at " + block.path()));
+            return;
+          }
+          for (int i = start; i <= n - (k - static_cast<int>(pick.size()));
+               ++i) {
+            pick.push_back(i);
+            self(self, i + 1);
+            pick.pop_back();
+          }
+        };
+        choose(choose, 0);
+        return make_or(std::move(alternatives),
+                       "vote causes at " + block.path());
+      }
+      case ExprOp::kAnd:
+      case ExprOp::kOr: {
+        std::vector<FtNode*> children;
+        children.reserve(expr.children().size());
+        for (const ExprPtr& child : expr.children())
+          children.push_back(convert(*child, block));
+        std::string description = "causes at " + block.path();
+        return expr.op() == ExprOp::kAnd
+                   ? make_and(std::move(children), std::move(description))
+                   : make_or(std::move(children), std::move(description));
+      }
+    }
+    throw Error(ErrorKind::kInternal, "corrupt ExprOp in synthesis");
+  }
+
+  /// Converts every annotation row of `block` explaining `deviation`,
+  /// OR-ing the rows together. Data-dependent rows (condition probability
+  /// below 1, the paper's stuck-register discussion) are AND-ed with a
+  /// fixed-probability condition event. Returns nullptr with any_row=false
+  /// when no row matches.
+  FtNode* convert_rows(const Block& block, const Deviation& deviation,
+                       bool& any_row) {
+    any_row = false;
+    std::vector<FtNode*> alternatives;
+    const std::vector<AnnotationRow>& rows = block.annotation().rows();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const AnnotationRow& row = rows[i];
+      if (!(row.output == deviation)) continue;
+      any_row = true;
+      FtNode* node = convert(*row.cause, block);
+      if (row.condition_probability < 1.0) {
+        FtNode* condition = tree_.add_basic(
+            Symbol(condition_event_name(block, deviation, i)), 0.0,
+            row.description.empty()
+                ? "data condition enabling " + deviation.to_string()
+                : row.description,
+            block.path());
+        condition->set_fixed_probability(row.condition_probability);
+        node = make_and({node, condition},
+                        describe(deviation.failure_class, deviation.port,
+                                 block.path()) +
+                            " [data-dependent]");
+      }
+      alternatives.push_back(node);
+    }
+    if (!any_row) return nullptr;
+    return make_or(std::move(alternatives),
+                   describe(deviation.failure_class, deviation.port,
+                            block.path()));
+  }
+
+  // -- Backward traversal ------------------------------------------------------
+
+  /// Resolves a deviation to be observed at input port `port`: follows the
+  /// connection feeding it (or reports an environment event at the model
+  /// boundary).
+  FtNode* resolve_input(const Port& port, ChannelRange range,
+                        FailureClass cls) {
+    const Block& owner = port.owner();
+    const Block* parent = owner.parent();
+    if (parent == nullptr) {
+      // Boundary input of the model root: the deviation originates in the
+      // environment (sensor stimulus, pedal demand, ...).
+      if (options_.environment ==
+          SynthesisOptions::EnvironmentPolicy::kPrune)
+        return nullptr;
+      Deviation d{cls, port.name()};
+      return tree_.add_basic(Symbol("env:" + d.to_string()), 0.0,
+                             d.to_string() + " at the system boundary",
+                             owner.path());
+    }
+    auto it = feed_.find(&port);
+    const Connection* connection = it == feed_.end() ? nullptr : it->second;
+    if (connection == nullptr) {
+      // Validation normally rejects this; keep the synthesis total anyway.
+      Deviation d{cls, port.name()};
+      return tree_.add_undeveloped(
+          Symbol("und:" + d.to_string() + "@" + owner.path()),
+          d.to_string() + " on unconnected input", owner.path());
+    }
+    return resolve_output(*connection->from, range, cls);
+  }
+
+  /// Resolves a deviation at output port `port` against the block producing
+  /// it. Memoised; cycles are cut here.
+  FtNode* resolve_output(const Port& port, ChannelRange range,
+                         FailureClass cls) {
+    Key key{&port, range.concrete(port.width()), cls};
+    ++stats_.resolutions;
+
+    if (options_.memoise) {
+      if (auto it = memo_.find(key); it != memo_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+      }
+    }
+    if (auto it = on_stack_.find(key); it != on_stack_.end()) {
+      // Feedback loop: cut at the repeated target.
+      ++stats_.loops_cut;
+      taint_floor_ = std::min(taint_floor_, it->second);
+      if (options_.loops == SynthesisOptions::LoopPolicy::kPrune)
+        return nullptr;
+      Deviation d{cls, port.name()};
+      return tree_.add_loop(
+          Symbol("loop:" + d.to_string() + "@" + port.owner().path()),
+          d.to_string() + " feeds back to itself through a control loop",
+          port.owner().path());
+    }
+
+    const std::size_t index = stack_.size();
+    stack_.push_back(key);
+    on_stack_.emplace(key, index);
+
+    FtNode* result = resolve_output_uncached(port, key.range, cls);
+
+    stack_.pop_back();
+    on_stack_.erase(key);
+    const bool tainted = index >= taint_floor_;
+    if (stack_.size() <= taint_floor_) taint_floor_ = SIZE_MAX;
+    if (options_.memoise && !tainted) memo_.emplace(key, result);
+    return result;
+  }
+
+  FtNode* resolve_output_uncached(const Port& port, ChannelRange range,
+                                  FailureClass cls) {
+    const Block& block = port.owner();
+    switch (block.kind()) {
+      case BlockKind::kBasic:
+        return resolve_basic(block, port, cls);
+      case BlockKind::kSubsystem:
+        return resolve_subsystem_output(block, port, range, cls);
+      case BlockKind::kInport: {
+        // Proxy inside a subsystem: continue from the subsystem's own
+        // boundary input port of the same name (connected in the
+        // grandparent, or the environment at the root).
+        const Block* subsystem = block.parent();
+        check_internal(subsystem != nullptr, "Inport proxy without parent");
+        return resolve_input(subsystem->port(block.name()), range, cls);
+      }
+      case BlockKind::kMux:
+        return resolve_mux(block, port, range, cls);
+      case BlockKind::kDemux:
+        return resolve_demux(block, port, range, cls);
+      case BlockKind::kDataStoreRead:
+        return resolve_store_read(block, cls);
+      case BlockKind::kGround:
+        return nullptr;  // a grounded flow never deviates
+      case BlockKind::kOutport:
+      case BlockKind::kDataStoreWrite:
+        break;  // have no output ports; unreachable on valid models
+    }
+    throw Error(ErrorKind::kInternal,
+                "resolve_output on block kind without outputs: " +
+                    block.path());
+  }
+
+  FtNode* resolve_basic(const Block& block, const Port& port,
+                        FailureClass cls) {
+    const Deviation deviation{cls, port.name()};
+    bool explained = false;
+    FtNode* node = convert_rows(block, deviation, explained);
+
+    // Gates built by convert()/convert_rows() for this call are fresh
+    // (never memoised), so they are ours to relabel and extend in place.
+    const bool owned_or_gate =
+        node != nullptr && node->kind() == NodeKind::kGate &&
+        node->gate() == GateKind::kOr &&
+        (node->description().rfind("causes at", 0) == 0 ||
+         node->description() == describe(cls, port.name(), block.path()));
+
+    // Triggered blocks: loss of the control signal silences every output.
+    if (options_.trigger_omission && cls == omission_) {
+      if (const Port* trigger = block.trigger()) {
+        FtNode* trigger_loss =
+            resolve_input(*trigger, ChannelRange::whole(), omission_);
+        if (owned_or_gate && trigger_loss != nullptr &&
+            !is_house(trigger_loss)) {
+          node->add_child(trigger_loss);
+        } else {
+          node = make_or({node, trigger_loss},
+                         describe(cls, port.name(), block.path()));
+        }
+        explained = true;
+      }
+    }
+    if (explained) {
+      if (node != nullptr && node->kind() == NodeKind::kGate &&
+          node->description().rfind("causes at", 0) == 0) {
+        node->set_description(describe(cls, port.name(), block.path()));
+      }
+      return node;
+    }
+
+    // No annotation row explains this deviation.
+    switch (options_.unannotated) {
+      case SynthesisOptions::UnannotatedPolicy::kPrune:
+        return nullptr;
+      case SynthesisOptions::UnannotatedPolicy::kError:
+        throw Error(ErrorKind::kAnalysis,
+                    "component '" + block.path() +
+                        "' has no hazard-analysis row for " +
+                        deviation.to_string());
+      case SynthesisOptions::UnannotatedPolicy::kPropagate: {
+        std::vector<FtNode*> children;
+        for (const Port* input : block.inputs()) {
+          if (input->is_trigger()) continue;
+          children.push_back(
+              resolve_input(*input, ChannelRange::whole(), cls));
+        }
+        if (children.empty()) break;  // a source block: fall through
+        return make_or(std::move(children),
+                       describe(cls, port.name(), block.path()));
+      }
+      case SynthesisOptions::UnannotatedPolicy::kUndeveloped:
+        break;
+    }
+    return tree_.add_undeveloped(
+        Symbol("und:" + deviation.to_string() + "@" + block.path()),
+        deviation.to_string() + " not covered by the hazard analysis of " +
+            block.path(),
+        block.path());
+  }
+
+  FtNode* resolve_mux(const Block& block, const Port& port, ChannelRange range,
+                      FailureClass cls) {
+    // A deviation on a slice of the muxed flow is a deviation on any
+    // overlapped constituent flow.
+    const ChannelRange r = range.concrete(port.width());
+    std::vector<FtNode*> children;
+    int offset = 0;
+    for (const Port* input : block.inputs()) {
+      const int lo = std::max(r.lo, offset);
+      const int hi = std::min(r.hi, offset + input->width());
+      if (lo < hi) {
+        children.push_back(resolve_input(
+            *input, ChannelRange::slice(lo - offset, hi - offset), cls));
+      }
+      offset += input->width();
+    }
+    return make_or(std::move(children),
+                   describe(cls, port.name(), block.path()) + " [channels " +
+                       r.to_string() + "]");
+  }
+
+  FtNode* resolve_demux(const Block& block, const Port& port,
+                        ChannelRange range, FailureClass cls) {
+    const ChannelRange r = range.concrete(port.width());
+    int offset = 0;
+    for (const Port* output : block.outputs()) {
+      if (output == &port) break;
+      offset += output->width();
+    }
+    std::vector<Port*> inputs = block.inputs();
+    check_internal(inputs.size() == 1, "malformed demux");
+    return resolve_input(*inputs.front(),
+                         ChannelRange::slice(offset + r.lo, offset + r.hi),
+                         cls);
+  }
+
+  FtNode* resolve_store_read(const Block& block, FailureClass cls) {
+    // Data-Store read/write pairs communicate remotely without explicit
+    // links (paper, section 3): trace every writer of the store.
+    static const std::vector<const Block*> kNone;
+    auto it = writers_.find(block.store_name());
+    const std::vector<const Block*>& writers =
+        it == writers_.end() ? kNone : it->second;
+    if (writers.empty()) {
+      Deviation d{cls, Symbol("out")};
+      return tree_.add_undeveloped(
+          Symbol("und:store:" + block.store_name().str() + ":" +
+                 d.to_string()),
+          "store '" + block.store_name().str() + "' read by " + block.path() +
+              " is never written",
+          block.path());
+    }
+    std::vector<FtNode*> children;
+    for (const Block* writer : writers) {
+      std::vector<Port*> inputs = writer->inputs();
+      check_internal(inputs.size() == 1, "malformed DataStoreWrite");
+      children.push_back(
+          resolve_input(*inputs.front(), ChannelRange::whole(), cls));
+    }
+    return make_or(std::move(children),
+                   std::string(cls.view()) + " of data store '" +
+                       block.store_name().str() + "'");
+  }
+
+  const Model& model_;
+  const SynthesisOptions& options_;
+  SynthesisStats& stats_;
+  FaultTree& tree_;
+  FailureClass omission_;
+
+  std::unordered_map<Key, FtNode*, KeyHash> memo_;
+  std::vector<Key> stack_;
+  std::unordered_map<Key, std::size_t, KeyHash> on_stack_;
+  std::size_t taint_floor_ = SIZE_MAX;
+  std::unordered_map<const Port*, const Connection*> feed_;
+  std::unordered_map<Symbol, std::vector<const Block*>> writers_;
+};
+
+}  // namespace
+
+std::string condition_event_name(const Block& block,
+                                 const Deviation& deviation,
+                                 std::size_t row_index) {
+  return "cond:" + deviation.to_string() + "@" + block.path() + "#" +
+         std::to_string(row_index);
+}
+
+Synthesiser::Synthesiser(const Model& model, SynthesisOptions options)
+    : model_(model), options_(options) {}
+
+FaultTree Synthesiser::synthesise(const Deviation& top) {
+  const Block& root = model_.root();
+  const Port* port = root.find_port(top.port);
+  require(port != nullptr && port->is_output(), ErrorKind::kLookup,
+          "model '" + model_.name() + "' has no boundary output port '" +
+              top.port.str() + "' for top event " + top.to_string());
+
+  stats_ = SynthesisStats{};
+  FaultTree tree(model_.name() + "__" + top.to_string());
+  tree.set_top_description(top.to_string() + " at " + model_.name());
+
+  Run run(model_, options_, stats_, tree);
+  FtNode* node = run.resolve_subsystem_output(root, *port,
+                                              ChannelRange::whole(),
+                                              top.failure_class);
+  tree.set_top(node);
+  if (options_.deduplicate) return deduplicate(tree);
+  return tree;
+}
+
+FaultTree Synthesiser::synthesise(std::string_view top) {
+  return synthesise(parse_deviation(top, model_.registry()));
+}
+
+std::vector<FaultTree> synthesise_parallel(const Model& model,
+                                           const std::vector<Deviation>& tops,
+                                           SynthesisOptions options,
+                                           int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(tops.size()));
+  if (threads <= 1) {
+    Synthesiser synthesiser(model, options);
+    std::vector<FaultTree> trees;
+    trees.reserve(tops.size());
+    for (const Deviation& top : tops) trees.push_back(synthesiser.synthesise(top));
+    return trees;
+  }
+
+  std::vector<std::optional<FaultTree>> slots(tops.size());
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    // Per-thread synthesiser: traversal state and stats are not shared.
+    Synthesiser synthesiser(model, options);
+    while (true) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= tops.size()) return;
+      try {
+        slots[index].emplace(synthesiser.synthesise(tops[index]));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<FaultTree> trees;
+  trees.reserve(slots.size());
+  for (std::optional<FaultTree>& slot : slots) {
+    check_internal(slot.has_value(), "parallel synthesis lost a tree");
+    trees.push_back(std::move(*slot));
+  }
+  return trees;
+}
+
+std::vector<FaultTree> Synthesiser::synthesise_all() {
+  std::vector<FaultTree> trees;
+  for (const Port* port : model_.root().outputs()) {
+    for (FailureClass cls : model_.registry().all()) {
+      FaultTree tree = synthesise(Deviation{cls, port->name()});
+      if (tree.top() != nullptr) trees.push_back(std::move(tree));
+    }
+  }
+  return trees;
+}
+
+}  // namespace ftsynth

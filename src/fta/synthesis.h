@@ -1,0 +1,133 @@
+// Automatic fault tree synthesis (the paper's core contribution).
+//
+// For a hazardous deviation observed at a system output, the synthesiser
+// traverses the hierarchical model backwards -- from actuators towards
+// sensors (paper, section 2) -- evaluating the local failure expressions of
+// every component it encounters:
+//
+//   * a malfunction leaf becomes a basic event (named block.malfunction,
+//     carrying the annotated failure rate);
+//   * an input-deviation leaf is traced across the connection feeding that
+//     input and resolved against the component upstream;
+//   * subsystem boundaries are crossed through the Inport/Outport proxies,
+//     OR-ing in the enclosing component's own (hardware / common-cause)
+//     analysis on the way out (the Figure 3 concept);
+//   * mux/demux blocks are traced channel-accurately, Data-Store read/write
+//     pairs are followed as implicit remote connections, and trigger inputs
+//     contribute omission causes automatically (section 3's "complications");
+//   * deviations reaching an unconnected system boundary input become
+//     environment basic events;
+//   * feedback loops (the platform's distributed control loops) are cut at
+//     the first repeated (port, channels, class) on the traversal stack.
+//
+// Results are memoised on (port, channels, class), so the output is a DAG in
+// which shared causes appear once -- this both keeps synthesis near-linear
+// in model size and makes common-cause dependencies explicit.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fta/fault_tree.h"
+#include "model/model.h"
+
+namespace ftsynth {
+
+struct SynthesisOptions {
+  /// What to do when a deviation reaches a basic block whose annotation has
+  /// no row for it.
+  enum class UnannotatedPolicy {
+    kUndeveloped,  ///< emit an undeveloped event (default; flags analysis gaps)
+    kPrune,        ///< assume the component stops the failure (no event)
+    kError,        ///< throw ErrorKind::kAnalysis
+    kPropagate,    ///< assume same-class propagation from every input
+  };
+
+  /// What to do at the cut point of a feedback loop.
+  enum class LoopPolicy {
+    kPrune,  ///< cut to `false`: exact least-fixpoint semantics (default)
+    kEvent,  ///< emit a visible <loop> leaf marking the cut
+  };
+
+  /// What a deviation arriving at an unconnected system boundary input
+  /// becomes.
+  enum class EnvironmentPolicy {
+    kBasicEvent,  ///< "env:<Class>-<port>" basic event (default)
+    kPrune,       ///< assume a perfect environment
+  };
+
+  UnannotatedPolicy unannotated = UnannotatedPolicy::kUndeveloped;
+  LoopPolicy loops = LoopPolicy::kPrune;
+  EnvironmentPolicy environment = EnvironmentPolicy::kBasicEvent;
+
+  /// Automatically OR "Omission-<trigger>" into every output omission of a
+  /// triggered block (section 3: indirectly relayed control signals).
+  bool trigger_omission = true;
+
+  /// Apply enclosing-subsystem annotations as common-cause contributions
+  /// when crossing subsystem outputs (Figure 3). Disabling reduces the
+  /// analysis to a flat, software-only view.
+  bool subsystem_common_cause = true;
+
+  /// Memoise (port, channels, class) resolutions, producing a shared DAG.
+  /// Disabling re-expands shared subtrees into a plain tree -- exponentially
+  /// larger on replicated architectures (ablation: bench_synthesis).
+  bool memoise = true;
+
+  /// Run a structural hash-consing pass (fta/simplify.h deduplicate) over
+  /// the result, collapsing identical subtrees that escaped memoisation
+  /// (loop-cut regions are deliberately not memoised). Semantics-neutral.
+  bool deduplicate = true;
+};
+
+/// Counters from the most recent synthesise() call.
+struct SynthesisStats {
+  std::size_t resolutions = 0;  ///< (port, channels, class) targets resolved
+  std::size_t cache_hits = 0;
+  std::size_t loops_cut = 0;
+};
+
+/// Name of the condition event synthesised for a data-dependent annotation
+/// row (condition_probability < 1): "cond:<Deviation>@<block path>#<row>".
+/// Shared with the forward propagation engine so both sides agree.
+std::string condition_event_name(const Block& block,
+                                 const Deviation& deviation,
+                                 std::size_t row_index);
+
+/// Synthesises fault trees for deviations at the model's boundary outputs.
+/// The model must outlive the synthesiser; it is not modified.
+class Synthesiser {
+ public:
+  explicit Synthesiser(const Model& model, SynthesisOptions options = {});
+
+  /// Synthesises the fault tree for `top`, whose port must name a boundary
+  /// output port of the model root.
+  FaultTree synthesise(const Deviation& top);
+
+  /// Convenience: parses "Class-port" against the model registry.
+  FaultTree synthesise(std::string_view top);
+
+  /// Synthesises one tree per (boundary output port x failure class in the
+  /// registry) whose tree is non-empty.
+  std::vector<FaultTree> synthesise_all();
+
+  const SynthesisStats& stats() const noexcept { return stats_; }
+
+ private:
+  const Model& model_;
+  SynthesisOptions options_;
+  SynthesisStats stats_;
+};
+
+/// Synthesises one tree per top event concurrently (a campaign over many
+/// top events is embarrassingly parallel: each tree gets its own traversal
+/// state, and the shared model is read-only). Results are in `tops` order
+/// and identical to sequential synthesis. `threads` <= 0 uses the hardware
+/// concurrency.
+std::vector<FaultTree> synthesise_parallel(const Model& model,
+                                           const std::vector<Deviation>& tops,
+                                           SynthesisOptions options = {},
+                                           int threads = 0);
+
+}  // namespace ftsynth

@@ -1,0 +1,66 @@
+#include "ftp/dot_writer.h"
+
+#include <fstream>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+namespace {
+
+std::string node_attrs(const FtNode& node) {
+  const std::string label = escape_quoted(std::string(node.name().view()));
+  switch (node.kind()) {
+    case NodeKind::kGate: {
+      std::string shape = node.gate() == GateKind::kAnd    ? "box"
+                          : node.gate() == GateKind::kOr   ? "trapezium"
+                          : node.gate() == GateKind::kPand ? "cds"
+                                                           : "invtriangle";
+      return "label=\"" + label + "\\n[" +
+             std::string(to_string(node.gate())) + "] " +
+             escape_quoted(node.description()) + "\", shape=" + shape;
+    }
+    case NodeKind::kBasic: {
+      std::string extra =
+          node.rate() > 0.0 ? "\\nlambda=" + format_double(node.rate()) : "";
+      return "label=\"" + label + extra + "\", shape=circle";
+    }
+    case NodeKind::kHouse:
+      return "label=\"" + label + "\", shape=house";
+    case NodeKind::kUndeveloped:
+      return "label=\"" + label + "\", shape=diamond";
+    case NodeKind::kLoop:
+      return "label=\"" + label + "\", shape=diamond, style=dashed";
+  }
+  return "label=\"" + label + "\"";
+}
+
+}  // namespace
+
+std::string write_dot(const FaultTree& tree) {
+  std::string out = "digraph \"" + escape_quoted(tree.name()) + "\" {\n";
+  out += "  rankdir=TB;\n";
+  out += "  labelloc=t;\n";
+  out += "  label=\"" + escape_quoted(tree.top_description()) + "\";\n";
+  tree.for_each_reachable([&](const FtNode& node) {
+    out += "  n" + std::to_string(node.id()) + " [" + node_attrs(node) +
+           "];\n";
+    for (const FtNode* child : node.children()) {
+      out += "  n" + std::to_string(node.id()) + " -> n" +
+             std::to_string(child->id()) + ";\n";
+    }
+  });
+  out += "}\n";
+  return out;
+}
+
+void write_dot_file(const FaultTree& tree, const std::string& path) {
+  std::ofstream file(path);
+  require(file.good(), ErrorKind::kParse,
+          "cannot open '" + path + "' for writing");
+  file << write_dot(tree);
+  require(file.good(), ErrorKind::kParse, "failed writing '" + path + "'");
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,19 @@
+// Graphviz DOT export of fault trees: gates as boxes (AND/OR/NOT), basic
+// events as circles, undeveloped events as diamonds, house events as
+// houses -- the classical fault tree symbols, flattened onto DOT shapes.
+// Shared DAG nodes appear once with multiple incoming edges, which makes
+// common-cause structure visible at a glance.
+
+#pragma once
+
+#include <string>
+
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+std::string write_dot(const FaultTree& tree);
+
+void write_dot_file(const FaultTree& tree, const std::string& path);
+
+}  // namespace ftsynth

@@ -1,0 +1,183 @@
+#include "ftp/ftp_reader.h"
+
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+namespace {
+
+/// One [SECTION] with its key=value pairs, in document order.
+struct Record {
+  std::string section;
+  int line = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  const std::string* find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::string get(std::string_view key) const {
+    const std::string* value = find(key);
+    if (value == nullptr) {
+      throw ParseError("[" + section + "] record is missing '" +
+                           std::string(key) + "'",
+                       line, 1);
+    }
+    return *value;
+  }
+  std::string get_or(std::string_view key, std::string fallback) const {
+    const std::string* value = find(key);
+    return value != nullptr ? *value : std::move(fallback);
+  }
+  double get_number(std::string_view key, double fallback) const {
+    const std::string* value = find(key);
+    if (value == nullptr) return fallback;
+    char* end = nullptr;
+    double parsed = std::strtod(value->c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      throw ParseError("field '" + std::string(key) + "' is not a number",
+                       line, 1);
+    }
+    return parsed;
+  }
+};
+
+std::vector<Record> parse_records(std::string_view text) {
+  std::vector<Record> records;
+  int line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t eol = text.find('\n', start);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, eol - start);
+    ++line_number;
+    start = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw ParseError("malformed section header", line_number, 1);
+      records.push_back(
+          {std::string(line.substr(1, line.size() - 2)), line_number, {}});
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos)
+      throw ParseError("expected 'Key=value'", line_number, 1);
+    if (records.empty())
+      throw ParseError("field outside any [SECTION]", line_number, 1);
+    records.back().fields.emplace_back(std::string(trim(line.substr(0, eq))),
+                                       std::string(trim(line.substr(eq + 1))));
+  }
+  return records;
+}
+
+}  // namespace
+
+FtpProject read_ftp_project(std::string_view text) {
+  const std::vector<Record> records = parse_records(text);
+  FtpProject project;
+
+  // Pass 1: the project header and the global event table.
+  std::unordered_map<std::string, const Record*> events;
+  for (const Record& record : records) {
+    if (record.section == "PROJECT") {
+      project.name = record.get_or("Name", "unnamed");
+    } else if (record.section == "EVENT") {
+      events.emplace(record.get("Id"), &record);
+    }
+  }
+
+  // Pass 2: trees and their gates (written children-first).
+  std::unique_ptr<FaultTree> tree;
+  std::string pending_top;
+  std::unordered_map<std::string, FtNode*> nodes;  // ids of the current tree
+
+  auto leaf_for = [&](const std::string& id) -> FtNode* {
+    check_internal(tree != nullptr, "event outside a tree");
+    if (auto it = nodes.find(id); it != nodes.end()) return it->second;
+    auto ev = events.find(id);
+    require(ev != events.end(), ErrorKind::kParse,
+            "project references undefined event '" + id + "'");
+    const Record& record = *ev->second;
+    const std::string kind = record.get_or("Kind", "BASIC");
+    FtNode* node = nullptr;
+    if (iequals(kind, "BASIC")) {
+      node = tree->add_basic(Symbol(id), record.get_number("FailureRate", 0.0),
+                             record.get_or("Description", ""), "");
+      const double fixed = record.get_number("FixedProbability", -1.0);
+      if (fixed >= 0.0) node->set_fixed_probability(fixed);
+    } else if (iequals(kind, "HOUSE")) {
+      node = tree->add_house(Symbol(id), record.get_or("Description", ""));
+    } else if (iequals(kind, "UNDEVELOPED")) {
+      node = tree->add_undeveloped(Symbol(id),
+                                   record.get_or("Description", ""), "");
+    } else {
+      throw ParseError("unknown event kind '" + kind + "'", record.line, 1);
+    }
+    nodes.emplace(id, node);
+    return node;
+  };
+
+  auto finish_tree = [&]() {
+    if (tree == nullptr) return;
+    if (pending_top != "NONE" && !pending_top.empty()) {
+      auto it = nodes.find(pending_top);
+      // The top may be a bare event never pulled in by a gate.
+      FtNode* top = it != nodes.end() ? it->second : leaf_for(pending_top);
+      tree->set_top(top);
+    }
+    project.trees.push_back(std::move(*tree));
+    tree.reset();
+    nodes.clear();
+  };
+
+  for (const Record& record : records) {
+    if (record.section == "TREE") {
+      finish_tree();
+      tree = std::make_unique<FaultTree>(record.get_or("Name", "tree"));
+      tree->set_top_description(record.get_or("TopEvent", ""));
+      pending_top = record.get_or("TopGate", "NONE");
+    } else if (record.section == "GATE") {
+      require(tree != nullptr, ErrorKind::kParse,
+              "[GATE] before any [TREE]");
+      const std::string type = record.get("Type");
+      GateKind kind = GateKind::kOr;
+      if (iequals(type, "AND")) {
+        kind = GateKind::kAnd;
+      } else if (iequals(type, "OR")) {
+        kind = GateKind::kOr;
+      } else if (iequals(type, "NOT")) {
+        kind = GateKind::kNot;
+      } else if (iequals(type, "PAND")) {
+        kind = GateKind::kPand;
+      } else {
+        throw ParseError("unknown gate type '" + type + "'", record.line, 1);
+      }
+      std::vector<FtNode*> children;
+      for (const std::string& input : split(record.get("Inputs"), ',')) {
+        if (input.empty()) continue;
+        if (auto it = nodes.find(input); it != nodes.end()) {
+          children.push_back(it->second);
+        } else {
+          children.push_back(leaf_for(input));
+        }
+      }
+      FtNode* gate =
+          tree->add_gate(kind, record.get_or("Description", ""), children);
+      nodes.emplace(record.get("Id"), gate);
+    }
+  }
+  finish_tree();
+  return project;
+}
+
+}  // namespace ftsynth

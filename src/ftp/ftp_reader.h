@@ -1,0 +1,29 @@
+// Reader for the FTP-style project text written by ftp/ftp_writer.h --
+// the import half of the paper's Fault Tree Plus hand-off, so projects
+// can be exchanged in both directions (and the exporter is testable by
+// round-trip).
+//
+// Loss notes: loop events are exported as UNDEVELOPED (FTP has no loop
+// primitive) and come back as undeveloped events; gate names are
+// regenerated (G1, G2, ...) preserving order.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+struct FtpProject {
+  std::string name;
+  std::vector<FaultTree> trees;
+};
+
+/// Parses a project document; throws ParseError on malformed input and
+/// ErrorKind::kParse on dangling references.
+FtpProject read_ftp_project(std::string_view text);
+
+}  // namespace ftsynth

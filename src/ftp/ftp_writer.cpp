@@ -1,0 +1,123 @@
+#include "ftp/ftp_writer.h"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+namespace {
+
+std::string event_kind(const FtNode& node) {
+  switch (node.kind()) {
+    case NodeKind::kBasic:
+      return "BASIC";
+    case NodeKind::kHouse:
+      return "HOUSE";
+    case NodeKind::kUndeveloped:
+      return "UNDEVELOPED";
+    case NodeKind::kLoop:
+      return "UNDEVELOPED";  // FTP has no loop primitive; export as undeveloped
+    case NodeKind::kGate:
+      break;
+  }
+  throw Error(ErrorKind::kInternal, "event_kind on a gate");
+}
+
+std::string gate_type(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAnd:
+      return "AND";
+    case GateKind::kOr:
+      return "OR";
+    case GateKind::kNot:
+      return "NOT";
+    case GateKind::kPand:
+      return "PAND";
+  }
+  return "OR";
+}
+
+}  // namespace
+
+std::string write_ftp_project(const std::string& project_name,
+                              const std::vector<const FaultTree*>& trees) {
+  std::string out;
+  out += "[PROJECT]\n";
+  out += "Name=" + project_name + "\n";
+  out += "Format=FTSYNTH-FTP-TEXT 1.0\n";
+  out += "Trees=" + std::to_string(trees.size()) + "\n\n";
+
+  // Events shared between trees (common-cause across top events) are
+  // emitted once, keyed by name.
+  std::unordered_set<Symbol> emitted_events;
+
+  for (const FaultTree* tree : trees) {
+    out += "[TREE]\n";
+    out += "Name=" + tree->name() + "\n";
+    out += "TopEvent=" + tree->top_description() + "\n";
+    std::string top_id = "NONE";
+    if (const FtNode* top = tree->top()) {
+      top_id = top->is_leaf() ? top->name().str()
+                              : tree->name() + ":" + top->name().str();
+    }
+    out += "TopGate=" + top_id + "\n\n";
+    if (tree->top() == nullptr) continue;
+
+    // Children-first order so FTP can resolve inputs on one pass.
+    tree->for_each_reachable([&](const FtNode& node) {
+      if (node.is_leaf()) {
+        if (!emitted_events.insert(node.name()).second) return;
+        out += "[EVENT]\n";
+        out += "Id=" + node.name().str() + "\n";
+        out += "Kind=" + event_kind(node) + "\n";
+        if (node.rate() > 0.0)
+          out += "FailureRate=" + format_double(node.rate()) + "\n";
+        if (node.has_fixed_probability())
+          out += "FixedProbability=" +
+                 format_double(node.fixed_probability()) + "\n";
+        if (node.kind() == NodeKind::kHouse) out += "State=TRUE\n";
+        if (!node.description().empty())
+          out += "Description=" + node.description() + "\n";
+        out += "\n";
+        return;
+      }
+      out += "[GATE]\n";
+      out += "Id=" + tree->name() + ":" + node.name().str() + "\n";
+      out += "Type=" + gate_type(node.gate()) + "\n";
+      if (!node.description().empty())
+        out += "Description=" + node.description() + "\n";
+      out += "Inputs=";
+      for (std::size_t i = 0; i < node.children().size(); ++i) {
+        const FtNode* child = node.children()[i];
+        if (i != 0) out += ",";
+        if (child->is_leaf()) {
+          out += child->name().str();
+        } else {
+          out += tree->name() + ":" + child->name().str();
+        }
+      }
+      out += "\n\n";
+    });
+  }
+  return out;
+}
+
+std::string write_ftp_project(const std::string& project_name,
+                              const FaultTree& tree) {
+  return write_ftp_project(project_name, std::vector<const FaultTree*>{&tree});
+}
+
+void write_ftp_project_file(const std::string& project_name,
+                            const std::vector<const FaultTree*>& trees,
+                            const std::string& path) {
+  std::ofstream file(path);
+  require(file.good(), ErrorKind::kParse,
+          "cannot open '" + path + "' for writing");
+  file << write_ftp_project(project_name, trees);
+  require(file.good(), ErrorKind::kParse, "failed writing '" + path + "'");
+}
+
+}  // namespace ftsynth

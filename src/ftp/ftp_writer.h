@@ -1,0 +1,37 @@
+// Fault Tree Plus-style project export.
+//
+// The paper's tool writes synthesized trees "in the binary format of a
+// Fault Tree Plus project file" for import into Isograph's tool (section
+// 3). That binary format is proprietary, so this exporter produces the
+// equivalent *documented text* project format: a [PROJECT] header, one
+// [GATE] record per intermediate event (id, type, description, inputs) and
+// one [EVENT] record per primary event (id, kind, failure rate,
+// description) -- the exact information FTP needs for cut-set and
+// reliability analysis. See DESIGN.md, substitution table.
+//
+// Several trees may be exported into one project; shared event ids are
+// written once.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+/// Serialises `trees` as one FTP-style project.
+std::string write_ftp_project(const std::string& project_name,
+                              const std::vector<const FaultTree*>& trees);
+
+/// Single-tree convenience.
+std::string write_ftp_project(const std::string& project_name,
+                              const FaultTree& tree);
+
+/// Writes the project to `path`; throws ErrorKind::kParse on I/O failure.
+void write_ftp_project_file(const std::string& project_name,
+                            const std::vector<const FaultTree*>& trees,
+                            const std::string& path);
+
+}  // namespace ftsynth

@@ -1,0 +1,21 @@
+// JSON export: the fault tree DAG plus (optionally) the cut-set analysis
+// in one machine-readable document, for dashboards and regression diffing.
+
+#pragma once
+
+#include <string>
+
+#include "analysis/report.h"
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+/// {"name": ..., "top": id, "nodes": [...]}; children are node ids.
+std::string write_json(const FaultTree& tree);
+
+/// Tree plus its TreeAnalysis (cut sets, probabilities, importance).
+std::string write_json(const FaultTree& tree, const TreeAnalysis& analysis);
+
+void write_json_file(const FaultTree& tree, const std::string& path);
+
+}  // namespace ftsynth

@@ -1,0 +1,92 @@
+#include "ftp/xml_writer.h"
+
+#include <fstream>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+namespace {
+
+std::string leaf_kind(const FtNode& node) {
+  switch (node.kind()) {
+    case NodeKind::kBasic:
+      return "basic";
+    case NodeKind::kHouse:
+      return "house";
+    case NodeKind::kUndeveloped:
+      return "undeveloped";
+    case NodeKind::kLoop:
+      return "loop";
+    case NodeKind::kGate:
+      break;
+  }
+  throw Error(ErrorKind::kInternal, "leaf_kind on a gate");
+}
+
+void write_tree_body(const FaultTree& tree, std::string& out) {
+  out += "  <fault-tree name=\"" + escape_xml(tree.name()) + "\">\n";
+  out += "    <top description=\"" + escape_xml(tree.top_description()) +
+         "\"";
+  if (tree.top() == nullptr) {
+    out += " empty=\"true\"/>\n  </fault-tree>\n";
+    return;
+  }
+  out += " ref=\"" + escape_xml(std::string(tree.top()->name().view())) +
+         "\"/>\n";
+  tree.for_each_reachable([&](const FtNode& node) {
+    if (node.is_leaf()) {
+      out += "    <define-event name=\"" +
+             escape_xml(std::string(node.name().view())) + "\" kind=\"" +
+             leaf_kind(node) + "\"";
+      if (node.rate() > 0.0)
+        out += " rate=\"" + format_double(node.rate()) + "\"";
+      if (node.has_fixed_probability()) {
+        out += " probability=\"" + format_double(node.fixed_probability()) +
+               "\"";
+      }
+      if (!node.description().empty())
+        out += " description=\"" + escape_xml(node.description()) + "\"";
+      out += "/>\n";
+      return;
+    }
+    out += "    <define-gate name=\"" +
+           escape_xml(std::string(node.name().view())) + "\" type=\"" +
+           to_lower(to_string(node.gate())) + "\"";
+    if (!node.description().empty())
+      out += " description=\"" + escape_xml(node.description()) + "\"";
+    out += ">\n";
+    for (const FtNode* child : node.children()) {
+      const char* tag = child->is_leaf() ? "event" : "gate";
+      out += std::string("      <") + tag + " ref=\"" +
+             escape_xml(std::string(child->name().view())) + "\"/>\n";
+    }
+    out += "    </define-gate>\n";
+  });
+  out += "  </fault-tree>\n";
+}
+
+}  // namespace
+
+std::string write_xml(const std::vector<const FaultTree*>& trees) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<fault-tree-set generator=\"ftsynth\">\n";
+  for (const FaultTree* tree : trees) write_tree_body(*tree, out);
+  out += "</fault-tree-set>\n";
+  return out;
+}
+
+std::string write_xml(const FaultTree& tree) {
+  return write_xml(std::vector<const FaultTree*>{&tree});
+}
+
+void write_xml_file(const FaultTree& tree, const std::string& path) {
+  std::ofstream file(path);
+  require(file.good(), ErrorKind::kParse,
+          "cannot open '" + path + "' for writing");
+  file << write_xml(tree);
+  require(file.good(), ErrorKind::kParse, "failed writing '" + path + "'");
+}
+
+}  // namespace ftsynth

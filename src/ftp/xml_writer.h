@@ -1,0 +1,29 @@
+// XML export of fault trees in an Open-PSA-inspired schema:
+//
+//   <fault-tree name="...">
+//     <define-top description="..."> gate-or-event </define-top>
+//     <define-gate name="G1" type="or"> <gate name="G2"/> <event .../>
+//     </define-gate>
+//     <define-event name="..." kind="basic" rate="1e-6"/>
+//   </fault-tree>
+//
+// Gives downstream PSA tooling a structured, parseable interchange format
+// alongside the FTP-style project text.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+std::string write_xml(const FaultTree& tree);
+
+/// Several trees under one <fault-tree-set> root.
+std::string write_xml(const std::vector<const FaultTree*>& trees);
+
+void write_xml_file(const FaultTree& tree, const std::string& path);
+
+}  // namespace ftsynth

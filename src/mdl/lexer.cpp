@@ -1,0 +1,136 @@
+#include "mdl/lexer.h"
+
+#include <cctype>
+
+#include "core/error.h"
+
+namespace ftsynth::mdl {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool done() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  char take() noexcept {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_number_start(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+         c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  Cursor cursor(text);
+  while (!cursor.done()) {
+    const char c = cursor.peek();
+    const int line = cursor.line();
+    const int column = cursor.column();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cursor.take();
+      continue;
+    }
+    if (c == '#') {
+      while (!cursor.done() && cursor.peek() != '\n') cursor.take();
+      continue;
+    }
+    if (c == '{') {
+      cursor.take();
+      tokens.push_back({TokenKind::kLBrace, "{", line, column});
+      continue;
+    }
+    if (c == '}') {
+      cursor.take();
+      tokens.push_back({TokenKind::kRBrace, "}", line, column});
+      continue;
+    }
+    if (c == '"') {
+      cursor.take();
+      std::string value;
+      bool closed = false;
+      while (!cursor.done()) {
+        char d = cursor.take();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\' && !cursor.done()) {
+          char e = cursor.take();
+          switch (e) {
+            case 'n':
+              value += '\n';
+              break;
+            case 't':
+              value += '\t';
+              break;
+            case 'r':
+              value += '\r';
+              break;
+            default:
+              value += e;  // \" and \\ fall here
+          }
+          continue;
+        }
+        value += d;
+      }
+      if (!closed)
+        throw ParseError("unterminated string literal", line, column);
+      tokens.push_back({TokenKind::kString, std::move(value), line, column});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::string word;
+      while (!cursor.done() && is_ident_char(cursor.peek()))
+        word += cursor.take();
+      tokens.push_back({TokenKind::kIdent, std::move(word), line, column});
+      continue;
+    }
+    if (is_number_start(c)) {
+      std::string number;
+      // Accept a permissive numeric shape; strtod validates on use.
+      while (!cursor.done() &&
+             (is_number_start(cursor.peek()) ||
+              std::isalnum(static_cast<unsigned char>(cursor.peek())))) {
+        number += cursor.take();
+      }
+      tokens.push_back({TokenKind::kNumber, std::move(number), line, column});
+      continue;
+    }
+    throw ParseError("unexpected character '" + std::string(1, c) + "'", line,
+                     column);
+  }
+  tokens.push_back({TokenKind::kEnd, "", cursor.line(), cursor.column()});
+  return tokens;
+}
+
+}  // namespace ftsynth::mdl

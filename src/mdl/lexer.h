@@ -1,0 +1,27 @@
+// Lexer for the annotated-model text format (see mdl/parser.h for the
+// grammar). Produces identifiers, quoted strings, numbers and braces;
+// '#' starts a comment running to end of line.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftsynth::mdl {
+
+enum class TokenKind { kIdent, kString, kNumber, kLBrace, kRBrace, kEnd };
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< unescaped for kString; literal text otherwise
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenises the whole input; throws ParseError on malformed input
+/// (unterminated string, stray character). The result always ends with a
+/// kEnd token.
+std::vector<Token> tokenize(std::string_view text);
+
+}  // namespace ftsynth::mdl

@@ -1,0 +1,322 @@
+#include "mdl/parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/error.h"
+#include "core/strings.h"
+#include "mdl/lexer.h"
+#include "model/builder.h"
+#include "model/validate.h"
+
+namespace ftsynth {
+
+namespace {
+
+using mdl::Token;
+using mdl::TokenKind;
+
+// -- DOM -----------------------------------------------------------------------
+
+/// A parsed section: attributes (Key value) and nested sections.
+struct Section {
+  std::string name;
+  int line = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<Section> children;
+
+  const std::string* find(std::string_view key) const {
+    for (const auto& [k, v] : attrs) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  std::string get(std::string_view key) const {
+    const std::string* value = find(key);
+    if (value == nullptr) {
+      throw Error(ErrorKind::kParse,
+                  "section '" + name + "' (line " + std::to_string(line) +
+                      ") is missing required attribute '" + std::string(key) +
+                      "'");
+    }
+    return *value;
+  }
+
+  std::string get_or(std::string_view key, std::string fallback) const {
+    const std::string* value = find(key);
+    return value != nullptr ? *value : std::move(fallback);
+  }
+
+  double get_number(std::string_view key, double fallback) const {
+    const std::string* value = find(key);
+    if (value == nullptr) return fallback;
+    char* end = nullptr;
+    double parsed = std::strtod(value->c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      throw Error(ErrorKind::kParse, "attribute '" + std::string(key) +
+                                         "' of section '" + name +
+                                         "' is not a number: '" + *value +
+                                         "'");
+    }
+    return parsed;
+  }
+
+  int get_int(std::string_view key, int fallback) const {
+    return static_cast<int>(get_number(key, fallback));
+  }
+};
+
+/// Builds the section DOM from the token stream.
+class DomParser {
+ public:
+  explicit DomParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Section parse_root() {
+    Section root = parse_section();
+    expect(TokenKind::kEnd, "end of file");
+    return root;
+  }
+
+ private:
+  const Token& current() const { return tokens_[pos_]; }
+  void advance() {
+    if (current().kind != TokenKind::kEnd) ++pos_;
+  }
+
+  void expect(TokenKind kind, const std::string& what) const {
+    if (current().kind != kind) {
+      throw ParseError("expected " + what + ", got '" + current().text + "'",
+                       current().line, current().column);
+    }
+  }
+
+  Section parse_section() {
+    expect(TokenKind::kIdent, "section name");
+    Section section;
+    section.name = current().text;
+    section.line = current().line;
+    advance();
+    expect(TokenKind::kLBrace, "'{'");
+    advance();
+    while (current().kind != TokenKind::kRBrace) {
+      expect(TokenKind::kIdent, "attribute or section name");
+      // Lookahead decides: IDENT '{' is a nested section, otherwise an
+      // attribute with a value token.
+      if (tokens_[pos_ + 1].kind == TokenKind::kLBrace) {
+        section.children.push_back(parse_section());
+        continue;
+      }
+      std::string key = current().text;
+      advance();
+      switch (current().kind) {
+        case TokenKind::kString:
+        case TokenKind::kNumber:
+        case TokenKind::kIdent:
+          section.attrs.emplace_back(std::move(key), current().text);
+          advance();
+          break;
+        default:
+          throw ParseError("expected a value after attribute '" + key + "'",
+                           current().line, current().column);
+      }
+    }
+    advance();  // '}'
+    return section;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// -- Interpretation --------------------------------------------------------------
+
+FlowKind parse_flow(const std::string& text, int line) {
+  if (iequals(text, "data")) return FlowKind::kData;
+  if (iequals(text, "material")) return FlowKind::kMaterial;
+  if (iequals(text, "energy")) return FlowKind::kEnergy;
+  throw ParseError("unknown flow kind '" + text + "'", line, 1);
+}
+
+FailureCategory parse_category(const std::string& text, int line) {
+  if (iequals(text, "provision")) return FailureCategory::kProvision;
+  if (iequals(text, "timing")) return FailureCategory::kTiming;
+  if (iequals(text, "value")) return FailureCategory::kValue;
+  throw ParseError("unknown failure category '" + text + "'", line, 1);
+}
+
+std::optional<BlockKind> parse_block_kind(const std::string& text) {
+  for (BlockKind kind :
+       {BlockKind::kBasic, BlockKind::kSubsystem, BlockKind::kInport,
+        BlockKind::kOutport, BlockKind::kMux, BlockKind::kDemux,
+        BlockKind::kDataStoreWrite, BlockKind::kDataStoreRead,
+        BlockKind::kGround}) {
+    if (iequals(text, to_string(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
+class Interpreter {
+ public:
+  Interpreter(const Section& root, bool validated)
+      : root_(root), builder_(root.get("Name")), validated_(validated) {}
+
+  Model run() {
+    require(root_.name == "Model", ErrorKind::kParse,
+            "top-level section must be 'Model', got '" + root_.name + "'");
+    for (const Section& child : root_.children) {
+      if (child.name == "FailureClass") {
+        builder_.registry().add(
+            child.get("Name"),
+            parse_category(child.get("Category"), child.line));
+      }
+    }
+    const Section* system = find_child(root_, "System");
+    require(system != nullptr, ErrorKind::kParse,
+            "Model section needs a System section");
+    interpret_system(*system, builder_.root());
+    return validated_ ? builder_.take() : builder_.take_unchecked();
+  }
+
+ private:
+  static const Section* find_child(const Section& section,
+                                   std::string_view name) {
+    for (const Section& child : section.children) {
+      if (child.name == name) return &child;
+    }
+    return nullptr;
+  }
+
+  void interpret_system(const Section& system, Block& parent) {
+    for (const Section& child : system.children) {
+      if (child.name == "Block") interpret_block(child, parent);
+    }
+    // Lines second: every endpoint now exists.
+    for (const Section& child : system.children) {
+      if (child.name == "Line")
+        builder_.connect(parent, child.get("Src"), child.get("Dst"));
+    }
+  }
+
+  void interpret_block(const Section& section, Block& parent) {
+    const std::string type_text = section.get("BlockType");
+    std::optional<BlockKind> kind = parse_block_kind(type_text);
+    if (!kind) {
+      throw ParseError("unknown BlockType '" + type_text + "'", section.line,
+                       1);
+    }
+    const std::string name = section.get("Name");
+    Block* block = nullptr;
+    switch (*kind) {
+      case BlockKind::kBasic:
+        block = &builder_.basic(parent, name);
+        add_ports(section, *block);
+        break;
+      case BlockKind::kSubsystem: {
+        block = &builder_.subsystem(parent, name);
+        if (const Section* inner = find_child(section, "System"))
+          interpret_system(*inner, *block);
+        break;
+      }
+      case BlockKind::kInport:
+        block = &builder_.inport(
+            parent, name,
+            parse_flow(section.get_or("Flow", "data"), section.line),
+            section.get_int("Width", 1));
+        break;
+      case BlockKind::kOutport:
+        block = &builder_.outport(
+            parent, name,
+            parse_flow(section.get_or("Flow", "data"), section.line),
+            section.get_int("Width", 1));
+        break;
+      case BlockKind::kMux: {
+        block = &parent.add_child(Symbol(name), BlockKind::kMux);
+        add_ports(section, *block);
+        break;
+      }
+      case BlockKind::kDemux: {
+        block = &parent.add_child(Symbol(name), BlockKind::kDemux);
+        add_ports(section, *block);
+        break;
+      }
+      case BlockKind::kDataStoreWrite:
+        block = &builder_.store_write(parent, name, section.get("Store"));
+        break;
+      case BlockKind::kDataStoreRead:
+        block = &builder_.store_read(parent, name, section.get("Store"));
+        break;
+      case BlockKind::kGround:
+        block = &builder_.ground(parent, name);
+        break;
+    }
+    block->set_description(section.get_or("Description", ""));
+
+    // Annotations last: ports (and, for subsystems, boundary proxies)
+    // exist by now.
+    for (const Section& child : section.children) {
+      if (child.name == "Malfunction") {
+        builder_.malfunction(*block, child.get("Name"),
+                             child.get_number("Rate", 0.0),
+                             child.get_or("Description", ""));
+      }
+    }
+    for (const Section& child : section.children) {
+      if (child.name == "FailureRow") {
+        builder_.annotate(*block, child.get("Output"), child.get("Cause"),
+                          child.get_or("Description", ""),
+                          child.get_number("Condition", 1.0));
+      }
+    }
+  }
+
+  void add_ports(const Section& section, Block& block) {
+    for (const Section& child : section.children) {
+      if (child.name != "Port" && child.name != "Trigger") continue;
+      const bool is_trigger =
+          child.name == "Trigger" || iequals(child.get_or("Trigger", "off"), "on");
+      const std::string direction_text =
+          child.get_or("Direction", is_trigger ? "input" : "");
+      PortDirection direction;
+      if (iequals(direction_text, "input")) {
+        direction = PortDirection::kInput;
+      } else if (iequals(direction_text, "output")) {
+        direction = PortDirection::kOutput;
+      } else {
+        throw ParseError("Port section needs Direction \"input\" or "
+                         "\"output\"",
+                         child.line, 1);
+      }
+      block.add_port(Symbol(child.get("Name")), direction,
+                     parse_flow(child.get_or("Flow", "data"), child.line),
+                     child.get_int("Width", 1), is_trigger);
+    }
+  }
+
+  const Section& root_;
+  ModelBuilder builder_;
+  bool validated_;
+};
+
+}  // namespace
+
+Model parse_mdl(std::string_view text, bool validated) {
+  DomParser dom(mdl::tokenize(text));
+  Section root = dom.parse_root();
+  return Interpreter(root, validated).run();
+}
+
+Model parse_mdl_file(const std::string& path, bool validated) {
+  std::ifstream file(path);
+  require(file.good(), ErrorKind::kParse,
+          "cannot open model file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_mdl(buffer.str(), validated);
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,61 @@
+// Parser for the annotated-model text format.
+//
+// The paper's tool chain exports the Simulink model -- extended with the
+// hazard-analysis annotations -- "as a text file that conforms to a
+// particular syntax", which the safety tool then parses and rebuilds in
+// memory (section 3, Figure 4). This is that format: a Simulink-MDL-style
+// nested-section grammar.
+//
+//   Model {
+//     Name "bbw"
+//     FailureClass { Name "Babbling"  Category "provision" }   # optional
+//     System {
+//       Block { BlockType Inport  Name "pedal"  Width 1  Flow "data" }
+//       Block {
+//         BlockType Basic
+//         Name "filter"
+//         Port { Name "in"   Direction "input" }
+//         Port { Name "out"  Direction "output" }
+//         Malfunction { Name "stuck"  Rate 1e-6  Description "..." }
+//         FailureRow {
+//           Output "Omission-out"
+//           Cause  "Omission-in OR stuck"
+//         }
+//       }
+//       Block {
+//         BlockType SubSystem
+//         Name "node"
+//         System { ... }                       # children and lines
+//         FailureRow { ... }                   # hardware common cause
+//       }
+//       Block { BlockType Outport  Name "force" }
+//       Line { Src "pedal"  Dst "filter.in" }
+//       Line { Src "filter.out"  Dst "force" }
+//     }
+//   }
+//
+// Conventions: Inport/Outport/Ground/DataStore blocks get their standard
+// ports implicitly; Basic/Mux/Demux blocks declare Port sections. Line
+// endpoints are "block.port", or a bare block name when unambiguous.
+// A Port section may carry `Trigger on` to mark a control input.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "model/model.h"
+
+namespace ftsynth {
+
+/// Parses the text of an annotated model file. Throws ParseError on syntax
+/// errors; with `validated` (the default) the model is additionally run
+/// through validate_or_throw, so structurally invalid content throws
+/// ErrorKind::kModel. Pass validated=false to obtain the raw model (e.g.
+/// to report validation issues yourself).
+Model parse_mdl(std::string_view text, bool validated = true);
+
+/// Reads and parses `path`; throws ErrorKind::kParse when unreadable.
+Model parse_mdl_file(const std::string& path, bool validated = true);
+
+}  // namespace ftsynth

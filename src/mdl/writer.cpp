@@ -1,0 +1,150 @@
+#include "mdl/writer.h"
+
+#include <fstream>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+namespace {
+
+class Writer {
+ public:
+  explicit Writer(const Model& model) : model_(model) {}
+
+  std::string run() {
+    line(0, "Model {");
+    attr(1, "Name", model_.name());
+    for (FailureClass cls : model_.registry().all()) {
+      line(1, "FailureClass {");
+      attr(2, "Name", std::string(cls.view()));
+      attr(2, "Category", std::string(to_string(cls.category())));
+      line(1, "}");
+    }
+    write_system(1, model_.root());
+    line(0, "}");
+    return std::move(out_);
+  }
+
+ private:
+  void line(int indent, std::string_view text) {
+    out_.append(static_cast<std::size_t>(indent) * 2, ' ');
+    out_ += text;
+    out_ += '\n';
+  }
+
+  void attr(int indent, std::string_view key, const std::string& value) {
+    line(indent, std::string(key) + " \"" + escape_quoted(value) + "\"");
+  }
+
+  void attr_raw(int indent, std::string_view key, const std::string& value) {
+    line(indent, std::string(key) + " " + value);
+  }
+
+  void write_system(int indent, const Block& subsystem) {
+    line(indent, "System {");
+    for (const auto& child : subsystem.children())
+      write_block(indent + 1, *child);
+    for (const Connection& connection : subsystem.connections()) {
+      line(indent + 1, "Line {");
+      attr(indent + 2, "Src", endpoint(*connection.from));
+      attr(indent + 2, "Dst", endpoint(*connection.to));
+      line(indent + 1, "}");
+    }
+    line(indent, "}");
+  }
+
+  static std::string endpoint(const Port& port) {
+    return std::string(port.owner().name().view()) + "." +
+           std::string(port.name().view());
+  }
+
+  void write_block(int indent, const Block& block) {
+    line(indent, "Block {");
+    attr_raw(indent + 1, "BlockType", std::string(to_string(block.kind())));
+    attr(indent + 1, "Name", std::string(block.name().view()));
+    if (!block.description().empty())
+      attr(indent + 1, "Description", block.description());
+
+    switch (block.kind()) {
+      case BlockKind::kInport:
+      case BlockKind::kOutport: {
+        // Single implicit port; persist its width/flow.
+        const Port& port = *block.ports().front();
+        attr_raw(indent + 1, "Width", std::to_string(port.width()));
+        attr(indent + 1, "Flow", std::string(to_string(port.flow())));
+        break;
+      }
+      case BlockKind::kDataStoreWrite:
+      case BlockKind::kDataStoreRead:
+        attr(indent + 1, "Store", block.store_name().str());
+        break;
+      case BlockKind::kGround:
+        break;
+      case BlockKind::kBasic:
+      case BlockKind::kMux:
+      case BlockKind::kDemux:
+        for (const auto& port : block.ports()) write_port(indent + 1, *port);
+        break;
+      case BlockKind::kSubsystem:
+        write_system(indent + 1, block);
+        break;
+    }
+
+    write_annotation(indent + 1, block.annotation());
+    line(indent, "}");
+  }
+
+  void write_port(int indent, const Port& port) {
+    line(indent, "Port {");
+    attr(indent + 1, "Name", std::string(port.name().view()));
+    attr(indent + 1, "Direction", std::string(to_string(port.direction())));
+    if (port.flow() != FlowKind::kData)
+      attr(indent + 1, "Flow", std::string(to_string(port.flow())));
+    if (port.width() != 1)
+      attr_raw(indent + 1, "Width", std::to_string(port.width()));
+    if (port.is_trigger()) attr_raw(indent + 1, "Trigger", "on");
+    line(indent, "}");
+  }
+
+  void write_annotation(int indent, const Annotation& annotation) {
+    for (const Malfunction& m : annotation.malfunctions()) {
+      line(indent, "Malfunction {");
+      attr(indent + 1, "Name", m.name.str());
+      if (m.rate > 0.0) attr_raw(indent + 1, "Rate", format_double(m.rate));
+      if (!m.description.empty())
+        attr(indent + 1, "Description", m.description);
+      line(indent, "}");
+    }
+    for (const AnnotationRow& row : annotation.rows()) {
+      line(indent, "FailureRow {");
+      attr(indent + 1, "Output", row.output.to_string());
+      attr(indent + 1, "Cause", row.cause->to_string());
+      if (!row.description.empty())
+        attr(indent + 1, "Description", row.description);
+      if (row.condition_probability < 1.0) {
+        attr_raw(indent + 1, "Condition",
+                 format_double(row.condition_probability));
+      }
+      line(indent, "}");
+    }
+  }
+
+  const Model& model_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string write_mdl(const Model& model) { return Writer(model).run(); }
+
+void write_mdl_file(const Model& model, const std::string& path) {
+  std::ofstream file(path);
+  require(file.good(), ErrorKind::kParse,
+          "cannot open '" + path + "' for writing");
+  file << write_mdl(model);
+  require(file.good(), ErrorKind::kParse, "failed writing '" + path + "'");
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,20 @@
+// Writer for the annotated-model text format: the inverse of mdl/parser.h.
+// write_mdl(parse_mdl(text)) and parse_mdl(write_mdl(model)) round-trip
+// (property-tested in tests/test_mdl.cpp).
+
+#pragma once
+
+#include <string>
+
+#include "model/model.h"
+
+namespace ftsynth {
+
+/// Serialises `model` (topology + annotations) into the text format.
+std::string write_mdl(const Model& model);
+
+/// Writes write_mdl(model) to `path`; throws ErrorKind::kParse on I/O
+/// failure.
+void write_mdl_file(const Model& model, const std::string& path);
+
+}  // namespace ftsynth

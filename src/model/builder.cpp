@@ -1,0 +1,176 @@
+#include "model/builder.h"
+
+#include <numeric>
+
+#include "core/error.h"
+#include "core/strings.h"
+#include "failure/expr_parser.h"
+#include "model/validate.h"
+
+namespace ftsynth {
+
+Block& ModelBuilder::basic(Block& parent, std::string_view name) {
+  return parent.add_child(Symbol(name), BlockKind::kBasic);
+}
+
+Block& ModelBuilder::subsystem(Block& parent, std::string_view name) {
+  return parent.add_child(Symbol(name), BlockKind::kSubsystem);
+}
+
+Block& ModelBuilder::inport(Block& parent, std::string_view name,
+                            FlowKind flow, int width) {
+  Block& proxy = parent.add_child(Symbol(name), BlockKind::kInport);
+  proxy.add_port(Symbol("out"), PortDirection::kOutput, flow, width);
+  parent.add_port(Symbol(name), PortDirection::kInput, flow, width);
+  return proxy;
+}
+
+Block& ModelBuilder::outport(Block& parent, std::string_view name,
+                             FlowKind flow, int width) {
+  Block& proxy = parent.add_child(Symbol(name), BlockKind::kOutport);
+  proxy.add_port(Symbol("in"), PortDirection::kInput, flow, width);
+  parent.add_port(Symbol(name), PortDirection::kOutput, flow, width);
+  return proxy;
+}
+
+Block& ModelBuilder::mux(Block& parent, std::string_view name, int n_inputs,
+                         FlowKind flow) {
+  return mux(parent, name, std::vector<int>(n_inputs, 1), flow);
+}
+
+Block& ModelBuilder::mux(Block& parent, std::string_view name,
+                         const std::vector<int>& widths, FlowKind flow) {
+  require(!widths.empty(), ErrorKind::kModel, "mux needs at least one input");
+  Block& block = parent.add_child(Symbol(name), BlockKind::kMux);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    block.add_port(Symbol("in" + std::to_string(i + 1)),
+                   PortDirection::kInput, flow, widths[i]);
+  }
+  int total = std::accumulate(widths.begin(), widths.end(), 0);
+  block.add_port(Symbol("out"), PortDirection::kOutput, flow, total);
+  return block;
+}
+
+Block& ModelBuilder::demux(Block& parent, std::string_view name,
+                           int n_outputs, FlowKind flow) {
+  return demux(parent, name, std::vector<int>(n_outputs, 1), flow);
+}
+
+Block& ModelBuilder::demux(Block& parent, std::string_view name,
+                           const std::vector<int>& widths, FlowKind flow) {
+  require(!widths.empty(), ErrorKind::kModel,
+          "demux needs at least one output");
+  Block& block = parent.add_child(Symbol(name), BlockKind::kDemux);
+  int total = std::accumulate(widths.begin(), widths.end(), 0);
+  block.add_port(Symbol("in"), PortDirection::kInput, flow, total);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    block.add_port(Symbol("out" + std::to_string(i + 1)),
+                   PortDirection::kOutput, flow, widths[i]);
+  }
+  return block;
+}
+
+Block& ModelBuilder::store_write(Block& parent, std::string_view name,
+                                 std::string_view store) {
+  require(is_identifier(store), ErrorKind::kModel,
+          "store name must be an identifier: '" + std::string(store) + "'");
+  Block& block = parent.add_child(Symbol(name), BlockKind::kDataStoreWrite);
+  block.add_port(Symbol("in"), PortDirection::kInput);
+  block.set_store_name(Symbol(store));
+  return block;
+}
+
+Block& ModelBuilder::store_read(Block& parent, std::string_view name,
+                                std::string_view store) {
+  require(is_identifier(store), ErrorKind::kModel,
+          "store name must be an identifier: '" + std::string(store) + "'");
+  Block& block = parent.add_child(Symbol(name), BlockKind::kDataStoreRead);
+  block.add_port(Symbol("out"), PortDirection::kOutput);
+  block.set_store_name(Symbol(store));
+  return block;
+}
+
+Block& ModelBuilder::ground(Block& parent, std::string_view name) {
+  Block& block = parent.add_child(Symbol(name), BlockKind::kGround);
+  block.add_port(Symbol("out"), PortDirection::kOutput);
+  return block;
+}
+
+Port& ModelBuilder::in(Block& block, std::string_view name, FlowKind flow,
+                       int width) {
+  return block.add_port(Symbol(name), PortDirection::kInput, flow, width);
+}
+
+Port& ModelBuilder::out(Block& block, std::string_view name, FlowKind flow,
+                        int width) {
+  return block.add_port(Symbol(name), PortDirection::kOutput, flow, width);
+}
+
+Port& ModelBuilder::trigger(Block& block, std::string_view name) {
+  require(block.trigger() == nullptr, ErrorKind::kModel,
+          "block '" + block.path() + "' already has a trigger input");
+  return block.add_port(Symbol(name), PortDirection::kInput, FlowKind::kData,
+                        1, /*is_trigger=*/true);
+}
+
+Port& ModelBuilder::resolve_endpoint(Block& parent, std::string_view spec,
+                                     PortDirection direction) const {
+  std::string_view block_name = trim(spec);
+  std::string_view port_name;
+  if (std::size_t dot = block_name.rfind('.');
+      dot != std::string_view::npos) {
+    port_name = trim(block_name.substr(dot + 1));
+    block_name = trim(block_name.substr(0, dot));
+  }
+  Block* child = parent.find_child(Symbol(block_name));
+  require(child != nullptr, ErrorKind::kLookup,
+          "subsystem '" + parent.path() + "' has no child '" +
+              std::string(block_name) + "' (endpoint '" + std::string(spec) +
+              "')");
+  if (!port_name.empty()) return child->port(port_name);
+  // Bare block name: unambiguous only with exactly one port of the needed
+  // direction.
+  Port* match = nullptr;
+  for (const auto& p : child->ports()) {
+    if (p->direction() != direction) continue;
+    require(match == nullptr, ErrorKind::kLookup,
+            "endpoint '" + std::string(spec) + "' is ambiguous: block '" +
+                child->path() + "' has several " +
+                std::string(to_string(direction)) + " ports");
+    match = p.get();
+  }
+  require(match != nullptr, ErrorKind::kLookup,
+          "block '" + child->path() + "' has no " +
+              std::string(to_string(direction)) + " port (endpoint '" +
+              std::string(spec) + "')");
+  return *match;
+}
+
+const Connection& ModelBuilder::connect(Block& parent, std::string_view from,
+                                        std::string_view to) {
+  Port& source = resolve_endpoint(parent, from, PortDirection::kOutput);
+  Port& dest = resolve_endpoint(parent, to, PortDirection::kInput);
+  return parent.connect(source, dest);
+}
+
+void ModelBuilder::malfunction(Block& block, std::string_view name,
+                               double rate, std::string description) {
+  block.annotation().add_malfunction(Symbol(name), rate,
+                                     std::move(description));
+}
+
+void ModelBuilder::annotate(Block& block, std::string_view output,
+                            std::string_view cause, std::string description,
+                            double condition_probability) {
+  Deviation deviation = parse_deviation(output, model_.registry());
+  ExprPtr expr = parse_expression(cause, model_.registry());
+  block.annotation().add_row(deviation, std::move(expr),
+                             std::move(description), condition_probability);
+}
+
+Model ModelBuilder::take() {
+  validate_or_throw(model_);
+  return std::move(model_);
+}
+
+}  // namespace ftsynth

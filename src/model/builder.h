@@ -1,0 +1,127 @@
+// ModelBuilder -- the ergonomic construction API for models.
+//
+// Mirrors what the paper's Simulink-extension editor produces: blocks,
+// hierarchy, lines, plus hazard-analysis annotations parsed from the
+// Figure 2 notation. Example:
+//
+//   ModelBuilder b("plant");
+//   Block& sys = b.root();
+//   b.inport(sys, "setpoint");
+//   Block& ctrl = b.basic(sys, "controller");
+//   b.in(ctrl, "sp");
+//   b.out(ctrl, "cmd");
+//   b.malfunction(ctrl, "cpu_dead", 1e-6, "processor failure");
+//   b.annotate(ctrl, "Omission-cmd", "Omission-sp OR cpu_dead");
+//   b.outport(sys, "command");
+//   b.connect(sys, "setpoint", "controller.sp");
+//   b.connect(sys, "controller.cmd", "command");
+//   Model model = b.take();
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/model.h"
+
+namespace ftsynth {
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string name) : model_(std::move(name)) {}
+
+  Model& model() noexcept { return model_; }
+  Block& root() noexcept { return model_.root(); }
+  FailureClassRegistry& registry() noexcept { return model_.registry(); }
+
+  // -- Blocks ------------------------------------------------------------------
+
+  Block& basic(Block& parent, std::string_view name);
+  Block& subsystem(Block& parent, std::string_view name);
+
+  /// Adds an Inport proxy child (output port "out") and the matching
+  /// boundary input port `name` on `parent` itself.
+  Block& inport(Block& parent, std::string_view name,
+                FlowKind flow = FlowKind::kData, int width = 1);
+
+  /// Adds an Outport proxy child (input port "in") and the matching
+  /// boundary output port `name` on `parent` itself.
+  Block& outport(Block& parent, std::string_view name,
+                 FlowKind flow = FlowKind::kData, int width = 1);
+
+  /// Mux with inputs in1..inN of the given widths (all 1 when `widths` is
+  /// just a count) and output "out" of the summed width.
+  Block& mux(Block& parent, std::string_view name, int n_inputs,
+             FlowKind flow = FlowKind::kData);
+  Block& mux(Block& parent, std::string_view name,
+             const std::vector<int>& widths, FlowKind flow = FlowKind::kData);
+
+  /// Demux with input "in" of the summed width and outputs out1..outN.
+  Block& demux(Block& parent, std::string_view name, int n_outputs,
+               FlowKind flow = FlowKind::kData);
+  Block& demux(Block& parent, std::string_view name,
+               const std::vector<int>& widths,
+               FlowKind flow = FlowKind::kData);
+
+  /// DataStoreWrite block (input "in") writing `store`.
+  Block& store_write(Block& parent, std::string_view name,
+                     std::string_view store);
+  /// DataStoreRead block (output "out") reading `store`.
+  Block& store_read(Block& parent, std::string_view name,
+                    std::string_view store);
+
+  /// Ground source (output "out"): a flow that never deviates; used to
+  /// terminate inputs deliberately left unconnected.
+  Block& ground(Block& parent, std::string_view name);
+
+  // -- Ports -------------------------------------------------------------------
+
+  Port& in(Block& block, std::string_view name,
+           FlowKind flow = FlowKind::kData, int width = 1);
+  Port& out(Block& block, std::string_view name,
+            FlowKind flow = FlowKind::kData, int width = 1);
+  /// Trigger (control) input: by default its omission is synthesised as a
+  /// cause of omission of every output of `block`.
+  Port& trigger(Block& block, std::string_view name = "trigger");
+
+  // -- Connections -------------------------------------------------------------
+
+  /// Connects "child.port" to "child.port" within `parent`. A bare child
+  /// name may be used when the block has exactly one port in the required
+  /// direction (e.g. inport/outport proxies, ground, store blocks).
+  const Connection& connect(Block& parent, std::string_view from,
+                            std::string_view to);
+
+  // -- Failure data ------------------------------------------------------------
+
+  void malfunction(Block& block, std::string_view name, double rate,
+                   std::string description = {});
+
+  /// Adds a hazard-analysis row: `output` in "Class-port" notation, `cause`
+  /// in the Figure 2 expression notation, both parsed against the model's
+  /// failure-class registry. `condition_probability` < 1 marks the row as
+  /// data-dependent (see failure/annotation.h).
+  void annotate(Block& block, std::string_view output, std::string_view cause,
+                std::string description = {},
+                double condition_probability = 1.0);
+
+  // -- Finalisation ------------------------------------------------------------
+
+  /// Validates (see model/validate.h) and moves the model out. Throws
+  /// ErrorKind::kModel listing every validation error when invalid.
+  Model take();
+
+  /// Moves the model out without validating (for tests that need invalid
+  /// models).
+  Model take_unchecked() { return std::move(model_); }
+
+ private:
+  /// Resolves a "child.port" endpoint inside `parent`.
+  Port& resolve_endpoint(Block& parent, std::string_view spec,
+                         PortDirection direction) const;
+
+  Model model_;
+};
+
+}  // namespace ftsynth

@@ -1,0 +1,4 @@
+#include "model/connection.h"
+
+// Connection is a plain aggregate; see connection.h. This translation unit
+// exists so the module has a stable home if helpers grow later.

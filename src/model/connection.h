@@ -1,0 +1,16 @@
+// A connection (Simulink "line") from an output port to an input port of
+// sibling blocks. Stored in the enclosing subsystem; holds non-owning
+// pointers into the port storage of the connected blocks.
+
+#pragma once
+
+namespace ftsynth {
+
+class Port;
+
+struct Connection {
+  Port* from = nullptr;  ///< source: an output port
+  Port* to = nullptr;    ///< destination: an input port
+};
+
+}  // namespace ftsynth

@@ -1,0 +1,183 @@
+#include "model/diff.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/strings.h"
+
+namespace ftsynth {
+
+namespace {
+
+std::string connection_string(const Connection& connection) {
+  return connection.from->qualified_name() + " -> " +
+         connection.to->qualified_name();
+}
+
+/// One block's comparable surface: kind, ports, annotation content.
+struct BlockSurface {
+  std::string kind;
+  std::vector<std::string> ports;        // "in x [data w1]" style
+  std::vector<std::string> malfunctions; // "name @ rate"
+  std::vector<std::string> rows;         // "Omission-out <= cause [p]"
+  std::string store;
+};
+
+BlockSurface surface_of(const Block& block) {
+  BlockSurface surface;
+  surface.kind = std::string(to_string(block.kind()));
+  for (const auto& port : block.ports()) {
+    surface.ports.push_back(
+        std::string(port->name().view()) + " " +
+        std::string(to_string(port->direction())) + " " +
+        std::string(to_string(port->flow())) + " w" +
+        std::to_string(port->width()) + (port->is_trigger() ? " trigger" : ""));
+  }
+  for (const Malfunction& m : block.annotation().malfunctions()) {
+    surface.malfunctions.push_back(m.name.str() + " @ " +
+                                   format_double(m.rate));
+  }
+  for (const AnnotationRow& row : block.annotation().rows()) {
+    std::string entry = row.output.to_string() + " <= " +
+                        row.cause->to_string();
+    if (row.condition_probability < 1.0)
+      entry += " [p=" + format_double(row.condition_probability) + "]";
+    surface.rows.push_back(std::move(entry));
+  }
+  surface.store = block.store_name().str();
+  std::sort(surface.ports.begin(), surface.ports.end());
+  std::sort(surface.malfunctions.begin(), surface.malfunctions.end());
+  std::sort(surface.rows.begin(), surface.rows.end());
+  return surface;
+}
+
+/// Appends "path: <label> +added -removed" lines for list differences.
+void describe_list_delta(const std::string& path, const std::string& label,
+                         const std::vector<std::string>& before,
+                         const std::vector<std::string>& after,
+                         std::vector<std::string>& out) {
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(added));
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(removed));
+  for (const std::string& item : added)
+    out.push_back(path + ": " + label + " added: " + item);
+  for (const std::string& item : removed)
+    out.push_back(path + ": " + label + " removed: " + item);
+}
+
+}  // namespace
+
+std::string ModelDiff::to_string() const {
+  if (empty()) return "(no differences)\n";
+  std::string out;
+  for (const std::string& path : removed_blocks) out += "- block " + path + "\n";
+  for (const std::string& path : added_blocks) out += "+ block " + path + "\n";
+  for (const std::string& change : changed_blocks) out += "~ " + change + "\n";
+  for (const std::string& connection : removed_connections)
+    out += "- line  " + connection + "\n";
+  for (const std::string& connection : added_connections)
+    out += "+ line  " + connection + "\n";
+  return out;
+}
+
+ModelDiff diff_models(const Model& before, const Model& after) {
+  ModelDiff diff;
+
+  std::map<std::string, const Block*> before_blocks;
+  std::map<std::string, const Block*> after_blocks;
+  before.for_each_block(
+      [&](const Block& block) { before_blocks[block.path()] = &block; });
+  after.for_each_block(
+      [&](const Block& block) { after_blocks[block.path()] = &block; });
+  // Compare under the other model's root name so a renamed root does not
+  // mark everything changed: strip the first path component.
+  auto strip_root = [](std::map<std::string, const Block*> blocks) {
+    std::map<std::string, const Block*> out;
+    for (auto& [path, block] : blocks) {
+      std::size_t slash = path.find('/');
+      out[slash == std::string::npos ? "" : path.substr(slash + 1)] = block;
+    }
+    return out;
+  };
+  before_blocks = strip_root(std::move(before_blocks));
+  after_blocks = strip_root(std::move(after_blocks));
+
+  for (const auto& [path, block] : before_blocks) {
+    if (after_blocks.count(path) == 0)
+      diff.removed_blocks.push_back(path.empty() ? "<root>" : path);
+  }
+  for (const auto& [path, block] : after_blocks) {
+    if (before_blocks.count(path) == 0)
+      diff.added_blocks.push_back(path.empty() ? "<root>" : path);
+  }
+
+  for (const auto& [path, old_block] : before_blocks) {
+    auto it = after_blocks.find(path);
+    if (it == after_blocks.end()) continue;
+    const Block* new_block = it->second;
+    const std::string label = path.empty() ? "<root>" : path;
+    BlockSurface old_surface = surface_of(*old_block);
+    BlockSurface new_surface = surface_of(*new_block);
+    if (old_surface.kind != new_surface.kind) {
+      diff.changed_blocks.push_back(label + ": kind " + old_surface.kind +
+                                    " -> " + new_surface.kind);
+    }
+    if (old_surface.store != new_surface.store) {
+      diff.changed_blocks.push_back(label + ": store '" + old_surface.store +
+                                    "' -> '" + new_surface.store + "'");
+    }
+    describe_list_delta(label, "port", old_surface.ports, new_surface.ports,
+                        diff.changed_blocks);
+    describe_list_delta(label, "malfunction", old_surface.malfunctions,
+                        new_surface.malfunctions, diff.changed_blocks);
+    describe_list_delta(label, "failure row", old_surface.rows,
+                        new_surface.rows, diff.changed_blocks);
+  }
+
+  // Connections (root-stripped endpoint paths for comparability).
+  auto connection_set = [](const Model& model) {
+    std::vector<std::string> out;
+    model.for_each_block([&](const Block& block) {
+      for (const Connection& connection : block.connections())
+        out.push_back(connection_string(connection));
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<std::string> before_connections = connection_set(before);
+  std::vector<std::string> after_connections = connection_set(after);
+  // Endpoint strings embed the root name; normalise it away.
+  auto normalise_root = [](std::vector<std::string>& connections,
+                           const std::string& root) {
+    for (std::string& text : connections) {
+      std::string needle = root + "/";
+      for (std::size_t pos = text.find(needle); pos != std::string::npos;
+           pos = text.find(needle, pos + 1)) {
+        // Only replace at path starts (begin or after "-> ").
+        if (pos == 0 || text.compare(pos - 3, 3, "-> ") == 0)
+          text.replace(pos, needle.size(), "");
+      }
+      // A root-level port like "bbw.out" also embeds the root name.
+      if (text.rfind(root + ".", 0) == 0) text.replace(0, root.size(), "<root>");
+      std::size_t arrow = text.find("-> " + root + ".");
+      if (arrow != std::string::npos)
+        text.replace(arrow + 3, root.size(), "<root>");
+    }
+    std::sort(connections.begin(), connections.end());
+  };
+  normalise_root(before_connections, before.name());
+  normalise_root(after_connections, after.name());
+
+  std::set_difference(after_connections.begin(), after_connections.end(),
+                      before_connections.begin(), before_connections.end(),
+                      std::back_inserter(diff.added_connections));
+  std::set_difference(before_connections.begin(), before_connections.end(),
+                      after_connections.begin(), after_connections.end(),
+                      std::back_inserter(diff.removed_connections));
+  return diff;
+}
+
+}  // namespace ftsynth

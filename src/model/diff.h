@@ -1,0 +1,40 @@
+// Model diffing.
+//
+// The paper's design-iteration story (section 4, aim 3) implies a workflow
+// of revising the model and mechanically re-analysing. diff_models tells
+// the analyst *what* changed between two model revisions -- blocks,
+// connections, ports, hazard annotations, failure rates -- so re-analysis
+// reports can be read against the actual design delta.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace ftsynth {
+
+struct ModelDiff {
+  std::vector<std::string> added_blocks;    ///< paths present only in `after`
+  std::vector<std::string> removed_blocks;  ///< paths present only in `before`
+  /// "path: <what changed>" for blocks present in both.
+  std::vector<std::string> changed_blocks;
+  /// "a.p -> b.q" connection strings (within their subsystem).
+  std::vector<std::string> added_connections;
+  std::vector<std::string> removed_connections;
+
+  bool empty() const noexcept {
+    return added_blocks.empty() && removed_blocks.empty() &&
+           changed_blocks.empty() && added_connections.empty() &&
+           removed_connections.empty();
+  }
+
+  std::string to_string() const;
+};
+
+/// Structural + annotation diff from `before` to `after`. Blocks are
+/// matched by path.
+ModelDiff diff_models(const Model& before, const Model& after);
+
+}  // namespace ftsynth

@@ -1,0 +1,61 @@
+#include "model/model.h"
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace ftsynth {
+
+Model::Model(std::string name)
+    : name_(std::move(name)),
+      root_(std::make_unique<Block>(Symbol(name_), BlockKind::kSubsystem,
+                                    nullptr)) {
+  require(is_identifier(name_), ErrorKind::kModel,
+          "model name must be an identifier: '" + name_ + "'");
+}
+
+Block* Model::find_block(std::string_view path) const noexcept {
+  std::string_view remaining = trim(path);
+  if (remaining.empty()) return root_.get();
+  Block* current = root_.get();
+  bool first = true;
+  while (!remaining.empty()) {
+    std::size_t slash = remaining.find('/');
+    std::string_view piece = remaining.substr(0, slash);
+    remaining = slash == std::string_view::npos
+                    ? std::string_view{}
+                    : remaining.substr(slash + 1);
+    if (first && piece == current->name().view()) {
+      first = false;
+      continue;  // leading root name is optional
+    }
+    first = false;
+    current = current->find_child(Symbol(piece));
+    if (current == nullptr) return nullptr;
+  }
+  return current;
+}
+
+Block& Model::block(std::string_view path) const {
+  Block* b = find_block(path);
+  require(b != nullptr, ErrorKind::kLookup,
+          "model '" + name_ + "' has no block at path '" + std::string(path) +
+              "'");
+  return *b;
+}
+
+std::vector<const Block*> Model::store_writers(Symbol store) const {
+  std::vector<const Block*> out;
+  for_each_block([&](const Block& b) {
+    if (b.kind() == BlockKind::kDataStoreWrite && b.store_name() == store)
+      out.push_back(&b);
+  });
+  return out;
+}
+
+std::size_t Model::block_count() const {
+  std::size_t n = 0;
+  for_each_block([&](const Block&) { ++n; });
+  return n;
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,64 @@
+// Model -- the root object tying together the block hierarchy and the
+// failure-class registry used by its annotations.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "failure/failure_class.h"
+#include "model/block.h"
+
+namespace ftsynth {
+
+/// A hierarchical system model. Owns the root subsystem (whose name is the
+/// model name) and the failure-class registry shared by every annotation.
+class Model {
+ public:
+  explicit Model(std::string name);
+
+  Model(Model&&) noexcept = default;
+  Model& operator=(Model&&) noexcept = default;
+
+  const std::string& name() const noexcept { return name_; }
+
+  FailureClassRegistry& registry() noexcept { return registry_; }
+  const FailureClassRegistry& registry() const noexcept { return registry_; }
+
+  Block& root() noexcept { return *root_; }
+  const Block& root() const noexcept { return *root_; }
+
+  /// Finds a block by slash-separated path. The leading component may be
+  /// the root's name ("bbw/pedal/filter") or omitted ("pedal/filter");
+  /// an empty path names the root. Returns nullptr when absent.
+  Block* find_block(std::string_view path) const noexcept;
+
+  /// Like find_block but throws ErrorKind::kLookup on a miss.
+  Block& block(std::string_view path) const;
+
+  /// Preorder visit of every block including the root.
+  void for_each_block(const std::function<void(const Block&)>& visit) const {
+    const Block& root = *root_;
+    root.for_each_block(visit);
+  }
+  void for_each_block(const std::function<void(Block&)>& visit) {
+    root_->for_each_block(visit);
+  }
+
+  /// All DataStoreWrite blocks writing `store`, anywhere in the hierarchy.
+  /// Data stores give components an implicit communication path that the
+  /// synthesis must follow (paper, section 3).
+  std::vector<const Block*> store_writers(Symbol store) const;
+
+  /// Number of blocks in the model (root included).
+  std::size_t block_count() const;
+
+ private:
+  std::string name_;
+  FailureClassRegistry registry_;
+  std::unique_ptr<Block> root_;
+};
+
+}  // namespace ftsynth

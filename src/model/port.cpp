@@ -1,0 +1,33 @@
+#include "model/port.h"
+
+#include "model/block.h"
+
+namespace ftsynth {
+
+std::string_view to_string(PortDirection direction) noexcept {
+  return direction == PortDirection::kInput ? "input" : "output";
+}
+
+std::string_view to_string(FlowKind flow) noexcept {
+  switch (flow) {
+    case FlowKind::kData:
+      return "data";
+    case FlowKind::kMaterial:
+      return "material";
+    case FlowKind::kEnergy:
+      return "energy";
+  }
+  return "unknown";
+}
+
+std::string Port::qualified_name() const {
+  return owner_->path() + "." + std::string(name_.view());
+}
+
+std::string ChannelRange::to_string() const {
+  if (is_whole()) return "*";
+  if (hi == lo + 1) return std::to_string(lo);
+  return std::to_string(lo) + ".." + std::to_string(hi - 1);
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,105 @@
+// Ports -- the I/O interface of model blocks.
+//
+// Components in the paper's models exchange material, energy or data flows
+// through ports. A port may carry a vector of channels (width > 1) so that
+// mux/demux blocks can combine and split flows, and an input port may be a
+// trigger -- an indirectly relayed control signal (paper, section 3).
+
+#pragma once
+
+#include <string>
+
+#include "core/symbol.h"
+
+namespace ftsynth {
+
+class Block;
+
+enum class PortDirection { kInput, kOutput };
+
+/// The paper's three flow types (section 2: "material, energy or data").
+enum class FlowKind { kData, kMaterial, kEnergy };
+
+std::string_view to_string(PortDirection direction) noexcept;
+std::string_view to_string(FlowKind flow) noexcept;
+
+/// One port of a block. Owned by its Block; address-stable for the lifetime
+/// of the block, so connections hold Port* directly.
+class Port {
+ public:
+  Port(Block& owner, Symbol name, PortDirection direction, FlowKind flow,
+       int width, bool is_trigger, int index) noexcept
+      : owner_(&owner),
+        name_(name),
+        direction_(direction),
+        flow_(flow),
+        width_(width),
+        is_trigger_(is_trigger),
+        index_(index) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  Block& owner() const noexcept { return *owner_; }
+  Symbol name() const noexcept { return name_; }
+  PortDirection direction() const noexcept { return direction_; }
+  FlowKind flow() const noexcept { return flow_; }
+
+  /// Number of channels carried (>= 1). Mux outputs aggregate the widths of
+  /// the mux inputs.
+  int width() const noexcept { return width_; }
+  void set_width(int width) noexcept { width_ = width; }
+
+  /// True for trigger (control) inputs: loss of the trigger signal is, by
+  /// default, synthesised as a cause of omission of every block output.
+  bool is_trigger() const noexcept { return is_trigger_; }
+
+  /// Position among the block's ports of the same direction (0-based);
+  /// determines mux/demux channel layout.
+  int index() const noexcept { return index_; }
+
+  bool is_input() const noexcept {
+    return direction_ == PortDirection::kInput;
+  }
+  bool is_output() const noexcept {
+    return direction_ == PortDirection::kOutput;
+  }
+
+  /// "<block path>.<port name>" -- used in diagnostics and event names.
+  std::string qualified_name() const;
+
+ private:
+  Block* owner_;
+  Symbol name_;
+  PortDirection direction_;
+  FlowKind flow_;
+  int width_;
+  bool is_trigger_;
+  int index_;
+};
+
+/// A contiguous slice of a port's channels, used to trace deviations through
+/// mux/demux chains. `whole()` addresses every channel of the port.
+struct ChannelRange {
+  int lo = -1;  ///< first channel (0-based); -1 means the whole port
+  int hi = -1;  ///< one past the last channel
+
+  static ChannelRange whole() noexcept { return {-1, -1}; }
+  static ChannelRange slice(int lo, int hi) noexcept { return {lo, hi}; }
+
+  bool is_whole() const noexcept { return lo < 0; }
+  int width() const noexcept { return is_whole() ? -1 : hi - lo; }
+
+  /// Resolves `whole` against a port of width `port_width`.
+  ChannelRange concrete(int port_width) const noexcept {
+    return is_whole() ? ChannelRange{0, port_width} : *this;
+  }
+
+  friend bool operator==(ChannelRange a, ChannelRange b) noexcept {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace ftsynth

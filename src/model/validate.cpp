@@ -1,0 +1,253 @@
+#include "model/validate.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+std::string Issue::to_string() const {
+  return std::string(severity == Severity::kError ? "error" : "warning") +
+         " [" + block_path + "]: " + message;
+}
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Model& model) : model_(model) {}
+
+  std::vector<Issue> run() {
+    model_.for_each_block([&](const Block& block) { check_block(block); });
+    return std::move(issues_);
+  }
+
+ private:
+  void error(const Block& block, std::string message) {
+    issues_.push_back({Severity::kError, block.path(), std::move(message)});
+  }
+  void warning(const Block& block, std::string message) {
+    issues_.push_back({Severity::kWarning, block.path(), std::move(message)});
+  }
+
+  void check_block(const Block& block) {
+    check_ports_for_kind(block);
+    check_annotation(block);
+    if (block.is_subsystem()) {
+      check_connections(block);
+      check_proxies(block);
+    }
+    if (block.kind() == BlockKind::kMux || block.kind() == BlockKind::kDemux)
+      check_mux_widths(block);
+    if (block.kind() == BlockKind::kDataStoreRead &&
+        model_.store_writers(block.store_name()).empty()) {
+      warning(block, "data store '" + block.store_name().str() +
+                         "' is read but never written");
+    }
+  }
+
+  void check_ports_for_kind(const Block& block) {
+    const auto n_in = block.inputs().size();
+    const auto n_out = block.outputs().size();
+    switch (block.kind()) {
+      case BlockKind::kInport:
+        if (n_in != 0 || n_out != 1)
+          error(block, "Inport proxy must have exactly one output port");
+        break;
+      case BlockKind::kOutport:
+        if (n_in != 1 || n_out != 0)
+          error(block, "Outport proxy must have exactly one input port");
+        break;
+      case BlockKind::kGround:
+        if (n_in != 0 || n_out != 1)
+          error(block, "Ground must have exactly one output port");
+        break;
+      case BlockKind::kDataStoreWrite:
+        if (n_in != 1 || n_out != 0)
+          error(block, "DataStoreWrite must have exactly one input port");
+        if (block.store_name().empty())
+          error(block, "DataStoreWrite needs a store name");
+        break;
+      case BlockKind::kDataStoreRead:
+        if (n_in != 0 || n_out != 1)
+          error(block, "DataStoreRead must have exactly one output port");
+        if (block.store_name().empty())
+          error(block, "DataStoreRead needs a store name");
+        break;
+      case BlockKind::kMux:
+        if (n_in < 1 || n_out != 1)
+          error(block, "Mux needs >= 1 inputs and exactly one output");
+        break;
+      case BlockKind::kDemux:
+        if (n_in != 1 || n_out < 1)
+          error(block, "Demux needs exactly one input and >= 1 outputs");
+        break;
+      case BlockKind::kBasic:
+      case BlockKind::kSubsystem:
+        break;
+    }
+  }
+
+  void check_mux_widths(const Block& block) {
+    auto sum_widths = [](const std::vector<Port*>& ports) {
+      return std::accumulate(
+          ports.begin(), ports.end(), 0,
+          [](int acc, const Port* p) { return acc + p->width(); });
+    };
+    if (block.kind() == BlockKind::kMux && !block.outputs().empty()) {
+      int in_total = sum_widths(block.inputs());
+      int out_width = block.outputs().front()->width();
+      if (in_total != out_width) {
+        error(block, "mux output width " + std::to_string(out_width) +
+                         " != sum of input widths " +
+                         std::to_string(in_total));
+      }
+    }
+    if (block.kind() == BlockKind::kDemux && !block.inputs().empty()) {
+      int out_total = sum_widths(block.outputs());
+      int in_width = block.inputs().front()->width();
+      if (out_total != in_width) {
+        error(block, "demux input width " + std::to_string(in_width) +
+                         " != sum of output widths " +
+                         std::to_string(out_total));
+      }
+    }
+  }
+
+  void check_connections(const Block& subsystem) {
+    // One pass over the connections; per-port queries must not rescan the
+    // connection list (validation would go quadratic on flat models).
+    std::unordered_set<const Port*> driving;
+    for (const Connection& c : subsystem.connections())
+      driving.insert(c.from);
+    for (const Connection& c : subsystem.connections()) {
+      if (c.from->flow() != c.to->flow()) {
+        error(subsystem,
+              "flow mismatch on connection " + c.from->qualified_name() +
+                  " (" + std::string(to_string(c.from->flow())) + ") -> " +
+                  c.to->qualified_name() + " (" +
+                  std::string(to_string(c.to->flow())) + ")");
+      }
+      if (c.from->width() != c.to->width()) {
+        error(subsystem,
+              "width mismatch on connection " + c.from->qualified_name() +
+                  " (" + std::to_string(c.from->width()) + ") -> " +
+                  c.to->qualified_name() + " (" +
+                  std::to_string(c.to->width()) + ")");
+      }
+    }
+    // Every input of every child must be fed.
+    for (const auto& child : subsystem.children()) {
+      for (const auto& port : child->ports()) {
+        if (!port->is_input()) continue;
+        if (subsystem.connection_into(*port) == nullptr) {
+          error(subsystem, "input " + port->qualified_name() +
+                               " is unconnected (use a Ground block to "
+                               "terminate it deliberately)");
+        }
+      }
+      // Outputs that drive nothing are suspicious but legal.
+      if (child->kind() != BlockKind::kDataStoreRead &&
+          child->kind() != BlockKind::kGround) {
+        for (const auto& port : child->ports()) {
+          if (!port->is_output()) continue;
+          if (driving.count(port.get()) == 0) {
+            warning(subsystem,
+                    "output " + port->qualified_name() + " drives nothing");
+          }
+        }
+      }
+    }
+  }
+
+  void check_proxies(const Block& subsystem) {
+    // Boundary ports and proxy children must agree 1:1 by name.
+    for (const auto& port : subsystem.ports()) {
+      const Block* proxy = subsystem.find_child(port->name());
+      BlockKind expected =
+          port->is_input() ? BlockKind::kInport : BlockKind::kOutport;
+      if (proxy == nullptr || proxy->kind() != expected) {
+        error(subsystem, "boundary port '" + port->name().str() +
+                             "' has no matching " +
+                             std::string(to_string(expected)) +
+                             " proxy child");
+        continue;
+      }
+      const std::vector<Port*> proxy_ports =
+          port->is_input() ? proxy->outputs() : proxy->inputs();
+      if (proxy_ports.size() == 1 &&
+          proxy_ports.front()->width() != port->width()) {
+        error(subsystem, "boundary port '" + port->name().str() +
+                             "' width differs from its proxy");
+      }
+    }
+    for (const auto& child : subsystem.children()) {
+      if (child->kind() != BlockKind::kInport &&
+          child->kind() != BlockKind::kOutport)
+        continue;
+      if (subsystem.find_port(child->name()) == nullptr) {
+        error(subsystem, "proxy '" + child->name().str() +
+                             "' has no matching boundary port on '" +
+                             subsystem.path() + "'");
+      }
+    }
+  }
+
+  void check_annotation(const Block& block) {
+    const Annotation& annotation = block.annotation();
+    if (annotation.empty()) return;
+    if (block.kind() != BlockKind::kBasic && !block.is_subsystem()) {
+      error(block, "only basic blocks and subsystems may carry hazard "
+                   "annotations");
+      return;
+    }
+    for (const AnnotationRow& row : annotation.rows()) {
+      const Port* out = block.find_port(row.output.port);
+      if (out == nullptr || !out->is_output()) {
+        error(block, "annotation row for " + row.output.to_string() +
+                         " names a non-existent output port");
+      }
+      for (const Deviation& d : row.cause->input_deviations()) {
+        const Port* in = block.find_port(d.port);
+        if (in == nullptr || !in->is_input()) {
+          error(block, "cause of " + row.output.to_string() +
+                           " references unknown input deviation " +
+                           d.to_string());
+        }
+      }
+      for (Symbol m : row.cause->malfunctions()) {
+        if (!annotation.find_malfunction(m)) {
+          error(block, "cause of " + row.output.to_string() +
+                           " references undeclared malfunction '" + m.str() +
+                           "'");
+        }
+      }
+    }
+  }
+
+  const Model& model_;
+  std::vector<Issue> issues_;
+};
+
+}  // namespace
+
+std::vector<Issue> validate(const Model& model) {
+  return Validator(model).run();
+}
+
+void validate_or_throw(const Model& model) {
+  std::string messages;
+  int errors = 0;
+  for (const Issue& issue : validate(model)) {
+    if (issue.severity != Severity::kError) continue;
+    ++errors;
+    messages += "\n  " + issue.to_string();
+  }
+  require(errors == 0, ErrorKind::kModel,
+          "model '" + model.name() + "' failed validation with " +
+              std::to_string(errors) + " error(s):" + messages);
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,34 @@
+// Structural validation of models.
+//
+// Catches malformed models before synthesis: dangling inputs, flow or
+// width mismatches on connections, inconsistent inport/outport proxies,
+// mux/demux arithmetic errors, and annotations that reference ports or
+// malfunctions the block does not have.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace ftsynth {
+
+enum class Severity { kWarning, kError };
+
+struct Issue {
+  Severity severity;
+  std::string block_path;  ///< block the issue is anchored at
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Runs every structural check; returns all findings (empty == clean).
+std::vector<Issue> validate(const Model& model);
+
+/// Throws ErrorKind::kModel listing every kError finding; warnings are
+/// ignored. No-op on a clean model.
+void validate_or_throw(const Model& model);
+
+}  // namespace ftsynth

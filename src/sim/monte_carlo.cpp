@@ -1,0 +1,53 @@
+#include "sim/monte_carlo.h"
+
+#include <cmath>
+#include <random>
+
+namespace ftsynth {
+
+MonteCarloResult simulate_top_event(const Model& model, const Deviation& top,
+                                    const MonteCarloOptions& options) {
+  PropagationEngine engine(model, options.semantics);
+  const std::vector<PropagationEngine::LeafEvent> leaves =
+      engine.leaf_events();
+
+  // Precompute per-leaf firing probabilities.
+  std::vector<double> probabilities;
+  probabilities.reserve(leaves.size());
+  for (const PropagationEngine::LeafEvent& leaf : leaves) {
+    if (leaf.fixed_probability >= 0.0) {
+      probabilities.push_back(leaf.fixed_probability);
+    } else if (leaf.rate > 0.0) {
+      probabilities.push_back(
+          1.0 -
+          std::exp(-leaf.rate * options.probability.mission_time_hours));
+    } else {
+      probabilities.push_back(options.probability.default_event_probability);
+    }
+  }
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  MonteCarloResult result;
+  result.trials = options.trials;
+  std::unordered_set<Symbol> active;
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    active.clear();
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      if (probabilities[i] > 0.0 && uniform(rng) < probabilities[i])
+        active.insert(leaves[i].name);
+    }
+    if (active.empty()) continue;  // no events, no deviation (monotone)
+    PropagationResult propagation = engine.propagate(active);
+    if (propagation.at_system_output(top.port, top.failure_class))
+      ++result.occurrences;
+  }
+  result.estimate = static_cast<double>(result.occurrences) /
+                    static_cast<double>(result.trials);
+  result.std_error = std::sqrt(result.estimate * (1.0 - result.estimate) /
+                               static_cast<double>(result.trials));
+  return result;
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,108 @@
+// Forward failure-propagation simulation.
+//
+// The synthesis algorithm derives failure logic *backwards* from system
+// outputs. This engine runs the same local failure semantics *forwards*:
+// given a set of active leaf events (component malfunctions, environment
+// deviations), it computes -- by least-fixpoint iteration over the model --
+// every deviation observable at every port, including the system outputs.
+//
+// Its purpose is validation (experiment E9): for monotone models (no NOT in
+// the annotations), an active-event set causes a top deviation in forward
+// simulation exactly when it satisfies the synthesized fault tree. The
+// property tests check this exhaustively on small random models; the Monte
+// Carlo harness (sim/monte_carlo.h) checks it statistically on larger ones.
+//
+// Leaf events are named exactly as the synthesiser names them:
+//   "<block path>.<malfunction>"   component malfunction
+//   "env:<Class>-<port>"           deviation at a model boundary input
+//   "und:<Class>-<port>@<path>"    undeveloped event (unannotated component)
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fta/synthesis.h"
+#include "model/model.h"
+
+namespace ftsynth {
+
+namespace detail {
+
+/// State atom of the forward propagation: (port, channel, class). Only
+/// true atoms are stored.
+struct PropagationAtom {
+  const Port* port;
+  int channel;
+  FailureClass cls;
+  friend bool operator==(const PropagationAtom& a,
+                         const PropagationAtom& b) noexcept {
+    return a.port == b.port && a.channel == b.channel && a.cls == b.cls;
+  }
+};
+
+struct PropagationAtomHash {
+  std::size_t operator()(const PropagationAtom& a) const noexcept {
+    std::size_t h = std::hash<const void*>{}(a.port);
+    h = h * 1000003u ^ static_cast<std::size_t>(a.channel + 1);
+    h = h * 1000003u ^ a.cls.hash();
+    return h;
+  }
+};
+
+using PropagationState =
+    std::unordered_set<PropagationAtom, PropagationAtomHash>;
+
+}  // namespace detail
+
+/// The outcome of one forward propagation.
+class PropagationResult {
+ public:
+  /// True when `cls` is observed at channel `channel` of `port`
+  /// (channel -1: at any channel).
+  bool at(const Port& port, FailureClass cls, int channel = -1) const;
+
+  /// True when `cls` is observed at the model boundary output `port_name`
+  /// (root annotation common cause included).
+  bool at_system_output(Symbol port_name, FailureClass cls) const;
+
+  /// All deviations observed at boundary outputs.
+  std::vector<Deviation> system_output_deviations() const;
+
+ private:
+  friend class PropagationEngine;
+  detail::PropagationState true_atoms_;
+  std::unordered_map<Symbol, std::vector<FailureClass>> output_deviations_;
+};
+
+/// Forward propagation engine. Uses the same SynthesisOptions as the
+/// synthesiser so both sides implement identical semantics. Note: the
+/// least fixpoint is only well-defined for monotone failure logic; models
+/// using NOT are iterated to a (possibly non-unique) stable state.
+class PropagationEngine {
+ public:
+  explicit PropagationEngine(const Model& model,
+                             SynthesisOptions options = {});
+
+  /// Propagates the given active leaf events to every port.
+  PropagationResult propagate(
+      const std::unordered_set<Symbol>& active_events) const;
+
+  /// All leaf events that can be active in this model: every declared
+  /// malfunction, every (boundary input x registered class) environment
+  /// deviation, and every data condition of a conditional annotation row.
+  struct LeafEvent {
+    Symbol name;
+    double rate = 0.0;                ///< lambda; 0 when unquantified
+    double fixed_probability = -1.0;  ///< >= 0 for condition events
+  };
+  std::vector<LeafEvent> leaf_events() const;
+
+ private:
+  const Model& model_;
+  SynthesisOptions options_;
+};
+
+}  // namespace ftsynth

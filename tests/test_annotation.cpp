@@ -1,0 +1,86 @@
+// Unit tests for component hazard-analysis annotations (Figure 2 tables).
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "failure/annotation.h"
+#include "failure/expr_parser.h"
+
+namespace ftsynth {
+namespace {
+
+class AnnotationTest : public ::testing::Test {
+ protected:
+  FailureClassRegistry registry_;
+  Annotation annotation_;
+
+  Deviation dev(std::string_view text) {
+    return parse_deviation(text, registry_);
+  }
+  ExprPtr expr(std::string_view text) {
+    return parse_expression(text, registry_);
+  }
+};
+
+TEST_F(AnnotationTest, StartsEmpty) {
+  EXPECT_TRUE(annotation_.empty());
+  EXPECT_EQ(annotation_.cause(dev("Omission-out")), nullptr);
+  EXPECT_FALSE(annotation_.has_row(dev("Omission-out")));
+}
+
+TEST_F(AnnotationTest, StoresMalfunctionsWithRates) {
+  annotation_.add_malfunction(Symbol("jammed"), 5e-7, "stuck valve");
+  ASSERT_TRUE(annotation_.find_malfunction(Symbol("jammed")).has_value());
+  EXPECT_DOUBLE_EQ(annotation_.find_malfunction(Symbol("jammed"))->rate,
+                   5e-7);
+  EXPECT_FALSE(annotation_.find_malfunction(Symbol("other")).has_value());
+}
+
+TEST_F(AnnotationTest, RejectsBadMalfunctions) {
+  annotation_.add_malfunction(Symbol("m"), 1e-6);
+  EXPECT_THROW(annotation_.add_malfunction(Symbol("m"), 2e-6), Error);
+  EXPECT_THROW(annotation_.add_malfunction(Symbol("neg"), -1.0), Error);
+  EXPECT_THROW(annotation_.add_malfunction(Symbol(), 1e-6), Error);
+}
+
+TEST_F(AnnotationTest, MultipleRowsForOneOutputAreOrED) {
+  annotation_.add_malfunction(Symbol("m1"), 1e-6);
+  annotation_.add_malfunction(Symbol("m2"), 1e-6);
+  annotation_.add_row(dev("Omission-out"), expr("m1"));
+  annotation_.add_row(dev("Omission-out"), expr("m2 AND Omission-in"));
+  ExprPtr combined = annotation_.cause(dev("Omission-out"));
+  ASSERT_NE(combined, nullptr);
+  EXPECT_EQ(combined->op(), ExprOp::kOr);
+  EXPECT_EQ(combined->to_string(), "m1 OR m2 AND Omission-in");
+}
+
+TEST_F(AnnotationTest, RowsRejectMissingPieces) {
+  EXPECT_THROW(annotation_.add_row(Deviation{}, expr("m")), Error);
+  EXPECT_THROW(annotation_.add_row(dev("Omission-out"), nullptr), Error);
+}
+
+TEST_F(AnnotationTest, CollectsOutputAndInputDeviations) {
+  annotation_.add_malfunction(Symbol("m"), 1e-6);
+  annotation_.add_row(dev("Omission-out"), expr("m OR Omission-a"));
+  annotation_.add_row(dev("Value-out"), expr("Value-a OR Value-b"));
+  annotation_.add_row(dev("Value-aux"), expr("m"));
+
+  EXPECT_EQ(annotation_.output_deviations().size(), 3u);
+  std::vector<Deviation> inputs = annotation_.referenced_input_deviations();
+  EXPECT_EQ(inputs.size(), 3u);  // Omission-a, Value-a, Value-b
+}
+
+TEST_F(AnnotationTest, RenderTableShowsRowsAndRates) {
+  annotation_.add_malfunction(Symbol("jammed"), 5e-7, "stuck valve");
+  annotation_.add_row(dev("Omission-out"), expr("jammed OR Omission-in"),
+                      "output lost");
+  const std::string table = annotation_.render_table("my_component");
+  EXPECT_NE(table.find("my_component"), std::string::npos);
+  EXPECT_NE(table.find("Omission-out"), std::string::npos);
+  EXPECT_NE(table.find("jammed OR Omission-in"), std::string::npos);
+  EXPECT_NE(table.find("5e-07"), std::string::npos);
+  EXPECT_NE(table.find("output lost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,0 +1,161 @@
+// Unit tests for the BDD engine and its probability evaluation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.h"
+#include "bdd/bdd_prob.h"
+
+namespace ftsynth {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  Bdd bdd;
+  EXPECT_TRUE(bdd.is_false(Bdd::kFalse));
+  EXPECT_TRUE(bdd.is_true(Bdd::kTrue));
+  int x = bdd.new_var();
+  Bdd::Ref fx = bdd.var(x);
+  EXPECT_EQ(bdd.var(x), fx);  // unique table: same node
+  EXPECT_EQ(bdd.apply_not(fx), bdd.nvar(x));
+  EXPECT_EQ(bdd.node_count(fx), 1u);
+}
+
+TEST(Bdd, BooleanIdentities) {
+  Bdd bdd;
+  Bdd::Ref x = bdd.var(bdd.new_var());
+  Bdd::Ref y = bdd.var(bdd.new_var());
+  EXPECT_EQ(bdd.apply_and(x, x), x);
+  EXPECT_EQ(bdd.apply_or(x, x), x);
+  EXPECT_EQ(bdd.apply_and(x, bdd.apply_not(x)), Bdd::kFalse);
+  EXPECT_EQ(bdd.apply_or(x, bdd.apply_not(x)), Bdd::kTrue);
+  EXPECT_EQ(bdd.apply_xor(x, x), Bdd::kFalse);
+  EXPECT_EQ(bdd.apply_and(x, y), bdd.apply_and(y, x));
+  // De Morgan.
+  EXPECT_EQ(bdd.apply_not(bdd.apply_and(x, y)),
+            bdd.apply_or(bdd.apply_not(x), bdd.apply_not(y)));
+  // ite(x, y, 0) == x AND y.
+  EXPECT_EQ(bdd.ite(x, y, Bdd::kFalse), bdd.apply_and(x, y));
+}
+
+TEST(Bdd, EvaluateAgainstTruthTable) {
+  Bdd bdd;
+  int vx = bdd.new_var();
+  int vy = bdd.new_var();
+  int vz = bdd.new_var();
+  // f = (x AND y) OR (NOT x AND z)
+  Bdd::Ref f = bdd.apply_or(
+      bdd.apply_and(bdd.var(vx), bdd.var(vy)),
+      bdd.apply_and(bdd.nvar(vx), bdd.var(vz)));
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> assignment{(bits & 1) != 0, (bits & 2) != 0,
+                                 (bits & 4) != 0};
+    bool expected = (assignment[0] && assignment[1]) ||
+                    (!assignment[0] && assignment[2]);
+    EXPECT_EQ(bdd.evaluate(f, assignment), expected) << bits;
+  }
+}
+
+TEST(Bdd, SatCount) {
+  Bdd bdd;
+  int vx = bdd.new_var();
+  int vy = bdd.new_var();
+  int vz = bdd.new_var();
+  (void)vz;
+  Bdd::Ref f = bdd.apply_or(bdd.var(vx), bdd.var(vy));
+  // x OR y over three variables: 6 of 8 assignments.
+  EXPECT_DOUBLE_EQ(bdd.sat_count(f), 6.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(Bdd::kTrue), 8.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(Bdd::kFalse), 0.0);
+}
+
+TEST(Bdd, ProbabilityMatchesClosedForms) {
+  Bdd bdd;
+  int vx = bdd.new_var();
+  int vy = bdd.new_var();
+  std::vector<double> p{0.1, 0.2};
+  EXPECT_NEAR(bdd_probability(bdd, bdd.apply_and(bdd.var(vx), bdd.var(vy)), p),
+              0.1 * 0.2, 1e-15);
+  EXPECT_NEAR(bdd_probability(bdd, bdd.apply_or(bdd.var(vx), bdd.var(vy)), p),
+              0.1 + 0.2 - 0.1 * 0.2, 1e-15);
+  EXPECT_NEAR(bdd_probability(bdd, bdd.apply_not(bdd.var(vx)), p), 0.9,
+              1e-15);
+  EXPECT_DOUBLE_EQ(bdd_probability(bdd, Bdd::kTrue, p), 1.0);
+  EXPECT_DOUBLE_EQ(bdd_probability(bdd, Bdd::kFalse, p), 0.0);
+}
+
+TEST(Bdd, ProbabilityHandlesSharedEventsExactly) {
+  // f = (x AND y) OR (x AND z): P = p_x * (p_y + p_z - p_y p_z).
+  Bdd bdd;
+  int vx = bdd.new_var();
+  int vy = bdd.new_var();
+  int vz = bdd.new_var();
+  Bdd::Ref f = bdd.apply_or(bdd.apply_and(bdd.var(vx), bdd.var(vy)),
+                            bdd.apply_and(bdd.var(vx), bdd.var(vz)));
+  std::vector<double> p{0.5, 0.3, 0.4};
+  EXPECT_NEAR(bdd_probability(bdd, f, p), 0.5 * (0.3 + 0.4 - 0.12), 1e-15);
+}
+
+TEST(Bdd, BirnbaumImportance) {
+  // f = x OR y: dP/dp_x = 1 - p_y.
+  Bdd bdd;
+  int vx = bdd.new_var();
+  int vy = bdd.new_var();
+  Bdd::Ref f = bdd.apply_or(bdd.var(vx), bdd.var(vy));
+  std::vector<double> p{0.25, 0.4};
+  EXPECT_NEAR(bdd_birnbaum(bdd, f, p, vx), 1.0 - 0.4, 1e-15);
+  EXPECT_NEAR(bdd_birnbaum(bdd, f, p, vy), 1.0 - 0.25, 1e-15);
+  // f = x AND y: dP/dp_x = p_y.
+  Bdd::Ref g = bdd.apply_and(bdd.var(vx), bdd.var(vy));
+  EXPECT_NEAR(bdd_birnbaum(bdd, g, p, vx), 0.4, 1e-15);
+}
+
+/// Property sweep: random 6-variable formulas; BDD probability must match
+/// brute-force enumeration.
+class BddRandomFormula : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomFormula, ProbabilityMatchesBruteForce) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  Bdd bdd;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) bdd.new_var();
+
+  // Build a random formula bottom-up from literals.
+  std::vector<Bdd::Ref> pool;
+  for (int i = 0; i < n; ++i) {
+    pool.push_back(bdd.var(i));
+    pool.push_back(bdd.nvar(i));
+  }
+  auto pick = [&](std::size_t size) {
+    return std::uniform_int_distribution<std::size_t>(0, size - 1)(rng);
+  };
+  for (int step = 0; step < 12; ++step) {
+    Bdd::Ref a = pool[pick(pool.size())];
+    Bdd::Ref b = pool[pick(pool.size())];
+    pool.push_back(uniform(rng) < 0.5 ? bdd.apply_and(a, b)
+                                      : bdd.apply_or(a, b));
+  }
+  Bdd::Ref f = pool.back();
+
+  std::vector<double> p(n);
+  for (double& value : p) value = uniform(rng);
+
+  double brute = 0.0;
+  for (int bits = 0; bits < (1 << n); ++bits) {
+    std::vector<bool> assignment(n);
+    double weight = 1.0;
+    for (int i = 0; i < n; ++i) {
+      assignment[static_cast<std::size_t>(i)] = (bits >> i) & 1;
+      weight *= assignment[static_cast<std::size_t>(i)] ? p[static_cast<std::size_t>(i)]
+                                                        : 1.0 - p[static_cast<std::size_t>(i)];
+    }
+    if (bdd.evaluate(f, assignment)) brute += weight;
+  }
+  EXPECT_NEAR(bdd_probability(bdd, f, p), brute, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomFormula, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,0 +1,160 @@
+// Tests for the ftsynth command-line driver.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "casestudy/setta.h"
+#include "mdl/writer.h"
+#include "tools/cli.h"
+
+namespace ftsynth {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_path_ = testing::TempDir() + "/cli_model.mdl";
+    Model model = setta::build_bbw();
+    write_mdl_file(model, model_path_);
+
+    broken_path_ = testing::TempDir() + "/cli_broken.mdl";
+    std::ofstream broken(broken_path_);
+    broken << R"(
+Model { Name "broken" System {
+  Block {
+    BlockType Basic
+    Name "stage"
+    Port { Name "x"  Direction "input" }
+    Port { Name "y"  Direction "output" }
+  }
+  Block { BlockType Outport Name "out" }
+  Line { Src "stage.y"  Dst "out" }
+} }
+)";  // stage.x is left unconnected
+  }
+
+  int run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return cli::run(args, out_, err_);
+  }
+
+  std::string model_path_;
+  std::string broken_path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  EXPECT_EQ(run({}), 1);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(run({"explode", model_path_}), 1);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingModelFileFails) {
+  EXPECT_EQ(run({"info", "/nonexistent/x.mdl"}), 1);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoSummarisesTheModel) {
+  EXPECT_EQ(run({"info", model_path_}), 0);
+  EXPECT_NE(out_.str().find("model: bbw"), std::string::npos);
+  EXPECT_NE(out_.str().find("pedal_node [SubSystem]"), std::string::npos);
+  EXPECT_NE(out_.str().find("boundary outputs:"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateCleanModelExitsZero) {
+  EXPECT_EQ(run({"validate", model_path_}), 0);
+  EXPECT_NE(out_.str().find("0 error(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateBrokenModelExitsTwoAndLists) {
+  EXPECT_EQ(run({"validate", broken_path_}), 2);
+  EXPECT_NE(out_.str().find("unconnected"), std::string::npos);
+}
+
+TEST_F(CliTest, SynthesiseTextTree) {
+  EXPECT_EQ(run({"synthesise", model_path_, "--top",
+                 "Omission-brake_force_fl"}),
+            0);
+  EXPECT_NE(out_.str().find("Fault tree:"), std::string::npos);
+  EXPECT_NE(out_.str().find("bbw/actuator_fl.jammed"), std::string::npos);
+}
+
+TEST_F(CliTest, SynthesiseFormats) {
+  EXPECT_EQ(run({"synthesise", model_path_, "--top",
+                 "Omission-brake_force_fl", "--format", "dot"}),
+            0);
+  EXPECT_EQ(out_.str().rfind("digraph", 0), 0u);
+  EXPECT_EQ(run({"synthesise", model_path_, "--top",
+                 "Omission-brake_force_fl", "--format", "xml"}),
+            0);
+  EXPECT_NE(out_.str().find("<fault-tree"), std::string::npos);
+  EXPECT_EQ(run({"synthesise", model_path_, "--top",
+                 "Omission-brake_force_fl", "--format", "ftp"}),
+            0);
+  EXPECT_NE(out_.str().find("[PROJECT]"), std::string::npos);
+  EXPECT_EQ(run({"synthesise", model_path_, "--top",
+                 "Omission-brake_force_fl", "--format", "nope"}),
+            1);
+}
+
+TEST_F(CliTest, SynthesiseToOutputFile) {
+  const std::string path = testing::TempDir() + "/cli_tree.txt";
+  EXPECT_EQ(run({"synthesise", model_path_, "--top",
+                 "Omission-brake_force_fl", "--output", path}),
+            0);
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("Fault tree:"), std::string::npos);
+  EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(CliTest, AnalyseReportsCutSetsAndProbability) {
+  EXPECT_EQ(run({"analyse", model_path_, "--top", "Omission-total_braking",
+                 "--time", "1000"}),
+            0);
+  EXPECT_NE(out_.str().find("minimal cut sets:"), std::string::npos);
+  EXPECT_NE(out_.str().find("P(top):"), std::string::npos);
+  EXPECT_NE(out_.str().find("t = 1000"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyseRejectsBadTime) {
+  EXPECT_EQ(run({"analyse", model_path_, "--time", "soon"}), 1);
+}
+
+TEST_F(CliTest, AuditFindsBbwGaps) {
+  // The BBW model deliberately leaves some propagations unexamined
+  // (e.g. Early deviations): the audit exits 2 and lists them.
+  EXPECT_EQ(run({"audit", model_path_}), 2);
+  EXPECT_NE(out_.str().find("finding(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, FmeaRendersTable) {
+  EXPECT_EQ(run({"fmea", model_path_, "--time", "1000"}), 0);
+  EXPECT_NE(out_.str().find("Failure mode"), std::string::npos);
+  EXPECT_NE(out_.str().find("bbw/pedal_node"), std::string::npos);
+}
+
+TEST_F(CliTest, SensitivityRendersGains) {
+  EXPECT_EQ(run({"sensitivity", model_path_, "--top",
+                 "Omission-total_braking", "--time", "1000"}),
+            0);
+  EXPECT_NE(out_.str().find("gain"), std::string::npos);
+  EXPECT_NE(out_.str().find("bbw/"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownTopEventFails) {
+  EXPECT_EQ(run({"synthesise", model_path_, "--top", "Omission-nope"}), 1);
+  EXPECT_NE(err_.str().find("no boundary output port"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsynth

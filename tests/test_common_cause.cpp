@@ -1,0 +1,100 @@
+// Unit tests for common-cause analysis (experiment E4): single points of
+// failure, shared causes within a tree, dependencies between trees.
+
+#include <gtest/gtest.h>
+
+#include "analysis/common_cause.h"
+#include "casestudy/synthetic.h"
+#include "fta/synthesis.h"
+
+namespace ftsynth {
+namespace {
+
+TEST(CommonCause, FindsSinglePointsOfFailure) {
+  FaultTree tree("t");
+  FtNode* spof = tree.add_basic(Symbol("spof"), 1e-6, "", "");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 1e-6, "", "");
+  FtNode* conj = tree.add_gate(GateKind::kAnd, "", {a, b});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {spof, conj}));
+
+  CutSetAnalysis cs = minimal_cut_sets(tree);
+  CommonCauseReport report = analyse_common_cause(tree, cs);
+  ASSERT_EQ(report.single_points_of_failure.size(), 1u);
+  EXPECT_EQ(report.single_points_of_failure[0], spof);
+  EXPECT_NE(report.to_string().find("spof"), std::string::npos);
+}
+
+TEST(CommonCause, CountsSharedParents) {
+  FaultTree tree("t");
+  FtNode* shared = tree.add_basic(Symbol("shared"), 1e-6, "", "");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 1e-6, "", "");
+  FtNode* left = tree.add_gate(GateKind::kOr, "", {a, shared});
+  FtNode* right = tree.add_gate(GateKind::kOr, "", {b, shared});
+  tree.set_top(tree.add_gate(GateKind::kAnd, "", {left, right}));
+
+  CommonCauseReport report =
+      analyse_common_cause(tree, minimal_cut_sets(tree));
+  ASSERT_EQ(report.shared_causes.size(), 1u);
+  EXPECT_EQ(report.shared_causes[0].event, shared);
+  EXPECT_EQ(report.shared_causes[0].parent_count, 2u);
+}
+
+TEST(CommonCause, ReplicatedArchitectureExposesSharedSupport) {
+  // Three replicated lanes voted at the end: the shared input block and
+  // the shared power supply must surface as shared causes / SPOFs even
+  // though the lanes themselves are replicated.
+  synthetic::ReplicatedConfig config;
+  config.channels = 3;
+  config.stages = 2;
+  Model model = synthetic::build_replicated(config);
+  SynthesisOptions options;
+  options.environment = SynthesisOptions::EnvironmentPolicy::kPrune;
+  FaultTree tree = Synthesiser(model, options).synthesise("Omission-sink");
+  CutSetAnalysis cs = minimal_cut_sets(tree);
+  CommonCauseReport report = analyse_common_cause(tree, cs);
+
+  std::vector<std::string> spofs;
+  for (const FtNode* event : report.single_points_of_failure)
+    spofs.push_back(std::string(event->name().view()));
+  // The voter, the shared conditioning block and the shared power rail are
+  // single points; lane stages are not.
+  EXPECT_NE(std::find(spofs.begin(), spofs.end(),
+                      "replicated/shared_input.fail"),
+            spofs.end());
+  EXPECT_NE(std::find(spofs.begin(), spofs.end(),
+                      "replicated/power.supply_dead"),
+            spofs.end());
+  EXPECT_NE(std::find(spofs.begin(), spofs.end(), "replicated/voter.voter_fail"),
+            spofs.end());
+  for (const std::string& name : spofs) {
+    EXPECT_EQ(name.find("lane"), std::string::npos)
+        << "lane-local event must not be a SPOF: " << name;
+  }
+
+  // Losing all lanes needs one stage failure per lane: an order-3 set.
+  bool order3 = false;
+  for (const CutSet& set : cs.cut_sets) order3 = order3 || set.size() == 3;
+  EXPECT_TRUE(order3);
+}
+
+TEST(CommonCause, SharedBetweenTreesFindsCouplings) {
+  FaultTree a("a");
+  FtNode* common_a = a.add_basic(Symbol("common"), 1e-6, "", "");
+  FtNode* only_a = a.add_basic(Symbol("only_a"), 1e-6, "", "");
+  a.set_top(a.add_gate(GateKind::kOr, "", {common_a, only_a}));
+
+  FaultTree b("b");
+  FtNode* common_b = b.add_basic(Symbol("common"), 1e-6, "", "");
+  FtNode* only_b = b.add_basic(Symbol("only_b"), 1e-6, "", "");
+  b.set_top(b.add_gate(GateKind::kOr, "", {common_b, only_b}));
+
+  std::vector<Symbol> shared = shared_between(a, b);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared[0], Symbol("common"));
+  EXPECT_TRUE(shared_between(a, a).size() == 2u);  // self-comparison: all
+}
+
+}  // namespace
+}  // namespace ftsynth

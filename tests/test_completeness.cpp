@@ -1,0 +1,172 @@
+// Unit tests for the HAZOP completeness audit (section 2, questions a/b).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/completeness.h"
+#include "model/builder.h"
+
+namespace ftsynth {
+namespace {
+
+bool has_finding(const std::vector<CompletenessFinding>& findings,
+                 CompletenessKind kind, std::string_view text) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const CompletenessFinding& finding) {
+                       return finding.kind == kind &&
+                              finding.detail.find(text) != std::string::npos;
+                     });
+}
+
+TEST(Completeness, DetectsUnhandledPropagation) {
+  // Upstream produces Value-out, downstream only examines Omission.
+  ModelBuilder b("m");
+  Block& src = b.basic(b.root(), "src");
+  b.out(src, "y");
+  b.malfunction(src, "dead", 1e-6);
+  b.malfunction(src, "noisy", 1e-6);
+  b.annotate(src, "Omission-y", "dead");
+  b.annotate(src, "Value-y", "noisy");
+  Block& sink = b.basic(b.root(), "sink");
+  b.in(sink, "x");
+  b.out(sink, "y");
+  b.annotate(sink, "Omission-y", "Omission-x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "src.y", "sink.x");
+  b.connect(b.root(), "sink.y", "out");
+  Model model = b.take();
+
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  EXPECT_TRUE(has_finding(findings, CompletenessKind::kUnhandledPropagation,
+                          "Value-x"));
+  EXPECT_FALSE(has_finding(findings, CompletenessKind::kUnhandledPropagation,
+                           "Omission-x"));
+}
+
+TEST(Completeness, DetectsUnproducedDeviation) {
+  // Downstream examines Late-x but nothing upstream can be late.
+  ModelBuilder b("m");
+  Block& src = b.basic(b.root(), "src");
+  b.out(src, "y");
+  b.malfunction(src, "dead", 1e-6);
+  b.annotate(src, "Omission-y", "dead");
+  Block& sink = b.basic(b.root(), "sink");
+  b.in(sink, "x");
+  b.out(sink, "y");
+  b.annotate(sink, "Omission-y", "Omission-x OR Late-x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "src.y", "sink.x");
+  b.connect(b.root(), "sink.y", "out");
+  Model model = b.take();
+
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  EXPECT_TRUE(has_finding(findings, CompletenessKind::kUnproducedDeviation,
+                          "Late-x"));
+}
+
+TEST(Completeness, EnvironmentProducesEverything) {
+  // An input fed straight from the system boundary can deviate in every
+  // registered class, so unexamined classes are all reported.
+  ModelBuilder b("m");
+  b.inport(b.root(), "in");
+  Block& sink = b.basic(b.root(), "sink");
+  b.in(sink, "x");
+  b.out(sink, "y");
+  b.annotate(sink, "Omission-y", "Omission-x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "in", "sink.x");
+  b.connect(b.root(), "sink.y", "out");
+  Model model = b.take();
+
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  // 10 standard classes, 1 examined.
+  std::size_t unhandled = 0;
+  for (const CompletenessFinding& finding : findings) {
+    if (finding.kind == CompletenessKind::kUnhandledPropagation) ++unhandled;
+  }
+  EXPECT_EQ(unhandled, 9u);
+}
+
+TEST(Completeness, FlagsUnanalysedAndUnquantified) {
+  ModelBuilder b("m");
+  Block& ghost = b.basic(b.root(), "ghost");
+  b.out(ghost, "y");
+  Block& stage = b.basic(b.root(), "stage");
+  b.in(stage, "x");
+  b.out(stage, "y");
+  b.malfunction(stage, "mystery", 0.0);  // no rate
+  b.annotate(stage, "Omission-y", "mystery OR Omission-x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "ghost.y", "stage.x");
+  b.connect(b.root(), "stage.y", "out");
+  Model model = b.take();
+
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  EXPECT_TRUE(has_finding(findings, CompletenessKind::kUnanalysedComponent,
+                          "no hazard-analysis rows"));
+  EXPECT_TRUE(has_finding(findings, CompletenessKind::kUnquantifiedMalfunction,
+                          "mystery"));
+}
+
+TEST(Completeness, TriggerOmissionIsImplicitlyExamined) {
+  ModelBuilder b("m");
+  Block& clock = b.basic(b.root(), "clock");
+  b.out(clock, "tick");
+  b.malfunction(clock, "hung", 1e-7);
+  b.annotate(clock, "Omission-tick", "hung");
+  Block& task = b.basic(b.root(), "task");
+  b.trigger(task, "go");
+  b.out(task, "y");
+  b.malfunction(task, "bug", 1e-7);
+  b.annotate(task, "Omission-y", "bug");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "clock.tick", "task.go");
+  b.connect(b.root(), "task.y", "out");
+  Model model = b.take();
+
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  EXPECT_FALSE(has_finding(findings, CompletenessKind::kUnhandledPropagation,
+                           "Omission-go"));
+}
+
+TEST(Completeness, UpstreamProducersTraceThroughStructure) {
+  // src -> subsystem(in->pass->out) -> mux -> demux -> sink: the producer
+  // of sink.x is the basic block `pass` inside the subsystem.
+  ModelBuilder b("m");
+  Block& src = b.basic(b.root(), "src");
+  b.out(src, "y");
+  b.malfunction(src, "dead", 1e-6);
+  b.annotate(src, "Omission-y", "dead");
+  Block& sub = b.subsystem(b.root(), "sub");
+  b.inport(sub, "in");
+  Block& pass = b.basic(sub, "pass");
+  b.in(pass, "x");
+  b.out(pass, "y");
+  b.malfunction(pass, "drop", 1e-6);
+  b.annotate(pass, "Omission-y", "drop OR Omission-x");
+  b.outport(sub, "out");
+  b.connect(sub, "in", "pass.x");
+  b.connect(sub, "pass.y", "out");
+  b.mux(b.root(), "mx", 1);
+  b.demux(b.root(), "dx", 1);
+  Block& sink = b.basic(b.root(), "sink");
+  b.in(sink, "x");
+  b.out(sink, "y");
+  b.annotate(sink, "Omission-y", "Omission-x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "src.y", "sub.in");
+  b.connect(b.root(), "sub.out", "mx.in1");
+  b.connect(b.root(), "mx.out", "dx.in");
+  b.connect(b.root(), "dx.out1", "sink.x");
+  b.connect(b.root(), "sink.y", "out");
+  Model model = b.take();
+
+  std::vector<const Port*> producers =
+      upstream_producers(model, model.block("sink").port("x"));
+  ASSERT_EQ(producers.size(), 1u);
+  EXPECT_EQ(producers[0]->owner().path(), "m/sub/pass");
+}
+
+}  // namespace
+}  // namespace ftsynth

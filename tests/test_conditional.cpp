@@ -1,0 +1,111 @@
+// Tests for the data-dependent (conditional) annotation rows -- the
+// extension addressing the paper's stuck-register discussion (section 2):
+// "a value failure will be observed at the output of the register but only
+// for a subset of input values".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/probability.h"
+#include "core/error.h"
+#include "failure/expr_parser.h"
+#include "fta/synthesis.h"
+#include "mdl/parser.h"
+#include "mdl/writer.h"
+#include "model/builder.h"
+#include "sim/monte_carlo.h"
+
+namespace ftsynth {
+namespace {
+
+/// The paper's register: stuck-at-zero corrupts only odd values (p = 0.5).
+Model register_model() {
+  ModelBuilder b("reg");
+  b.inport(b.root(), "in");
+  Block& reg = b.basic(b.root(), "data_register");
+  b.in(reg, "d");
+  b.out(reg, "q");
+  b.malfunction(reg, "stuck_at_zero", 1e-4, "LSB stuck at 0");
+  b.annotate(reg, "Value-q", "stuck_at_zero OR Value-d",
+             "odd values are corrupted", /*condition_probability=*/0.5);
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "in", "data_register.d");
+  b.connect(b.root(), "data_register.q", "out");
+  return b.take();
+}
+
+TEST(Conditional, RangeIsValidated) {
+  ModelBuilder b("m");
+  Block& block = b.basic(b.root(), "x");
+  b.out(block, "y");
+  b.malfunction(block, "f", 1e-6);
+  EXPECT_THROW(b.annotate(block, "Value-y", "f", "", 0.0), Error);
+  EXPECT_THROW(b.annotate(block, "Value-y", "f", "", 1.5), Error);
+  EXPECT_NO_THROW(b.annotate(block, "Value-y", "f", "", 1.0));
+  EXPECT_NO_THROW(b.annotate(block, "Value-y", "f", "", 0.25));
+}
+
+TEST(Conditional, SynthesisAndsTheConditionEvent) {
+  Model model = register_model();
+  FaultTree tree = Synthesiser(model).synthesise("Value-out");
+  ASSERT_NE(tree.top(), nullptr);
+  // Structure: (stuck OR Value-in) AND cond.
+  EXPECT_EQ(tree.top()->gate(), GateKind::kAnd);
+  const FtNode* condition = tree.find_event(
+      Symbol(condition_event_name(model.block("data_register"),
+                                  parse_deviation("Value-q", model.registry()),
+                                  0)));
+  ASSERT_NE(condition, nullptr);
+  EXPECT_TRUE(condition->has_fixed_probability());
+  EXPECT_DOUBLE_EQ(condition->fixed_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(
+      event_probability(*condition, ProbabilityOptions{1000.0, 0.0}), 0.5);
+}
+
+TEST(Conditional, ProbabilityScalesByTheCondition) {
+  Model model = register_model();
+  SynthesisOptions options;
+  options.environment = SynthesisOptions::EnvironmentPolicy::kPrune;
+  FaultTree tree = Synthesiser(model, options).synthesise("Value-out");
+  ProbabilityOptions probability{1000.0, 0.0};
+  const double p_stuck = 1.0 - std::exp(-1e-4 * 1000.0);
+  EXPECT_NEAR(exact_probability(tree, probability), 0.5 * p_stuck, 1e-12);
+}
+
+TEST(Conditional, RoundTripsThroughTheTextFormat) {
+  Model model = register_model();
+  const std::string text = write_mdl(model);
+  EXPECT_NE(text.find("Condition 0.5"), std::string::npos);
+  Model reparsed = parse_mdl(text);
+  EXPECT_EQ(write_mdl(reparsed), text);
+  const AnnotationRow& row =
+      reparsed.block("data_register").annotation().rows().front();
+  EXPECT_DOUBLE_EQ(row.condition_probability, 0.5);
+}
+
+TEST(Conditional, TableRendersTheCondition) {
+  Model model = register_model();
+  const std::string table =
+      model.block("data_register").annotation().render_table("register");
+  EXPECT_NE(table.find("[data condition p=0.5]"), std::string::npos);
+}
+
+TEST(Conditional, MonteCarloMatchesTheScaledExact) {
+  Model model = register_model();
+  MonteCarloOptions options;
+  options.trials = 20000;
+  options.probability.mission_time_hours = 10000.0;  // p(stuck) ~ 0.63
+  MonteCarloResult result = simulate_top_event(
+      model, Deviation{model.registry().value(), Symbol("out")}, options);
+
+  SynthesisOptions prune;
+  prune.environment = SynthesisOptions::EnvironmentPolicy::kPrune;
+  FaultTree tree = Synthesiser(model, prune).synthesise("Value-out");
+  const double exact = exact_probability(tree, options.probability);
+  EXPECT_GT(result.occurrences, 0u);
+  EXPECT_NEAR(result.estimate, exact, 5.0 * result.std_error + 1e-3);
+}
+
+}  // namespace
+}  // namespace ftsynth

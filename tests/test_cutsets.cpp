@@ -1,0 +1,216 @@
+// Unit and property tests for the two cut-set engines.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/cutsets.h"
+#include "analysis/probability.h"
+#include "core/error.h"
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+namespace {
+
+FtNode* basic(FaultTree& tree, const char* name) {
+  return tree.add_basic(Symbol(name), 1e-6, "", "");
+}
+
+TEST(CutSets, SingleEvent) {
+  FaultTree tree("t");
+  tree.set_top(basic(tree, "a"));
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  ASSERT_EQ(analysis.cut_sets.size(), 1u);
+  EXPECT_EQ(analysis.cut_sets[0].size(), 1u);
+  EXPECT_EQ(analysis.cut_sets[0][0].event->name(), Symbol("a"));
+  EXPECT_EQ(analysis.min_order(), 1u);
+}
+
+TEST(CutSets, EmptyTreeHasNone) {
+  FaultTree tree("t");
+  EXPECT_TRUE(minimal_cut_sets(tree).cut_sets.empty());
+  EXPECT_TRUE(mocus_cut_sets(tree).cut_sets.empty());
+}
+
+TEST(CutSets, AbsorptionRemovesSupersets) {
+  // top = a OR (a AND b): {a} absorbs {a, b}.
+  FaultTree tree("t");
+  FtNode* a = basic(tree, "a");
+  FtNode* b = basic(tree, "b");
+  FtNode* conj = tree.add_gate(GateKind::kAnd, "", {a, b});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {a, conj}));
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  EXPECT_EQ(analysis.to_string(), "{a}\n");
+}
+
+TEST(CutSets, SharedEventCollapsesProduct) {
+  // (a OR x) AND (b OR x): minimal sets {x}, {a, b}.
+  FaultTree tree("t");
+  FtNode* a = basic(tree, "a");
+  FtNode* b = basic(tree, "b");
+  FtNode* x = basic(tree, "x");
+  FtNode* left = tree.add_gate(GateKind::kOr, "", {a, x});
+  FtNode* right = tree.add_gate(GateKind::kOr, "", {b, x});
+  tree.set_top(tree.add_gate(GateKind::kAnd, "", {left, right}));
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  EXPECT_EQ(analysis.to_string(), "{x}\n{a, b}\n");
+}
+
+TEST(CutSets, ContradictionsAreDropped) {
+  // a AND NOT a is impossible.
+  FaultTree tree("t");
+  FtNode* a = basic(tree, "a");
+  FtNode* na = tree.add_gate(GateKind::kNot, "", {a});
+  tree.set_top(tree.add_gate(GateKind::kAnd, "", {a, na}));
+  EXPECT_TRUE(minimal_cut_sets(tree).cut_sets.empty());
+}
+
+TEST(CutSets, NegatedLiteralsSurvive) {
+  FaultTree tree("t");
+  FtNode* fault = basic(tree, "fault");
+  FtNode* detector = basic(tree, "detector_ok");
+  FtNode* nd = tree.add_gate(GateKind::kNot, "", {detector});
+  tree.set_top(tree.add_gate(GateKind::kAnd, "", {fault, nd}));
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  EXPECT_EQ(analysis.to_string(), "{NOT detector_ok, fault}\n");
+}
+
+TEST(CutSets, OrderTruncationFlagged) {
+  // (a1 AND a2 AND a3) OR b with max_order 2 keeps only {b}.
+  FaultTree tree("t");
+  FtNode* conj = tree.add_gate(
+      GateKind::kAnd, "",
+      {basic(tree, "a1"), basic(tree, "a2"), basic(tree, "a3")});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {conj, basic(tree, "b")}));
+  CutSetOptions options;
+  options.max_order = 2;
+  CutSetAnalysis analysis = minimal_cut_sets(tree, options);
+  EXPECT_TRUE(analysis.truncated);
+  EXPECT_EQ(analysis.to_string(), "{b}\n(truncated: limits reached)\n");
+}
+
+TEST(CutSets, HouseTopYieldsEmptyCutSet) {
+  FaultTree tree("t");
+  tree.set_top(tree.add_house(Symbol("always"), ""));
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  ASSERT_EQ(analysis.cut_sets.size(), 1u);
+  EXPECT_TRUE(analysis.cut_sets[0].empty());
+}
+
+TEST(CutSets, CanonicalOrderingIsByOrderThenName) {
+  FaultTree tree("t");
+  FtNode* z = basic(tree, "z");
+  FtNode* m = basic(tree, "m");
+  FtNode* a = basic(tree, "a");
+  FtNode* pair = tree.add_gate(GateKind::kAnd, "", {z, a});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {pair, m}));
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  EXPECT_EQ(analysis.to_string(), "{m}\n{a, z}\n");
+  EXPECT_EQ(analysis.of_order(1).size(), 1u);
+  EXPECT_EQ(analysis.of_order(2).size(), 1u);
+  EXPECT_TRUE(analysis.of_order(3).empty());
+}
+
+TEST(CutSets, BddEngineAgreesAndRejectsNonCoherent) {
+  FaultTree tree("t");
+  FtNode* a = basic(tree, "a");
+  FtNode* b = basic(tree, "b");
+  FtNode* x = basic(tree, "x");
+  FtNode* left = tree.add_gate(GateKind::kOr, "", {a, x});
+  FtNode* right = tree.add_gate(GateKind::kOr, "", {b, x});
+  tree.set_top(tree.add_gate(GateKind::kAnd, "", {left, right}));
+  EXPECT_EQ(bdd_cut_sets(tree).to_string(), minimal_cut_sets(tree).to_string());
+
+  FaultTree negated("n");
+  FtNode* fault = negated.add_basic(Symbol("fault"), 1e-6, "", "");
+  FtNode* mon = negated.add_basic(Symbol("mon"), 1e-6, "", "");
+  FtNode* nm = negated.add_gate(GateKind::kNot, "", {mon});
+  negated.set_top(negated.add_gate(GateKind::kAnd, "", {fault, nm}));
+  EXPECT_THROW(bdd_cut_sets(negated), Error);
+}
+
+TEST(CutSets, BddEngineHandlesEmptyAndHouseTops) {
+  FaultTree empty("e");
+  EXPECT_TRUE(bdd_cut_sets(empty).cut_sets.empty());
+  FaultTree house("h");
+  house.set_top(house.add_house(Symbol("always"), ""));
+  CutSetAnalysis analysis = bdd_cut_sets(house);
+  ASSERT_EQ(analysis.cut_sets.size(), 1u);
+  EXPECT_TRUE(analysis.cut_sets[0].empty());
+}
+
+TEST(CutSets, MocusAgreesOnHandExamples) {
+  FaultTree tree("t");
+  FtNode* a = basic(tree, "a");
+  FtNode* b = basic(tree, "b");
+  FtNode* c = basic(tree, "c");
+  FtNode* x = basic(tree, "x");
+  FtNode* left = tree.add_gate(GateKind::kOr, "", {a, x});
+  FtNode* right = tree.add_gate(GateKind::kOr, "", {b, x});
+  FtNode* conj = tree.add_gate(GateKind::kAnd, "", {left, right});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {conj, c}));
+  EXPECT_EQ(mocus_cut_sets(tree).to_string(),
+            minimal_cut_sets(tree).to_string());
+}
+
+/// Property: on random DAG trees, both engines agree with each other and
+/// with the BDD: every minimal cut set satisfies the function, and the
+/// rare-event bound dominates the exact probability.
+class CutSetEngines : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutSetEngines, AgreeOnRandomTrees) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  FaultTree tree("random");
+  std::vector<FtNode*> pool;
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(
+        tree.add_basic(Symbol("e" + std::to_string(i)), 1e-3, "", ""));
+  }
+  auto pick = [&](std::size_t size) {
+    return std::uniform_int_distribution<std::size_t>(0, size - 1)(rng);
+  };
+  for (int step = 0; step < 10; ++step) {
+    FtNode* a = pool[pick(pool.size())];
+    FtNode* b = pool[pick(pool.size())];
+    if (a == b) continue;
+    pool.push_back(tree.add_gate(
+        uniform(rng) < 0.5 ? GateKind::kAnd : GateKind::kOr, "", {a, b}));
+  }
+  tree.set_top(pool.back());
+
+  CutSetAnalysis bottom_up = minimal_cut_sets(tree);
+  CutSetAnalysis mocus = mocus_cut_sets(tree);
+  EXPECT_EQ(bottom_up.to_string(), mocus.to_string());
+  // These random trees are coherent, so the BDD engine applies too.
+  CutSetAnalysis via_bdd = bdd_cut_sets(tree);
+  EXPECT_EQ(bottom_up.to_string(), via_bdd.to_string());
+
+  // Every cut set must actually imply the top event on the BDD.
+  BddEncoding encoding = encode_bdd(tree);
+  for (const CutSet& cs : bottom_up.cut_sets) {
+    std::vector<bool> assignment(encoding.events.size(), false);
+    for (const CutLiteral& literal : cs) {
+      for (std::size_t v = 0; v < encoding.events.size(); ++v) {
+        if (encoding.events[v] == literal.event)
+          assignment[v] = !literal.negated;
+      }
+    }
+    EXPECT_TRUE(encoding.bdd.evaluate(encoding.root, assignment))
+        << "cut set does not trigger the top event";
+  }
+
+  // Probability sandwich (coherent trees only -- no NOT here).
+  ProbabilityOptions probability;
+  probability.mission_time_hours = 1.0;
+  const double exact = exact_probability(tree, probability);
+  EXPECT_LE(exact, rare_event_bound(bottom_up, probability) + 1e-12);
+  EXPECT_LE(esary_proschan_bound(bottom_up, probability),
+            rare_event_bound(bottom_up, probability) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutSetEngines, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace ftsynth

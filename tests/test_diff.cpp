@@ -1,0 +1,90 @@
+// Tests for model diffing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "casestudy/setta.h"
+#include "model/builder.h"
+#include "model/diff.h"
+
+namespace ftsynth {
+namespace {
+
+Model small(const char* name, double rate, bool extra_block) {
+  ModelBuilder b(name);
+  b.inport(b.root(), "in");
+  Block& stage = b.basic(b.root(), "stage");
+  b.in(stage, "x");
+  b.out(stage, "y");
+  b.malfunction(stage, "dead", rate);
+  b.annotate(stage, "Omission-y", "dead OR Omission-x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "in", "stage.x");
+  b.connect(b.root(), "stage.y", "out");
+  if (extra_block) {
+    Block& tap = b.basic(b.root(), "tap");
+    b.in(tap, "x");
+    b.out(tap, "y");
+    b.connect(b.root(), "stage.y", "tap.x");
+  }
+  return b.take_unchecked();
+}
+
+bool mentions(const std::vector<std::string>& lines, std::string_view text) {
+  return std::any_of(lines.begin(), lines.end(), [&](const std::string& line) {
+    return line.find(text) != std::string::npos;
+  });
+}
+
+TEST(ModelDiff, IdenticalModelsAreEmpty) {
+  Model a = small("m", 1e-6, false);
+  Model b = small("m", 1e-6, false);
+  ModelDiff diff = diff_models(a, b);
+  EXPECT_TRUE(diff.empty()) << diff.to_string();
+  EXPECT_EQ(diff.to_string(), "(no differences)\n");
+}
+
+TEST(ModelDiff, RootRenameAloneIsNoDifference) {
+  Model a = small("before_name", 1e-6, false);
+  Model b = small("after_name", 1e-6, false);
+  EXPECT_TRUE(diff_models(a, b).empty());
+}
+
+TEST(ModelDiff, DetectsAddedBlocksAndConnections) {
+  Model a = small("m", 1e-6, false);
+  Model b = small("m", 1e-6, true);
+  ModelDiff diff = diff_models(a, b);
+  EXPECT_TRUE(mentions(diff.added_blocks, "tap"));
+  EXPECT_TRUE(mentions(diff.added_connections, "tap.x"));
+  EXPECT_TRUE(diff.removed_blocks.empty());
+  // Reversed direction flips the report.
+  ModelDiff reverse = diff_models(b, a);
+  EXPECT_TRUE(mentions(reverse.removed_blocks, "tap"));
+}
+
+TEST(ModelDiff, DetectsRateAndRowChanges) {
+  Model a = small("m", 1e-6, false);
+  Model b = small("m", 5e-6, false);
+  ModelDiff diff = diff_models(a, b);
+  ASSERT_FALSE(diff.changed_blocks.empty());
+  EXPECT_TRUE(mentions(diff.changed_blocks, "malfunction removed: dead @ 1e-06"));
+  EXPECT_TRUE(mentions(diff.changed_blocks, "malfunction added: dead @ 5e-06"));
+}
+
+TEST(ModelDiff, BbwDesignIterationDeltaIsReadable) {
+  Model baseline = setta::build_bbw_single_channel();
+  Model revised = setta::build_bbw();
+  ModelDiff diff = diff_models(baseline, revised);
+  EXPECT_FALSE(diff.empty());
+  // The revision adds the second bus and the extra pedal sensors.
+  EXPECT_TRUE(mentions(diff.added_blocks, "bus_b"));
+  EXPECT_TRUE(mentions(diff.added_blocks, "pedal_sensor_2"));
+  EXPECT_TRUE(mentions(diff.added_blocks, "pedal_node/voter"));
+  // The rendered delta is what a reviewer reads next to the re-analysis.
+  const std::string text = diff.to_string();
+  EXPECT_NE(text.find("+ block"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsynth

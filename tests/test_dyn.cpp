@@ -1,0 +1,451 @@
+// Tests for the numeric simulation substrate: behaviours, fault models,
+// the fixed-step engine, the deviation detector, and the bridge between
+// numeric fault injection and the synthesized fault trees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/cutsets.h"
+#include "core/error.h"
+#include "dyn/detector.h"
+#include "dyn/simulator.h"
+#include "fta/synthesis.h"
+#include "model/builder.h"
+
+namespace ftsynth {
+namespace {
+
+using dyn::Signal;
+using dyn::StepContext;
+
+// -- behaviours -----------------------------------------------------------------
+
+TEST(DynBehaviour, GainScales) {
+  auto gain = dyn::make_gain(2.5);
+  auto out = gain->step({Signal{2.0, -4.0}}, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(out[0][1], -10.0);
+}
+
+TEST(DynBehaviour, SumWeightsAndBroadcasts) {
+  auto sum = dyn::make_sum({1.0, -2.0});
+  auto out = sum->step({Signal{1.0, 2.0}, Signal{3.0}}, {});
+  ASSERT_EQ(out[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0][0], 1.0 - 6.0);
+  EXPECT_DOUBLE_EQ(out[0][1], 2.0 - 6.0);
+}
+
+TEST(DynBehaviour, IntegratorAccumulates) {
+  auto integrator = dyn::make_integrator(1.0, 0.0);
+  StepContext context{0.0, 0.1, true};
+  Signal result;
+  for (int i = 0; i < 10; ++i)
+    result = integrator->step({Signal{1.0}}, context)[0];
+  EXPECT_NEAR(result[0], 1.0, 1e-12);
+  integrator->reset();
+  EXPECT_NEAR(integrator->step({Signal{1.0}}, context)[0][0], 0.1, 1e-12);
+}
+
+TEST(DynBehaviour, DelayShifts) {
+  auto delay = dyn::make_delay(2, -1.0);
+  StepContext context;
+  EXPECT_DOUBLE_EQ(delay->step({Signal{10.0}}, context)[0][0], -1.0);
+  EXPECT_DOUBLE_EQ(delay->step({Signal{20.0}}, context)[0][0], -1.0);
+  EXPECT_DOUBLE_EQ(delay->step({Signal{30.0}}, context)[0][0], 10.0);
+  EXPECT_DOUBLE_EQ(delay->step({Signal{40.0}}, context)[0][0], 20.0);
+}
+
+TEST(DynBehaviour, SaturateClamps) {
+  auto sat = dyn::make_saturate(-1.0, 1.0);
+  auto out = sat->step({Signal{-5.0, 0.5, 5.0}}, {});
+  EXPECT_DOUBLE_EQ(out[0][0], -1.0);
+  EXPECT_DOUBLE_EQ(out[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(out[0][2], 1.0);
+}
+
+TEST(DynBehaviour, MedianVoterMasksOutliersAndNaN) {
+  auto voter = dyn::make_median_voter();
+  EXPECT_DOUBLE_EQ(
+      voter->step({Signal{1.0}, Signal{100.0}, Signal{1.1}}, {})[0][0], 1.1);
+  // NaN (omitted channel) is ignored.
+  EXPECT_DOUBLE_EQ(voter->step({Signal{std::nan("")}, Signal{2.0},
+                                Signal{2.2}},
+                               {})[0][0],
+                   2.2);
+  // All lost: the voted output is lost too.
+  EXPECT_TRUE(std::isnan(
+      voter->step({Signal{std::nan("")}, Signal{std::nan("")}}, {})[0][0]));
+}
+
+TEST(DynBehaviour, FirstOrderConverges) {
+  auto lag = dyn::make_first_order(0.1, 0.0);
+  StepContext context{0.0, 0.01, true};
+  Signal out;
+  for (int i = 0; i < 200; ++i) out = lag->step({Signal{1.0}}, context)[0];
+  EXPECT_NEAR(out[0], 1.0, 1e-3);
+}
+
+// -- fault models -----------------------------------------------------------------
+
+TEST(DynFault, ModelsDisturbAsSpecified) {
+  StepContext context{1.0, 0.01, true};
+  EXPECT_TRUE(std::isnan(dyn::make_omission()->apply({2.0}, context)[0]));
+  EXPECT_DOUBLE_EQ(dyn::make_bias(0.5)->apply({2.0}, context)[0], 2.5);
+  EXPECT_DOUBLE_EQ(dyn::make_commission(9.0)->apply({0.0}, context)[0], 9.0);
+
+  auto stuck = dyn::make_stuck();
+  EXPECT_DOUBLE_EQ(stuck->apply({3.0}, context)[0], 3.0);
+  EXPECT_DOUBLE_EQ(stuck->apply({7.0}, context)[0], 3.0);  // frozen
+  stuck->reset();
+  EXPECT_DOUBLE_EQ(stuck->apply({7.0}, context)[0], 7.0);
+
+  auto drift = dyn::make_drift(2.0);
+  EXPECT_DOUBLE_EQ(drift->apply({1.0}, {0.0, 0.01, true})[0], 1.0);
+  EXPECT_NEAR(drift->apply({1.0}, {0.5, 0.01, true})[0], 2.0, 1e-12);
+
+  auto erratic = dyn::make_erratic(0.1, 42);
+  auto erratic2 = dyn::make_erratic(0.1, 42);
+  const double a = erratic->apply({0.0}, context)[0];
+  EXPECT_LE(std::abs(a), 0.1);
+  EXPECT_DOUBLE_EQ(a, erratic2->apply({0.0}, context)[0]);  // deterministic
+}
+
+// -- simulator ---------------------------------------------------------------------
+
+/// in -> double (gain 2) -> out.
+Model gain_model() {
+  ModelBuilder b("m");
+  b.inport(b.root(), "in");
+  Block& amp = b.basic(b.root(), "amp");
+  b.in(amp, "x");
+  b.out(amp, "y");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "in", "amp.x");
+  b.connect(b.root(), "amp.y", "out");
+  return b.take_unchecked();  // no annotations needed for numeric tests
+}
+
+TEST(DynSimulator, GainPipelineTracksTheStimulus) {
+  Model model = gain_model();
+  dyn::Simulation sim(model);
+  sim.set_behaviour("amp", dyn::make_gain(2.0));
+  sim.set_stimulus("in", dyn::constant_stimulus(3.0));
+  sim.run(1.0, 0.1);
+  // Boundary outputs are auto-watched.
+  EXPECT_DOUBLE_EQ(sim.value("out")[0], 6.0);
+  EXPECT_EQ(sim.trace("out").size(), 10u);
+  EXPECT_NEAR(sim.time(), 1.0, 1e-12);
+}
+
+TEST(DynSimulator, MissingStimulusThrows) {
+  Model model = gain_model();
+  dyn::Simulation sim(model);
+  EXPECT_THROW(sim.run(0.1, 0.1), Error);
+}
+
+TEST(DynSimulator, DefaultBehaviourIsPassthrough) {
+  Model model = gain_model();
+  dyn::Simulation sim(model);
+  sim.set_stimulus("in", dyn::ramp_stimulus(1.0));
+  sim.run(1.0, 0.1);
+  // ramp at t=0.9 (last recorded step) passes straight through.
+  EXPECT_NEAR(sim.value("out")[0], 0.9, 1e-12);
+}
+
+TEST(DynSimulator, TriggeredBlockHoldsWhenTriggerLow) {
+  ModelBuilder b("m");
+  b.inport(b.root(), "in");
+  b.inport(b.root(), "clk");
+  Block& task = b.basic(b.root(), "task");
+  b.in(task, "x");
+  b.trigger(task, "go");
+  b.out(task, "y");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "in", "task.x");
+  b.connect(b.root(), "clk", "task.go");
+  b.connect(b.root(), "task.y", "out");
+  Model model = b.take_unchecked();
+
+  dyn::Simulation sim(model);
+  sim.set_stimulus("in", dyn::ramp_stimulus(1.0));
+  sim.set_stimulus("clk", dyn::step_stimulus(0.5, 1.0));  // off before 0.5 s
+  sim.run(1.0, 0.1);
+  const dyn::Trace& trace = sim.trace("out");
+  EXPECT_DOUBLE_EQ(trace.values[3][0], 0.0);  // held at initial value
+  EXPECT_GT(trace.values[9][0], 0.5);         // following after the trigger
+}
+
+TEST(DynSimulator, MuxDemuxRouteChannels) {
+  ModelBuilder b("m");
+  b.inport(b.root(), "a");
+  b.inport(b.root(), "c");
+  b.mux(b.root(), "mx", 2);
+  b.demux(b.root(), "dx", 2);
+  b.outport(b.root(), "o1");
+  b.outport(b.root(), "o2");
+  b.connect(b.root(), "a", "mx.in1");
+  b.connect(b.root(), "c", "mx.in2");
+  b.connect(b.root(), "mx.out", "dx.in");
+  b.connect(b.root(), "dx.out1", "o1");
+  b.connect(b.root(), "dx.out2", "o2");
+  Model model = b.take_unchecked();
+
+  dyn::Simulation sim(model);
+  sim.set_stimulus("a", dyn::constant_stimulus(1.5));
+  sim.set_stimulus("c", dyn::constant_stimulus(-2.5));
+  sim.run(0.3, 0.1);
+  EXPECT_DOUBLE_EQ(sim.value("o1")[0], 1.5);
+  EXPECT_DOUBLE_EQ(sim.value("o2")[0], -2.5);
+}
+
+TEST(DynSimulator, DataStoreIsOneStepDelayedSharedState) {
+  ModelBuilder b("m");
+  b.inport(b.root(), "in");
+  b.store_write(b.root(), "w", "shared");
+  b.store_read(b.root(), "r", "shared");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "in", "w");
+  b.connect(b.root(), "r", "out");
+  Model model = b.take_unchecked();
+
+  dyn::Simulation sim(model);
+  sim.set_stimulus("in", dyn::ramp_stimulus(10.0));
+  sim.run(0.3, 0.1);
+  // out(t) = in(t) already committed this step: writes landed at commit.
+  const dyn::Trace& trace = sim.trace("out");
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.values[0][0], 0.0);  // in(0) = 0
+  EXPECT_DOUBLE_EQ(trace.values[2][0], 2.0);  // in(0.2) = 2
+}
+
+TEST(DynSimulator, FeedbackLoopIntegratesStably) {
+  // Closed loop: plant integrates (setpoint - plant), a classic first-order
+  // servo; must converge to the setpoint without algebraic-loop issues.
+  ModelBuilder b("m");
+  b.inport(b.root(), "setpoint");
+  Block& controller = b.basic(b.root(), "controller");
+  b.in(controller, "sp");
+  b.in(controller, "fb");
+  b.out(controller, "err");
+  Block& plant = b.basic(b.root(), "plant");
+  b.in(plant, "u");
+  b.out(plant, "y");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "setpoint", "controller.sp");
+  b.connect(b.root(), "plant.y", "controller.fb");
+  b.connect(b.root(), "controller.err", "plant.u");
+  b.connect(b.root(), "plant.y", "out");
+  Model model = b.take_unchecked();
+
+  dyn::Simulation sim(model);
+  sim.set_behaviour("controller", dyn::make_sum({1.0, -1.0}));
+  sim.set_behaviour("plant", dyn::make_integrator(5.0));
+  sim.set_stimulus("setpoint", dyn::constant_stimulus(2.0));
+  sim.run(5.0, 0.01);
+  EXPECT_NEAR(sim.value("out")[0], 2.0, 1e-2);
+}
+
+TEST(DynSimulator, InjectionWindowsApply) {
+  Model model = gain_model();
+  dyn::Simulation sim(model);
+  sim.set_behaviour("amp", dyn::make_gain(1.0));
+  sim.set_stimulus("in", dyn::constant_stimulus(1.0));
+  sim.add_injection({"amp.y", dyn::make_bias(10.0), 0.3, 0.6});
+  sim.run(1.0, 0.1);
+  const dyn::Trace& trace = sim.trace("out");
+  EXPECT_DOUBLE_EQ(trace.values[1][0], 1.0);   // before the window
+  EXPECT_DOUBLE_EQ(trace.values[4][0], 11.0);  // inside
+  EXPECT_DOUBLE_EQ(trace.values[8][0], 1.0);   // after
+}
+
+TEST(DynSimulator, InjectionTargetsAreChecked) {
+  Model model = gain_model();
+  dyn::Simulation sim(model);
+  EXPECT_THROW(sim.add_injection({"amp.x", dyn::make_bias(1.0), 0, -1}),
+               Error);  // an input of a basic block
+  EXPECT_THROW(sim.add_injection({"ghost.y", dyn::make_bias(1.0), 0, -1}),
+               Error);
+  EXPECT_NO_THROW(sim.add_injection({"in", dyn::make_omission(), 0, -1}));
+}
+
+TEST(DynSimulator, ResetRestartsCleanly) {
+  Model model = gain_model();
+  dyn::Simulation sim(model);
+  sim.set_behaviour("amp", dyn::make_gain(2.0));
+  sim.set_stimulus("in", dyn::ramp_stimulus(1.0));
+  sim.run(1.0, 0.1);
+  const double first = sim.value("out")[0];
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.time(), 0.0);
+  sim.run(1.0, 0.1);
+  EXPECT_DOUBLE_EQ(sim.value("out")[0], first);
+}
+
+// -- detector ---------------------------------------------------------------------
+
+TEST(DynDetector, ClassifiesTheFourSymptoms) {
+  FailureClassRegistry registry;
+  dyn::Trace golden;
+  dyn::Trace omitted;
+  dyn::Trace biased;
+  dyn::Trace late;
+  dyn::Trace spurious;
+  dyn::Trace golden_zero;
+  for (int i = 0; i < 100; ++i) {
+    const double t = i * 0.01;
+    const double v = std::sin(t * 10.0) + 2.0;
+    golden.times.push_back(t);
+    golden.values.push_back({v});
+    omitted.times.push_back(t);
+    omitted.values.push_back({std::nan("")});
+    biased.times.push_back(t);
+    biased.values.push_back({v + 0.5});
+    late.times.push_back(t);
+    const double tv = (i - 5) * 0.01;  // 5 steps late
+    late.values.push_back({i < 5 ? 2.0 : std::sin(tv * 10.0) + 2.0});
+    golden_zero.times.push_back(t);
+    golden_zero.values.push_back({0.0});
+    spurious.times.push_back(t);
+    spurious.values.push_back({1.0});
+  }
+
+  auto classes = dyn::classify_deviation(golden, omitted, registry);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], registry.omission());
+
+  classes = dyn::classify_deviation(golden, biased, registry);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], registry.value());
+
+  dyn::DetectionOptions options;
+  options.value_tolerance = 1e-3;
+  classes = dyn::classify_deviation(golden, late, registry, options);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], registry.late());
+
+  classes = dyn::classify_deviation(golden_zero, spurious, registry);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], registry.commission());
+
+  EXPECT_TRUE(dyn::classify_deviation(golden, golden, registry).empty());
+}
+
+// -- the bridge: numeric injection vs synthesized trees ------------------------------
+
+TEST(DynBridge, InjectedMalfunctionAppearsInTheTreeOfTheObservedDeviation) {
+  // sensor -> controller -> actuator, annotated AND executable.
+  ModelBuilder b("m");
+  b.inport(b.root(), "stimulus");
+  Block& sensor = b.basic(b.root(), "sensor");
+  b.in(sensor, "in");
+  b.out(sensor, "reading");
+  b.malfunction(sensor, "dead", 1e-5, "sensor died");
+  b.annotate(sensor, "Omission-reading", "dead OR Omission-in");
+  b.annotate(sensor, "Value-reading", "Value-in");
+  Block& controller = b.basic(b.root(), "controller");
+  b.in(controller, "r");
+  b.out(controller, "cmd");
+  b.malfunction(controller, "bug", 1e-7);
+  b.annotate(controller, "Omission-cmd", "bug OR Omission-r");
+  b.annotate(controller, "Value-cmd", "Value-r");
+  Block& actuator = b.basic(b.root(), "actuator");
+  b.in(actuator, "c");
+  b.out(actuator, "motion");
+  b.malfunction(actuator, "jam", 1e-6);
+  b.annotate(actuator, "Omission-motion", "jam OR Omission-c");
+  b.annotate(actuator, "Value-motion", "Value-c");
+  b.outport(b.root(), "motion");
+  b.connect(b.root(), "stimulus", "sensor.in");
+  b.connect(b.root(), "sensor.reading", "controller.r");
+  b.connect(b.root(), "controller.cmd", "actuator.c");
+  b.connect(b.root(), "actuator.motion", "motion");
+  Model model = b.take();
+
+  auto make_sim = [&] {
+    dyn::Simulation sim(model);
+    sim.set_behaviour("sensor", dyn::make_gain(1.0));
+    sim.set_behaviour("controller", dyn::make_gain(0.5));
+    sim.set_behaviour("actuator", dyn::make_gain(2.0));
+    sim.set_stimulus("stimulus", dyn::sine_stimulus(1.0, 1.0));
+    return sim;
+  };
+
+  dyn::Simulation golden = make_sim();
+  golden.run(2.0, 0.01);
+
+  // Numeric realisation of "sensor.dead": the reading disappears.
+  dyn::Simulation faulty = make_sim();
+  faulty.add_injection({"sensor.reading", dyn::make_omission(), 0.5, -1.0});
+  faulty.run(2.0, 0.01);
+
+  std::vector<Deviation> observed =
+      dyn::observed_output_deviations(model, golden, faulty);
+  ASSERT_FALSE(observed.empty());
+  // NaN propagates through the gains: omission observed at the output.
+  EXPECT_EQ(observed.front().to_string(), "Omission-motion");
+
+  // The synthesized tree for the observed deviation must contain the
+  // injected malfunction among its basic events.
+  Synthesiser synthesiser(model);
+  FaultTree tree = synthesiser.synthesise(observed.front());
+  EXPECT_NE(tree.find_event(Symbol("m/sensor.dead")), nullptr);
+}
+
+TEST(DynBridge, VoterMasksASingleNumericOmission) {
+  // 3 sensors into a median voter: losing ONE sensor numerically must not
+  // disturb the output -- matching the 2-of-3 AND in the annotations.
+  ModelBuilder b("m");
+  b.inport(b.root(), "in");
+  for (int i = 1; i <= 3; ++i) {
+    Block& sensor = b.basic(b.root(), "s" + std::to_string(i));
+    b.in(sensor, "x");
+    b.out(sensor, "y");
+    b.connect(b.root(), "in", "s" + std::to_string(i) + ".x");
+  }
+  Block& voter = b.basic(b.root(), "voter");
+  b.in(voter, "a");
+  b.in(voter, "b");
+  b.in(voter, "c");
+  b.out(voter, "v");
+  b.connect(b.root(), "s1.y", "voter.a");
+  b.connect(b.root(), "s2.y", "voter.b");
+  b.connect(b.root(), "s3.y", "voter.c");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "voter.v", "out");
+  Model model = b.take_unchecked();
+
+  auto make_sim = [&] {
+    dyn::Simulation sim(model);
+    sim.set_behaviour("voter", dyn::make_median_voter());
+    sim.set_stimulus("in", dyn::sine_stimulus(2.0, 0.5));
+    return sim;
+  };
+  dyn::Simulation golden = make_sim();
+  golden.run(2.0, 0.01);
+
+  dyn::Simulation one_lost = make_sim();
+  one_lost.add_injection({"s2.y", dyn::make_omission(), 0.0, -1.0});
+  one_lost.run(2.0, 0.01);
+  EXPECT_TRUE(
+      dyn::observed_output_deviations(model, golden, one_lost).empty());
+
+  dyn::Simulation two_lost = make_sim();
+  two_lost.add_injection({"s1.y", dyn::make_omission(), 0.0, -1.0});
+  two_lost.add_injection({"s2.y", dyn::make_omission(), 0.0, -1.0});
+  two_lost.run(2.0, 0.01);
+  // Median of {NaN, NaN, good} is still good; but value corruption of two
+  // channels defeats the vote.
+  dyn::Simulation two_biased = make_sim();
+  two_biased.add_injection({"s1.y", dyn::make_bias(5.0), 0.0, -1.0});
+  two_biased.add_injection({"s2.y", dyn::make_bias(5.0), 0.0, -1.0});
+  two_biased.run(2.0, 0.01);
+  std::vector<Deviation> observed =
+      dyn::observed_output_deviations(model, golden, two_biased);
+  ASSERT_FALSE(observed.empty());
+  EXPECT_EQ(observed.front().failure_class, model.registry().value());
+}
+
+}  // namespace
+}  // namespace ftsynth

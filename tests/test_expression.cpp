@@ -1,0 +1,185 @@
+// Unit tests for failure classes, expression ASTs and the expression parser.
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "failure/expr_parser.h"
+#include "failure/expression.h"
+#include "failure/failure_class.h"
+
+namespace ftsynth {
+namespace {
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  FailureClassRegistry registry_;
+  FailureClass omission_ = registry_.omission();
+  FailureClass value_ = registry_.value();
+
+  ExprPtr parse(std::string_view text) {
+    return parse_expression(text, registry_);
+  }
+};
+
+// -- registry -------------------------------------------------------------------
+
+TEST_F(ExpressionTest, StandardTaxonomyIsPreRegistered) {
+  EXPECT_EQ(registry_.all().size(), 10u);
+  EXPECT_EQ(registry_.at("Omission").category(), FailureCategory::kProvision);
+  EXPECT_EQ(registry_.at("Commission").category(),
+            FailureCategory::kProvision);
+  EXPECT_EQ(registry_.at("Early").category(), FailureCategory::kTiming);
+  EXPECT_EQ(registry_.at("Late").category(), FailureCategory::kTiming);
+  for (const char* value_class :
+       {"Value", "OutOfRange", "Stuck", "Biased", "Drift", "Erratic"}) {
+    EXPECT_EQ(registry_.at(value_class).category(), FailureCategory::kValue)
+        << value_class;
+  }
+}
+
+TEST_F(ExpressionTest, RegistryAddIsIdempotentButCategoryChecked) {
+  FailureClass babbling = registry_.add("Babbling", FailureCategory::kProvision);
+  EXPECT_EQ(registry_.add("Babbling", FailureCategory::kProvision), babbling);
+  EXPECT_THROW(registry_.add("Babbling", FailureCategory::kTiming), Error);
+  EXPECT_THROW(registry_.add("not-an-id", FailureCategory::kValue), Error);
+}
+
+TEST_F(ExpressionTest, RegistryLookup) {
+  EXPECT_TRUE(registry_.find("Omission").has_value());
+  EXPECT_FALSE(registry_.find("omission").has_value());  // case-sensitive
+  EXPECT_THROW(registry_.at("NoSuchClass"), Error);
+}
+
+TEST_F(ExpressionTest, DeviationNotationRoundTrips) {
+  Deviation d{omission_, Symbol("input_1")};
+  EXPECT_EQ(d.to_string(), "Omission-input_1");
+  EXPECT_EQ(parse_deviation("Omission-input_1", registry_), d);
+}
+
+// -- AST factories --------------------------------------------------------------
+
+TEST_F(ExpressionTest, FactoriesFoldConstants) {
+  ExprPtr t = Expr::constant(true);
+  ExprPtr f = Expr::constant(false);
+  ExprPtr a = Expr::malfunction(Symbol("a"));
+  EXPECT_EQ(Expr::make_and(a, t), a);           // a AND true == a
+  EXPECT_EQ(Expr::make_and(a, f)->op(), ExprOp::kFalse);
+  EXPECT_EQ(Expr::make_or(a, f), a);            // a OR false == a
+  EXPECT_EQ(Expr::make_or(a, t)->op(), ExprOp::kTrue);
+  EXPECT_EQ(Expr::make_not(t)->op(), ExprOp::kFalse);
+  EXPECT_EQ(Expr::make_not(f)->op(), ExprOp::kTrue);
+}
+
+TEST_F(ExpressionTest, FactoriesFlattenAndDeduplicate) {
+  ExprPtr a = Expr::malfunction(Symbol("a"));
+  ExprPtr b = Expr::malfunction(Symbol("b"));
+  ExprPtr c = Expr::malfunction(Symbol("c"));
+  ExprPtr nested = Expr::make_or(Expr::make_or(a, b), c);
+  EXPECT_EQ(nested->children().size(), 3u);  // flattened
+  ExprPtr duplicate = Expr::make_and(a, a);
+  EXPECT_EQ(duplicate, a);  // X AND X == X
+}
+
+TEST_F(ExpressionTest, DoubleNegationCancels) {
+  ExprPtr a = Expr::malfunction(Symbol("a"));
+  EXPECT_EQ(Expr::make_not(Expr::make_not(a)), a);
+}
+
+TEST_F(ExpressionTest, LeafAccessorsAreChecked) {
+  ExprPtr a = Expr::malfunction(Symbol("a"));
+  EXPECT_EQ(a->malfunction(), Symbol("a"));
+  EXPECT_THROW(a->deviation(), Error);
+  ExprPtr d = Expr::deviation(omission_, Symbol("in"));
+  EXPECT_EQ(d->deviation().port, Symbol("in"));
+  EXPECT_THROW(d->malfunction(), Error);
+}
+
+// -- printing -------------------------------------------------------------------
+
+TEST_F(ExpressionTest, PrintingUsesMinimalParentheses) {
+  EXPECT_EQ(parse("a AND b OR c")->to_string(), "a AND b OR c");
+  EXPECT_EQ(parse("a AND (b OR c)")->to_string(), "a AND (b OR c)");
+  EXPECT_EQ(parse("NOT (a OR b)")->to_string(), "NOT (a OR b)");
+  EXPECT_EQ(parse("NOT a AND b")->to_string(), "NOT a AND b");
+  EXPECT_EQ(parse("Omission-in AND stuck")->to_string(),
+            "Omission-in AND stuck");
+}
+
+TEST_F(ExpressionTest, PrintRoundTripsThroughParser) {
+  for (const char* text :
+       {"a", "a OR b", "a AND b", "a AND b OR c AND d",
+        "NOT a", "NOT (a AND b)", "Omission-x OR Value-y AND m",
+        "(a OR b) AND (c OR d)", "true", "false"}) {
+    ExprPtr first = parse(text);
+    ExprPtr second = parse(first->to_string());
+    EXPECT_TRUE(equal(*first, *second)) << text;
+  }
+}
+
+// -- evaluation -----------------------------------------------------------------
+
+TEST_F(ExpressionTest, EvaluatesUnderAssignment) {
+  ExprPtr expr = parse("Omission-in AND Omission-in2 OR broken");
+  auto eval = [&](bool in1, bool in2, bool broken) {
+    return expr->evaluate(
+        [&](const Deviation& d) {
+          return d.port == Symbol("in") ? in1 : in2;
+        },
+        [&](Symbol) { return broken; });
+  };
+  EXPECT_FALSE(eval(false, false, false));
+  EXPECT_FALSE(eval(true, false, false));
+  EXPECT_TRUE(eval(true, true, false));
+  EXPECT_TRUE(eval(false, false, true));
+}
+
+TEST_F(ExpressionTest, EvaluatesNotCorrectly) {
+  ExprPtr expr = parse("NOT monitor_ok AND fault");
+  auto eval = [&](bool ok, bool fault) {
+    return expr->evaluate([](const Deviation&) { return false; },
+                          [&](Symbol m) {
+                            return m == Symbol("monitor_ok") ? ok : fault;
+                          });
+  };
+  EXPECT_TRUE(eval(false, true));
+  EXPECT_FALSE(eval(true, true));
+  EXPECT_FALSE(eval(false, false));
+}
+
+TEST_F(ExpressionTest, CollectsDistinctLeaves) {
+  ExprPtr expr = parse("Omission-a AND m1 OR Omission-a AND m2 OR Value-b");
+  EXPECT_EQ(expr->input_deviations().size(), 2u);
+  EXPECT_EQ(expr->malfunctions().size(), 2u);
+}
+
+// -- parser errors ---------------------------------------------------------------
+
+TEST_F(ExpressionTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("a AND"), ParseError);
+  EXPECT_THROW(parse("AND a"), ParseError);
+  EXPECT_THROW(parse("(a OR b"), ParseError);
+  EXPECT_THROW(parse("a b"), ParseError);
+  EXPECT_THROW(parse("a @ b"), ParseError);
+  EXPECT_THROW(parse("Omission-"), ParseError);
+}
+
+TEST_F(ExpressionTest, ParserRejectsUnknownFailureClass) {
+  EXPECT_THROW(parse("Nonsense-in"), ParseError);
+  // ... but a bare identifier is a malfunction, not a class.
+  EXPECT_EQ(parse("Nonsense")->op(), ExprOp::kMalfunction);
+}
+
+TEST_F(ExpressionTest, ParserAcceptsOperatorAliases) {
+  EXPECT_TRUE(equal(*parse("a & b | !c"), *parse("a AND b OR NOT c")));
+  EXPECT_TRUE(equal(*parse("a and b or c"), *parse("a AND b OR c")));
+}
+
+TEST_F(ExpressionTest, ParseDeviationRejectsExpressions) {
+  EXPECT_THROW(parse_deviation("Omission-a OR Omission-b", registry_),
+               ParseError);
+  EXPECT_THROW(parse_deviation("bare_malfunction", registry_), ParseError);
+}
+
+}  // namespace
+}  // namespace ftsynth

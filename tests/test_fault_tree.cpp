@@ -1,0 +1,172 @@
+// Unit tests for the fault tree data structure and normalisation.
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "fta/fault_tree.h"
+#include "fta/simplify.h"
+
+namespace ftsynth {
+namespace {
+
+TEST(FaultTree, BasicEventsAreInternedByName) {
+  FaultTree tree("t");
+  FtNode* a1 = tree.add_basic(Symbol("pump.dead"), 1e-6, "pump died", "pump");
+  FtNode* a2 = tree.add_basic(Symbol("pump.dead"), 9e-9, "ignored", "x");
+  EXPECT_EQ(a1, a2);
+  EXPECT_DOUBLE_EQ(a1->rate(), 1e-6);  // first registration wins
+  EXPECT_EQ(tree.find_event(Symbol("pump.dead")), a1);
+  EXPECT_EQ(tree.find_event(Symbol("other")), nullptr);
+}
+
+TEST(FaultTree, GatesGetSequentialNames) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 0, "", "");
+  FtNode* g1 = tree.add_gate(GateKind::kOr, "first", {a, b});
+  FtNode* g2 = tree.add_gate(GateKind::kAnd, "second", {g1, a});
+  EXPECT_EQ(g1->name(), Symbol("G1"));
+  EXPECT_EQ(g2->name(), Symbol("G2"));
+  EXPECT_EQ(g2->children().size(), 2u);
+}
+
+TEST(FaultTree, GateInvariantsChecked) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 0, "", "");
+  EXPECT_THROW(tree.add_gate(GateKind::kOr, "", {}), Error);
+  EXPECT_THROW(tree.add_gate(GateKind::kNot, "", {a, b}), Error);
+  EXPECT_THROW(a->add_child(b), Error);  // leaves have no children
+}
+
+TEST(FaultTree, StatsOnASharedDag) {
+  FaultTree tree("t");
+  FtNode* shared = tree.add_basic(Symbol("common"), 1e-6, "", "");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 1e-6, "", "");
+  FtNode* left = tree.add_gate(GateKind::kOr, "", {a, shared});
+  FtNode* right = tree.add_gate(GateKind::kOr, "", {b, shared});
+  FtNode* top = tree.add_gate(GateKind::kAnd, "", {left, right});
+  tree.set_top(top);
+
+  FaultTreeStats stats = tree.stats();
+  EXPECT_EQ(stats.node_count, 6u);        // shared counted once
+  EXPECT_EQ(stats.gate_count, 3u);
+  EXPECT_EQ(stats.basic_event_count, 3u);
+  EXPECT_EQ(stats.depth, 2);
+  EXPECT_EQ(stats.expanded_size, 7u);     // copy-out duplicates `common`
+}
+
+TEST(FaultTree, EmptyTreeBehaviour) {
+  FaultTree tree("t");
+  EXPECT_EQ(tree.top(), nullptr);
+  EXPECT_EQ(tree.stats().node_count, 0u);
+  EXPECT_TRUE(tree.basic_events().empty());
+  EXPECT_NE(tree.to_text().find("cannot occur"), std::string::npos);
+}
+
+TEST(FaultTree, ReachabilityIsChildrenFirst) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* g = tree.add_gate(GateKind::kOr, "", {a});
+  FtNode* unreachable = tree.add_basic(Symbol("zombie"), 0, "", "");
+  (void)unreachable;
+  tree.set_top(g);
+  std::vector<const FtNode*> order;
+  tree.for_each_reachable([&](const FtNode& node) { order.push_back(&node); });
+  ASSERT_EQ(order.size(), 2u);  // the zombie is not visited
+  EXPECT_EQ(order[0], a);       // child before parent
+  EXPECT_EQ(order[1], g);
+}
+
+TEST(FaultTree, TextRenderingMarksSharedSubtrees) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* inner = tree.add_gate(GateKind::kOr, "inner", {a});
+  FtNode* top = tree.add_gate(GateKind::kAnd, "top", {inner, inner});
+  tree.set_top(top);
+  const std::string text = tree.to_text();
+  EXPECT_NE(text.find("shared"), std::string::npos);
+}
+
+// -- normalisation -----------------------------------------------------------------
+
+TEST(Normalise, PushesNotToLeaves) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 0, "", "");
+  FtNode* conj = tree.add_gate(GateKind::kAnd, "", {a, b});
+  FtNode* negated = tree.add_gate(GateKind::kNot, "", {conj});
+  tree.set_top(negated);
+
+  FaultTree flat = normalise(tree);
+  ASSERT_NE(flat.top(), nullptr);
+  EXPECT_TRUE(is_normalised(flat));
+  // NOT (a AND b) == NOT a OR NOT b.
+  EXPECT_EQ(flat.top()->gate(), GateKind::kOr);
+  for (const FtNode* child : flat.top()->children()) {
+    EXPECT_EQ(child->gate(), GateKind::kNot);
+    EXPECT_TRUE(child->children().front()->is_leaf());
+  }
+}
+
+TEST(Normalise, FlattensAndDeduplicates) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 0, "", "");
+  FtNode* inner = tree.add_gate(GateKind::kOr, "", {a, b});
+  FtNode* outer = tree.add_gate(GateKind::kOr, "", {inner, a});
+  tree.set_top(outer);
+
+  FaultTree flat = normalise(tree);
+  EXPECT_TRUE(is_normalised(flat));
+  ASSERT_NE(flat.top(), nullptr);
+  EXPECT_EQ(flat.top()->children().size(), 2u);  // {a, b}, deduplicated
+}
+
+TEST(Normalise, DoubleNegationRestoresPolarity) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* n1 = tree.add_gate(GateKind::kNot, "", {a});
+  FtNode* n2 = tree.add_gate(GateKind::kNot, "", {n1});
+  tree.set_top(n2);
+  FaultTree flat = normalise(tree);
+  ASSERT_NE(flat.top(), nullptr);
+  EXPECT_EQ(flat.top()->kind(), NodeKind::kBasic);
+  EXPECT_EQ(flat.top()->name(), Symbol("a"));
+}
+
+TEST(Normalise, HouseEventsFoldAway) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 0, "", "");
+  FtNode* house = tree.add_house(Symbol("always"), "");
+  FtNode* conj = tree.add_gate(GateKind::kAnd, "", {a, house});
+  tree.set_top(conj);
+  FaultTree flat = normalise(tree);
+  ASSERT_NE(flat.top(), nullptr);
+  EXPECT_EQ(flat.top()->kind(), NodeKind::kBasic);  // a AND true == a
+
+  // OR with a house is constant true.
+  FaultTree tree2("t2");
+  FtNode* b = tree2.add_basic(Symbol("b"), 0, "", "");
+  FtNode* h2 = tree2.add_house(Symbol("always"), "");
+  tree2.set_top(tree2.add_gate(GateKind::kOr, "", {b, h2}));
+  FaultTree flat2 = normalise(tree2);
+  ASSERT_NE(flat2.top(), nullptr);
+  EXPECT_EQ(flat2.top()->kind(), NodeKind::kHouse);
+}
+
+TEST(Normalise, PreservesLeafMetadata) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 4.2e-6, "desc", "origin/block");
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {a, a}));
+  FaultTree flat = normalise(tree);
+  const FtNode* leaf = flat.find_event(Symbol("a"));
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_DOUBLE_EQ(leaf->rate(), 4.2e-6);
+  EXPECT_EQ(leaf->description(), "desc");
+  EXPECT_EQ(leaf->origin(), "origin/block");
+}
+
+}  // namespace
+}  // namespace ftsynth

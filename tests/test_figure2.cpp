@@ -1,0 +1,101 @@
+// Experiment E1: the paper's Figure 2 component, reproduced and verified.
+//
+// Expected results (from the paper's table):
+//   Omission-output <- Omission-input_1 AND Omission-input_2
+//                      OR Jammed (5e-7) OR Short_circuited (6e-6)
+//   Wrong-output    <- Wrong-input_1 OR Wrong-input_2 OR Biased (6e-8)
+// Minimal cut sets for Omission-output: {Jammed}, {Short_circuited},
+// {Omission-input_1, Omission-input_2}.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/report.h"
+#include "failure/expr_parser.h"
+#include "fta/synthesis.h"
+#include "model/builder.h"
+
+namespace ftsynth {
+namespace {
+
+Model figure2_model() {
+  ModelBuilder b("figure2");
+  b.registry().add("Wrong", FailureCategory::kValue);
+  Block& sys = b.root();
+  b.inport(sys, "input_1");
+  b.inport(sys, "input_2");
+  Block& component = b.basic(sys, "component");
+  b.in(component, "input_1");
+  b.in(component, "input_2");
+  b.out(component, "output");
+  b.malfunction(component, "Jammed", 5e-7);
+  b.malfunction(component, "Short_circuited", 6e-6);
+  b.malfunction(component, "Biased", 6e-8);
+  b.annotate(component, "Omission-output",
+             "Omission-input_1 AND Omission-input_2 OR Jammed OR "
+             "Short_circuited");
+  b.annotate(component, "Wrong-output",
+             "Wrong-input_1 OR Wrong-input_2 OR Biased");
+  b.outport(sys, "output");
+  b.connect(sys, "input_1", "component.input_1");
+  b.connect(sys, "input_2", "component.input_2");
+  b.connect(sys, "component.output", "output");
+  return b.take();
+}
+
+TEST(Figure2, OmissionCutSetsMatchThePaper) {
+  Model model = figure2_model();
+  FaultTree tree = Synthesiser(model).synthesise("Omission-output");
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  EXPECT_EQ(analysis.to_string(),
+            "{figure2/component.Jammed}\n"
+            "{figure2/component.Short_circuited}\n"
+            "{env:Omission-input_1, env:Omission-input_2}\n");
+}
+
+TEST(Figure2, WrongOutputCutSetsMatchThePaper) {
+  Model model = figure2_model();
+  FaultTree tree = Synthesiser(model).synthesise(
+      parse_deviation("Wrong-output", model.registry()));
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  ASSERT_EQ(analysis.cut_sets.size(), 3u);
+  EXPECT_EQ(analysis.min_order(), 1u);
+}
+
+TEST(Figure2, RatesAppearOnBasicEvents) {
+  Model model = figure2_model();
+  FaultTree tree = Synthesiser(model).synthesise("Omission-output");
+  EXPECT_DOUBLE_EQ(
+      tree.find_event(Symbol("figure2/component.Jammed"))->rate(), 5e-7);
+  EXPECT_DOUBLE_EQ(
+      tree.find_event(Symbol("figure2/component.Short_circuited"))->rate(),
+      6e-6);
+}
+
+TEST(Figure2, QuantificationMatchesHandComputation) {
+  // With perfect inputs (env probability 0), P(omission) over time t is
+  // 1 - exp(-(lambda_jammed + lambda_short) * t) -- the two malfunctions
+  // in series.
+  Model model = figure2_model();
+  FaultTree tree = Synthesiser(model).synthesise("Omission-output");
+  ProbabilityOptions options;
+  options.mission_time_hours = 1000.0;
+  const double expected = 1.0 - std::exp(-(5e-7 + 6e-6) * 1000.0);
+  EXPECT_NEAR(exact_probability(tree, options), expected, 1e-12);
+}
+
+TEST(Figure2, AnnotationTableRendersThePaperRows) {
+  Model model = figure2_model();
+  const std::string table =
+      model.block("component").annotation().render_table("component");
+  EXPECT_NE(table.find("Omission-input_1 AND Omission-input_2 OR Jammed OR "
+                       "Short_circuited"),
+            std::string::npos);
+  EXPECT_NE(table.find("Wrong-input_1 OR Wrong-input_2 OR Biased"),
+            std::string::npos);
+  EXPECT_NE(table.find("6e-06"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,0 +1,101 @@
+// Unit tests for FMEA synthesis (inversion of the fault trees).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/fmea.h"
+#include "casestudy/setta.h"
+#include "core/error.h"
+#include "fta/synthesis.h"
+#include "model/builder.h"
+
+namespace ftsynth {
+namespace {
+
+TEST(Fmea, InvertsTreesIntoPerEventRows) {
+  // One SPOF event and one pair; two top events sharing the SPOF.
+  FaultTree t1("t1");
+  t1.set_top_description("Omission-out at m");
+  FtNode* spof = t1.add_basic(Symbol("m/a.dead"), 1e-6, "", "m/a");
+  FtNode* x = t1.add_basic(Symbol("m/b.x"), 1e-6, "", "m/b");
+  FtNode* y = t1.add_basic(Symbol("m/b.y"), 1e-6, "", "m/b");
+  FtNode* pair = t1.add_gate(GateKind::kAnd, "", {x, y});
+  t1.set_top(t1.add_gate(GateKind::kOr, "", {spof, pair}));
+
+  FaultTree t2("t2");
+  t2.set_top_description("Value-out at m");
+  FtNode* spof2 = t2.add_basic(Symbol("m/a.dead"), 1e-6, "", "m/a");
+  t2.set_top(t2.add_gate(GateKind::kOr, "", {spof2}));
+
+  CutSetAnalysis c1 = minimal_cut_sets(t1);
+  CutSetAnalysis c2 = minimal_cut_sets(t2);
+  std::vector<FmeaRow> fmea =
+      synthesise_fmea({&t1, &t2}, {&c1, &c2}, ProbabilityOptions{100.0, 0.0});
+
+  ASSERT_EQ(fmea.size(), 3u);  // a.dead, b.x, b.y
+  const FmeaRow* dead = nullptr;
+  const FmeaRow* bx = nullptr;
+  for (const FmeaRow& row : fmea) {
+    if (row.event->name() == Symbol("m/a.dead")) dead = &row;
+    if (row.event->name() == Symbol("m/b.x")) bx = &row;
+  }
+  ASSERT_NE(dead, nullptr);
+  ASSERT_NE(bx, nullptr);
+  // a.dead directly causes BOTH top events.
+  EXPECT_EQ(dead->effects.size(), 2u);
+  EXPECT_TRUE(dead->has_direct_effect());
+  for (const FmeaEffect& effect : dead->effects) {
+    EXPECT_TRUE(effect.direct);
+    EXPECT_EQ(effect.smallest_order, 1u);
+  }
+  // b.x only acts in combination, only on t1.
+  EXPECT_EQ(bx->effects.size(), 1u);
+  EXPECT_FALSE(bx->has_direct_effect());
+  EXPECT_EQ(bx->effects[0].smallest_order, 2u);
+  EXPECT_EQ(bx->effects[0].top_event, "Omission-out at m");
+}
+
+TEST(Fmea, MismatchedInputsRejected) {
+  FaultTree tree("t");
+  CutSetAnalysis analysis;
+  EXPECT_THROW(synthesise_fmea({&tree}, {}, {}), Error);
+}
+
+TEST(Fmea, BbwFmeaCoversEveryQuantifiedMalfunction) {
+  Model model = setta::build_bbw();
+  Synthesiser synthesiser(model);
+  std::vector<FaultTree> trees;
+  for (const std::string& top : setta::bbw_top_events())
+    trees.push_back(synthesiser.synthesise(top));
+  std::vector<CutSetAnalysis> analyses;
+  analyses.reserve(trees.size());
+  for (const FaultTree& tree : trees)
+    analyses.push_back(minimal_cut_sets(tree));
+  std::vector<const FaultTree*> tree_ptrs;
+  std::vector<const CutSetAnalysis*> analysis_ptrs;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    tree_ptrs.push_back(&trees[i]);
+    analysis_ptrs.push_back(&analyses[i]);
+  }
+  ProbabilityOptions options{1000.0, 0.0};
+  std::vector<FmeaRow> fmea =
+      synthesise_fmea(tree_ptrs, analysis_ptrs, options);
+
+  // Every declared malfunction that can reach a top event appears.
+  EXPECT_GT(fmea.size(), 30u);
+  // The pedal node CPU must be marked as a direct cause somewhere.
+  bool pedal_cpu_direct = false;
+  for (const FmeaRow& row : fmea) {
+    if (row.event->name() == Symbol("bbw/pedal_node.cpu_failure"))
+      pedal_cpu_direct = row.has_direct_effect();
+  }
+  EXPECT_TRUE(pedal_cpu_direct);
+
+  const std::string table = render_fmea(fmea);
+  EXPECT_NE(table.find("bbw/pedal_node"), std::string::npos);
+  EXPECT_NE(table.find("YES"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsynth

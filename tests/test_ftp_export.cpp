@@ -1,0 +1,212 @@
+// Unit tests for the exporters: FTP-style project text, XML, DOT, JSON.
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "casestudy/setta.h"
+#include "core/error.h"
+#include "ftp/dot_writer.h"
+#include "ftp/ftp_reader.h"
+#include "ftp/ftp_writer.h"
+#include "ftp/json_writer.h"
+#include "ftp/xml_writer.h"
+#include "fta/fault_tree.h"
+#include "fta/synthesis.h"
+
+namespace ftsynth {
+namespace {
+
+/// top = (a AND b) OR shared, with one undeveloped and one NOT.
+FaultTree sample_tree() {
+  FaultTree tree("sample");
+  tree.set_top_description("Omission-out at sample");
+  FtNode* a = tree.add_basic(Symbol("block.a"), 1e-6, "a failed", "block");
+  FtNode* b = tree.add_basic(Symbol("block.b"), 2e-6, "b failed", "block");
+  FtNode* und =
+      tree.add_undeveloped(Symbol("und:Value-x@block"), "not analysed", "block");
+  FtNode* nb = tree.add_gate(GateKind::kNot, "guard", {b});
+  FtNode* conj = tree.add_gate(GateKind::kAnd, "pair", {a, nb});
+  tree.set_top(tree.add_gate(GateKind::kOr, "top", {conj, und}));
+  return tree;
+}
+
+TEST(FtpWriter, EmitsProjectGatesAndEvents) {
+  FaultTree tree = sample_tree();
+  const std::string project = write_ftp_project("proj", tree);
+  EXPECT_NE(project.find("[PROJECT]"), std::string::npos);
+  EXPECT_NE(project.find("Name=proj"), std::string::npos);
+  EXPECT_NE(project.find("TopEvent=Omission-out at sample"),
+            std::string::npos);
+  EXPECT_NE(project.find("Id=block.a"), std::string::npos);
+  EXPECT_NE(project.find("Kind=BASIC"), std::string::npos);
+  EXPECT_NE(project.find("Kind=UNDEVELOPED"), std::string::npos);
+  EXPECT_NE(project.find("FailureRate=1e-06"), std::string::npos);
+  EXPECT_NE(project.find("Type=AND"), std::string::npos);
+  EXPECT_NE(project.find("Type=NOT"), std::string::npos);
+  // Gate ids are tree-qualified; the top gate reference matches one.
+  EXPECT_NE(project.find("TopGate=sample:"), std::string::npos);
+}
+
+TEST(FtpWriter, SharedEventsEmittedOnceAcrossTrees) {
+  FaultTree first = sample_tree();
+  FaultTree second("second");
+  second.set_top_description("Value-out at sample");
+  FtNode* a = second.add_basic(Symbol("block.a"), 1e-6, "a failed", "block");
+  second.set_top(second.add_gate(GateKind::kOr, "top", {a}));
+
+  const std::string project =
+      write_ftp_project("proj", {&first, &second});
+  std::size_t count = 0;
+  for (std::size_t pos = project.find("Id=block.a\n");
+       pos != std::string::npos; pos = project.find("Id=block.a\n", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 1u);
+  EXPECT_NE(project.find("Trees=2"), std::string::npos);
+}
+
+TEST(FtpWriter, EmptyTreeExportsTopNone) {
+  FaultTree tree("empty");
+  tree.set_top_description("impossible");
+  EXPECT_NE(write_ftp_project("p", tree).find("TopGate=NONE"),
+            std::string::npos);
+}
+
+TEST(XmlWriter, WellFormedStructure) {
+  FaultTree tree = sample_tree();
+  const std::string xml = write_xml(tree);
+  EXPECT_EQ(xml.rfind("<?xml", 0), 0u);
+  EXPECT_NE(xml.find("<fault-tree name=\"sample\">"), std::string::npos);
+  EXPECT_NE(xml.find("kind=\"undeveloped\""), std::string::npos);
+  EXPECT_NE(xml.find("type=\"and\""), std::string::npos);
+  EXPECT_NE(xml.find("rate=\"1e-06\""), std::string::npos);
+  // Balanced define-gate tags.
+  std::size_t open = 0;
+  std::size_t close = 0;
+  for (std::size_t pos = xml.find("<define-gate"); pos != std::string::npos;
+       pos = xml.find("<define-gate", pos + 1))
+    ++open;
+  for (std::size_t pos = xml.find("</define-gate>");
+       pos != std::string::npos; pos = xml.find("</define-gate>", pos + 1))
+    ++close;
+  EXPECT_EQ(open, close);
+  EXPECT_EQ(open, 3u);
+}
+
+TEST(XmlWriter, EscapesSpecialCharacters) {
+  FaultTree tree("esc");
+  tree.set_top_description("a < b & \"c\"");
+  FtNode* a = tree.add_basic(Symbol("x"), 0.0, "d > e", "");
+  tree.set_top(a);
+  const std::string xml = write_xml(tree);
+  EXPECT_NE(xml.find("a &lt; b &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_NE(xml.find("d &gt; e"), std::string::npos);
+}
+
+TEST(DotWriter, EmitsOneNodePerDagNodeWithEdges) {
+  FaultTree tree = sample_tree();
+  const std::string dot = write_dot(tree);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);      // basic
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);     // undeveloped
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);         // AND
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // 6 reachable nodes.
+  std::size_t nodes = 0;
+  for (std::size_t pos = dot.find("[label="); pos != std::string::npos;
+       pos = dot.find("[label=", pos + 1))
+    ++nodes;
+  EXPECT_EQ(nodes, 6u);
+}
+
+TEST(JsonWriter, TreeOnlyDocument) {
+  FaultTree tree = sample_tree();
+  const std::string json = write_json(tree);
+  EXPECT_NE(json.find("\"name\": \"sample\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"undeveloped\""), std::string::npos);
+  EXPECT_NE(json.find("\"gate\": \"AND\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate\": 1e-06"), std::string::npos);
+}
+
+TEST(JsonWriter, WithAnalysisIncludesCutSetsAndImportance) {
+  FaultTree tree = sample_tree();
+  TreeAnalysis analysis = analyse_tree(tree);
+  const std::string json = write_json(tree, analysis);
+  EXPECT_NE(json.find("\"cut_sets\""), std::string::npos);
+  EXPECT_NE(json.find("\"probability\""), std::string::npos);
+  EXPECT_NE(json.find("\"importance\""), std::string::npos);
+  EXPECT_NE(json.find("\"!block.b\""), std::string::npos);  // negated literal
+}
+
+// -- FTP reader / round-trip --------------------------------------------------------
+
+TEST(FtpReader, RoundTripsTheSampleTree) {
+  FaultTree original = sample_tree();
+  const std::string text = write_ftp_project("proj", original);
+  FtpProject project = read_ftp_project(text);
+  EXPECT_EQ(project.name, "proj");
+  ASSERT_EQ(project.trees.size(), 1u);
+  const FaultTree& tree = project.trees[0];
+  EXPECT_EQ(tree.name(), "sample");
+  EXPECT_EQ(tree.top_description(), "Omission-out at sample");
+  ASSERT_NE(tree.top(), nullptr);
+  // Semantics preserved: same minimal cut sets, same exact probability.
+  EXPECT_EQ(minimal_cut_sets(tree).to_string(),
+            minimal_cut_sets(original).to_string());
+  ProbabilityOptions options{1000.0, 0.01};
+  EXPECT_NEAR(exact_probability(tree, options),
+              exact_probability(original, options), 1e-15);
+  // Rates survived.
+  EXPECT_DOUBLE_EQ(tree.find_event(Symbol("block.a"))->rate(), 1e-6);
+}
+
+TEST(FtpReader, RoundTripsAMultiTreeBbwProject) {
+  Model model = setta::build_bbw();
+  Synthesiser synthesiser(model);
+  std::vector<FaultTree> trees;
+  trees.push_back(synthesiser.synthesise("Omission-brake_force_fl"));
+  trees.push_back(synthesiser.synthesise("Omission-total_braking"));
+  std::vector<const FaultTree*> pointers{&trees[0], &trees[1]};
+  FtpProject project = read_ftp_project(write_ftp_project("bbw", pointers));
+  ASSERT_EQ(project.trees.size(), 2u);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_EQ(minimal_cut_sets(project.trees[i]).to_string(),
+              minimal_cut_sets(trees[i]).to_string());
+  }
+}
+
+TEST(FtpReader, RejectsMalformedDocuments) {
+  EXPECT_THROW(read_ftp_project("[BROKEN\n"), ParseError);
+  EXPECT_THROW(read_ftp_project("Key=value\n"), ParseError);
+  EXPECT_THROW(read_ftp_project("[GATE]\nId=x\nType=OR\nInputs=a\n"),
+               Error);  // gate before any tree
+  EXPECT_THROW(read_ftp_project("[TREE]\nName=t\nTopGate=g\n[GATE]\nId=g\n"
+                                "Type=OR\nInputs=ghost\n"),
+               Error);  // undefined event
+  EXPECT_THROW(read_ftp_project("[TREE]\nName=t\nTopGate=g\n[GATE]\nId=g\n"
+                                "Type=XOR\nInputs=\n"),
+               ParseError);  // unknown gate type
+}
+
+TEST(FtpReader, EmptyTreeComesBackEmpty) {
+  FaultTree tree("empty");
+  tree.set_top_description("impossible");
+  FtpProject project =
+      read_ftp_project(write_ftp_project("p", tree));
+  ASSERT_EQ(project.trees.size(), 1u);
+  EXPECT_EQ(project.trees[0].top(), nullptr);
+}
+
+TEST(Writers, FileVariantsWriteAndFailCleanly) {
+  FaultTree tree = sample_tree();
+  const std::string dir = testing::TempDir();
+  EXPECT_NO_THROW(write_dot_file(tree, dir + "/t.dot"));
+  EXPECT_NO_THROW(write_xml_file(tree, dir + "/t.xml"));
+  EXPECT_NO_THROW(write_json_file(tree, dir + "/t.json"));
+  EXPECT_NO_THROW(write_ftp_project_file("p", {&tree}, dir + "/t.ftp"));
+  EXPECT_THROW(write_dot_file(tree, "/nonexistent/dir/t.dot"), Error);
+  EXPECT_THROW(write_ftp_project_file("p", {&tree}, "/nonexistent/dir/t.ftp"),
+               Error);
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,0 +1,103 @@
+// Robustness ("fuzz-lite") tests: randomly mutated documents must never
+// crash a parser -- every outcome is either a successful parse or a thrown
+// ftsynth::Error. Deterministic seeds keep failures reproducible.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "casestudy/setta.h"
+#include "core/error.h"
+#include "failure/expr_parser.h"
+#include "ftp/ftp_reader.h"
+#include "ftp/ftp_writer.h"
+#include "fta/synthesis.h"
+#include "mdl/parser.h"
+#include "mdl/writer.h"
+
+namespace ftsynth {
+namespace {
+
+/// Applies `mutations` random byte edits (replace / insert / delete).
+std::string mutate(std::string text, unsigned seed, int mutations) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> byte(32, 126);
+  for (int i = 0; i < mutations && !text.empty(); ++i) {
+    std::uniform_int_distribution<std::size_t> position(0, text.size() - 1);
+    const std::size_t at = position(rng);
+    switch (rng() % 3) {
+      case 0:
+        text[at] = static_cast<char>(byte(rng));
+        break;
+      case 1:
+        text.insert(at, 1, static_cast<char>(byte(rng)));
+        break;
+      default:
+        text.erase(at, 1);
+        break;
+    }
+  }
+  return text;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, MutatedMdlNeverCrashes) {
+  static const std::string pristine = write_mdl(setta::build_bbw());
+  const unsigned seed = static_cast<unsigned>(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    std::string text =
+        mutate(pristine, seed * 97u + static_cast<unsigned>(round),
+               1 + round * 4);
+    try {
+      Model model = parse_mdl(text);
+      // Rarely the mutation is benign; the model must still be usable.
+      EXPECT_GT(model.block_count(), 0u);
+    } catch (const Error&) {
+      // Expected: the mutation broke the document.
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedFtpProjectNeverCrashes) {
+  static const std::string pristine = [] {
+    Model model = setta::build_bbw();
+    Synthesiser synthesiser(model);
+    FaultTree tree = synthesiser.synthesise("Omission-total_braking");
+    return write_ftp_project("bbw", tree);
+  }();
+  const unsigned seed = 5000u + static_cast<unsigned>(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    std::string text =
+        mutate(pristine, seed * 131u + static_cast<unsigned>(round),
+               1 + round * 4);
+    try {
+      FtpProject project = read_ftp_project(text);
+      (void)project;
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedExpressionsNeverCrash) {
+  FailureClassRegistry registry;
+  static const char* pristine =
+      "Omission-input_1 AND (Value-sensor OR NOT watchdog_ok) OR "
+      "stuck AND Late-bus OR true";
+  const unsigned seed = 9000u + static_cast<unsigned>(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::string text =
+        mutate(pristine, seed * 31u + static_cast<unsigned>(round),
+               1 + round);
+    try {
+      ExprPtr expr = parse_expression(text, registry);
+      EXPECT_NE(expr, nullptr);
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace ftsynth

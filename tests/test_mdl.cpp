@@ -1,0 +1,211 @@
+// Unit tests for the annotated-model text format: lexer, parser, writer,
+// and the round-trip property.
+
+#include <gtest/gtest.h>
+
+#include "casestudy/setta.h"
+#include "casestudy/synthetic.h"
+#include "core/error.h"
+#include "mdl/lexer.h"
+#include "mdl/parser.h"
+#include "mdl/writer.h"
+
+namespace ftsynth {
+namespace {
+
+// -- lexer ----------------------------------------------------------------------
+
+TEST(MdlLexer, TokenisesAllKinds) {
+  auto tokens = mdl::tokenize("Block { Name \"a b\" Rate 1e-6 }");
+  ASSERT_EQ(tokens.size(), 8u);  // incl. kEnd
+  EXPECT_EQ(tokens[0].kind, mdl::TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "Block");
+  EXPECT_EQ(tokens[1].kind, mdl::TokenKind::kLBrace);
+  EXPECT_EQ(tokens[3].kind, mdl::TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "a b");
+  EXPECT_EQ(tokens[5].kind, mdl::TokenKind::kNumber);
+  EXPECT_EQ(tokens[5].text, "1e-6");
+  EXPECT_EQ(tokens[6].kind, mdl::TokenKind::kRBrace);
+  EXPECT_EQ(tokens[7].kind, mdl::TokenKind::kEnd);
+}
+
+TEST(MdlLexer, TracksLineAndColumn) {
+  auto tokens = mdl::tokenize("A {\n  B 1\n}");
+  EXPECT_EQ(tokens[2].text, "B");
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(MdlLexer, SkipsComments) {
+  auto tokens = mdl::tokenize("# header\nA { } # tail\n");
+  EXPECT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "A");
+}
+
+TEST(MdlLexer, UnescapesStrings) {
+  auto tokens = mdl::tokenize(R"(X "a\"b\\c\nd")");
+  EXPECT_EQ(tokens[1].text, "a\"b\\c\nd");
+}
+
+TEST(MdlLexer, RejectsBadInput) {
+  EXPECT_THROW(mdl::tokenize("\"unterminated"), ParseError);
+  EXPECT_THROW(mdl::tokenize("@"), ParseError);
+}
+
+// -- parser ---------------------------------------------------------------------
+
+const char* kMinimalModel = R"(
+Model {
+  Name "tiny"
+  System {
+    Block { BlockType Inport  Name "in" }
+    Block {
+      BlockType Basic
+      Name "stage"
+      Port { Name "x"  Direction "input" }
+      Port { Name "y"  Direction "output" }
+      Malfunction { Name "dead"  Rate 1e-6  Description "it died" }
+      FailureRow { Output "Omission-y"  Cause "dead OR Omission-x" }
+    }
+    Block { BlockType Outport  Name "out" }
+    Line { Src "in"       Dst "stage.x" }
+    Line { Src "stage.y"  Dst "out" }
+  }
+}
+)";
+
+TEST(MdlParser, ParsesMinimalModel) {
+  Model model = parse_mdl(kMinimalModel);
+  EXPECT_EQ(model.name(), "tiny");
+  EXPECT_EQ(model.block_count(), 4u);
+  const Block& stage = model.block("stage");
+  EXPECT_EQ(stage.kind(), BlockKind::kBasic);
+  ASSERT_TRUE(
+      stage.annotation().find_malfunction(Symbol("dead")).has_value());
+  EXPECT_DOUBLE_EQ(
+      stage.annotation().find_malfunction(Symbol("dead"))->rate, 1e-6);
+  EXPECT_EQ(stage.annotation().rows().size(), 1u);
+  EXPECT_EQ(stage.annotation().rows().front().cause->to_string(),
+            "dead OR Omission-x");
+}
+
+TEST(MdlParser, ParsesCustomFailureClasses) {
+  Model model = parse_mdl(R"(
+Model {
+  Name "m"
+  FailureClass { Name "Babbling"  Category "provision" }
+  System {
+    Block {
+      BlockType Basic
+      Name "x"
+      Port { Name "o"  Direction "output" }
+      Malfunction { Name "chatty"  Rate 1e-7 }
+      FailureRow { Output "Babbling-o"  Cause "chatty" }
+    }
+    Block { BlockType Outport  Name "out" }
+    Line { Src "x.o"  Dst "out" }
+  }
+}
+)");
+  EXPECT_TRUE(model.registry().find("Babbling").has_value());
+}
+
+TEST(MdlParser, ParsesTriggerPorts) {
+  Model model = parse_mdl(R"(
+Model {
+  Name "m"
+  System {
+    Block {
+      BlockType Basic
+      Name "clock"
+      Port { Name "tick"  Direction "output" }
+      Malfunction { Name "hung"  Rate 1e-7 }
+      FailureRow { Output "Omission-tick"  Cause "hung" }
+    }
+    Block {
+      BlockType Basic
+      Name "task"
+      Trigger { Name "go" }
+      Port { Name "o"  Direction "output" }
+      Malfunction { Name "bug"  Rate 1e-7 }
+      FailureRow { Output "Omission-o"  Cause "bug" }
+    }
+    Block { BlockType Outport  Name "out" }
+    Line { Src "clock.tick"  Dst "task.go" }
+    Line { Src "task.o"      Dst "out" }
+  }
+}
+)");
+  EXPECT_TRUE(model.block("task").port("go").is_trigger());
+}
+
+TEST(MdlParser, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_mdl(""), ParseError);
+  EXPECT_THROW(parse_mdl("Model { Name \"m\" "), ParseError);  // missing }
+  EXPECT_THROW(parse_mdl("Nonsense { }"), Error);   // wrong top section
+  EXPECT_THROW(parse_mdl("Model { }"), Error);      // no Name
+  EXPECT_THROW(parse_mdl("Model { Name \"m\" }"), Error);  // no System
+  EXPECT_THROW(parse_mdl(R"(Model { Name "m" System {
+      Block { BlockType Widget Name "x" } } })"),
+               ParseError);  // unknown BlockType
+  EXPECT_THROW(parse_mdl(R"(Model { Name "m" System {
+      Block { BlockType Basic Name "x"
+        Port { Name "p" } } } })"),
+               ParseError);  // port without direction
+}
+
+TEST(MdlParser, RejectsInvalidModels) {
+  // Syntactically fine, structurally broken: dangling line endpoint.
+  EXPECT_THROW(parse_mdl(R"(
+Model { Name "m" System {
+  Block { BlockType Outport Name "o" }
+  Line { Src "ghost.x"  Dst "o" }
+} })"),
+               Error);
+}
+
+TEST(MdlParser, FileRoundTrip) {
+  Model model = parse_mdl(kMinimalModel);
+  const std::string path = testing::TempDir() + "/ftsynth_roundtrip.mdl";
+  write_mdl_file(model, path);
+  Model reparsed = parse_mdl_file(path);
+  EXPECT_EQ(write_mdl(model), write_mdl(reparsed));
+  EXPECT_THROW(parse_mdl_file("/nonexistent/path.mdl"), Error);
+}
+
+// -- writer / round-trip property --------------------------------------------------
+
+class MdlRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MdlRoundTrip, SyntheticModelsRoundTripExactly) {
+  synthetic::RandomModelConfig config;
+  config.seed = static_cast<unsigned>(GetParam());
+  config.blocks = 4 + GetParam() % 13;
+  config.max_fanin = 1 + GetParam() % 3;
+  config.with_loops = GetParam() % 2 == 0;
+  Model model = synthetic::build_random(config);
+
+  const std::string text = write_mdl(model);
+  Model reparsed = parse_mdl(text);
+  EXPECT_EQ(model.block_count(), reparsed.block_count());
+  // Serialising again must be byte-identical (canonical form).
+  EXPECT_EQ(write_mdl(reparsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdlRoundTrip, ::testing::Range(0, 20));
+
+TEST(MdlWriter, BbwRoundTripsWithStructuredBlocks) {
+  // Exercises subsystems, mux/demux, triggers, data stores and custom
+  // widths in one document.
+  Model model = setta::build_bbw();
+  const std::string text = write_mdl(model);
+  EXPECT_NE(text.find("BlockType SubSystem"), std::string::npos);
+  EXPECT_NE(text.find("BlockType Mux"), std::string::npos);
+  EXPECT_NE(text.find("BlockType DataStoreRead"), std::string::npos);
+  EXPECT_NE(text.find("Trigger on"), std::string::npos);
+  Model reparsed = parse_mdl(text);
+  EXPECT_EQ(write_mdl(reparsed), text);
+}
+
+}  // namespace
+}  // namespace ftsynth

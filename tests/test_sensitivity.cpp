@@ -1,0 +1,80 @@
+// Unit tests for rate sensitivity analysis and the dependency matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/common_cause.h"
+#include "analysis/sensitivity.h"
+#include "casestudy/setta.h"
+#include "fta/synthesis.h"
+
+namespace ftsynth {
+namespace {
+
+TEST(Sensitivity, ImprovingTheDominantEventHelpsMost) {
+  // top = big OR small, rates 1e-3 vs 1e-6.
+  FaultTree tree("t");
+  FtNode* big = tree.add_basic(Symbol("big"), 1e-3, "", "");
+  FtNode* small = tree.add_basic(Symbol("small"), 1e-6, "", "");
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {big, small}));
+
+  SensitivityOptions options;
+  options.probability.mission_time_hours = 100.0;
+  options.scale_factor = 0.1;
+  std::vector<SensitivityEntry> entries = rate_sensitivity(tree, options);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].event, big);  // largest improvement first
+  EXPECT_GT(entries[0].improvement, 5.0);
+  EXPECT_NEAR(entries[1].improvement, 1.0, 1e-2);
+  // Scaled probability matches a direct evaluation with the scaled rate.
+  const double p_small = 1.0 - std::exp(-1e-6 * 100.0);
+  const double p_big_scaled = 1.0 - std::exp(-1e-4 * 100.0);
+  const double expected =
+      p_big_scaled + p_small - p_big_scaled * p_small;
+  EXPECT_NEAR(entries[0].p_top_scaled, expected, 1e-12);
+}
+
+TEST(Sensitivity, RedundantPairIsInsensitiveToOneComponent) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-3, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 1e-3, "", "");
+  tree.set_top(tree.add_gate(GateKind::kAnd, "", {a, b}));
+  std::vector<SensitivityEntry> entries = rate_sensitivity(tree);
+  ASSERT_EQ(entries.size(), 2u);
+  // Improving either component of an AND scales the top linearly (10x).
+  EXPECT_NEAR(entries[0].improvement, 10.0, 0.1);
+}
+
+TEST(Sensitivity, EmptyTreeYieldsNothing) {
+  FaultTree tree("t");
+  EXPECT_TRUE(rate_sensitivity(tree).empty());
+}
+
+TEST(Sensitivity, RenderListsEvents) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("pump.dead"), 1e-4, "", "");
+  tree.set_top(a);
+  const std::string table = render_sensitivity(rate_sensitivity(tree));
+  EXPECT_NE(table.find("pump.dead"), std::string::npos);
+  EXPECT_NE(table.find("gain"), std::string::npos);
+}
+
+TEST(DependencyMatrix, CountsSharedEventsAcrossTopEvents) {
+  Model model = setta::build_bbw();
+  Synthesiser synthesiser(model);
+  FaultTree fl = synthesiser.synthesise("Omission-brake_force_fl");
+  FaultTree rr = synthesiser.synthesise("Omission-brake_force_rr");
+  FaultTree lamp = synthesiser.synthesise("Omission-warning_lamp");
+  const std::string matrix =
+      render_dependency_matrix({&fl, &rr, &lamp});
+  EXPECT_NE(matrix.find("Omission-brake_force_fl"), std::string::npos);
+  EXPECT_NE(matrix.find("#3"), std::string::npos);
+  // Diagonal >= off-diagonal for any row.
+  // (Structural sanity is covered by shared_between tests; here we check
+  // the render only.)
+  EXPECT_NE(matrix.find("|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,0 +1,152 @@
+// Unit tests for the forward propagation engine and Monte Carlo fault
+// injection.
+
+#include <gtest/gtest.h>
+
+#include "analysis/probability.h"
+#include "model/builder.h"
+#include "sim/monte_carlo.h"
+#include "sim/propagation.h"
+
+namespace ftsynth {
+namespace {
+
+Model voter_model() {
+  // Two channels into a 1-of-2 selector: omission needs both channels.
+  ModelBuilder b("m");
+  b.inport(b.root(), "in");
+  for (const char* name : {"ch1", "ch2"}) {
+    Block& chan = b.basic(b.root(), name);
+    b.in(chan, "x");
+    b.out(chan, "y");
+    b.malfunction(chan, "dead", 1e-3);
+    b.annotate(chan, "Omission-y", "dead OR Omission-x");
+    b.connect(b.root(), "in", std::string(name) + ".x");
+  }
+  Block& sel = b.basic(b.root(), "sel");
+  b.in(sel, "a");
+  b.in(sel, "b");
+  b.out(sel, "y");
+  b.annotate(sel, "Omission-y", "Omission-a AND Omission-b");
+  b.connect(b.root(), "ch1.y", "sel.a");
+  b.connect(b.root(), "ch2.y", "sel.b");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "sel.y", "out");
+  return b.take();
+}
+
+TEST(Propagation, NoEventsNoDeviation) {
+  Model model = voter_model();
+  PropagationEngine engine(model);
+  PropagationResult result = engine.propagate({});
+  EXPECT_FALSE(result.at_system_output(Symbol("out"),
+                                       model.registry().omission()));
+  EXPECT_TRUE(result.system_output_deviations().empty());
+}
+
+TEST(Propagation, SingleChannelFailureIsMasked) {
+  Model model = voter_model();
+  PropagationEngine engine(model);
+  PropagationResult result = engine.propagate({Symbol("m/ch1.dead")});
+  EXPECT_FALSE(result.at_system_output(Symbol("out"),
+                                       model.registry().omission()));
+  // ... but the deviation is visible at the channel output port.
+  EXPECT_TRUE(result.at(model.block("ch1").port("y"),
+                        model.registry().omission()));
+}
+
+TEST(Propagation, DoubleFailureReachesTheOutput) {
+  Model model = voter_model();
+  PropagationEngine engine(model);
+  PropagationResult result =
+      engine.propagate({Symbol("m/ch1.dead"), Symbol("m/ch2.dead")});
+  EXPECT_TRUE(result.at_system_output(Symbol("out"),
+                                      model.registry().omission()));
+  ASSERT_EQ(result.system_output_deviations().size(), 1u);
+  EXPECT_EQ(result.system_output_deviations()[0].to_string(),
+            "Omission-out");
+}
+
+TEST(Propagation, EnvironmentDeviationDefeatsReplication) {
+  Model model = voter_model();
+  PropagationEngine engine(model);
+  PropagationResult result =
+      engine.propagate({Symbol("env:Omission-in")});
+  EXPECT_TRUE(result.at_system_output(Symbol("out"),
+                                      model.registry().omission()));
+}
+
+TEST(Propagation, FeedbackLoopReachesLeastFixpoint) {
+  ModelBuilder b("m");
+  Block& a = b.basic(b.root(), "a");
+  b.in(a, "x");
+  b.out(a, "y");
+  b.malfunction(a, "dead", 1e-3);
+  b.annotate(a, "Omission-y", "dead OR Omission-x");
+  Block& c = b.basic(b.root(), "c");
+  b.in(c, "x");
+  b.out(c, "y");
+  b.malfunction(c, "dead", 1e-3);
+  b.annotate(c, "Omission-y", "dead OR Omission-x");
+  b.connect(b.root(), "a.y", "c.x");
+  b.connect(b.root(), "c.y", "a.x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "c.y", "out");
+  Model model = b.take();
+
+  PropagationEngine engine(model);
+  // Least fixpoint: with no active events, the loop stays silent (the
+  // failure cannot cause itself).
+  EXPECT_FALSE(engine.propagate({}).at_system_output(
+      Symbol("out"), model.registry().omission()));
+  EXPECT_TRUE(engine.propagate({Symbol("m/a.dead")})
+                  .at_system_output(Symbol("out"),
+                                    model.registry().omission()));
+}
+
+TEST(Propagation, LeafEventsEnumerateMalfunctionsAndEnvironment) {
+  Model model = voter_model();
+  PropagationEngine engine(model);
+  std::vector<PropagationEngine::LeafEvent> leaves = engine.leaf_events();
+  // 2 malfunctions + 10 classes x 1 boundary input.
+  EXPECT_EQ(leaves.size(), 12u);
+  bool found_malfunction = false;
+  for (const auto& leaf : leaves) {
+    if (leaf.name == Symbol("m/ch1.dead")) {
+      found_malfunction = true;
+      EXPECT_DOUBLE_EQ(leaf.rate, 1e-3);
+    }
+  }
+  EXPECT_TRUE(found_malfunction);
+}
+
+TEST(MonteCarlo, EstimateMatchesExactProbability) {
+  Model model = voter_model();
+  MonteCarloOptions options;
+  options.trials = 20000;
+  options.probability.mission_time_hours = 1000.0;  // p(dead) ~ 0.63
+
+  MonteCarloResult result = simulate_top_event(
+      model, Deviation{model.registry().omission(), Symbol("out")}, options);
+
+  Synthesiser synthesiser(model);
+  FaultTree tree = synthesiser.synthesise("Omission-out");
+  const double exact = exact_probability(tree, options.probability);
+
+  EXPECT_GT(result.occurrences, 0u);
+  EXPECT_NEAR(result.estimate, exact, 5.0 * result.std_error + 1e-3);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  Model model = voter_model();
+  MonteCarloOptions options;
+  options.trials = 500;
+  options.probability.mission_time_hours = 1000.0;
+  Deviation top{model.registry().omission(), Symbol("out")};
+  MonteCarloResult first = simulate_top_event(model, top, options);
+  MonteCarloResult second = simulate_top_event(model, top, options);
+  EXPECT_EQ(first.occurrences, second.occurrences);
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,0 +1,117 @@
+// Unit tests for the synthetic model generators used by the benchmarks and
+// property tests.
+
+#include <gtest/gtest.h>
+
+#include "analysis/cutsets.h"
+#include "casestudy/synthetic.h"
+#include "core/error.h"
+#include "fta/synthesis.h"
+#include "mdl/writer.h"
+#include "model/validate.h"
+
+namespace ftsynth {
+namespace {
+
+TEST(Synthetic, ChainScalesLinearly) {
+  for (int length : {1, 5, 20}) {
+    Model model = synthetic::build_chain(length);
+    EXPECT_NO_THROW(validate_or_throw(model));
+    Synthesiser synthesiser(model);
+    FaultTree tree = synthesiser.synthesise("Omission-sink");
+    // One basic event per stage plus the environment event.
+    EXPECT_EQ(tree.stats().basic_event_count,
+              static_cast<std::size_t>(length) + 1);
+    CutSetAnalysis analysis = minimal_cut_sets(tree);
+    EXPECT_EQ(analysis.cut_sets.size(),
+              static_cast<std::size_t>(length) + 1);
+    EXPECT_EQ(analysis.min_order(), 1u);
+  }
+  EXPECT_THROW(synthetic::build_chain(0), Error);
+}
+
+TEST(Synthetic, DeepNestingSynthesisesThroughEveryLevel) {
+  Model model = synthetic::build_deep(4, 2);
+  EXPECT_NO_THROW(validate_or_throw(model));
+  Synthesiser synthesiser(model);
+  FaultTree tree = synthesiser.synthesise("Omission-out");
+  // 4 nested levels contribute one `level_hw` common cause each.
+  std::size_t hw = 0;
+  for (const FtNode* event : tree.basic_events()) {
+    if (event->name().view().find("level_hw") != std::string_view::npos)
+      ++hw;
+  }
+  EXPECT_EQ(hw, 4u);
+}
+
+TEST(Synthetic, DiamondIsLinearWithMemoisationExponentialWithout) {
+  Model model = synthetic::build_diamond(10);
+  Synthesiser shared(model);
+  FaultTree dag = shared.synthesise("Omission-sink");
+  // Each stage collapses (left == right), so the DAG stays linear.
+  EXPECT_LT(dag.stats().node_count, 40u);
+
+  SynthesisOptions options;
+  options.memoise = false;
+  options.deduplicate = false;  // observe the raw expansion
+  Synthesiser unshared(model, options);
+  FaultTree tree = unshared.synthesise("Omission-sink");
+  // Without sharing each stage doubles the expansion.
+  EXPECT_GT(tree.stats().node_count, 1000u);
+  // Semantics identical regardless.
+  EXPECT_EQ(minimal_cut_sets(dag).to_string(),
+            minimal_cut_sets(tree).to_string());
+}
+
+TEST(Synthetic, ReplicatedConfigCountsBlocks) {
+  synthetic::ReplicatedConfig config;
+  config.channels = 4;
+  config.stages = 3;
+  Model model = synthetic::build_replicated(config);
+  EXPECT_NO_THROW(validate_or_throw(model));
+  // root + inport + shared + power + voter + outport + 4*3 stages.
+  EXPECT_EQ(model.block_count(), 18u);
+  config.shared_power = false;
+  EXPECT_EQ(synthetic::build_replicated(config).block_count(), 17u);
+}
+
+TEST(Synthetic, RandomModelsAreValidAndDeterministic) {
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    synthetic::RandomModelConfig config;
+    config.seed = seed;
+    config.blocks = 12;
+    config.with_loops = seed % 2 == 0;
+    Model first = synthetic::build_random(config);
+    EXPECT_NO_THROW(validate_or_throw(first)) << seed;
+    Model second = synthetic::build_random(config);
+    EXPECT_EQ(write_mdl(first), write_mdl(second)) << seed;
+  }
+}
+
+TEST(Synthetic, RandomModelRatesStayInBand) {
+  synthetic::RandomModelConfig config;
+  config.blocks = 30;
+  config.rate_min = 1e-5;
+  config.rate_max = 1e-4;
+  Model model = synthetic::build_random(config);
+  model.for_each_block([&](const Block& block) {
+    for (const Malfunction& m : block.annotation().malfunctions()) {
+      EXPECT_GE(m.rate, 1e-5);
+      EXPECT_LE(m.rate, 1e-4);
+    }
+  });
+}
+
+TEST(Synthetic, GeneratorsRejectBadConfigs) {
+  EXPECT_THROW(synthetic::build_diamond(0), Error);
+  EXPECT_THROW(synthetic::build_deep(-1), Error);
+  synthetic::ReplicatedConfig replicated;
+  replicated.channels = 0;
+  EXPECT_THROW(synthetic::build_replicated(replicated), Error);
+  synthetic::RandomModelConfig random;
+  random.blocks = 0;
+  EXPECT_THROW(synthetic::build_random(random), Error);
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,0 +1,179 @@
+// Tests for the temporal (PAND) extension: closed-form ordered
+// probabilities, timed Monte Carlo, and the conservative behaviour of the
+// untimed engines on PAND trees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/cutsets.h"
+#include "analysis/temporal.h"
+#include "core/error.h"
+#include "ftp/ftp_reader.h"
+#include "ftp/ftp_writer.h"
+#include "fta/simplify.h"
+
+namespace ftsynth {
+namespace {
+
+/// PAND(a, b) over exponential basics.
+FaultTree pand_tree(double rate_a, double rate_b) {
+  FaultTree tree("t");
+  tree.set_top_description("a before b");
+  FtNode* a = tree.add_basic(Symbol("a"), rate_a, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), rate_b, "", "");
+  tree.set_top(tree.add_gate(GateKind::kPand, "ordered pair", {a, b}));
+  return tree;
+}
+
+TEST(Temporal, OrderedExponentialClosedFormMatchesHandIntegral) {
+  // k = 1: plain exponential CDF.
+  EXPECT_NEAR(ordered_exponential_probability({2.0}, 1.0),
+              1.0 - std::exp(-2.0), 1e-12);
+  // k = 2: P(ta < tb <= T) = (1 - e^{-b T}) - b/(a+b) (1 - e^{-(a+b) T}).
+  const double a = 1.5;
+  const double b = 0.7;
+  const double T = 2.0;
+  const double expected = (1.0 - std::exp(-b * T)) -
+                          b / (a + b) * (1.0 - std::exp(-(a + b) * T));
+  EXPECT_NEAR(ordered_exponential_probability({a, b}, T), expected, 1e-12);
+  // k = 0: the empty order always holds.
+  EXPECT_DOUBLE_EQ(ordered_exponential_probability({}, 5.0), 1.0);
+  // Symmetry: the two orders of an independent pair partition the AND.
+  const double p_and = (1.0 - std::exp(-a * T)) * (1.0 - std::exp(-b * T));
+  EXPECT_NEAR(ordered_exponential_probability({a, b}, T) +
+                  ordered_exponential_probability({b, a}, T),
+              p_and, 1e-12);
+  EXPECT_THROW(ordered_exponential_probability({1.0, 0.0}, 1.0), Error);
+}
+
+TEST(Temporal, EqualRatesSplitTheAndEvenly) {
+  // With identical rates each ordering of k events has probability
+  // P(AND)/k! in the limit, and exactly here since ties have measure zero.
+  const double T = 3.0;
+  const double p_one = 1.0 - std::exp(-1.0 * T);
+  EXPECT_NEAR(ordered_exponential_probability({1.0, 1.0}, T),
+              p_one * p_one / 2.0, 1e-9);
+  EXPECT_NEAR(ordered_exponential_probability({1.0, 1.0, 1.0}, T),
+              p_one * p_one * p_one / 6.0, 1e-9);
+}
+
+TEST(Temporal, TimedMonteCarloMatchesClosedForm) {
+  FaultTree tree = pand_tree(1.5e-3, 0.7e-3);
+  TimedMonteCarloOptions options;
+  options.trials = 40000;
+  options.probability.mission_time_hours = 1000.0;
+  TimedMonteCarloResult result = timed_monte_carlo(tree, options);
+  const double exact = ordered_exponential_probability(
+      {1.5e-3, 0.7e-3}, options.probability.mission_time_hours);
+  EXPECT_NEAR(result.estimate, exact, 5.0 * result.std_error + 1e-3);
+}
+
+TEST(Temporal, PandIsBoundedByAndAndOrderSensitive) {
+  TimedMonteCarloOptions options;
+  options.trials = 30000;
+  options.probability.mission_time_hours = 1000.0;
+
+  FaultTree ab = pand_tree(1e-3, 2e-3);
+  FaultTree ba = pand_tree(2e-3, 1e-3);
+  // Swap the child order of `ba` by construction.
+  FaultTree ba_swapped("t");
+  FtNode* a2 = ba_swapped.add_basic(Symbol("a"), 1e-3, "", "");
+  FtNode* b2 = ba_swapped.add_basic(Symbol("b"), 2e-3, "", "");
+  ba_swapped.set_top(
+      ba_swapped.add_gate(GateKind::kPand, "reversed", {b2, a2}));
+
+  const double p_ab = timed_monte_carlo(ab, options).estimate;
+  const double p_ba = timed_monte_carlo(ba_swapped, options).estimate;
+  // The untimed engines see AND: an upper bound for both orders.
+  const double p_and = exact_probability(ab, options.probability);
+  EXPECT_LE(p_ab, p_and + 1e-9);
+  EXPECT_LE(p_ba, p_and + 1e-9);
+  EXPECT_NEAR(p_ab + p_ba, p_and, 0.01);
+  // Slower-first is the rarer order here.
+  EXPECT_NE(p_ab, p_ba);
+}
+
+TEST(Temporal, UntimedEnginesTreatPandAsAnd) {
+  FaultTree tree = pand_tree(1e-3, 2e-3);
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  ASSERT_EQ(analysis.cut_sets.size(), 1u);
+  EXPECT_EQ(analysis.cut_sets[0].size(), 2u);  // {a, b}, order erased
+  EXPECT_TRUE(has_temporal_gates(tree));
+  FaultTree plain("p");
+  plain.set_top(plain.add_basic(Symbol("x"), 1e-3, "", ""));
+  EXPECT_FALSE(has_temporal_gates(plain));
+}
+
+TEST(Temporal, NormaliseAndDedupePreservePandOrder) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-3, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 2e-3, "", "");
+  FtNode* pand = tree.add_gate(GateKind::kPand, "", {b, a});  // b first!
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {pand, a}));
+
+  FaultTree flat = normalise(tree);
+  const FtNode* rebuilt = nullptr;
+  flat.for_each_reachable([&](const FtNode& node) {
+    if (node.kind() == NodeKind::kGate && node.gate() == GateKind::kPand)
+      rebuilt = &node;
+  });
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->children()[0]->name(), Symbol("b"));
+  EXPECT_EQ(rebuilt->children()[1]->name(), Symbol("a"));
+
+  FaultTree deduped = deduplicate(tree);
+  rebuilt = nullptr;
+  deduped.for_each_reachable([&](const FtNode& node) {
+    if (node.kind() == NodeKind::kGate && node.gate() == GateKind::kPand)
+      rebuilt = &node;
+  });
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->children()[0]->name(), Symbol("b"));
+
+  // NOT over PAND is rejected by normalisation.
+  FaultTree negated("n");
+  FtNode* x = negated.add_basic(Symbol("x"), 1e-3, "", "");
+  FtNode* y = negated.add_basic(Symbol("y"), 1e-3, "", "");
+  FtNode* inner = negated.add_gate(GateKind::kPand, "", {x, y});
+  negated.set_top(negated.add_gate(GateKind::kNot, "", {inner}));
+  EXPECT_THROW(normalise(negated), Error);
+}
+
+TEST(Temporal, PandRoundTripsThroughTheFtpFormat) {
+  FaultTree tree = pand_tree(1e-3, 2e-3);
+  FtpProject project = read_ftp_project(write_ftp_project("p", tree));
+  ASSERT_EQ(project.trees.size(), 1u);
+  const FtNode* top = project.trees[0].top();
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->gate(), GateKind::kPand);
+  EXPECT_EQ(top->children()[0]->name(), Symbol("a"));
+  EXPECT_EQ(top->children()[1]->name(), Symbol("b"));
+}
+
+TEST(Temporal, MonteCarloRejectsNotGates) {
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-3, "", "");
+  tree.set_top(tree.add_gate(GateKind::kNot, "", {a}));
+  EXPECT_THROW(timed_monte_carlo(tree), Error);
+}
+
+TEST(Temporal, CoherentTreesAgreeWithUntimedProbability) {
+  // Without PAND, timed Monte Carlo must converge to the BDD probability.
+  FaultTree tree("t");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-3, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 2e-3, "", "");
+  FtNode* c = tree.add_basic(Symbol("c"), 5e-4, "", "");
+  FtNode* pair = tree.add_gate(GateKind::kAnd, "", {a, b});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {pair, c}));
+
+  TimedMonteCarloOptions options;
+  options.trials = 40000;
+  options.probability.mission_time_hours = 1000.0;
+  TimedMonteCarloResult result = timed_monte_carlo(tree, options);
+  const double exact = exact_probability(tree, options.probability);
+  EXPECT_NEAR(result.estimate, exact, 5.0 * result.std_error + 1e-3);
+}
+
+}  // namespace
+}  // namespace ftsynth

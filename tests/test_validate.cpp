@@ -1,0 +1,179 @@
+// Unit tests for structural model validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "failure/expr_parser.h"
+#include "model/builder.h"
+#include "model/validate.h"
+
+namespace ftsynth {
+namespace {
+
+bool has_error_containing(const std::vector<Issue>& issues,
+                          std::string_view text) {
+  return std::any_of(issues.begin(), issues.end(), [&](const Issue& issue) {
+    return issue.severity == Severity::kError &&
+           issue.message.find(text) != std::string::npos;
+  });
+}
+
+bool has_warning_containing(const std::vector<Issue>& issues,
+                            std::string_view text) {
+  return std::any_of(issues.begin(), issues.end(), [&](const Issue& issue) {
+    return issue.severity == Severity::kWarning &&
+           issue.message.find(text) != std::string::npos;
+  });
+}
+
+TEST(Validate, CleanModelHasNoErrors) {
+  ModelBuilder b("m");
+  b.inport(b.root(), "in");
+  Block& stage = b.basic(b.root(), "stage");
+  b.in(stage, "x");
+  b.out(stage, "y");
+  b.malfunction(stage, "dead", 1e-6);
+  b.annotate(stage, "Omission-y", "dead OR Omission-x");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "in", "stage.x");
+  b.connect(b.root(), "stage.y", "out");
+  Model model = b.take_unchecked();
+  for (const Issue& issue : validate(model)) {
+    EXPECT_NE(issue.severity, Severity::kError) << issue.to_string();
+  }
+  EXPECT_NO_THROW(validate_or_throw(model));
+}
+
+TEST(Validate, UnconnectedInputIsAnError) {
+  ModelBuilder b("m");
+  Block& stage = b.basic(b.root(), "stage");
+  b.in(stage, "x");
+  b.out(stage, "y");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "stage.y", "out");
+  Model model = b.take_unchecked();
+  EXPECT_TRUE(has_error_containing(validate(model), "unconnected"));
+  EXPECT_THROW(validate_or_throw(model), Error);
+}
+
+TEST(Validate, GroundTerminatesInputsCleanly) {
+  ModelBuilder b("m");
+  Block& stage = b.basic(b.root(), "stage");
+  b.in(stage, "x");
+  b.out(stage, "y");
+  b.ground(b.root(), "gnd");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "gnd", "stage.x");
+  b.connect(b.root(), "stage.y", "out");
+  EXPECT_NO_THROW(b.take());
+}
+
+TEST(Validate, FlowMismatchIsAnError) {
+  ModelBuilder b("m");
+  Block& a = b.basic(b.root(), "a");
+  Port& out = b.out(a, "out", FlowKind::kEnergy);
+  Block& c = b.basic(b.root(), "c");
+  Port& in = b.in(c, "in", FlowKind::kData);
+  b.root().connect(out, in);
+  Model model = b.take_unchecked();
+  EXPECT_TRUE(has_error_containing(validate(model), "flow mismatch"));
+}
+
+TEST(Validate, WidthMismatchIsAnError) {
+  ModelBuilder b("m");
+  Block& a = b.basic(b.root(), "a");
+  Port& out = b.out(a, "out", FlowKind::kData, 3);
+  Block& c = b.basic(b.root(), "c");
+  Port& in = b.in(c, "in", FlowKind::kData, 2);
+  b.root().connect(out, in);
+  Model model = b.take_unchecked();
+  EXPECT_TRUE(has_error_containing(validate(model), "width mismatch"));
+}
+
+TEST(Validate, MuxWidthArithmeticChecked) {
+  ModelBuilder b("m");
+  Block& mux = b.root().add_child(Symbol("mx"), BlockKind::kMux);
+  mux.add_port(Symbol("in1"), PortDirection::kInput, FlowKind::kData, 2);
+  mux.add_port(Symbol("out"), PortDirection::kOutput, FlowKind::kData, 5);
+  Model model = b.take_unchecked();
+  EXPECT_TRUE(has_error_containing(validate(model), "mux output width"));
+}
+
+TEST(Validate, ProxyConsistencyChecked) {
+  ModelBuilder b("m");
+  Block& sub = b.subsystem(b.root(), "sub");
+  // A boundary port without a proxy child.
+  sub.add_port(Symbol("orphan"), PortDirection::kInput);
+  Model model = b.take_unchecked();
+  EXPECT_TRUE(has_error_containing(validate(model), "no matching"));
+}
+
+TEST(Validate, AnnotationReferencesChecked) {
+  ModelBuilder b("m");
+  Block& stage = b.basic(b.root(), "stage");
+  b.in(stage, "x");
+  b.out(stage, "y");
+  // Undeclared malfunction in a cause.
+  stage.annotation().add_row(
+      parse_deviation("Omission-y", b.registry()),
+      parse_expression("ghost_malfunction", b.registry()));
+  // Unknown input port in a cause.
+  stage.annotation().add_row(
+      parse_deviation("Value-y", b.registry()),
+      parse_expression("Value-nonexistent_port", b.registry()));
+  // Unknown output port as a failure mode.
+  b.malfunction(stage, "real", 1e-6);
+  stage.annotation().add_row(
+      parse_deviation("Omission-ghost_output", b.registry()),
+      parse_expression("real", b.registry()));
+  Model model = b.take_unchecked();
+  std::vector<Issue> issues = validate(model);
+  EXPECT_TRUE(has_error_containing(issues, "undeclared malfunction"));
+  EXPECT_TRUE(has_error_containing(issues, "unknown input deviation"));
+  EXPECT_TRUE(has_error_containing(issues, "non-existent output port"));
+}
+
+TEST(Validate, AnnotationOnStructuralBlockRejected) {
+  ModelBuilder b("m");
+  Block& mux = b.mux(b.root(), "mx", 2);
+  mux.annotation().add_malfunction(Symbol("bad"), 1e-6);
+  mux.annotation().add_row(parse_deviation("Omission-out", b.registry()),
+                           parse_expression("bad", b.registry()));
+  Model model = b.take_unchecked();
+  EXPECT_TRUE(has_error_containing(validate(model),
+                                   "only basic blocks and subsystems"));
+}
+
+TEST(Validate, DanglingOutputIsOnlyAWarning) {
+  ModelBuilder b("m");
+  Block& stage = b.basic(b.root(), "stage");
+  b.out(stage, "y");
+  Model model = b.take_unchecked();
+  std::vector<Issue> issues = validate(model);
+  EXPECT_TRUE(has_warning_containing(issues, "drives nothing"));
+  EXPECT_NO_THROW(validate_or_throw(model));  // warnings do not throw
+}
+
+TEST(Validate, UnwrittenStoreIsAWarning) {
+  ModelBuilder b("m");
+  Block& read = b.store_read(b.root(), "r", "ghost_store");
+  Block& sink = b.basic(b.root(), "sink");
+  b.in(sink, "x");
+  b.out(sink, "y");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "r", "sink.x");
+  b.connect(b.root(), "sink.y", "out");
+  (void)read;
+  Model model = b.take_unchecked();
+  EXPECT_TRUE(has_warning_containing(validate(model), "never written"));
+}
+
+TEST(Validate, IssueToStringIsReadable) {
+  Issue issue{Severity::kError, "m/block", "something broke"};
+  EXPECT_EQ(issue.to_string(), "error [m/block]: something broke");
+}
+
+}  // namespace
+}  // namespace ftsynth

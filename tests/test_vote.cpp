@@ -1,0 +1,140 @@
+// Tests for the k-of-N VOTE expression operator.
+
+#include <gtest/gtest.h>
+
+#include "analysis/cutsets.h"
+#include "core/error.h"
+#include "failure/expr_parser.h"
+#include "fta/synthesis.h"
+#include "mdl/parser.h"
+#include "mdl/writer.h"
+#include "model/builder.h"
+#include "sim/propagation.h"
+
+namespace ftsynth {
+namespace {
+
+class VoteTest : public ::testing::Test {
+ protected:
+  FailureClassRegistry registry_;
+  ExprPtr parse(std::string_view text) {
+    return parse_expression(text, registry_);
+  }
+};
+
+TEST_F(VoteTest, FactoryFoldsDegenerateThresholds) {
+  std::vector<ExprPtr> abc{Expr::malfunction(Symbol("a")),
+                           Expr::malfunction(Symbol("b")),
+                           Expr::malfunction(Symbol("c"))};
+  EXPECT_EQ(Expr::make_at_least(0, abc)->op(), ExprOp::kTrue);
+  EXPECT_EQ(Expr::make_at_least(4, abc)->op(), ExprOp::kFalse);
+  EXPECT_EQ(Expr::make_at_least(1, abc)->op(), ExprOp::kOr);
+  EXPECT_EQ(Expr::make_at_least(3, abc)->op(), ExprOp::kAnd);
+  ExprPtr vote = Expr::make_at_least(2, abc);
+  EXPECT_EQ(vote->op(), ExprOp::kAtLeast);
+  EXPECT_EQ(vote->threshold(), 2);
+  // Constants fold into the count.
+  std::vector<ExprPtr> with_true{Expr::constant(true),
+                                 Expr::malfunction(Symbol("a")),
+                                 Expr::malfunction(Symbol("b"))};
+  ExprPtr folded = Expr::make_at_least(2, with_true);
+  EXPECT_EQ(folded->op(), ExprOp::kOr);  // 1-of-{a, b}
+}
+
+TEST_F(VoteTest, ParsesAndRoundTrips) {
+  ExprPtr vote = parse("VOTE(2: Omission-a, Omission-b, stuck)");
+  ASSERT_EQ(vote->op(), ExprOp::kAtLeast);
+  EXPECT_EQ(vote->threshold(), 2);
+  EXPECT_EQ(vote->children().size(), 3u);
+  EXPECT_EQ(vote->to_string(), "VOTE(2: Omission-a, Omission-b, stuck)");
+  EXPECT_TRUE(equal(*vote, *parse(vote->to_string())));
+  // Composes inside larger expressions.
+  ExprPtr composed = parse("bug OR VOTE(2: a, b, c) AND Late-x");
+  EXPECT_TRUE(equal(*composed, *parse(composed->to_string())));
+  // A bare identifier `VOTE` not followed by '(' is still a malfunction.
+  EXPECT_EQ(parse("VOTE")->op(), ExprOp::kMalfunction);
+}
+
+TEST_F(VoteTest, ParserRejectsMalformedVotes) {
+  EXPECT_THROW(parse("VOTE(2 a, b)"), ParseError);
+  EXPECT_THROW(parse("VOTE(x: a, b)"), ParseError);
+  EXPECT_THROW(parse("VOTE(2: a, b"), ParseError);
+}
+
+TEST_F(VoteTest, EvaluatesTheThreshold) {
+  ExprPtr vote = parse("VOTE(2: m1, m2, m3)");
+  auto eval = [&](bool a, bool b, bool c) {
+    return vote->evaluate(
+        [](const Deviation&) { return false; },
+        [&](Symbol m) {
+          if (m == Symbol("m1")) return a;
+          if (m == Symbol("m2")) return b;
+          return c;
+        });
+  };
+  EXPECT_FALSE(eval(false, false, false));
+  EXPECT_FALSE(eval(true, false, false));
+  EXPECT_TRUE(eval(true, true, false));
+  EXPECT_TRUE(eval(true, false, true));
+  EXPECT_TRUE(eval(true, true, true));
+}
+
+/// 3 sensors into a 2-of-3 voter expressed with VOTE.
+Model voted_model() {
+  ModelBuilder b("m");
+  for (int i = 1; i <= 3; ++i) {
+    Block& sensor = b.basic(b.root(), "s" + std::to_string(i));
+    b.out(sensor, "y");
+    b.malfunction(sensor, "dead", 1e-4);
+    b.annotate(sensor, "Omission-y", "dead");
+  }
+  Block& voter = b.basic(b.root(), "voter");
+  b.in(voter, "a");
+  b.in(voter, "b");
+  b.in(voter, "c");
+  b.out(voter, "v");
+  b.malfunction(voter, "bug", 1e-7);
+  b.annotate(voter, "Omission-v",
+             "bug OR VOTE(2: Omission-a, Omission-b, Omission-c)");
+  b.connect(b.root(), "s1.y", "voter.a");
+  b.connect(b.root(), "s2.y", "voter.b");
+  b.connect(b.root(), "s3.y", "voter.c");
+  b.outport(b.root(), "out");
+  b.connect(b.root(), "voter.v", "out");
+  return b.take();
+}
+
+TEST_F(VoteTest, SynthesisExpandsToTheSensorPairs) {
+  Model model = voted_model();
+  FaultTree tree = Synthesiser(model).synthesise("Omission-out");
+  CutSetAnalysis analysis = minimal_cut_sets(tree);
+  EXPECT_EQ(analysis.to_string(),
+            "{m/voter.bug}\n"
+            "{m/s1.dead, m/s2.dead}\n"
+            "{m/s1.dead, m/s3.dead}\n"
+            "{m/s2.dead, m/s3.dead}\n");
+}
+
+TEST_F(VoteTest, ForwardPropagationMatchesTheVote) {
+  Model model = voted_model();
+  PropagationEngine engine(model);
+  FailureClass omission = model.registry().omission();
+  EXPECT_FALSE(engine.propagate({Symbol("m/s1.dead")})
+                   .at_system_output(Symbol("out"), omission));
+  EXPECT_TRUE(engine.propagate({Symbol("m/s1.dead"), Symbol("m/s3.dead")})
+                  .at_system_output(Symbol("out"), omission));
+}
+
+TEST_F(VoteTest, RoundTripsThroughTheModelFormat) {
+  Model model = voted_model();
+  const std::string text = write_mdl(model);
+  EXPECT_NE(text.find("VOTE(2: Omission-a, Omission-b, Omission-c)"),
+            std::string::npos);
+  Model reparsed = parse_mdl(text);
+  EXPECT_EQ(write_mdl(reparsed), text);
+  FaultTree tree = Synthesiser(reparsed).synthesise("Omission-out");
+  EXPECT_EQ(minimal_cut_sets(tree).cut_sets.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ftsynth

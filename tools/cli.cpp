@@ -1,0 +1,358 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "analysis/completeness.h"
+#include "analysis/fmea.h"
+#include "analysis/report.h"
+#include "analysis/markdown_report.h"
+#include "analysis/sensitivity.h"
+#include "core/error.h"
+#include "core/strings.h"
+#include "failure/expr_parser.h"
+#include "ftp/dot_writer.h"
+#include "ftp/ftp_writer.h"
+#include "ftp/json_writer.h"
+#include "ftp/xml_writer.h"
+#include "fta/synthesis.h"
+#include "mdl/parser.h"
+#include "model/validate.h"
+
+namespace ftsynth::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: ftsynth <command> <model.mdl> [options]
+
+commands:
+  info         print model summary (blocks, hierarchy, annotations)
+  validate     run structural validation; exit 2 on errors
+  synthesise   synthesise fault trees      (--top, --format, --output)
+  analyse      cut sets + reliability      (--top, --time, --tree)
+  audit        HAZOP completeness audit; exit 2 on findings
+  fmea         system-level FMEA           (--time)
+  sensitivity  failure-rate sensitivity    (--top, --time)
+  report       full Markdown safety report (--top, --time, --output)
+
+options:
+  --top CLASS-PORT   top event, e.g. Omission-brake_force_fl (repeatable;
+                     analyse/fmea default to every derivable top event)
+  --format FMT       synthesise output: text (default), dot, xml, json, ftp
+  --output FILE      write to FILE instead of stdout
+  --time HOURS       mission time for probabilities (default 1)
+  --tree             include the rendered tree in analyse output
+)";
+
+struct Options {
+  std::string command;
+  std::string model_path;
+  std::vector<std::string> tops;
+  std::string format = "text";
+  std::string output;
+  double mission_time_hours = 1.0;
+  bool render_tree = false;
+};
+
+/// Parses argv; returns nullopt (after printing the message) on bad usage.
+std::optional<Options> parse_args(const std::vector<std::string>& args,
+                                  std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return std::nullopt;
+  }
+  Options options;
+  options.command = args[0];
+  std::size_t i = 1;
+  if (i < args.size() && args[i].rfind("--", 0) != 0) {
+    options.model_path = args[i++];
+  }
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) {
+        err << "error: " << arg << " needs a value\n";
+        return std::nullopt;
+      }
+      return args[++i];
+    };
+    if (arg == "--top") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      options.tops.push_back(*v);
+    } else if (arg == "--format") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      options.format = *v;
+    } else if (arg == "--output") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      options.output = *v;
+    } else if (arg == "--time") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      try {
+        options.mission_time_hours = std::stod(*v);
+      } catch (const std::exception&) {
+        err << "error: --time needs a number, got '" << *v << "'\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--tree") {
+      options.render_tree = true;
+    } else if (arg == "--help" || arg == "-h") {
+      err << kUsage;
+      return std::nullopt;
+    } else {
+      err << "error: unknown option '" << arg << "'\n" << kUsage;
+      return std::nullopt;
+    }
+  }
+  if (options.model_path.empty()) {
+    err << "error: no model file given\n" << kUsage;
+    return std::nullopt;
+  }
+  return options;
+}
+
+/// Sends `text` to --output or to stdout.
+int emit(const std::string& text, const Options& options, std::ostream& out,
+         std::ostream& err) {
+  if (options.output.empty()) {
+    out << text;
+    return 0;
+  }
+  std::ofstream file(options.output);
+  if (!file.good()) {
+    err << "error: cannot write '" << options.output << "'\n";
+    return 1;
+  }
+  file << text;
+  return 0;
+}
+
+std::vector<Deviation> resolve_tops(const Model& model,
+                                    const Options& options) {
+  std::vector<Deviation> tops;
+  if (!options.tops.empty()) {
+    for (const std::string& top : options.tops)
+      tops.push_back(parse_deviation(top, model.registry()));
+    return tops;
+  }
+  // Default: every derivable top event (prune undeveloped roots so only
+  // genuinely explained deviations appear).
+  SynthesisOptions prune;
+  prune.unannotated = SynthesisOptions::UnannotatedPolicy::kPrune;
+  Synthesiser probe(model, prune);
+  for (const Port* port : model.root().outputs()) {
+    for (FailureClass cls : model.registry().all()) {
+      Deviation candidate{cls, port->name()};
+      if (probe.synthesise(candidate).top() != nullptr)
+        tops.push_back(candidate);
+    }
+  }
+  return tops;
+}
+
+int cmd_info(const Model& model, const Options& options, std::ostream& out,
+             std::ostream& err) {
+  std::string text = "model: " + model.name() + "\n";
+  text += "blocks: " + std::to_string(model.block_count()) + "\n";
+  std::size_t annotated = 0;
+  std::size_t malfunctions = 0;
+  model.for_each_block([&](const Block& block) {
+    if (!block.annotation().rows().empty()) ++annotated;
+    malfunctions += block.annotation().malfunctions().size();
+  });
+  text += "annotated blocks: " + std::to_string(annotated) + "\n";
+  text += "malfunctions: " + std::to_string(malfunctions) + "\n";
+  text += "boundary inputs:";
+  for (const Port* port : model.root().inputs())
+    text += " " + port->name().str();
+  text += "\nboundary outputs:";
+  for (const Port* port : model.root().outputs())
+    text += " " + port->name().str();
+  text += "\nhierarchy:\n";
+  model.for_each_block([&](const Block& block) {
+    std::size_t depth = 0;
+    for (const Block* b = &block; b->parent() != nullptr; b = b->parent())
+      ++depth;
+    text += std::string(depth * 2, ' ') + block.name().str() + " [" +
+            std::string(to_string(block.kind())) + "]\n";
+  });
+  return emit(text, options, out, err);
+}
+
+int cmd_validate(const Model& model, const Options& options,
+                 std::ostream& out, std::ostream& err) {
+  std::vector<Issue> issues = validate(model);
+  std::string text;
+  int errors = 0;
+  for (const Issue& issue : issues) {
+    text += issue.to_string() + "\n";
+    if (issue.severity == Severity::kError) ++errors;
+  }
+  text += std::to_string(errors) + " error(s), " +
+          std::to_string(issues.size() - static_cast<std::size_t>(errors)) +
+          " warning(s)\n";
+  int rc = emit(text, options, out, err);
+  return rc != 0 ? rc : (errors > 0 ? 2 : 0);
+}
+
+int cmd_synthesise(const Model& model, const Options& options,
+                   std::ostream& out, std::ostream& err) {
+  Synthesiser synthesiser(model);
+  std::vector<FaultTree> trees;
+  for (const Deviation& top : resolve_tops(model, options))
+    trees.push_back(synthesiser.synthesise(top));
+  if (trees.empty()) {
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 1;
+  }
+  std::string text;
+  if (options.format == "text") {
+    for (const FaultTree& tree : trees) text += tree.to_text() + "\n";
+  } else if (options.format == "dot") {
+    for (const FaultTree& tree : trees) text += write_dot(tree);
+  } else if (options.format == "xml") {
+    std::vector<const FaultTree*> pointers;
+    for (const FaultTree& tree : trees) pointers.push_back(&tree);
+    text = write_xml(pointers);
+  } else if (options.format == "json") {
+    for (const FaultTree& tree : trees) text += write_json(tree);
+  } else if (options.format == "ftp") {
+    std::vector<const FaultTree*> pointers;
+    for (const FaultTree& tree : trees) pointers.push_back(&tree);
+    text = write_ftp_project(model.name(), pointers);
+  } else {
+    err << "error: unknown --format '" << options.format << "'\n";
+    return 1;
+  }
+  return emit(text, options, out, err);
+}
+
+int cmd_analyse(const Model& model, const Options& options, std::ostream& out,
+                std::ostream& err) {
+  AnalysisOptions analysis_options;
+  analysis_options.probability.mission_time_hours =
+      options.mission_time_hours;
+  analysis_options.render_tree = options.render_tree;
+  Synthesiser synthesiser(model);
+  std::string text;
+  for (const Deviation& top : resolve_tops(model, options)) {
+    FaultTree tree = synthesiser.synthesise(top);
+    TreeAnalysis analysis = analyse_tree(tree, analysis_options);
+    text += render(tree, analysis, analysis_options) + "\n";
+  }
+  if (text.empty()) {
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 1;
+  }
+  return emit(text, options, out, err);
+}
+
+int cmd_audit(const Model& model, const Options& options, std::ostream& out,
+              std::ostream& err) {
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  std::string text;
+  for (const CompletenessFinding& finding : findings)
+    text += finding.to_string() + "\n";
+  text += std::to_string(findings.size()) + " finding(s)\n";
+  int rc = emit(text, options, out, err);
+  return rc != 0 ? rc : (findings.empty() ? 0 : 2);
+}
+
+int cmd_report(const Model& model, const Options& options,
+               std::ostream& out, std::ostream& err) {
+  MarkdownReportOptions report_options;
+  report_options.analysis.probability.mission_time_hours =
+      options.mission_time_hours;
+  std::vector<std::string> tops;
+  for (const Deviation& top : resolve_tops(model, options))
+    tops.push_back(top.to_string());
+  if (tops.empty()) {
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 1;
+  }
+  return emit(markdown_report(model, tops, report_options), options, out,
+              err);
+}
+
+int cmd_sensitivity(const Model& model, const Options& options,
+                    std::ostream& out, std::ostream& err) {
+  SensitivityOptions sensitivity;
+  sensitivity.probability.mission_time_hours = options.mission_time_hours;
+  Synthesiser synthesiser(model);
+  std::string text;
+  for (const Deviation& top : resolve_tops(model, options)) {
+    FaultTree tree = synthesiser.synthesise(top);
+    text += "=== " + tree.top_description() + " ===\n";
+    text += render_sensitivity(rate_sensitivity(tree, sensitivity));
+  }
+  if (text.empty()) {
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 1;
+  }
+  return emit(text, options, out, err);
+}
+
+int cmd_fmea(const Model& model, const Options& options, std::ostream& out,
+             std::ostream& err) {
+  ProbabilityOptions probability;
+  probability.mission_time_hours = options.mission_time_hours;
+  Synthesiser synthesiser(model);
+  std::vector<FaultTree> trees;
+  for (const Deviation& top : resolve_tops(model, options))
+    trees.push_back(synthesiser.synthesise(top));
+  if (trees.empty()) {
+    err << "error: no derivable top events in this model\n";
+    return 1;
+  }
+  std::vector<CutSetAnalysis> analyses;
+  analyses.reserve(trees.size());
+  for (const FaultTree& tree : trees)
+    analyses.push_back(minimal_cut_sets(tree));
+  std::vector<const FaultTree*> tree_ptrs;
+  std::vector<const CutSetAnalysis*> analysis_ptrs;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    tree_ptrs.push_back(&trees[i]);
+    analysis_ptrs.push_back(&analyses[i]);
+  }
+  std::string text =
+      render_fmea(synthesise_fmea(tree_ptrs, analysis_ptrs, probability));
+  return emit(text, options, out, err);
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  std::optional<Options> options = parse_args(args, err);
+  if (!options) return 1;
+  try {
+    // `validate` parses without the implicit validation so it can report
+    // the issues itself instead of dying on the first one.
+    Model model = parse_mdl_file(options->model_path,
+                                 options->command != "validate");
+    if (options->command == "info") return cmd_info(model, *options, out, err);
+    if (options->command == "validate")
+      return cmd_validate(model, *options, out, err);
+    if (options->command == "synthesise" || options->command == "synthesize")
+      return cmd_synthesise(model, *options, out, err);
+    if (options->command == "analyse" || options->command == "analyze")
+      return cmd_analyse(model, *options, out, err);
+    if (options->command == "audit") return cmd_audit(model, *options, out, err);
+    if (options->command == "fmea") return cmd_fmea(model, *options, out, err);
+    if (options->command == "sensitivity")
+      return cmd_sensitivity(model, *options, out, err);
+    if (options->command == "report")
+      return cmd_report(model, *options, out, err);
+    err << "error: unknown command '" << options->command << "'\n" << kUsage;
+    return 1;
+  } catch (const Error& error) {
+    err << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace ftsynth::cli

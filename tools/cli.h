@@ -1,0 +1,36 @@
+// The ftsynth command-line driver (testable core).
+//
+// The paper's tool is an interactive pipeline (Simulink -> text file ->
+// parser -> synthesis -> Fault Tree Plus). This CLI is the batch
+// equivalent over the same text format:
+//
+//   ftsynth info       <model.mdl>                    model summary
+//   ftsynth validate   <model.mdl>                    structural checks
+//   ftsynth synthesise <model.mdl> --top <Class-port> [--format text|dot|
+//                      xml|json|ftp] [--output FILE]  fault tree synthesis
+//   ftsynth analyse    <model.mdl> --top <Class-port> [--time HOURS]
+//                      [--tree]                       cut sets/reliability
+//   ftsynth audit      <model.mdl>                    HAZOP completeness
+//   ftsynth fmea       <model.mdl> [--time HOURS]     system-level FMEA
+//   ftsynth sensitivity <model.mdl> [--top ...] [--time HOURS]
+//                                                      rate sensitivity
+//   ftsynth report     <model.mdl> [--top ...] [--time HOURS]
+//                      [--output FILE]                 Markdown safety report
+//
+// --top may repeat; `analyse` and `fmea` default to every derivable top
+// event (boundary outputs x registered classes with a non-empty tree).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftsynth::cli {
+
+/// Runs the driver. `args` excludes the program name. Returns the process
+/// exit code (0 success, 1 user error, 2 analysis found violations).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace ftsynth::cli

@@ -1,0 +1,12 @@
+// ftsynth -- fault tree synthesis for annotated Simulink-style models.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ftsynth::cli::run(args, std::cout, std::cerr);
+}
