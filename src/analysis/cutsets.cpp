@@ -33,7 +33,8 @@ std::string CutSetAnalysis::to_string() const {
     }
     out += "}\n";
   }
-  if (truncated) out += "(truncated: limits reached)\n";
+  if (deadline_exceeded) out += "(deadline exceeded: partial result)\n";
+  else if (truncated) out += "(truncated: limits reached)\n";
   return out;
 }
 
@@ -75,29 +76,21 @@ bool subset(const Set& small, const Set& big) noexcept {
                        small.literals.begin(), small.literals.end());
 }
 
-/// Removes non-minimal, duplicate and contradictory sets; result is sorted
-/// by (size, lexicographic literal ids).
-std::vector<Set> minimise(std::vector<Set> sets) {
-  std::sort(sets.begin(), sets.end(), [](const Set& a, const Set& b) {
-    if (a.literals.size() != b.literals.size())
-      return a.literals.size() < b.literals.size();
-    return a.literals < b.literals;
-  });
-  std::vector<Set> kept;
-  for (Set& candidate : sets) {
-    if (contradictory(candidate)) continue;
-    bool subsumed = std::any_of(
-        kept.begin(), kept.end(),
-        [&](const Set& k) { return subset(k, candidate); });
-    if (!subsumed) kept.push_back(std::move(candidate));
-  }
-  return kept;
-}
-
 /// Shared bookkeeping: literal ids and limit tracking.
 class Context {
  public:
-  explicit Context(const CutSetOptions& options) : options_(options) {}
+  explicit Context(const CutSetOptions& options)
+      : options_(options), budget_(options.budget) {}
+
+  /// Amortised deadline probe for the engines' hot loops. Once it fires
+  /// the run is marked partial and every later probe returns true
+  /// immediately, so the engines unwind fast.
+  bool deadline_hit() noexcept {
+    if (!budget_.poll()) return false;
+    deadline_exceeded_ = true;
+    truncated_ = true;
+    return true;
+  }
 
   int literal_id(const FtNode* event, bool negated) {
     auto [it, inserted] = event_index_.emplace(
@@ -133,6 +126,7 @@ class Context {
   CutSetAnalysis finish(std::vector<Set> sets) const {
     CutSetAnalysis analysis;
     analysis.truncated = truncated_;
+    analysis.deadline_exceeded = deadline_exceeded_;
     analysis.peak_sets = peak_sets_;
     analysis.cut_sets.reserve(sets.size());
     for (const Set& set : sets) {
@@ -172,11 +166,35 @@ class Context {
 
  private:
   const CutSetOptions& options_;
+  Budget budget_;  ///< run-local copy (amortised deadline tick)
   std::unordered_map<const FtNode*, int> event_index_;
   std::vector<const FtNode*> events_;
   bool truncated_ = false;
+  bool deadline_exceeded_ = false;
   std::size_t peak_sets_ = 0;
 };
+
+/// Removes non-minimal, duplicate and contradictory sets; result is sorted
+/// by (size, lexicographic literal ids). The subsumption pass is quadratic,
+/// so on large batches it probes the deadline (when a context is given) and
+/// returns the partially-minimised prefix on expiry.
+std::vector<Set> minimise(std::vector<Set> sets, Context* context = nullptr) {
+  std::sort(sets.begin(), sets.end(), [](const Set& a, const Set& b) {
+    if (a.literals.size() != b.literals.size())
+      return a.literals.size() < b.literals.size();
+    return a.literals < b.literals;
+  });
+  std::vector<Set> kept;
+  for (Set& candidate : sets) {
+    if (context != nullptr && context->deadline_hit()) break;
+    if (contradictory(candidate)) continue;
+    bool subsumed = std::any_of(
+        kept.begin(), kept.end(),
+        [&](const Set& k) { return subset(k, candidate); });
+    if (!subsumed) kept.push_back(std::move(candidate));
+  }
+  return kept;
+}
 
 // -- Bottom-up engine ----------------------------------------------------------
 
@@ -221,6 +239,7 @@ class BottomUp {
     // kPand is quantified by analysis/temporal.h; for cut-set purposes the
     // *event sets* are those of the AND (a conservative upper bound).
     for (const FtNode* child : node->children()) {
+      if (context_.deadline_hit()) break;  // keep the partial accumulation
       std::vector<Set> sets = resolve(child);
       if (node->gate() == GateKind::kOr) {
         acc.insert(acc.end(), std::make_move_iterator(sets.begin()),
@@ -232,6 +251,7 @@ class BottomUp {
         std::vector<Set> product;
         product.reserve(acc.size() * sets.size());
         for (const Set& a : acc) {
+          if (context_.deadline_hit()) break;
           for (const Set& b : sets) {
             std::vector<int> merged;
             merged.reserve(a.literals.size() + b.literals.size());
@@ -245,7 +265,7 @@ class BottomUp {
           }
           if (product.size() > context_.options().max_sets * 4) {
             // Keep the blow-up bounded before minimisation.
-            product = context_.clamp(minimise(std::move(product)));
+            product = context_.clamp(minimise(std::move(product), &context_));
           }
         }
         acc = std::move(product);
@@ -253,6 +273,9 @@ class BottomUp {
       first = false;
       context_.track_peak(acc.size());
     }
+    // Past the deadline the result is partial anyway; skip the O(n^2)
+    // minimisation so the whole engine unwinds in O(n log n).
+    if (context_.deadline_hit()) return context_.clamp(std::move(acc));
     return context_.clamp(minimise(std::move(acc)));
   }
 
@@ -282,6 +305,7 @@ class Mocus {
     std::vector<Set> done;
 
     while (!rows.empty()) {
+      if (context_.deadline_hit()) break;  // finish with the sets done so far
       Row row = std::move(rows.front());
       rows.pop_front();
       context_.track_peak(rows.size() + done.size());
@@ -333,6 +357,7 @@ class Mocus {
         while (rows.size() > context_.options().max_sets) rows.pop_back();
       }
     }
+    if (context_.deadline_hit()) return context_.clamp(std::move(done));
     return context_.clamp(minimise(std::move(done)));
   }
 
@@ -472,6 +497,7 @@ CutSetAnalysis bdd_cut_sets(const FaultTree& tree,
   std::vector<int> literals;
   bool truncated_paths = false;
   auto enumerate = [&](auto&& self, Bdd::Ref ref) -> void {
+    if (context.deadline_hit()) return;
     if (sets.size() > context.options().max_sets) {
       truncated_paths = true;
       return;
@@ -501,7 +527,8 @@ CutSetAnalysis bdd_cut_sets(const FaultTree& tree,
   enumerate(enumerate, solutions);
   if (truncated_paths) context.mark_truncated();
 
-  CutSetAnalysis analysis = context.finish(minimise(std::move(sets)));
+  CutSetAnalysis analysis = context.finish(
+      context.deadline_hit() ? std::move(sets) : minimise(std::move(sets)));
   remap_events(analysis, tree);
   return analysis;
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.h"
 #include "fta/fault_tree.h"
 
 namespace ftsynth {
@@ -31,6 +32,11 @@ struct CutSetOptions {
   std::size_t max_order = 64;
   /// Abort growth beyond this many working sets (truncation is reported).
   std::size_t max_sets = 1u << 20;
+  /// Wall-clock guard: when the budget's deadline expires mid-expansion the
+  /// engine stops, returns the cut sets computed so far and flags the
+  /// result `deadline_exceeded` (partial: cut sets may be missing, and the
+  /// ones returned may be non-minimal).
+  Budget budget{};
 };
 
 /// One literal of a cut set: an event, possibly negated.
@@ -51,6 +57,7 @@ using CutSet = std::vector<CutLiteral>;
 struct CutSetAnalysis {
   std::vector<CutSet> cut_sets;  ///< minimal, canonically ordered
   bool truncated = false;        ///< some sets were dropped by the limits
+  bool deadline_exceeded = false;  ///< the budget deadline cut the run short
   std::size_t peak_sets = 0;     ///< working-set high-water mark (bench metric)
 
   /// Smallest cut set order present (0 when there are no cut sets).

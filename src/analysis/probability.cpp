@@ -81,28 +81,50 @@ double intersection_probability(const CutSetAnalysis& analysis,
 
 double inclusion_exclusion(const CutSetAnalysis& analysis,
                            const ProbabilityOptions& options,
-                           std::size_t max_terms) {
+                           std::size_t max_terms,
+                           BudgetReport* report) {
   const std::size_t n = analysis.cut_sets.size();
+  if (report != nullptr) *report = {};
   if (n == 0) return 0.0;
+  Budget budget = options.budget;  // run-local deadline tick
+  bool expired = false;
   double total = 0.0;
   std::vector<std::size_t> indices;
   // Enumerate subsets by order k = 1..max_terms with a recursive chooser.
   auto choose = [&](auto&& self, std::size_t start, std::size_t remaining)
       -> void {
+    if (expired) return;
     if (remaining == 0) {
+      if (budget.poll()) {
+        expired = true;
+        return;
+      }
       const double p = intersection_probability(analysis, indices, options);
       total += (indices.size() % 2 == 1) ? p : -p;
       return;
     }
-    for (std::size_t i = start; i + remaining <= n; ++i) {
+    for (std::size_t i = start; i + remaining <= n && !expired; ++i) {
       indices.push_back(i);
       self(self, i + 1, remaining - 1);
       indices.pop_back();
     }
   };
-  for (std::size_t k = 1; k <= std::min(max_terms, n); ++k)
+  // An interrupted order would leave an unbalanced alternating sum, so the
+  // partial result keeps only the orders that completed before expiry.
+  double completed_total = 0.0;
+  std::size_t completed_orders = 0;
+  for (std::size_t k = 1; k <= std::min(max_terms, n) && !expired; ++k) {
     choose(choose, 0, k);
-  return total;
+    if (!expired) {
+      completed_total = total;
+      ++completed_orders;
+    }
+  }
+  if (report != nullptr) {
+    report->deadline_exceeded = expired;
+    report->truncated = expired || completed_orders < n;
+  }
+  return expired ? completed_total : total;
 }
 
 std::vector<double> BddEncoding::probabilities(

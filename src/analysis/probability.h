@@ -14,6 +14,7 @@
 
 #include "analysis/cutsets.h"
 #include "bdd/bdd.h"
+#include "core/budget.h"
 #include "fta/fault_tree.h"
 
 namespace ftsynth {
@@ -24,6 +25,10 @@ struct ProbabilityOptions {
   /// Probability assigned to unquantified leaves (rate 0 basic events,
   /// environment deviations, undeveloped and loop events).
   double default_event_probability = 0.0;
+  /// Wall-clock guard for inclusion_exclusion: when the deadline expires
+  /// the expansion stops after the current intersection order and the
+  /// partial alternating sum is returned (report->deadline_exceeded set).
+  Budget budget{};
 };
 
 /// Probability of one leaf event under `options`. House events are 1.
@@ -46,10 +51,14 @@ double esary_proschan_bound(const CutSetAnalysis& analysis,
 
 /// Inclusion-exclusion over cut-set unions, truncated after `max_terms`
 /// intersection orders (exact when max_terms >= number of cut sets).
-/// Intersections account for shared events correctly.
+/// Intersections account for shared events correctly. When
+/// `options.budget` carries a deadline the expansion is cut short on
+/// expiry; pass `report` to learn whether that (or the `max_terms`
+/// truncation) happened.
 double inclusion_exclusion(const CutSetAnalysis& analysis,
                            const ProbabilityOptions& options,
-                           std::size_t max_terms = 8);
+                           std::size_t max_terms = 8,
+                           BudgetReport* report = nullptr);
 
 /// A fault tree encoded into a BDD: one variable per distinct leaf, in
 /// `events` order (variable i <-> events[i]).

@@ -1,0 +1,18 @@
+#include "core/budget.h"
+
+namespace ftsynth {
+
+std::string BudgetReport::to_string() const {
+  if (clean()) return "complete";
+  std::string out;
+  auto append = [&](const char* what) {
+    if (!out.empty()) out += ", ";
+    out += what;
+  };
+  if (deadline_exceeded) append("deadline exceeded");
+  if (depth_limited) append("depth limited");
+  if (truncated) append("truncated");
+  return out;
+}
+
+}  // namespace ftsynth

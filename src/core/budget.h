@@ -1,0 +1,89 @@
+// Resource budgets for synthesis and analysis.
+//
+// Fault tree synthesis and cut-set expansion are worst-case exponential; on
+// an adversarial model they must degrade into a *partial, flagged* result
+// instead of running away with the machine. A Budget carries the limits --
+// recursion depth, node / cut-set ceilings, and a monotonic-clock deadline
+// -- and a BudgetReport records which of them actually fired, so callers
+// (and the CLI) can tell a complete result from a truncated one.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace ftsynth {
+
+/// Resource limits for one pipeline stage. Value type: engines copy the
+/// budget into their run state (the amortised deadline tick is per-copy,
+/// which keeps parallel synthesis race-free).
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Traversal / recursion depth ceiling (synthesis stack, parser nesting).
+  /// Deep enough for any sane model; shallow enough that a pathological
+  /// 100k-level nesting becomes a diagnostic, not a stack overflow.
+  std::size_t max_depth = 5000;
+
+  /// Fault-tree node ceiling for synthesis (0 = unlimited).
+  std::size_t max_nodes = 0;
+
+  /// Starts the wall-clock deadline `ms` from now (monotonic clock).
+  void set_deadline_ms(long ms) {
+    deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+  }
+  void set_deadline(Clock::time_point deadline) { deadline_ = deadline; }
+  void clear_deadline() { deadline_.reset(); }
+  bool has_deadline() const noexcept { return deadline_.has_value(); }
+
+  /// Immediate deadline check (reads the clock).
+  bool expired() const noexcept {
+    if (expired_) return true;
+    if (!deadline_) return false;
+    expired_ = Clock::now() >= *deadline_;
+    return expired_;
+  }
+
+  /// Amortised deadline check for hot loops: reads the clock only once
+  /// every kStride calls. Once expired, stays expired (latched) so callers
+  /// can unwind cheaply.
+  bool poll() noexcept {
+    if (expired_) return true;
+    if (!deadline_) return false;
+    if (++tick_ % kStride != 0) return false;
+    return expired();
+  }
+
+ private:
+  static constexpr unsigned kStride = 64;
+
+  std::optional<Clock::time_point> deadline_;
+  unsigned tick_ = 0;
+  mutable bool expired_ = false;
+};
+
+/// Which limits fired during a budgeted run. Merged upward so a pipeline
+/// can accumulate reports across stages.
+struct BudgetReport {
+  bool deadline_exceeded = false;  ///< wall-clock deadline hit
+  bool depth_limited = false;      ///< recursion depth ceiling hit
+  bool truncated = false;          ///< any count ceiling (nodes/sets/order) hit
+
+  bool clean() const noexcept {
+    return !deadline_exceeded && !depth_limited && !truncated;
+  }
+
+  void merge(const BudgetReport& other) noexcept {
+    deadline_exceeded = deadline_exceeded || other.deadline_exceeded;
+    depth_limited = depth_limited || other.depth_limited;
+    truncated = truncated || other.truncated;
+  }
+
+  /// "deadline exceeded, depth limited" or "complete".
+  std::string to_string() const;
+};
+
+}  // namespace ftsynth

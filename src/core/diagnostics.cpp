@@ -1,0 +1,94 @@
+#include "core/diagnostics.h"
+
+#include "core/text_table.h"
+
+namespace ftsynth {
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string SourceLocation::to_string() const {
+  if (line <= 0) return "";
+  if (column <= 0) return std::to_string(line);
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out(ftsynth::to_string(severity));
+  out += "[";
+  out += ftsynth::to_string(kind);
+  out += "]";
+  if (location.known()) out += " " + location.to_string();
+  if (!block_path.empty()) out += " at " + block_path;
+  out += ": " + message;
+  return out;
+}
+
+void DiagnosticSink::report(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) {
+    ++error_count_;
+    if (kept_errors_ >= max_errors_) return;  // dropped, but still counted
+    ++kept_errors_;
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::error(ErrorKind kind, std::string message,
+                           SourceLocation location, std::string block_path) {
+  report({Severity::kError, kind, location, std::move(block_path),
+          std::move(message)});
+}
+
+void DiagnosticSink::warning(ErrorKind kind, std::string message,
+                             SourceLocation location, std::string block_path) {
+  report({Severity::kWarning, kind, location, std::move(block_path),
+          std::move(message)});
+}
+
+void DiagnosticSink::error_from(const Error& err, std::string block_path) {
+  SourceLocation location;
+  if (const auto* parse = dynamic_cast<const ParseError*>(&err)) {
+    location = {parse->line(), parse->column()};
+  }
+  error(err.kind(), err.what(), location, std::move(block_path));
+}
+
+const Diagnostic* DiagnosticSink::first_error() const noexcept {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+ErrorKind DiagnosticSink::first_error_kind() const noexcept {
+  const Diagnostic* first = first_error();
+  return first != nullptr ? first->kind : ErrorKind::kInternal;
+}
+
+std::string DiagnosticSink::render_table() const {
+  if (diagnostics_.empty()) return "";
+  TextTable table({"Severity", "Location", "Kind", "Where", "Message"});
+  for (const Diagnostic& d : diagnostics_) {
+    table.add_row({std::string(to_string(d.severity)),
+                   d.location.to_string(), std::string(to_string(d.kind)),
+                   d.block_path, d.message});
+  }
+  std::string out = table.render();
+  out += std::to_string(error_count_) + " error(s), " +
+         std::to_string(warning_count()) + " warning(s)";
+  if (dropped() > 0) {
+    out += " (" + std::to_string(dropped()) +
+           " further error(s) dropped at the cap)";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace ftsynth

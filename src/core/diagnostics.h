@@ -1,0 +1,115 @@
+// Structured diagnostics for the analysis pipeline.
+//
+// The paper's tool chain is meant to run on large, engineer-authored
+// models; a single typo must not kill a whole run. Instead of throwing on
+// the first problem, resilient pipeline stages (the .mdl parser, the
+// annotation interpreter, degraded-mode synthesis, structural validation)
+// append Diagnostic records to a DiagnosticSink and keep going, so one run
+// reports *every* problem it can find. Fail-fast behaviour remains
+// available by simply not providing a sink (the library then throws
+// ftsynth::Error as before).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+/// Severity of a diagnostic or validation issue. (Shared with
+/// model/validate.h, which predates this module.)
+enum class Severity { kWarning, kError };
+
+std::string_view to_string(Severity severity) noexcept;
+
+/// A position in the source text of a model file or expression.
+/// Line/column are 1-based; 0 means unknown.
+struct SourceLocation {
+  int line = 0;
+  int column = 0;
+
+  bool known() const noexcept { return line > 0; }
+
+  /// "12:5", "12" (no column) or "" (unknown).
+  std::string to_string() const;
+};
+
+/// One structured problem report from any pipeline stage.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  ErrorKind kind = ErrorKind::kParse;
+  SourceLocation location;     ///< where in the source text, if known
+  std::string block_path;      ///< owning block's hierarchical path, if any
+  std::string message;
+
+  /// "error[parse] 12:5 at bbw/pedal_node: unknown BlockType 'Blok'".
+  std::string to_string() const;
+};
+
+/// Collects diagnostics across pipeline stages.
+///
+/// The sink caps the number of *errors* it retains (warnings are always
+/// kept): once `max_errors` errors have been reported the sink is
+/// `saturated()` and recovering parsers should stop producing more;
+/// further errors only bump `dropped()`. This bounds both memory and the
+/// time a pathological input can spend in error recovery.
+class DiagnosticSink {
+ public:
+  static constexpr std::size_t kDefaultMaxErrors = 100;
+
+  explicit DiagnosticSink(std::size_t max_errors = kDefaultMaxErrors)
+      : max_errors_(max_errors == 0 ? 1 : max_errors) {}
+
+  void report(Diagnostic diagnostic);
+
+  /// Convenience: report an error / warning built from parts.
+  void error(ErrorKind kind, std::string message, SourceLocation location = {},
+             std::string block_path = {});
+  void warning(ErrorKind kind, std::string message,
+               SourceLocation location = {}, std::string block_path = {});
+
+  /// Records a caught ftsynth::Error (location recovered from ParseError).
+  void error_from(const Error& error, std::string block_path = {});
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  std::size_t error_count() const noexcept { return error_count_; }
+  std::size_t warning_count() const noexcept {
+    return diagnostics_.size() - kept_errors_;
+  }
+  bool has_errors() const noexcept { return error_count_ > 0; }
+  bool empty() const noexcept { return diagnostics_.empty(); }
+
+  /// True once the error cap is reached; producers should give up on
+  /// recovery and synchronise to the end of their input.
+  bool saturated() const noexcept { return kept_errors_ >= max_errors_; }
+
+  /// Errors reported past the cap (counted, not stored).
+  std::size_t dropped() const noexcept { return error_count_ - kept_errors_; }
+
+  /// First error diagnostic, or nullptr when there is none.
+  const Diagnostic* first_error() const noexcept;
+
+  /// ErrorKind of the first error (used for exit-code mapping);
+  /// ErrorKind::kInternal when there are no errors.
+  ErrorKind first_error_kind() const noexcept;
+
+  /// Renders all diagnostics as a boxed text table
+  /// (severity | location | kind | where | message), with a trailing count
+  /// summary line. Empty string when the sink is empty.
+  std::string render_table() const;
+
+ private:
+  std::size_t max_errors_;
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;  ///< including dropped
+  std::size_t kept_errors_ = 0;
+};
+
+}  // namespace ftsynth

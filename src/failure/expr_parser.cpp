@@ -9,6 +9,22 @@ namespace ftsynth {
 
 namespace {
 
+/// Parenthesis / NOT nesting ceiling: adversarial expressions (a 10k-deep
+/// "((((..." chain) must fail with a located ParseError instead of
+/// exhausting the parser's stack.
+constexpr int kMaxExprDepth = 500;
+
+/// Builds and throws the located ParseError for an expression problem:
+/// line from the source context, 1-based column into the expression text,
+/// and the owning block named in the message.
+[[noreturn]] void raise(const ExprSource& source, std::string message,
+                        int column) {
+  if (!source.block_path.empty())
+    message += " (in annotation of '" + source.block_path + "')";
+  throw ParseError(std::move(message), source.line > 0 ? source.line : 1,
+                   column);
+}
+
 enum class TokenKind {
   kIdent, kLParen, kRParen, kHyphen, kAnd, kOr, kNot,
   kComma, kColon, kInteger, kEnd
@@ -22,7 +38,8 @@ struct Token {
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view text) : text_(text) {}
+  Lexer(std::string_view text, const ExprSource& source)
+      : text_(text), source_(source) {}
 
   Token next() {
     skip_space();
@@ -76,9 +93,10 @@ class Lexer {
       if (iequals(word, "NOT")) return {TokenKind::kNot, word, column};
       return {TokenKind::kIdent, word, column};
     }
-    throw ParseError(
-        "unexpected character '" + std::string(1, c) + "' in failure expression",
-        1, column);
+    raise(source_,
+          "unexpected character '" + std::string(1, c) +
+              "' in failure expression",
+          column);
   }
 
  private:
@@ -89,13 +107,15 @@ class Lexer {
   }
 
   std::string_view text_;
+  const ExprSource& source_;
   std::size_t pos_ = 0;
 };
 
 class Parser {
  public:
-  Parser(std::string_view text, const FailureClassRegistry& registry)
-      : lexer_(text), registry_(registry) {
+  Parser(std::string_view text, const FailureClassRegistry& registry,
+         const ExprSource& source)
+      : lexer_(text, source), registry_(registry), source_(source) {
     advance();
   }
 
@@ -138,18 +158,26 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
+    if (++depth_ > kMaxExprDepth) {
+      raise(source_,
+            "failure expression nested deeper than " +
+                std::to_string(kMaxExprDepth) + " levels",
+            current_.column);
+    }
+    ExprPtr result;
     if (current_.kind == TokenKind::kNot) {
       advance();
-      return Expr::make_not(parse_unary());
-    }
-    if (current_.kind == TokenKind::kLParen) {
+      result = Expr::make_not(parse_unary());
+    } else if (current_.kind == TokenKind::kLParen) {
       advance();
-      ExprPtr inner = parse_or();
+      result = parse_or();
       expect(TokenKind::kRParen, "')'");
       advance();
-      return inner;
+    } else {
+      result = parse_atom();
     }
-    return parse_atom();
+    --depth_;
+    return result;
   }
 
   ExprPtr parse_atom() {
@@ -191,9 +219,10 @@ class Parser {
                            const Token& port_token) const {
     auto cls = registry_.find(class_token.text);
     if (!cls) {
-      throw ParseError("unknown failure class '" + std::string(class_token.text) +
-                           "' in deviation",
-                       1, class_token.column);
+      raise(source_,
+            "unknown failure class '" + std::string(class_token.text) +
+                "' in deviation",
+            class_token.column);
     }
     return Deviation{*cls, Symbol(port_token.text)};
   }
@@ -205,26 +234,29 @@ class Parser {
       std::string got = current_.kind == TokenKind::kEnd
                             ? "end of input"
                             : "'" + std::string(current_.text) + "'";
-      throw ParseError("expected " + what + ", got " + got, 1,
-                       current_.column);
+      raise(source_, "expected " + what + ", got " + got, current_.column);
     }
   }
 
   Lexer lexer_;
   const FailureClassRegistry& registry_;
+  const ExprSource& source_;
   Token current_{TokenKind::kEnd, {}, 0};
+  int depth_ = 0;
 };
 
 }  // namespace
 
 ExprPtr parse_expression(std::string_view text,
-                         const FailureClassRegistry& registry) {
-  return Parser(text, registry).parse();
+                         const FailureClassRegistry& registry,
+                         const ExprSource& source) {
+  return Parser(text, registry, source).parse();
 }
 
 Deviation parse_deviation(std::string_view text,
-                          const FailureClassRegistry& registry) {
-  return Parser(text, registry).parse_single_deviation();
+                          const FailureClassRegistry& registry,
+                          const ExprSource& source) {
+  return Parser(text, registry, source).parse_single_deviation();
 }
 
 }  // namespace ftsynth

@@ -28,14 +28,28 @@
 
 namespace ftsynth {
 
+/// Source context threaded into expression parse errors, so a malformed
+/// annotation surfaces with a usable location ("where in the model file")
+/// and owner ("which block") instead of a bare column.
+struct ExprSource {
+  int line = 0;            ///< 1-based line of the expression text; 0 unknown
+  std::string block_path;  ///< owning block's hierarchical path, if any
+};
+
 /// Parses `text` into an expression; throws ParseError on syntax errors and
-/// on deviations whose failure class is not in `registry`.
+/// on deviations whose failure class is not in `registry`. The error's
+/// line is taken from `source` (column is the 1-based offset into `text`),
+/// and its message names `source.block_path` when present. Expressions
+/// nested deeper than an internal guard (parentheses / NOT chains) are
+/// rejected with a ParseError rather than risking stack exhaustion.
 ExprPtr parse_expression(std::string_view text,
-                         const FailureClassRegistry& registry);
+                         const FailureClassRegistry& registry,
+                         const ExprSource& source = {});
 
 /// Parses a single deviation in "Class-port" notation (used for top-event
 /// specifications); throws ParseError if `text` is not exactly a deviation.
 Deviation parse_deviation(std::string_view text,
-                          const FailureClassRegistry& registry);
+                          const FailureClassRegistry& registry,
+                          const ExprSource& source = {});
 
 }  // namespace ftsynth

@@ -50,6 +50,7 @@ class Run {
         options_(options),
         stats_(stats),
         tree_(tree),
+        budget_(options.budget),
         omission_(model.registry().omission()) {
     // One model walk up front turns every per-port lookup into O(1); the
     // naive connection scan made synthesis quadratic on flat models.
@@ -70,6 +71,13 @@ class Run {
                                    ChannelRange range, FailureClass cls) {
     // Inner propagation: through the Outport proxy of the same name.
     const Block* proxy = subsystem.find_child(port.name());
+    if (options_.sink != nullptr &&
+        (proxy == nullptr || proxy->kind() != BlockKind::kOutport ||
+         proxy->inputs().size() != 1)) {
+      // Partial model (recovered parse): the proxy is missing or mangled.
+      return degraded(Deviation{cls, port.name()}, subsystem.path(),
+                      "missing Outport proxy for " + port.qualified_name());
+    }
     check_internal(proxy != nullptr && proxy->kind() == BlockKind::kOutport,
                    "missing Outport proxy for " + port.qualified_name());
     std::vector<Port*> proxy_inputs = proxy->inputs();
@@ -136,6 +144,47 @@ class Run {
     return Deviation{cls, port}.to_string() + " at " + where;
   }
 
+  // -- Degraded mode and resource budget ---------------------------------------
+
+  /// Degraded-mode cut: records a warning diagnostic and stands in an
+  /// explicitly-marked undeveloped event for the unresolvable deviation.
+  /// Only called when options_.sink is set.
+  FtNode* degraded(const Deviation& deviation, const std::string& where,
+                   const std::string& why) {
+    ++stats_.degraded;
+    options_.sink->warning(ErrorKind::kAnalysis,
+                           deviation.to_string() + " left undeveloped: " + why,
+                           {}, where);
+    return tree_.add_undeveloped(
+        Symbol("und:" + deviation.to_string() + "@" + where),
+        deviation.to_string() + " at " + where + " left undeveloped (" + why +
+            ")",
+        where);
+  }
+
+  /// Budget cut: the traversal hit a resource limit. The cut point becomes
+  /// a distinct "und:budget:" undeveloped leaf so truncated regions are
+  /// visible in the tree; the (first) violation is reported once.
+  FtNode* budget_cut(const Port& port, FailureClass cls, const char* why,
+                     bool& flag) {
+    if (!flag) {
+      flag = true;
+      if (options_.sink != nullptr) {
+        options_.sink->warning(
+            ErrorKind::kAnalysis,
+            std::string("synthesis ") + why +
+                "; the fault tree is truncated at marked undeveloped events",
+            {}, port.owner().path());
+      }
+    }
+    const Deviation d{cls, port.name()};
+    return tree_.add_undeveloped(
+        Symbol("und:budget:" + d.to_string() + "@" + port.owner().path()),
+        d.to_string() + " truncated at " + port.owner().path() + " (" + why +
+            ")",
+        port.owner().path());
+  }
+
   // -- Expression conversion ---------------------------------------------------
 
   /// Converts a local failure expression of `block` into fault tree nodes:
@@ -161,11 +210,25 @@ class Run {
       }
       case ExprOp::kDeviation: {
         const Deviation& d = expr.deviation();
-        const Port& port = block.port(d.port);
-        require(port.is_input(), ErrorKind::kAnalysis,
-                "cause expression of '" + block.path() +
-                    "' references non-input deviation " + d.to_string());
-        return resolve_input(port, ChannelRange::whole(), d.failure_class);
+        const Port* port = block.find_port(d.port);
+        if (port == nullptr || !port->is_input()) {
+          const std::string why =
+              port == nullptr
+                  ? "cause expression references unknown port '" +
+                        d.port.str() + "'"
+                  : "cause expression references non-input deviation " +
+                        d.to_string();
+          if (options_.sink != nullptr) return degraded(d, block.path(), why);
+          require(port != nullptr, ErrorKind::kLookup,
+                  "block '" + block.path() + "' has no port '" +
+                      d.port.str() + "'");
+          throw Error(ErrorKind::kAnalysis, "cause expression of '" +
+                                                block.path() +
+                                                "' references non-input "
+                                                "deviation " +
+                                                d.to_string());
+        }
+        return resolve_input(*port, ChannelRange::whole(), d.failure_class);
       }
       case ExprOp::kNot:
         return make_not(convert(*expr.children().front(), block),
@@ -292,6 +355,23 @@ class Run {
   /// it. Memoised; cycles are cut here.
   FtNode* resolve_output(const Port& port, ChannelRange range,
                          FailureClass cls) {
+    // Resource guards: a deadline or depth violation cuts the traversal
+    // with a marked undeveloped leaf instead of running away (or blowing
+    // the stack). Cut results are never memoised -- they bypass the memo
+    // entirely.
+    if (budget_.poll()) {
+      return budget_cut(port, cls, "exceeded its deadline",
+                        stats_.budget.deadline_exceeded);
+    }
+    if (stack_.size() >= budget_.max_depth) {
+      return budget_cut(port, cls, "hit the traversal depth limit",
+                        stats_.budget.depth_limited);
+    }
+    if (budget_.max_nodes != 0 && tree_.nodes().size() >= budget_.max_nodes) {
+      return budget_cut(port, cls, "hit the fault-tree node ceiling",
+                        stats_.budget.truncated);
+    }
+
     Key key{&port, range.concrete(port.width()), cls};
     ++stats_.resolutions;
 
@@ -403,6 +483,10 @@ class Run {
       case SynthesisOptions::UnannotatedPolicy::kPrune:
         return nullptr;
       case SynthesisOptions::UnannotatedPolicy::kError:
+        if (options_.sink != nullptr) {
+          return degraded(deviation, block.path(),
+                          "no hazard-analysis row covers it");
+        }
         throw Error(ErrorKind::kAnalysis,
                     "component '" + block.path() +
                         "' has no hazard-analysis row for " +
@@ -458,6 +542,11 @@ class Run {
       offset += output->width();
     }
     std::vector<Port*> inputs = block.inputs();
+    if (options_.sink != nullptr && inputs.size() != 1) {
+      // Partial model: the demux lost its input port during recovery.
+      return degraded(Deviation{cls, port.name()}, block.path(),
+                      "malformed Demux (expected exactly one input)");
+    }
     check_internal(inputs.size() == 1, "malformed demux");
     return resolve_input(*inputs.front(),
                          ChannelRange::slice(offset + r.lo, offset + r.hi),
@@ -483,6 +572,12 @@ class Run {
     std::vector<FtNode*> children;
     for (const Block* writer : writers) {
       std::vector<Port*> inputs = writer->inputs();
+      if (options_.sink != nullptr && inputs.size() != 1) {
+        children.push_back(degraded(Deviation{cls, Symbol("in")},
+                                    writer->path(),
+                                    "malformed DataStoreWrite"));
+        continue;
+      }
       check_internal(inputs.size() == 1, "malformed DataStoreWrite");
       children.push_back(
           resolve_input(*inputs.front(), ChannelRange::whole(), cls));
@@ -496,6 +591,7 @@ class Run {
   const SynthesisOptions& options_;
   SynthesisStats& stats_;
   FaultTree& tree_;
+  Budget budget_;  ///< run-local copy: the deadline tick is per-traversal
   FailureClass omission_;
 
   std::unordered_map<Key, FtNode*, KeyHash> memo_;

@@ -29,6 +29,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/budget.h"
+#include "core/diagnostics.h"
 #include "fta/fault_tree.h"
 #include "model/model.h"
 
@@ -79,6 +81,20 @@ struct SynthesisOptions {
   /// the result, collapsing identical subtrees that escaped memoisation
   /// (loop-cut regions are deliberately not memoised). Semantics-neutral.
   bool deduplicate = true;
+
+  /// Degraded-mode synthesis: when a sink is given, an unresolvable
+  /// propagation (a cause referencing a missing or non-input port, an
+  /// unannotated deviation under UnannotatedPolicy::kError) becomes an
+  /// explicitly-marked UndevelopedEvent leaf plus a diagnostic, instead of
+  /// aborting the traversal -- the tree completes and stays analyzable.
+  /// Not owned; null restores the historical fail-fast behaviour.
+  DiagnosticSink* sink = nullptr;
+
+  /// Resource guard for the backward traversal: recursion depth ceiling,
+  /// optional fault-tree node ceiling, optional wall-clock deadline.
+  /// Violations cut the traversal with marked undeveloped leaves and are
+  /// summarised in stats().budget (plus warnings on `sink` when set).
+  Budget budget{};
 };
 
 /// Counters from the most recent synthesise() call.
@@ -86,6 +102,8 @@ struct SynthesisStats {
   std::size_t resolutions = 0;  ///< (port, channels, class) targets resolved
   std::size_t cache_hits = 0;
   std::size_t loops_cut = 0;
+  std::size_t degraded = 0;     ///< unresolvable propagations made undeveloped
+  BudgetReport budget;          ///< which resource limits fired, if any
 };
 
 /// Name of the condition event synthesised for a data-dependent annotation

@@ -47,9 +47,10 @@ bool is_number_start(char c) noexcept {
          c == '.';
 }
 
-}  // namespace
-
-std::vector<Token> tokenize(std::string_view text) {
+/// One lexer body for both modes: `sink == nullptr` throws on the first
+/// malformed byte (the historical fail-fast contract), a sink records a
+/// diagnostic and keeps lexing.
+std::vector<Token> tokenize_impl(std::string_view text, DiagnosticSink* sink) {
   std::vector<Token> tokens;
   Cursor cursor(text);
   while (!cursor.done()) {
@@ -103,8 +104,12 @@ std::vector<Token> tokenize(std::string_view text) {
         }
         value += d;
       }
-      if (!closed)
-        throw ParseError("unterminated string literal", line, column);
+      if (!closed) {
+        if (sink == nullptr)
+          throw ParseError("unterminated string literal", line, column);
+        sink->error(ErrorKind::kParse, "unterminated string literal",
+                    {line, column});
+      }
       tokens.push_back({TokenKind::kString, std::move(value), line, column});
       continue;
     }
@@ -126,11 +131,27 @@ std::vector<Token> tokenize(std::string_view text) {
       tokens.push_back({TokenKind::kNumber, std::move(number), line, column});
       continue;
     }
-    throw ParseError("unexpected character '" + std::string(1, c) + "'", line,
-                     column);
+    if (sink == nullptr) {
+      throw ParseError("unexpected character '" + std::string(1, c) + "'",
+                       line, column);
+    }
+    sink->error(ErrorKind::kParse,
+                "unexpected character '" + std::string(1, c) + "'",
+                {line, column});
+    cursor.take();  // skip the offending byte and resume
   }
   tokens.push_back({TokenKind::kEnd, "", cursor.line(), cursor.column()});
   return tokens;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) {
+  return tokenize_impl(text, nullptr);
+}
+
+std::vector<Token> tokenize(std::string_view text, DiagnosticSink& sink) {
+  return tokenize_impl(text, &sink);
 }
 
 }  // namespace ftsynth::mdl

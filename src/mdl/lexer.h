@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/diagnostics.h"
+
 namespace ftsynth::mdl {
 
 enum class TokenKind { kIdent, kString, kNumber, kLBrace, kRBrace, kEnd };
@@ -23,5 +25,11 @@ struct Token {
 /// (unterminated string, stray character). The result always ends with a
 /// kEnd token.
 std::vector<Token> tokenize(std::string_view text);
+
+/// Recovering variant: malformed input is reported to `sink` and skipped
+/// (a stray character is dropped, an unterminated string yields the text
+/// collected so far), so lexing always reaches the end of the input. The
+/// result still ends with a kEnd token.
+std::vector<Token> tokenize(std::string_view text, DiagnosticSink& sink);
 
 }  // namespace ftsynth::mdl

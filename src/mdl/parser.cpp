@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "core/diagnostics.h"
 #include "core/error.h"
 #include "core/strings.h"
 #include "mdl/lexer.h"
@@ -18,6 +19,12 @@ namespace {
 
 using mdl::Token;
 using mdl::TokenKind;
+
+/// Nesting ceiling for the recursive-descent DOM parser (and hence for the
+/// interpreter, whose recursion mirrors the DOM). Real models nest a few
+/// dozen levels; an adversarial 100k-level `Block {` chain must become a
+/// diagnostic, not a stack overflow.
+constexpr int kMaxNesting = 256;
 
 // -- DOM -----------------------------------------------------------------------
 
@@ -38,10 +45,9 @@ struct Section {
   std::string get(std::string_view key) const {
     const std::string* value = find(key);
     if (value == nullptr) {
-      throw Error(ErrorKind::kParse,
-                  "section '" + name + "' (line " + std::to_string(line) +
-                      ") is missing required attribute '" + std::string(key) +
-                      "'");
+      throw ParseError("section '" + name + "' is missing required attribute '" +
+                           std::string(key) + "'",
+                       line, 1);
     }
     return *value;
   }
@@ -57,10 +63,9 @@ struct Section {
     char* end = nullptr;
     double parsed = std::strtod(value->c_str(), &end);
     if (end == nullptr || *end != '\0') {
-      throw Error(ErrorKind::kParse, "attribute '" + std::string(key) +
-                                         "' of section '" + name +
-                                         "' is not a number: '" + *value +
-                                         "'");
+      throw ParseError("attribute '" + std::string(key) + "' of section '" +
+                           name + "' is not a number: '" + *value + "'",
+                       line, 1);
     }
     return parsed;
   }
@@ -71,66 +76,155 @@ struct Section {
 };
 
 /// Builds the section DOM from the token stream.
+///
+/// With a DiagnosticSink the parser runs in panic-mode recovery: an
+/// unexpected token is reported once, then the parser synchronises -- it
+/// skips ahead to the next '}' (ending the current section) or the next
+/// identifier that can start an attribute or section -- and resumes. One
+/// run therefore reports many independent errors. Without a sink the first
+/// error throws ParseError (the historical fail-fast contract).
 class DomParser {
  public:
-  explicit DomParser(std::vector<Token> tokens)
-      : tokens_(std::move(tokens)) {}
+  DomParser(std::vector<Token> tokens, DiagnosticSink* sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
 
-  Section parse_root() {
-    Section root = parse_section();
-    expect(TokenKind::kEnd, "end of file");
+  /// Parses the single top-level section. In recovery mode returns
+  /// std::nullopt when not even a section header could be found.
+  std::optional<Section> parse_root() {
+    if (current().kind != TokenKind::kIdent) {
+      fail("expected section name, got " + describe(current()),
+           current().line, current().column);
+      return std::nullopt;  // recovery: nothing to build on
+    }
+    Section root = parse_section(1);
+    if (current().kind != TokenKind::kEnd) {
+      fail("expected end of file, got " + describe(current()),
+           current().line, current().column);
+      // Recovery: ignore trailing garbage.
+    }
     return root;
   }
 
  private:
+  static std::string describe(const Token& token) {
+    return token.kind == TokenKind::kEnd ? "end of file"
+                                         : "'" + token.text + "'";
+  }
+
   const Token& current() const { return tokens_[pos_]; }
+  const Token& lookahead() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : tokens_.size() - 1];
+  }
   void advance() {
     if (current().kind != TokenKind::kEnd) ++pos_;
   }
 
-  void expect(TokenKind kind, const std::string& what) const {
-    if (current().kind != kind) {
-      throw ParseError("expected " + what + ", got '" + current().text + "'",
-                       current().line, current().column);
+  /// Reports one parse error; throws in fail-fast mode, records and
+  /// returns in recovery mode (the caller then synchronises).
+  void fail(const std::string& message, int line, int column) {
+    if (sink_ == nullptr) throw ParseError(message, line, column);
+    if (!sink_->saturated()) {
+      sink_->error(ErrorKind::kParse, message, {line, column});
     }
   }
 
-  Section parse_section() {
-    expect(TokenKind::kIdent, "section name");
+  /// Panic-mode synchronisation: skips at least one token, then stops at a
+  /// '}' (section end, left for the caller), an identifier (a plausible
+  /// attribute/section start) or the end of input.
+  void synchronize() {
+    advance();
+    while (current().kind != TokenKind::kEnd &&
+           current().kind != TokenKind::kRBrace &&
+           current().kind != TokenKind::kIdent) {
+      advance();
+    }
+  }
+
+  /// Skips a balanced `{ ... }` body whose '{' is the current token (used
+  /// to step over over-deep nesting without recursing into it).
+  void skip_balanced_body() {
+    int depth = 0;
+    do {
+      if (current().kind == TokenKind::kLBrace) ++depth;
+      if (current().kind == TokenKind::kRBrace) --depth;
+      if (current().kind == TokenKind::kEnd) return;
+      advance();
+    } while (depth > 0);
+  }
+
+  /// Parses `IDENT { ... }`; the caller guarantees current() is the IDENT.
+  Section parse_section(int depth) {
     Section section;
     section.name = current().text;
     section.line = current().line;
     advance();
-    expect(TokenKind::kLBrace, "'{'");
-    advance();
-    while (current().kind != TokenKind::kRBrace) {
-      expect(TokenKind::kIdent, "attribute or section name");
-      // Lookahead decides: IDENT '{' is a nested section, otherwise an
-      // attribute with a value token.
-      if (tokens_[pos_ + 1].kind == TokenKind::kLBrace) {
-        section.children.push_back(parse_section());
-        continue;
-      }
-      std::string key = current().text;
-      advance();
+    if (current().kind != TokenKind::kLBrace) {
+      fail("expected '{' after section name '" + section.name + "'",
+           current().line, current().column);
+      synchronize();
+      return section;
+    }
+    if (depth > kMaxNesting) {
+      fail("sections nested deeper than " + std::to_string(kMaxNesting) +
+               " levels (section '" + section.name + "')",
+           current().line, current().column);
+      skip_balanced_body();
+      return section;
+    }
+    advance();  // '{'
+    while (true) {
       switch (current().kind) {
-        case TokenKind::kString:
-        case TokenKind::kNumber:
-        case TokenKind::kIdent:
-          section.attrs.emplace_back(std::move(key), current().text);
+        case TokenKind::kRBrace:
           advance();
-          break;
+          return section;
+        case TokenKind::kEnd:
+          fail("missing '}' for section '" + section.name +
+                   "' opened at line " + std::to_string(section.line),
+               current().line, current().column);
+          return section;
+        case TokenKind::kIdent: {
+          if (lookahead().kind == TokenKind::kLBrace) {
+            section.children.push_back(parse_section(depth + 1));
+            continue;
+          }
+          std::string key = current().text;
+          advance();
+          switch (current().kind) {
+            case TokenKind::kString:
+            case TokenKind::kNumber:
+            case TokenKind::kIdent:
+              section.attrs.emplace_back(std::move(key), current().text);
+              advance();
+              break;
+            default:
+              fail("expected a value after attribute '" + key + "'",
+                   current().line, current().column);
+              // The offending token is often the section's own '}' or the
+              // next attribute name: leave those to the section loop and
+              // skip only genuine junk, so one missing value does not
+              // derail the nesting of everything after it.
+              if (current().kind != TokenKind::kRBrace &&
+                  current().kind != TokenKind::kIdent &&
+                  current().kind != TokenKind::kEnd) {
+                synchronize();
+              }
+              break;
+          }
+          continue;
+        }
         default:
-          throw ParseError("expected a value after attribute '" + key + "'",
-                           current().line, current().column);
+          fail("expected attribute or section name, got " +
+                   describe(current()),
+               current().line, current().column);
+          synchronize();
+          continue;
       }
     }
-    advance();  // '}'
-    return section;
   }
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  DiagnosticSink* sink_;
 };
 
 // -- Interpretation --------------------------------------------------------------
@@ -162,27 +256,91 @@ std::optional<BlockKind> parse_block_kind(const std::string& text) {
 
 class Interpreter {
  public:
-  Interpreter(const Section& root, bool validated)
-      : root_(root), builder_(root.get("Name")), validated_(validated) {}
+  /// `sink == nullptr`: fail-fast (the first interpretation error throws).
+  /// With a sink, malformed entities -- a block with an unknown type, an
+  /// annotation whose cause does not parse, a dangling line -- are reported
+  /// and skipped, and interpretation continues with the rest of the model.
+  Interpreter(const Section& root, DiagnosticSink* sink)
+      : root_(root), builder_(initial_name(root, sink)), sink_(sink) {}
 
-  Model run() {
-    require(root_.name == "Model", ErrorKind::kParse,
-            "top-level section must be 'Model', got '" + root_.name + "'");
+  Model run(bool validated) {
+    if (root_.name != "Model") {
+      recoverable_error("top-level section must be 'Model', got '" +
+                            root_.name + "'",
+                        root_.line);
+    }
+    if (root_.find("Name") == nullptr) {
+      recoverable_error("Model section is missing required attribute 'Name'",
+                        root_.line);
+    }
     for (const Section& child : root_.children) {
       if (child.name == "FailureClass") {
-        builder_.registry().add(
-            child.get("Name"),
-            parse_category(child.get("Category"), child.line));
+        guard(child, [&] {
+          builder_.registry().add(
+              child.get("Name"),
+              parse_category(child.get("Category"), child.line));
+        });
       }
     }
     const Section* system = find_child(root_, "System");
-    require(system != nullptr, ErrorKind::kParse,
-            "Model section needs a System section");
+    if (system == nullptr) {
+      recoverable_error("Model section needs a System section", root_.line);
+      return builder_.take_unchecked();
+    }
     interpret_system(*system, builder_.root());
-    return validated_ ? builder_.take() : builder_.take_unchecked();
+    return validated ? builder_.take() : builder_.take_unchecked();
   }
 
  private:
+  /// The Model constructor rejects non-identifier names, which would abort
+  /// recovery before it starts; substitute a placeholder (the missing /
+  /// broken attribute is diagnosed separately) so interpretation proceeds.
+  static std::string initial_name(const Section& root, DiagnosticSink* sink) {
+    const std::string* name = root.find("Name");
+    std::string value = name != nullptr ? *name : std::string("(unnamed)");
+    if (sink != nullptr && !is_identifier(value)) {
+      if (name != nullptr) {
+        sink->error(ErrorKind::kModel,
+                    "model name must be an identifier: '" + value + "'",
+                    {root.line, 1});
+      }
+      value = "unnamed";
+    }
+    return value;
+  }
+
+  /// Reports a problem that recovery can survive: throws without a sink,
+  /// records and returns with one.
+  void recoverable_error(const std::string& message, int line) {
+    if (sink_ == nullptr) throw ParseError(message, line, 1);
+    sink_->error(ErrorKind::kParse, message, {line, 1});
+  }
+
+  /// Runs `body`; in recovery mode an Error is reported against `section`
+  /// (and the entity skipped) instead of propagating. Returns false when
+  /// the body failed.
+  template <typename Body>
+  bool guard(const Section& section, Body body,
+             const std::string& block_path = {}) {
+    if (sink_ == nullptr) {
+      body();
+      return true;
+    }
+    try {
+      body();
+      return true;
+    } catch (const Error& error) {
+      SourceLocation location{section.line, 1};
+      if (const auto* parse = dynamic_cast<const ParseError*>(&error);
+          parse != nullptr && parse->line() > 0) {
+        location = {parse->line(), parse->column()};
+      }
+      sink_->report({Severity::kError, error.kind(), location, block_path,
+                     error.what()});
+      return false;
+    }
+  }
+
   static const Section* find_child(const Section& section,
                                    std::string_view name) {
     for (const Section& child : section.children) {
@@ -193,12 +351,20 @@ class Interpreter {
 
   void interpret_system(const Section& system, Block& parent) {
     for (const Section& child : system.children) {
-      if (child.name == "Block") interpret_block(child, parent);
+      if (child.name == "Block") {
+        guard(child, [&] { interpret_block(child, parent); }, parent.path());
+      }
     }
     // Lines second: every endpoint now exists.
     for (const Section& child : system.children) {
-      if (child.name == "Line")
-        builder_.connect(parent, child.get("Src"), child.get("Dst"));
+      if (child.name == "Line") {
+        guard(
+            child,
+            [&] {
+              builder_.connect(parent, child.get("Src"), child.get("Dst"));
+            },
+            parent.path());
+      }
     }
   }
 
@@ -257,19 +423,33 @@ class Interpreter {
     block->set_description(section.get_or("Description", ""));
 
     // Annotations last: ports (and, for subsystems, boundary proxies)
-    // exist by now.
+    // exist by now. Each row recovers independently: one malformed cause
+    // expression costs that row (synthesis then derives an undeveloped
+    // event for the unexplained deviation), not the block or the model.
     for (const Section& child : section.children) {
       if (child.name == "Malfunction") {
-        builder_.malfunction(*block, child.get("Name"),
-                             child.get_number("Rate", 0.0),
-                             child.get_or("Description", ""));
+        guard(
+            child,
+            [&] {
+              builder_.malfunction(*block, child.get("Name"),
+                                   child.get_number("Rate", 0.0),
+                                   child.get_or("Description", ""));
+            },
+            block->path());
       }
     }
     for (const Section& child : section.children) {
       if (child.name == "FailureRow") {
-        builder_.annotate(*block, child.get("Output"), child.get("Cause"),
-                          child.get_or("Description", ""),
-                          child.get_number("Condition", 1.0));
+        guard(
+            child,
+            [&] {
+              builder_.annotate(*block, child.get("Output"),
+                                child.get("Cause"),
+                                child.get_or("Description", ""),
+                                child.get_number("Condition", 1.0),
+                                child.line);
+            },
+            block->path());
       }
     }
   }
@@ -277,46 +457,78 @@ class Interpreter {
   void add_ports(const Section& section, Block& block) {
     for (const Section& child : section.children) {
       if (child.name != "Port" && child.name != "Trigger") continue;
-      const bool is_trigger =
-          child.name == "Trigger" || iequals(child.get_or("Trigger", "off"), "on");
-      const std::string direction_text =
-          child.get_or("Direction", is_trigger ? "input" : "");
-      PortDirection direction;
-      if (iequals(direction_text, "input")) {
-        direction = PortDirection::kInput;
-      } else if (iequals(direction_text, "output")) {
-        direction = PortDirection::kOutput;
-      } else {
-        throw ParseError("Port section needs Direction \"input\" or "
-                         "\"output\"",
-                         child.line, 1);
-      }
-      block.add_port(Symbol(child.get("Name")), direction,
-                     parse_flow(child.get_or("Flow", "data"), child.line),
-                     child.get_int("Width", 1), is_trigger);
+      guard(
+          child,
+          [&] {
+            const bool is_trigger =
+                child.name == "Trigger" ||
+                iequals(child.get_or("Trigger", "off"), "on");
+            const std::string direction_text =
+                child.get_or("Direction", is_trigger ? "input" : "");
+            PortDirection direction;
+            if (iequals(direction_text, "input")) {
+              direction = PortDirection::kInput;
+            } else if (iequals(direction_text, "output")) {
+              direction = PortDirection::kOutput;
+            } else {
+              throw ParseError("Port section needs Direction \"input\" or "
+                               "\"output\"",
+                               child.line, 1);
+            }
+            block.add_port(Symbol(child.get("Name")), direction,
+                           parse_flow(child.get_or("Flow", "data"),
+                                      child.line),
+                           child.get_int("Width", 1), is_trigger);
+          },
+          block.path());
     }
   }
 
   const Section& root_;
   ModelBuilder builder_;
-  bool validated_;
+  DiagnosticSink* sink_;
 };
 
-}  // namespace
-
-Model parse_mdl(std::string_view text, bool validated) {
-  DomParser dom(mdl::tokenize(text));
-  Section root = dom.parse_root();
-  return Interpreter(root, validated).run();
-}
-
-Model parse_mdl_file(const std::string& path, bool validated) {
+std::string read_file_or_throw(const std::string& path) {
   std::ifstream file(path);
   require(file.good(), ErrorKind::kParse,
           "cannot open model file '" + path + "'");
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return parse_mdl(buffer.str(), validated);
+  return buffer.str();
+}
+
+}  // namespace
+
+Model parse_mdl(std::string_view text, bool validated) {
+  DomParser dom(mdl::tokenize(text), nullptr);
+  std::optional<Section> root = dom.parse_root();
+  check_internal(root.has_value(), "fail-fast DOM parse returned no root");
+  return Interpreter(*root, nullptr).run(validated);
+}
+
+Model parse_mdl(std::string_view text, DiagnosticSink& sink) {
+  DomParser dom(mdl::tokenize(text, sink), &sink);
+  std::optional<Section> root = dom.parse_root();
+  Model model = root.has_value()
+                    ? Interpreter(*root, &sink).run(/*validated=*/false)
+                    : ModelBuilder("(invalid)").take_unchecked();
+  // Structural validation becomes diagnostics too: the partial model is
+  // returned regardless, and the caller decides how much brokenness to
+  // tolerate.
+  for (const Issue& issue : validate(model)) {
+    sink.report({issue.severity, ErrorKind::kModel, {}, issue.block_path,
+                 issue.message});
+  }
+  return model;
+}
+
+Model parse_mdl_file(const std::string& path, bool validated) {
+  return parse_mdl(read_file_or_throw(path), validated);
+}
+
+Model parse_mdl_file(const std::string& path, DiagnosticSink& sink) {
+  return parse_mdl(read_file_or_throw(path), sink);
 }
 
 }  // namespace ftsynth

@@ -44,6 +44,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/diagnostics.h"
 #include "model/model.h"
 
 namespace ftsynth {
@@ -57,5 +58,20 @@ Model parse_mdl(std::string_view text, bool validated = true);
 
 /// Reads and parses `path`; throws ErrorKind::kParse when unreadable.
 Model parse_mdl_file(const std::string& path, bool validated = true);
+
+/// Error-recovering parse: instead of throwing on the first problem, the
+/// lexer and parser run in panic-mode recovery -- each syntax error is
+/// reported to `sink` with its source location, the parser synchronises on
+/// the next '}' or section keyword, and parsing continues. Malformed
+/// blocks, annotations and lines are likewise skipped with a diagnostic
+/// instead of aborting the run, so one pass reports *every* problem and
+/// still yields the partial model built from the healthy parts. Structural
+/// validation issues are appended to `sink` as kModel diagnostics
+/// (warnings stay warnings). Only I/O failures still throw.
+Model parse_mdl(std::string_view text, DiagnosticSink& sink);
+
+/// Reads and parses `path` with error recovery; throws ErrorKind::kParse
+/// only when the file is unreadable.
+Model parse_mdl_file(const std::string& path, DiagnosticSink& sink);
 
 }  // namespace ftsynth

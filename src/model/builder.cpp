@@ -161,9 +161,10 @@ void ModelBuilder::malfunction(Block& block, std::string_view name,
 
 void ModelBuilder::annotate(Block& block, std::string_view output,
                             std::string_view cause, std::string description,
-                            double condition_probability) {
-  Deviation deviation = parse_deviation(output, model_.registry());
-  ExprPtr expr = parse_expression(cause, model_.registry());
+                            double condition_probability, int line) {
+  const ExprSource source{line, block.path()};
+  Deviation deviation = parse_deviation(output, model_.registry(), source);
+  ExprPtr expr = parse_expression(cause, model_.registry(), source);
   block.annotation().add_row(deviation, std::move(expr),
                              std::move(description), condition_probability);
 }

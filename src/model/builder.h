@@ -101,10 +101,12 @@ class ModelBuilder {
   /// Adds a hazard-analysis row: `output` in "Class-port" notation, `cause`
   /// in the Figure 2 expression notation, both parsed against the model's
   /// failure-class registry. `condition_probability` < 1 marks the row as
-  /// data-dependent (see failure/annotation.h).
+  /// data-dependent (see failure/annotation.h). Parse errors carry the
+  /// block's hierarchical path, plus `line` (the row's 1-based line in the
+  /// source model file) when the caller knows it.
   void annotate(Block& block, std::string_view output, std::string_view cause,
                 std::string description = {},
-                double condition_probability = 1.0);
+                double condition_probability = 1.0, int line = 0);
 
   // -- Finalisation ------------------------------------------------------------
 

@@ -10,11 +10,13 @@
 #include <string>
 #include <vector>
 
+#include "core/diagnostics.h"
 #include "model/model.h"
 
 namespace ftsynth {
 
-enum class Severity { kWarning, kError };
+// Severity lives in core/diagnostics.h; validation issues share the scale
+// with pipeline diagnostics.
 
 struct Issue {
   Severity severity;

@@ -48,17 +48,17 @@ Model { Name "broken" System {
 };
 
 TEST_F(CliTest, NoArgsPrintsUsage) {
-  EXPECT_EQ(run({}), 1);
+  EXPECT_EQ(run({}), 2);
   EXPECT_NE(err_.str().find("usage:"), std::string::npos);
 }
 
 TEST_F(CliTest, UnknownCommandFails) {
-  EXPECT_EQ(run({"explode", model_path_}), 1);
+  EXPECT_EQ(run({"explode", model_path_}), 2);
   EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
 }
 
 TEST_F(CliTest, MissingModelFileFails) {
-  EXPECT_EQ(run({"info", "/nonexistent/x.mdl"}), 1);
+  EXPECT_EQ(run({"info", "/nonexistent/x.mdl"}), 2);
   EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
 }
 
@@ -74,8 +74,15 @@ TEST_F(CliTest, ValidateCleanModelExitsZero) {
   EXPECT_NE(out_.str().find("0 error(s)"), std::string::npos);
 }
 
-TEST_F(CliTest, ValidateBrokenModelExitsTwoAndLists) {
-  EXPECT_EQ(run({"validate", broken_path_}), 2);
+TEST_F(CliTest, ValidateBrokenModelExitsOneAndLists) {
+  // The run completes (the issues ARE the output): completed-with-
+  // diagnostics, exit 1.
+  EXPECT_EQ(run({"validate", broken_path_}), 1);
+  EXPECT_NE(out_.str().find("unconnected"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateBrokenModelStrictAlsoExitsOne) {
+  EXPECT_EQ(run({"validate", broken_path_, "--strict"}), 1);
   EXPECT_NE(out_.str().find("unconnected"), std::string::npos);
 }
 
@@ -102,7 +109,7 @@ TEST_F(CliTest, SynthesiseFormats) {
   EXPECT_NE(out_.str().find("[PROJECT]"), std::string::npos);
   EXPECT_EQ(run({"synthesise", model_path_, "--top",
                  "Omission-brake_force_fl", "--format", "nope"}),
-            1);
+            2);
 }
 
 TEST_F(CliTest, SynthesiseToOutputFile) {
@@ -127,13 +134,13 @@ TEST_F(CliTest, AnalyseReportsCutSetsAndProbability) {
 }
 
 TEST_F(CliTest, AnalyseRejectsBadTime) {
-  EXPECT_EQ(run({"analyse", model_path_, "--time", "soon"}), 1);
+  EXPECT_EQ(run({"analyse", model_path_, "--time", "soon"}), 2);
 }
 
 TEST_F(CliTest, AuditFindsBbwGaps) {
   // The BBW model deliberately leaves some propagations unexamined
-  // (e.g. Early deviations): the audit exits 2 and lists them.
-  EXPECT_EQ(run({"audit", model_path_}), 2);
+  // (e.g. Early deviations): the audit exits 1 and lists them.
+  EXPECT_EQ(run({"audit", model_path_}), 1);
   EXPECT_NE(out_.str().find("finding(s)"), std::string::npos);
 }
 
@@ -152,8 +159,75 @@ TEST_F(CliTest, SensitivityRendersGains) {
 }
 
 TEST_F(CliTest, UnknownTopEventFails) {
-  EXPECT_EQ(run({"synthesise", model_path_, "--top", "Omission-nope"}), 1);
+  // kLookup failure: nothing was synthesised, exit 4; the collected
+  // diagnostic (with the lookup message) is rendered on stderr.
+  EXPECT_EQ(run({"synthesise", model_path_, "--top", "Omission-nope"}), 4);
   EXPECT_NE(err_.str().find("no boundary output port"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownTopEventFailsStrict) {
+  EXPECT_EQ(run({"synthesise", model_path_, "--top", "Omission-nope",
+                 "--strict"}),
+            4);
+  EXPECT_NE(err_.str().find("no boundary output port"), std::string::npos);
+}
+
+class CliRecoveryTest : public CliTest {
+ protected:
+  void SetUp() override {
+    CliTest::SetUp();
+    // Three seeded syntax errors (bad direction token, stray '%', missing
+    // value) in a model that still has recoverable structure.
+    mangled_path_ = testing::TempDir() + "/cli_mangled.mdl";
+    std::ofstream mangled(mangled_path_);
+    mangled << R"(
+Model { Name "mangled" System {
+  Block {
+    BlockType Basic
+    Name "stage"
+    Port { Name "x"  Direction }
+    Port { Name "y"  Direction "output" }
+    %
+  }
+  Block { BlockType Outport Name }
+} }
+)";
+  }
+
+  std::string mangled_path_;
+};
+
+TEST_F(CliRecoveryTest, RecoveredRunExitsOneAndRendersTable) {
+  EXPECT_EQ(run({"info", mangled_path_}), 1);
+  // The partial model still prints a summary...
+  EXPECT_NE(out_.str().find("model:"), std::string::npos);
+  // ...and stderr carries the diagnostics table with a count line.
+  EXPECT_NE(err_.str().find("Severity"), std::string::npos);
+  EXPECT_NE(err_.str().find("error(s)"), std::string::npos);
+}
+
+TEST_F(CliRecoveryTest, StrictFailsFastWithParseExitCode) {
+  EXPECT_EQ(run({"info", mangled_path_, "--strict"}), 2);
+  EXPECT_NE(err_.str().find("error:"), std::string::npos);
+  // No recovery happened: the diagnostics table is absent.
+  EXPECT_EQ(err_.str().find("Severity"), std::string::npos);
+}
+
+TEST_F(CliRecoveryTest, MaxErrorsCapsTheTable) {
+  EXPECT_EQ(run({"info", mangled_path_, "--max-errors", "1"}), 1);
+  EXPECT_NE(err_.str().find("dropped at the cap"), std::string::npos);
+}
+
+TEST_F(CliTest, DeadlineFlagIsAcceptedOnCleanRuns) {
+  // A generous deadline must not change a healthy run's outcome.
+  EXPECT_EQ(run({"analyse", model_path_, "--top", "Omission-total_braking",
+                 "--deadline-ms", "60000"}),
+            0);
+  EXPECT_NE(out_.str().find("minimal cut sets:"), std::string::npos);
+}
+
+TEST_F(CliTest, NegativeDeadlineIsUsageError) {
+  EXPECT_EQ(run({"analyse", model_path_, "--deadline-ms", "-5"}), 2);
 }
 
 }  // namespace

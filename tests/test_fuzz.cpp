@@ -7,6 +7,7 @@
 #include <random>
 
 #include "casestudy/setta.h"
+#include "core/diagnostics.h"
 #include "core/error.h"
 #include "failure/expr_parser.h"
 #include "ftp/ftp_reader.h"
@@ -59,6 +60,23 @@ TEST_P(FuzzSeeds, MutatedMdlNeverCrashes) {
   }
 }
 
+TEST_P(FuzzSeeds, RecoveringParserNeverThrowsOnMutatedMdl) {
+  // The recovering overload must swallow ANY mutation: its contract is
+  // diagnostics + best-effort model, never an exception.
+  static const std::string pristine = write_mdl(setta::build_bbw());
+  const unsigned seed = 21000u + static_cast<unsigned>(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    std::string text =
+        mutate(pristine, seed * 43u + static_cast<unsigned>(round),
+               1 + round * 4);
+    DiagnosticSink sink;
+    EXPECT_NO_THROW({
+      Model model = parse_mdl(text, sink);
+      (void)model;
+    });
+  }
+}
+
 TEST_P(FuzzSeeds, MutatedFtpProjectNeverCrashes) {
   static const std::string pristine = [] {
     Model model = setta::build_bbw();
@@ -98,6 +116,68 @@ TEST_P(FuzzSeeds, MutatedExpressionsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 15));
+
+// -- Adversarial depth / width generators ---------------------------------------
+//
+// Hand-crafted pathological inputs (not random mutations): these target the
+// recursion guards, which random byte flips essentially never reach.
+
+TEST(FuzzDepth, ThousandLevelBlockNestingIsADiagnosticNotACrash) {
+  std::string text = "Model { Name \"deep\" System { ";
+  for (int i = 0; i < 1000; ++i) text += "Block { ";
+  text += "BlockType Basic Name \"x\" ";
+  for (int i = 0; i < 1000; ++i) text += "} ";
+  text += "} }";
+
+  // Fail-fast mode: a clean ParseError, no stack overflow.
+  EXPECT_THROW(parse_mdl(text), ParseError);
+
+  // Recovery mode: the nesting violation is reported and the rest of the
+  // document survives.
+  DiagnosticSink sink;
+  Model model = parse_mdl(text, sink);
+  EXPECT_EQ(model.name(), "deep");
+  EXPECT_TRUE(sink.has_errors());
+  bool mentions_nesting = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.message.find("nested deeper") != std::string::npos)
+      mentions_nesting = true;
+  }
+  EXPECT_TRUE(mentions_nesting);
+}
+
+TEST(FuzzDepth, DeeplyParenthesisedExpressionIsAnError) {
+  FailureClassRegistry registry;
+  std::string text;
+  for (int i = 0; i < 100000; ++i) text += "(";
+  text += "x";
+  for (int i = 0; i < 100000; ++i) text += ")";
+  EXPECT_THROW(parse_expression(text, registry), ParseError);
+}
+
+TEST(FuzzDepth, TenThousandOperandExpressionParses) {
+  // Wide is fine (left-associative fold, constant stack): only DEPTH is
+  // guarded.
+  FailureClassRegistry registry;
+  std::string text = "x0";
+  for (int i = 1; i < 10000; ++i) text += " OR x" + std::to_string(i);
+  ExprPtr expr = parse_expression(text, registry);
+  ASSERT_NE(expr, nullptr);
+  EXPECT_THROW(parse_expression(text + " AND (", registry), ParseError);
+}
+
+TEST(FuzzDepth, ThousandLevelNestingInsideRecoveredFileKeepsNeighbours) {
+  // A pathological subtree must cost only itself: the sibling block after
+  // it still parses.
+  std::string text = "Model { Name \"m\" System { ";
+  for (int i = 0; i < 1000; ++i) text += "Block { ";
+  for (int i = 0; i < 1000; ++i) text += "} ";
+  text += "Block { BlockType Basic Name \"survivor\" } } }";
+  DiagnosticSink sink;
+  Model model = parse_mdl(text, sink);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_NE(model.find_block("survivor"), nullptr);
+}
 
 }  // namespace
 }  // namespace ftsynth

@@ -9,6 +9,8 @@
 #include "analysis/report.h"
 #include "analysis/markdown_report.h"
 #include "analysis/sensitivity.h"
+#include "core/budget.h"
+#include "core/diagnostics.h"
 #include "core/error.h"
 #include "core/strings.h"
 #include "failure/expr_parser.h"
@@ -28,10 +30,10 @@ constexpr const char* kUsage = R"(usage: ftsynth <command> <model.mdl> [options]
 
 commands:
   info         print model summary (blocks, hierarchy, annotations)
-  validate     run structural validation; exit 2 on errors
+  validate     run structural validation; exit 1 on errors
   synthesise   synthesise fault trees      (--top, --format, --output)
   analyse      cut sets + reliability      (--top, --time, --tree)
-  audit        HAZOP completeness audit; exit 2 on findings
+  audit        HAZOP completeness audit; exit 1 on findings
   fmea         system-level FMEA           (--time)
   sensitivity  failure-rate sensitivity    (--top, --time)
   report       full Markdown safety report (--top, --time, --output)
@@ -43,6 +45,15 @@ options:
   --output FILE      write to FILE instead of stdout
   --time HOURS       mission time for probabilities (default 1)
   --tree             include the rendered tree in analyse output
+  --strict           fail fast on the first error (disables recovery)
+  --max-errors N     stop collecting after N recovered errors (default 100)
+  --deadline-ms N    wall-clock budget for synthesis and analysis
+
+exit codes:
+  0  clean run                       1  completed, but with diagnostics
+  2  parse failure / bad usage       3  structurally invalid model
+  4  missing entity (lookup)         5  analysis failure
+  6  internal error
 )";
 
 struct Options {
@@ -53,6 +64,9 @@ struct Options {
   std::string output;
   double mission_time_hours = 1.0;
   bool render_tree = false;
+  bool strict = false;
+  std::size_t max_errors = DiagnosticSink::kDefaultMaxErrors;
+  long deadline_ms = 0;  ///< 0 = no deadline
 };
 
 /// Parses argv; returns nullopt (after printing the message) on bad usage.
@@ -100,6 +114,30 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       }
     } else if (arg == "--tree") {
       options.render_tree = true;
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--max-errors") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      try {
+        options.max_errors = std::stoul(*v);
+      } catch (const std::exception&) {
+        err << "error: --max-errors needs a count, got '" << *v << "'\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--deadline-ms") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      try {
+        options.deadline_ms = std::stol(*v);
+      } catch (const std::exception&) {
+        err << "error: --deadline-ms needs a count, got '" << *v << "'\n";
+        return std::nullopt;
+      }
+      if (options.deadline_ms < 0) {
+        err << "error: --deadline-ms must be >= 0\n";
+        return std::nullopt;
+      }
     } else if (arg == "--help" || arg == "-h") {
       err << kUsage;
       return std::nullopt;
@@ -115,6 +153,39 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
   return options;
 }
 
+/// Hard-failure exit code for an error category (see kUsage).
+int exit_code_for(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kParse:
+      return 2;
+    case ErrorKind::kModel:
+      return 3;
+    case ErrorKind::kLookup:
+      return 4;
+    case ErrorKind::kAnalysis:
+      return 5;
+    case ErrorKind::kInternal:
+      break;
+  }
+  return 6;
+}
+
+Budget make_budget(const Options& options) {
+  Budget budget;
+  if (options.deadline_ms > 0) budget.set_deadline_ms(options.deadline_ms);
+  return budget;
+}
+
+/// Synthesis options for a command run: resource budget always, degraded
+/// mode (diagnostics instead of aborts) unless --strict.
+SynthesisOptions synthesis_options(const Options& options,
+                                   DiagnosticSink& sink) {
+  SynthesisOptions synthesis;
+  synthesis.budget = make_budget(options);
+  if (!options.strict) synthesis.sink = &sink;
+  return synthesis;
+}
+
 /// Sends `text` to --output or to stdout.
 int emit(const std::string& text, const Options& options, std::ostream& out,
          std::ostream& err) {
@@ -125,7 +196,7 @@ int emit(const std::string& text, const Options& options, std::ostream& out,
   std::ofstream file(options.output);
   if (!file.good()) {
     err << "error: cannot write '" << options.output << "'\n";
-    return 1;
+    return 2;
   }
   file << text;
   return 0;
@@ -143,6 +214,12 @@ std::vector<Deviation> resolve_tops(const Model& model,
   // genuinely explained deviations appear).
   SynthesisOptions prune;
   prune.unannotated = SynthesisOptions::UnannotatedPolicy::kPrune;
+  prune.budget = make_budget(options);
+  // The probe only decides which candidates are worth synthesising; its
+  // degraded-mode diagnostics would duplicate the real run's, so they go
+  // to a throwaway sink.
+  DiagnosticSink probe_sink;
+  if (!options.strict) prune.sink = &probe_sink;
   Synthesiser probe(model, prune);
   for (const Port* port : model.root().outputs()) {
     for (FailureClass cls : model.registry().all()) {
@@ -184,7 +261,7 @@ int cmd_info(const Model& model, const Options& options, std::ostream& out,
 }
 
 int cmd_validate(const Model& model, const Options& options,
-                 std::ostream& out, std::ostream& err) {
+                 DiagnosticSink& sink, std::ostream& out, std::ostream& err) {
   std::vector<Issue> issues = validate(model);
   std::string text;
   int errors = 0;
@@ -196,18 +273,38 @@ int cmd_validate(const Model& model, const Options& options,
           std::to_string(issues.size() - static_cast<std::size_t>(errors)) +
           " warning(s)\n";
   int rc = emit(text, options, out, err);
-  return rc != 0 ? rc : (errors > 0 ? 2 : 0);
+  if (rc != 0) return rc;
+  // The recovering parser already forwarded these to the sink; in --strict
+  // mode forward them here so the exit-code logic is uniform.
+  if (options.strict) {
+    for (const Issue& issue : issues) {
+      sink.report({issue.severity, ErrorKind::kModel, {}, issue.block_path,
+                   issue.message});
+    }
+  }
+  return 0;
 }
 
 int cmd_synthesise(const Model& model, const Options& options,
-                   std::ostream& out, std::ostream& err) {
-  Synthesiser synthesiser(model);
+                   DiagnosticSink& sink, std::ostream& out,
+                   std::ostream& err) {
+  Synthesiser synthesiser(model, synthesis_options(options, sink));
   std::vector<FaultTree> trees;
-  for (const Deviation& top : resolve_tops(model, options))
-    trees.push_back(synthesiser.synthesise(top));
+  for (const Deviation& top : resolve_tops(model, options)) {
+    if (options.strict) {
+      trees.push_back(synthesiser.synthesise(top));
+      continue;
+    }
+    try {
+      trees.push_back(synthesiser.synthesise(top));
+    } catch (const Error& error) {
+      sink.error_from(error, top.to_string());
+    }
+  }
   if (trees.empty()) {
+    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
     err << "error: no top events (give --top or annotate the model)\n";
-    return 1;
+    return 2;
   }
   std::string text;
   if (options.format == "text") {
@@ -226,27 +323,46 @@ int cmd_synthesise(const Model& model, const Options& options,
     text = write_ftp_project(model.name(), pointers);
   } else {
     err << "error: unknown --format '" << options.format << "'\n";
-    return 1;
+    return 2;
   }
   return emit(text, options, out, err);
 }
 
-int cmd_analyse(const Model& model, const Options& options, std::ostream& out,
-                std::ostream& err) {
+int cmd_analyse(const Model& model, const Options& options,
+                DiagnosticSink& sink, std::ostream& out, std::ostream& err) {
   AnalysisOptions analysis_options;
   analysis_options.probability.mission_time_hours =
       options.mission_time_hours;
   analysis_options.render_tree = options.render_tree;
-  Synthesiser synthesiser(model);
+  analysis_options.cut_sets.budget = make_budget(options);
+  analysis_options.probability.budget = make_budget(options);
+  Synthesiser synthesiser(model, synthesis_options(options, sink));
   std::string text;
   for (const Deviation& top : resolve_tops(model, options)) {
+    if (!options.strict) {
+      try {
+        FaultTree tree = synthesiser.synthesise(top);
+        TreeAnalysis analysis = analyse_tree(tree, analysis_options);
+        if (analysis.cut_sets.deadline_exceeded) {
+          sink.warning(ErrorKind::kAnalysis,
+                       "cut-set analysis stopped at the deadline; "
+                       "results are partial",
+                       {}, top.to_string());
+        }
+        text += render(tree, analysis, analysis_options) + "\n";
+      } catch (const Error& error) {
+        sink.error_from(error, top.to_string());
+      }
+      continue;
+    }
     FaultTree tree = synthesiser.synthesise(top);
     TreeAnalysis analysis = analyse_tree(tree, analysis_options);
     text += render(tree, analysis, analysis_options) + "\n";
   }
   if (text.empty()) {
+    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
     err << "error: no top events (give --top or annotate the model)\n";
-    return 1;
+    return 2;
   }
   return emit(text, options, out, err);
 }
@@ -259,7 +375,7 @@ int cmd_audit(const Model& model, const Options& options, std::ostream& out,
     text += finding.to_string() + "\n";
   text += std::to_string(findings.size()) + " finding(s)\n";
   int rc = emit(text, options, out, err);
-  return rc != 0 ? rc : (findings.empty() ? 0 : 2);
+  return rc != 0 ? rc : (findings.empty() ? 0 : 1);
 }
 
 int cmd_report(const Model& model, const Options& options,
@@ -267,51 +383,78 @@ int cmd_report(const Model& model, const Options& options,
   MarkdownReportOptions report_options;
   report_options.analysis.probability.mission_time_hours =
       options.mission_time_hours;
+  report_options.analysis.cut_sets.budget = make_budget(options);
+  report_options.analysis.probability.budget = make_budget(options);
   std::vector<std::string> tops;
   for (const Deviation& top : resolve_tops(model, options))
     tops.push_back(top.to_string());
   if (tops.empty()) {
     err << "error: no top events (give --top or annotate the model)\n";
-    return 1;
+    return 2;
   }
   return emit(markdown_report(model, tops, report_options), options, out,
               err);
 }
 
 int cmd_sensitivity(const Model& model, const Options& options,
-                    std::ostream& out, std::ostream& err) {
+                    DiagnosticSink& sink, std::ostream& out,
+                    std::ostream& err) {
   SensitivityOptions sensitivity;
   sensitivity.probability.mission_time_hours = options.mission_time_hours;
-  Synthesiser synthesiser(model);
+  Synthesiser synthesiser(model, synthesis_options(options, sink));
   std::string text;
   for (const Deviation& top : resolve_tops(model, options)) {
+    if (!options.strict) {
+      try {
+        FaultTree tree = synthesiser.synthesise(top);
+        text += "=== " + tree.top_description() + " ===\n";
+        text += render_sensitivity(rate_sensitivity(tree, sensitivity));
+      } catch (const Error& error) {
+        sink.error_from(error, top.to_string());
+      }
+      continue;
+    }
     FaultTree tree = synthesiser.synthesise(top);
     text += "=== " + tree.top_description() + " ===\n";
     text += render_sensitivity(rate_sensitivity(tree, sensitivity));
   }
   if (text.empty()) {
+    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
     err << "error: no top events (give --top or annotate the model)\n";
-    return 1;
+    return 2;
   }
   return emit(text, options, out, err);
 }
 
-int cmd_fmea(const Model& model, const Options& options, std::ostream& out,
-             std::ostream& err) {
+int cmd_fmea(const Model& model, const Options& options, DiagnosticSink& sink,
+             std::ostream& out, std::ostream& err) {
   ProbabilityOptions probability;
   probability.mission_time_hours = options.mission_time_hours;
-  Synthesiser synthesiser(model);
+  probability.budget = make_budget(options);
+  CutSetOptions cut_set_options;
+  cut_set_options.budget = make_budget(options);
+  Synthesiser synthesiser(model, synthesis_options(options, sink));
   std::vector<FaultTree> trees;
-  for (const Deviation& top : resolve_tops(model, options))
-    trees.push_back(synthesiser.synthesise(top));
+  for (const Deviation& top : resolve_tops(model, options)) {
+    if (options.strict) {
+      trees.push_back(synthesiser.synthesise(top));
+      continue;
+    }
+    try {
+      trees.push_back(synthesiser.synthesise(top));
+    } catch (const Error& error) {
+      sink.error_from(error, top.to_string());
+    }
+  }
   if (trees.empty()) {
+    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
     err << "error: no derivable top events in this model\n";
-    return 1;
+    return 2;
   }
   std::vector<CutSetAnalysis> analyses;
   analyses.reserve(trees.size());
   for (const FaultTree& tree : trees)
-    analyses.push_back(minimal_cut_sets(tree));
+    analyses.push_back(minimal_cut_sets(tree, cut_set_options));
   std::vector<const FaultTree*> tree_ptrs;
   std::vector<const CutSetAnalysis*> analysis_ptrs;
   for (std::size_t i = 0; i < trees.size(); ++i) {
@@ -328,31 +471,47 @@ int cmd_fmea(const Model& model, const Options& options, std::ostream& out,
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   std::optional<Options> options = parse_args(args, err);
-  if (!options) return 1;
+  if (!options) return 2;
+  DiagnosticSink sink(options->max_errors);
+  int rc = 0;
   try {
     // `validate` parses without the implicit validation so it can report
-    // the issues itself instead of dying on the first one.
-    Model model = parse_mdl_file(options->model_path,
-                                 options->command != "validate");
-    if (options->command == "info") return cmd_info(model, *options, out, err);
-    if (options->command == "validate")
-      return cmd_validate(model, *options, out, err);
-    if (options->command == "synthesise" || options->command == "synthesize")
-      return cmd_synthesise(model, *options, out, err);
-    if (options->command == "analyse" || options->command == "analyze")
-      return cmd_analyse(model, *options, out, err);
-    if (options->command == "audit") return cmd_audit(model, *options, out, err);
-    if (options->command == "fmea") return cmd_fmea(model, *options, out, err);
-    if (options->command == "sensitivity")
-      return cmd_sensitivity(model, *options, out, err);
-    if (options->command == "report")
-      return cmd_report(model, *options, out, err);
-    err << "error: unknown command '" << options->command << "'\n" << kUsage;
-    return 1;
+    // the issues itself instead of dying on the first one; the recovering
+    // parser (default) reports syntax AND validation problems to the sink
+    // and returns the best-effort model.
+    Model model = options->strict
+                      ? parse_mdl_file(options->model_path,
+                                       options->command != "validate")
+                      : parse_mdl_file(options->model_path, sink);
+    const std::string& command = options->command;
+    if (command == "info") {
+      rc = cmd_info(model, *options, out, err);
+    } else if (command == "validate") {
+      rc = cmd_validate(model, *options, sink, out, err);
+    } else if (command == "synthesise" || command == "synthesize") {
+      rc = cmd_synthesise(model, *options, sink, out, err);
+    } else if (command == "analyse" || command == "analyze") {
+      rc = cmd_analyse(model, *options, sink, out, err);
+    } else if (command == "audit") {
+      rc = cmd_audit(model, *options, out, err);
+    } else if (command == "fmea") {
+      rc = cmd_fmea(model, *options, sink, out, err);
+    } else if (command == "sensitivity") {
+      rc = cmd_sensitivity(model, *options, sink, out, err);
+    } else if (command == "report") {
+      rc = cmd_report(model, *options, out, err);
+    } else {
+      err << "error: unknown command '" << command << "'\n" << kUsage;
+      return 2;
+    }
   } catch (const Error& error) {
     err << "error: " << error.what() << "\n";
-    return 1;
+    if (!sink.empty()) err << sink.render_table();
+    return exit_code_for(error.kind());
   }
+  if (!sink.empty()) err << sink.render_table();
+  if (rc != 0) return rc;
+  return sink.has_errors() ? 1 : 0;
 }
 
 }  // namespace ftsynth::cli

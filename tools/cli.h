@@ -19,6 +19,13 @@
 //
 // --top may repeat; `analyse` and `fmea` default to every derivable top
 // event (boundary outputs x registered classes with a non-empty tree).
+//
+// By default the driver runs resiliently: the parser recovers from syntax
+// errors, synthesis degrades unresolvable propagations to marked
+// undeveloped events, and every problem is collected as a structured
+// diagnostic (rendered as a table on stderr at the end of the run).
+// --strict restores fail-fast behaviour; --max-errors caps collection;
+// --deadline-ms puts a wall-clock budget on synthesis and analysis.
 
 #pragma once
 
@@ -29,7 +36,13 @@
 namespace ftsynth::cli {
 
 /// Runs the driver. `args` excludes the program name. Returns the process
-/// exit code (0 success, 1 user error, 2 analysis found violations).
+/// exit code:
+///   0  clean run, no diagnostics
+///   1  run completed but produced error diagnostics (including validation
+///      errors and audit findings)
+///   2  parse failure or bad usage       3  structurally invalid model
+///   4  missing entity (lookup)          5  analysis failure
+///   6  internal error
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 
