@@ -1,0 +1,51 @@
+#include "analysis/batch.h"
+
+#include <limits>
+
+#include "core/parallel.h"
+#include "core/thread_pool.h"
+
+namespace ftsynth {
+
+BatchResult analyse_batch(const Model& model,
+                          const std::vector<Deviation>& tops,
+                          const BatchOptions& options, ThreadPool* pool) {
+  BatchResult result;
+  result.items.reserve(tops.size());
+  for (const Deviation& top : tops) {
+    BatchItem item;
+    item.top = top;
+    result.items.push_back(std::move(item));
+  }
+
+  const bool degraded = options.synthesis.sink != nullptr;
+  parallel_for(pool, result.items.size(), [&](std::size_t index) {
+    BatchItem& item = result.items[index];
+    // Uncapped private sink: the shared cap is applied at merge time, so
+    // a capped shared sink still ends up with exactly the serial content.
+    DiagnosticSink local(std::numeric_limits<std::size_t>::max());
+    SynthesisOptions synthesis = options.synthesis;
+    if (degraded) synthesis.sink = &local;
+    AnalysisOptions analysis = options.analysis;
+    analysis.cut_sets.pool = pool;  // minimisation shares the workers
+    try {
+      Synthesiser synthesiser(model, synthesis);
+      item.tree.emplace(synthesiser.synthesise(item.top));
+      if (options.analyse)
+        item.analysis.emplace(analyse_tree(*item.tree, analysis));
+    } catch (...) {
+      item.error = std::current_exception();
+    }
+    item.diagnostics = local.diagnostics();
+  });
+  return result;
+}
+
+void merge_diagnostics(const BatchResult& result, DiagnosticSink& sink) {
+  for (const BatchItem& item : result.items) {
+    for (const Diagnostic& diagnostic : item.diagnostics)
+      sink.report(diagnostic);
+  }
+}
+
+}  // namespace ftsynth

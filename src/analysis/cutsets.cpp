@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "core/error.h"
+#include "core/parallel.h"
+#include "core/thread_pool.h"
 #include "analysis/probability.h"
 #include "fta/simplify.h"
 
@@ -163,6 +165,7 @@ class Context {
   }
   void mark_truncated() noexcept { truncated_ = true; }
   const CutSetOptions& options() const noexcept { return options_; }
+  ThreadPool* pool() const noexcept { return options_.pool; }
 
  private:
   const CutSetOptions& options_;
@@ -178,6 +181,13 @@ class Context {
 /// by (size, lexicographic literal ids). The subsumption pass is quadratic,
 /// so on large batches it probes the deadline (when a context is given) and
 /// returns the partially-minimised prefix on expiry.
+///
+/// With a pool in the context's options, the pass runs block-parallel:
+/// after the size-sort a candidate can only be subsumed by an *earlier*
+/// candidate that survived, so a block of consecutive candidates is
+/// screened against the already-kept sets concurrently (the quadratic
+/// part), and only the short intra-block dependency chain is resolved
+/// serially. The kept list is literal-for-literal the serial one.
 std::vector<Set> minimise(std::vector<Set> sets, Context* context = nullptr) {
   std::sort(sets.begin(), sets.end(), [](const Set& a, const Set& b) {
     if (a.literals.size() != b.literals.size())
@@ -185,13 +195,52 @@ std::vector<Set> minimise(std::vector<Set> sets, Context* context = nullptr) {
     return a.literals < b.literals;
   });
   std::vector<Set> kept;
-  for (Set& candidate : sets) {
-    if (context != nullptr && context->deadline_hit()) break;
-    if (contradictory(candidate)) continue;
-    bool subsumed = std::any_of(
-        kept.begin(), kept.end(),
-        [&](const Set& k) { return subset(k, candidate); });
-    if (!subsumed) kept.push_back(std::move(candidate));
+  ThreadPool* pool = context != nullptr ? context->pool() : nullptr;
+  constexpr std::size_t kBlock = 256;
+  if (pool == nullptr || pool->size() <= 1 || sets.size() < 2 * kBlock) {
+    for (Set& candidate : sets) {
+      if (context != nullptr && context->deadline_hit()) break;
+      if (contradictory(candidate)) continue;
+      bool subsumed = std::any_of(
+          kept.begin(), kept.end(),
+          [&](const Set& k) { return subset(k, candidate); });
+      if (!subsumed) kept.push_back(std::move(candidate));
+    }
+    return kept;
+  }
+  std::vector<char> alive;
+  for (std::size_t pos = 0; pos < sets.size(); pos += kBlock) {
+    if (context->deadline_hit()) break;
+    const std::size_t block = std::min(kBlock, sets.size() - pos);
+    alive.assign(block, 1);
+    parallel_for(pool, block, [&](std::size_t k) {
+      const Set& candidate = sets[pos + k];
+      if (contradictory(candidate)) {
+        alive[k] = 0;
+        return;
+      }
+      for (const Set& keep : kept) {
+        if (subset(keep, candidate)) {
+          alive[k] = 0;
+          return;
+        }
+      }
+    });
+    // Intra-block subsumption: only sets kept *in this block* can still
+    // subsume a survivor (everything earlier was screened above).
+    const std::size_t kept_before = kept.size();
+    for (std::size_t k = 0; k < block; ++k) {
+      if (alive[k] == 0) continue;
+      Set& candidate = sets[pos + k];
+      bool subsumed = false;
+      for (std::size_t j = kept_before; j < kept.size(); ++j) {
+        if (subset(kept[j], candidate)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed) kept.push_back(std::move(candidate));
+    }
   }
   return kept;
 }
@@ -209,12 +258,15 @@ class BottomUp {
   }
 
  private:
-  std::vector<Set> resolve(const FtNode* node) {
+  /// Returns a reference into the memo (stable: unordered_map nodes do not
+  /// move on rehash). A cache hit on a diamond-shaped DAG used to copy the
+  /// whole intermediate set list on every revisit; callers now copy only
+  /// what they combine.
+  const std::vector<Set>& resolve(const FtNode* node) {
     if (auto it = memo_.find(node); it != memo_.end()) return it->second;
     std::vector<Set> result = resolve_uncached(node);
     context_.track_peak(result.size());
-    memo_.emplace(node, result);
-    return result;
+    return memo_.emplace(node, std::move(result)).first->second;
   }
 
   std::vector<Set> resolve_uncached(const FtNode* node) {
@@ -240,12 +292,11 @@ class BottomUp {
     // *event sets* are those of the AND (a conservative upper bound).
     for (const FtNode* child : node->children()) {
       if (context_.deadline_hit()) break;  // keep the partial accumulation
-      std::vector<Set> sets = resolve(child);
+      const std::vector<Set>& sets = resolve(child);
       if (node->gate() == GateKind::kOr) {
-        acc.insert(acc.end(), std::make_move_iterator(sets.begin()),
-                   std::make_move_iterator(sets.end()));
+        acc.insert(acc.end(), sets.begin(), sets.end());
       } else if (first) {
-        acc = std::move(sets);
+        acc = sets;
       } else {
         // AND: cross product, dropping contradictions as they appear.
         std::vector<Set> product;
@@ -276,7 +327,7 @@ class BottomUp {
     // Past the deadline the result is partial anyway; skip the O(n^2)
     // minimisation so the whole engine unwinds in O(n log n).
     if (context_.deadline_hit()) return context_.clamp(std::move(acc));
-    return context_.clamp(minimise(std::move(acc)));
+    return context_.clamp(minimise(std::move(acc), &context_));
   }
 
   const FaultTree& tree_;
@@ -358,7 +409,7 @@ class Mocus {
       }
     }
     if (context_.deadline_hit()) return context_.clamp(std::move(done));
-    return context_.clamp(minimise(std::move(done)));
+    return context_.clamp(minimise(std::move(done), &context_));
   }
 
  private:
@@ -528,7 +579,8 @@ CutSetAnalysis bdd_cut_sets(const FaultTree& tree,
   if (truncated_paths) context.mark_truncated();
 
   CutSetAnalysis analysis = context.finish(
-      context.deadline_hit() ? std::move(sets) : minimise(std::move(sets)));
+      context.deadline_hit() ? std::move(sets)
+                             : minimise(std::move(sets), &context));
   remap_events(analysis, tree);
   return analysis;
 }

@@ -27,6 +27,8 @@
 
 namespace ftsynth {
 
+class ThreadPool;
+
 struct CutSetOptions {
   /// Drop cut sets with more literals than this (truncation is reported).
   std::size_t max_order = 64;
@@ -37,6 +39,11 @@ struct CutSetOptions {
   /// result `deadline_exceeded` (partial: cut sets may be missing, and the
   /// ones returned may be non-minimal).
   Budget budget{};
+  /// Optional worker pool (not owned): parallelises the quadratic
+  /// subsumption pass of minimisation over blocks of candidates. The
+  /// result is literal-for-literal identical to the serial pass; null (the
+  /// default) keeps everything on the calling thread.
+  ThreadPool* pool = nullptr;
 };
 
 /// One literal of a cut set: an event, possibly negated.

@@ -6,22 +6,55 @@
 // recursion depth, node / cut-set ceilings, and a monotonic-clock deadline
 // -- and a BudgetReport records which of them actually fired, so callers
 // (and the CLI) can tell a complete result from a truncated one.
+//
+// Concurrency: a Budget is a value type -- engines copy it into their run
+// state -- but every copy made after set_deadline() shares one latched
+// expiry flag. The first copy (on any thread) to observe the deadline
+// latches it exactly once, and every other copy's next expired()/poll()
+// returns true without reading the clock. That is what makes one
+// --deadline-ms bite globally across a pool of workers: the workers run
+// independent copies, yet all of them stop together. A single Budget
+// object may also be polled from several threads at once (all state is
+// atomic or shared via the latch).
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 
 namespace ftsynth {
 
 /// Resource limits for one pipeline stage. Value type: engines copy the
-/// budget into their run state (the amortised deadline tick is per-copy,
-/// which keeps parallel synthesis race-free).
+/// budget into their run state; copies share the deadline latch (see the
+/// header comment).
 class Budget {
  public:
   using Clock = std::chrono::steady_clock;
+
+  Budget() = default;
+  Budget(const Budget& other)
+      : max_depth(other.max_depth),
+        max_nodes(other.max_nodes),
+        deadline_(other.deadline_),
+        latch_(other.latch_) {
+    expired_.store(other.expired_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  Budget& operator=(const Budget& other) {
+    if (this == &other) return *this;
+    max_depth = other.max_depth;
+    max_nodes = other.max_nodes;
+    deadline_ = other.deadline_;
+    latch_ = other.latch_;
+    expired_.store(other.expired_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    tick_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Traversal / recursion depth ceiling (synthesis stack, parser nesting).
   /// Deep enough for any sane model; shallow enough that a pathological
@@ -31,38 +64,69 @@ class Budget {
   /// Fault-tree node ceiling for synthesis (0 = unlimited).
   std::size_t max_nodes = 0;
 
-  /// Starts the wall-clock deadline `ms` from now (monotonic clock).
+  /// Starts the wall-clock deadline `ms` from now (monotonic clock) and
+  /// arms the shared latch: copies taken from this Budget afterwards all
+  /// expire together.
   void set_deadline_ms(long ms) {
-    deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+    set_deadline(Clock::now() + std::chrono::milliseconds(ms));
   }
-  void set_deadline(Clock::time_point deadline) { deadline_ = deadline; }
-  void clear_deadline() { deadline_.reset(); }
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    latch_ = std::make_shared<std::atomic<bool>>(false);
+    expired_.store(false, std::memory_order_relaxed);
+  }
+  void clear_deadline() {
+    deadline_.reset();
+    latch_.reset();
+    expired_.store(false, std::memory_order_relaxed);
+  }
   bool has_deadline() const noexcept { return deadline_.has_value(); }
+
+  /// Latches expiry now, without a deadline having passed, on this copy
+  /// and -- through the shared latch -- on every other copy taken since
+  /// set_deadline(). Used to cancel the remaining work of a batch.
+  void force_expire() {
+    if (!latch_) latch_ = std::make_shared<std::atomic<bool>>(false);
+    mark_expired();
+  }
 
   /// Immediate deadline check (reads the clock).
   bool expired() const noexcept {
-    if (expired_) return true;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (latch_ && latch_->load(std::memory_order_relaxed)) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
     if (!deadline_) return false;
-    expired_ = Clock::now() >= *deadline_;
-    return expired_;
+    if (Clock::now() < *deadline_) return false;
+    mark_expired();
+    return true;
   }
 
   /// Amortised deadline check for hot loops: reads the clock only once
-  /// every kStride calls. Once expired, stays expired (latched) so callers
-  /// can unwind cheaply.
+  /// every kStride calls. Once expired (here, on any sharing copy, or via
+  /// force_expire) it stays expired, so callers can unwind cheaply.
   bool poll() noexcept {
-    if (expired_) return true;
-    if (!deadline_) return false;
-    if (++tick_ % kStride != 0) return false;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (!deadline_ && !latch_) return false;
+    if (tick_.fetch_add(1, std::memory_order_relaxed) % kStride != 0)
+      return false;
     return expired();
   }
 
  private:
   static constexpr unsigned kStride = 64;
 
+  void mark_expired() const noexcept {
+    expired_.store(true, std::memory_order_relaxed);
+    if (latch_) latch_->store(true, std::memory_order_relaxed);
+  }
+
   std::optional<Clock::time_point> deadline_;
-  unsigned tick_ = 0;
-  mutable bool expired_ = false;
+  /// Latched expiry shared by all copies taken after set_deadline().
+  std::shared_ptr<std::atomic<bool>> latch_;
+  std::atomic<unsigned> tick_{0};
+  mutable std::atomic<bool> expired_{false};
 };
 
 /// Which limits fired during a budgeted run. Merged upward so a pipeline

@@ -32,6 +32,7 @@ std::string Diagnostic::to_string() const {
 }
 
 void DiagnosticSink::report(Diagnostic diagnostic) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (diagnostic.severity == Severity::kError) {
     ++error_count_;
     if (kept_errors_ >= max_errors_) return;  // dropped, but still counted
@@ -61,6 +62,7 @@ void DiagnosticSink::error_from(const Error& err, std::string block_path) {
 }
 
 const Diagnostic* DiagnosticSink::first_error() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const Diagnostic& d : diagnostics_) {
     if (d.severity == Severity::kError) return &d;
   }
@@ -73,6 +75,7 @@ ErrorKind DiagnosticSink::first_error_kind() const noexcept {
 }
 
 std::string DiagnosticSink::render_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (diagnostics_.empty()) return "";
   TextTable table({"Severity", "Location", "Kind", "Where", "Message"});
   for (const Diagnostic& d : diagnostics_) {
@@ -80,11 +83,13 @@ std::string DiagnosticSink::render_table() const {
                    d.location.to_string(), std::string(to_string(d.kind)),
                    d.block_path, d.message});
   }
+  const std::size_t warnings = diagnostics_.size() - kept_errors_;
+  const std::size_t dropped = error_count_ - kept_errors_;
   std::string out = table.render();
   out += std::to_string(error_count_) + " error(s), " +
-         std::to_string(warning_count()) + " warning(s)";
-  if (dropped() > 0) {
-    out += " (" + std::to_string(dropped()) +
+         std::to_string(warnings) + " warning(s)";
+  if (dropped > 0) {
+    out += " (" + std::to_string(dropped) +
            " further error(s) dropped at the cap)";
   }
   out += "\n";

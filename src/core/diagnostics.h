@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,6 +58,15 @@ struct Diagnostic {
 /// `saturated()` and recovering parsers should stop producing more;
 /// further errors only bump `dropped()`. This bounds both memory and the
 /// time a pathological input can spend in error recovery.
+///
+/// Concurrency: report() and the counter accessors are safe to call from
+/// many threads sharing one sink -- the cap is applied atomically, no
+/// diagnostic is lost, and the counts stay exact. The order in which
+/// concurrent reports land is scheduling-dependent, so deterministic
+/// pipelines (the batch orchestrator) collect into per-item sinks and
+/// merge them in item order instead of reporting concurrently.
+/// diagnostics() returns a reference into the sink: only read it once all
+/// producers are done.
 class DiagnosticSink {
  public:
   static constexpr std::size_t kDefaultMaxErrors = 100;
@@ -79,19 +89,32 @@ class DiagnosticSink {
     return diagnostics_;
   }
 
-  std::size_t error_count() const noexcept { return error_count_; }
-  std::size_t warning_count() const noexcept {
+  std::size_t error_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_count_;
+  }
+  std::size_t warning_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return diagnostics_.size() - kept_errors_;
   }
-  bool has_errors() const noexcept { return error_count_ > 0; }
-  bool empty() const noexcept { return diagnostics_.empty(); }
+  bool has_errors() const { return error_count() > 0; }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diagnostics_.empty();
+  }
 
   /// True once the error cap is reached; producers should give up on
   /// recovery and synchronise to the end of their input.
-  bool saturated() const noexcept { return kept_errors_ >= max_errors_; }
+  bool saturated() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return kept_errors_ >= max_errors_;
+  }
 
   /// Errors reported past the cap (counted, not stored).
-  std::size_t dropped() const noexcept { return error_count_ - kept_errors_; }
+  std::size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_count_ - kept_errors_;
+  }
 
   /// First error diagnostic, or nullptr when there is none.
   const Diagnostic* first_error() const noexcept;
@@ -106,6 +129,7 @@ class DiagnosticSink {
   std::string render_table() const;
 
  private:
+  mutable std::mutex mutex_;  ///< guards everything below
   std::size_t max_errors_;
   std::vector<Diagnostic> diagnostics_;
   std::size_t error_count_ = 0;  ///< including dropped

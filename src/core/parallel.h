@@ -1,0 +1,101 @@
+// Structured parallel loops over a ThreadPool.
+//
+// parallel_for / parallel_map are the only constructs the analysis stack
+// uses on top of the raw pool, and they encode the invariants every
+// parallel stage of the pipeline relies on:
+//
+//   * Determinism by indexing, not ordering: the body receives an index
+//     and writes into a pre-sized slot, so the result is identical to a
+//     serial loop no matter how iterations interleave.
+//   * The calling thread participates. A loop is never blocked on an idle
+//     pool, a null pool degrades to the plain serial loop (`--jobs 1` is
+//     byte-for-byte today's code path), and nested loops cannot deadlock:
+//     the caller drains every iteration no worker picks up, and only ever
+//     waits on iterations that are actively executing elsewhere.
+//   * Exceptions are contained: every iteration runs (no early abort --
+//     budget latches make post-deadline iterations cheap instead), the
+//     first exception in *index order is not guaranteed*; the first one
+//     observed is rethrown after the loop completes.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace ftsynth {
+
+/// Runs body(i) for every i in [0, count). Blocks until all iterations
+/// finished; rethrows the first captured exception. `pool` may be null or
+/// single-threaded, in which case the loop is plainly serial.
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t count, const Body& body) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  struct State {
+    std::size_t count;
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t completed = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->count = count;
+
+  auto runner = [state, &body] {
+    while (true) {
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (++state->completed == state->count) state->done.notify_all();
+    }
+  };
+
+  // The runners only touch `state` (kept alive by the shared_ptr) and the
+  // caller-owned body, which outlives the wait below. Helpers that find
+  // the index range already drained exit immediately.
+  const std::size_t helpers = std::min(pool->size(), count - 1);
+  for (std::size_t i = 0; i < helpers; ++i) pool->submit(runner);
+  runner();  // the caller claims iterations too
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->completed == state->count; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+/// Maps body(i) over [0, count), collecting the results in index order.
+/// The result type only needs to be movable (slots are std::optional).
+template <typename Body>
+auto parallel_map(ThreadPool* pool, std::size_t count, const Body& body)
+    -> std::vector<decltype(body(std::size_t{0}))> {
+  using Result = decltype(body(std::size_t{0}));
+  std::vector<std::optional<Result>> slots(count);
+  parallel_for(pool, count,
+               [&](std::size_t i) { slots[i].emplace(body(i)); });
+  std::vector<Result> results;
+  results.reserve(count);
+  for (std::optional<Result>& slot : slots)
+    results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace ftsynth

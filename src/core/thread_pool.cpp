@@ -1,0 +1,87 @@
+#include "core/thread_pool.h"
+
+namespace ftsynth {
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  std::size_t count = threads <= 0 ? hardware_threads()
+                                   : static_cast<std::size_t>(threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    threads_.emplace_back([this, i] { run_worker(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(Task task) {
+  const std::size_t queue =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[queue]->mutex);
+    workers_[queue]->queue.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++pending_;
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(std::size_t index, Task& task) {
+  Worker& worker = *workers_[index];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.queue.empty()) return false;
+  task = std::move(worker.queue.back());  // LIFO: most recent, cache-warm
+  worker.queue.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, Task& task) {
+  const std::size_t count = workers_.size();
+  for (std::size_t offset = 1; offset < count; ++offset) {
+    Worker& victim = *workers_[(thief + offset) % count];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.queue.empty()) continue;
+    task = std::move(victim.queue.front());  // FIFO: steal the oldest
+    victim.queue.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_worker(std::size_t index) {
+  while (true) {
+    Task task;
+    if (try_pop_local(index, task) || try_steal(index, task)) {
+      {
+        // pending_ may dip below zero transiently when a task is taken
+        // between its push and its counter increment; it is consistent
+        // again once the in-flight submit completes (hence the signed
+        // counter).
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ <= 0) return;  // drained: nothing left to take
+  }
+}
+
+}  // namespace ftsynth

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/error.h"
+#include "core/parallel.h"
+#include "core/thread_pool.h"
 #include "failure/expr_parser.h"
 #include "fta/simplify.h"
 
@@ -640,54 +642,25 @@ FaultTree Synthesiser::synthesise(std::string_view top) {
 
 std::vector<FaultTree> synthesise_parallel(const Model& model,
                                            const std::vector<Deviation>& tops,
+                                           const SynthesisOptions& options,
+                                           ThreadPool* pool) {
+  // Per-iteration synthesiser: traversal state and stats are not shared;
+  // the model is read-only and the budget copies share one deadline latch.
+  return parallel_map(pool, tops.size(), [&](std::size_t index) {
+    Synthesiser synthesiser(model, options);
+    return synthesiser.synthesise(tops[index]);
+  });
+}
+
+std::vector<FaultTree> synthesise_parallel(const Model& model,
+                                           const std::vector<Deviation>& tops,
                                            SynthesisOptions options,
                                            int threads) {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
+  if (threads <= 0) threads = static_cast<int>(ThreadPool::hardware_threads());
   threads = std::min<int>(threads, static_cast<int>(tops.size()));
-  if (threads <= 1) {
-    Synthesiser synthesiser(model, options);
-    std::vector<FaultTree> trees;
-    trees.reserve(tops.size());
-    for (const Deviation& top : tops) trees.push_back(synthesiser.synthesise(top));
-    return trees;
-  }
-
-  std::vector<std::optional<FaultTree>> slots(tops.size());
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    // Per-thread synthesiser: traversal state and stats are not shared.
-    Synthesiser synthesiser(model, options);
-    while (true) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= tops.size()) return;
-      try {
-        slots[index].emplace(synthesiser.synthesise(tops[index]));
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
-
-  std::vector<FaultTree> trees;
-  trees.reserve(slots.size());
-  for (std::optional<FaultTree>& slot : slots) {
-    check_internal(slot.has_value(), "parallel synthesis lost a tree");
-    trees.push_back(std::move(*slot));
-  }
-  return trees;
+  if (threads <= 1) return synthesise_parallel(model, tops, options, nullptr);
+  ThreadPool pool(threads);
+  return synthesise_parallel(model, tops, options, &pool);
 }
 
 std::vector<FaultTree> Synthesiser::synthesise_all() {

@@ -138,11 +138,20 @@ class Synthesiser {
   SynthesisStats stats_;
 };
 
+class ThreadPool;
+
 /// Synthesises one tree per top event concurrently (a campaign over many
 /// top events is embarrassingly parallel: each tree gets its own traversal
 /// state, and the shared model is read-only). Results are in `tops` order
-/// and identical to sequential synthesis. `threads` <= 0 uses the hardware
-/// concurrency.
+/// and identical to sequential synthesis. Runs on `pool`'s workers plus
+/// the calling thread; a null pool is the plain serial loop.
+std::vector<FaultTree> synthesise_parallel(const Model& model,
+                                           const std::vector<Deviation>& tops,
+                                           const SynthesisOptions& options,
+                                           ThreadPool* pool);
+
+/// Convenience overload owning a transient pool of `threads` workers
+/// (<= 0: hardware concurrency; 1: serial).
 std::vector<FaultTree> synthesise_parallel(const Model& model,
                                            const std::vector<Deviation>& tops,
                                            SynthesisOptions options = {},

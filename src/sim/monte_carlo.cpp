@@ -3,10 +3,31 @@
 #include <cmath>
 #include <random>
 
+#include "core/parallel.h"
+#include "core/thread_pool.h"
+
 namespace ftsynth {
 
+namespace {
+
+/// splitmix64 finaliser: decorrelates the per-shard seeds derived from
+/// (master seed, shard index) -- the standard counter-based stream scheme.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard) noexcept {
+  return splitmix64(seed + splitmix64(static_cast<std::uint64_t>(shard)));
+}
+
+}  // namespace
+
 MonteCarloResult simulate_top_event(const Model& model, const Deviation& top,
-                                    const MonteCarloOptions& options) {
+                                    const MonteCarloOptions& options,
+                                    ThreadPool* pool) {
   PropagationEngine engine(model, options.semantics);
   const std::vector<PropagationEngine::LeafEvent> leaves =
       engine.leaf_events();
@@ -26,23 +47,37 @@ MonteCarloResult simulate_top_event(const Model& model, const Deviation& top,
     }
   }
 
-  std::mt19937_64 rng(options.seed);
-  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min(options.shards, options.trials));
+
+  // Shard s runs trials/shards trials (+1 for the first trials%shards
+  // shards) on its own RNG stream; shards == 1 reproduces the historical
+  // single-stream sequence exactly.
+  std::vector<std::size_t> occurrences(shards, 0);
+  parallel_for(pool, shards, [&](std::size_t shard) {
+    const std::size_t trials =
+        options.trials / shards + (shard < options.trials % shards ? 1 : 0);
+    std::mt19937_64 rng(shards == 1 ? options.seed
+                                    : shard_seed(options.seed, shard));
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    std::unordered_set<Symbol> active;
+    std::size_t hits = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      active.clear();
+      for (std::size_t i = 0; i < leaves.size(); ++i) {
+        if (probabilities[i] > 0.0 && uniform(rng) < probabilities[i])
+          active.insert(leaves[i].name);
+      }
+      if (active.empty()) continue;  // no events, no deviation (monotone)
+      PropagationResult propagation = engine.propagate(active);
+      if (propagation.at_system_output(top.port, top.failure_class)) ++hits;
+    }
+    occurrences[shard] = hits;
+  });
 
   MonteCarloResult result;
   result.trials = options.trials;
-  std::unordered_set<Symbol> active;
-  for (std::size_t trial = 0; trial < options.trials; ++trial) {
-    active.clear();
-    for (std::size_t i = 0; i < leaves.size(); ++i) {
-      if (probabilities[i] > 0.0 && uniform(rng) < probabilities[i])
-        active.insert(leaves[i].name);
-    }
-    if (active.empty()) continue;  // no events, no deviation (monotone)
-    PropagationResult propagation = engine.propagate(active);
-    if (propagation.at_system_output(top.port, top.failure_class))
-      ++result.occurrences;
-  }
+  for (std::size_t hits : occurrences) result.occurrences += hits;
   result.estimate = static_cast<double>(result.occurrences) /
                     static_cast<double>(result.trials);
   result.std_error = std::sqrt(result.estimate * (1.0 - result.estimate) /

@@ -5,6 +5,14 @@
 // deviation at a system output. On monotone models this estimate must
 // agree (statistically) with the exact BDD probability of the synthesized
 // fault tree -- the cross-validation of experiment E9.
+//
+// Sharding: the trials can be split into `shards` independent streams,
+// each with its own counter-derived RNG seed (splitmix64 over the master
+// seed and the shard index). The estimate is a pure function of
+// (seed, shards, trials) -- NOT of how many threads execute the shards --
+// so a sharded run is reproducible and a pool can execute the shards
+// concurrently without changing a single sampled bit. shards == 1 keeps
+// the historical single-stream sequence byte-for-byte.
 
 #pragma once
 
@@ -16,9 +24,15 @@
 
 namespace ftsynth {
 
+class ThreadPool;
+
 struct MonteCarloOptions {
   std::size_t trials = 10000;
   std::uint64_t seed = 20010701;  ///< deterministic by default
+  /// Independent RNG streams the trials are split over (remainder trials
+  /// go to the first shards). The estimate depends on (seed, shards), not
+  /// on the executing thread count. 1 = the historical serial stream.
+  std::size_t shards = 1;
   ProbabilityOptions probability;
   SynthesisOptions semantics;
 };
@@ -33,8 +47,12 @@ struct MonteCarloResult {
 /// Estimates P[`top` appears at the system boundary within the mission
 /// time]. Every model malfunction fires independently with
 /// 1 - exp(-lambda * t); environment deviations fire with
-/// `probability.default_event_probability`.
+/// `probability.default_event_probability`. A non-null `pool` runs the
+/// shards on the worker threads (the propagation engine is shared: it is
+/// stateless per propagate() call); the result is identical to pool-less
+/// execution.
 MonteCarloResult simulate_top_event(const Model& model, const Deviation& top,
-                                    const MonteCarloOptions& options = {});
+                                    const MonteCarloOptions& options = {},
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace ftsynth

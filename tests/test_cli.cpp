@@ -15,11 +15,16 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    model_path_ = testing::TempDir() + "/cli_model.mdl";
+    // Unique per-test file names: ctest runs each test as its own process,
+    // concurrently, and shared paths race (a reader can observe a sibling's
+    // truncate-then-write mid-flight).
+    const std::string tag =
+        testing::UnitTest::GetInstance()->current_test_info()->name();
+    model_path_ = testing::TempDir() + "/cli_model_" + tag + ".mdl";
     Model model = setta::build_bbw();
     write_mdl_file(model, model_path_);
 
-    broken_path_ = testing::TempDir() + "/cli_broken.mdl";
+    broken_path_ = testing::TempDir() + "/cli_broken_" + tag + ".mdl";
     std::ofstream broken(broken_path_);
     broken << R"(
 Model { Name "broken" System {
@@ -178,7 +183,9 @@ class CliRecoveryTest : public CliTest {
     CliTest::SetUp();
     // Three seeded syntax errors (bad direction token, stray '%', missing
     // value) in a model that still has recoverable structure.
-    mangled_path_ = testing::TempDir() + "/cli_mangled.mdl";
+    const std::string tag =
+        testing::UnitTest::GetInstance()->current_test_info()->name();
+    mangled_path_ = testing::TempDir() + "/cli_mangled_" + tag + ".mdl";
     std::ofstream mangled(mangled_path_);
     mangled << R"(
 Model { Name "mangled" System {

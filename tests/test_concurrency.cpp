@@ -1,0 +1,308 @@
+// Concurrency stress tests for the shared-state primitives of the
+// parallel analysis engine: DiagnosticSink under concurrent reporting,
+// Budget's shared deadline latch, the work-stealing ThreadPool and the
+// structured parallel loops, and the parallel stages that must stay
+// bit-identical to their serial counterparts.
+//
+// These suites (Concurrency*) are the ThreadSanitizer surface: CI runs
+// them under -fsanitize=thread, so keep every cross-thread interaction
+// here data-race-free by construction, not by luck.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "analysis/cutsets.h"
+#include "casestudy/setta.h"
+#include "casestudy/synthetic.h"
+#include "core/budget.h"
+#include "core/diagnostics.h"
+#include "core/parallel.h"
+#include "core/thread_pool.h"
+#include "failure/failure_class.h"
+#include "fta/synthesis.h"
+#include "sim/monte_carlo.h"
+
+namespace ftsynth {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DiagnosticSink: one shared sink hammered from many threads.
+
+TEST(ConcurrencySink, CountsStayExactUnderContention) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kErrorsPerThread = 100;
+  constexpr std::size_t kWarningsPerThread = 100;
+  constexpr std::size_t kCap = 50;
+
+  DiagnosticSink sink(kCap);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (std::size_t i = 0; i < kErrorsPerThread; ++i)
+        sink.error(ErrorKind::kAnalysis,
+                   "error " + std::to_string(t * 1000 + i));
+      for (std::size_t i = 0; i < kWarningsPerThread; ++i)
+        sink.warning(ErrorKind::kAnalysis,
+                     "warning " + std::to_string(t * 1000 + i));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every error was counted; only kCap were retained; no warning was
+  // dropped or double-counted.
+  EXPECT_EQ(sink.error_count(), kThreads * kErrorsPerThread);
+  EXPECT_EQ(sink.warning_count(), kThreads * kWarningsPerThread);
+  EXPECT_EQ(sink.dropped(), kThreads * kErrorsPerThread - kCap);
+  EXPECT_TRUE(sink.saturated());
+  EXPECT_EQ(sink.diagnostics().size(), kCap + kThreads * kWarningsPerThread);
+  EXPECT_FALSE(sink.render_table().empty());
+}
+
+TEST(ConcurrencySink, AccessorsAreSafeWhileReporting) {
+  DiagnosticSink sink(1000);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      // The values race with the writers; the point is that reading them
+      // concurrently is well-defined (TSan-clean) and never tears.
+      (void)sink.error_count();
+      (void)sink.warning_count();
+      (void)sink.saturated();
+      (void)sink.empty();
+      (void)sink.dropped();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i)
+        sink.warning(ErrorKind::kParse, "w" + std::to_string(i));
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(sink.warning_count(), 4u * 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Budget: the shared deadline latch.
+
+TEST(ConcurrencyBudget, ForceExpirePropagatesToAllCopies) {
+  Budget original;
+  original.set_deadline_ms(60000);  // far away: only the latch can fire
+  Budget copy_a = original;
+  Budget copy_b = copy_a;
+
+  EXPECT_FALSE(original.expired());
+  EXPECT_FALSE(copy_a.expired());
+
+  copy_b.force_expire();
+  EXPECT_TRUE(original.expired());
+  EXPECT_TRUE(copy_a.expired());
+  EXPECT_TRUE(copy_b.expired());
+}
+
+TEST(ConcurrencyBudget, CopiesTakenBeforeArmingDoNotShareTheLatch) {
+  Budget original;
+  Budget detached = original;  // copied before set_deadline(): independent
+  original.set_deadline_ms(60000);
+  original.force_expire();
+  EXPECT_TRUE(original.expired());
+  EXPECT_FALSE(detached.expired());
+}
+
+TEST(ConcurrencyBudget, ManyThreadsObserveOneExpiry) {
+  Budget budget;
+  budget.set_deadline_ms(5);
+  constexpr int kThreads = 8;
+  std::vector<Budget> copies(kThreads, budget);
+  std::atomic<int> observed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread polls its own copy in a hot loop, as an engine would.
+      while (!copies[static_cast<std::size_t>(t)].poll())
+        std::this_thread::yield();
+      observed.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(observed.load(), kThreads);
+  EXPECT_TRUE(budget.expired());  // the latch reached the original too
+}
+
+TEST(ConcurrencyBudget, OneObjectPolledFromManyThreads) {
+  Budget budget;
+  budget.set_deadline_ms(60000);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load() && !budget.poll()) {
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  budget.force_expire();  // all pollers unwind through the latch
+  for (std::thread& thread : threads) thread.join();
+  stop.store(true);
+  EXPECT_TRUE(budget.expired());
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / parallel_for / parallel_map.
+
+TEST(ConcurrencyPool, SubmittedTasksAllRun) {
+  constexpr int kTasks = 500;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < kTasks; ++i)
+      pool.submit([&ran] { ran.fetch_add(1); });
+    // The destructor drains the queues before joining.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ConcurrencyPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(&pool, kCount,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ConcurrencyPool, NullPoolIsAPlainSerialLoop) {
+  std::vector<int> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // unsynchronised: must be serial
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ConcurrencyPool, ExceptionsPropagateAfterAllIterationsRan) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      parallel_for(&pool, kCount,
+                   [&](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 123) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // No early abort: the loop completes (budget latches, not cancellation,
+  // make post-error work cheap), so results in other slots stay valid.
+  EXPECT_EQ(ran.load(), kCount);
+}
+
+TEST(ConcurrencyPool, NestedLoopsDoNotDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::array<std::atomic<int>, 8>> hits(8);
+  parallel_for(&pool, 8, [&](std::size_t i) {
+    parallel_for(&pool, 8,
+                 [&](std::size_t j) { hits[i][j].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) ASSERT_EQ(hits[i][j].load(), 1);
+}
+
+TEST(ConcurrencyPool, ParallelMapCollectsInIndexOrder) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> squares =
+      parallel_map(&pool, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ConcurrencyPool, MoveOnlyResultsWork) {
+  ThreadPool pool(2);
+  std::vector<std::unique_ptr<int>> results = parallel_map(
+      &pool, 32,
+      [](std::size_t i) { return std::make_unique<int>(static_cast<int>(i)); });
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(*results[i], static_cast<int>(i));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel stages vs their serial twins.
+
+TEST(ConcurrencyMinimise, ParallelSubsumptionMatchesSerial) {
+  // Thousands of working sets at the voting AND: large enough that the
+  // blocked parallel path actually engages (it falls back to serial below
+  // 2 blocks of candidates).
+  synthetic::ReplicatedConfig config;
+  config.channels = 3;
+  config.stages = 12;
+  Model model = synthetic::build_replicated(config);
+  FaultTree tree = Synthesiser(model).synthesise("Omission-sink");
+
+  CutSetAnalysis serial = minimal_cut_sets(tree);
+  ASSERT_GE(serial.peak_sets, 1000u);
+
+  ThreadPool pool(4);
+  CutSetOptions options;
+  options.pool = &pool;
+  CutSetAnalysis parallel = minimal_cut_sets(tree, options);
+
+  EXPECT_EQ(parallel.to_string(), serial.to_string());
+  EXPECT_EQ(parallel.cut_sets.size(), serial.cut_sets.size());
+  EXPECT_EQ(parallel.truncated, serial.truncated);
+}
+
+TEST(ConcurrencyMonteCarlo, ShardedRunIsIdenticalWithAndWithoutPool) {
+  Model model = setta::build_bbw();
+  const Deviation top{model.registry().omission(), Symbol("brake_force_fl")};
+  MonteCarloOptions options;
+  options.trials = 2000;
+  options.shards = 16;
+  options.probability.mission_time_hours = 1000.0;
+
+  MonteCarloResult serial = simulate_top_event(model, top, options);
+  ThreadPool pool(4);
+  MonteCarloResult pooled = simulate_top_event(model, top, options, &pool);
+
+  EXPECT_EQ(pooled.trials, serial.trials);
+  EXPECT_EQ(pooled.occurrences, serial.occurrences);
+  EXPECT_EQ(pooled.estimate, serial.estimate);
+  EXPECT_EQ(pooled.std_error, serial.std_error);
+}
+
+TEST(ConcurrencyMonteCarlo, ShardCountChangesTheStreamButNotValidity) {
+  // Different shard counts are different (all valid) sample sequences;
+  // the estimate is a function of (seed, shards, trials), never of the
+  // executing thread count.
+  Model model = setta::build_bbw();
+  const Deviation top{model.registry().omission(), Symbol("brake_force_fl")};
+  MonteCarloOptions options;
+  options.trials = 1000;
+  options.probability.mission_time_hours = 1000.0;
+
+  options.shards = 4;
+  MonteCarloResult four_a = simulate_top_event(model, top, options);
+  ThreadPool pool(2);
+  MonteCarloResult four_b = simulate_top_event(model, top, options, &pool);
+  EXPECT_EQ(four_a.occurrences, four_b.occurrences);
+
+  options.shards = 1;
+  MonteCarloResult one = simulate_top_event(model, top, options);
+  EXPECT_EQ(one.trials, four_a.trials);
+  // (one.occurrences may legitimately differ from four_a.occurrences.)
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -1,13 +1,21 @@
-// Tests for parallel multi-top-event synthesis.
+// Tests for parallel multi-top-event synthesis, the batch orchestrator
+// and the CLI's --jobs determinism guarantee.
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "analysis/batch.h"
 #include "analysis/cutsets.h"
 #include "core/error.h"
+#include "core/thread_pool.h"
+#include "casestudy/fuel.h"
 #include "casestudy/setta.h"
 #include "casestudy/synthetic.h"
 #include "failure/expr_parser.h"
 #include "fta/synthesis.h"
+#include "mdl/writer.h"
+#include "tools/cli.h"
 
 namespace ftsynth {
 namespace {
@@ -72,6 +80,132 @@ TEST(ParallelSynthesis, ManyTopsManyThreadsIsDeterministic) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].to_text(), second[i].to_text()) << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Batch orchestrator: pooled and serial runs are interchangeable.
+
+TEST(ParallelBatch, PooledBatchMatchesSerialBatch) {
+  Model model = setta::build_bbw();
+  std::vector<Deviation> tops = bbw_tops(model);
+  BatchOptions options;
+  options.analysis.probability.mission_time_hours = 1000.0;
+
+  BatchResult serial = analyse_batch(model, tops, options, nullptr);
+  ThreadPool pool(4);
+  BatchResult pooled = analyse_batch(model, tops, options, &pool);
+
+  ASSERT_EQ(serial.items.size(), tops.size());
+  ASSERT_EQ(pooled.items.size(), tops.size());
+  for (std::size_t i = 0; i < tops.size(); ++i) {
+    const BatchItem& a = serial.items[i];
+    const BatchItem& b = pooled.items[i];
+    ASSERT_TRUE(a.tree.has_value()) << i;
+    ASSERT_TRUE(b.tree.has_value()) << i;
+    EXPECT_EQ(a.tree->to_text(), b.tree->to_text()) << i;
+    ASSERT_TRUE(a.analysis.has_value()) << i;
+    ASSERT_TRUE(b.analysis.has_value()) << i;
+    EXPECT_EQ(a.analysis->p_exact, b.analysis->p_exact) << i;
+    EXPECT_EQ(a.analysis->cut_sets.to_string(),
+              b.analysis->cut_sets.to_string())
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The CLI's headline guarantee: --jobs N output is byte-identical to
+// --jobs 1, for every command and every export format.
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+
+  friend bool operator==(const CliRun& a, const CliRun& b) {
+    return a.code == b.code && a.out == b.out && a.err == b.err;
+  }
+};
+
+class ParallelCliDeterminism : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag =
+        testing::UnitTest::GetInstance()->current_test_info()->name();
+    bbw_path_ = testing::TempDir() + "/jobs_bbw_" + tag + ".mdl";
+    write_mdl_file(setta::build_bbw(), bbw_path_);
+    fuel_path_ = testing::TempDir() + "/jobs_fuel_" + tag + ".mdl";
+    write_mdl_file(fuel::build_fuel_system(), fuel_path_);
+  }
+
+  static CliRun run(std::vector<std::string> args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    CliRun result;
+    result.code = cli::run(args, out, err);
+    result.out = out.str();
+    result.err = err.str();
+    return result;
+  }
+
+  /// Runs `args` + "--jobs 1" and + "--jobs 4" and requires byte-identical
+  /// stdout, stderr and exit code.
+  static void expect_jobs_invariant(std::vector<std::string> args) {
+    std::vector<std::string> serial = args;
+    serial.insert(serial.end(), {"--jobs", "1"});
+    std::vector<std::string> pooled = args;
+    pooled.insert(pooled.end(), {"--jobs", "4"});
+    CliRun a = run(serial);
+    CliRun b = run(pooled);
+    EXPECT_EQ(a.code, b.code);
+    EXPECT_EQ(a.out, b.out);
+    EXPECT_EQ(a.err, b.err);
+  }
+
+  std::string bbw_path_;
+  std::string fuel_path_;
+};
+
+TEST_F(ParallelCliDeterminism, AnalyseBbwAllTops) {
+  // No --top: the derivable-top probe AND the batch both run in parallel.
+  expect_jobs_invariant({"analyse", bbw_path_, "--time", "1000"});
+}
+
+TEST_F(ParallelCliDeterminism, AnalyseFuelAllTops) {
+  expect_jobs_invariant({"analyse", fuel_path_, "--time", "1000"});
+}
+
+TEST_F(ParallelCliDeterminism, AnalyseExplicitTopsWithTree) {
+  expect_jobs_invariant({"analyse", bbw_path_, "--top",
+                         "Omission-total_braking", "--top",
+                         "Omission-brake_force_fl", "--tree"});
+}
+
+TEST_F(ParallelCliDeterminism, SynthesiseEveryExportFormat) {
+  for (const char* format : {"text", "dot", "xml", "json", "ftp"}) {
+    SCOPED_TRACE(format);
+    expect_jobs_invariant({"synthesise", bbw_path_, "--top",
+                           "Omission-total_braking", "--top",
+                           "Omission-warning_lamp", "--format", format});
+  }
+}
+
+TEST_F(ParallelCliDeterminism, FmeaFuel) {
+  expect_jobs_invariant({"fmea", fuel_path_, "--time", "1000"});
+}
+
+TEST_F(ParallelCliDeterminism, DeadlineMidBatchYieldsFlaggedPartialResult) {
+  // A 1 ms budget expires inside the 16-top BBW batch. The run must still
+  // complete in an orderly way: a success-or-diagnosed exit code and an
+  // explicit "deadline" flag somewhere in the output -- never a crash or a
+  // silent, unflagged truncation. (The *content* is timing-dependent, so
+  // unlike the tests above this one does not compare bytes.)
+  CliRun result = run({"analyse", bbw_path_, "--time", "1000",
+                       "--deadline-ms", "1", "--jobs", "4"});
+  EXPECT_TRUE(result.code == 0 || result.code == 1) << result.code;
+  const std::string combined = result.out + result.err;
+  EXPECT_NE(combined.find("deadline"), std::string::npos)
+      << "partial result was not flagged:\n"
+      << combined;
 }
 
 }  // namespace

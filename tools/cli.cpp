@@ -4,6 +4,7 @@
 #include <iostream>
 #include <optional>
 
+#include "analysis/batch.h"
 #include "analysis/completeness.h"
 #include "analysis/fmea.h"
 #include "analysis/report.h"
@@ -12,7 +13,9 @@
 #include "core/budget.h"
 #include "core/diagnostics.h"
 #include "core/error.h"
+#include "core/parallel.h"
 #include "core/strings.h"
+#include "core/thread_pool.h"
 #include "failure/expr_parser.h"
 #include "ftp/dot_writer.h"
 #include "ftp/ftp_writer.h"
@@ -48,6 +51,9 @@ options:
   --strict           fail fast on the first error (disables recovery)
   --max-errors N     stop collecting after N recovered errors (default 100)
   --deadline-ms N    wall-clock budget for synthesis and analysis
+  --jobs N           worker threads for synthesise/analyse/fmea
+                     (default: hardware concurrency; 1 = serial; output
+                     is byte-identical for every N)
 
 exit codes:
   0  clean run                       1  completed, but with diagnostics
@@ -67,6 +73,9 @@ struct Options {
   bool strict = false;
   std::size_t max_errors = DiagnosticSink::kDefaultMaxErrors;
   long deadline_ms = 0;  ///< 0 = no deadline
+  int jobs = 0;          ///< 0 = hardware concurrency; 1 = serial
+  /// Armed once per run (one shared deadline latch); every stage copies it.
+  Budget budget;
 };
 
 /// Parses argv; returns nullopt (after printing the message) on bad usage.
@@ -138,6 +147,19 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
         err << "error: --deadline-ms must be >= 0\n";
         return std::nullopt;
       }
+    } else if (arg == "--jobs") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      try {
+        options.jobs = std::stoi(*v);
+      } catch (const std::exception&) {
+        err << "error: --jobs needs a count, got '" << *v << "'\n";
+        return std::nullopt;
+      }
+      if (options.jobs < 0) {
+        err << "error: --jobs must be >= 0\n";
+        return std::nullopt;
+      }
     } else if (arg == "--help" || arg == "-h") {
       err << kUsage;
       return std::nullopt;
@@ -170,11 +192,9 @@ int exit_code_for(ErrorKind kind) noexcept {
   return 6;
 }
 
-Budget make_budget(const Options& options) {
-  Budget budget;
-  if (options.deadline_ms > 0) budget.set_deadline_ms(options.deadline_ms);
-  return budget;
-}
+/// Copies the run's single armed budget: every stage of every worker
+/// shares one deadline latch, so --deadline-ms bites globally.
+Budget make_budget(const Options& options) { return options.budget; }
 
 /// Synthesis options for a command run: resource budget always, degraded
 /// mode (diagnostics instead of aborts) unless --strict.
@@ -203,7 +223,8 @@ int emit(const std::string& text, const Options& options, std::ostream& out,
 }
 
 std::vector<Deviation> resolve_tops(const Model& model,
-                                    const Options& options) {
+                                    const Options& options,
+                                    ThreadPool* pool = nullptr) {
   std::vector<Deviation> tops;
   if (!options.tops.empty()) {
     for (const std::string& top : options.tops)
@@ -211,22 +232,29 @@ std::vector<Deviation> resolve_tops(const Model& model,
     return tops;
   }
   // Default: every derivable top event (prune undeveloped roots so only
-  // genuinely explained deviations appear).
+  // genuinely explained deviations appear). The probe synthesises every
+  // (output port x class) candidate, so it parallelises like the real run;
+  // the candidate list and its order are independent of the pool.
   SynthesisOptions prune;
   prune.unannotated = SynthesisOptions::UnannotatedPolicy::kPrune;
   prune.budget = make_budget(options);
   // The probe only decides which candidates are worth synthesising; its
   // degraded-mode diagnostics would duplicate the real run's, so they go
-  // to a throwaway sink.
+  // to a throwaway sink (thread-safe: probe workers share it).
   DiagnosticSink probe_sink;
   if (!options.strict) prune.sink = &probe_sink;
-  Synthesiser probe(model, prune);
+  std::vector<Deviation> candidates;
   for (const Port* port : model.root().outputs()) {
-    for (FailureClass cls : model.registry().all()) {
-      Deviation candidate{cls, port->name()};
-      if (probe.synthesise(candidate).top() != nullptr)
-        tops.push_back(candidate);
-    }
+    for (FailureClass cls : model.registry().all())
+      candidates.push_back(Deviation{cls, port->name()});
+  }
+  std::vector<char> derivable(candidates.size(), 0);
+  parallel_for(pool, candidates.size(), [&](std::size_t i) {
+    Synthesiser probe(model, prune);
+    derivable[i] = probe.synthesise(candidates[i]).top() != nullptr ? 1 : 0;
+  });
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (derivable[i] != 0) tops.push_back(candidates[i]);
   }
   return tops;
 }
@@ -285,21 +313,35 @@ int cmd_validate(const Model& model, const Options& options,
   return 0;
 }
 
+/// Replays one batch item's diagnostics and error into the shared sink in
+/// the order a serial loop would have produced them. Returns false when
+/// the item failed (strict mode rethrows instead; non-Error exceptions
+/// always propagate, as they would from a serial loop body).
+bool replay_item(BatchItem& item, const Options& options,
+                 DiagnosticSink& sink) {
+  for (const Diagnostic& diagnostic : item.diagnostics)
+    sink.report(diagnostic);
+  if (!item.error) return true;
+  if (options.strict) std::rethrow_exception(item.error);
+  try {
+    std::rethrow_exception(item.error);
+  } catch (const Error& error) {
+    sink.error_from(error, item.top.to_string());
+  }
+  return false;
+}
+
 int cmd_synthesise(const Model& model, const Options& options,
-                   DiagnosticSink& sink, std::ostream& out,
+                   DiagnosticSink& sink, ThreadPool* pool, std::ostream& out,
                    std::ostream& err) {
-  Synthesiser synthesiser(model, synthesis_options(options, sink));
+  BatchOptions batch_options;
+  batch_options.synthesis = synthesis_options(options, sink);
+  batch_options.analyse = false;
+  BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
+                                    batch_options, pool);
   std::vector<FaultTree> trees;
-  for (const Deviation& top : resolve_tops(model, options)) {
-    if (options.strict) {
-      trees.push_back(synthesiser.synthesise(top));
-      continue;
-    }
-    try {
-      trees.push_back(synthesiser.synthesise(top));
-    } catch (const Error& error) {
-      sink.error_from(error, top.to_string());
-    }
+  for (BatchItem& item : batch.items) {
+    if (replay_item(item, options, sink)) trees.push_back(std::move(*item.tree));
   }
   if (trees.empty()) {
     if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
@@ -329,35 +371,27 @@ int cmd_synthesise(const Model& model, const Options& options,
 }
 
 int cmd_analyse(const Model& model, const Options& options,
-                DiagnosticSink& sink, std::ostream& out, std::ostream& err) {
-  AnalysisOptions analysis_options;
-  analysis_options.probability.mission_time_hours =
+                DiagnosticSink& sink, ThreadPool* pool, std::ostream& out,
+                std::ostream& err) {
+  BatchOptions batch_options;
+  batch_options.synthesis = synthesis_options(options, sink);
+  batch_options.analysis.probability.mission_time_hours =
       options.mission_time_hours;
-  analysis_options.render_tree = options.render_tree;
-  analysis_options.cut_sets.budget = make_budget(options);
-  analysis_options.probability.budget = make_budget(options);
-  Synthesiser synthesiser(model, synthesis_options(options, sink));
+  batch_options.analysis.render_tree = options.render_tree;
+  batch_options.analysis.cut_sets.budget = make_budget(options);
+  batch_options.analysis.probability.budget = make_budget(options);
+  BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
+                                    batch_options, pool);
   std::string text;
-  for (const Deviation& top : resolve_tops(model, options)) {
-    if (!options.strict) {
-      try {
-        FaultTree tree = synthesiser.synthesise(top);
-        TreeAnalysis analysis = analyse_tree(tree, analysis_options);
-        if (analysis.cut_sets.deadline_exceeded) {
-          sink.warning(ErrorKind::kAnalysis,
-                       "cut-set analysis stopped at the deadline; "
-                       "results are partial",
-                       {}, top.to_string());
-        }
-        text += render(tree, analysis, analysis_options) + "\n";
-      } catch (const Error& error) {
-        sink.error_from(error, top.to_string());
-      }
-      continue;
+  for (BatchItem& item : batch.items) {
+    if (!replay_item(item, options, sink)) continue;
+    if (!options.strict && item.analysis->cut_sets.deadline_exceeded) {
+      sink.warning(ErrorKind::kAnalysis,
+                   "cut-set analysis stopped at the deadline; "
+                   "results are partial",
+                   {}, item.top.to_string());
     }
-    FaultTree tree = synthesiser.synthesise(top);
-    TreeAnalysis analysis = analyse_tree(tree, analysis_options);
-    text += render(tree, analysis, analysis_options) + "\n";
+    text += render(*item.tree, *item.analysis, batch_options.analysis) + "\n";
   }
   if (text.empty()) {
     if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
@@ -427,34 +461,31 @@ int cmd_sensitivity(const Model& model, const Options& options,
 }
 
 int cmd_fmea(const Model& model, const Options& options, DiagnosticSink& sink,
-             std::ostream& out, std::ostream& err) {
+             ThreadPool* pool, std::ostream& out, std::ostream& err) {
   ProbabilityOptions probability;
   probability.mission_time_hours = options.mission_time_hours;
   probability.budget = make_budget(options);
   CutSetOptions cut_set_options;
   cut_set_options.budget = make_budget(options);
-  Synthesiser synthesiser(model, synthesis_options(options, sink));
+  cut_set_options.pool = pool;
+  BatchOptions batch_options;
+  batch_options.synthesis = synthesis_options(options, sink);
+  batch_options.analyse = false;
+  BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
+                                    batch_options, pool);
   std::vector<FaultTree> trees;
-  for (const Deviation& top : resolve_tops(model, options)) {
-    if (options.strict) {
-      trees.push_back(synthesiser.synthesise(top));
-      continue;
-    }
-    try {
-      trees.push_back(synthesiser.synthesise(top));
-    } catch (const Error& error) {
-      sink.error_from(error, top.to_string());
-    }
+  for (BatchItem& item : batch.items) {
+    if (replay_item(item, options, sink)) trees.push_back(std::move(*item.tree));
   }
   if (trees.empty()) {
     if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
     err << "error: no derivable top events in this model\n";
     return 2;
   }
-  std::vector<CutSetAnalysis> analyses;
-  analyses.reserve(trees.size());
-  for (const FaultTree& tree : trees)
-    analyses.push_back(minimal_cut_sets(tree, cut_set_options));
+  std::vector<CutSetAnalysis> analyses =
+      parallel_map(pool, trees.size(), [&](std::size_t i) {
+        return minimal_cut_sets(trees[i], cut_set_options);
+      });
   std::vector<const FaultTree*> tree_ptrs;
   std::vector<const CutSetAnalysis*> analysis_ptrs;
   for (std::size_t i = 0; i < trees.size(); ++i) {
@@ -483,19 +514,32 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                       ? parse_mdl_file(options->model_path,
                                        options->command != "validate")
                       : parse_mdl_file(options->model_path, sink);
+    // One budget, armed once: every stage and worker copies it, so they
+    // all share a single deadline latch.
+    if (options->deadline_ms > 0)
+      options->budget.set_deadline_ms(options->deadline_ms);
+    // One pool for the whole command. --jobs 1 keeps everything on this
+    // thread (no pool at all); the parallel commands produce byte-identical
+    // output either way.
+    const int jobs = options->jobs == 0
+                         ? static_cast<int>(ThreadPool::hardware_threads())
+                         : options->jobs;
+    std::optional<ThreadPool> owned_pool;
+    if (jobs > 1) owned_pool.emplace(jobs);
+    ThreadPool* pool = owned_pool ? &*owned_pool : nullptr;
     const std::string& command = options->command;
     if (command == "info") {
       rc = cmd_info(model, *options, out, err);
     } else if (command == "validate") {
       rc = cmd_validate(model, *options, sink, out, err);
     } else if (command == "synthesise" || command == "synthesize") {
-      rc = cmd_synthesise(model, *options, sink, out, err);
+      rc = cmd_synthesise(model, *options, sink, pool, out, err);
     } else if (command == "analyse" || command == "analyze") {
-      rc = cmd_analyse(model, *options, sink, out, err);
+      rc = cmd_analyse(model, *options, sink, pool, out, err);
     } else if (command == "audit") {
       rc = cmd_audit(model, *options, out, err);
     } else if (command == "fmea") {
-      rc = cmd_fmea(model, *options, sink, out, err);
+      rc = cmd_fmea(model, *options, sink, pool, out, err);
     } else if (command == "sensitivity") {
       rc = cmd_sensitivity(model, *options, sink, out, err);
     } else if (command == "report") {

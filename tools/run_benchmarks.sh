@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Builds every benchmark in Release mode and refreshes bench_results/.
+#
+# Usage:  tools/run_benchmarks.sh [bench_name ...]
+#
+# With no arguments every bench/bench_*.cpp target is built and run; with
+# arguments only the named benches run (e.g. `tools/run_benchmarks.sh
+# bench_parallel`). Each run writes bench_results/BENCH_<name>.json in
+# google-benchmark's JSON format (machine-readable: context block with CPU
+# info + build type, one record per benchmark repetition).
+#
+# Environment:
+#   BUILD_DIR   Release build tree (default: build-release)
+#   MIN_TIME    --benchmark_min_time value in seconds (default: benchmark's
+#               own heuristic; set e.g. MIN_TIME=0.01 for a smoke run)
+#
+# Results are only comparable when produced by this script: a DEBUG-build
+# number is meaningless (google-benchmark itself warns), which is why the
+# output lands in files prefixed BENCH_ -- anything else in bench_results/
+# is legacy and should be deleted rather than compared against.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-release}"
+RESULTS_DIR="bench_results"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+if [ "$#" -gt 0 ]; then
+  benches=("$@")
+else
+  benches=()
+  for source in bench/bench_*.cpp; do
+    name="$(basename "$source" .cpp)"
+    benches+=("$name")
+  done
+fi
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${benches[@]}"
+
+mkdir -p "$RESULTS_DIR"
+
+extra_args=()
+if [ -n "${MIN_TIME:-}" ]; then
+  extra_args+=("--benchmark_min_time=$MIN_TIME")
+fi
+
+for name in "${benches[@]}"; do
+  out="$RESULTS_DIR/BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  "$BUILD_DIR/bench/$name" \
+    --benchmark_format=json \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    "${extra_args[@]}" >/dev/null
+done
+
+echo "done: ${#benches[@]} benchmark suites in $RESULTS_DIR/"
