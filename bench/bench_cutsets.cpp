@@ -1,13 +1,23 @@
 // Experiment E5 (analysis side): cost of the downstream cut-set analysis
 // that the paper delegates to Fault Tree Plus, comparing the 2001-era
-// top-down MOCUS engine against the bottom-up engine and the exact BDD
-// encoding on the same synthesized trees.
+// top-down MOCUS engine against the bottom-up engine, the symbolic ZBDD
+// engine and the exact BDD encoding on the same synthesized trees.
 //
 // Expected shape: MOCUS's working set (rows) grows combinatorially with
-// the number of AND-combined replicated lanes, while the bottom-up engine
-// with early absorption and the BDD stay small.
+// the number of AND-combined replicated lanes, the bottom-up engine with
+// early absorption pays for every intermediate set, and the decision
+// diagrams stay polynomial in the diagram size.
+//
+// The file also A/B-tests the subsumption kernel itself: the interned
+// word-array bitset representation against the sorted literal-vector
+// representation it replaced (kept here as a local replica).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
 
 #include "analysis/cutsets.h"
 #include "analysis/probability.h"
@@ -76,6 +86,22 @@ void BM_BddCutSetsReplicated(benchmark::State& state) {
 BENCHMARK(BM_BddCutSetsReplicated)
     ->Args({2, 4})->Args({3, 4})->Args({4, 4})->Args({5, 4})->Args({6, 4});
 
+void BM_ZbddReplicated(benchmark::State& state) {
+  FaultTree tree = replicated_tree(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  std::size_t sets = 0;
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = zbdd_cut_sets(tree);
+    sets = analysis.cut_sets.size();
+    peak = analysis.peak_sets;
+  }
+  state.counters["cut_sets"] = static_cast<double>(sets);
+  state.counters["peak_nodes"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_ZbddReplicated)
+    ->Args({2, 4})->Args({3, 4})->Args({4, 4})->Args({5, 4})->Args({6, 4});
+
 void BM_BddEncodeReplicated(benchmark::State& state) {
   FaultTree tree = replicated_tree(static_cast<int>(state.range(0)),
                                    static_cast<int>(state.range(1)));
@@ -106,7 +132,10 @@ void BM_CutSetsBbw(benchmark::State& state) {
   }
   state.counters["cut_sets"] = static_cast<double>(sets);
 }
-BENCHMARK(BM_CutSetsBbw)->DenseRange(0, 15, 5);
+// Index 12 is Omission-total_braking: the largest synthesized tree in the
+// demonstrator (an AND over four replicated brake lanes), and the headline
+// engine comparison against BM_ZbddBbw/12.
+BENCHMARK(BM_CutSetsBbw)->DenseRange(0, 15, 5)->Arg(12);
 
 void BM_MocusBbw(benchmark::State& state) {
   static Model model = setta::build_bbw();
@@ -122,6 +151,114 @@ void BM_MocusBbw(benchmark::State& state) {
   }
   state.counters["cut_sets"] = static_cast<double>(sets);
 }
+// No Arg(12) here: MOCUS's row expansion on the four-lane AND of
+// Omission-total_braking runs for minutes and truncates at max_sets --
+// the set-limit tests cover that behaviour; timing it teaches nothing.
 BENCHMARK(BM_MocusBbw)->DenseRange(0, 15, 5);
+
+void BM_ZbddBbw(benchmark::State& state) {
+  static Model model = setta::build_bbw();
+  Synthesiser synthesiser(model);
+  const std::vector<std::string> tops = setta::bbw_top_events();
+  const std::string& top = tops[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(top);
+  FaultTree tree = synthesiser.synthesise(top);
+  std::size_t sets = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = zbdd_cut_sets(tree);
+    sets = analysis.cut_sets.size();
+  }
+  state.counters["cut_sets"] = static_cast<double>(sets);
+}
+BENCHMARK(BM_ZbddBbw)->DenseRange(0, 15, 5)->Arg(12);
+
+// -- Subsumption kernel A/B ------------------------------------------------------
+//
+// The minimisation workload isolated from any engine: N random sets of
+// 3..7 literals. `Bitset` runs the production interned-bitset kernel
+// (word loops + signature pre-filter + popcount bucketing + contiguous
+// signature sidecar); `Vector` is a replica of the sorted literal-vector
+// kernel it replaced (std::includes subset tests, signature pre-filter,
+// full kept scan). Only plain-polarity (even) ids are drawn, so no set is
+// dropped as contradictory and both kernels process identical families.
+// Sizes start at 3 because single literals make minimisation trivial
+// (every singleton absorbs all its supersets on sight): mid-order sets
+// are what the voting-AND families look like, and they keep the
+// quadratic subsumption scan -- the part being A/B-tested -- hot.
+
+std::vector<std::vector<int>> random_literal_sets(std::size_t count,
+                                                  int events) {
+  std::mt19937 rng(20010623u);
+  std::uniform_int_distribution<int> event(0, events - 1);
+  std::uniform_int_distribution<int> size(3, 7);
+  std::vector<std::vector<int>> sets(count);
+  for (std::vector<int>& set : sets) {
+    const int n = size(rng);
+    for (int i = 0; i < n; ++i) set.push_back(2 * event(rng));
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+  return sets;
+}
+
+/// The pre-bitset kernel: sorted literal vectors with a 64-bit signature.
+std::vector<std::vector<int>> vector_minimise(
+    std::vector<std::vector<int>> sets) {
+  struct Entry {
+    std::vector<int> literals;
+    std::uint64_t signature = 0;
+  };
+  std::vector<Entry> work;
+  work.reserve(sets.size());
+  for (std::vector<int>& literals : sets) {
+    Entry entry{std::move(literals), 0};
+    for (int lit : entry.literals) entry.signature |= 1ULL << (lit % 64);
+    work.push_back(std::move(entry));
+  }
+  std::sort(work.begin(), work.end(), [](const Entry& a, const Entry& b) {
+    if (a.literals.size() != b.literals.size())
+      return a.literals.size() < b.literals.size();
+    return a.literals < b.literals;
+  });
+  std::vector<Entry> kept;
+  for (Entry& candidate : work) {
+    bool subsumed = false;
+    for (const Entry& small : kept) {
+      if ((small.signature & ~candidate.signature) != 0) continue;
+      if (std::includes(candidate.literals.begin(), candidate.literals.end(),
+                        small.literals.begin(), small.literals.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(std::move(candidate));
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(kept.size());
+  for (Entry& entry : kept) out.push_back(std::move(entry.literals));
+  return out;
+}
+
+void BM_SubsumptionKernelBitset(benchmark::State& state) {
+  const std::vector<std::vector<int>> sets =
+      random_literal_sets(static_cast<std::size_t>(state.range(0)), 96);
+  std::size_t kept = 0;
+  for (auto _ : state) {
+    kept = minimise_literal_sets(sets, 192).size();
+  }
+  state.counters["kept"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_SubsumptionKernelBitset)->Arg(4000)->Arg(16000)->Arg(64000);
+
+void BM_SubsumptionKernelVector(benchmark::State& state) {
+  const std::vector<std::vector<int>> sets =
+      random_literal_sets(static_cast<std::size_t>(state.range(0)), 96);
+  std::size_t kept = 0;
+  for (auto _ : state) {
+    kept = vector_minimise(sets).size();
+  }
+  state.counters["kept"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_SubsumptionKernelVector)->Arg(4000)->Arg(16000)->Arg(64000);
 
 }  // namespace

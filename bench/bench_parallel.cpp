@@ -152,4 +152,29 @@ BENCHMARK(BM_ParallelMinimiseReplicated)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// The symbolic engine on the same tree as BM_ParallelMinimiseReplicated:
+// the single-threaded ZBDD is the engine-comparison baseline for the
+// worker-axis series above (it never enumerates the intermediate sets the
+// block screening has to subsume, so it needs no pool at all). The
+// cut_sets counter must equal the parallel series' -- same canonical
+// family by contract.
+void BM_ZbddMinimiseReplicated(benchmark::State& state) {
+  static Model model = [] {
+    synthetic::ReplicatedConfig config;
+    config.channels = 3;
+    config.stages = 12;
+    return synthetic::build_replicated(config);
+  }();
+  static FaultTree tree = Synthesiser(model).synthesise("Omission-sink");
+  std::size_t cut_sets = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = zbdd_cut_sets(tree);
+    cut_sets = analysis.cut_sets.size();
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+}
+BENCHMARK(BM_ZbddMinimiseReplicated)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

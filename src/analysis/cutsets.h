@@ -2,17 +2,32 @@
 //
 // The paper hands synthesized trees to Fault Tree Plus for "cut-set
 // analysis, for example" (section 2). This module provides that analysis
-// natively, with two engines:
+// natively, with three selectable engines (CutSetOptions::engine, CLI
+// --engine):
 //
 //   * minimal_cut_sets -- bottom-up combination over the tree DAG
 //     (MICSUP-style): each node's minimal cut sets are computed from its
-//     children's, with absorption applied at every step. Fast, and the
-//     default.
+//     children's, with absorption applied at every step. The default.
 //   * mocus_cut_sets -- the classic top-down MOCUS row expansion as run by
 //     2001-era FTA tools. Kept as an independently-implemented oracle and
 //     for the engine-comparison benchmark (bench_cutsets).
+//   * zbdd_cut_sets -- symbolic: converts the tree DAG bottom-up into a
+//     zero-suppressed BDD (src/bdd/zbdd.h) with per-node memoisation, so
+//     shared subtrees convert once, keeps every intermediate family
+//     minimal with Rauzy's minsol, and only enumerates the final minimal
+//     family. Polynomial in the diagram size where the enumerating
+//     engines pay for every intermediate set.
 //
-// Both engines return the same canonical result: cut sets sorted by
+// The set-based engines share an interned-bitset kernel: every (event,
+// polarity) literal of the normalised tree is mapped once to a dense id in
+// depth-first occurrence order (analysis/ordering.h -- the same order the
+// decision diagrams use), and a working cut set is a word-array bitset
+// with a cached popcount and a 64-bit membership signature. Subsumption is
+// a `(a & ~b) == 0` word loop behind a signature pre-filter, and the
+// minimisation pass buckets candidates by popcount so a candidate is only
+// screened against strictly smaller survivors.
+//
+// All engines return the same canonical result: cut sets sorted by
 // (order, lexicographic event names). Negated literals (from NOT gates)
 // are supported; a set containing x and NOT x is contradictory and dropped.
 
@@ -29,7 +44,17 @@ namespace ftsynth {
 
 class ThreadPool;
 
+/// Which algorithm computes the minimal cut sets (see header comment).
+enum class CutSetEngine {
+  kMicsup,  ///< bottom-up set combination (default)
+  kMocus,   ///< top-down MOCUS row expansion
+  kZbdd,    ///< symbolic ZBDD engine
+};
+
 struct CutSetOptions {
+  /// Engine selection; every engine honours the limits below and returns
+  /// the same canonical cut sets on complete runs.
+  CutSetEngine engine = CutSetEngine::kMicsup;
   /// Drop cut sets with more literals than this (truncation is reported).
   std::size_t max_order = 64;
   /// Abort growth beyond this many working sets (truncation is reported).
@@ -42,7 +67,8 @@ struct CutSetOptions {
   /// Optional worker pool (not owned): parallelises the quadratic
   /// subsumption pass of minimisation over blocks of candidates. The
   /// result is literal-for-literal identical to the serial pass; null (the
-  /// default) keeps everything on the calling thread.
+  /// default) keeps everything on the calling thread. The ZBDD engine is
+  /// symbolic and ignores the pool.
   ThreadPool* pool = nullptr;
 };
 
@@ -76,6 +102,11 @@ struct CutSetAnalysis {
   std::string to_string() const;
 };
 
+/// Runs the engine selected by `options.engine`. The analysis layer and
+/// the CLI route every cut-set computation through this dispatcher.
+CutSetAnalysis compute_cut_sets(const FaultTree& tree,
+                                const CutSetOptions& options = {});
+
 /// Bottom-up engine (default).
 CutSetAnalysis minimal_cut_sets(const FaultTree& tree,
                                 const CutSetOptions& options = {});
@@ -84,6 +115,12 @@ CutSetAnalysis minimal_cut_sets(const FaultTree& tree,
 CutSetAnalysis mocus_cut_sets(const FaultTree& tree,
                               const CutSetOptions& options = {});
 
+/// Symbolic ZBDD engine (see header comment). Handles NOT gates: both
+/// polarities of an event are distinct ZBDD variables and contradictory
+/// sets are subtracted symbolically.
+CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
+                             const CutSetOptions& options = {});
+
 /// BDD engine (Rauzy's minimal-solutions algorithm): encodes the tree as a
 /// BDD, computes the minimal-solutions BDD with the `without` operator and
 /// enumerates its paths. Polynomial in the BDD size where the set-based
@@ -91,5 +128,14 @@ CutSetAnalysis mocus_cut_sets(const FaultTree& tree,
 /// throws ErrorKind::kAnalysis when the tree contains NOT gates.
 CutSetAnalysis bdd_cut_sets(const FaultTree& tree,
                             const CutSetOptions& options = {});
+
+/// Benchmark/diagnostic entry into the interned-bitset minimisation
+/// kernel: `sets` are cut sets over dense literal ids in [0, universe)
+/// (convention: id = 2 * event + negated, so ids 2k and 2k+1 are the two
+/// polarities of one event and a set holding both is contradictory and
+/// dropped). Returns the minimal, deduplicated sets as ascending id
+/// vectors, sorted by (size, lexicographic ids).
+std::vector<std::vector<int>> minimise_literal_sets(
+    const std::vector<std::vector<int>>& sets, int universe);
 
 }  // namespace ftsynth

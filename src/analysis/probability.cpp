@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "analysis/ordering.h"
 #include "bdd/bdd_prob.h"
 #include "core/error.h"
 
@@ -141,12 +142,29 @@ BddEncoding encode_bdd(const FaultTree& tree) {
   if (tree.top() == nullptr) return encoding;
 
   std::unordered_map<const FtNode*, int> var_of;
-  // Declare variables in leaf id order for deterministic encodings.
+  // Declare variables in leaf id order: `events` indexes stay stable no
+  // matter which variable order the diagram uses internally.
   for (const FtNode* leaf : tree.leaves()) {
     if (leaf->kind() == NodeKind::kHouse) continue;
     var_of.emplace(leaf, encoding.bdd.new_var());
     encoding.events.push_back(leaf);
   }
+
+  // Install the depth-first-occurrence order (analysis/ordering.h) as the
+  // diagram's level order; leaves the synthesis kept but the top never
+  // reaches fill the remaining levels in declaration order.
+  std::vector<int> order;
+  order.reserve(var_of.size());
+  std::vector<char> placed(var_of.size(), 0);
+  for (const FtNode* leaf : dfs_variable_order(tree)) {
+    const int v = var_of.at(leaf);
+    order.push_back(v);
+    placed[static_cast<std::size_t>(v)] = 1;
+  }
+  for (std::size_t v = 0; v < placed.size(); ++v) {
+    if (placed[v] == 0) order.push_back(static_cast<int>(v));
+  }
+  encoding.bdd.set_order(order);
 
   std::unordered_map<const FtNode*, Bdd::Ref> memo;
   auto build = [&](auto&& self, const FtNode* node) -> Bdd::Ref {

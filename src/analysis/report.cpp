@@ -9,7 +9,7 @@ TreeAnalysis analyse_tree(const FaultTree& tree,
   TreeAnalysis analysis;
   analysis.top_event = tree.top_description();
   analysis.tree_stats = tree.stats();
-  analysis.cut_sets = minimal_cut_sets(tree, options.cut_sets);
+  analysis.cut_sets = compute_cut_sets(tree, options.cut_sets);
   analysis.common_cause = analyse_common_cause(tree, analysis.cut_sets);
   analysis.importance =
       importance_ranking(tree, analysis.cut_sets, options.probability);

@@ -16,7 +16,36 @@ Bdd::Bdd() {
   nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true
 }
 
-int Bdd::new_var() { return var_count_++; }
+int Bdd::new_var() {
+  level_of_.push_back(var_count_);
+  return var_count_++;
+}
+
+void Bdd::set_order(const std::vector<int>& order) {
+  check_internal(nodes_.size() == 2,
+                 "set_order must run before any BDD node is built");
+  check_internal(order.size() == static_cast<std::size_t>(var_count_),
+                 "variable order must cover every declared variable");
+  std::vector<int> levels(order.size(), -1);
+  for (std::size_t level = 0; level < order.size(); ++level) {
+    const int var = order[level];
+    check_internal(var >= 0 && var < var_count_ && levels[var] == -1,
+                   "variable order must be a permutation of the variables");
+    levels[static_cast<std::size_t>(var)] = static_cast<int>(level);
+  }
+  level_of_ = std::move(levels);
+}
+
+int Bdd::level_of(int v) const {
+  check_internal(v >= 0 && v < var_count_, "BDD variable out of range");
+  return level_of_[static_cast<std::size_t>(v)];
+}
+
+int Bdd::node_level(Ref a) const noexcept {
+  const int var = nodes_[a].var;
+  return var == kTerminalVar ? INT_MAX
+                             : level_of_[static_cast<std::size_t>(var)];
+}
 
 Bdd::Ref Bdd::make(int var, Ref low, Ref high) {
   if (low == high) return low;
@@ -81,13 +110,15 @@ Bdd::Ref Bdd::apply(Op op, Ref a, Ref b) {
 
   // Copy: the recursive apply() below may grow nodes_ and invalidate
   // references into it.
+  const int la = node_level(a);
+  const int lb = node_level(b);
   const Node na = nodes_[a];
   const Node nb = nodes_[b];
-  const int v = std::min(na.var, nb.var);
-  const Ref a_low = na.var == v ? na.low : a;
-  const Ref a_high = na.var == v ? na.high : a;
-  const Ref b_low = nb.var == v ? nb.low : b;
-  const Ref b_high = nb.var == v ? nb.high : b;
+  const int v = la <= lb ? na.var : nb.var;
+  const Ref a_low = la <= lb ? na.low : a;
+  const Ref a_high = la <= lb ? na.high : a;
+  const Ref b_low = lb <= la ? nb.low : b;
+  const Ref b_high = lb <= la ? nb.high : b;
   Ref result = make(v, apply(op, a_low, b_low), apply(op, a_high, b_high));
   cache_.emplace(key, result);
   return result;
@@ -126,27 +157,29 @@ bool Bdd::evaluate(Ref a, const std::vector<bool>& assignment) const {
 }
 
 double Bdd::sat_count(Ref a) const {
-  // count(n) over remaining variables below var(n); scale at the top.
+  // count(n) over remaining variables below level(n); scale at the top.
+  // Levels, not variable indices: under an explicit order the number of
+  // free variables skipped along an edge is a level difference.
   std::unordered_map<Ref, double> memo;
+  auto level = [&](Ref ref) {
+    return is_terminal(ref) ? var_count_ : node_level(ref);
+  };
   auto count = [&](auto&& self, Ref ref) -> double {
     if (ref == kFalse) return 0.0;
     if (ref == kTrue) return 1.0;
     if (auto it = memo.find(ref); it != memo.end()) return it->second;
     const Node& n = nodes_[ref];
     auto weight = [&](Ref child) {
-      const int child_var =
-          is_terminal(child) ? var_count_ : nodes_[child].var;
       // Variables skipped between this node and the child are free.
       return self(self, child) *
-             static_cast<double>(1ULL << (child_var - n.var - 1));
+             static_cast<double>(1ULL << (level(child) - level(ref) - 1));
     };
     double result = weight(n.low) + weight(n.high);
     memo.emplace(ref, result);
     return result;
   };
   if (a == kFalse) return 0.0;
-  const int top_var = is_terminal(a) ? var_count_ : nodes_[a].var;
-  return count(count, a) * static_cast<double>(1ULL << top_var);
+  return count(count, a) * static_cast<double>(1ULL << level(a));
 }
 
 }  // namespace ftsynth

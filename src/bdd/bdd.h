@@ -8,7 +8,11 @@
 // cut-set engine with an exact evaluator.
 //
 // Implementation: classic ROBDD with a unique table and an operation cache.
-// No complement edges; variables are ordered by creation index.
+// No complement edges. Variables are ordered by creation index by default;
+// set_order() installs an explicit order (e.g. the depth-first-occurrence
+// heuristic of analysis/ordering.h) before any node is built, and every
+// ordering-sensitive operation -- apply, sat_count, the restrictions in
+// bdd_prob -- compares variables by their level under that order.
 
 #pragma once
 
@@ -34,6 +38,16 @@ class Bdd {
   int new_var();
 
   int var_count() const noexcept { return var_count_; }
+
+  /// Installs an explicit variable order: `order[k]` is the variable at
+  /// level k (level 0 = root). Must be a permutation of every declared
+  /// variable, and must be installed before any node is built -- reordering
+  /// an existing diagram is not supported.
+  void set_order(const std::vector<int>& order);
+
+  /// The level of a declared variable under the current order (identity
+  /// when no explicit order is installed). Smaller = closer to the root.
+  int level_of(int v) const;
 
   /// The function "variable v" / "NOT variable v".
   Ref var(int v);
@@ -111,9 +125,13 @@ class Bdd {
 
   Ref apply(Op op, Ref a, Ref b);
 
+  /// Level of a node's decision variable; terminals sort below everything.
+  int node_level(Ref a) const noexcept;
+
   std::vector<Node> nodes_;
   std::unordered_map<UniqueKey, Ref, UniqueHash> unique_;
   std::unordered_map<OpKey, Ref, OpHash> cache_;
+  std::vector<int> level_of_;  ///< level_of_[var]; identity by default
   int var_count_ = 0;
 };
 

@@ -30,7 +30,8 @@ Bdd::Ref restrict_var(Bdd& bdd, Bdd::Ref f, int v, bool value,
                       std::unordered_map<Bdd::Ref, Bdd::Ref>& memo) {
   if (bdd.is_terminal(f)) return f;
   const Bdd::Node n = bdd.node(f);
-  if (n.var > v) return f;  // v cannot appear below (ordering)
+  // v cannot appear below a deeper level (explicit orders included).
+  if (bdd.level_of(n.var) > bdd.level_of(v)) return f;
   if (auto it = memo.find(f); it != memo.end()) return it->second;
   Bdd::Ref result;
   if (n.var == v) {

@@ -157,5 +157,63 @@ TEST_P(BddRandomFormula, ProbabilityMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomFormula, ::testing::Range(0, 25));
 
+TEST(BddOrder, ExplicitOrderPreservesSemantics) {
+  // The same function under the identity and a reversed order: identical
+  // truth tables and sat counts, different (but valid) diagrams.
+  auto build = [](Bdd& bdd) {
+    // f = (x0 AND x2) OR (x1 AND NOT x2)
+    return bdd.apply_or(bdd.apply_and(bdd.var(0), bdd.var(2)),
+                        bdd.apply_and(bdd.var(1), bdd.nvar(2)));
+  };
+  Bdd plain;
+  for (int i = 0; i < 3; ++i) plain.new_var();
+  Bdd::Ref f_plain = build(plain);
+
+  Bdd reordered;
+  for (int i = 0; i < 3; ++i) reordered.new_var();
+  reordered.set_order({2, 1, 0});
+  EXPECT_EQ(reordered.level_of(2), 0);
+  EXPECT_EQ(reordered.level_of(0), 2);
+  Bdd::Ref f_reordered = build(reordered);
+
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> assignment{(bits & 1) != 0, (bits & 2) != 0,
+                                 (bits & 4) != 0};
+    EXPECT_EQ(plain.evaluate(f_plain, assignment),
+              reordered.evaluate(f_reordered, assignment))
+        << bits;
+  }
+  EXPECT_EQ(plain.sat_count(f_plain), reordered.sat_count(f_reordered));
+  // Under the reversed order the root must decide the variable at level 0.
+  EXPECT_EQ(reordered.node(f_reordered).var, 2);
+}
+
+TEST(BddOrder, RestrictionsFollowTheInstalledOrder) {
+  Bdd bdd;
+  for (int i = 0; i < 3; ++i) bdd.new_var();
+  bdd.set_order({1, 2, 0});
+  // f = (x0 AND x1) OR x2.
+  Bdd::Ref f = bdd.apply_or(bdd.apply_and(bdd.var(0), bdd.var(1)),
+                            bdd.var(2));
+  std::vector<double> p{0.5, 0.25, 0.125};
+  // Birnbaum importance of x0: P(f | x0=1) - P(f | x0=0)
+  //   = (p1 + p2 - p1 p2) - p2 = p1 (1 - p2).
+  EXPECT_NEAR(bdd_birnbaum(bdd, f, p, 0), 0.25 * (1.0 - 0.125), 1e-12);
+  EXPECT_NEAR(bdd_probability_given(bdd, f, p, 2, true), 1.0, 1e-12);
+  EXPECT_NEAR(bdd_probability_given(bdd, f, p, 2, false), 0.5 * 0.25,
+              1e-12);
+}
+
+TEST(BddOrder, RejectsBadOrders) {
+  Bdd bdd;
+  for (int i = 0; i < 3; ++i) bdd.new_var();
+  EXPECT_ANY_THROW(bdd.set_order({0, 1}));     // wrong size
+  EXPECT_ANY_THROW(bdd.set_order({0, 1, 1}));  // not a permutation
+  Bdd late;
+  late.new_var();
+  late.var(0);  // a node exists: too late to reorder
+  EXPECT_ANY_THROW(late.set_order({0}));
+}
+
 }  // namespace
 }  // namespace ftsynth

@@ -225,6 +225,63 @@ TEST_F(CliRecoveryTest, MaxErrorsCapsTheTable) {
   EXPECT_NE(err_.str().find("dropped at the cap"), std::string::npos);
 }
 
+TEST_F(CliTest, EngineFlagProducesByteIdenticalAnalysis) {
+  // Acceptance bar for the symbolic engine: identical bytes to the default
+  // engine on the heavyweight case-study top, serial and parallel alike.
+  std::string reference;
+  for (const char* engine : {"micsup", "zbdd"}) {
+    for (const char* jobs : {"1", "4"}) {
+      ASSERT_EQ(run({"analyse", model_path_, "--top",
+                     "Omission-total_braking", "--time", "1000", "--engine",
+                     engine, "--jobs", jobs}),
+                0)
+          << engine << " jobs " << jobs;
+      if (reference.empty()) {
+        reference = out_.str();
+        EXPECT_NE(reference.find("minimal cut sets:"), std::string::npos);
+      } else {
+        EXPECT_EQ(out_.str(), reference) << engine << " jobs " << jobs;
+      }
+    }
+  }
+  // MOCUS gets the single-lane top (its row expansion explodes on the
+  // 4-lane AND -- that is the point of the other engines).
+  std::string lane_reference;
+  for (const char* engine : {"micsup", "mocus", "zbdd"}) {
+    ASSERT_EQ(run({"analyse", model_path_, "--top",
+                   "Omission-brake_force_fl", "--time", "1000", "--engine",
+                   engine}),
+              0)
+        << engine;
+    if (lane_reference.empty()) {
+      lane_reference = out_.str();
+    } else {
+      EXPECT_EQ(out_.str(), lane_reference) << engine;
+    }
+  }
+}
+
+TEST_F(CliTest, EngineFlagAppliesToFmeaAndReport) {
+  for (const char* command : {"fmea", "report"}) {
+    ASSERT_EQ(run({command, model_path_, "--top", "Omission-total_braking",
+                   "--time", "1000", "--engine", "micsup", "--jobs", "1"}),
+              0)
+        << command;
+    const std::string reference = out_.str();
+    ASSERT_FALSE(reference.empty());
+    ASSERT_EQ(run({command, model_path_, "--top", "Omission-total_braking",
+                   "--time", "1000", "--engine", "zbdd", "--jobs", "1"}),
+              0)
+        << command;
+    EXPECT_EQ(out_.str(), reference) << command;
+  }
+}
+
+TEST_F(CliTest, UnknownEngineIsUsageError) {
+  EXPECT_EQ(run({"analyse", model_path_, "--engine", "magic"}), 2);
+  EXPECT_NE(err_.str().find("unknown --engine"), std::string::npos);
+}
+
 TEST_F(CliTest, DeadlineFlagIsAcceptedOnCleanRuns) {
   // A generous deadline must not change a healthy run's outcome.
   EXPECT_EQ(run({"analyse", model_path_, "--top", "Omission-total_braking",

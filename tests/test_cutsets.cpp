@@ -1,4 +1,4 @@
-// Unit and property tests for the two cut-set engines.
+// Unit and property tests for the cut-set engines.
 
 #include <gtest/gtest.h>
 
@@ -6,8 +6,11 @@
 
 #include "analysis/cutsets.h"
 #include "analysis/probability.h"
+#include "casestudy/setta.h"
+#include "casestudy/synthetic.h"
 #include "core/error.h"
 #include "fta/fault_tree.h"
+#include "fta/synthesis.h"
 
 namespace ftsynth {
 namespace {
@@ -183,6 +186,8 @@ TEST_P(CutSetEngines, AgreeOnRandomTrees) {
   CutSetAnalysis bottom_up = minimal_cut_sets(tree);
   CutSetAnalysis mocus = mocus_cut_sets(tree);
   EXPECT_EQ(bottom_up.to_string(), mocus.to_string());
+  CutSetAnalysis zbdd = zbdd_cut_sets(tree);
+  EXPECT_EQ(bottom_up.to_string(), zbdd.to_string());
   // These random trees are coherent, so the BDD engine applies too.
   CutSetAnalysis via_bdd = bdd_cut_sets(tree);
   EXPECT_EQ(bottom_up.to_string(), via_bdd.to_string());
@@ -211,6 +216,210 @@ TEST_P(CutSetEngines, AgreeOnRandomTrees) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CutSetEngines, ::testing::Range(0, 30));
+
+TEST(ZbddCutSets, AgreesOnHandExamples) {
+  // Absorption: a OR (a AND b) = {a}.
+  FaultTree tree("t");
+  FtNode* a = basic(tree, "a");
+  FtNode* b = basic(tree, "b");
+  FtNode* conj = tree.add_gate(GateKind::kAnd, "", {a, b});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {a, conj}));
+  EXPECT_EQ(zbdd_cut_sets(tree).to_string(), "{a}\n");
+
+  // Shared event: (a OR x) AND (b OR x) = {x}, {a, b}.
+  FaultTree shared("s");
+  FtNode* sa = basic(shared, "a");
+  FtNode* sb = basic(shared, "b");
+  FtNode* sx = basic(shared, "x");
+  FtNode* left = shared.add_gate(GateKind::kOr, "", {sa, sx});
+  FtNode* right = shared.add_gate(GateKind::kOr, "", {sb, sx});
+  shared.set_top(shared.add_gate(GateKind::kAnd, "", {left, right}));
+  EXPECT_EQ(zbdd_cut_sets(shared).to_string(), "{x}\n{a, b}\n");
+}
+
+TEST(ZbddCutSets, HandlesEmptyHouseAndNegatedTrees) {
+  FaultTree empty("e");
+  EXPECT_TRUE(zbdd_cut_sets(empty).cut_sets.empty());
+
+  FaultTree house("h");
+  house.set_top(house.add_house(Symbol("always"), ""));
+  CutSetAnalysis analysis = zbdd_cut_sets(house);
+  ASSERT_EQ(analysis.cut_sets.size(), 1u);
+  EXPECT_TRUE(analysis.cut_sets[0].empty());
+
+  // a AND NOT a: contradictory, no cut sets.
+  FaultTree contra("c");
+  FtNode* ca = basic(contra, "a");
+  FtNode* cn = contra.add_gate(GateKind::kNot, "", {ca});
+  contra.set_top(contra.add_gate(GateKind::kAnd, "", {ca, cn}));
+  EXPECT_TRUE(zbdd_cut_sets(contra).cut_sets.empty());
+
+  // fault AND NOT detector survives with the negated literal.
+  FaultTree guarded("g");
+  FtNode* fault = basic(guarded, "fault");
+  FtNode* detector = basic(guarded, "detector_ok");
+  FtNode* nd = guarded.add_gate(GateKind::kNot, "", {detector});
+  guarded.set_top(guarded.add_gate(GateKind::kAnd, "", {fault, nd}));
+  EXPECT_EQ(zbdd_cut_sets(guarded).to_string(),
+            "{NOT detector_ok, fault}\n");
+}
+
+TEST(ZbddCutSets, HonoursOrderAndSetLimits) {
+  // (a1 AND a2 AND a3) OR b with max_order 2 keeps only {b}.
+  FaultTree tree("t");
+  FtNode* conj = tree.add_gate(
+      GateKind::kAnd, "",
+      {basic(tree, "a1"), basic(tree, "a2"), basic(tree, "a3")});
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {conj, basic(tree, "b")}));
+  CutSetOptions options;
+  options.max_order = 2;
+  CutSetAnalysis analysis = zbdd_cut_sets(tree, options);
+  EXPECT_TRUE(analysis.truncated);
+  EXPECT_EQ(analysis.to_string(), "{b}\n(truncated: limits reached)\n");
+}
+
+TEST(ComputeCutSets, DispatchesOnTheEngineOption) {
+  FaultTree tree("t");
+  FtNode* a = basic(tree, "a");
+  FtNode* b = basic(tree, "b");
+  tree.set_top(tree.add_gate(GateKind::kOr, "", {a, b}));
+  for (CutSetEngine engine :
+       {CutSetEngine::kMicsup, CutSetEngine::kMocus, CutSetEngine::kZbdd}) {
+    CutSetOptions options;
+    options.engine = engine;
+    EXPECT_EQ(compute_cut_sets(tree, options).to_string(), "{a}\n{b}\n");
+  }
+}
+
+TEST(CutSetEnginesDeadline, PartialResultsKeepTheFlags) {
+  // An already-expired deadline: every engine must return (possibly empty)
+  // partial results with both flags latched, on every engine.
+  FaultTree tree("t");
+  std::vector<FtNode*> ors;
+  for (int g = 0; g < 8; ++g) {
+    std::vector<FtNode*> leaves;
+    for (int e = 0; e < 8; ++e) {
+      leaves.push_back(
+          basic(tree, ("g" + std::to_string(g) + "e" + std::to_string(e))
+                          .c_str()));
+    }
+    ors.push_back(tree.add_gate(GateKind::kOr, "", std::move(leaves)));
+  }
+  tree.set_top(tree.add_gate(GateKind::kAnd, "", std::move(ors)));
+  for (CutSetEngine engine :
+       {CutSetEngine::kMicsup, CutSetEngine::kMocus, CutSetEngine::kZbdd}) {
+    CutSetOptions options;
+    options.engine = engine;
+    options.budget.set_deadline_ms(0);  // expired before the run starts
+    CutSetAnalysis analysis = compute_cut_sets(tree, options);
+    EXPECT_TRUE(analysis.deadline_exceeded) << static_cast<int>(engine);
+    EXPECT_TRUE(analysis.truncated) << static_cast<int>(engine);
+    EXPECT_NE(analysis.to_string().find("deadline exceeded"),
+              std::string::npos);
+  }
+}
+
+/// Property: random trees WITH NOT gates (non-coherent, so no BDD oracle):
+/// the three set engines agree, including on contradictory products.
+class NegatedCutSetEngines : public ::testing::TestWithParam<int> {};
+
+TEST_P(NegatedCutSetEngines, AgreeOnRandomNegatedTrees) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u + 13u);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  FaultTree tree("random_negated");
+  std::vector<FtNode*> pool;
+  for (int i = 0; i < 5; ++i) {
+    FtNode* event =
+        tree.add_basic(Symbol("e" + std::to_string(i)), 1e-3, "", "");
+    pool.push_back(event);
+    // Both polarities of some events circulate, so AND products can hit
+    // x AND NOT x contradictions.
+    if (uniform(rng) < 0.6)
+      pool.push_back(tree.add_gate(GateKind::kNot, "", {event}));
+  }
+  auto pick = [&](std::size_t size) {
+    return std::uniform_int_distribution<std::size_t>(0, size - 1)(rng);
+  };
+  for (int step = 0; step < 9; ++step) {
+    FtNode* a = pool[pick(pool.size())];
+    FtNode* b = pool[pick(pool.size())];
+    if (a == b) continue;
+    pool.push_back(tree.add_gate(
+        uniform(rng) < 0.5 ? GateKind::kAnd : GateKind::kOr, "", {a, b}));
+  }
+  tree.set_top(pool.back());
+
+  CutSetAnalysis bottom_up = minimal_cut_sets(tree);
+  CutSetAnalysis mocus = mocus_cut_sets(tree);
+  CutSetAnalysis zbdd = zbdd_cut_sets(tree);
+  EXPECT_EQ(bottom_up.to_string(), mocus.to_string());
+  EXPECT_EQ(bottom_up.to_string(), zbdd.to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegatedCutSetEngines, ::testing::Range(0, 30));
+
+TEST(CutSetEngines, AgreeOnCaseStudyModels) {
+  // The synthesized case-study trees are the representative workload: all
+  // three engines must produce identical canonical families on them.
+  // (MOCUS only gets the single-lane tops -- its row expansion genuinely
+  // explodes on the 4-lane AND, which is why the other engines exist.)
+  struct Case {
+    Model model;
+    std::string top;
+  };
+  std::vector<Case> cases;
+  cases.push_back({setta::build_bbw(), "Omission-brake_force_fl"});
+  synthetic::ReplicatedConfig config;
+  config.channels = 3;
+  config.stages = 3;
+  cases.push_back({synthetic::build_replicated(config), "Omission-sink"});
+  for (Case& c : cases) {
+    Synthesiser synthesiser(c.model);
+    FaultTree tree = synthesiser.synthesise(c.top);
+    ASSERT_NE(tree.top(), nullptr) << c.top;
+    const std::string reference = minimal_cut_sets(tree).to_string();
+    EXPECT_EQ(mocus_cut_sets(tree).to_string(), reference) << c.top;
+    EXPECT_EQ(zbdd_cut_sets(tree).to_string(), reference) << c.top;
+  }
+
+  // The 4-lane top is the heavyweight case: the symbolic engine must match
+  // the default engine set-for-set (2412 sets on the seed BBW model).
+  Synthesiser bbw(cases.front().model);
+  FaultTree total = bbw.synthesise("Omission-total_braking");
+  CutSetAnalysis reference = minimal_cut_sets(total);
+  CutSetAnalysis symbolic = zbdd_cut_sets(total);
+  EXPECT_FALSE(reference.truncated);
+  EXPECT_FALSE(symbolic.truncated);
+  EXPECT_EQ(symbolic.to_string(), reference.to_string());
+}
+
+TEST(MinimiseLiteralSets, KernelDedupsAbsorbsAndDropsContradictions) {
+  // Universe of 3 events = 6 literal ids; even = plain, odd = negated.
+  std::vector<std::vector<int>> sets = {
+      {0, 2},     // {e0, e1}
+      {2, 0},     // duplicate in another order
+      {0},        // absorbs {e0, e1}
+      {2, 3},     // e1 AND NOT e1: contradictory
+      {4, 1},     // {NOT e0, e2}
+      {0, 4, 2},  // superset of {e0}
+  };
+  std::vector<std::vector<int>> minimal = minimise_literal_sets(sets, 6);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0], (std::vector<int>{0}));
+  EXPECT_EQ(minimal[1], (std::vector<int>{1, 4}));
+}
+
+TEST(MinimiseLiteralSets, WideUniverseCrossesWordBoundaries) {
+  // Literal ids beyond 64 exercise the multi-word bitset path.
+  std::vector<std::vector<int>> sets = {
+      {2, 130}, {2}, {130, 2, 66}, {66, 130},
+  };
+  std::vector<std::vector<int>> minimal = minimise_literal_sets(sets, 192);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0], (std::vector<int>{2}));
+  EXPECT_EQ(minimal[1], (std::vector<int>{66, 130}));
+}
 
 }  // namespace
 }  // namespace ftsynth

@@ -6,6 +6,7 @@
 
 #include "analysis/batch.h"
 #include "analysis/completeness.h"
+#include "analysis/cutsets.h"
 #include "analysis/fmea.h"
 #include "analysis/report.h"
 #include "analysis/markdown_report.h"
@@ -54,6 +55,9 @@ options:
   --jobs N           worker threads for synthesise/analyse/fmea
                      (default: hardware concurrency; 1 = serial; output
                      is byte-identical for every N)
+  --engine ENG       cut-set engine for analyse/fmea/report: micsup
+                     (default), mocus, or zbdd (symbolic; fastest on large
+                     trees). Every engine emits identical cut sets.
 
 exit codes:
   0  clean run                       1  completed, but with diagnostics
@@ -74,6 +78,7 @@ struct Options {
   std::size_t max_errors = DiagnosticSink::kDefaultMaxErrors;
   long deadline_ms = 0;  ///< 0 = no deadline
   int jobs = 0;          ///< 0 = hardware concurrency; 1 = serial
+  CutSetEngine engine = CutSetEngine::kMicsup;
   /// Armed once per run (one shared deadline latch); every stage copies it.
   Budget budget;
 };
@@ -158,6 +163,20 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       }
       if (options.jobs < 0) {
         err << "error: --jobs must be >= 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--engine") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      if (*v == "micsup") {
+        options.engine = CutSetEngine::kMicsup;
+      } else if (*v == "mocus") {
+        options.engine = CutSetEngine::kMocus;
+      } else if (*v == "zbdd") {
+        options.engine = CutSetEngine::kZbdd;
+      } else {
+        err << "error: unknown --engine '" << *v
+            << "' (expected micsup, mocus or zbdd)\n";
         return std::nullopt;
       }
     } else if (arg == "--help" || arg == "-h") {
@@ -378,6 +397,7 @@ int cmd_analyse(const Model& model, const Options& options,
   batch_options.analysis.probability.mission_time_hours =
       options.mission_time_hours;
   batch_options.analysis.render_tree = options.render_tree;
+  batch_options.analysis.cut_sets.engine = options.engine;
   batch_options.analysis.cut_sets.budget = make_budget(options);
   batch_options.analysis.probability.budget = make_budget(options);
   BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
@@ -417,6 +437,7 @@ int cmd_report(const Model& model, const Options& options,
   MarkdownReportOptions report_options;
   report_options.analysis.probability.mission_time_hours =
       options.mission_time_hours;
+  report_options.analysis.cut_sets.engine = options.engine;
   report_options.analysis.cut_sets.budget = make_budget(options);
   report_options.analysis.probability.budget = make_budget(options);
   std::vector<std::string> tops;
@@ -466,6 +487,7 @@ int cmd_fmea(const Model& model, const Options& options, DiagnosticSink& sink,
   probability.mission_time_hours = options.mission_time_hours;
   probability.budget = make_budget(options);
   CutSetOptions cut_set_options;
+  cut_set_options.engine = options.engine;
   cut_set_options.budget = make_budget(options);
   cut_set_options.pool = pool;
   BatchOptions batch_options;
@@ -484,7 +506,7 @@ int cmd_fmea(const Model& model, const Options& options, DiagnosticSink& sink,
   }
   std::vector<CutSetAnalysis> analyses =
       parallel_map(pool, trees.size(), [&](std::size_t i) {
-        return minimal_cut_sets(trees[i], cut_set_options);
+        return compute_cut_sets(trees[i], cut_set_options);
       });
   std::vector<const FaultTree*> tree_ptrs;
   std::vector<const CutSetAnalysis*> analysis_ptrs;

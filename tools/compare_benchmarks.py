@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON result files.
+
+Usage:
+    tools/compare_benchmarks.py BASELINE.json CANDIDATE.json
+        [--threshold PCT] [--filter REGEX] [--metric METRIC]
+
+Pairs benchmark records by name (e.g. "BM_ZbddReplicated/6/4") and prints
+one line per pair with the baseline time, the candidate time and the
+relative change. Exits 1 when any matched benchmark regressed by more than
+--threshold percent (default 20), 0 otherwise; benchmarks present in only
+one file are listed but never fail the comparison.
+
+Results are only meaningful between files produced the same way (same
+machine class, Release build -- see tools/run_benchmarks.sh). The files in
+bench_results/ are the committed baselines for exactly this purpose:
+
+    tools/run_benchmarks.sh bench_cutsets
+    tools/compare_benchmarks.py bench_results/BENCH_cutsets.json \
+        /tmp/new_cutsets.json --threshold 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path: str, metric: str) -> dict[str, float]:
+    """Returns {benchmark name: metric value}; aggregates keep only means."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    out: dict[str, float] = {}
+    for record in data.get("benchmarks", []):
+        # With repetitions google-benchmark emits per-repetition records plus
+        # _mean/_median/_stddev aggregates; compare the mean when present.
+        run_type = record.get("run_type", "iteration")
+        if run_type == "aggregate" and record.get("aggregate_name") != "mean":
+            continue
+        name = record["name"]
+        if run_type == "aggregate":
+            name = name.rsplit("_", 1)[0]
+        if metric not in record:
+            continue
+        out[name] = float(record[metric])
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON files."
+    )
+    parser.add_argument("baseline", help="committed reference JSON")
+    parser.add_argument("candidate", help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="fail when a benchmark slows down by more than PCT%% "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--filter",
+        default="",
+        metavar="REGEX",
+        help="only compare benchmarks whose name matches REGEX",
+    )
+    parser.add_argument(
+        "--metric",
+        default="real_time",
+        choices=["real_time", "cpu_time"],
+        help="which per-iteration time to compare (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline, args.metric)
+    candidate = load_benchmarks(args.candidate, args.metric)
+    if args.filter:
+        pattern = re.compile(args.filter)
+        baseline = {k: v for k, v in baseline.items() if pattern.search(k)}
+        candidate = {k: v for k, v in candidate.items() if pattern.search(k)}
+
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("no benchmarks in common; nothing to compare", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name in shared)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  change")
+    for name in shared:
+        base = baseline[name]
+        cand = candidate[name]
+        change = (cand / base - 1.0) * 100.0 if base > 0 else 0.0
+        flag = ""
+        if change > args.threshold:
+            flag = "  REGRESSED"
+            regressions.append((name, change))
+        print(
+            f"{name:<{width}}  {base:>12.1f}  {cand:>12.1f}  "
+            f"{change:+7.1f}%{flag}"
+        )
+
+    for name in sorted(set(baseline) ^ set(candidate)):
+        side = "baseline" if name in baseline else "candidate"
+        print(f"{name}: only in {side} (skipped)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.0f}%:",
+            file=sys.stderr,
+        )
+        for name, change in regressions:
+            print(f"  {name}: {change:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nok: no regression beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,17 @@
 # number is meaningless (google-benchmark itself warns), which is why the
 # output lands in files prefixed BENCH_ -- anything else in bench_results/
 # is legacy and should be deleted rather than compared against.
+#
+# To check a fresh run against the committed baselines (e.g. before
+# refreshing them), diff the JSON files with the companion script:
+#
+#   tools/run_benchmarks.sh bench_cutsets
+#   git stash -- bench_results   # or copy the old file aside first
+#   tools/compare_benchmarks.py /tmp/old_cutsets.json \
+#       bench_results/BENCH_cutsets.json --threshold 20
+#
+# compare_benchmarks.py exits 1 on any regression beyond --threshold
+# percent; CI runs it warn-only on the ZBDD engine series.
 
 set -euo pipefail
 
