@@ -1,0 +1,174 @@
+// Cone-cache benchmarks: what shared-subtree reuse is worth.
+//
+// Three cache states over the same workloads:
+//
+//   * no cache  -- every tree analysed from scratch (the PR 3 baseline);
+//   * cold      -- a fresh cache per run: misses on first contact, but
+//     cones shared ACROSS the top events of the run are analysed once
+//     (the in-memory sharing a batch gets by default);
+//   * warm      -- a pre-populated cache: every root family resolves by
+//     lookup, the engines never run (what a re-run with `--cache DIR`
+//     pays after an unchanged model).
+//
+// The cut-set counters must be identical down the state axis -- cached
+// families are exact, so any divergence is a correctness bug, not noise.
+// The committed BENCH_cache.json is the baseline the acceptance bar reads:
+// warm BBW must be >= 3x faster than cold.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/cache.h"
+#include "analysis/cutsets.h"
+#include "casestudy/setta.h"
+#include "casestudy/synthetic.h"
+#include "failure/expr_parser.h"
+#include "fta/synthesis.h"
+
+namespace {
+
+using namespace ftsynth;
+
+/// The 16 BBW hazard trees, synthesised once (synthesis is identical in
+/// every cache state; these benchmarks time the cut-set stage only).
+const std::vector<FaultTree>& bbw_trees() {
+  static std::vector<FaultTree> trees = [] {
+    Model model = setta::build_bbw();
+    std::vector<FaultTree> out;
+    Synthesiser synthesiser(model);
+    for (const std::string& top : setta::bbw_top_events())
+      out.push_back(
+          synthesiser.synthesise(parse_deviation(top, model.registry())));
+    return out;
+  }();
+  return trees;
+}
+
+/// A replicated-channel model: stages^channels structural copies, the
+/// heaviest subtree sharing the synthetic generators produce.
+const FaultTree& replicated_tree() {
+  static Model model = [] {
+    synthetic::ReplicatedConfig config;
+    config.channels = 3;
+    config.stages = 12;
+    return synthetic::build_replicated(config);
+  }();
+  static FaultTree tree = Synthesiser(model).synthesise("Omission-sink");
+  return tree;
+}
+
+std::size_t analyse_all(const std::vector<FaultTree>& trees,
+                        ConeCache* cache) {
+  CutSetOptions options;
+  options.cone_cache = cache;
+  std::size_t cut_sets = 0;
+  for (const FaultTree& tree : trees)
+    cut_sets += compute_cut_sets(tree, options).cut_sets.size();
+  return cut_sets;
+}
+
+// Baseline: the 16-tree BBW batch with reuse disabled entirely.
+void BM_BbwCutSetsNoCache(benchmark::State& state) {
+  const std::vector<FaultTree>& trees = bbw_trees();
+  std::size_t cut_sets = 0;
+  for (auto _ : state) {
+    cut_sets = analyse_all(trees, nullptr);
+    benchmark::DoNotOptimize(cut_sets);
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+}
+BENCHMARK(BM_BbwCutSetsNoCache)->Unit(benchmark::kMillisecond);
+
+// Cold: a fresh cache per run. The gain over NoCache is pure in-memory
+// cross-top-event sharing (BBW trees overlap heavily); the gap to Warm is
+// the cost of the misses.
+void BM_BbwCutSetsColdCache(benchmark::State& state) {
+  const std::vector<FaultTree>& trees = bbw_trees();
+  std::size_t cut_sets = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    ConeCache cache;
+    cut_sets = analyse_all(trees, &cache);
+    hits = cache.stats().hits;
+    benchmark::DoNotOptimize(cut_sets);
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_BbwCutSetsColdCache)->Unit(benchmark::kMillisecond);
+
+// Warm: the cache already holds every cone (an unchanged re-run under
+// --cache DIR). Each tree resolves at the root lookup; the acceptance bar
+// is >= 3x faster than ColdCache.
+void BM_BbwCutSetsWarmCache(benchmark::State& state) {
+  const std::vector<FaultTree>& trees = bbw_trees();
+  static ConeCache cache;
+  static std::size_t warmed = analyse_all(trees, &cache);
+  benchmark::DoNotOptimize(warmed);
+  std::size_t cut_sets = 0;
+  for (auto _ : state) {
+    cut_sets = analyse_all(trees, &cache);
+    benchmark::DoNotOptimize(cut_sets);
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+  state.counters["entries"] = static_cast<double>(cache.stats().entries);
+}
+BENCHMARK(BM_BbwCutSetsWarmCache)->Unit(benchmark::kMillisecond);
+
+// Heavy structural sharing inside ONE tree: warm lookups replace the whole
+// bottom-up combination pass of the replicated-voter model.
+void BM_ReplicatedCutSetsNoCache(benchmark::State& state) {
+  const FaultTree& tree = replicated_tree();
+  std::size_t cut_sets = 0;
+  for (auto _ : state) {
+    cut_sets = compute_cut_sets(tree).cut_sets.size();
+    benchmark::DoNotOptimize(cut_sets);
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+}
+BENCHMARK(BM_ReplicatedCutSetsNoCache)->Unit(benchmark::kMillisecond);
+
+void BM_ReplicatedCutSetsWarmCache(benchmark::State& state) {
+  const FaultTree& tree = replicated_tree();
+  static ConeCache cache;
+  CutSetOptions options;
+  options.cone_cache = &cache;
+  static std::size_t warmed =
+      compute_cut_sets(tree, options).cut_sets.size();
+  benchmark::DoNotOptimize(warmed);
+  std::size_t cut_sets = 0;
+  for (auto _ : state) {
+    cut_sets = compute_cut_sets(tree, options).cut_sets.size();
+    benchmark::DoNotOptimize(cut_sets);
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+}
+BENCHMARK(BM_ReplicatedCutSetsWarmCache)->Unit(benchmark::kMillisecond);
+
+// The persistent layer round-trip: serialise the warmed BBW cache and
+// adopt it back. This is the fixed per-run overhead `--cache DIR` adds,
+// to be read against the Cold-vs-Warm saving above.
+void BM_CacheSaveLoad(benchmark::State& state) {
+  static ConeCache warmed;
+  static std::size_t init = analyse_all(bbw_trees(), &warmed);
+  benchmark::DoNotOptimize(init);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ftsynth_bench_cache")
+          .string();
+  std::size_t loaded = 0;
+  for (auto _ : state) {
+    warmed.save(dir, nullptr);
+    ConeCache fresh;
+    fresh.load(dir, nullptr);
+    loaded = fresh.stats().entries;
+    benchmark::DoNotOptimize(loaded);
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["entries"] = static_cast<double>(loaded);
+}
+BENCHMARK(BM_CacheSaveLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,7 +1,9 @@
 #include "analysis/batch.h"
 
 #include <limits>
+#include <optional>
 
+#include "analysis/cache.h"
 #include "core/parallel.h"
 #include "core/thread_pool.h"
 
@@ -18,6 +20,15 @@ BatchResult analyse_batch(const Model& model,
     result.items.push_back(std::move(item));
   }
 
+  // One cone cache for the whole run: trees of one model share large
+  // cones, so each is analysed once no matter how many items contain it.
+  std::optional<ConeCache> batch_cones;
+  ConeCache* cones = options.analysis.cut_sets.cone_cache;
+  if (cones == nullptr && options.analyse && options.share_cones) {
+    batch_cones.emplace(cone_keyspace(options.analysis.cut_sets));
+    cones = &*batch_cones;
+  }
+
   const bool degraded = options.synthesis.sink != nullptr;
   parallel_for(pool, result.items.size(), [&](std::size_t index) {
     BatchItem& item = result.items[index];
@@ -28,6 +39,7 @@ BatchResult analyse_batch(const Model& model,
     if (degraded) synthesis.sink = &local;
     AnalysisOptions analysis = options.analysis;
     analysis.cut_sets.pool = pool;  // minimisation shares the workers
+    analysis.cut_sets.cone_cache = cones;
     try {
       Synthesiser synthesiser(model, synthesis);
       item.tree.emplace(synthesiser.synthesise(item.top));
@@ -38,6 +50,7 @@ BatchResult analyse_batch(const Model& model,
     }
     item.diagnostics = local.diagnostics();
   });
+  if (cones != nullptr) result.cache_stats = cones->stats();
   return result;
 }
 

@@ -47,6 +47,14 @@ struct BatchOptions {
   AnalysisOptions analysis;
   /// false: synthesise only (e.g. the CLI `synthesise` command).
   bool analyse = true;
+  /// Share one content-addressed cone cache (analysis/cache.h) across the
+  /// top events of this run: synthesised trees of one model overlap
+  /// heavily, so cones analysed for one item are free for the rest --
+  /// including under a worker pool; the cache is thread-safe and results
+  /// stay byte-identical. Ignored when `analysis.cut_sets.cone_cache` is
+  /// already set (the caller's cache, e.g. the CLI's persistent one, is
+  /// used instead) or when `analyse` is false.
+  bool share_cones = true;
 };
 
 /// One top event's pipeline result.
@@ -62,6 +70,10 @@ struct BatchItem {
 
 struct BatchResult {
   std::vector<BatchItem> items;  ///< in `tops` order
+  /// Final counters of the cone cache that served this run (the shared
+  /// batch-local one, or the caller's via analysis.cut_sets.cone_cache);
+  /// absent when no cache was in play.
+  std::optional<ConeCacheStats> cache_stats;
 
   /// First captured per-item error in item order, or nullptr.
   std::exception_ptr first_error() const noexcept {

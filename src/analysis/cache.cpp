@@ -1,0 +1,331 @@
+#include "analysis/cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/diagnostics.h"
+
+namespace ftsynth {
+
+namespace {
+
+constexpr std::string_view kMagic = "ftsynth-cone-cache";
+
+/// FNV-1a 64 over the serialised body: cheap, deterministic, and enough
+/// to catch truncation and bit rot (integrity, not authentication).
+std::uint64_t body_checksum(std::string_view body) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char byte : body) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string to_hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(15 - i)] = kDigits[(value >> (4 * i)) & 0xF];
+  return out;
+}
+
+/// Estimated resident payload of one family, for the stats block.
+std::size_t family_bytes(const ConeFamily& family) noexcept {
+  return sizeof(ConeFamily) +
+         family.sets.size() * sizeof(std::vector<ConeLiteral>) +
+         family.literal_count() * sizeof(ConeLiteral);
+}
+
+}  // namespace
+
+std::size_t ConeFamily::literal_count() const noexcept {
+  std::size_t count = 0;
+  for (const std::vector<ConeLiteral>& set : sets) count += set.size();
+  return count;
+}
+
+std::string ConeCacheStats::to_string() const {
+  std::ostringstream out;
+  out << "cone cache: " << hits << " hit(s), " << misses << " miss(es), "
+      << stores << " store(s), " << evictions << " eviction(s), " << entries
+      << " entr" << (entries == 1 ? "y" : "ies") << ", ~" << bytes
+      << " bytes resident";
+  if (disk_entries_loaded != 0 || disk_files_rejected != 0) {
+    out << "; disk: " << disk_entries_loaded << " entr"
+        << (disk_entries_loaded == 1 ? "y" : "ies") << " loaded, "
+        << disk_files_rejected << " file(s) rejected";
+  }
+  return out.str();
+}
+
+ConeCache::ConeCache(ConeKeyspace keyspace, std::size_t max_entries)
+    : keyspace_(std::move(keyspace)),
+      max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::shared_ptr<const ConeFamily> ConeCache::find(
+    const StructuralHash& hash) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (auto it = shard.map.find(hash); it != shard.map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ConeCache::store(const StructuralHash& hash, ConeFamily family) {
+  if (entries_.load(std::memory_order_relaxed) >= max_entries_) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto value = std::make_shared<const ConeFamily>(std::move(family));
+  const std::size_t bytes = family_bytes(*value);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // First writer wins: concurrent stores for one hash computed the same
+  // clean family, so dropping the duplicate loses nothing.
+  if (!shard.map.emplace(hash, std::move(value)).second) return;
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+ConeCacheStats ConeCache::stats() const {
+  ConeCacheStats stats;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.stores = stores_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.disk_entries_loaded = disk_entries_loaded_.load(std::memory_order_relaxed);
+  stats.disk_files_rejected = disk_files_rejected_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string ConeCache::file_path(const std::string& directory) const {
+  return (std::filesystem::path(directory) /
+          ("cones-" + keyspace_.engine + ".ftsc"))
+      .string();
+}
+
+bool ConeCache::load(const std::string& directory, DiagnosticSink* sink) {
+  const std::string path = file_path(directory);
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return false;  // cold cache: normal, no diagnostic
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string content = buffer.str();
+
+  const auto reject = [&](const std::string& why) {
+    disk_files_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (sink != nullptr) {
+      sink->warning(ErrorKind::kAnalysis,
+                    "ignoring cone cache '" + path + "': " + why +
+                        " (will recompute and rewrite)");
+    }
+    return false;
+  };
+
+  std::istringstream in(content);
+  std::string magic, version_tag, engine, order;
+  std::size_t max_order = 0, max_sets = 0;
+  std::string checksum_hex;
+  std::string line;
+
+  if (!std::getline(in, line)) return reject("empty file");
+  {
+    std::istringstream header(line);
+    if (!(header >> magic >> version_tag)) return reject("malformed header");
+  }
+  if (magic != kMagic) return reject("not a cone cache file");
+  if (version_tag != "v" + std::to_string(kFormatVersion))
+    return reject("format version mismatch (file " + version_tag + ", tool v" +
+                  std::to_string(kFormatVersion) + ")");
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> engine) || magic != "engine")
+    return reject("malformed engine line");
+  if (engine != keyspace_.engine)
+    return reject("engine tag mismatch (file '" + engine + "', run '" +
+                  keyspace_.engine + "')");
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> order) || magic != "order")
+    return reject("malformed order line");
+  if (order != kOrderScheme)
+    return reject("variable-order fingerprint mismatch (file '" + order +
+                  "', tool '" + std::string(kOrderScheme) + "')");
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> max_order >> max_sets) ||
+      magic != "limits")
+    return reject("malformed limits line");
+  if (max_order != keyspace_.max_order || max_sets != keyspace_.max_sets)
+    return reject("cut-set limit mismatch");
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> checksum_hex) || magic != "body")
+    return reject("malformed checksum line");
+  const std::istringstream::pos_type body_pos = in.tellg();
+  if (body_pos < 0) return reject("missing body");
+  if (checksum_hex !=
+      to_hex64(body_checksum(std::string_view(content)
+                                 .substr(static_cast<std::size_t>(body_pos)))))
+    return reject("body checksum mismatch (truncated or corrupt)");
+
+  // Parse the body into a staging area first; only a fully-parsed file is
+  // adopted (a half-read file could alias ids to the wrong events).
+  std::size_t event_count = 0;
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> event_count) || magic != "events")
+    return reject("malformed events line");
+  std::vector<Symbol> events;
+  events.reserve(event_count);
+  for (std::size_t i = 0; i < event_count; ++i) {
+    if (!std::getline(in, line) || line.empty())
+      return reject("truncated event table");
+    events.emplace_back(line);
+  }
+  std::size_t cone_count = 0;
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> cone_count) || magic != "cones")
+    return reject("malformed cones line");
+  std::vector<std::pair<StructuralHash, ConeFamily>> staged;
+  staged.reserve(cone_count);
+  for (std::size_t i = 0; i < cone_count; ++i) {
+    if (!std::getline(in, line)) return reject("truncated cone list");
+    std::istringstream cone_line(line);
+    std::string tag, hash_hex;
+    std::size_t set_count = 0;
+    if (!(cone_line >> tag >> hash_hex >> set_count) || tag != "c")
+      return reject("malformed cone record");
+    const std::optional<StructuralHash> hash =
+        StructuralHash::from_hex(hash_hex);
+    if (!hash) return reject("malformed cone hash");
+    ConeFamily family;
+    family.sets.reserve(set_count);
+    for (std::size_t s = 0; s < set_count; ++s) {
+      if (!std::getline(in, line)) return reject("truncated cone record");
+      std::istringstream set_line(line);
+      std::size_t literal_count = 0;
+      if (!(set_line >> tag >> literal_count) || tag != "s")
+        return reject("malformed set record");
+      std::vector<ConeLiteral> literals;
+      literals.reserve(literal_count);
+      for (std::size_t k = 0; k < literal_count; ++k) {
+        std::size_t id = 0;
+        if (!(set_line >> id) || id >= 2 * events.size())
+          return reject("literal id outside the event table");
+        literals.push_back({events[id / 2], (id & 1) != 0});
+      }
+      family.sets.push_back(std::move(literals));
+    }
+    staged.emplace_back(*hash, std::move(family));
+  }
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> cone_count) || magic != "end" ||
+      cone_count != staged.size())
+    return reject("missing end marker (truncated)");
+
+  for (auto& [hash, family] : staged) store(hash, std::move(family));
+  disk_entries_loaded_.fetch_add(staged.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool ConeCache::save(const std::string& directory, DiagnosticSink* sink) const {
+  // Snapshot the shards (shared_ptr copies: writers stay unblocked).
+  std::vector<std::pair<StructuralHash, std::shared_ptr<const ConeFamily>>>
+      snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [hash, family] : shard.map)
+      snapshot.emplace_back(hash, family);
+  }
+  // Deterministic file content: entries in hash order.
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Intern the event table: every literal id is 2 * table index + negated.
+  std::unordered_map<Symbol, std::size_t> event_index;
+  std::vector<Symbol> events;
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    bool writable = true;
+    for (const std::vector<ConeLiteral>& set : snapshot[i].second->sets) {
+      for (const ConeLiteral& literal : set) {
+        const std::string_view name = literal.event.view();
+        // The table is line-oriented; a (never yet seen) pathological name
+        // would corrupt it, so such entries just stay in memory.
+        if (name.empty() || name.find('\n') != std::string_view::npos ||
+            name.find('\r') != std::string_view::npos) {
+          writable = false;
+          break;
+        }
+      }
+      if (!writable) break;
+    }
+    if (!writable) continue;
+    kept.push_back(i);
+    for (const std::vector<ConeLiteral>& set : snapshot[i].second->sets) {
+      for (const ConeLiteral& literal : set) {
+        if (event_index.emplace(literal.event, events.size()).second)
+          events.push_back(literal.event);
+      }
+    }
+  }
+
+  std::ostringstream body;
+  body << "events " << events.size() << "\n";
+  for (Symbol event : events) body << event.view() << "\n";
+  body << "cones " << kept.size() << "\n";
+  for (std::size_t i : kept) {
+    body << "c " << snapshot[i].first.to_hex() << " "
+         << snapshot[i].second->sets.size() << "\n";
+    for (const std::vector<ConeLiteral>& set : snapshot[i].second->sets) {
+      body << "s " << set.size();
+      for (const ConeLiteral& literal : set) {
+        body << " "
+             << 2 * event_index.at(literal.event) + (literal.negated ? 1 : 0);
+      }
+      body << "\n";
+    }
+  }
+  body << "end " << kept.size() << "\n";
+  const std::string body_text = body.str();
+
+  const auto fail = [&](const std::string& why) {
+    if (sink != nullptr)
+      sink->warning(ErrorKind::kAnalysis,
+                    "cannot write cone cache under '" + directory + "': " + why);
+    return false;
+  };
+
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return fail(ec.message());
+  const std::string path = file_path(directory);
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+    if (!file.good()) return fail("cannot open '" + temp + "'");
+    file << kMagic << " v" << kFormatVersion << "\n"
+         << "engine " << keyspace_.engine << "\n"
+         << "order " << kOrderScheme << "\n"
+         << "limits " << keyspace_.max_order << " " << keyspace_.max_sets
+         << "\n"
+         << "body " << to_hex64(body_checksum(body_text)) << "\n"
+         << body_text;
+    if (!file.good()) return fail("write failed on '" + temp + "'");
+  }
+  // Atomic publish: a concurrent reader sees the old file or the new one,
+  // never a torn write.
+  std::filesystem::rename(temp, path, ec);
+  if (ec) return fail(ec.message());
+  return true;
+}
+
+}  // namespace ftsynth

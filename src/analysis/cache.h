@@ -1,0 +1,196 @@
+// Content-addressed cone cache for the analysis pipeline.
+//
+// Synthesised fault trees of one model share large structurally identical
+// branches: every top event walks the same model cone, so the BBW
+// omission/commission trees overlap heavily. The cut-set engines memoise
+// per *node pointer*, which only helps within one tree. This cache keys
+// the per-cone minimal cut-set family by the cone's STRUCTURAL hash
+// (fta/simplify.h) instead, so
+//
+//   * a subtree analysed for one top event is free for every later tree
+//     of the batch that contains it (cross-top-event sharing, including
+//     under --jobs N -- the cache is thread-safe), and
+//   * with the optional persistent layer, a re-run after editing one
+//     annotation re-analyses only the affected cone: every untouched
+//     cone's hash is unchanged and hits the on-disk entries (incremental
+//     re-analysis).
+//
+// Cached values are tree-independent: a family of cut sets over
+// (event name, polarity) literals. Entries are only stored from CLEAN
+// computations (no truncation, no deadline), so a cached family is the
+// exact minimal family of its cone and substituting it for a fresh
+// computation cannot change any complete result -- output stays
+// byte-identical with the cache cold, warm or disabled.
+//
+// A cache belongs to one KEYSPACE (engine tag + cut-set limits): engines
+// ignore a cache whose keyspace does not match their options, and the
+// on-disk format carries the keyspace plus a format version, the
+// variable-order scheme tag and a body checksum. A stale, corrupt or
+// mismatched file is ignored with a diagnostic -- never trusted.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/symbol.h"
+#include "fta/simplify.h"
+
+namespace ftsynth {
+
+class DiagnosticSink;
+struct CutSetOptions;
+
+/// One literal of a cached cut set, in tree-independent form.
+struct ConeLiteral {
+  Symbol event;
+  bool negated = false;
+
+  friend bool operator==(const ConeLiteral& a, const ConeLiteral& b) noexcept {
+    return a.event == b.event && a.negated == b.negated;
+  }
+};
+
+/// The exact minimal cut-set family of one cone.
+struct ConeFamily {
+  std::vector<std::vector<ConeLiteral>> sets;
+
+  /// Literal count over all sets (the stats() byte estimate).
+  std::size_t literal_count() const noexcept;
+};
+
+/// Identifies the result space a cache's entries live in. Families are
+/// only valid for the engine and limit configuration they were computed
+/// under: limits that never fire leave the family exact, but a consumer
+/// with *tighter* limits would have truncated where the producer did not,
+/// so reuse across keyspaces could change observable output.
+struct ConeKeyspace {
+  std::string engine = "micsup";  ///< "micsup" | "mocus" | "zbdd"
+  std::size_t max_order = 64;
+  std::size_t max_sets = 1u << 20;
+
+  friend bool operator==(const ConeKeyspace& a,
+                         const ConeKeyspace& b) noexcept {
+    return a.engine == b.engine && a.max_order == b.max_order &&
+           a.max_sets == b.max_sets;
+  }
+};
+
+/// The keyspace describing a cut-set configuration (engine tag + limits).
+/// Build caches with this so the engines actually consult them (defined in
+/// cutsets.cpp, next to the tag strings the engines match against).
+ConeKeyspace cone_keyspace(const CutSetOptions& options);
+
+/// Counters for the --verbose stats block and the cache benchmarks.
+/// Snapshot semantics: stats() reads each counter atomically; the set is
+/// consistent enough for reporting, not for exact cross-counter invariants
+/// while writers are live.
+struct ConeCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;           ///< entries accepted into the cache
+  std::uint64_t evictions = 0;        ///< stores refused by the entry cap
+  std::uint64_t entries = 0;          ///< resident entries
+  std::uint64_t bytes = 0;            ///< approximate resident payload bytes
+  std::uint64_t disk_entries_loaded = 0;   ///< entries adopted by load()
+  std::uint64_t disk_files_rejected = 0;   ///< stale/corrupt files ignored
+
+  /// "cone cache: 12 hits / 4 misses ..." one-line rendering.
+  std::string to_string() const;
+};
+
+/// Thread-safe map {structural hash -> minimal cut-set family} shared by
+/// every top event of a batch run, with an optional versioned on-disk
+/// layer. Lookups return shared ownership so a concurrent store/eviction
+/// can never invalidate a family mid-use.
+class ConeCache {
+ public:
+  /// Default resident-entry cap; past it stores are refused (counted as
+  /// evictions) so a pathological batch cannot grow without bound.
+  static constexpr std::size_t kDefaultMaxEntries = 1u << 20;
+  /// Families larger than this are not worth caching (converting them
+  /// costs as much as recomputing); engines skip the store.
+  static constexpr std::size_t kMaxCachedSets = 4096;
+
+  explicit ConeCache(ConeKeyspace keyspace = {},
+                     std::size_t max_entries = kDefaultMaxEntries);
+
+  ConeCache(const ConeCache&) = delete;
+  ConeCache& operator=(const ConeCache&) = delete;
+
+  const ConeKeyspace& keyspace() const noexcept { return keyspace_; }
+
+  /// The cached family for `hash`, or nullptr (counted as hit/miss).
+  std::shared_ptr<const ConeFamily> find(const StructuralHash& hash) const;
+
+  /// Stores `family` under `hash`. First writer wins; a concurrent
+  /// duplicate store is dropped (the families are equal by construction).
+  void store(const StructuralHash& hash, ConeFamily family);
+
+  ConeCacheStats stats() const;
+
+  // -- Persistent layer --------------------------------------------------------
+  //
+  // One file per keyspace engine inside the cache directory
+  // (`cones-<engine>.ftsc`, text format documented in docs/FORMATS.md).
+  // load() ignores -- with a warning on `sink`, never an error -- any file
+  // that is missing, truncated, corrupt, or whose header does not match
+  // this cache's keyspace, the format version or the variable-order
+  // scheme. save() rewrites the file with the current resident entries
+  // (which include everything load() adopted, so unchanged cones survive
+  // across runs).
+
+  /// Version of the on-disk format; bumped on any layout change.
+  static constexpr int kFormatVersion = 1;
+  /// Tag of the variable-order scheme the interned literal ids follow
+  /// (analysis/ordering.h); bumped if the ordering heuristic changes.
+  static constexpr std::string_view kOrderScheme = "dfs-occurrence-v1";
+
+  /// Path of this cache's file inside `directory`.
+  std::string file_path(const std::string& directory) const;
+
+  /// Returns true when a file was adopted; false (after a diagnostic on
+  /// `sink`, when given) when there was nothing usable.
+  bool load(const std::string& directory, DiagnosticSink* sink);
+
+  /// Returns false (with a diagnostic) when the directory or file cannot
+  /// be written.
+  bool save(const std::string& directory, DiagnosticSink* sink) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<StructuralHash, std::shared_ptr<const ConeFamily>,
+                       StructuralHashHasher>
+        map;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(const StructuralHash& hash) const noexcept {
+    return shards_[StructuralHashHasher{}(hash) % kShards];
+  }
+
+  ConeKeyspace keyspace_;
+  std::size_t max_entries_;
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> lookups_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> disk_entries_loaded_{0};
+  std::atomic<std::uint64_t> disk_files_rejected_{0};
+};
+
+}  // namespace ftsynth

@@ -6,6 +6,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "analysis/cache.h"
 #include "analysis/ordering.h"
 #include "analysis/probability.h"
 #include "bdd/zbdd.h"
@@ -142,8 +143,11 @@ class Context {
   void intern(std::vector<const FtNode*> events) {
     events_ = std::move(events);
     event_index_.reserve(events_.size());
-    for (std::size_t i = 0; i < events_.size(); ++i)
+    name_index_.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
       event_index_.emplace(events_[i], static_cast<int>(i));
+      name_index_.emplace(events_[i]->name(), static_cast<int>(i));
+    }
     words_ = (2 * events_.size() + 63) / 64;
   }
 
@@ -170,6 +174,22 @@ class Context {
                    "cut-set literal was not interned");
     return it->second * 2 + (negated ? 1 : 0);
   }
+
+  /// Literal id for an interned event name, or -1 when the name is not in
+  /// this analysis's universe (a cone-cache entry that cannot be mapped).
+  int literal_id_by_name(Symbol name, bool negated) const {
+    auto it = name_index_.find(name);
+    if (it == name_index_.end()) return -1;
+    return it->second * 2 + (negated ? 1 : 0);
+  }
+
+  const FtNode* event_of(int literal) const {
+    return events_[static_cast<std::size_t>(literal / 2)];
+  }
+
+  /// True while no limit or deadline has bitten: results so far are exact,
+  /// so they are safe to publish into a cone cache.
+  bool clean() const noexcept { return !truncated_ && !deadline_exceeded_; }
 
   Set empty_set() const { return Set{std::vector<std::uint64_t>(words_), 0, 0}; }
 
@@ -258,6 +278,7 @@ class Context {
   const CutSetOptions& options_;
   Budget budget_;  ///< run-local copy (amortised deadline tick)
   std::unordered_map<const FtNode*, int> event_index_;
+  std::unordered_map<Symbol, int> name_index_;
   std::vector<const FtNode*> events_;
   std::size_t words_ = 0;
   bool truncated_ = false;
@@ -379,16 +400,138 @@ std::vector<Set> minimise(std::vector<Set> sets, Context* context = nullptr) {
   return kept;
 }
 
+// -- Cone-cache bridge ---------------------------------------------------------
+//
+// Cached families are tree-independent (event name + polarity); the
+// helpers below translate between them and this analysis's interned
+// bitsets. Lookups re-canonicalise with the LOCAL set_less order, so a
+// cache-resolved family is literal-for-literal the one minimise() would
+// have returned here -- the substitution is invisible in the output.
+
+using NodeHashes =
+    std::unordered_map<const FtNode*, StructuralHash, std::hash<const FtNode*>>;
+
+/// The engine tag the keyspace matching below compares against.
+std::string_view engine_tag(CutSetEngine engine) noexcept {
+  switch (engine) {
+    case CutSetEngine::kMicsup:
+      return "micsup";
+    case CutSetEngine::kMocus:
+      return "mocus";
+    case CutSetEngine::kZbdd:
+      return "zbdd";
+  }
+  return "micsup";
+}
+
+/// The options' cone cache when its keyspace matches this engine + limit
+/// configuration; null otherwise (a mismatched cache is ignored, since its
+/// families were computed under a different truncation regime).
+ConeCache* usable_cache(const CutSetOptions& options,
+                        std::string_view engine) {
+  ConeCache* cache = options.cone_cache;
+  if (cache == nullptr) return nullptr;
+  const ConeKeyspace& keyspace = cache->keyspace();
+  if (keyspace.engine != engine || keyspace.max_order != options.max_order ||
+      keyspace.max_sets != options.max_sets)
+    return nullptr;
+  return cache;
+}
+
+/// Cached family -> local bitsets, canonically sorted. nullopt when some
+/// event name is outside this analysis's universe (possible only for a
+/// foreign/corrupt persistent entry; treated as a miss).
+std::optional<std::vector<Set>> sets_from_family(const ConeFamily& family,
+                                                 const Context& context) {
+  std::vector<Set> sets;
+  sets.reserve(family.sets.size());
+  for (const std::vector<ConeLiteral>& cached : family.sets) {
+    Set set = context.empty_set();
+    for (const ConeLiteral& literal : cached) {
+      const int id = context.literal_id_by_name(literal.event, literal.negated);
+      if (id < 0) return std::nullopt;
+      set_insert(set, id);
+    }
+    sets.push_back(std::move(set));
+  }
+  std::sort(sets.begin(), sets.end(), set_less);
+  return sets;
+}
+
+/// Local bitsets -> cached family, preserving set order (already canonical
+/// on every store path: minimise() emits sets in set_less order).
+ConeFamily family_from_sets(const std::vector<Set>& sets,
+                            const Context& context) {
+  ConeFamily family;
+  family.sets.reserve(sets.size());
+  for (const Set& set : sets) {
+    std::vector<ConeLiteral> literals;
+    literals.reserve(set.count);
+    for (std::size_t w = 0; w < set.words.size(); ++w) {
+      std::uint64_t bits = set.words[w];
+      while (bits != 0) {
+        const int lit = static_cast<int>(w * 64) + std::countr_zero(bits);
+        bits &= bits - 1;
+        literals.push_back(
+            {context.event_of(lit)->name(), (lit & 1) != 0});
+      }
+    }
+    family.sets.push_back(std::move(literals));
+  }
+  return family;
+}
+
+/// True for the nodes worth caching: real gates. Leaves and NOT-over-leaf
+/// wrappers resolve in O(1) anyway, so caching them only adds lookups.
+bool cacheable_cone(const FtNode* node) noexcept {
+  return node->kind() == NodeKind::kGate && node->gate() != GateKind::kNot;
+}
+
+/// Shared root fast-path: when the WHOLE tree's cone is cached, no engine
+/// needs to run at all. Returns the finished analysis on a hit.
+std::optional<CutSetAnalysis> cached_root_analysis(const FaultTree& flat,
+                                                   const NodeHashes& hashes,
+                                                   ConeCache* cache,
+                                                   Context& context) {
+  if (cache == nullptr || flat.top() == nullptr ||
+      !cacheable_cone(flat.top()))
+    return std::nullopt;
+  const std::shared_ptr<const ConeFamily> family =
+      cache->find(hashes.at(flat.top()));
+  if (family == nullptr) return std::nullopt;
+  std::optional<std::vector<Set>> sets = sets_from_family(*family, context);
+  if (!sets) return std::nullopt;
+  return context.finish(context.clamp(std::move(*sets)));
+}
+
 // -- Bottom-up engine ----------------------------------------------------------
 
 class BottomUp {
  public:
-  BottomUp(const FaultTree& tree, Context& context)
-      : tree_(tree), context_(context) {}
+  /// `cone_cache` (with `hashes` over the same tree) enables cross-tree
+  /// reuse; both may be null for the classic pointer-memoised run.
+  BottomUp(const FaultTree& tree, Context& context,
+           ConeCache* cone_cache = nullptr, const NodeHashes* hashes = nullptr)
+      : tree_(tree),
+        context_(context),
+        cone_cache_(cone_cache),
+        hashes_(hashes) {}
 
   std::vector<Set> run() {
     if (tree_.top() == nullptr) return {};
     return resolve(tree_.top());
+  }
+
+  /// Publishes every memoised gate family into the cone cache. Call only
+  /// after a CLEAN run (context.clean()): a family computed under a fired
+  /// limit is partial and must never be reused.
+  void store_cones() {
+    if (cone_cache_ == nullptr) return;
+    for (const auto& [node, sets] : memo_) {
+      if (!cacheable_cone(node)) continue;
+      if (sets.size() > ConeCache::kMaxCachedSets) continue;
+      cone_cache_->store(hashes_->at(node), family_from_sets(sets, context_));
+    }
   }
 
  private:
@@ -398,6 +541,16 @@ class BottomUp {
   /// what they combine.
   const std::vector<Set>& resolve(const FtNode* node) {
     if (auto it = memo_.find(node); it != memo_.end()) return it->second;
+    if (cone_cache_ != nullptr && cacheable_cone(node)) {
+      if (const std::shared_ptr<const ConeFamily> family =
+              cone_cache_->find(hashes_->at(node))) {
+        if (std::optional<std::vector<Set>> sets =
+                sets_from_family(*family, context_)) {
+          context_.track_peak(sets->size());
+          return memo_.emplace(node, std::move(*sets)).first->second;
+        }
+      }
+    }
     std::vector<Set> result = resolve_uncached(node);
     context_.track_peak(result.size());
     return memo_.emplace(node, std::move(result)).first->second;
@@ -459,6 +612,8 @@ class BottomUp {
 
   const FaultTree& tree_;
   Context& context_;
+  ConeCache* cone_cache_;      ///< not owned; null = no cross-tree reuse
+  const NodeHashes* hashes_;   ///< set exactly when cone_cache_ is
   std::unordered_map<const FtNode*, std::vector<Set>> memo_;
 };
 
@@ -466,8 +621,12 @@ class BottomUp {
 
 class Mocus {
  public:
-  Mocus(const FaultTree& tree, Context& context)
-      : tree_(tree), context_(context) {}
+  Mocus(const FaultTree& tree, Context& context,
+        ConeCache* cone_cache = nullptr, const NodeHashes* hashes = nullptr)
+      : tree_(tree),
+        context_(context),
+        cone_cache_(cone_cache),
+        hashes_(hashes) {}
 
   std::vector<Set> run() {
     const FtNode* top = tree_.top();
@@ -497,6 +656,24 @@ class Mocus {
       }
       const FtNode* node = row.gates.back();
       row.gates.pop_back();
+      // Cone-cache short-circuit: a cached gate is semantically an OR over
+      // its minimal cut sets, so it expands to one row per set -- the
+      // whole subtree below it is never visited.
+      if (cone_cache_ != nullptr && cacheable_cone(node)) {
+        if (const std::shared_ptr<const ConeFamily> family =
+                cone_cache_->find(hashes_->at(node))) {
+          if (std::optional<std::vector<Set>> sets =
+                  sets_from_family(*family, context_)) {
+            for (Set& set : *sets) {
+              Row branch;
+              branch.gates = row.gates;
+              branch.literals = set_or(row.literals, set);
+              rows.push_back(std::move(branch));
+            }
+            continue;
+          }
+        }
+      }
       switch (node->kind()) {
         case NodeKind::kHouse:
           rows.push_back(std::move(row));  // true: contributes nothing
@@ -541,6 +718,8 @@ class Mocus {
  private:
   const FaultTree& tree_;
   Context& context_;
+  ConeCache* cone_cache_;      ///< not owned; null = classic expansion
+  const NodeHashes* hashes_;   ///< set exactly when cone_cache_ is
 };
 
 /// The engines run on a temporary normalised copy of the tree; its nodes
@@ -560,12 +739,23 @@ void remap_events(CutSetAnalysis& analysis, const FaultTree& original) {
 
 }  // namespace
 
+ConeKeyspace cone_keyspace(const CutSetOptions& options) {
+  return {std::string(engine_tag(options.engine)), options.max_order,
+          options.max_sets};
+}
+
 CutSetAnalysis minimal_cut_sets(const FaultTree& tree,
                                 const CutSetOptions& options) {
   FaultTree flat = normalise(tree);
   Context context(options);
   context.intern(dfs_variable_order(flat));
-  std::vector<Set> sets = BottomUp(flat, context).run();
+  ConeCache* cache = usable_cache(options, "micsup");
+  NodeHashes hashes;
+  if (cache != nullptr && flat.top() != nullptr)
+    hashes = structural_hashes(flat);
+  BottomUp engine(flat, context, cache, &hashes);
+  std::vector<Set> sets = engine.run();
+  if (cache != nullptr && context.clean()) engine.store_cones();
   CutSetAnalysis analysis = context.finish(std::move(sets));
   remap_events(analysis, tree);
   return analysis;
@@ -576,7 +766,17 @@ CutSetAnalysis mocus_cut_sets(const FaultTree& tree,
   FaultTree flat = normalise(tree);
   Context context(options);
   context.intern(dfs_variable_order(flat));
-  std::vector<Set> sets = Mocus(flat, context).run();
+  ConeCache* cache = usable_cache(options, "mocus");
+  NodeHashes hashes;
+  if (cache != nullptr && flat.top() != nullptr)
+    hashes = structural_hashes(flat);
+  std::vector<Set> sets = Mocus(flat, context, cache, &hashes).run();
+  // MOCUS only materialises the root family; publish it so a warm re-run
+  // (or a later tree with this exact cone) short-circuits at the top.
+  if (cache != nullptr && context.clean() && flat.top() != nullptr &&
+      cacheable_cone(flat.top()) && sets.size() <= ConeCache::kMaxCachedSets) {
+    cache->store(hashes.at(flat.top()), family_from_sets(sets, context));
+  }
   CutSetAnalysis analysis = context.finish(std::move(sets));
   remap_events(analysis, tree);
   return analysis;
@@ -638,6 +838,16 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
   context.intern(order);
   if (flat.top() == nullptr) return context.finish({});
 
+  ConeCache* cache = usable_cache(options, "zbdd");
+  NodeHashes hashes;
+  if (cache != nullptr) hashes = structural_hashes(flat);
+  if (std::optional<CutSetAnalysis> hit =
+          cached_root_analysis(flat, hashes, cache, context)) {
+    // The whole tree's family is cached: skip the diagram entirely.
+    remap_events(*hit, tree);
+    return std::move(*hit);
+  }
+
   Zbdd zbdd;
   // Literal id == ZBDD variable: two per event, the plain polarity first,
   // events in depth-first occurrence order (the shared static heuristic).
@@ -668,8 +878,36 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
     // Bottom-up conversion with per-node memoisation: shared subtrees of
     // the DAG convert once, and every memoised family is already minimal.
     std::unordered_map<const FtNode*, Zbdd::Ref> memo;
+    // Cached family -> diagram: union of per-set single-variable products.
+    // The family is minimal and contradiction-free by construction (clean
+    // producer run), and a ZBDD is canonical per family under a fixed
+    // variable order, so this builds the very node convert() would reach.
+    auto ref_from_family =
+        [&](const ConeFamily& family) -> std::optional<Zbdd::Ref> {
+      Zbdd::Ref acc = Zbdd::kEmpty;
+      for (const std::vector<ConeLiteral>& cached : family.sets) {
+        Zbdd::Ref product = Zbdd::kBase;
+        for (const ConeLiteral& literal : cached) {
+          const int id =
+              context.literal_id_by_name(literal.event, literal.negated);
+          if (id < 0) return std::nullopt;
+          product = zbdd.product(product, zbdd.single(id));
+        }
+        acc = zbdd.set_union(acc, product);
+      }
+      return acc;
+    };
     auto convert = [&](auto&& self, const FtNode* node) -> Zbdd::Ref {
       if (auto it = memo.find(node); it != memo.end()) return it->second;
+      if (cache != nullptr && cacheable_cone(node)) {
+        if (const std::shared_ptr<const ConeFamily> family =
+                cache->find(hashes.at(node))) {
+          if (std::optional<Zbdd::Ref> cached = ref_from_family(*family)) {
+            memo.emplace(node, *cached);
+            return *cached;
+          }
+        }
+      }
       Zbdd::Ref result = Zbdd::kEmpty;
       switch (node->kind()) {
         case NodeKind::kHouse:
@@ -733,6 +971,29 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
     };
     extract(extract, root);
     if (truncated_paths) context.mark_truncated();
+
+    // Publish every memoised gate family after a CLEAN run (partial
+    // diagrams must never be reused). Enumeration cost is bounded by the
+    // same cap the other engines use.
+    if (cache != nullptr && context.clean() && !context.deadline_hit()) {
+      for (const auto& [node, ref] : memo) {
+        if (!cacheable_cone(node)) continue;
+        if (zbdd.set_count(ref) >
+            static_cast<double>(ConeCache::kMaxCachedSets))
+          continue;
+        ConeFamily family;
+        zbdd.for_each_set(ref, [&](const std::vector<int>& literals) {
+          std::vector<ConeLiteral> cached;
+          cached.reserve(literals.size());
+          for (const int literal : literals)
+            cached.push_back(
+                {context.event_of(literal)->name(), (literal & 1) != 0});
+          family.sets.push_back(std::move(cached));
+          return true;
+        });
+        cache->store(hashes.at(node), std::move(family));
+      }
+    }
   } catch (const Zbdd::Interrupt& interrupt) {
     // Degrade, don't die: report what we have (usually nothing from the
     // conversion phase) with the honest flags.

@@ -42,6 +42,7 @@
 
 namespace ftsynth {
 
+class ConeCache;
 class ThreadPool;
 
 /// Which algorithm computes the minimal cut sets (see header comment).
@@ -70,6 +71,14 @@ struct CutSetOptions {
   /// default) keeps everything on the calling thread. The ZBDD engine is
   /// symbolic and ignores the pool.
   ThreadPool* pool = nullptr;
+  /// Optional content-addressed cone cache (analysis/cache.h, not owned):
+  /// per-cone minimal families are looked up / stored by structural hash,
+  /// so subtrees shared across the top events of a batch -- or across runs,
+  /// with the persistent layer -- are analysed once. Only consulted when
+  /// its keyspace matches this engine + limits configuration; cached
+  /// results are exact, so output is byte-identical with the cache null,
+  /// cold or warm. Thread-safe: one cache may serve all batch workers.
+  ConeCache* cone_cache = nullptr;
 };
 
 /// One literal of a cut set: an event, possibly negated.

@@ -18,6 +18,8 @@ TreeAnalysis analyse_tree(const FaultTree& tree,
   analysis.p_esary_proschan =
       esary_proschan_bound(analysis.cut_sets, options.probability);
   analysis.p_exact = exact_probability(tree, options.probability);
+  if (options.cut_sets.cone_cache != nullptr)
+    analysis.cache_stats = options.cut_sets.cone_cache->stats();
   return analysis;
 }
 

@@ -7,9 +7,11 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/cache.h"
 #include "analysis/common_cause.h"
 #include "analysis/cutsets.h"
 #include "analysis/importance.h"
@@ -39,6 +41,12 @@ struct TreeAnalysis {
   double p_rare_event = 0.0;
   double p_esary_proschan = 0.0;
   double p_exact = 0.0;
+  /// Cone-cache counters as of the end of this analysis, when
+  /// options.cut_sets.cone_cache was set. CUMULATIVE for the cache, not
+  /// per-tree: a batch-shared cache accumulates across items. Deliberately
+  /// absent from render() so cached and uncached reports stay
+  /// byte-identical; the CLI surfaces it behind --verbose.
+  std::optional<ConeCacheStats> cache_stats;
 };
 
 /// Runs cut sets, probabilities, importance and common-cause on `tree`.

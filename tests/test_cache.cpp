@@ -1,0 +1,407 @@
+// Tests for the content-addressed cone cache (analysis/cache.h) and the
+// structural hashing underneath it (fta/simplify.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/cache.h"
+#include "analysis/cutsets.h"
+#include "core/diagnostics.h"
+#include "fta/fault_tree.h"
+#include "fta/simplify.h"
+
+namespace ftsynth {
+namespace {
+
+// -- Builders -----------------------------------------------------------------
+
+/// OR(AND(a, b), AND(c, d)) with per-leaf rates; the canonical two-cone
+/// shape: editing d must leave the AND(a, b) cone's hash untouched.
+FaultTree two_cone_tree(double rate_d = 3e-6) {
+  FaultTree tree("two_cone");
+  FtNode* a = tree.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b = tree.add_basic(Symbol("b"), 2e-6, "", "");
+  FtNode* c = tree.add_basic(Symbol("c"), 2.5e-6, "", "");
+  FtNode* d = tree.add_basic(Symbol("d"), rate_d, "", "");
+  FtNode* left = tree.add_gate(GateKind::kAnd, "left", {a, b});
+  FtNode* right = tree.add_gate(GateKind::kAnd, "right", {c, d});
+  tree.set_top(tree.add_gate(GateKind::kOr, "top", {left, right}));
+  return tree;
+}
+
+std::string cut_sets_text(const FaultTree& tree, const CutSetOptions& options) {
+  return compute_cut_sets(tree, options).to_string();
+}
+
+/// A throwaway directory under the test temp root, unique per test and
+/// wiped on first use so reruns never see a previous run's files.
+std::string cache_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/cone_cache_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// -- Structural hash ----------------------------------------------------------
+
+TEST(StructuralHashTest, IdenticalTreesHashIdentically) {
+  FaultTree one = two_cone_tree();
+  FaultTree two = two_cone_tree();
+  EXPECT_EQ(structural_hash(one), structural_hash(two));
+  // And per node: equal cones have equal hashes regardless of the arena.
+  auto hashes_one = structural_hashes(one);
+  auto hashes_two = structural_hashes(two);
+  EXPECT_EQ(hashes_one.at(one.find_event(Symbol("a"))),
+            hashes_two.at(two.find_event(Symbol("a"))));
+}
+
+TEST(StructuralHashTest, ChildOrderIsIrrelevantForAndOr) {
+  FaultTree one("t");
+  FtNode* a1 = one.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b1 = one.add_basic(Symbol("b"), 2e-6, "", "");
+  one.set_top(one.add_gate(GateKind::kOr, "", {a1, b1}));
+  FaultTree two("t");
+  FtNode* b2 = two.add_basic(Symbol("b"), 2e-6, "", "");
+  FtNode* a2 = two.add_basic(Symbol("a"), 1e-6, "", "");
+  two.set_top(two.add_gate(GateKind::kOr, "", {b2, a2}));
+  EXPECT_EQ(structural_hash(one), structural_hash(two));
+}
+
+TEST(StructuralHashTest, PandChildOrderIsSignificant) {
+  // Priority-AND fires only in sequence: swapping the children is a
+  // semantically different gate and must not collide.
+  FaultTree one("t");
+  FtNode* a1 = one.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b1 = one.add_basic(Symbol("b"), 2e-6, "", "");
+  one.set_top(one.add_gate(GateKind::kPand, "", {a1, b1}));
+  FaultTree two("t");
+  FtNode* a2 = two.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b2 = two.add_basic(Symbol("b"), 2e-6, "", "");
+  two.set_top(two.add_gate(GateKind::kPand, "", {b2, a2}));
+  EXPECT_NE(structural_hash(one), structural_hash(two));
+}
+
+TEST(StructuralHashTest, RateGateKindAndNameAllFeedTheHash) {
+  const StructuralHash base = structural_hash(two_cone_tree());
+  EXPECT_NE(base, structural_hash(two_cone_tree(4e-6)));  // rate edit
+
+  FaultTree and_top("t");
+  FtNode* a = and_top.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b = and_top.add_basic(Symbol("b"), 2e-6, "", "");
+  and_top.set_top(and_top.add_gate(GateKind::kAnd, "", {a, b}));
+  FaultTree or_top("t");
+  FtNode* a2 = or_top.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b2 = or_top.add_basic(Symbol("b"), 2e-6, "", "");
+  or_top.set_top(or_top.add_gate(GateKind::kOr, "", {a2, b2}));
+  EXPECT_NE(structural_hash(and_top), structural_hash(or_top));
+
+  FaultTree renamed("t");
+  FtNode* a3 = renamed.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* z = renamed.add_basic(Symbol("z"), 2e-6, "", "");
+  renamed.set_top(renamed.add_gate(GateKind::kAnd, "", {a3, z}));
+  EXPECT_NE(structural_hash(and_top), structural_hash(renamed));
+}
+
+TEST(StructuralHashTest, EditInvalidatesOnlyTheAffectedCone) {
+  FaultTree before = two_cone_tree();
+  FaultTree after = two_cone_tree(9e-6);  // edit d's failure rate
+  auto hashes_before = structural_hashes(before);
+  auto hashes_after = structural_hashes(after);
+
+  auto cone_hash = [](const FaultTree& tree, const auto& hashes,
+                      const char* description) {
+    const FtNode* found = nullptr;
+    tree.for_each_reachable([&](const FtNode& node) {
+      if (node.description() == description) found = &node;
+    });
+    EXPECT_NE(found, nullptr) << description;
+    return hashes.at(found);
+  };
+
+  // The untouched left cone and its leaves keep their hashes...
+  EXPECT_EQ(cone_hash(before, hashes_before, "left"),
+            cone_hash(after, hashes_after, "left"));
+  EXPECT_EQ(hashes_before.at(before.find_event(Symbol("a"))),
+            hashes_after.at(after.find_event(Symbol("a"))));
+  // ...while the edited leaf, its cone and every ancestor change.
+  EXPECT_NE(hashes_before.at(before.find_event(Symbol("d"))),
+            hashes_after.at(after.find_event(Symbol("d"))));
+  EXPECT_NE(cone_hash(before, hashes_before, "right"),
+            cone_hash(after, hashes_after, "right"));
+  EXPECT_NE(structural_hash(before), structural_hash(after));
+}
+
+TEST(StructuralHashTest, HexRoundTrips) {
+  const StructuralHash hash = structural_hash(two_cone_tree());
+  const std::string hex = hash.to_hex();
+  EXPECT_EQ(hex.size(), 32u);
+  auto parsed = StructuralHash::from_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, hash);
+  EXPECT_FALSE(StructuralHash::from_hex("short").has_value());
+  EXPECT_FALSE(
+      StructuralHash::from_hex("zz345678901234567890123456789012").has_value());
+}
+
+// -- In-memory cache ----------------------------------------------------------
+
+TEST(ConeCacheTest, MissThenStoreThenHit) {
+  ConeCache cache;
+  const StructuralHash hash = structural_hash(two_cone_tree());
+  EXPECT_EQ(cache.find(hash), nullptr);
+  ConeFamily family;
+  family.sets.push_back({{Symbol("a"), false}, {Symbol("b"), false}});
+  cache.store(hash, family);
+  auto found = cache.find(hash);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->sets, family.sets);
+  const ConeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ConeCacheTest, EntryCapRefusesStores) {
+  ConeCache cache({}, /*max_entries=*/1);
+  ConeFamily family;
+  family.sets.push_back({{Symbol("a"), false}});
+  cache.store(StructuralHash{1, 1}, family);
+  cache.store(StructuralHash{2, 2}, family);
+  const ConeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(cache.find(StructuralHash{2, 2}), nullptr);
+}
+
+TEST(ConeCacheTest, EnginesProduceIdenticalResultsWithAndWithoutCache) {
+  FaultTree tree = two_cone_tree();
+  for (CutSetEngine engine :
+       {CutSetEngine::kMicsup, CutSetEngine::kMocus, CutSetEngine::kZbdd}) {
+    CutSetOptions plain;
+    plain.engine = engine;
+    const std::string expected = cut_sets_text(tree, plain);
+
+    CutSetOptions cached = plain;
+    ConeCache cache(cone_keyspace(cached));
+    cached.cone_cache = &cache;
+    EXPECT_EQ(cut_sets_text(tree, cached), expected);  // cold
+    EXPECT_EQ(cut_sets_text(tree, cached), expected);  // warm
+    const ConeCacheStats stats = cache.stats();
+    EXPECT_GT(stats.stores, 0u) << "engine " << static_cast<int>(engine);
+    EXPECT_GT(stats.hits, 0u) << "engine " << static_cast<int>(engine);
+  }
+}
+
+TEST(ConeCacheTest, KeyspaceMismatchIsIgnored) {
+  FaultTree tree = two_cone_tree();
+  ConeCache cache(ConeKeyspace{"mocus", 64, 1u << 20});
+  CutSetOptions options;  // micsup
+  options.cone_cache = &cache;
+  const std::string text = cut_sets_text(tree, options);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(cache.stats().lookups, 0u);  // never consulted
+  EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST(ConeCacheTest, SharedSubtreeHitsAcrossDifferentTrees) {
+  // Two different tops sharing the AND(a, b) cone: analysing the second
+  // tree must reuse the family the first one stored.
+  FaultTree one = two_cone_tree();
+  FaultTree two("other_top");
+  FtNode* a = two.add_basic(Symbol("a"), 1e-6, "", "");
+  FtNode* b = two.add_basic(Symbol("b"), 2e-6, "", "");
+  FtNode* e = two.add_basic(Symbol("e"), 5e-6, "", "");
+  FtNode* left = two.add_gate(GateKind::kAnd, "left", {a, b});
+  two.set_top(two.add_gate(GateKind::kOr, "top2", {left, e}));
+
+  CutSetOptions options;
+  ConeCache cache(cone_keyspace(options));
+  options.cone_cache = &cache;
+  cut_sets_text(one, options);
+  const std::uint64_t hits_before = cache.stats().hits;
+  const std::string with_cache = cut_sets_text(two, options);
+  EXPECT_GT(cache.stats().hits, hits_before);
+  EXPECT_EQ(with_cache, cut_sets_text(two, CutSetOptions{}));
+}
+
+// -- Persistent layer ---------------------------------------------------------
+
+TEST(ConeCachePersistTest, SaveLoadRoundTripsEveryEntry) {
+  const std::string dir = cache_dir("roundtrip");
+  FaultTree tree = two_cone_tree();
+  CutSetOptions options;
+  ConeCache producer(cone_keyspace(options));
+  options.cone_cache = &producer;
+  const std::string expected = cut_sets_text(tree, options);
+  DiagnosticSink sink;
+  ASSERT_TRUE(producer.save(dir, &sink));
+
+  ConeCache consumer(cone_keyspace(options));
+  ASSERT_TRUE(consumer.load(dir, &sink));
+  EXPECT_EQ(sink.diagnostics().size(), 0u);
+  EXPECT_EQ(consumer.stats().disk_entries_loaded, producer.stats().entries);
+
+  CutSetOptions warm;
+  warm.cone_cache = &consumer;
+  EXPECT_EQ(cut_sets_text(tree, warm), expected);
+  EXPECT_GT(consumer.stats().hits, 0u);
+  EXPECT_EQ(consumer.stats().misses, 0u);  // root family resolves directly
+}
+
+TEST(ConeCachePersistTest, MissingFileIsASilentColdStart) {
+  ConeCache cache;
+  DiagnosticSink sink;
+  EXPECT_FALSE(cache.load(cache_dir("missing"), &sink));
+  EXPECT_TRUE(sink.empty());  // a first run is not a diagnosis-worthy event
+}
+
+/// Each corruption is rejected with a warning (never an error: analysis
+/// proceeds from scratch) and no partially-adopted entries.
+TEST(ConeCachePersistTest, CorruptFilesAreRejectedWithDiagnostics) {
+  const std::string dir = cache_dir("corrupt");
+  CutSetOptions options;
+  {
+    FaultTree tree = two_cone_tree();
+    ConeCache producer(cone_keyspace(options));
+    options.cone_cache = &producer;
+    cut_sets_text(tree, options);
+    DiagnosticSink sink;
+    ASSERT_TRUE(producer.save(dir, &sink));
+  }
+  ConeCache reference(cone_keyspace(CutSetOptions{}));
+  const std::string path = reference.file_path(dir);
+  std::string original;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    original = buffer.str();
+  }
+  ASSERT_FALSE(original.empty());
+
+  auto expect_rejected = [&](const std::string& contents, const char* label) {
+    {
+      std::ofstream out(path, std::ios::trunc);
+      out << contents;
+    }
+    ConeCache cache(cone_keyspace(CutSetOptions{}));
+    DiagnosticSink sink;
+    EXPECT_FALSE(cache.load(dir, &sink)) << label;
+    ASSERT_EQ(sink.diagnostics().size(), 1u) << label;
+    EXPECT_EQ(sink.diagnostics()[0].severity, Severity::kWarning) << label;
+    EXPECT_NE(sink.diagnostics()[0].message.find("ignoring cone cache"),
+              std::string::npos)
+        << label;
+    EXPECT_EQ(cache.stats().entries, 0u) << label;
+    EXPECT_EQ(cache.stats().disk_files_rejected, 1u) << label;
+  };
+
+  expect_rejected("garbage\n", "malformed header");
+  expect_rejected(original.substr(0, original.size() / 2), "truncated body");
+  {
+    std::string wrong_version = original;
+    wrong_version.replace(wrong_version.find(" v1"), 3, " v9");
+    expect_rejected(wrong_version, "format version mismatch");
+  }
+  {
+    std::string flipped = original;
+    const std::size_t last = flipped.find_last_of("0123456789");
+    ASSERT_NE(last, std::string::npos);
+    flipped[last] = flipped[last] == '7' ? '8' : '7';
+    expect_rejected(flipped, "checksum mismatch");
+  }
+
+  // A different keyspace's cache must also refuse the file (engine tag).
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << original;
+  }
+  CutSetOptions zbdd;
+  zbdd.engine = CutSetEngine::kZbdd;
+  ConeCache other(cone_keyspace(zbdd));
+  DiagnosticSink sink;
+  // Different engine -> different file name -> silent cold start; force the
+  // mismatch by loading micsup's file under the zbdd cache's path.
+  std::ifstream same(other.file_path(dir));
+  EXPECT_FALSE(same.good());
+  {
+    std::ofstream out(other.file_path(dir), std::ios::trunc);
+    out << original;
+  }
+  EXPECT_FALSE(other.load(dir, &sink));
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].severity, Severity::kWarning);
+}
+
+TEST(ConeCachePersistTest, EditedConeRecomputesOnlyItself) {
+  // The incremental re-analysis contract: after editing one annotation,
+  // a warm cache re-analyses the affected cone and reuses the rest.
+  const std::string dir = cache_dir("incremental");
+  CutSetOptions options;
+  {
+    FaultTree before = two_cone_tree();
+    ConeCache producer(cone_keyspace(options));
+    options.cone_cache = &producer;
+    cut_sets_text(before, options);
+    DiagnosticSink sink;
+    ASSERT_TRUE(producer.save(dir, &sink));
+  }
+
+  FaultTree after = two_cone_tree(9e-6);  // d's rate edited
+  ConeCache cache(cone_keyspace(CutSetOptions{}));
+  DiagnosticSink sink;
+  ASSERT_TRUE(cache.load(dir, &sink));
+  CutSetOptions warm;
+  warm.cone_cache = &cache;
+  const std::string warm_text = cut_sets_text(after, warm);
+  const ConeCacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);    // the untouched AND(a, b) cone came back
+  EXPECT_GT(stats.misses, 0u);  // the edited cone (and root) did not
+  // And the result is exactly the cold computation's.
+  EXPECT_EQ(warm_text, cut_sets_text(after, CutSetOptions{}));
+}
+
+// -- Thread safety ------------------------------------------------------------
+
+/// Named to match the sanitizer job's `-R 'Concurrency|Parallel'` filter:
+/// this is the TSan witness for the sharded cache.
+TEST(CacheConcurrencyTest, ConcurrentStoreAndFindAreRaceFree) {
+  ConeCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kKeys; ++i) {
+        const StructuralHash hash{static_cast<std::uint64_t>(i),
+                                  static_cast<std::uint64_t>(i * 2 + 1)};
+        if ((t + i) % 2 == 0) {
+          ConeFamily family;
+          family.sets.push_back(
+              {{Symbol("e" + std::to_string(i)), false}});
+          cache.store(hash, std::move(family));
+        } else if (auto found = cache.find(hash)) {
+          // Shared ownership: the family stays valid while held.
+          ASSERT_EQ(found->sets.size(), 1u);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const ConeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(stats.stores, static_cast<std::uint64_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -294,5 +294,81 @@ TEST_F(CliTest, NegativeDeadlineIsUsageError) {
   EXPECT_EQ(run({"analyse", model_path_, "--deadline-ms", "-5"}), 2);
 }
 
+TEST_F(CliTest, CacheStatesProduceByteIdenticalAnalysis) {
+  // The cone cache's acceptance bar: stdout must not depend on the cache
+  // being disabled, cold or warm, nor on the worker count, for any engine.
+  const std::string tag =
+      testing::UnitTest::GetInstance()->current_test_info()->name();
+  for (const char* engine : {"micsup", "mocus", "zbdd"}) {
+    const std::string dir =
+        testing::TempDir() + "/cli_cache_" + tag + "_" + engine;
+    std::string reference;
+    auto check = [&](std::vector<std::string> args, const char* label) {
+      args.insert(args.end(), {"--top", "Omission-brake_force_fl", "--time",
+                               "1000", "--engine", engine});
+      ASSERT_EQ(run(std::move(args)), 0) << engine << " " << label;
+      if (reference.empty()) {
+        reference = out_.str();
+        EXPECT_NE(reference.find("minimal cut sets:"), std::string::npos);
+      } else {
+        EXPECT_EQ(out_.str(), reference) << engine << " " << label;
+      }
+    };
+    check({"analyse", model_path_, "--no-cache", "--jobs", "1"}, "off/1");
+    check({"analyse", model_path_, "--no-cache", "--jobs", "4"}, "off/4");
+    check({"analyse", model_path_, "--cache", dir, "--jobs", "4"}, "cold/4");
+    check({"analyse", model_path_, "--cache", dir, "--jobs", "4"}, "warm/4");
+    check({"analyse", model_path_, "--cache", dir, "--jobs", "1"}, "warm/1");
+    check({"analyse", model_path_, "--jobs", "1"}, "memory-only");
+  }
+}
+
+TEST_F(CliTest, CorruptCacheIsIgnoredNeverTrusted) {
+  const std::string tag =
+      testing::UnitTest::GetInstance()->current_test_info()->name();
+  const std::string dir = testing::TempDir() + "/cli_cache_" + tag;
+  const std::vector<std::string> args = {"analyse",  model_path_,
+                                         "--top",    "Omission-brake_force_fl",
+                                         "--cache",  dir,
+                                         "--jobs",   "1"};
+  ASSERT_EQ(run(args), 0);
+  const std::string reference = out_.str();
+  {
+    std::ofstream corrupt(dir + "/cones-micsup.ftsc", std::ios::trunc);
+    corrupt << "not a cache file\n";
+  }
+  // Completed-with-a-warning is still a clean exit: the cache is an
+  // optimisation, never a correctness input.
+  ASSERT_EQ(run(args), 0);
+  EXPECT_EQ(out_.str(), reference);
+  EXPECT_NE(err_.str().find("ignoring cone cache"), std::string::npos);
+  // The run rewrote the file, so the next one loads it silently again.
+  ASSERT_EQ(run(args), 0);
+  EXPECT_EQ(out_.str(), reference);
+  EXPECT_EQ(err_.str().find("ignoring cone cache"), std::string::npos);
+}
+
+TEST_F(CliTest, VerbosePrintsCacheStatsToStderrOnly) {
+  const std::string top = "Omission-brake_force_fl";
+  ASSERT_EQ(run({"analyse", model_path_, "--top", top, "--verbose"}), 0);
+  EXPECT_NE(err_.str().find("cone cache:"), std::string::npos);
+  EXPECT_NE(err_.str().find("hit(s)"), std::string::npos);
+  EXPECT_EQ(out_.str().find("cone cache:"), std::string::npos);
+
+  ASSERT_EQ(run({"analyse", model_path_, "--top", top, "--verbose",
+                 "--no-cache"}),
+            0);
+  EXPECT_NE(err_.str().find("cone cache: disabled"), std::string::npos);
+
+  ASSERT_EQ(run({"analyse", model_path_, "--top", top}), 0);
+  EXPECT_EQ(err_.str().find("cone cache:"), std::string::npos);
+
+  // fmea and report take the same flags.
+  ASSERT_EQ(run({"fmea", model_path_, "--top", top, "--verbose"}), 0);
+  EXPECT_NE(err_.str().find("cone cache:"), std::string::npos);
+  ASSERT_EQ(run({"report", model_path_, "--top", top, "--verbose"}), 0);
+  EXPECT_NE(err_.str().find("cone cache:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ftsynth

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "analysis/batch.h"
+#include "analysis/cache.h"
 #include "analysis/completeness.h"
 #include "analysis/cutsets.h"
 #include "analysis/fmea.h"
@@ -58,6 +59,14 @@ options:
   --engine ENG       cut-set engine for analyse/fmea/report: micsup
                      (default), mocus, or zbdd (symbolic; fastest on large
                      trees). Every engine emits identical cut sets.
+  --cache DIR        persist per-cone cut-set results in DIR and reuse them
+                     on later runs of analyse/fmea/report (incremental
+                     re-analysis: after an edit only affected cones are
+                     recomputed). Stale or corrupt cache files are ignored
+                     with a warning; output is byte-identical either way.
+  --no-cache         disable all cone-result reuse, including the default
+                     in-memory sharing across the top events of one run
+  --verbose          print run statistics (cone-cache counters) to stderr
 
 exit codes:
   0  clean run                       1  completed, but with diagnostics
@@ -79,6 +88,9 @@ struct Options {
   long deadline_ms = 0;  ///< 0 = no deadline
   int jobs = 0;          ///< 0 = hardware concurrency; 1 = serial
   CutSetEngine engine = CutSetEngine::kMicsup;
+  std::string cache_dir;   ///< --cache DIR; empty = no persistent layer
+  bool no_cache = false;   ///< --no-cache wins over --cache
+  bool verbose = false;    ///< --verbose stats block on stderr
   /// Armed once per run (one shared deadline latch); every stage copies it.
   Budget budget;
 };
@@ -179,6 +191,14 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
             << "' (expected micsup, mocus or zbdd)\n";
         return std::nullopt;
       }
+    } else if (arg == "--cache") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      options.cache_dir = *v;
+    } else if (arg == "--no-cache") {
+      options.no_cache = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
       err << kUsage;
       return std::nullopt;
@@ -214,6 +234,19 @@ int exit_code_for(ErrorKind kind) noexcept {
 /// Copies the run's single armed budget: every stage of every worker
 /// shares one deadline latch, so --deadline-ms bites globally.
 Budget make_budget(const Options& options) { return options.budget; }
+
+/// --verbose stats block. Stats go to stderr so stdout stays byte-identical
+/// with and without the cache (the acceptance bar for this feature).
+void report_cache_stats(const Options& options,
+                        const std::optional<ConeCacheStats>& stats,
+                        std::ostream& err) {
+  if (!options.verbose) return;
+  if (stats) {
+    err << stats->to_string() << "\n";
+  } else {
+    err << "cone cache: disabled\n";
+  }
+}
 
 /// Synthesis options for a command run: resource budget always, degraded
 /// mode (diagnostics instead of aborts) unless --strict.
@@ -400,8 +433,19 @@ int cmd_analyse(const Model& model, const Options& options,
   batch_options.analysis.cut_sets.engine = options.engine;
   batch_options.analysis.cut_sets.budget = make_budget(options);
   batch_options.analysis.probability.budget = make_budget(options);
+  batch_options.share_cones = !options.no_cache;
+  // --cache DIR: preload the persistent cone results and hand the cache to
+  // the batch (it then skips its own run-local one).
+  std::optional<ConeCache> persistent;
+  if (!options.no_cache && !options.cache_dir.empty()) {
+    persistent.emplace(cone_keyspace(batch_options.analysis.cut_sets));
+    persistent->load(options.cache_dir, &sink);
+    batch_options.analysis.cut_sets.cone_cache = &*persistent;
+  }
   BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
                                     batch_options, pool);
+  if (persistent) persistent->save(options.cache_dir, &sink);
+  report_cache_stats(options, batch.cache_stats, err);
   std::string text;
   for (BatchItem& item : batch.items) {
     if (!replay_item(item, options, sink)) continue;
@@ -433,13 +477,19 @@ int cmd_audit(const Model& model, const Options& options, std::ostream& out,
 }
 
 int cmd_report(const Model& model, const Options& options,
-               std::ostream& out, std::ostream& err) {
+               DiagnosticSink& sink, std::ostream& out, std::ostream& err) {
   MarkdownReportOptions report_options;
   report_options.analysis.probability.mission_time_hours =
       options.mission_time_hours;
   report_options.analysis.cut_sets.engine = options.engine;
   report_options.analysis.cut_sets.budget = make_budget(options);
   report_options.analysis.probability.budget = make_budget(options);
+  std::optional<ConeCache> cones;
+  if (!options.no_cache) {
+    cones.emplace(cone_keyspace(report_options.analysis.cut_sets));
+    if (!options.cache_dir.empty()) cones->load(options.cache_dir, &sink);
+    report_options.analysis.cut_sets.cone_cache = &*cones;
+  }
   std::vector<std::string> tops;
   for (const Deviation& top : resolve_tops(model, options))
     tops.push_back(top.to_string());
@@ -447,8 +497,14 @@ int cmd_report(const Model& model, const Options& options,
     err << "error: no top events (give --top or annotate the model)\n";
     return 2;
   }
-  return emit(markdown_report(model, tops, report_options), options, out,
-              err);
+  const std::string text = markdown_report(model, tops, report_options);
+  if (cones && !options.cache_dir.empty())
+    cones->save(options.cache_dir, &sink);
+  report_cache_stats(
+      options, cones ? std::optional<ConeCacheStats>(cones->stats())
+                     : std::nullopt,
+      err);
+  return emit(text, options, out, err);
 }
 
 int cmd_sensitivity(const Model& model, const Options& options,
@@ -490,6 +546,14 @@ int cmd_fmea(const Model& model, const Options& options, DiagnosticSink& sink,
   cut_set_options.engine = options.engine;
   cut_set_options.budget = make_budget(options);
   cut_set_options.pool = pool;
+  // FMEA analyses every derivable top event of one model: prime sharing
+  // territory for the cone cache (plus the persistent layer on --cache).
+  std::optional<ConeCache> cones;
+  if (!options.no_cache) {
+    cones.emplace(cone_keyspace(cut_set_options));
+    if (!options.cache_dir.empty()) cones->load(options.cache_dir, &sink);
+    cut_set_options.cone_cache = &*cones;
+  }
   BatchOptions batch_options;
   batch_options.synthesis = synthesis_options(options, sink);
   batch_options.analyse = false;
@@ -508,6 +572,12 @@ int cmd_fmea(const Model& model, const Options& options, DiagnosticSink& sink,
       parallel_map(pool, trees.size(), [&](std::size_t i) {
         return compute_cut_sets(trees[i], cut_set_options);
       });
+  if (cones && !options.cache_dir.empty())
+    cones->save(options.cache_dir, &sink);
+  report_cache_stats(
+      options, cones ? std::optional<ConeCacheStats>(cones->stats())
+                     : std::nullopt,
+      err);
   std::vector<const FaultTree*> tree_ptrs;
   std::vector<const CutSetAnalysis*> analysis_ptrs;
   for (std::size_t i = 0; i < trees.size(); ++i) {
@@ -565,7 +635,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     } else if (command == "sensitivity") {
       rc = cmd_sensitivity(model, *options, sink, out, err);
     } else if (command == "report") {
-      rc = cmd_report(model, *options, out, err);
+      rc = cmd_report(model, *options, sink, out, err);
     } else {
       err << "error: unknown command '" << command << "'\n" << kUsage;
       return 2;

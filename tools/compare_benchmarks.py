@@ -9,7 +9,9 @@ Pairs benchmark records by name (e.g. "BM_ZbddReplicated/6/4") and prints
 one line per pair with the baseline time, the candidate time and the
 relative change. Exits 1 when any matched benchmark regressed by more than
 --threshold percent (default 20), 0 otherwise; benchmarks present in only
-one file are listed but never fail the comparison.
+one file are listed but never fail the comparison, and two files with no
+benchmark in common compare clean with a warning (a new suite simply has
+no baseline yet).
 
 Results are only meaningful between files produced the same way (same
 machine class, Release build -- see tools/run_benchmarks.sh). The files in
@@ -85,8 +87,18 @@ def main() -> int:
 
     shared = sorted(set(baseline) & set(candidate))
     if not shared:
-        print("no benchmarks in common; nothing to compare", file=sys.stderr)
-        return 2
+        # A brand-new benchmark suite has no committed baseline yet (and a
+        # retired one no candidate). That is routine, not an error: warn,
+        # list the one-sided names, and let the comparison pass so adding a
+        # bench_*.cpp never breaks CI by itself.
+        print(
+            "warning: no benchmarks in common; nothing to compare",
+            file=sys.stderr,
+        )
+        for name in sorted(set(baseline) | set(candidate)):
+            side = "baseline" if name in baseline else "candidate"
+            print(f"  {name}: only in {side} (skipped)", file=sys.stderr)
+        return 0
 
     width = max(len(name) for name in shared)
     regressions = []
