@@ -843,14 +843,16 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
   if (cache != nullptr) hashes = structural_hashes(flat);
   if (std::optional<CutSetAnalysis> hit =
           cached_root_analysis(flat, hashes, cache, context)) {
-    // The whole tree's family is cached: skip the diagram entirely.
+    // The whole tree's family is cached: skip the diagram entirely (and
+    // the ordering policy with it -- there is no diagram to reorder).
     remap_events(*hit, tree);
     return std::move(*hit);
   }
 
   Zbdd zbdd;
   // Literal id == ZBDD variable: two per event, the plain polarity first,
-  // events in depth-first occurrence order (the shared static heuristic).
+  // events in depth-first occurrence order (the shared static heuristic --
+  // the SEED order; the sift policies may move it afterwards).
   for (std::size_t i = 0; i < 2 * order.size(); ++i) zbdd.new_var();
   Budget budget = options.budget;  // run-local copy sharing the latch
   zbdd.set_budget(&budget);
@@ -858,12 +860,19 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
   // cut sets rarely needs more nodes than literals-per-set times sets),
   // with a floor so small limits cannot starve genuine diagrams.
   zbdd.set_node_limit(options.max_sets * 8 + (1u << 16));
+  const bool dynamic_order = options.order != OrderPolicy::kStatic;
+  if (dynamic_order) zbdd.set_auto_reorder(true);
 
   std::vector<Set> sets;
+  // Declared outside the try so the post-run report covers interrupted
+  // runs too: the diagram stays valid when an operation throws.
+  Zbdd::Ref contra = Zbdd::kEmpty;
+  Zbdd::Ref root = Zbdd::kEmpty;
+  std::unordered_map<const FtNode*, Zbdd::Ref> memo;
+  SiftStats sift_total;
   try {
     // Sets holding both polarities of an event are contradictory; the
     // pair family {{x, NOT x}, ...} subtracts them via `without`.
-    Zbdd::Ref contra = Zbdd::kEmpty;
     flat.for_each_reachable([&](const FtNode& node) {
       if (node.kind() != NodeKind::kGate || node.gate() != GateKind::kNot)
         return;
@@ -875,9 +884,6 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
           contra, zbdd.product(zbdd.single(plain), zbdd.single(plain + 1)));
     });
 
-    // Bottom-up conversion with per-node memoisation: shared subtrees of
-    // the DAG convert once, and every memoised family is already minimal.
-    std::unordered_map<const FtNode*, Zbdd::Ref> memo;
     // Cached family -> diagram: union of per-set single-variable products.
     // The family is minimal and contradiction-free by construction (clean
     // producer run), and a ZBDD is canonical per family under a fixed
@@ -897,7 +903,12 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
       }
       return acc;
     };
-    auto convert = [&](auto&& self, const FtNode* node) -> Zbdd::Ref {
+
+    // Everything resolvable without recursing into gate children: memo
+    // hits, cached cones, leaves and (normalised) NOT gates. AND/OR gates
+    // return nullopt and get an explicit conversion frame below.
+    auto resolve_simple =
+        [&](const FtNode* node) -> std::optional<Zbdd::Ref> {
       if (auto it = memo.find(node); it != memo.end()) return it->second;
       if (cache != nullptr && cacheable_cone(node)) {
         if (const std::shared_ptr<const ConeFamily> family =
@@ -918,31 +929,103 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
         case NodeKind::kLoop:
           result = zbdd.single(context.literal_id(node, false));
           break;
-        case NodeKind::kGate:
-          if (node->gate() == GateKind::kNot) {
-            const FtNode* child = node->children().front();
-            check_internal(child->is_leaf(),
-                           "cut sets need a normalised tree (NOT over leaf)");
-            result = zbdd.single(context.literal_id(child, true));
-          } else if (node->gate() == GateKind::kOr) {
-            for (const FtNode* child : node->children())
-              result = zbdd.set_union(result, self(self, child));
-            result = zbdd.minimal(result);
-          } else {  // AND; kPand conservatively as AND (analysis/temporal.h)
-            result = Zbdd::kBase;
-            for (const FtNode* child : node->children())
-              result = zbdd.product(result, self(self, child));
-            if (contra != Zbdd::kEmpty) result = zbdd.without(result, contra);
-            result = zbdd.minimal(result);
-          }
+        case NodeKind::kGate: {
+          if (node->gate() != GateKind::kNot) return std::nullopt;
+          const FtNode* child = node->children().front();
+          check_internal(child->is_leaf(),
+                         "cut sets need a normalised tree (NOT over leaf)");
+          result = zbdd.single(context.literal_id(child, true));
           break;
+        }
       }
       memo.emplace(node, result);
       return result;
     };
-    const Zbdd::Ref root = zbdd.minimal(convert(convert, flat.top()));
+
+    // Bottom-up conversion with per-node memoisation: shared subtrees of
+    // the DAG convert once, and every memoised family is already minimal.
+    //
+    // The walk is an explicit postorder stack rather than recursion so
+    // that EVERY live intermediate family is enumerable: dynamic
+    // reordering garbage-collects at its safe points, and a partial
+    // accumulator hiding in a recursive activation record would be swept.
+    struct Frame {
+      const FtNode* node;
+      std::size_t next = 0;  ///< index of the next child to combine
+      Zbdd::Ref acc = Zbdd::kEmpty;
+    };
+    std::vector<Frame> frames;
+    // Every ref the engine still holds -- the GC root set for reordering.
+    auto live_roots = [&]() {
+      std::vector<Zbdd::Ref> roots;
+      roots.reserve(memo.size() + frames.size() + 2);
+      roots.push_back(contra);
+      roots.push_back(root);
+      for (const auto& [node, ref] : memo) roots.push_back(ref);
+      for (const Frame& frame : frames) roots.push_back(frame.acc);
+      return roots;
+    };
+    // Honours a pressure-flagged reorder between operations. make() never
+    // reorders itself: an operation mid-flight holds node copies on the C++
+    // stack that an in-place swap would silently bypass.
+    SiftOptions sift_options;
+    sift_options.budget = &budget;
+    auto reorder_point = [&]() {
+      if (!zbdd.reorder_pending()) return;
+      if (std::optional<SiftStats> stats =
+              zbdd.maybe_reorder(live_roots(), sift_options))
+        sift_total.merge(*stats);
+    };
+
+    auto convert = [&](const FtNode* top) -> Zbdd::Ref {
+      if (std::optional<Zbdd::Ref> simple = resolve_simple(top))
+        return *simple;
+      frames.push_back(
+          {top, 0, top->gate() == GateKind::kOr ? Zbdd::kEmpty : Zbdd::kBase});
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        const FtNode* node = frame.node;
+        const bool is_or = node->gate() == GateKind::kOr;
+        if (frame.next < node->children().size()) {
+          const FtNode* child = node->children()[frame.next];
+          std::optional<Zbdd::Ref> ready = resolve_simple(child);
+          if (!ready) {
+            // Descend. push_back invalidates `frame`: touch nothing after.
+            frames.push_back({child, 0,
+                              child->gate() == GateKind::kOr ? Zbdd::kEmpty
+                                                             : Zbdd::kBase});
+            continue;
+          }
+          ++frame.next;
+          frame.acc = is_or ? zbdd.set_union(frame.acc, *ready)
+                            : zbdd.product(frame.acc, *ready);
+          reorder_point();  // acc is rooted via the frame: safe point
+          continue;
+        }
+        // All children combined: finalise this gate.
+        Zbdd::Ref result = frame.acc;
+        if (!is_or) {  // AND; kPand conservatively as AND (analysis/temporal.h)
+          if (contra != Zbdd::kEmpty) result = zbdd.without(result, contra);
+        }
+        result = zbdd.minimal(result);
+        memo.emplace(node, result);
+        frames.pop_back();
+        reorder_point();
+      }
+      return memo.at(top);
+    };
+    root = zbdd.minimal(convert(flat.top()));
     // For the symbolic engine the working set IS the diagram.
     context.track_peak(zbdd.size());
+
+    // Final explicit pass: pressure may never have fired (small diagrams)
+    // or may have left gains on the table; the sift policies always end on
+    // a locally minimal order. The budget still applies -- an interrupted
+    // pass parks at the best order seen and degrades, never corrupts.
+    if (dynamic_order) {
+      sift_options.converge = options.order == OrderPolicy::kSiftConverge;
+      sift_total.merge(zbdd.sift(live_roots(), sift_options));
+    }
 
     // Extract the minimal family. The limits apply per path: long sets
     // are skipped (max_order), the enumeration stops at max_sets.
@@ -974,24 +1057,23 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
 
     // Publish every memoised gate family after a CLEAN run (partial
     // diagrams must never be reused). Enumeration cost is bounded by the
-    // same cap the other engines use.
+    // same cap the other engines use. The diagram enumerates in the
+    // CURRENT variable order, which the sift policies may have moved, so
+    // re-canonicalise (sort literals per set, sets by set_less) -- cache
+    // contents, like stdout, must be byte-identical across policies.
     if (cache != nullptr && context.clean() && !context.deadline_hit()) {
       for (const auto& [node, ref] : memo) {
         if (!cacheable_cone(node)) continue;
         if (zbdd.set_count(ref) >
             static_cast<double>(ConeCache::kMaxCachedSets))
           continue;
-        ConeFamily family;
+        std::vector<Set> cone_sets;
         zbdd.for_each_set(ref, [&](const std::vector<int>& literals) {
-          std::vector<ConeLiteral> cached;
-          cached.reserve(literals.size());
-          for (const int literal : literals)
-            cached.push_back(
-                {context.event_of(literal)->name(), (literal & 1) != 0});
-          family.sets.push_back(std::move(cached));
+          cone_sets.push_back(context.set_from_literals(literals));
           return true;
         });
-        cache->store(hashes.at(node), std::move(family));
+        std::sort(cone_sets.begin(), cone_sets.end(), set_less);
+        cache->store(hashes.at(node), family_from_sets(cone_sets, context));
       }
     }
   } catch (const Zbdd::Interrupt& interrupt) {
@@ -1001,7 +1083,32 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
     context.mark_truncated();
   }
 
+  // Reordering report (--verbose): live sizes after a final sweep, the
+  // stats the sifting accumulated, and the order the run ended on. Built
+  // for static runs too so the policies are directly comparable.
+  zbdd.collect_garbage([&] {
+    std::vector<Zbdd::Ref> roots{contra, root};
+    for (const auto& [node, ref] : memo) roots.push_back(ref);
+    return roots;
+  }());
+  ReorderReport report;
+  report.policy = to_string(options.order);
+  report.passes = sift_total.passes;
+  report.swaps = sift_total.swaps;
+  report.nodes_after = zbdd.table_size();
+  report.nodes_before = sift_total.swaps > 0 ? sift_total.size_before
+                                             : report.nodes_after;
+  report.root_nodes = zbdd.node_count(root);
+  for (int level = 0; level < zbdd.var_count(); ++level) {
+    if (zbdd.level_width(level) == 0) continue;
+    const int literal = zbdd.var_at_level(level);
+    std::string name = context.event_of(literal)->name().str();
+    report.final_order.push_back((literal & 1) != 0 ? "NOT " + name
+                                                    : std::move(name));
+  }
+
   CutSetAnalysis analysis = context.finish(context.clamp(std::move(sets)));
+  analysis.reorder = std::move(report);
   remap_events(analysis, tree);
   return analysis;
 }

@@ -34,9 +34,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/ordering.h"
 #include "core/budget.h"
 #include "fta/fault_tree.h"
 
@@ -79,6 +81,14 @@ struct CutSetOptions {
   /// results are exact, so output is byte-identical with the cache null,
   /// cold or warm. Thread-safe: one cache may serve all batch workers.
   ConeCache* cone_cache = nullptr;
+  /// Variable-order policy for the decision-diagram engines (CLI --order).
+  /// kStatic keeps the DFS occurrence order; the sift policies reorder
+  /// dynamically on unique-table pressure plus a final explicit pass
+  /// (Rudell sifting, bdd/sifting.h). Cut sets are canonicalised after
+  /// extraction, so every policy produces byte-identical analysis output --
+  /// the policy only changes diagram size and time. The set-based engines
+  /// ignore it.
+  OrderPolicy order = OrderPolicy::kStatic;
 };
 
 /// One literal of a cut set: an event, possibly negated.
@@ -94,6 +104,21 @@ struct CutLiteral {
 /// A minimal cut set: literals sorted by event name.
 using CutSet = std::vector<CutLiteral>;
 
+/// What dynamic reordering did during a ZBDD-engine run (--verbose stats).
+/// Populated for every zbdd run, including static-order ones (passes = 0,
+/// sizes equal), so the policies are directly comparable.
+struct ReorderReport {
+  std::string policy;         ///< CLI spelling of the policy that ran
+  int passes = 0;             ///< sifting passes completed
+  std::size_t swaps = 0;      ///< adjacent-level swaps performed
+  std::size_t nodes_before = 0;  ///< live diagram nodes before sifting
+  std::size_t nodes_after = 0;   ///< live diagram nodes at the final order
+  std::size_t root_nodes = 0;    ///< nodes of the minimal-family diagram
+  /// Final variable order, root level first, as display names ("NOT x" for
+  /// the negative-polarity variable of x). Only levels with live nodes.
+  std::vector<std::string> final_order;
+};
+
 /// Result of a cut-set computation. Literals point INTO the analysed tree:
 /// the FaultTree must outlive the analysis (do not pass a temporary).
 struct CutSetAnalysis {
@@ -101,6 +126,8 @@ struct CutSetAnalysis {
   bool truncated = false;        ///< some sets were dropped by the limits
   bool deadline_exceeded = false;  ///< the budget deadline cut the run short
   std::size_t peak_sets = 0;     ///< working-set high-water mark (bench metric)
+  /// Reordering stats (ZBDD engine only; empty for the set-based engines).
+  std::optional<ReorderReport> reorder;
 
   /// Smallest cut set order present (0 when there are no cut sets).
   std::size_t min_order() const noexcept;

@@ -20,4 +20,23 @@ std::vector<const FtNode*> dfs_variable_order(const FaultTree& tree) {
   return order;
 }
 
+std::string to_string(OrderPolicy policy) {
+  switch (policy) {
+    case OrderPolicy::kStatic:
+      return "static";
+    case OrderPolicy::kSift:
+      return "sift";
+    case OrderPolicy::kSiftConverge:
+      return "sift-converge";
+  }
+  return "static";
+}
+
+std::optional<OrderPolicy> parse_order_policy(std::string_view text) {
+  if (text == "static") return OrderPolicy::kStatic;
+  if (text == "sift") return OrderPolicy::kSift;
+  if (text == "sift-converge") return OrderPolicy::kSiftConverge;
+  return std::nullopt;
+}
+
 }  // namespace ftsynth

@@ -1,5 +1,6 @@
 #include "bdd/bdd.h"
 
+#include <algorithm>
 #include <climits>
 #include <unordered_set>
 
@@ -18,6 +19,8 @@ Bdd::Bdd() {
 
 int Bdd::new_var() {
   level_of_.push_back(var_count_);
+  var_at_level_.push_back(var_count_);
+  var_refs_.emplace_back();
   return var_count_++;
 }
 
@@ -34,11 +37,17 @@ void Bdd::set_order(const std::vector<int>& order) {
     levels[static_cast<std::size_t>(var)] = static_cast<int>(level);
   }
   level_of_ = std::move(levels);
+  var_at_level_ = order;
 }
 
 int Bdd::level_of(int v) const {
   check_internal(v >= 0 && v < var_count_, "BDD variable out of range");
   return level_of_[static_cast<std::size_t>(v)];
+}
+
+int Bdd::var_at_level(int level) const {
+  check_internal(level >= 0 && level < var_count_, "BDD level out of range");
+  return var_at_level_[static_cast<std::size_t>(level)];
 }
 
 int Bdd::node_level(Ref a) const noexcept {
@@ -51,10 +60,18 @@ Bdd::Ref Bdd::make(int var, Ref low, Ref high) {
   if (low == high) return low;
   UniqueKey key{var, low, high};
   if (auto it = unique_.find(key); it != unique_.end()) return it->second;
-  check_internal(nodes_.size() < UINT32_MAX, "BDD node table overflow");
-  Ref ref = static_cast<Ref>(nodes_.size());
-  nodes_.push_back({var, low, high});
+  Ref ref;
+  if (!free_.empty()) {
+    ref = free_.back();
+    free_.pop_back();
+    nodes_[ref] = {var, low, high};
+  } else {
+    check_internal(nodes_.size() < UINT32_MAX, "BDD node table overflow");
+    ref = static_cast<Ref>(nodes_.size());
+    nodes_.push_back({var, low, high});
+  }
   unique_.emplace(key, ref);
+  var_refs_[static_cast<std::size_t>(var)].push_back(ref);
   return ref;
 }
 
@@ -180,6 +197,138 @@ double Bdd::sat_count(Ref a) const {
   };
   if (a == kFalse) return 0.0;
   return count(count, a) * static_cast<double>(1ULL << level(a));
+}
+
+void Bdd::swap_adjacent_levels(int level) {
+  check_internal(level >= 0 && level + 1 < var_count_,
+                 "BDD level swap out of range");
+  const int v = var_at_level_[static_cast<std::size_t>(level)];
+  const int w = var_at_level_[static_cast<std::size_t>(level + 1)];
+  // Op-cache results bake in the old level comparisons.
+  cache_.clear();
+  // make(v, ...) below appends rebuilt cofactor nodes to var_refs_[v], so
+  // move the worklist out first; v-nodes independent of w go back in at the
+  // end (they simply ride down one level, their structure untouched).
+  std::vector<Ref> worklist =
+      std::move(var_refs_[static_cast<std::size_t>(v)]);
+  var_refs_[static_cast<std::size_t>(v)].clear();
+  std::vector<Ref> keep;
+  // Cofactors of a child C by w: (C.low, C.high) when C decides w, else
+  // (C, C) -- C is constant in w.
+  auto split = [&](Ref c, Ref& w0, Ref& w1) {
+    const Node& n = nodes_[c];
+    if (!is_terminal(c) && n.var == w) {
+      w0 = n.low;
+      w1 = n.high;
+    } else {
+      w0 = c;
+      w1 = c;
+    }
+  };
+  for (Ref r : worklist) {
+    const Node n = nodes_[r];  // copy: make() may reallocate nodes_
+    if (!((!is_terminal(n.low) && nodes_[n.low].var == w) ||
+          (!is_terminal(n.high) && nodes_[n.high].var == w))) {
+      // Independent of w: the node keeps its variable and structure.
+      keep.push_back(r);
+      continue;
+    }
+    Ref l0, l1, h0, h1;
+    split(n.low, l0, l1);
+    split(n.high, h0, h1);
+    // <v, L, H> = <w, <v, l0, h0>, <v, l1, h1>> once w is above v. The
+    // rewrite is in place so every external ref to r keeps its meaning.
+    unique_.erase(UniqueKey{n.var, n.low, n.high});
+    const Ref nlow = make(v, l0, h0);
+    const Ref nhigh = make(v, l1, h1);
+    // nlow != nhigh: r depends on w (a reduced child decides it), so its
+    // two w-cofactors are distinct functions and make() is canonical.
+    check_internal(nlow != nhigh, "BDD level swap collapsed a node");
+    nodes_[r] = {w, nlow, nhigh};
+    const bool inserted = unique_.emplace(UniqueKey{w, nlow, nhigh}, r).second;
+    // Canonicity argument: distinct allocated nodes denote distinct
+    // functions, the rewrite preserves r's function, and every other
+    // <w, ., .> node denotes some other function -- so no collision.
+    check_internal(inserted, "BDD level swap produced a duplicate node");
+    var_refs_[static_cast<std::size_t>(w)].push_back(r);
+  }
+  auto& v_refs = var_refs_[static_cast<std::size_t>(v)];
+  v_refs.insert(v_refs.end(), keep.begin(), keep.end());
+  std::swap(var_at_level_[static_cast<std::size_t>(level)],
+            var_at_level_[static_cast<std::size_t>(level + 1)]);
+  level_of_[static_cast<std::size_t>(v)] = level + 1;
+  level_of_[static_cast<std::size_t>(w)] = level;
+}
+
+std::size_t Bdd::level_width(int level) const {
+  check_internal(level >= 0 && level < var_count_, "BDD level out of range");
+  return var_refs_[static_cast<std::size_t>(
+                       var_at_level_[static_cast<std::size_t>(level)])]
+      .size();
+}
+
+void Bdd::collect_garbage(const std::vector<Ref>& roots) {
+  cache_.clear();  // cached results may reference nodes about to die
+  std::vector<bool> marked(nodes_.size(), false);
+  std::vector<Ref> stack;
+  for (Ref r : roots)
+    if (!is_terminal(r) && !marked[r]) {
+      marked[r] = true;
+      stack.push_back(r);
+    }
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    for (Ref child : {n.low, n.high})
+      if (!is_terminal(child) && !marked[child]) {
+        marked[child] = true;
+        stack.push_back(child);
+      }
+  }
+  // Only entries still in the unique table are allocated; previously freed
+  // slots are already on free_ and must not be pushed twice.
+  std::vector<Ref> dead;
+  for (auto it = unique_.begin(); it != unique_.end();) {
+    if (!marked[it->second]) {
+      dead.push_back(it->second);
+      it = unique_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(dead.begin(), dead.end());
+  free_.insert(free_.end(), dead.begin(), dead.end());
+  for (auto& refs : var_refs_) refs.clear();
+  for (Ref r = 2; r < nodes_.size(); ++r)
+    if (marked[r])
+      var_refs_[static_cast<std::size_t>(nodes_[r].var)].push_back(r);
+}
+
+std::size_t Bdd::live_size(const std::vector<Ref>& roots) const {
+  std::vector<bool> marked(nodes_.size(), false);
+  std::vector<Ref> stack;
+  std::size_t live = 0;
+  for (Ref r : roots)
+    if (!is_terminal(r) && !marked[r]) {
+      marked[r] = true;
+      ++live;
+      stack.push_back(r);
+    }
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    for (Ref child : {n.low, n.high})
+      if (!is_terminal(child) && !marked[child]) {
+        marked[child] = true;
+        ++live;
+        stack.push_back(child);
+      }
+  }
+  return live;
+}
+
+SiftStats Bdd::sift(const std::vector<Ref>& roots, const SiftOptions& options) {
+  return rudell_sift(*this, roots, options);
 }
 
 }  // namespace ftsynth

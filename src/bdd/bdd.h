@@ -12,19 +12,27 @@
 // set_order() installs an explicit order (e.g. the depth-first-occurrence
 // heuristic of analysis/ordering.h) before any node is built, and every
 // ordering-sensitive operation -- apply, sat_count, the restrictions in
-// bdd_prob -- compares variables by their level under that order.
+// bdd_prob -- compares variables by their level under that order. The order
+// may also change dynamically: swap_adjacent_levels() is the in-place
+// Rudell primitive and sift() (bdd/sifting.h) drives it; swaps preserve
+// every Ref's meaning, so only collect_garbage() invalidates refs (and only
+// unreachable ones).
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
+
+#include "bdd/sifting.h"
 
 namespace ftsynth {
 
 /// A BDD manager owning every node it creates. References (BddRef) stay
-/// valid for the manager's lifetime; functions from different managers must
-/// not be mixed.
+/// valid for the manager's lifetime -- across level swaps and sifting too --
+/// except that collect_garbage() reclaims nodes unreachable from its root
+/// set; functions from different managers must not be mixed.
 class Bdd {
  public:
   using Ref = std::uint32_t;
@@ -41,13 +49,17 @@ class Bdd {
 
   /// Installs an explicit variable order: `order[k]` is the variable at
   /// level k (level 0 = root). Must be a permutation of every declared
-  /// variable, and must be installed before any node is built -- reordering
-  /// an existing diagram is not supported.
+  /// variable, and must be installed before any node is built -- use sift()
+  /// or swap_adjacent_levels() to reorder an existing diagram.
   void set_order(const std::vector<int>& order);
 
   /// The level of a declared variable under the current order (identity
   /// when no explicit order is installed). Smaller = closer to the root.
   int level_of(int v) const;
+  /// The variable at `level` -- the inverse of level_of().
+  int var_at_level(int level) const;
+  /// The current order as a variable list, root level first.
+  std::vector<int> current_order() const { return var_at_level_; }
 
   /// The function "variable v" / "NOT variable v".
   Ref var(int v);
@@ -67,8 +79,12 @@ class Bdd {
   /// Number of distinct nodes in the subgraph of `a` (terminals excluded).
   std::size_t node_count(Ref a) const;
 
-  /// Total nodes allocated by this manager.
+  /// Total node slots allocated by this manager (live + reclaimable).
   std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Live unique-table entries (every allocated node that has not been
+  /// garbage collected).
+  std::size_t table_size() const noexcept { return unique_.size(); }
 
   /// Evaluates under a full assignment (indexed by variable).
   bool evaluate(Ref a, const std::vector<bool>& assignment) const;
@@ -84,6 +100,37 @@ class Bdd {
   };
   const Node& node(Ref a) const { return nodes_[a]; }
   bool is_terminal(Ref a) const noexcept { return a <= kTrue; }
+
+  // -- Dynamic reordering ------------------------------------------------------
+  //
+  // The Rudell machinery (see bdd/sifting.h for the schedule). A swap
+  // rewrites every node of `level` that depends on the variable below it
+  // IN PLACE -- external refs keep their meaning -- and invalidates the
+  // operation cache. Never call it while an operation is on the stack, and
+  // note that memoised traversals keyed by levels (sat_count weights,
+  // bdd_prob memos) must be recomputed after any swap.
+
+  /// Exchanges the variables at `level` and `level + 1`.
+  void swap_adjacent_levels(int level);
+
+  /// Nodes currently recorded on `level` (exact right after
+  /// collect_garbage(); may include not-yet-collected garbage otherwise).
+  std::size_t level_width(int level) const;
+
+  /// Reclaims every node unreachable from `roots` (terminals always
+  /// survive): slots go to a free list for reuse, their unique-table
+  /// entries disappear, and the operation cache is dropped. Refs to
+  /// reclaimed nodes become invalid -- pass every ref you still hold.
+  void collect_garbage(const std::vector<Ref>& roots);
+
+  /// Nodes reachable from `roots` (terminals excluded): the live size the
+  /// sifting driver minimises.
+  std::size_t live_size(const std::vector<Ref>& roots) const;
+
+  /// Runs Rudell sifting over the whole order (bdd/sifting.h). `roots`
+  /// must list every externally held ref.
+  SiftStats sift(const std::vector<Ref>& roots,
+                 const SiftOptions& options = {});
 
  private:
   Ref make(int var, Ref low, Ref high);
@@ -131,7 +178,12 @@ class Bdd {
   std::vector<Node> nodes_;
   std::unordered_map<UniqueKey, Ref, UniqueHash> unique_;
   std::unordered_map<OpKey, Ref, OpHash> cache_;
-  std::vector<int> level_of_;  ///< level_of_[var]; identity by default
+  std::vector<int> level_of_;      ///< level_of_[var]; identity by default
+  std::vector<int> var_at_level_;  ///< inverse of level_of_
+  /// Every allocated (not yet collected) ref whose node decides this
+  /// variable -- the swap primitive's per-level worklist.
+  std::vector<std::vector<Ref>> var_refs_;
+  std::vector<Ref> free_;          ///< collected slots awaiting reuse
   int var_count_ = 0;
 };
 

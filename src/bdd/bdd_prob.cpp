@@ -8,6 +8,13 @@ namespace ftsynth {
 
 namespace {
 
+// Reordering audit: every memo in this file lives for one public call, and
+// no Bdd operation reorders, so levels cannot move mid-traversal. Holding
+// these memos ACROSS a swap_adjacent_levels()/sift() would still be sound
+// for probability_rec -- swaps rewrite nodes in place preserving each Ref's
+// function, and probability depends only on the function -- but NOT for
+// restrict_var, whose results depend on the order through its level-based
+// pruning; keep them per-invocation.
 double probability_rec(const Bdd& bdd, Bdd::Ref f,
                        const std::vector<double>& probabilities,
                        std::unordered_map<Bdd::Ref, double>& memo) {
@@ -30,7 +37,8 @@ Bdd::Ref restrict_var(Bdd& bdd, Bdd::Ref f, int v, bool value,
                       std::unordered_map<Bdd::Ref, Bdd::Ref>& memo) {
   if (bdd.is_terminal(f)) return f;
   const Bdd::Node n = bdd.node(f);
-  // v cannot appear below a deeper level (explicit orders included).
+  // v cannot appear below a deeper level. Looked up live (never cached
+  // across calls): levels move under dynamic reordering.
   if (bdd.level_of(n.var) > bdd.level_of(v)) return f;
   if (auto it = memo.find(f); it != memo.end()) return it->second;
   Bdd::Ref result;

@@ -18,23 +18,35 @@
 // empty family {}; terminal kBase is {{}}, the family holding only the
 // empty set. The zero-suppression rule (high == kEmpty collapses to low)
 // plus the unique table make the representation canonical for a fixed
-// variable order; variables are ordered by declaration (callers declare
-// them in the shared depth-first-occurrence heuristic order, see
-// analysis/ordering.h).
+// variable order.
+//
+// Ordering is a per-variable LEVEL, not the variable index: variables
+// start in declaration order (callers declare them in the shared
+// depth-first-occurrence heuristic order, see analysis/ordering.h), and
+// the order may then change dynamically -- swap_adjacent_levels() is the
+// in-place Rudell primitive and sift() (bdd/sifting.h) the full reorder.
+// A swap rewrites the nodes of one level in place, so every Ref keeps
+// denoting the same family across reorders; only garbage collection
+// (collect_garbage) invalidates refs, and only those unreachable from the
+// roots the caller passes.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "bdd/sifting.h"
 #include "core/budget.h"
 
 namespace ftsynth {
 
 /// A ZBDD manager owning every node it creates. References stay valid for
-/// the manager's lifetime; refs from different managers must not be mixed.
+/// the manager's lifetime -- across level swaps and sifting too -- except
+/// that collect_garbage() reclaims nodes unreachable from its root set;
+/// refs from different managers must not be mixed.
 class Zbdd {
  public:
   using Ref = std::uint32_t;
@@ -44,10 +56,25 @@ class Zbdd {
 
   Zbdd();
 
-  /// Declares a fresh variable; variables are ordered by declaration
-  /// (earlier declaration = closer to the root).
+  /// Declares a fresh variable; the initial order is declaration order
+  /// (earlier declaration = closer to the root) until set_order() or a
+  /// reorder changes it.
   int new_var();
   int var_count() const noexcept { return var_count_; }
+
+  /// Installs an explicit variable order: `order[k]` is the variable at
+  /// level k (level 0 = root). Must be a permutation of every declared
+  /// variable and must run before any node is built; use sift() /
+  /// swap_adjacent_levels() to reorder an existing diagram.
+  void set_order(const std::vector<int>& order);
+
+  /// The level of a declared variable under the current order (smaller =
+  /// closer to the root).
+  int level_of(int v) const;
+  /// The variable at `level` -- the inverse of level_of().
+  int var_at_level(int level) const;
+  /// The current order as a variable list, root level first.
+  std::vector<int> current_order() const { return var_at_level_; }
 
   /// The family {{v}}: one set holding just the variable.
   Ref single(int v);
@@ -73,11 +100,16 @@ class Zbdd {
   /// Distinct internal nodes in the subgraph of `a` (terminals excluded).
   std::size_t node_count(Ref a) const;
 
-  /// Total nodes allocated by this manager.
+  /// Total node slots allocated by this manager (live + reclaimable).
   std::size_t size() const noexcept { return nodes_.size(); }
 
-  /// Visits every set of the family, each as an ascending vector of
-  /// variables. Return false from the callback to stop the enumeration.
+  /// Live unique-table entries (every allocated node that has not been
+  /// garbage collected). The unique-table-pressure metric.
+  std::size_t table_size() const noexcept { return unique_.size(); }
+
+  /// Visits every set of the family, each as a vector of variables in
+  /// diagram (level) order -- ascending variable index only while the
+  /// order is the declaration order. Return false to stop the enumeration.
   void for_each_set(
       Ref a, const std::function<bool(const std::vector<int>&)>& visit) const;
 
@@ -90,6 +122,48 @@ class Zbdd {
   const Node& node(Ref a) const { return nodes_[a]; }
   bool is_terminal(Ref a) const noexcept { return a <= kBase; }
 
+  // -- Dynamic reordering ------------------------------------------------------
+  //
+  // The Rudell machinery (see bdd/sifting.h for the schedule). A swap
+  // rewrites every node of `level` that depends on the variable below it
+  // IN PLACE -- external refs keep their meaning -- and invalidates the
+  // operation cache. Never call it while an operation is on the stack.
+
+  /// Exchanges the variables at `level` and `level + 1`.
+  void swap_adjacent_levels(int level);
+
+  /// Nodes currently recorded on `level` (exact right after
+  /// collect_garbage(); may include not-yet-collected garbage otherwise).
+  std::size_t level_width(int level) const;
+
+  /// Reclaims every node unreachable from `roots` (terminals always
+  /// survive): slots go to a free list for reuse, their unique-table
+  /// entries disappear, and the operation cache is dropped. Refs to
+  /// reclaimed nodes become invalid -- pass every ref you still hold.
+  void collect_garbage(const std::vector<Ref>& roots);
+
+  /// Nodes reachable from `roots` (terminals excluded): the live size the
+  /// sifting driver minimises.
+  std::size_t live_size(const std::vector<Ref>& roots) const;
+
+  /// Runs Rudell sifting over the whole order (bdd/sifting.h). `roots`
+  /// must list every externally held ref. Clears any pending reorder
+  /// request and rearms the pressure threshold above the new live size.
+  SiftStats sift(const std::vector<Ref>& roots,
+                 const SiftOptions& options = {});
+
+  /// Arms (or disarms) the unique-table pressure trigger: once the table
+  /// outgrows `threshold` entries (0 = the built-in default), make() flags
+  /// a pending reorder that the OWNER of the diagram honours at its next
+  /// safe point via maybe_reorder(). make() itself never reorders --
+  /// operations hold node copies on the stack that a swap would bypass.
+  void set_auto_reorder(bool on, std::size_t threshold = 0);
+  bool reorder_pending() const noexcept { return reorder_pending_; }
+
+  /// sift() if a pressure-triggered reorder is pending, else nothing.
+  std::optional<SiftStats> maybe_reorder(const std::vector<Ref>& roots,
+                                         const SiftOptions& options = {});
+
   // -- Resource guards ---------------------------------------------------------
   //
   // ZBDD operations are worst-case exponential on adversarial inputs, so
@@ -97,7 +171,9 @@ class Zbdd {
   // applies: when the (not owned) budget's deadline expires or the node
   // ceiling is hit mid-operation, the operation throws Interrupt. The
   // manager stays consistent -- already-built nodes remain valid -- so the
-  // caller can still report a flagged partial result.
+  // caller can still report a flagged partial result. Swaps suppress both
+  // checks (a half-swapped level would not be a valid diagram); the
+  // sifting driver polls the budget between swaps instead.
 
   struct Interrupt {
     bool deadline_exceeded;  ///< false: the node ceiling fired instead
@@ -118,6 +194,10 @@ class Zbdd {
   };
 
   Ref make(int var, Ref low, Ref high);
+
+  /// Level of a node's decision variable; terminals sort below everything.
+  int node_level(Ref a) const noexcept;
+  int var_level(int var) const noexcept;
 
   struct UniqueKey {
     int var;
@@ -152,12 +232,24 @@ class Zbdd {
     }
   };
 
+  static constexpr std::size_t kDefaultReorderThreshold = 4096;
+
   std::vector<Node> nodes_;
   std::unordered_map<UniqueKey, Ref, UniqueHash> unique_;
   std::unordered_map<OpKey, Ref, OpHash> cache_;
+  std::vector<int> level_of_;      ///< level_of_[var]; declaration order start
+  std::vector<int> var_at_level_;  ///< inverse of level_of_
+  /// Every allocated (not yet collected) ref whose node decides this
+  /// variable -- the swap primitive's per-level worklist.
+  std::vector<std::vector<Ref>> var_refs_;
+  std::vector<Ref> free_;          ///< collected slots awaiting reuse
   int var_count_ = 0;
-  Budget* budget_ = nullptr;      ///< not owned
+  Budget* budget_ = nullptr;       ///< not owned
   std::size_t node_limit_ = 0;
+  bool in_swap_ = false;           ///< swap rewrite in progress: no interrupts
+  bool auto_reorder_ = false;
+  bool reorder_pending_ = false;
+  std::size_t reorder_threshold_ = kDefaultReorderThreshold;
 };
 
 }  // namespace ftsynth

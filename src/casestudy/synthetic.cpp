@@ -283,4 +283,64 @@ Model build_random(const RandomModelConfig& config) {
   return b.take();
 }
 
+Model build_adversarial_product(int pairs) {
+  require(pairs >= 1 && pairs <= 30, ErrorKind::kModel,
+          "adversarial product needs 1..30 pairs");
+  ModelBuilder b("adversarial_product");
+  Block& root = b.root();
+  Block& core = b.basic(root, "core");
+  b.out(core, "out");
+  // The spine (all a's) is a superset of the transversal {a1..an}, so
+  // minimisation absorbs it -- it exists only to make depth-first
+  // occurrence rank every a before every b.
+  std::string spine;
+  std::string product;
+  for (int i = 1; i <= pairs; ++i) {
+    const std::string a = "a" + std::to_string(i);
+    const std::string bn = "b" + std::to_string(i);
+    b.malfunction(core, a, 1e-5, "primary failure " + std::to_string(i));
+    b.malfunction(core, bn, 1e-5, "backup failure " + std::to_string(i));
+    spine += (i == 1 ? "" : " AND ") + a;
+    product += (i == 1 ? "(" : " AND (") + a + " OR " + bn + ")";
+  }
+  b.annotate(core, "Omission-out", "(" + spine + ") OR (" + product + ")");
+  b.outport(root, "sink");
+  b.connect(root, "core.out", "sink");
+  return b.take();
+}
+
+Model build_adversarial_voters(int stages) {
+  require(stages >= 1 && stages <= 12, ErrorKind::kModel,
+          "adversarial voters need 1..12 stages");
+  ModelBuilder b("adversarial_voters");
+  Block& root = b.root();
+  Block& core = b.basic(root, "core");
+  b.out(core, "out");
+  const char* roles[3] = {"x", "y", "z"};
+  for (int i = 1; i <= stages; ++i)
+    for (const char* role : roles)
+      b.malfunction(core, role + std::to_string(i), 1e-5,
+                    std::string("lane ") + role + " of stage " +
+                        std::to_string(i));
+  // Role-grouped spine (x1..xk y1..yk z1..zk): absorbed by any per-stage
+  // pair set, but it pins the pathological occurrence order.
+  std::string spine;
+  for (const char* role : roles)
+    for (int i = 1; i <= stages; ++i)
+      spine += (spine.empty() ? "" : " AND ") + std::string(role) +
+               std::to_string(i);
+  std::string product;
+  for (int i = 1; i <= stages; ++i) {
+    const std::string x = "x" + std::to_string(i);
+    const std::string y = "y" + std::to_string(i);
+    const std::string z = "z" + std::to_string(i);
+    product += (i == 1 ? "((" : " AND ((") + x + " AND " + y + ") OR (" + x +
+               " AND " + z + ") OR (" + y + " AND " + z + "))";
+  }
+  b.annotate(core, "Omission-out", "(" + spine + ") OR (" + product + ")");
+  b.outport(root, "sink");
+  b.connect(root, "core.out", "sink");
+  return b.take();
+}
+
 }  // namespace ftsynth::synthetic

@@ -59,4 +59,22 @@ struct RandomModelConfig {
 };
 Model build_random(const RandomModelConfig& config);
 
+/// Adversarial-ORDER models: one block whose cause expression forces the
+/// static DFS-occurrence variable order (analysis/ordering.h) into its
+/// worst case for the decision-diagram engines, while a good order (which
+/// sifting finds) keeps the diagram linear. The minimal cut sets of
+/// Omission-sink are the transversals of (a1+b1)(a2+b2)...(an+bn): 2^n sets
+/// of size n. The cause leads with the absorbed spine a1 AND ... AND an so
+/// depth-first occurrence GROUPS the order (all a's, then all b's --
+/// exponential diagram) where the interleaved order a1 b1 a2 b2 ... is
+/// linear.
+Model build_adversarial_product(int pairs);
+
+/// Same idea over `stages` 2-out-of-3 voter triples (x_i, y_i, z_i): the
+/// minimal family is the product of per-stage pair families {x y, x z, y z}
+/// -- 3^stages sets -- and the absorbed spine forces the role-grouped order
+/// (all x's, all y's, all z's), which must remember every stage's choice at
+/// once; the per-stage interleaving sifting recovers is linear.
+Model build_adversarial_voters(int stages);
+
 }  // namespace ftsynth::synthetic

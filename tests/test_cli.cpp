@@ -370,5 +370,58 @@ TEST_F(CliTest, VerbosePrintsCacheStatsToStderrOnly) {
   EXPECT_NE(err_.str().find("cone cache:"), std::string::npos);
 }
 
+TEST_F(CliTest, UnknownOrderPolicyRejected) {
+  EXPECT_EQ(run({"analyse", model_path_, "--top", "Omission-brake_force_fl",
+                 "--order", "bogus"}),
+            2);
+  EXPECT_NE(err_.str().find("unknown --order 'bogus'"), std::string::npos);
+}
+
+TEST_F(CliTest, OrderPoliciesAreByteIdentical) {
+  const std::string top = "Omission-brake_force_fl";
+  ASSERT_EQ(run({"analyse", model_path_, "--top", top, "--engine", "zbdd",
+                 "--no-cache"}),
+            0);
+  const std::string reference = out_.str();
+  ASSERT_FALSE(reference.empty());
+  for (const std::string policy : {"static", "sift", "sift-converge"}) {
+    for (const std::string jobs : {"1", "4"}) {
+      ASSERT_EQ(run({"analyse", model_path_, "--top", top, "--engine", "zbdd",
+                     "--no-cache", "--order", policy, "--jobs", jobs}),
+                0)
+          << policy << " jobs=" << jobs;
+      EXPECT_EQ(out_.str(), reference) << policy << " jobs=" << jobs;
+    }
+  }
+  // Cold then warm cone cache under a sifting policy: same bytes.
+  const std::string cache_path =
+      testing::TempDir() + "/cli_order_cache_" +
+      testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin";
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_EQ(run({"analyse", model_path_, "--top", top, "--engine", "zbdd",
+                   "--order", "sift", "--cache", cache_path}),
+              0)
+        << "round " << round;
+    EXPECT_EQ(out_.str(), reference) << "round " << round;
+  }
+}
+
+TEST_F(CliTest, VerbosePrintsReorderStatsToStderrOnly) {
+  const std::string top = "Omission-brake_force_fl";
+  ASSERT_EQ(run({"analyse", model_path_, "--top", top, "--engine", "zbdd",
+                 "--order", "sift", "--verbose", "--no-cache"}),
+            0);
+  EXPECT_NE(err_.str().find("variable order ["), std::string::npos);
+  EXPECT_NE(err_.str().find("policy sift"), std::string::npos);
+  EXPECT_NE(err_.str().find("final order:"), std::string::npos);
+  EXPECT_EQ(out_.str().find("variable order"), std::string::npos);
+
+  // Without --verbose the stats stay quiet.
+  ASSERT_EQ(run({"analyse", model_path_, "--top", top, "--engine", "zbdd",
+                 "--order", "sift", "--no-cache"}),
+            0);
+  EXPECT_EQ(err_.str().find("variable order"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ftsynth
