@@ -1,5 +1,8 @@
 #include "analysis/cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +14,25 @@
 namespace ftsynth {
 
 namespace {
+
+/// Fault-injection hook for save(); see set_cone_cache_persist_hook().
+std::function<bool(const std::string&)>& persist_hook() {
+  static std::function<bool(const std::string&)> hook;
+  return hook;
+}
+
+/// Flushes the written temp file to stable storage before it is renamed
+/// into place. Without this, a power cut shortly after the rename could
+/// publish a name pointing at unwritten data -- the one hole in the
+/// "old file or new file, never torn" guarantee that buffered IO alone
+/// leaves open.
+bool fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
 
 constexpr std::string_view kMagic = "ftsynth-cone-cache";
 
@@ -321,11 +343,25 @@ bool ConeCache::save(const std::string& directory, DiagnosticSink* sink) const {
          << body_text;
     if (!file.good()) return fail("write failed on '" + temp + "'");
   }
-  // Atomic publish: a concurrent reader sees the old file or the new one,
-  // never a torn write.
+  // Durability before publish: the rename below makes the new bytes the
+  // file's one true content, so they must be on stable storage first (see
+  // the crash-consistency contract on save() in cache.h).
+  if (!fsync_file(temp)) return fail("fsync failed on '" + temp + "'");
+  if (persist_hook() && !persist_hook()(temp)) {
+    // Fault injection: a simulated kill between write and publish. The
+    // temp file is abandoned exactly as a real crash would leave it.
+    return fail("persist hook aborted the save (fault injection)");
+  }
+  // Atomic publish: a concurrent reader (or a crash on either side of
+  // this call) sees the old file or the new one, never a torn write.
   std::filesystem::rename(temp, path, ec);
   if (ec) return fail(ec.message());
   return true;
+}
+
+void set_cone_cache_persist_hook(
+    std::function<bool(const std::string& temp_path)> hook) {
+  persist_hook() = std::move(hook);
 }
 
 }  // namespace ftsynth

@@ -33,6 +33,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -163,6 +164,14 @@ class ConeCache {
 
   /// Returns false (with a diagnostic) when the directory or file cannot
   /// be written.
+  ///
+  /// Crash-consistency contract: the file is written to `<path>.tmp`,
+  /// fsynced, and only then renamed over the previous file. A crash (or
+  /// SIGKILL) at ANY point therefore leaves either the previous complete
+  /// file or the new complete file at `<path>` -- never a torn mix -- and
+  /// the body checksum rejects whatever a lying disk still manages to
+  /// corrupt. The worst a crash can cost is freshness (a cold start),
+  /// never a wrong answer.
   bool save(const std::string& directory, DiagnosticSink* sink) const;
 
  private:
@@ -192,5 +201,16 @@ class ConeCache {
   std::atomic<std::uint64_t> disk_entries_loaded_{0};
   std::atomic<std::uint64_t> disk_files_rejected_{0};
 };
+
+/// Test-only fault injection for the persistence path. The hook runs
+/// after the temp file is written and fsynced, just before the atomic
+/// rename publishes it: return false to abort the save right there
+/// (simulating a process killed before publish), or truncate/scribble on
+/// `temp_path` first (simulating a torn or corrupted write) -- the
+/// crash-consistency contract above is exactly what the fault-injection
+/// tests hold save()/load() to. Pass nullptr to clear. Not thread-safe
+/// against concurrent save() calls; install before starting them.
+void set_cone_cache_persist_hook(
+    std::function<bool(const std::string& temp_path)> hook);
 
 }  // namespace ftsynth

@@ -1,0 +1,122 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ftsynth::service {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool ServiceClient::connect(const std::string& socket_path,
+                            std::string* error) {
+  close();
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof address.sun_path) {
+    set_error(error, "bad socket path '" + socket_path + "'");
+    return false;
+  }
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_error(error, std::strerror(errno));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) != 0) {
+    set_error(error, "connect '" + socket_path + "': " + std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::send_line(const std::string& line, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t offset = 0;
+  while (offset < framed.size()) {
+    const ssize_t sent = ::send(fd_, framed.data() + offset,
+                                framed.size() - offset, kSendFlags);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      set_error(error, "send: " + std::string(std::strerror(errno)));
+      return false;
+    }
+    offset += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool ServiceClient::read_line(std::string* line, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got == 0) {
+      set_error(error, "connection closed by server");
+      return false;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "recv: " + std::string(std::strerror(errno)));
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+std::optional<Json> ServiceClient::call(const Json& request,
+                                        std::string* error) {
+  if (!send_line(request.dump(), error)) return std::nullopt;
+  std::string line;
+  if (!read_line(&line, error)) return std::nullopt;
+  std::string parse_error;
+  std::optional<Json> response = Json::parse(line, &parse_error);
+  if (!response) {
+    set_error(error, "malformed response: " + parse_error);
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace ftsynth::service

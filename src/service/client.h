@@ -1,0 +1,50 @@
+// Blocking line client for the `ftsynth serve` daemon.
+//
+// Speaks the wire protocol of service/protocol.h over an AF_UNIX stream
+// socket: one JSON request per line out, one JSON response line back.
+// Used by `ftsynth call`, the service tests and the CI soak harness --
+// and it doubles as the reference implementation for anyone writing a
+// client in another language (see docs/FORMATS.md).
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "service/json.h"
+
+namespace ftsynth::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();  ///< closes the connection
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects to the daemon's socket. Returns false (message in `error`)
+  /// when the socket is absent or refuses -- the daemon is not running.
+  bool connect(const std::string& socket_path, std::string* error);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one request line (newline appended here).
+  bool send_line(const std::string& line, std::string* error);
+
+  /// Blocks for the next response line (newline stripped). Returns false
+  /// on EOF/reset -- the daemon went away mid-call.
+  bool read_line(std::string* line, std::string* error);
+
+  /// send_line + read_line + Json::parse in one step. Returns nullopt
+  /// (message in `error`) on any transport or parse failure.
+  std::optional<Json> call(const Json& request, std::string* error);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace ftsynth::service

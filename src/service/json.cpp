@@ -1,0 +1,406 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ftsynth::service {
+
+Json Json::boolean(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::number(double value) {
+  Json json;
+  json.kind_ = Kind::kNumber;
+  json.number_ = value;
+  return json;
+}
+
+Json Json::string(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::array(Array value) {
+  Json json;
+  json.kind_ = Kind::kArray;
+  json.array_ = std::move(value);
+  return json;
+}
+
+Json Json::object(Object value) {
+  Json json;
+  json.kind_ = Kind::kObject;
+  json.object_ = std::move(value);
+  return json;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  const Json* found = nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) found = &value;
+  }
+  return found;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject) return;
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (kind_ != Kind::kArray) return;
+  array_.push_back(std::move(value));
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (unsigned char byte : text) {
+    switch (byte) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", byte);
+          out += buffer;
+        } else {
+          out.push_back(static_cast<char>(byte));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void dump_number(double value, std::string& out) {
+  // Integral doubles print without an exponent or trailing ".0" (request
+  // ids and counts round-trip as the client sent them); everything else
+  // uses shortest-round-trip formatting.
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+    out += buffer;
+    return;
+  }
+  if (!std::isfinite(value)) {  // JSON has no inf/nan
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void dump_value(const Json& json, std::string& out) {
+  switch (json.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      return;
+    case Json::Kind::kBool:
+      out += json.as_bool() ? "true" : "false";
+      return;
+    case Json::Kind::kNumber:
+      dump_number(json.as_number(), out);
+      return;
+    case Json::Kind::kString:
+      out += json_quote(json.as_string());
+      return;
+    case Json::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& element : json.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(element, out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Json::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : json.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += json_quote(key);
+        out.push_back(':');
+        dump_value(value, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+/// Strict recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse(std::string* error) {
+    std::optional<Json> value = parse_value(0);
+    if (!value) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = "trailing characters after the value";
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  /// Nesting ceiling: a request is small; a 10k-deep array is an attack.
+  static constexpr int kMaxDepth = 64;
+
+  std::optional<Json> fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+    return std::nullopt;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') {
+      std::optional<std::string> s = parse_string();
+      if (!s) return std::nullopt;
+      return Json::string(std::move(*s));
+    }
+    if (c == 't') {
+      if (!consume_word("true")) return fail("invalid literal");
+      return Json::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consume_word("false")) return fail("invalid literal");
+      return Json::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consume_word("null")) return fail("invalid literal");
+      return Json();
+    }
+    return parse_number();
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a value");
+    double value = 0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) return fail("malformed number");
+    return Json::number(value);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected a string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return out;
+      if (c < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("malformed \\u escape");
+              return std::nullopt;
+            }
+          }
+          // Encode the code point as UTF-8. Surrogate pairs are not
+          // stitched (model paths and analysis text are ASCII in
+          // practice); a lone surrogate round-trips as its 3-byte form.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    consume('[');
+    Json out = Json::array();
+    skip_whitespace();
+    if (consume(']')) return out;
+    while (true) {
+      std::optional<Json> element = parse_value(depth + 1);
+      if (!element) return std::nullopt;
+      out.push_back(std::move(*element));
+      skip_whitespace();
+      if (consume(']')) return out;
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    consume('{');
+    Json out = Json::object();
+    skip_whitespace();
+    if (consume('}')) return out;
+    while (true) {
+      skip_whitespace();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':' after object key");
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      out.set(std::move(*key), std::move(*value));
+      skip_whitespace();
+      if (consume('}')) return out;
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace ftsynth::service

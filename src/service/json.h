@@ -1,0 +1,87 @@
+// Minimal JSON for the service wire protocol.
+//
+// The daemon speaks line-delimited JSON (docs/FORMATS.md §"Wire
+// protocol"). The repo deliberately has no third-party JSON dependency,
+// and the protocol needs only a small, strict subset: objects, arrays,
+// strings (with escapes), doubles, booleans and null. This module is that
+// subset -- a strict recursive-descent parser that rejects anything
+// malformed (a daemon must never guess about a request) and a writer that
+// escapes every control character, so arbitrary analysis output and
+// diagnostic text survive a round trip byte-for-byte.
+//
+// Objects preserve insertion order so responses serialise
+// deterministically (the soak harness diffs raw response lines).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftsynth::service {
+
+/// One JSON value. A small sum type: cheap to copy for the request-sized
+/// payloads the protocol carries.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered members (duplicate keys: last one wins on lookup).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json array(Array value = {});
+  static Json object(Object value = {});
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return number_; }
+  const std::string& as_string() const noexcept { return string_; }
+  const Array& as_array() const noexcept { return array_; }
+  const Object& as_object() const noexcept { return object_; }
+
+  /// Object member by key (last occurrence), or nullptr.
+  const Json* find(std::string_view key) const noexcept;
+
+  /// Appends a member / element (no-op on the wrong kind).
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+  /// Serialises compactly (no whitespace) onto a single line: strings are
+  /// fully escaped (control characters as \uXXXX), so embedded newlines
+  /// can never break the line-delimited framing.
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON value spanning all of `text`
+  /// (surrounding whitespace allowed). On failure returns nullopt and, if
+  /// `error` is given, a short description of the first problem.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// JSON string escaping of `text` including the surrounding quotes.
+std::string json_quote(std::string_view text);
+
+}  // namespace ftsynth::service

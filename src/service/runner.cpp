@@ -1,0 +1,804 @@
+#include "service/runner.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "analysis/batch.h"
+#include "analysis/completeness.h"
+#include "analysis/fmea.h"
+#include "analysis/markdown_report.h"
+#include "analysis/report.h"
+#include "analysis/sensitivity.h"
+#include "core/error.h"
+#include "core/parallel.h"
+#include "core/thread_pool.h"
+#include "failure/expr_parser.h"
+#include "fta/synthesis.h"
+#include "ftp/dot_writer.h"
+#include "ftp/ftp_writer.h"
+#include "ftp/json_writer.h"
+#include "ftp/xml_writer.h"
+#include "mdl/parser.h"
+#include "model/diff.h"
+#include "model/validate.h"
+
+namespace ftsynth::service {
+
+namespace {
+
+/// Hard-failure exit code for an error category (see tools/cli.h).
+int exit_code_for(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kParse:
+      return 2;
+    case ErrorKind::kModel:
+      return 3;
+    case ErrorKind::kLookup:
+      return 4;
+    case ErrorKind::kAnalysis:
+      return 5;
+    case ErrorKind::kInternal:
+      break;
+  }
+  return 6;
+}
+
+/// FNV-1a 64 over the model file bytes: the warm model-cache key. Content
+/// addressing (not mtime) so an edit-and-undo round trip still hits and a
+/// changed file can never serve stale state.
+std::uint64_t content_hash(std::string_view content) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char byte : content) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+/// Per-request execution state threaded through the command handlers.
+/// `budget` is the run's single armed budget: every stage copies it, so
+/// all of them share one deadline latch (and the daemon's
+/// disconnect/shutdown force_expire reaches every worker).
+struct Exec {
+  const ServiceRequest& request;
+  ServiceRunner& runner;
+  DiagnosticSink& sink;
+  ThreadPool* pool = nullptr;
+  Budget budget;
+
+  Budget make_budget() const { return budget; }
+};
+
+namespace {
+
+/// --verbose stats block. Stats go to the log so `output` stays
+/// byte-identical with and without the cache (the acceptance bar).
+void report_cache_stats(const Exec& exec,
+                        const std::optional<ConeCacheStats>& stats,
+                        std::ostream& err) {
+  if (!exec.request.verbose) return;
+  if (stats) {
+    err << stats->to_string() << "\n";
+  } else {
+    err << "cone cache: disabled\n";
+  }
+}
+
+/// --verbose reordering stats for one analysed top event. Log only, like
+/// the cache stats: `output` must stay byte-identical across --order.
+void report_reorder_stats(const Exec& exec, const std::string& top,
+                          const std::optional<ReorderReport>& reorder,
+                          std::ostream& err) {
+  if (!exec.request.verbose || !reorder) return;
+  err << "variable order [" << top << "]: policy " << reorder->policy
+      << ", passes " << reorder->passes << ", swaps " << reorder->swaps
+      << ", nodes " << reorder->nodes_before << " -> " << reorder->nodes_after
+      << " (root " << reorder->root_nodes << ")\n";
+  if (!reorder->final_order.empty()) {
+    err << "  final order: ";
+    for (std::size_t i = 0; i < reorder->final_order.size(); ++i) {
+      if (i != 0) err << ", ";
+      err << reorder->final_order[i];
+    }
+    err << "\n";
+  }
+}
+
+/// Synthesis options for a command run: resource budget always, degraded
+/// mode (diagnostics instead of aborts) unless --strict.
+SynthesisOptions synthesis_options(Exec& exec) {
+  SynthesisOptions synthesis;
+  synthesis.budget = exec.make_budget();
+  if (!exec.request.strict) synthesis.sink = &exec.sink;
+  return synthesis;
+}
+
+/// Sends `text` to the request's --output file or to the result output.
+int emit(const std::string& text, const Exec& exec, std::ostream& out,
+         std::ostream& err) {
+  if (exec.request.output.empty()) {
+    out << text;
+    return 0;
+  }
+  std::ofstream file(exec.request.output);
+  if (!file.good()) {
+    err << "error: cannot write '" << exec.request.output << "'\n";
+    return 2;
+  }
+  file << text;
+  return 0;
+}
+
+/// The cone cache a command should use, or nullptr:
+///   * --no-cache wins everywhere;
+///   * warm mode uses the runner's resident per-keyspace cache (loaded
+///     from disk on first use), shared across requests and saved by the
+///     daemon's persistence loop, never per request;
+///   * cold mode reproduces the CLI: a request-local cache in `local`,
+///     loaded from cache_dir when one is set (`always_local` marks the
+///     commands -- report/fmea -- that build an in-memory cache even
+///     without a directory), and saved back by save_local_cache().
+/// Cached families are exact (clean-run-only stores), so every variant
+/// produces byte-identical `output`.
+ConeCache* choose_cone_cache(Exec& exec, const CutSetOptions& cut_sets,
+                             bool always_local,
+                             std::optional<ConeCache>& local) {
+  if (exec.request.no_cache) return nullptr;
+  ServiceRunner& runner = exec.runner;
+  if (runner.options().warm) return runner.warm_cone_cache(cut_sets, &exec.sink);
+  const std::string& dir = runner.options().cache_dir;
+  if (dir.empty() && !always_local) return nullptr;
+  local.emplace(cone_keyspace(cut_sets));
+  if (!dir.empty()) local->load(dir, &exec.sink);
+  return &*local;
+}
+
+/// Cold-mode counterpart of choose_cone_cache: persists the request-local
+/// cache after the run (the CLI's per-run --cache DIR round trip).
+void save_local_cache(Exec& exec, std::optional<ConeCache>& local) {
+  if (!local) return;
+  const std::string& dir = exec.runner.options().cache_dir;
+  if (!dir.empty() && !exec.runner.options().warm) local->save(dir, &exec.sink);
+}
+
+std::vector<Deviation> resolve_tops(const Model& model, Exec& exec,
+                                    ThreadPool* pool = nullptr) {
+  std::vector<Deviation> tops;
+  if (!exec.request.tops.empty()) {
+    for (const std::string& top : exec.request.tops)
+      tops.push_back(parse_deviation(top, model.registry()));
+    return tops;
+  }
+  // Default: every derivable top event (prune undeveloped roots so only
+  // genuinely explained deviations appear). The probe synthesises every
+  // (output port x class) candidate, so it parallelises like the real run;
+  // the candidate list and its order are independent of the pool.
+  SynthesisOptions prune;
+  prune.unannotated = SynthesisOptions::UnannotatedPolicy::kPrune;
+  prune.budget = exec.make_budget();
+  // The probe only decides which candidates are worth synthesising; its
+  // degraded-mode diagnostics would duplicate the real run's, so they go
+  // to a throwaway sink (thread-safe: probe workers share it).
+  DiagnosticSink probe_sink;
+  if (!exec.request.strict) prune.sink = &probe_sink;
+  std::vector<Deviation> candidates;
+  for (const Port* port : model.root().outputs()) {
+    for (FailureClass cls : model.registry().all())
+      candidates.push_back(Deviation{cls, port->name()});
+  }
+  std::vector<char> derivable(candidates.size(), 0);
+  parallel_for(pool, candidates.size(), [&](std::size_t i) {
+    Synthesiser probe(model, prune);
+    derivable[i] = probe.synthesise(candidates[i]).top() != nullptr ? 1 : 0;
+  });
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (derivable[i] != 0) tops.push_back(candidates[i]);
+  }
+  return tops;
+}
+
+int cmd_info(const Model& model, Exec& exec, std::ostream& out,
+             std::ostream& err) {
+  std::string text = "model: " + model.name() + "\n";
+  text += "blocks: " + std::to_string(model.block_count()) + "\n";
+  std::size_t annotated = 0;
+  std::size_t malfunctions = 0;
+  model.for_each_block([&](const Block& block) {
+    if (!block.annotation().rows().empty()) ++annotated;
+    malfunctions += block.annotation().malfunctions().size();
+  });
+  text += "annotated blocks: " + std::to_string(annotated) + "\n";
+  text += "malfunctions: " + std::to_string(malfunctions) + "\n";
+  text += "boundary inputs:";
+  for (const Port* port : model.root().inputs())
+    text += " " + port->name().str();
+  text += "\nboundary outputs:";
+  for (const Port* port : model.root().outputs())
+    text += " " + port->name().str();
+  text += "\nhierarchy:\n";
+  model.for_each_block([&](const Block& block) {
+    std::size_t depth = 0;
+    for (const Block* b = &block; b->parent() != nullptr; b = b->parent())
+      ++depth;
+    text += std::string(depth * 2, ' ') + block.name().str() + " [" +
+            std::string(to_string(block.kind())) + "]\n";
+  });
+  return emit(text, exec, out, err);
+}
+
+int cmd_validate(const Model& model, Exec& exec, std::ostream& out,
+                 std::ostream& err) {
+  std::vector<Issue> issues = validate(model);
+  std::string text;
+  int errors = 0;
+  for (const Issue& issue : issues) {
+    text += issue.to_string() + "\n";
+    if (issue.severity == Severity::kError) ++errors;
+  }
+  text += std::to_string(errors) + " error(s), " +
+          std::to_string(issues.size() - static_cast<std::size_t>(errors)) +
+          " warning(s)\n";
+  int rc = emit(text, exec, out, err);
+  if (rc != 0) return rc;
+  // The recovering parser already forwarded these to the sink; in --strict
+  // mode forward them here so the exit-code logic is uniform.
+  if (exec.request.strict) {
+    for (const Issue& issue : issues) {
+      exec.sink.report({issue.severity, ErrorKind::kModel, {}, issue.block_path,
+                        issue.message});
+    }
+  }
+  return 0;
+}
+
+/// Replays one batch item's diagnostics and error into the shared sink in
+/// the order a serial loop would have produced them. Returns false when
+/// the item failed (strict mode rethrows instead; non-Error exceptions
+/// always propagate, as they would from a serial loop body).
+bool replay_item(BatchItem& item, Exec& exec) {
+  for (const Diagnostic& diagnostic : item.diagnostics)
+    exec.sink.report(diagnostic);
+  if (!item.error) return true;
+  if (exec.request.strict) std::rethrow_exception(item.error);
+  try {
+    std::rethrow_exception(item.error);
+  } catch (const Error& error) {
+    exec.sink.error_from(error, item.top.to_string());
+  }
+  return false;
+}
+
+int cmd_synthesise(const Model& model, Exec& exec, std::ostream& out,
+                   std::ostream& err) {
+  BatchOptions batch_options;
+  batch_options.synthesis = synthesis_options(exec);
+  batch_options.analyse = false;
+  BatchResult batch = analyse_batch(model, resolve_tops(model, exec, exec.pool),
+                                    batch_options, exec.pool);
+  std::vector<FaultTree> trees;
+  for (BatchItem& item : batch.items) {
+    if (replay_item(item, exec)) trees.push_back(std::move(*item.tree));
+  }
+  if (trees.empty()) {
+    if (exec.sink.has_errors())
+      return exit_code_for(exec.sink.first_error_kind());
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 2;
+  }
+  std::string text;
+  const std::string& format = exec.request.format;
+  if (format == "text") {
+    for (const FaultTree& tree : trees) text += tree.to_text() + "\n";
+  } else if (format == "dot") {
+    for (const FaultTree& tree : trees) text += write_dot(tree);
+  } else if (format == "xml") {
+    std::vector<const FaultTree*> pointers;
+    for (const FaultTree& tree : trees) pointers.push_back(&tree);
+    text = write_xml(pointers);
+  } else if (format == "json") {
+    for (const FaultTree& tree : trees) text += write_json(tree);
+  } else if (format == "ftp") {
+    std::vector<const FaultTree*> pointers;
+    for (const FaultTree& tree : trees) pointers.push_back(&tree);
+    text = write_ftp_project(model.name(), pointers);
+  } else {
+    err << "error: unknown --format '" << format << "'\n";
+    return 2;
+  }
+  return emit(text, exec, out, err);
+}
+
+int cmd_analyse(const Model& model, Exec& exec, std::ostream& out,
+                std::ostream& err) {
+  BatchOptions batch_options;
+  batch_options.synthesis = synthesis_options(exec);
+  batch_options.analysis.probability.mission_time_hours =
+      exec.request.mission_time_hours;
+  batch_options.analysis.render_tree = exec.request.render_tree;
+  batch_options.analysis.cut_sets.engine = exec.request.engine;
+  batch_options.analysis.cut_sets.order = exec.request.order;
+  batch_options.analysis.cut_sets.budget = exec.make_budget();
+  batch_options.analysis.probability.budget = exec.make_budget();
+  batch_options.share_cones = !exec.request.no_cache;
+  std::optional<ConeCache> local;
+  ConeCache* cones =
+      choose_cone_cache(exec, batch_options.analysis.cut_sets, false, local);
+  if (cones != nullptr) batch_options.analysis.cut_sets.cone_cache = cones;
+  BatchResult batch = analyse_batch(model, resolve_tops(model, exec, exec.pool),
+                                    batch_options, exec.pool);
+  save_local_cache(exec, local);
+  report_cache_stats(exec, batch.cache_stats, err);
+  std::string text;
+  for (BatchItem& item : batch.items) {
+    if (!replay_item(item, exec)) continue;
+    report_reorder_stats(exec, item.top.to_string(),
+                         item.analysis->cut_sets.reorder, err);
+    if (!exec.request.strict && item.analysis->cut_sets.deadline_exceeded) {
+      exec.sink.warning(ErrorKind::kAnalysis,
+                        "cut-set analysis stopped at the deadline; "
+                        "results are partial",
+                        {}, item.top.to_string());
+    }
+    text += render(*item.tree, *item.analysis, batch_options.analysis) + "\n";
+  }
+  if (text.empty()) {
+    if (exec.sink.has_errors())
+      return exit_code_for(exec.sink.first_error_kind());
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 2;
+  }
+  return emit(text, exec, out, err);
+}
+
+int cmd_audit(const Model& model, Exec& exec, std::ostream& out,
+              std::ostream& err) {
+  std::vector<CompletenessFinding> findings = audit_completeness(model);
+  std::string text;
+  for (const CompletenessFinding& finding : findings)
+    text += finding.to_string() + "\n";
+  text += std::to_string(findings.size()) + " finding(s)\n";
+  int rc = emit(text, exec, out, err);
+  return rc != 0 ? rc : (findings.empty() ? 0 : 1);
+}
+
+int cmd_report(const Model& model, Exec& exec, std::ostream& out,
+               std::ostream& err) {
+  MarkdownReportOptions report_options;
+  report_options.analysis.probability.mission_time_hours =
+      exec.request.mission_time_hours;
+  report_options.analysis.cut_sets.engine = exec.request.engine;
+  report_options.analysis.cut_sets.order = exec.request.order;
+  report_options.analysis.cut_sets.budget = exec.make_budget();
+  report_options.analysis.probability.budget = exec.make_budget();
+  std::optional<ConeCache> local;
+  ConeCache* cones =
+      choose_cone_cache(exec, report_options.analysis.cut_sets, true, local);
+  if (cones != nullptr) report_options.analysis.cut_sets.cone_cache = cones;
+  std::vector<std::string> tops;
+  for (const Deviation& top : resolve_tops(model, exec))
+    tops.push_back(top.to_string());
+  if (tops.empty()) {
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 2;
+  }
+  const std::string text = markdown_report(model, tops, report_options);
+  save_local_cache(exec, local);
+  report_cache_stats(
+      exec,
+      cones != nullptr ? std::optional<ConeCacheStats>(cones->stats())
+                       : std::nullopt,
+      err);
+  return emit(text, exec, out, err);
+}
+
+int cmd_sensitivity(const Model& model, Exec& exec, std::ostream& out,
+                    std::ostream& err) {
+  SensitivityOptions sensitivity;
+  sensitivity.probability.mission_time_hours = exec.request.mission_time_hours;
+  Synthesiser synthesiser(model, synthesis_options(exec));
+  std::string text;
+  for (const Deviation& top : resolve_tops(model, exec)) {
+    if (!exec.request.strict) {
+      try {
+        FaultTree tree = synthesiser.synthesise(top);
+        text += "=== " + tree.top_description() + " ===\n";
+        text += render_sensitivity(rate_sensitivity(tree, sensitivity));
+      } catch (const Error& error) {
+        exec.sink.error_from(error, top.to_string());
+      }
+      continue;
+    }
+    FaultTree tree = synthesiser.synthesise(top);
+    text += "=== " + tree.top_description() + " ===\n";
+    text += render_sensitivity(rate_sensitivity(tree, sensitivity));
+  }
+  if (text.empty()) {
+    if (exec.sink.has_errors())
+      return exit_code_for(exec.sink.first_error_kind());
+    err << "error: no top events (give --top or annotate the model)\n";
+    return 2;
+  }
+  return emit(text, exec, out, err);
+}
+
+int cmd_fmea(const Model& model, Exec& exec, std::ostream& out,
+             std::ostream& err) {
+  ProbabilityOptions probability;
+  probability.mission_time_hours = exec.request.mission_time_hours;
+  probability.budget = exec.make_budget();
+  CutSetOptions cut_set_options;
+  cut_set_options.engine = exec.request.engine;
+  cut_set_options.order = exec.request.order;
+  cut_set_options.budget = exec.make_budget();
+  cut_set_options.pool = exec.pool;
+  // FMEA analyses every derivable top event of one model: prime sharing
+  // territory for the cone cache (plus the persistent layer on --cache).
+  std::optional<ConeCache> local;
+  ConeCache* cones = choose_cone_cache(exec, cut_set_options, true, local);
+  if (cones != nullptr) cut_set_options.cone_cache = cones;
+  BatchOptions batch_options;
+  batch_options.synthesis = synthesis_options(exec);
+  batch_options.analyse = false;
+  BatchResult batch = analyse_batch(model, resolve_tops(model, exec, exec.pool),
+                                    batch_options, exec.pool);
+  std::vector<FaultTree> trees;
+  for (BatchItem& item : batch.items) {
+    if (replay_item(item, exec)) trees.push_back(std::move(*item.tree));
+  }
+  if (trees.empty()) {
+    if (exec.sink.has_errors())
+      return exit_code_for(exec.sink.first_error_kind());
+    err << "error: no derivable top events in this model\n";
+    return 2;
+  }
+  std::vector<CutSetAnalysis> analyses =
+      parallel_map(exec.pool, trees.size(), [&](std::size_t i) {
+        return compute_cut_sets(trees[i], cut_set_options);
+      });
+  save_local_cache(exec, local);
+  report_cache_stats(
+      exec,
+      cones != nullptr ? std::optional<ConeCacheStats>(cones->stats())
+                       : std::nullopt,
+      err);
+  for (std::size_t i = 0; i < trees.size(); ++i)
+    report_reorder_stats(exec, trees[i].top_description(),
+                         analyses[i].reorder, err);
+  std::vector<const FaultTree*> tree_ptrs;
+  std::vector<const CutSetAnalysis*> analysis_ptrs;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    tree_ptrs.push_back(&trees[i]);
+    analysis_ptrs.push_back(&analyses[i]);
+  }
+  std::string text =
+      render_fmea(synthesise_fmea(tree_ptrs, analysis_ptrs, probability));
+  return emit(text, exec, out, err);
+}
+
+/// Structural + annotation diff against a second model revision
+/// (`against_path`). Both revisions parse under the request's error
+/// discipline; the diff itself is cheap -- this is the daemon's
+/// editor-loop primitive ("what changed since my last analyse?").
+int cmd_diff(const Model& model, Exec& exec, std::ostream& out,
+             std::ostream& err) {
+  if (exec.request.against_path.empty()) {
+    err << "error: diff needs --against FILE (the revised model)\n";
+    return 2;
+  }
+  std::shared_ptr<const Model> after = exec.runner.acquire_model(
+      exec.request.against_path, exec.request,
+      /*implicit_validation=*/true, exec.request.strict ? nullptr : &exec.sink);
+  return emit(diff_models(model, *after).to_string(), exec, out, err);
+}
+
+}  // namespace
+
+ServiceRunner::ServiceRunner(Options options) : options_(std::move(options)) {
+  if (options_.warm) {
+    const int jobs = options_.jobs == 0
+                         ? static_cast<int>(ThreadPool::hardware_threads())
+                         : options_.jobs;
+    if (jobs > 1) pool_ = std::make_unique<ThreadPool>(jobs);
+  }
+  if (options_.max_models == 0) options_.max_models = 1;
+}
+
+ServiceRunner::~ServiceRunner() = default;
+
+ThreadPool* ServiceRunner::pool() const noexcept { return pool_.get(); }
+
+std::shared_ptr<const Model> ServiceRunner::acquire_model(
+    const std::string& path, const ServiceRequest& request,
+    bool implicit_validation, DiagnosticSink* sink) {
+  const auto parse_fresh = [&](DiagnosticSink* parse_sink) {
+    if (request.strict || parse_sink == nullptr)
+      return std::make_shared<const Model>(
+          parse_mdl_file(path, implicit_validation));
+    return std::make_shared<const Model>(parse_mdl_file(path, *parse_sink));
+  };
+
+  if (!options_.warm) return parse_fresh(sink);
+
+  // Warm mode: key by file content + parse flavour. An unreadable file
+  // falls through to the parser for its canonical error.
+  std::string content;
+  {
+    std::ifstream file(path, std::ios::binary);
+    if (!file.good()) return parse_fresh(sink);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    content = buffer.str();
+  }
+  std::ostringstream key_stream;
+  key_stream << path << '|' << content.size() << '|'
+             << content_hash(content) << '|' << (request.strict ? 's' : 'r')
+             << (implicit_validation ? 'v' : 'n') << '|' << request.max_errors;
+  const std::string key = key_stream.str();
+
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    if (auto it = models_.find(key); it != models_.end()) {
+      // Replay the stored parse diagnostics so a warm hit reports exactly
+      // what a cold parse would have (they also drive the exit code).
+      if (sink != nullptr) {
+        for (const Diagnostic& diagnostic : it->second.diagnostics)
+          sink->report(diagnostic);
+      }
+      model_lru_.remove(key);
+      model_lru_.push_front(key);
+      return it->second.model;
+    }
+  }
+
+  // Parse outside the lock (it can be slow); the parse diagnostics are
+  // captured in a private sink so they can be stored for later replay.
+  ModelEntry entry;
+  if (request.strict) {
+    entry.model = parse_fresh(nullptr);  // throws on the first error
+  } else {
+    DiagnosticSink parse_sink(request.max_errors);
+    entry.model = std::make_shared<const Model>(parse_mdl_file(path, parse_sink));
+    entry.diagnostics = parse_sink.diagnostics();
+    if (sink != nullptr) {
+      for (const Diagnostic& diagnostic : entry.diagnostics)
+        sink->report(diagnostic);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  auto [it, inserted] = models_.emplace(key, entry);
+  if (inserted) {
+    model_lru_.push_front(key);
+    while (models_.size() > options_.max_models) {
+      models_.erase(model_lru_.back());
+      model_lru_.pop_back();
+    }
+  }
+  return entry.model;
+}
+
+ConeCache* ServiceRunner::warm_cone_cache(const CutSetOptions& cut_sets,
+                                          DiagnosticSink* sink) {
+  const ConeKeyspace keyspace = cone_keyspace(cut_sets);
+  std::ostringstream key_stream;
+  key_stream << keyspace.engine << '/' << keyspace.max_order << '/'
+             << keyspace.max_sets;
+  const std::string key = key_stream.str();
+  std::lock_guard<std::mutex> lock(cones_mutex_);
+  auto it = cones_.find(key);
+  if (it == cones_.end()) {
+    auto cache = std::make_unique<ConeCache>(keyspace);
+    // First use of this keyspace: adopt whatever the last daemon run (or
+    // a crashed one's last good save) persisted. A stale/corrupt file is
+    // rejected inside load() -- the cache simply starts cold.
+    if (!options_.cache_dir.empty()) cache->load(options_.cache_dir, sink);
+    it = cones_.emplace(key, std::move(cache)).first;
+  }
+  return it->second.get();
+}
+
+std::optional<std::string> ServiceRunner::response_key(
+    const ServiceRequest& request) const {
+  if (!options_.warm || options_.max_results == 0) return std::nullopt;
+  // --output writes a file per run: replaying a stored result would skip
+  // the side effect. --verbose logs cumulative warm-cache counters, which
+  // a replay would freeze at their store-time values. `load` exists to
+  // pin the parsed model, which a replay would skip.
+  if (!request.output.empty() || request.verbose) return std::nullopt;
+  if (request.command == "load") return std::nullopt;
+  const std::optional<std::string> content = read_file_bytes(request.model_path);
+  if (!content) return std::nullopt;
+  std::ostringstream key;
+  key.precision(17);
+  key << request.command << '\x1f' << request.model_path << '\x1f'
+      << content->size() << ':' << content_hash(*content) << '\x1f';
+  if (!request.against_path.empty()) {
+    const std::optional<std::string> against =
+        read_file_bytes(request.against_path);
+    if (!against) return std::nullopt;
+    key << request.against_path << '\x1f' << against->size() << ':'
+        << content_hash(*against);
+  }
+  key << '\x1f';
+  for (const std::string& top : request.tops) key << top << '\x1e';
+  key << '\x1f' << request.format << '\x1f' << request.mission_time_hours
+      << '\x1f' << request.render_tree << request.strict << request.no_cache
+      << '\x1f' << request.max_errors << '\x1f' << request.max_depth << '\x1f'
+      << request.max_nodes << '\x1f' << static_cast<int>(request.engine)
+      << '\x1f' << static_cast<int>(request.order);
+  return key.str();
+}
+
+bool ServiceRunner::save_warm_state(DiagnosticSink* sink) {
+  if (options_.cache_dir.empty()) return true;
+  std::vector<ConeCache*> caches;
+  {
+    std::lock_guard<std::mutex> lock(cones_mutex_);
+    caches.reserve(cones_.size());
+    for (const auto& [key, cache] : cones_) caches.push_back(cache.get());
+  }
+  bool ok = true;
+  for (ConeCache* cache : caches)
+    ok = cache->save(options_.cache_dir, sink) && ok;
+  return ok;
+}
+
+std::string ServiceRunner::stats_text() const {
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    out << "models resident: " << models_.size() << "\n";
+  }
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    out << "results memoised: " << results_.size() << "\n";
+  }
+  std::lock_guard<std::mutex> lock(cones_mutex_);
+  std::vector<std::pair<std::string, ConeCache*>> caches;
+  for (const auto& [key, cache] : cones_) caches.emplace_back(key, cache.get());
+  std::sort(caches.begin(), caches.end());
+  for (const auto& [key, cache] : caches)
+    out << "[" << key << "] " << cache->stats().to_string() << "\n";
+  return out.str();
+}
+
+ServiceResult ServiceRunner::execute(const ServiceRequest& request) {
+  // Response memo, warm mode only. A request whose deadline already fired
+  // (shed late, or force_expired on disconnect) must take the degraded
+  // partial-results path, never be satisfied from the memo.
+  std::optional<std::string> memo_key;
+  if (!request.budget || !request.budget->expired())
+    memo_key = response_key(request);
+  if (memo_key) {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    if (auto it = results_.find(*memo_key); it != results_.end()) {
+      result_lru_.remove(*memo_key);
+      result_lru_.push_front(*memo_key);
+      return it->second;
+    }
+  }
+
+  ServiceResult result;
+  std::ostringstream out;
+  std::ostringstream err;
+  DiagnosticSink sink(request.max_errors);
+  int rc = 0;
+  bool deadline_fired = false;
+  try {
+    const std::string& command = request.command;
+    // `validate` parses without the implicit validation so it can report
+    // the issues itself instead of dying on the first one; the recovering
+    // parser (default) reports syntax AND validation problems to the sink
+    // and returns the best-effort model.
+    const bool implicit_validation = command != "validate";
+    std::shared_ptr<const Model> model_ptr = acquire_model(
+        request.model_path, request, implicit_validation,
+        request.strict ? nullptr : &sink);
+    const Model& model = *model_ptr;
+
+    Exec exec{request, *this, sink, nullptr, Budget{}};
+    // One budget, armed once: every stage and worker copies it, so they
+    // all share a single deadline latch. The daemon pre-arms it at
+    // admission (queue wait counts, and disconnect can force_expire it);
+    // the CLI arms it here, after the un-budgeted parse, exactly as
+    // before the refactor.
+    if (request.budget) {
+      exec.budget = *request.budget;
+    } else if (request.deadline_ms > 0) {
+      exec.budget.set_deadline_ms(request.deadline_ms);
+    }
+    if (request.max_depth != 0) exec.budget.max_depth = request.max_depth;
+    if (request.max_nodes != 0) exec.budget.max_nodes = request.max_nodes;
+
+    // Cold mode sizes a pool per request (the CLI's --jobs); warm mode
+    // shares the runner's pool across requests (output is byte-identical
+    // for every worker count, so the daemon ignores the request's jobs).
+    std::optional<ThreadPool> owned_pool;
+    if (options_.warm) {
+      exec.pool = pool_.get();
+    } else {
+      const int jobs = request.jobs == 0
+                           ? static_cast<int>(ThreadPool::hardware_threads())
+                           : request.jobs;
+      if (jobs > 1) owned_pool.emplace(jobs);
+      exec.pool = owned_pool ? &*owned_pool : nullptr;
+    }
+
+    if (command == "info" || command == "load") {
+      // `load` is the daemon's warm-up verb: acquire_model above already
+      // pinned the parsed model; the summary doubles as confirmation.
+      rc = cmd_info(model, exec, out, err);
+    } else if (command == "validate") {
+      rc = cmd_validate(model, exec, out, err);
+    } else if (command == "synthesise" || command == "synthesize") {
+      rc = cmd_synthesise(model, exec, out, err);
+    } else if (command == "analyse" || command == "analyze") {
+      rc = cmd_analyse(model, exec, out, err);
+    } else if (command == "audit") {
+      rc = cmd_audit(model, exec, out, err);
+    } else if (command == "fmea") {
+      rc = cmd_fmea(model, exec, out, err);
+    } else if (command == "sensitivity") {
+      rc = cmd_sensitivity(model, exec, out, err);
+    } else if (command == "report") {
+      rc = cmd_report(model, exec, out, err);
+    } else if (command == "diff") {
+      rc = cmd_diff(model, exec, out, err);
+    } else {
+      err << "error: unknown command '" << command << "'\n";
+      rc = 2;
+    }
+    deadline_fired = exec.budget.expired();
+  } catch (const Error& error) {
+    err << "error: " << error.what() << "\n";
+    if (!sink.empty()) err << sink.render_table();
+    result.exit_code = exit_code_for(error.kind());
+    result.output = out.str();
+    result.log = err.str();
+    return result;
+  } catch (const std::exception& error) {
+    // Request isolation: a non-Error exception (bad_alloc, a library bug)
+    // must degrade into this one request's result, never escape into the
+    // daemon. The CLI maps it to the internal-error exit code.
+    err << "error: internal: " << error.what() << "\n";
+    if (!sink.empty()) err << sink.render_table();
+    result.exit_code = exit_code_for(ErrorKind::kInternal);
+    result.output = out.str();
+    result.log = err.str();
+    return result;
+  }
+  if (!sink.empty()) err << sink.render_table();
+  result.exit_code = rc != 0 ? rc : (sink.has_errors() ? 1 : 0);
+  result.output = out.str();
+  result.log = err.str();
+  // Clean-run-only stores, like the cone cache: a result whose deadline
+  // fired may be partial (wall-clock nondeterminism), so only complete
+  // runs are replayable -- and a complete run satisfies any deadline.
+  if (memo_key && !deadline_fired) {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    auto [it, inserted] = results_.emplace(*memo_key, result);
+    if (inserted) {
+      result_lru_.push_front(*memo_key);
+      while (results_.size() > options_.max_results) {
+        results_.erase(result_lru_.back());
+        result_lru_.pop_back();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ftsynth::service

@@ -1,0 +1,198 @@
+// Library-first execution of ftsynth commands.
+//
+// The CLI used to own the whole pipeline -- argv parsing, model loading,
+// command dispatch and rendering -- writing straight to stdout/stderr.
+// That shape wastes everything PRs 4/5 built the moment the process
+// exits: cone caches, interned variable orders and parsed models are all
+// warm state a safety engineer's edit-analyse loop wants to keep. This
+// module is the testable core both front ends share:
+//
+//   * `ServiceRequest` is one command in structured form (the CLI builds
+//     it from argv, the daemon from a wire JSON line);
+//   * `ServiceResult` is the full observable outcome: exit code, the
+//     exact bytes a serial CLI run would have written to stdout, and the
+//     log/diagnostic bytes it would have written to stderr;
+//   * `ServiceRunner` executes requests. In cold mode (the CLI) each
+//     request parses and analyses from scratch -- byte-for-byte the
+//     pre-refactor behaviour. In warm mode (the daemon) the runner keeps
+//     parsed models and per-keyspace cone caches resident across
+//     requests, and `execute` may be called from many threads at once.
+//
+// The warm state is three layers, each correctness-neutral by
+// construction: model entries are keyed by content hash (an edited file
+// re-parses), replayed parse diagnostics reproduce the cold diagnostic
+// stream, and the cone cache only ever serves exact families
+// (clean-run-only stores, PR 4) -- so a warm `output` is byte-identical
+// to a cold one, which the service tests enforce across every command x
+// engine x order policy. On top of both sits the response memo: a full
+// ServiceResult is replayed for a repeated request whose model bytes and
+// output-affecting fields are unchanged, under the same discipline
+// (content-addressed key, stores only from runs whose deadline never
+// fired, bypassed for requests with filesystem side effects). The memo
+// is what makes the warm daemon fast end to end -- the probability and
+// importance stages dominate an analyse request and sit outside the
+// cone cache's reach -- while an edit invalidates it the same way it
+// invalidates the model cache: the content hash changes, the stale
+// entry simply stops being looked up.
+
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/cache.h"
+#include "analysis/cutsets.h"
+#include "core/budget.h"
+#include "core/diagnostics.h"
+
+namespace ftsynth {
+class Model;
+class ThreadPool;
+}  // namespace ftsynth
+
+namespace ftsynth::service {
+
+/// One command in structured form. Field semantics (and defaults) match
+/// the CLI flags documented in tools/cli.h; docs/FORMATS.md maps the wire
+/// protocol's JSON fields onto these.
+struct ServiceRequest {
+  std::string command;       ///< info|validate|synthesise|analyse|audit|
+                             ///< fmea|sensitivity|report|diff|load
+  std::string model_path;    ///< the .mdl file
+  std::string against_path;  ///< diff only: the revised model
+  std::vector<std::string> tops;
+  std::string format = "text";  ///< synthesise: text|dot|xml|json|ftp
+  std::string output;           ///< CLI --output FILE; empty = in-result
+  double mission_time_hours = 1.0;
+  bool render_tree = false;
+  bool strict = false;
+  std::size_t max_errors = DiagnosticSink::kDefaultMaxErrors;
+  long deadline_ms = 0;        ///< 0 = no deadline (CLI); daemon requires >0
+  std::size_t max_depth = 0;   ///< 0 = Budget default
+  std::size_t max_nodes = 0;   ///< 0 = unlimited
+  int jobs = 0;                ///< cold mode only; warm mode uses the
+                               ///< runner's shared pool (output identical)
+  CutSetEngine engine = CutSetEngine::kMicsup;
+  OrderPolicy order = OrderPolicy::kStatic;
+  bool no_cache = false;
+  bool verbose = false;
+  /// Daemon: a budget armed at admission (so queue wait counts against
+  /// the client's deadline) whose latch the connection can force_expire
+  /// on disconnect. When set it wins over deadline_ms/max_*.
+  std::optional<Budget> budget;
+};
+
+/// The full observable outcome of one request.
+struct ServiceResult {
+  int exit_code = 0;   ///< the CLI exit code contract (tools/cli.h)
+  std::string output;  ///< exactly the serial CLI's stdout bytes
+  std::string log;     ///< exactly the serial CLI's stderr bytes
+};
+
+/// Executes ServiceRequests; owns the warm state in warm mode.
+class ServiceRunner {
+ public:
+  struct Options {
+    /// Worker threads for warm mode's shared pool (0 = hardware).
+    int jobs = 0;
+    /// Persistent cone-cache directory ("--cache DIR" semantics). Cold
+    /// mode loads/saves it around each request exactly as the CLI did;
+    /// warm mode loads lazily and persists via save_warm_state().
+    std::string cache_dir;
+    /// Keep parsed models and cone caches resident across requests and
+    /// allow concurrent execute() calls (the daemon). False = the
+    /// process-per-run CLI semantics.
+    bool warm = false;
+    /// Warm-mode resident model cap (LRU past it).
+    std::size_t max_models = 32;
+    /// Warm-mode response-memo cap (LRU past it). 0 disables the memo
+    /// (every request recomputes; model and cone caches still apply).
+    std::size_t max_results = 256;
+  };
+
+  ServiceRunner() : ServiceRunner(Options{}) {}
+  explicit ServiceRunner(Options options);
+  ~ServiceRunner();
+
+  ServiceRunner(const ServiceRunner&) = delete;
+  ServiceRunner& operator=(const ServiceRunner&) = delete;
+
+  /// Runs one request to completion. Never throws: failures of any kind
+  /// (unreadable model, engine error, budget blow-up, internal bug)
+  /// degrade into the result's exit code and log -- one bad request must
+  /// never take the runner down or poison the warm state. Thread-safe in
+  /// warm mode.
+  ServiceResult execute(const ServiceRequest& request);
+
+  /// Persists every resident cone cache to options().cache_dir (atomic
+  /// tmp+fsync+rename per file). No-op without a cache_dir. Returns false
+  /// when any file failed to write. Safe to call concurrently with
+  /// execute() -- a killed daemon restarts warm from the last save.
+  bool save_warm_state(DiagnosticSink* sink = nullptr);
+
+  /// One-line warm-state summary per resident cone cache plus model
+  /// count, for the wire `stats` command and --verbose serve logs.
+  std::string stats_text() const;
+
+  const Options& options() const noexcept { return options_; }
+
+  /// The shared warm-mode pool (null in cold mode).
+  ThreadPool* pool() const noexcept;
+
+  /// The model at `path` under this request's parse discipline. Cold mode
+  /// parses fresh; warm mode serves the resident entry keyed by file
+  /// content + parse flavour (replaying its stored parse diagnostics into
+  /// `sink`, so a hit reports exactly what a cold parse would have).
+  /// Throws ftsynth::Error exactly as parse_mdl_file does.
+  std::shared_ptr<const Model> acquire_model(const std::string& path,
+                                             const ServiceRequest& request,
+                                             bool implicit_validation,
+                                             DiagnosticSink* sink);
+
+  /// The resident cone cache for this cut-set configuration, created (and
+  /// disk-loaded, when cache_dir is set) on first use. Warm mode only.
+  ConeCache* warm_cone_cache(const CutSetOptions& cut_sets,
+                             DiagnosticSink* sink);
+
+ private:
+  struct ModelEntry {
+    std::shared_ptr<const Model> model;
+    /// The parse-time diagnostic stream, replayed verbatim into each
+    /// request's sink so a warm hit reports exactly what a cold parse
+    /// would have.
+    std::vector<Diagnostic> diagnostics;
+  };
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< warm mode only
+
+  mutable std::mutex models_mutex_;
+  std::unordered_map<std::string, ModelEntry> models_;
+  std::list<std::string> model_lru_;  ///< front = most recent
+
+  mutable std::mutex cones_mutex_;
+  /// Keyed by "<engine>/<max_order>/<max_sets>" (the ConeKeyspace).
+  std::unordered_map<std::string, std::unique_ptr<ConeCache>> cones_;
+
+  /// Response memo (warm mode): content hash of the model bytes (and the
+  /// --against bytes for diff) plus every output-affecting request field
+  /// maps to the full stored result. deadline_ms/budget/jobs/id are
+  /// deliberately NOT in the key -- output is byte-identical across them
+  /// (test-enforced) and a complete result satisfies any deadline.
+  /// Returns nullopt when the request must not be memoised: cold mode,
+  /// --output side effects, --verbose (its log carries cumulative warm
+  /// counters), or an unreadable model file.
+  std::optional<std::string> response_key(const ServiceRequest& request) const;
+
+  mutable std::mutex results_mutex_;
+  std::unordered_map<std::string, ServiceResult> results_;
+  std::list<std::string> result_lru_;  ///< front = most recent
+};
+
+}  // namespace ftsynth::service

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/batch.h"
 #include "analysis/cutsets.h"
 #include "casestudy/setta.h"
 #include "casestudy/synthetic.h"
@@ -27,6 +28,7 @@
 #include "core/diagnostics.h"
 #include "core/parallel.h"
 #include "core/thread_pool.h"
+#include "failure/expr_parser.h"
 #include "failure/failure_class.h"
 #include "fta/synthesis.h"
 #include "sim/monte_carlo.h"
@@ -157,6 +159,114 @@ TEST(ConcurrencyBudget, OneObjectPolledFromManyThreads) {
   for (std::thread& thread : threads) thread.join();
   stop.store(true);
   EXPECT_TRUE(budget.expired());
+}
+
+std::vector<Deviation> bbw_batch_tops(const Model& model, int repeats) {
+  std::vector<Deviation> tops;
+  for (int r = 0; r < repeats; ++r) {
+    for (const std::string& top : setta::bbw_top_events())
+      tops.push_back(parse_deviation(top, model.registry()));
+  }
+  return tops;
+}
+
+/// One budget armed once and copied into every stage, so synthesis, the
+/// cut-set engines and the probability pass all share a single latch --
+/// exactly how the CLI and the daemon wire a request budget.
+Budget arm_batch_budget(BatchOptions& options, long deadline_ms) {
+  Budget budget;
+  budget.set_deadline_ms(deadline_ms);
+  options.synthesis.budget = budget;
+  options.analysis.cut_sets.budget = budget;
+  options.analysis.probability.budget = budget;
+  return budget;
+}
+
+TEST(ConcurrencyBudget, ForceExpireMidBatchReleasesAllWorkersPromptly) {
+  // The daemon's cancellation path: a client disconnect force_expires the
+  // request budget while a batch holds every pool worker. ALL workers
+  // must unwind through the shared latch promptly -- nobody may sleep out
+  // the hour-long nominal deadline.
+  Model model = setta::build_bbw();
+  const std::vector<Deviation> tops = bbw_batch_tops(model, 3);
+
+  BatchOptions options;
+  DiagnosticSink sink;
+  options.synthesis.sink = &sink;  // degraded mode: cut short, don't throw
+  Budget shared = arm_batch_budget(options, 3'600'000);
+
+  ThreadPool pool(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread killer([&shared] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    shared.force_expire();
+  });
+  BatchResult result = analyse_batch(model, tops, options, &pool);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  killer.join();
+
+  // Promptness: the latch fired ~5ms in; finishing the whole batch must
+  // take cut-short time, not analysis time (and never the deadline).
+  EXPECT_LT(elapsed, std::chrono::seconds(60));
+  ASSERT_EQ(result.items.size(), tops.size());
+  // Items that ran after the expiry surface as flagged partial results,
+  // never as crashes or missing slots. With 48 items over 5 workers the
+  // expiry is guaranteed to land mid-batch.
+  std::size_t flagged = 0;
+  for (const BatchItem& item : result.items) {
+    if (item.error) continue;  // strict-mode style failures are still orderly
+    if (item.analysis.has_value() && item.analysis->cut_sets.deadline_exceeded)
+      ++flagged;
+  }
+  EXPECT_GE(flagged, 1u);
+}
+
+TEST(ConcurrencyBudget, ExpiredBudgetPartialFlagsMatchSerialUnderThePool) {
+  // Determinism of the degraded path: with the shared budget expired
+  // before the batch starts, the pooled run must produce the same trees,
+  // the same partial cut sets, the same deadline flags and the same
+  // per-item diagnostics as the serial loop -- a cancelled daemon request
+  // reports exactly what a cancelled CLI run would have.
+  Model model = setta::build_bbw();
+  const std::vector<Deviation> tops = bbw_batch_tops(model, 1);
+
+  BatchOptions options;
+  DiagnosticSink sink;
+  options.synthesis.sink = &sink;
+  Budget shared = arm_batch_budget(options, 3'600'000);
+  shared.force_expire();
+
+  BatchResult serial = analyse_batch(model, tops, options, nullptr);
+  ThreadPool pool(4);
+  BatchResult pooled = analyse_batch(model, tops, options, &pool);
+
+  ASSERT_EQ(serial.items.size(), tops.size());
+  ASSERT_EQ(pooled.items.size(), tops.size());
+  for (std::size_t i = 0; i < tops.size(); ++i) {
+    const BatchItem& a = serial.items[i];
+    const BatchItem& b = pooled.items[i];
+    EXPECT_EQ(static_cast<bool>(a.error), static_cast<bool>(b.error)) << i;
+    ASSERT_EQ(a.tree.has_value(), b.tree.has_value()) << i;
+    if (a.tree && b.tree) {
+      EXPECT_EQ(a.tree->to_text(), b.tree->to_text()) << i;
+    }
+    ASSERT_EQ(a.analysis.has_value(), b.analysis.has_value()) << i;
+    if (a.analysis && b.analysis) {
+      EXPECT_EQ(a.analysis->cut_sets.deadline_exceeded,
+                b.analysis->cut_sets.deadline_exceeded)
+          << i;
+      EXPECT_EQ(a.analysis->cut_sets.truncated, b.analysis->cut_sets.truncated)
+          << i;
+      EXPECT_EQ(a.analysis->cut_sets.to_string(),
+                b.analysis->cut_sets.to_string())
+          << i;
+    }
+    ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size()) << i;
+    for (std::size_t d = 0; d < a.diagnostics.size(); ++d) {
+      EXPECT_EQ(a.diagnostics[d].to_string(), b.diagnostics[d].to_string())
+          << i << ":" << d;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

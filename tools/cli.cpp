@@ -1,31 +1,20 @@
+// Thin front end: argv -> ServiceRequest -> ServiceRunner (one cold run),
+// plus the two daemon verbs `serve` (run the analysis server on a local
+// socket) and `call` (send one request to it). All command logic lives in
+// src/service/runner.cpp, shared byte-for-byte between this CLI and the
+// daemon.
+
 #include "tools/cli.h"
 
 #include <fstream>
-#include <iostream>
 #include <optional>
+#include <type_traits>
 
-#include "analysis/batch.h"
-#include "analysis/cache.h"
-#include "analysis/completeness.h"
-#include "analysis/cutsets.h"
-#include "analysis/fmea.h"
-#include "analysis/report.h"
-#include "analysis/markdown_report.h"
-#include "analysis/sensitivity.h"
-#include "core/budget.h"
 #include "core/diagnostics.h"
-#include "core/error.h"
-#include "core/parallel.h"
-#include "core/strings.h"
-#include "core/thread_pool.h"
-#include "failure/expr_parser.h"
-#include "ftp/dot_writer.h"
-#include "ftp/ftp_writer.h"
-#include "ftp/json_writer.h"
-#include "ftp/xml_writer.h"
-#include "fta/synthesis.h"
-#include "mdl/parser.h"
-#include "model/validate.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/runner.h"
+#include "service/server.h"
 
 namespace ftsynth::cli {
 
@@ -42,10 +31,17 @@ commands:
   fmea         system-level FMEA           (--time)
   sensitivity  failure-rate sensitivity    (--top, --time)
   report       full Markdown safety report (--top, --time, --output)
+  diff         structural diff vs a revised model (--against FILE)
+  load         parse the model and print the info summary (daemon: pins
+               the parsed model in the warm cache)
+  serve        run the analysis daemon on --socket PATH (line-delimited
+               JSON; see docs/FORMATS.md for the wire protocol)
+  call         send one request to a running daemon (--socket PATH)
 
 options:
   --top CLASS-PORT   top event, e.g. Omission-brake_force_fl (repeatable;
                      analyse/fmea default to every derivable top event)
+  --against FILE     diff: the revised model to compare against
   --format FMT       synthesise output: text (default), dot, xml, json, ftp
   --output FILE      write to FILE instead of stdout
   --time HOURS       mission time for probabilities (default 1)
@@ -53,6 +49,10 @@ options:
   --strict           fail fast on the first error (disables recovery)
   --max-errors N     stop collecting after N recovered errors (default 100)
   --deadline-ms N    wall-clock budget for synthesis and analysis
+                     (mandatory on daemon requests; `call` defaults to
+                     60000 when unset)
+  --max-depth N      budget: synthesis recursion-depth cap
+  --max-nodes N      budget: fault-tree node cap (0 = unlimited)
   --jobs N           worker threads for synthesise/analyse/fmea
                      (default: hardware concurrency; 1 = serial; output
                      is byte-identical for every N)
@@ -70,10 +70,21 @@ options:
                      re-analysis: after an edit only affected cones are
                      recomputed). Stale or corrupt cache files are ignored
                      with a warning; output is byte-identical either way.
+                     `serve` keeps DIR warm across requests and restarts.
   --no-cache         disable all cone-result reuse, including the default
                      in-memory sharing across the top events of one run
   --verbose          print run statistics (cone-cache counters, final
                      variable order and reorder effort) to stderr
+
+daemon options:
+  --socket PATH          serve/call: AF_UNIX socket path
+  --json                 call: print the raw JSON response envelope
+  --executors N          serve: concurrent request executors (default 2)
+  --queue N              serve: admission queue bound; requests beyond it
+                         are shed with `overloaded` (default 16)
+  --max-deadline-ms N    serve: clamp every client deadline to N
+  --save-interval-ms N   serve: warm-state save period (default 30000;
+                         0 disables the periodic save)
 
 exit codes:
   0  clean run                       1  completed, but with diagnostics
@@ -83,27 +94,20 @@ exit codes:
 )";
 
 struct Options {
-  std::string command;
-  std::string model_path;
-  std::vector<std::string> tops;
-  std::string format = "text";
-  std::string output;
-  double mission_time_hours = 1.0;
-  bool render_tree = false;
-  bool strict = false;
-  std::size_t max_errors = DiagnosticSink::kDefaultMaxErrors;
-  long deadline_ms = 0;  ///< 0 = no deadline
-  int jobs = 0;          ///< 0 = hardware concurrency; 1 = serial
-  CutSetEngine engine = CutSetEngine::kMicsup;
-  /// --order: diagram variable-order policy (static default: byte-stable
-  /// without opting in, and reordering costs time on well-shaped models).
-  OrderPolicy order = OrderPolicy::kStatic;
-  std::string cache_dir;   ///< --cache DIR; empty = no persistent layer
-  bool no_cache = false;   ///< --no-cache wins over --cache
-  bool verbose = false;    ///< --verbose stats block on stderr
-  /// Armed once per run (one shared deadline latch); every stage copies it.
-  Budget budget;
+  service::ServiceRequest request;
+  std::string cache_dir;
+  // serve/call:
+  std::string socket_path;
+  bool json_output = false;
+  int executors = 2;
+  std::size_t queue_limit = 16;
+  long max_deadline_ms = 0;
+  long save_interval_ms = 30000;
 };
+
+bool is_control_verb(const std::string& command) {
+  return command == "ping" || command == "stats" || command == "shutdown";
+}
 
 /// Parses argv; returns nullopt (after printing the message) on bad usage.
 std::optional<Options> parse_args(const std::vector<std::string>& args,
@@ -113,10 +117,21 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
     return std::nullopt;
   }
   Options options;
-  options.command = args[0];
+  options.request.command = args[0];
   std::size_t i = 1;
-  if (i < args.size() && args[i].rfind("--", 0) != 0) {
-    options.model_path = args[i++];
+  const bool serve = options.request.command == "serve";
+  const bool call = options.request.command == "call";
+  if (call) {
+    // `call` forwards its own command word: ftsynth call analyse m.mdl ...
+    if (i >= args.size() || args[i].rfind("--", 0) == 0) {
+      err << "error: call needs a command to send (e.g. ftsynth call "
+             "analyse model.mdl --socket PATH)\n";
+      return std::nullopt;
+    }
+    options.request.command = args[i++];
+  }
+  if (!serve && i < args.size() && args[i].rfind("--", 0) != 0) {
+    options.request.model_path = args[i++];
   }
   for (; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -127,63 +142,71 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       }
       return args[++i];
     };
+    auto count_value = [&](const char* flag, auto* out) -> bool {
+      auto v = value();
+      if (!v) return false;
+      try {
+        if constexpr (std::is_same_v<decltype(out), long*>) {
+          *out = std::stol(*v);
+        } else if constexpr (std::is_same_v<decltype(out), int*>) {
+          *out = std::stoi(*v);
+        } else {
+          *out = std::stoul(*v);
+        }
+      } catch (const std::exception&) {
+        err << "error: " << flag << " needs a count, got '" << *v << "'\n";
+        return false;
+      }
+      return true;
+    };
     if (arg == "--top") {
       auto v = value();
       if (!v) return std::nullopt;
-      options.tops.push_back(*v);
+      options.request.tops.push_back(*v);
+    } else if (arg == "--against") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      options.request.against_path = *v;
     } else if (arg == "--format") {
       auto v = value();
       if (!v) return std::nullopt;
-      options.format = *v;
+      options.request.format = *v;
     } else if (arg == "--output") {
       auto v = value();
       if (!v) return std::nullopt;
-      options.output = *v;
+      options.request.output = *v;
     } else if (arg == "--time") {
       auto v = value();
       if (!v) return std::nullopt;
       try {
-        options.mission_time_hours = std::stod(*v);
+        options.request.mission_time_hours = std::stod(*v);
       } catch (const std::exception&) {
         err << "error: --time needs a number, got '" << *v << "'\n";
         return std::nullopt;
       }
     } else if (arg == "--tree") {
-      options.render_tree = true;
+      options.request.render_tree = true;
     } else if (arg == "--strict") {
-      options.strict = true;
+      options.request.strict = true;
     } else if (arg == "--max-errors") {
-      auto v = value();
-      if (!v) return std::nullopt;
-      try {
-        options.max_errors = std::stoul(*v);
-      } catch (const std::exception&) {
-        err << "error: --max-errors needs a count, got '" << *v << "'\n";
+      if (!count_value("--max-errors", &options.request.max_errors))
         return std::nullopt;
-      }
     } else if (arg == "--deadline-ms") {
-      auto v = value();
-      if (!v) return std::nullopt;
-      try {
-        options.deadline_ms = std::stol(*v);
-      } catch (const std::exception&) {
-        err << "error: --deadline-ms needs a count, got '" << *v << "'\n";
+      if (!count_value("--deadline-ms", &options.request.deadline_ms))
         return std::nullopt;
-      }
-      if (options.deadline_ms < 0) {
+      if (options.request.deadline_ms < 0) {
         err << "error: --deadline-ms must be >= 0\n";
         return std::nullopt;
       }
-    } else if (arg == "--jobs") {
-      auto v = value();
-      if (!v) return std::nullopt;
-      try {
-        options.jobs = std::stoi(*v);
-      } catch (const std::exception&) {
-        err << "error: --jobs needs a count, got '" << *v << "'\n";
+    } else if (arg == "--max-depth") {
+      if (!count_value("--max-depth", &options.request.max_depth))
         return std::nullopt;
-      }
-      if (options.jobs < 0) {
+    } else if (arg == "--max-nodes") {
+      if (!count_value("--max-nodes", &options.request.max_nodes))
+        return std::nullopt;
+    } else if (arg == "--jobs") {
+      if (!count_value("--jobs", &options.request.jobs)) return std::nullopt;
+      if (options.request.jobs < 0) {
         err << "error: --jobs must be >= 0\n";
         return std::nullopt;
       }
@@ -191,11 +214,11 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       auto v = value();
       if (!v) return std::nullopt;
       if (*v == "micsup") {
-        options.engine = CutSetEngine::kMicsup;
+        options.request.engine = CutSetEngine::kMicsup;
       } else if (*v == "mocus") {
-        options.engine = CutSetEngine::kMocus;
+        options.request.engine = CutSetEngine::kMocus;
       } else if (*v == "zbdd") {
-        options.engine = CutSetEngine::kZbdd;
+        options.request.engine = CutSetEngine::kZbdd;
       } else {
         err << "error: unknown --engine '" << *v
             << "' (expected micsup, mocus or zbdd)\n";
@@ -205,7 +228,7 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       auto v = value();
       if (!v) return std::nullopt;
       if (std::optional<OrderPolicy> policy = parse_order_policy(*v)) {
-        options.order = *policy;
+        options.request.order = *policy;
       } else {
         err << "error: unknown --order '" << *v
             << "' (expected static, sift or sift-converge)\n";
@@ -216,9 +239,25 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       if (!v) return std::nullopt;
       options.cache_dir = *v;
     } else if (arg == "--no-cache") {
-      options.no_cache = true;
+      options.request.no_cache = true;
     } else if (arg == "--verbose") {
-      options.verbose = true;
+      options.request.verbose = true;
+    } else if (arg == "--socket") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      options.socket_path = *v;
+    } else if (arg == "--json") {
+      options.json_output = true;
+    } else if (arg == "--executors") {
+      if (!count_value("--executors", &options.executors)) return std::nullopt;
+    } else if (arg == "--queue") {
+      if (!count_value("--queue", &options.queue_limit)) return std::nullopt;
+    } else if (arg == "--max-deadline-ms") {
+      if (!count_value("--max-deadline-ms", &options.max_deadline_ms))
+        return std::nullopt;
+    } else if (arg == "--save-interval-ms") {
+      if (!count_value("--save-interval-ms", &options.save_interval_ms))
+        return std::nullopt;
     } else if (arg == "--help" || arg == "-h") {
       err << kUsage;
       return std::nullopt;
@@ -227,414 +266,169 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       return std::nullopt;
     }
   }
-  if (options.model_path.empty()) {
+  if (serve) {
+    if (options.socket_path.empty()) {
+      err << "error: serve needs --socket PATH\n";
+      return std::nullopt;
+    }
+    return options;
+  }
+  if (call) {
+    if (options.socket_path.empty()) {
+      err << "error: call needs --socket PATH\n";
+      return std::nullopt;
+    }
+    if (options.request.model_path.empty() &&
+        !is_control_verb(options.request.command)) {
+      err << "error: no model file given\n" << kUsage;
+      return std::nullopt;
+    }
+    return options;
+  }
+  if (options.request.model_path.empty()) {
     err << "error: no model file given\n" << kUsage;
     return std::nullopt;
   }
   return options;
 }
 
-/// Hard-failure exit code for an error category (see kUsage).
-int exit_code_for(ErrorKind kind) noexcept {
-  switch (kind) {
-    case ErrorKind::kParse:
-      return 2;
-    case ErrorKind::kModel:
-      return 3;
-    case ErrorKind::kLookup:
-      return 4;
-    case ErrorKind::kAnalysis:
-      return 5;
-    case ErrorKind::kInternal:
-      break;
-  }
-  return 6;
-}
-
-/// Copies the run's single armed budget: every stage of every worker
-/// shares one deadline latch, so --deadline-ms bites globally.
-Budget make_budget(const Options& options) { return options.budget; }
-
-/// --verbose stats block. Stats go to stderr so stdout stays byte-identical
-/// with and without the cache (the acceptance bar for this feature).
-void report_cache_stats(const Options& options,
-                        const std::optional<ConeCacheStats>& stats,
-                        std::ostream& err) {
-  if (!options.verbose) return;
-  if (stats) {
-    err << stats->to_string() << "\n";
-  } else {
-    err << "cone cache: disabled\n";
-  }
-}
-
-/// --verbose reordering stats for one analysed top event. Stderr only, like
-/// the cache stats: stdout must stay byte-identical across --order policies.
-void report_reorder_stats(const Options& options, const std::string& top,
-                          const std::optional<ReorderReport>& reorder,
-                          std::ostream& err) {
-  if (!options.verbose || !reorder) return;
-  err << "variable order [" << top << "]: policy " << reorder->policy
-      << ", passes " << reorder->passes << ", swaps " << reorder->swaps
-      << ", nodes " << reorder->nodes_before << " -> " << reorder->nodes_after
-      << " (root " << reorder->root_nodes << ")\n";
-  if (!reorder->final_order.empty()) {
-    err << "  final order: ";
-    for (std::size_t i = 0; i < reorder->final_order.size(); ++i) {
-      if (i != 0) err << ", ";
-      err << reorder->final_order[i];
-    }
-    err << "\n";
-  }
-}
-
-/// Synthesis options for a command run: resource budget always, degraded
-/// mode (diagnostics instead of aborts) unless --strict.
-SynthesisOptions synthesis_options(const Options& options,
-                                   DiagnosticSink& sink) {
-  SynthesisOptions synthesis;
-  synthesis.budget = make_budget(options);
-  if (!options.strict) synthesis.sink = &sink;
-  return synthesis;
-}
-
-/// Sends `text` to --output or to stdout.
-int emit(const std::string& text, const Options& options, std::ostream& out,
-         std::ostream& err) {
-  if (options.output.empty()) {
-    out << text;
-    return 0;
-  }
-  std::ofstream file(options.output);
-  if (!file.good()) {
-    err << "error: cannot write '" << options.output << "'\n";
+int cmd_serve(const Options& options, std::ostream& out, std::ostream& err) {
+  service::ServerOptions server_options;
+  server_options.socket_path = options.socket_path;
+  server_options.jobs = options.request.jobs;
+  server_options.executors = options.executors;
+  server_options.queue_limit = options.queue_limit;
+  server_options.cache_dir = options.cache_dir;
+  server_options.max_deadline_ms = options.max_deadline_ms;
+  server_options.save_interval_ms = options.save_interval_ms;
+  service::ServiceServer server(server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    err << "error: " << error << "\n";
     return 2;
   }
-  file << text;
+  err << "listening on " << options.socket_path << "\n";
+  err.flush();
+  // Runs until a `shutdown` request arrives. A SIGKILL instead is the
+  // crash path: the periodic warm-state saves bound what a restart loses.
+  server.wait();
+  server.stop();
+  if (options.request.verbose) err << server.runner().stats_text();
+  (void)out;
   return 0;
 }
 
-std::vector<Deviation> resolve_tops(const Model& model,
-                                    const Options& options,
-                                    ThreadPool* pool = nullptr) {
-  std::vector<Deviation> tops;
-  if (!options.tops.empty()) {
-    for (const std::string& top : options.tops)
-      tops.push_back(parse_deviation(top, model.registry()));
-    return tops;
+/// The wire JSON for one `call`. Only non-default fields travel, plus the
+/// mandatory deadline (defaulted here so ad-hoc calls stay convenient).
+service::Json build_wire_request(const Options& options) {
+  using service::Json;
+  const service::ServiceRequest& request = options.request;
+  Json json = Json::object();
+  json.set("command", Json::string(request.command));
+  if (is_control_verb(request.command)) return json;
+  json.set("model", Json::string(request.model_path));
+  if (!request.against_path.empty())
+    json.set("against", Json::string(request.against_path));
+  if (!request.tops.empty()) {
+    Json tops = Json::array();
+    for (const std::string& top : request.tops)
+      tops.push_back(Json::string(top));
+    json.set("tops", tops);
   }
-  // Default: every derivable top event (prune undeveloped roots so only
-  // genuinely explained deviations appear). The probe synthesises every
-  // (output port x class) candidate, so it parallelises like the real run;
-  // the candidate list and its order are independent of the pool.
-  SynthesisOptions prune;
-  prune.unannotated = SynthesisOptions::UnannotatedPolicy::kPrune;
-  prune.budget = make_budget(options);
-  // The probe only decides which candidates are worth synthesising; its
-  // degraded-mode diagnostics would duplicate the real run's, so they go
-  // to a throwaway sink (thread-safe: probe workers share it).
-  DiagnosticSink probe_sink;
-  if (!options.strict) prune.sink = &probe_sink;
-  std::vector<Deviation> candidates;
-  for (const Port* port : model.root().outputs()) {
-    for (FailureClass cls : model.registry().all())
-      candidates.push_back(Deviation{cls, port->name()});
+  if (request.format != "text") json.set("format", Json::string(request.format));
+  if (request.mission_time_hours != 1.0)
+    json.set("time_hours", Json::number(request.mission_time_hours));
+  if (request.render_tree) json.set("tree", Json::boolean(true));
+  if (request.strict) json.set("strict", Json::boolean(true));
+  if (request.max_errors != DiagnosticSink::kDefaultMaxErrors)
+    json.set("max_errors",
+             Json::number(static_cast<double>(request.max_errors)));
+  if (request.max_depth != 0)
+    json.set("max_depth", Json::number(static_cast<double>(request.max_depth)));
+  if (request.max_nodes != 0)
+    json.set("max_nodes", Json::number(static_cast<double>(request.max_nodes)));
+  if (request.no_cache) json.set("no_cache", Json::boolean(true));
+  if (request.verbose) json.set("verbose", Json::boolean(true));
+  if (request.engine == CutSetEngine::kMocus) {
+    json.set("engine", Json::string("mocus"));
+  } else if (request.engine == CutSetEngine::kZbdd) {
+    json.set("engine", Json::string("zbdd"));
   }
-  std::vector<char> derivable(candidates.size(), 0);
-  parallel_for(pool, candidates.size(), [&](std::size_t i) {
-    Synthesiser probe(model, prune);
-    derivable[i] = probe.synthesise(candidates[i]).top() != nullptr ? 1 : 0;
-  });
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (derivable[i] != 0) tops.push_back(candidates[i]);
+  if (request.order == OrderPolicy::kSift) {
+    json.set("order", Json::string("sift"));
+  } else if (request.order == OrderPolicy::kSiftConverge) {
+    json.set("order", Json::string("sift-converge"));
   }
-  return tops;
+  const long deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms : 60000;
+  json.set("deadline_ms", Json::number(static_cast<double>(deadline_ms)));
+  return json;
 }
 
-int cmd_info(const Model& model, const Options& options, std::ostream& out,
-             std::ostream& err) {
-  std::string text = "model: " + model.name() + "\n";
-  text += "blocks: " + std::to_string(model.block_count()) + "\n";
-  std::size_t annotated = 0;
-  std::size_t malfunctions = 0;
-  model.for_each_block([&](const Block& block) {
-    if (!block.annotation().rows().empty()) ++annotated;
-    malfunctions += block.annotation().malfunctions().size();
-  });
-  text += "annotated blocks: " + std::to_string(annotated) + "\n";
-  text += "malfunctions: " + std::to_string(malfunctions) + "\n";
-  text += "boundary inputs:";
-  for (const Port* port : model.root().inputs())
-    text += " " + port->name().str();
-  text += "\nboundary outputs:";
-  for (const Port* port : model.root().outputs())
-    text += " " + port->name().str();
-  text += "\nhierarchy:\n";
-  model.for_each_block([&](const Block& block) {
-    std::size_t depth = 0;
-    for (const Block* b = &block; b->parent() != nullptr; b = b->parent())
-      ++depth;
-    text += std::string(depth * 2, ' ') + block.name().str() + " [" +
-            std::string(to_string(block.kind())) + "]\n";
-  });
-  return emit(text, options, out, err);
+/// Exit code for a daemon-side error response: protocol/usage problems
+/// mirror bad usage (2), load-shed and shutdown map to the analysis-failure
+/// code (5; the request was valid, the run did not complete), internal = 6.
+int exit_code_for_wire_error(std::string_view code) {
+  if (code == "bad-request" || code == "budget-required") return 2;
+  if (code == "internal") return 6;
+  return 5;
 }
 
-int cmd_validate(const Model& model, const Options& options,
-                 DiagnosticSink& sink, std::ostream& out, std::ostream& err) {
-  std::vector<Issue> issues = validate(model);
-  std::string text;
-  int errors = 0;
-  for (const Issue& issue : issues) {
-    text += issue.to_string() + "\n";
-    if (issue.severity == Severity::kError) ++errors;
-  }
-  text += std::to_string(errors) + " error(s), " +
-          std::to_string(issues.size() - static_cast<std::size_t>(errors)) +
-          " warning(s)\n";
-  int rc = emit(text, options, out, err);
-  if (rc != 0) return rc;
-  // The recovering parser already forwarded these to the sink; in --strict
-  // mode forward them here so the exit-code logic is uniform.
-  if (options.strict) {
-    for (const Issue& issue : issues) {
-      sink.report({issue.severity, ErrorKind::kModel, {}, issue.block_path,
-                   issue.message});
-    }
-  }
-  return 0;
-}
-
-/// Replays one batch item's diagnostics and error into the shared sink in
-/// the order a serial loop would have produced them. Returns false when
-/// the item failed (strict mode rethrows instead; non-Error exceptions
-/// always propagate, as they would from a serial loop body).
-bool replay_item(BatchItem& item, const Options& options,
-                 DiagnosticSink& sink) {
-  for (const Diagnostic& diagnostic : item.diagnostics)
-    sink.report(diagnostic);
-  if (!item.error) return true;
-  if (options.strict) std::rethrow_exception(item.error);
-  try {
-    std::rethrow_exception(item.error);
-  } catch (const Error& error) {
-    sink.error_from(error, item.top.to_string());
-  }
-  return false;
-}
-
-int cmd_synthesise(const Model& model, const Options& options,
-                   DiagnosticSink& sink, ThreadPool* pool, std::ostream& out,
-                   std::ostream& err) {
-  BatchOptions batch_options;
-  batch_options.synthesis = synthesis_options(options, sink);
-  batch_options.analyse = false;
-  BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
-                                    batch_options, pool);
-  std::vector<FaultTree> trees;
-  for (BatchItem& item : batch.items) {
-    if (replay_item(item, options, sink)) trees.push_back(std::move(*item.tree));
-  }
-  if (trees.empty()) {
-    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
-    err << "error: no top events (give --top or annotate the model)\n";
+int cmd_call(const Options& options, std::ostream& out, std::ostream& err) {
+  service::ServiceClient client;
+  std::string error;
+  if (!client.connect(options.socket_path, &error)) {
+    err << "error: " << error << "\n";
     return 2;
   }
-  std::string text;
-  if (options.format == "text") {
-    for (const FaultTree& tree : trees) text += tree.to_text() + "\n";
-  } else if (options.format == "dot") {
-    for (const FaultTree& tree : trees) text += write_dot(tree);
-  } else if (options.format == "xml") {
-    std::vector<const FaultTree*> pointers;
-    for (const FaultTree& tree : trees) pointers.push_back(&tree);
-    text = write_xml(pointers);
-  } else if (options.format == "json") {
-    for (const FaultTree& tree : trees) text += write_json(tree);
-  } else if (options.format == "ftp") {
-    std::vector<const FaultTree*> pointers;
-    for (const FaultTree& tree : trees) pointers.push_back(&tree);
-    text = write_ftp_project(model.name(), pointers);
-  } else {
-    err << "error: unknown --format '" << options.format << "'\n";
-    return 2;
+  std::optional<service::Json> response =
+      client.call(build_wire_request(options), &error);
+  if (!response) {
+    err << "error: " << error << "\n";
+    return 6;
   }
-  return emit(text, options, out, err);
-}
-
-int cmd_analyse(const Model& model, const Options& options,
-                DiagnosticSink& sink, ThreadPool* pool, std::ostream& out,
-                std::ostream& err) {
-  BatchOptions batch_options;
-  batch_options.synthesis = synthesis_options(options, sink);
-  batch_options.analysis.probability.mission_time_hours =
-      options.mission_time_hours;
-  batch_options.analysis.render_tree = options.render_tree;
-  batch_options.analysis.cut_sets.engine = options.engine;
-  batch_options.analysis.cut_sets.order = options.order;
-  batch_options.analysis.cut_sets.budget = make_budget(options);
-  batch_options.analysis.probability.budget = make_budget(options);
-  batch_options.share_cones = !options.no_cache;
-  // --cache DIR: preload the persistent cone results and hand the cache to
-  // the batch (it then skips its own run-local one).
-  std::optional<ConeCache> persistent;
-  if (!options.no_cache && !options.cache_dir.empty()) {
-    persistent.emplace(cone_keyspace(batch_options.analysis.cut_sets));
-    persistent->load(options.cache_dir, &sink);
-    batch_options.analysis.cut_sets.cone_cache = &*persistent;
+  if (options.json_output) {
+    out << response->dump() << "\n";
   }
-  BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
-                                    batch_options, pool);
-  if (persistent) persistent->save(options.cache_dir, &sink);
-  report_cache_stats(options, batch.cache_stats, err);
-  std::string text;
-  for (BatchItem& item : batch.items) {
-    if (!replay_item(item, options, sink)) continue;
-    report_reorder_stats(options, item.top.to_string(),
-                         item.analysis->cut_sets.reorder, err);
-    if (!options.strict && item.analysis->cut_sets.deadline_exceeded) {
-      sink.warning(ErrorKind::kAnalysis,
-                   "cut-set analysis stopped at the deadline; "
-                   "results are partial",
-                   {}, item.top.to_string());
-    }
-    text += render(*item.tree, *item.analysis, batch_options.analysis) + "\n";
+  const service::Json* status = response->find("status");
+  if (status == nullptr || !status->is_string()) {
+    err << "error: malformed response (no status)\n";
+    return 6;
   }
-  if (text.empty()) {
-    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
-    err << "error: no top events (give --top or annotate the model)\n";
-    return 2;
+  if (status->as_string() == "error") {
+    const service::Json* code = response->find("error");
+    const service::Json* message = response->find("message");
+    const std::string code_text =
+        code != nullptr && code->is_string() ? code->as_string() : "internal";
+    err << "error: " << code_text << ": "
+        << (message != nullptr && message->is_string() ? message->as_string()
+                                                       : "")
+        << "\n";
+    return exit_code_for_wire_error(code_text);
   }
-  return emit(text, options, out, err);
-}
-
-int cmd_audit(const Model& model, const Options& options, std::ostream& out,
-              std::ostream& err) {
-  std::vector<CompletenessFinding> findings = audit_completeness(model);
-  std::string text;
-  for (const CompletenessFinding& finding : findings)
-    text += finding.to_string() + "\n";
-  text += std::to_string(findings.size()) + " finding(s)\n";
-  int rc = emit(text, options, out, err);
-  return rc != 0 ? rc : (findings.empty() ? 0 : 1);
-}
-
-int cmd_report(const Model& model, const Options& options,
-               DiagnosticSink& sink, std::ostream& out, std::ostream& err) {
-  MarkdownReportOptions report_options;
-  report_options.analysis.probability.mission_time_hours =
-      options.mission_time_hours;
-  report_options.analysis.cut_sets.engine = options.engine;
-  report_options.analysis.cut_sets.order = options.order;
-  report_options.analysis.cut_sets.budget = make_budget(options);
-  report_options.analysis.probability.budget = make_budget(options);
-  std::optional<ConeCache> cones;
-  if (!options.no_cache) {
-    cones.emplace(cone_keyspace(report_options.analysis.cut_sets));
-    if (!options.cache_dir.empty()) cones->load(options.cache_dir, &sink);
-    report_options.analysis.cut_sets.cone_cache = &*cones;
-  }
-  std::vector<std::string> tops;
-  for (const Deviation& top : resolve_tops(model, options))
-    tops.push_back(top.to_string());
-  if (tops.empty()) {
-    err << "error: no top events (give --top or annotate the model)\n";
-    return 2;
-  }
-  const std::string text = markdown_report(model, tops, report_options);
-  if (cones && !options.cache_dir.empty())
-    cones->save(options.cache_dir, &sink);
-  report_cache_stats(
-      options, cones ? std::optional<ConeCacheStats>(cones->stats())
-                     : std::nullopt,
-      err);
-  return emit(text, options, out, err);
-}
-
-int cmd_sensitivity(const Model& model, const Options& options,
-                    DiagnosticSink& sink, std::ostream& out,
-                    std::ostream& err) {
-  SensitivityOptions sensitivity;
-  sensitivity.probability.mission_time_hours = options.mission_time_hours;
-  Synthesiser synthesiser(model, synthesis_options(options, sink));
-  std::string text;
-  for (const Deviation& top : resolve_tops(model, options)) {
-    if (!options.strict) {
-      try {
-        FaultTree tree = synthesiser.synthesise(top);
-        text += "=== " + tree.top_description() + " ===\n";
-        text += render_sensitivity(rate_sensitivity(tree, sensitivity));
-      } catch (const Error& error) {
-        sink.error_from(error, top.to_string());
+  const service::Json* output = response->find("output");
+  const service::Json* log = response->find("log");
+  const service::Json* exit_code = response->find("exit_code");
+  if (log != nullptr && log->is_string()) err << log->as_string();
+  const std::string text =
+      output != nullptr && output->is_string() ? output->as_string() : "";
+  if (!options.json_output) {
+    // --output is applied client-side: the daemon never writes files for
+    // its clients, it only returns bytes.
+    if (options.request.output.empty()) {
+      out << text;
+    } else {
+      std::ofstream file(options.request.output);
+      if (!file.good()) {
+        err << "error: cannot write '" << options.request.output << "'\n";
+        return 2;
       }
-      continue;
+      file << text;
     }
-    FaultTree tree = synthesiser.synthesise(top);
-    text += "=== " + tree.top_description() + " ===\n";
-    text += render_sensitivity(rate_sensitivity(tree, sensitivity));
   }
-  if (text.empty()) {
-    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
-    err << "error: no top events (give --top or annotate the model)\n";
-    return 2;
-  }
-  return emit(text, options, out, err);
-}
-
-int cmd_fmea(const Model& model, const Options& options, DiagnosticSink& sink,
-             ThreadPool* pool, std::ostream& out, std::ostream& err) {
-  ProbabilityOptions probability;
-  probability.mission_time_hours = options.mission_time_hours;
-  probability.budget = make_budget(options);
-  CutSetOptions cut_set_options;
-  cut_set_options.engine = options.engine;
-  cut_set_options.order = options.order;
-  cut_set_options.budget = make_budget(options);
-  cut_set_options.pool = pool;
-  // FMEA analyses every derivable top event of one model: prime sharing
-  // territory for the cone cache (plus the persistent layer on --cache).
-  std::optional<ConeCache> cones;
-  if (!options.no_cache) {
-    cones.emplace(cone_keyspace(cut_set_options));
-    if (!options.cache_dir.empty()) cones->load(options.cache_dir, &sink);
-    cut_set_options.cone_cache = &*cones;
-  }
-  BatchOptions batch_options;
-  batch_options.synthesis = synthesis_options(options, sink);
-  batch_options.analyse = false;
-  BatchResult batch = analyse_batch(model, resolve_tops(model, options, pool),
-                                    batch_options, pool);
-  std::vector<FaultTree> trees;
-  for (BatchItem& item : batch.items) {
-    if (replay_item(item, options, sink)) trees.push_back(std::move(*item.tree));
-  }
-  if (trees.empty()) {
-    if (sink.has_errors()) return exit_code_for(sink.first_error_kind());
-    err << "error: no derivable top events in this model\n";
-    return 2;
-  }
-  std::vector<CutSetAnalysis> analyses =
-      parallel_map(pool, trees.size(), [&](std::size_t i) {
-        return compute_cut_sets(trees[i], cut_set_options);
-      });
-  if (cones && !options.cache_dir.empty())
-    cones->save(options.cache_dir, &sink);
-  report_cache_stats(
-      options, cones ? std::optional<ConeCacheStats>(cones->stats())
-                     : std::nullopt,
-      err);
-  for (std::size_t i = 0; i < trees.size(); ++i)
-    report_reorder_stats(options, trees[i].top_description(),
-                         analyses[i].reorder, err);
-  std::vector<const FaultTree*> tree_ptrs;
-  std::vector<const CutSetAnalysis*> analysis_ptrs;
-  for (std::size_t i = 0; i < trees.size(); ++i) {
-    tree_ptrs.push_back(&trees[i]);
-    analysis_ptrs.push_back(&analyses[i]);
-  }
-  std::string text =
-      render_fmea(synthesise_fmea(tree_ptrs, analysis_ptrs, probability));
-  return emit(text, options, out, err);
+  return exit_code != nullptr && exit_code->is_number()
+             ? static_cast<int>(exit_code->as_number())
+             : 0;
 }
 
 }  // namespace
@@ -643,59 +437,24 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   std::optional<Options> options = parse_args(args, err);
   if (!options) return 2;
-  DiagnosticSink sink(options->max_errors);
-  int rc = 0;
-  try {
-    // `validate` parses without the implicit validation so it can report
-    // the issues itself instead of dying on the first one; the recovering
-    // parser (default) reports syntax AND validation problems to the sink
-    // and returns the best-effort model.
-    Model model = options->strict
-                      ? parse_mdl_file(options->model_path,
-                                       options->command != "validate")
-                      : parse_mdl_file(options->model_path, sink);
-    // One budget, armed once: every stage and worker copies it, so they
-    // all share a single deadline latch.
-    if (options->deadline_ms > 0)
-      options->budget.set_deadline_ms(options->deadline_ms);
-    // One pool for the whole command. --jobs 1 keeps everything on this
-    // thread (no pool at all); the parallel commands produce byte-identical
-    // output either way.
-    const int jobs = options->jobs == 0
-                         ? static_cast<int>(ThreadPool::hardware_threads())
-                         : options->jobs;
-    std::optional<ThreadPool> owned_pool;
-    if (jobs > 1) owned_pool.emplace(jobs);
-    ThreadPool* pool = owned_pool ? &*owned_pool : nullptr;
-    const std::string& command = options->command;
-    if (command == "info") {
-      rc = cmd_info(model, *options, out, err);
-    } else if (command == "validate") {
-      rc = cmd_validate(model, *options, sink, out, err);
-    } else if (command == "synthesise" || command == "synthesize") {
-      rc = cmd_synthesise(model, *options, sink, pool, out, err);
-    } else if (command == "analyse" || command == "analyze") {
-      rc = cmd_analyse(model, *options, sink, pool, out, err);
-    } else if (command == "audit") {
-      rc = cmd_audit(model, *options, out, err);
-    } else if (command == "fmea") {
-      rc = cmd_fmea(model, *options, sink, pool, out, err);
-    } else if (command == "sensitivity") {
-      rc = cmd_sensitivity(model, *options, sink, out, err);
-    } else if (command == "report") {
-      rc = cmd_report(model, *options, sink, out, err);
-    } else {
-      err << "error: unknown command '" << command << "'\n" << kUsage;
-      return 2;
-    }
-  } catch (const Error& error) {
-    err << "error: " << error.what() << "\n";
-    if (!sink.empty()) err << sink.render_table();
-    return exit_code_for(error.kind());
+  if (options->request.command == "serve") return cmd_serve(*options, out, err);
+  if (args[0] == "call") return cmd_call(*options, out, err);
+  // Local cold run: one request through the shared runner, byte-for-byte
+  // the pre-daemon CLI behaviour. Unknown commands are caught up front so
+  // the usage text can accompany the error.
+  service::ServiceRunner::Options runner_options;
+  runner_options.cache_dir = options->cache_dir;
+  service::ServiceRunner runner(runner_options);
+  // The request's --output path is handled inside the runner; the CLI only
+  // relays the streams.
+  service::ServiceResult result = runner.execute(options->request);
+  out << result.output;
+  err << result.log;
+  if (result.exit_code == 2 &&
+      result.log.find("unknown command") != std::string::npos) {
+    err << kUsage;
   }
-  if (!sink.empty()) err << sink.render_table();
-  if (rc != 0) return rc;
-  return sink.has_errors() ? 1 : 0;
+  return result.exit_code;
 }
 
 }  // namespace ftsynth::cli

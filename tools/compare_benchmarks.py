@@ -4,6 +4,8 @@
 Usage:
     tools/compare_benchmarks.py BASELINE.json CANDIDATE.json
         [--threshold PCT] [--filter REGEX] [--metric METRIC]
+    tools/compare_benchmarks.py --service-report RESULTS.json
+        [--min-speedup X]
 
 Pairs benchmark records by name (e.g. "BM_ZbddReplicated/6/4") and prints
 one line per pair with the baseline time, the candidate time and the
@@ -12,6 +14,14 @@ relative change. Exits 1 when any matched benchmark regressed by more than
 one file are listed but never fail the comparison, and two files with no
 benchmark in common compare clean with a warning (a new suite simply has
 no baseline yet).
+
+--service-report reads ONE results file (bench_results/BENCH_service.json,
+produced by bench/bench_service.cpp) and reports the daemon's warm-vs-cold
+request latency per workload: every BM_Service<Workload>Cold* record is
+read against its BM_Service<Workload>WarmDaemon counterpart, BBW
+warm/cold-cache methodology. With --min-speedup X the report exits 1 when
+any workload's ColdProcess/WarmDaemon ratio falls below X (the acceptance
+bar runs it with --min-speedup 5).
 
 Results are only meaningful between files produced the same way (same
 machine class, Release build -- see tools/run_benchmarks.sh). The files in
@@ -50,12 +60,88 @@ def load_benchmarks(path: str, metric: str) -> dict[str, float]:
     return out
 
 
+def service_report(path: str, metric: str, min_speedup: float) -> int:
+    """Warm-vs-cold daemon latency from one BENCH_service.json file."""
+    times = load_benchmarks(path, metric)
+    pattern = re.compile(r"^BM_Service(.+?)(ColdProcess|ColdWithDiskCache|WarmDaemon)$")
+    workloads: dict[str, dict[str, float]] = {}
+    for name, value in times.items():
+        match = pattern.match(name)
+        if match:
+            workloads.setdefault(match.group(1), {})[match.group(2)] = value
+
+    pairs = {
+        name: axes
+        for name, axes in sorted(workloads.items())
+        if "WarmDaemon" in axes and ("ColdProcess" in axes or "ColdWithDiskCache" in axes)
+    }
+    if not pairs:
+        print(
+            "error: no Cold*/WarmDaemon benchmark pairs in " + path,
+            file=sys.stderr,
+        )
+        return 1
+
+    width = max(len(name) for name in pairs)
+    too_slow = []
+    print(
+        f"{'workload':<{width}}  {'cold ms':>10}  {'cold+disk ms':>13}  "
+        f"{'warm ms':>10}  speedup"
+    )
+    for name, axes in pairs.items():
+        warm = axes["WarmDaemon"]
+        cold = axes.get("ColdProcess")
+        disk = axes.get("ColdWithDiskCache")
+        cold_text = f"{cold:>10.2f}" if cold is not None else f"{'-':>10}"
+        disk_text = f"{disk:>13.2f}" if disk is not None else f"{'-':>13}"
+        if cold is not None and warm > 0:
+            speedup = cold / warm
+            speedup_text = f"{speedup:>6.1f}x"
+        else:
+            speedup = None
+            speedup_text = f"{'-':>7}"
+        print(f"{name:<{width}}  {cold_text}  {disk_text}  {warm:>10.2f}  {speedup_text}")
+        if speedup is not None and min_speedup > 0 and speedup < min_speedup:
+            too_slow.append((name, speedup))
+
+    if too_slow:
+        print(
+            f"\n{len(too_slow)} workload(s) below the {min_speedup:.0f}x "
+            "warm-daemon bar:",
+            file=sys.stderr,
+        )
+        for name, speedup in too_slow:
+            print(f"  {name}: {speedup:.1f}x", file=sys.stderr)
+        return 1
+    if min_speedup > 0:
+        print(f"\nok: every workload meets the {min_speedup:.0f}x warm-daemon bar")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Diff two google-benchmark JSON files."
     )
-    parser.add_argument("baseline", help="committed reference JSON")
-    parser.add_argument("candidate", help="freshly measured JSON")
+    parser.add_argument(
+        "baseline", nargs="?", help="committed reference JSON"
+    )
+    parser.add_argument(
+        "candidate", nargs="?", help="freshly measured JSON"
+    )
+    parser.add_argument(
+        "--service-report",
+        metavar="RESULTS",
+        help="report daemon warm-vs-cold latency from one "
+        "BENCH_service.json instead of diffing two files",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="with --service-report: fail when any workload's "
+        "ColdProcess/WarmDaemon ratio is below X (default: report only)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -77,6 +163,11 @@ def main() -> int:
         help="which per-iteration time to compare (default: %(default)s)",
     )
     args = parser.parse_args()
+
+    if args.service_report:
+        return service_report(args.service_report, args.metric, args.min_speedup)
+    if args.baseline is None or args.candidate is None:
+        parser.error("BASELINE and CANDIDATE are required unless --service-report")
 
     baseline = load_benchmarks(args.baseline, args.metric)
     candidate = load_benchmarks(args.candidate, args.metric)
