@@ -74,8 +74,11 @@ std::string ConeCacheStats::to_string() const {
   std::ostringstream out;
   out << "cone cache: " << hits << " hit(s), " << misses << " miss(es), "
       << stores << " store(s), " << evictions << " eviction(s), " << entries
-      << " entr" << (entries == 1 ? "y" : "ies") << ", ~" << bytes
-      << " bytes resident";
+      << " entr" << (entries == 1 ? "y" : "ies");
+  if (diagram_entries != 0) out << " (" << diagram_entries << " diagram)";
+  out << ", ~" << bytes << " bytes resident";
+  if (skipped_oversize != 0)
+    out << ", " << skipped_oversize << " oversize skip(s)";
   if (disk_entries_loaded != 0 || disk_files_rejected != 0) {
     out << "; disk: " << disk_entries_loaded << " entr"
         << (disk_entries_loaded == 1 ? "y" : "ies") << " loaded, "
@@ -101,6 +104,20 @@ std::shared_ptr<const ConeFamily> ConeCache::find(
   return nullptr;
 }
 
+ConeCache::ConeHit ConeCache::find_any(const StructuralHash& hash) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  ConeHit hit;
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (auto it = shard.map.find(hash); it != shard.map.end()) {
+    hit.family = it->second;
+  } else if (auto dit = shard.diagrams.find(hash); dit != shard.diagrams.end()) {
+    hit.diagram = dit->second;
+  }
+  (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
 void ConeCache::store(const StructuralHash& hash, ConeFamily family) {
   if (entries_.load(std::memory_order_relaxed) >= max_entries_) {
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -111,10 +128,29 @@ void ConeCache::store(const StructuralHash& hash, ConeFamily family) {
   Shard& shard = shard_for(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
   // First writer wins: concurrent stores for one hash computed the same
-  // clean family, so dropping the duplicate loses nothing.
+  // clean family, so dropping the duplicate loses nothing. A hash is one
+  // entry of ONE kind; an existing diagram entry also blocks the store.
+  if (shard.diagrams.find(hash) != shard.diagrams.end()) return;
   if (!shard.map.emplace(hash, std::move(value)).second) return;
   stores_.fetch_add(1, std::memory_order_relaxed);
   entries_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ConeCache::store_diagram(const StructuralHash& hash, ConeDiagram diagram) {
+  if (entries_.load(std::memory_order_relaxed) >= max_entries_) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto value = std::make_shared<const ConeDiagram>(std::move(diagram));
+  const std::size_t bytes = sizeof(ConeDiagram) + value->node_bytes();
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.find(hash) != shard.map.end()) return;
+  if (!shard.diagrams.emplace(hash, std::move(value)).second) return;
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  diagram_entries_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
@@ -126,9 +162,11 @@ ConeCacheStats ConeCache::stats() const {
   stats.stores = stores_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.entries = entries_.load(std::memory_order_relaxed);
+  stats.diagram_entries = diagram_entries_.load(std::memory_order_relaxed);
   stats.bytes = bytes_.load(std::memory_order_relaxed);
   stats.disk_entries_loaded = disk_entries_loaded_.load(std::memory_order_relaxed);
   stats.disk_files_rejected = disk_files_rejected_.load(std::memory_order_relaxed);
+  stats.skipped_oversize = skipped_oversize_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -248,13 +286,56 @@ bool ConeCache::load(const std::string& directory, DiagnosticSink* sink) {
     }
     staged.emplace_back(*hash, std::move(family));
   }
+  std::size_t diagram_count = 0;
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> magic >> diagram_count) ||
+      magic != "diagrams")
+    return reject("malformed diagrams line");
+  std::vector<std::pair<StructuralHash, ConeDiagram>> staged_diagrams;
+  staged_diagrams.reserve(diagram_count);
+  for (std::size_t i = 0; i < diagram_count; ++i) {
+    if (!std::getline(in, line)) return reject("truncated diagram list");
+    std::istringstream diagram_line(line);
+    std::string tag, hash_hex;
+    std::size_t node_count = 0, root = 0;
+    if (!(diagram_line >> tag >> hash_hex >> node_count >> root) || tag != "d")
+      return reject("malformed diagram record");
+    const std::optional<StructuralHash> hash =
+        StructuralHash::from_hex(hash_hex);
+    if (!hash) return reject("malformed diagram hash");
+    if (node_count > kMaxCachedDiagramNodes)
+      return reject("diagram record over the node cap");
+    if (root >= node_count + 2) return reject("diagram root out of range");
+    ConeDiagram diagram;
+    diagram.root = static_cast<std::uint32_t>(root);
+    diagram.nodes.reserve(node_count);
+    for (std::size_t n = 0; n < node_count; ++n) {
+      if (!std::getline(in, line)) return reject("truncated diagram record");
+      std::istringstream node_line(line);
+      std::size_t id = 0, low = 0, high = 0;
+      if (!(node_line >> tag >> id >> low >> high) || tag != "n")
+        return reject("malformed diagram node");
+      if (id >= 2 * events.size())
+        return reject("diagram literal outside the event table");
+      // Topological invariant: children refer to already-read slots only.
+      if (low >= n + 2 || high >= n + 2)
+        return reject("diagram child slot out of order");
+      diagram.nodes.push_back({events[id / 2], (id & 1) != 0,
+                               static_cast<std::uint32_t>(low),
+                               static_cast<std::uint32_t>(high)});
+    }
+    staged_diagrams.emplace_back(*hash, std::move(diagram));
+  }
   if (!std::getline(in, line) ||
       !(std::istringstream(line) >> magic >> cone_count) || magic != "end" ||
-      cone_count != staged.size())
+      cone_count != staged.size() + staged_diagrams.size())
     return reject("missing end marker (truncated)");
 
   for (auto& [hash, family] : staged) store(hash, std::move(family));
-  disk_entries_loaded_.fetch_add(staged.size(), std::memory_order_relaxed);
+  for (auto& [hash, diagram] : staged_diagrams)
+    store_diagram(hash, std::move(diagram));
+  disk_entries_loaded_.fetch_add(staged.size() + staged_diagrams.size(),
+                                 std::memory_order_relaxed);
   return true;
 }
 
@@ -262,13 +343,19 @@ bool ConeCache::save(const std::string& directory, DiagnosticSink* sink) const {
   // Snapshot the shards (shared_ptr copies: writers stay unblocked).
   std::vector<std::pair<StructuralHash, std::shared_ptr<const ConeFamily>>>
       snapshot;
+  std::vector<std::pair<StructuralHash, std::shared_ptr<const ConeDiagram>>>
+      diagram_snapshot;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [hash, family] : shard.map)
       snapshot.emplace_back(hash, family);
+    for (const auto& [hash, diagram] : shard.diagrams)
+      diagram_snapshot.emplace_back(hash, diagram);
   }
   // Deterministic file content: entries in hash order.
   std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(diagram_snapshot.begin(), diagram_snapshot.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
   // Intern the event table: every literal id is 2 * table index + negated.
@@ -299,6 +386,28 @@ bool ConeCache::save(const std::string& directory, DiagnosticSink* sink) const {
       }
     }
   }
+  const auto name_writable = [](Symbol event) {
+    const std::string_view name = event.view();
+    return !name.empty() && name.find('\n') == std::string_view::npos &&
+           name.find('\r') == std::string_view::npos;
+  };
+  std::vector<std::size_t> kept_diagrams;
+  for (std::size_t i = 0; i < diagram_snapshot.size(); ++i) {
+    const ConeDiagram& diagram = *diagram_snapshot[i].second;
+    bool writable = true;
+    for (const ConeDiagramNode& node : diagram.nodes) {
+      if (!name_writable(node.event)) {
+        writable = false;
+        break;
+      }
+    }
+    if (!writable) continue;
+    kept_diagrams.push_back(i);
+    for (const ConeDiagramNode& node : diagram.nodes) {
+      if (event_index.emplace(node.event, events.size()).second)
+        events.push_back(node.event);
+    }
+  }
 
   std::ostringstream body;
   body << "events " << events.size() << "\n";
@@ -316,7 +425,18 @@ bool ConeCache::save(const std::string& directory, DiagnosticSink* sink) const {
       body << "\n";
     }
   }
-  body << "end " << kept.size() << "\n";
+  body << "diagrams " << kept_diagrams.size() << "\n";
+  for (std::size_t i : kept_diagrams) {
+    const ConeDiagram& diagram = *diagram_snapshot[i].second;
+    body << "d " << diagram_snapshot[i].first.to_hex() << " "
+         << diagram.nodes.size() << " " << diagram.root << "\n";
+    for (const ConeDiagramNode& node : diagram.nodes) {
+      body << "n "
+           << 2 * event_index.at(node.event) + (node.negated ? 1 : 0) << " "
+           << node.low << " " << node.high << "\n";
+    }
+  }
+  body << "end " << kept.size() + kept_diagrams.size() << "\n";
   const std::string body_text = body.str();
 
   const auto fail = [&](const std::string& why) {

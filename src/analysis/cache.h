@@ -67,6 +67,35 @@ struct ConeFamily {
   std::size_t literal_count() const noexcept;
 };
 
+/// One node of a serialised cone ZBDD. Children are identified by SLOT:
+/// 0 is the empty family, 1 is {{}} (the base terminal), and k + 2 is
+/// nodes[k]. Serialisation is topological -- every child slot refers to an
+/// earlier node -- which the loader verifies, so a diagram can be rebuilt
+/// in one forward pass.
+struct ConeDiagramNode {
+  Symbol event;
+  bool negated = false;
+  std::uint32_t low = 0;   ///< sets without the literal
+  std::uint32_t high = 0;  ///< sets containing it (literal stripped)
+};
+
+/// The exact minimal family of one cone as ZBDD *structure* instead of an
+/// extracted set list. This is the record kind that makes big cones
+/// cacheable: a family of 2^n sets blows past kMaxCachedSets while its
+/// diagram stays at O(n) nodes. The structure is serialised under the
+/// producer's variable order at store time; consumers rebuild it with
+/// order-independent set algebra (union/product), so any current order --
+/// static or sifted -- adopts it and re-canonicalises locally, exactly
+/// like family entries.
+struct ConeDiagram {
+  std::vector<ConeDiagramNode> nodes;  ///< children strictly before parents
+  std::uint32_t root = 0;              ///< slot encoding as above
+
+  std::size_t node_bytes() const noexcept {
+    return nodes.size() * sizeof(ConeDiagramNode);
+  }
+};
+
 /// Identifies the result space a cache's entries live in. Families are
 /// only valid for the engine and limit configuration they were computed
 /// under: limits that never fire leave the family exact, but a consumer
@@ -99,10 +128,17 @@ struct ConeCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;           ///< entries accepted into the cache
   std::uint64_t evictions = 0;        ///< stores refused by the entry cap
-  std::uint64_t entries = 0;          ///< resident entries
+  std::uint64_t entries = 0;          ///< resident entries (both kinds)
+  std::uint64_t diagram_entries = 0;  ///< of which diagram-structure kind
   std::uint64_t bytes = 0;            ///< approximate resident payload bytes
   std::uint64_t disk_entries_loaded = 0;   ///< entries adopted by load()
   std::uint64_t disk_files_rejected = 0;   ///< stale/corrupt files ignored
+  /// Clean cones an engine computed but could not cache because the
+  /// family was over kMaxCachedSets AND (for engines that can serialise
+  /// structure) the diagram was over kMaxCachedDiagramNodes -- the
+  /// "miss that will miss again" the diagram record kind exists to
+  /// shrink. Distinguishes "cold" from "uncacheable" in --verbose output.
+  std::uint64_t skipped_oversize = 0;
 
   /// "cone cache: 12 hits / 4 misses ..." one-line rendering.
   std::string to_string() const;
@@ -118,8 +154,13 @@ class ConeCache {
   /// evictions) so a pathological batch cannot grow without bound.
   static constexpr std::size_t kDefaultMaxEntries = 1u << 20;
   /// Families larger than this are not worth caching (converting them
-  /// costs as much as recomputing); engines skip the store.
+  /// costs as much as recomputing); engines skip the store -- or, when
+  /// they can, store the diagram structure instead.
   static constexpr std::size_t kMaxCachedSets = 4096;
+  /// Node cap for diagram-structure entries. Orthogonal to kMaxCachedSets
+  /// on purpose: the families worth caching as diagrams are exactly the
+  /// ones whose set count dwarfs their node count.
+  static constexpr std::size_t kMaxCachedDiagramNodes = 1u << 16;
 
   explicit ConeCache(ConeKeyspace keyspace = {},
                      std::size_t max_entries = kDefaultMaxEntries);
@@ -132,9 +173,37 @@ class ConeCache {
   /// The cached family for `hash`, or nullptr (counted as hit/miss).
   std::shared_ptr<const ConeFamily> find(const StructuralHash& hash) const;
 
+  /// An entry of either kind under ONE logical lookup (one hit or miss is
+  /// counted, never both). At most one pointer is set: a hash is stored
+  /// as a family or as a diagram, never both.
+  struct ConeHit {
+    std::shared_ptr<const ConeFamily> family;
+    std::shared_ptr<const ConeDiagram> diagram;
+
+    explicit operator bool() const noexcept {
+      return family != nullptr || diagram != nullptr;
+    }
+  };
+
+  /// Like find(), but also serves diagram-structure entries. Engines that
+  /// can rebuild from structure (zbdd) use this; the set-list engines keep
+  /// using find() and never observe diagram entries.
+  ConeHit find_any(const StructuralHash& hash) const;
+
   /// Stores `family` under `hash`. First writer wins; a concurrent
   /// duplicate store is dropped (the families are equal by construction).
   void store(const StructuralHash& hash, ConeFamily family);
+
+  /// Stores diagram structure under `hash` (first writer wins, same as
+  /// store()). The caller is responsible for only storing CLEAN, exact
+  /// diagrams -- the same contract as families.
+  void store_diagram(const StructuralHash& hash, ConeDiagram diagram);
+
+  /// Records one clean-but-uncacheable cone (see
+  /// ConeCacheStats::skipped_oversize).
+  void note_oversize_skip() noexcept {
+    skipped_oversize_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   ConeCacheStats stats() const;
 
@@ -150,7 +219,9 @@ class ConeCache {
   // across runs).
 
   /// Version of the on-disk format; bumped on any layout change.
-  static constexpr int kFormatVersion = 1;
+  /// v2 added the diagram-structure record kind (`d` + `n` lines); v1
+  /// files are rejected as stale and rewritten, costing one cold run.
+  static constexpr int kFormatVersion = 2;
   /// Tag of the variable-order scheme the interned literal ids follow
   /// (analysis/ordering.h); bumped if the ordering heuristic changes.
   static constexpr std::string_view kOrderScheme = "dfs-occurrence-v1";
@@ -180,6 +251,9 @@ class ConeCache {
     std::unordered_map<StructuralHash, std::shared_ptr<const ConeFamily>,
                        StructuralHashHasher>
         map;
+    std::unordered_map<StructuralHash, std::shared_ptr<const ConeDiagram>,
+                       StructuralHashHasher>
+        diagrams;
   };
 
   static constexpr std::size_t kShards = 16;
@@ -197,9 +271,11 @@ class ConeCache {
   std::atomic<std::uint64_t> stores_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> diagram_entries_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> disk_entries_loaded_{0};
   std::atomic<std::uint64_t> disk_files_rejected_{0};
+  std::atomic<std::uint64_t> skipped_oversize_{0};
 };
 
 /// Test-only fault injection for the persistence path. The hook runs

@@ -487,6 +487,12 @@ bool cacheable_cone(const FtNode* node) noexcept {
   return node->kind() == NodeKind::kGate && node->gate() != GateKind::kNot;
 }
 
+/// How many sets the ZBDD engine samples for the LISTING once keep_diagram
+/// is on and the diagram has proved the family over max_sets (the run is
+/// flagged truncated regardless; the reliability numbers come exact from
+/// the diagram). Comfortably above the 20 sets report rendering shows.
+constexpr std::size_t kDiagramSampleSets = 512;
+
 /// Shared root fast-path: when the WHOLE tree's cone is cached, no engine
 /// needs to run at all. Returns the finished analysis on a hit.
 std::optional<CutSetAnalysis> cached_root_analysis(const FaultTree& flat,
@@ -529,7 +535,12 @@ class BottomUp {
     if (cone_cache_ == nullptr) return;
     for (const auto& [node, sets] : memo_) {
       if (!cacheable_cone(node)) continue;
-      if (sets.size() > ConeCache::kMaxCachedSets) continue;
+      if (sets.size() > ConeCache::kMaxCachedSets) {
+        // Clean but uncacheable: this engine has no structural form to
+        // fall back to (the ZBDD engine stores the diagram instead).
+        cone_cache_->note_oversize_skip();
+        continue;
+      }
       cone_cache_->store(hashes_->at(node), family_from_sets(sets, context_));
     }
   }
@@ -744,6 +755,25 @@ ConeKeyspace cone_keyspace(const CutSetOptions& options) {
           options.max_sets};
 }
 
+std::string to_string(ProbMode mode) {
+  switch (mode) {
+    case ProbMode::kCutSets:
+      return "cutsets";
+    case ProbMode::kDiagram:
+      return "diagram";
+    case ProbMode::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+std::optional<ProbMode> parse_prob_mode(std::string_view text) {
+  if (text == "cutsets") return ProbMode::kCutSets;
+  if (text == "diagram") return ProbMode::kDiagram;
+  if (text == "auto") return ProbMode::kAuto;
+  return std::nullopt;
+}
+
 CutSetAnalysis minimal_cut_sets(const FaultTree& tree,
                                 const CutSetOptions& options) {
   FaultTree flat = normalise(tree);
@@ -774,8 +804,12 @@ CutSetAnalysis mocus_cut_sets(const FaultTree& tree,
   // MOCUS only materialises the root family; publish it so a warm re-run
   // (or a later tree with this exact cone) short-circuits at the top.
   if (cache != nullptr && context.clean() && flat.top() != nullptr &&
-      cacheable_cone(flat.top()) && sets.size() <= ConeCache::kMaxCachedSets) {
-    cache->store(hashes.at(flat.top()), family_from_sets(sets, context));
+      cacheable_cone(flat.top())) {
+    if (sets.size() <= ConeCache::kMaxCachedSets) {
+      cache->store(hashes.at(flat.top()), family_from_sets(sets, context));
+    } else {
+      cache->note_oversize_skip();
+    }
   }
   CutSetAnalysis analysis = context.finish(std::move(sets));
   remap_events(analysis, tree);
@@ -849,7 +883,11 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
     return std::move(*hit);
   }
 
-  Zbdd zbdd;
+  // The manager lives inside the diagram handle so that keep_diagram can
+  // hand it to the caller without a move; without the flag the handle
+  // simply dies with this frame.
+  auto diagram_handle = std::make_shared<CutSetDiagram>();
+  Zbdd& zbdd = diagram_handle->zbdd;
   // Literal id == ZBDD variable: two per event, the plain polarity first,
   // events in depth-first occurrence order (the shared static heuristic --
   // the SEED order; the sift policies may move it afterwards).
@@ -868,6 +906,7 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
   // runs too: the diagram stays valid when an operation throws.
   Zbdd::Ref contra = Zbdd::kEmpty;
   Zbdd::Ref root = Zbdd::kEmpty;
+  bool conversion_complete = false;
   std::unordered_map<const FtNode*, Zbdd::Ref> memo;
   SiftStats sift_total;
   try {
@@ -904,6 +943,32 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
       return acc;
     };
 
+    // Cached diagram structure -> diagram: one forward pass over the
+    // serialised nodes (children strictly precede parents), each rebuilt
+    // as low UNION ({{v}} PRODUCT high). That is make(v, low, high)
+    // expressed through public, order-INDEPENDENT set algebra, so a
+    // consumer under any current level order -- static, or moved by a
+    // different sift history than the producer's -- adopts the entry and
+    // re-canonicalises locally. This is what makes cones bigger than
+    // kMaxCachedSets warm-startable: the family is never enumerated.
+    auto ref_from_diagram =
+        [&](const ConeDiagram& cached) -> std::optional<Zbdd::Ref> {
+      std::vector<Zbdd::Ref> slots;
+      slots.reserve(cached.nodes.size() + 2);
+      slots.push_back(Zbdd::kEmpty);
+      slots.push_back(Zbdd::kBase);
+      for (const ConeDiagramNode& node : cached.nodes) {
+        const int id = context.literal_id_by_name(node.event, node.negated);
+        if (id < 0) return std::nullopt;
+        if (node.low >= slots.size() || node.high >= slots.size())
+          return std::nullopt;
+        slots.push_back(zbdd.set_union(
+            slots[node.low], zbdd.product(zbdd.single(id), slots[node.high])));
+      }
+      if (cached.root >= slots.size()) return std::nullopt;
+      return slots[cached.root];
+    };
+
     // Everything resolvable without recursing into gate children: memo
     // hits, cached cones, leaves and (normalised) NOT gates. AND/OR gates
     // return nullopt and get an explicit conversion frame below.
@@ -911,9 +976,11 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
         [&](const FtNode* node) -> std::optional<Zbdd::Ref> {
       if (auto it = memo.find(node); it != memo.end()) return it->second;
       if (cache != nullptr && cacheable_cone(node)) {
-        if (const std::shared_ptr<const ConeFamily> family =
-                cache->find(hashes.at(node))) {
-          if (std::optional<Zbdd::Ref> cached = ref_from_family(*family)) {
+        if (const ConeCache::ConeHit hit = cache->find_any(hashes.at(node))) {
+          std::optional<Zbdd::Ref> cached =
+              hit.family != nullptr ? ref_from_family(*hit.family)
+                                    : ref_from_diagram(*hit.diagram);
+          if (cached) {
             memo.emplace(node, *cached);
             return *cached;
           }
@@ -1015,6 +1082,7 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
       return memo.at(top);
     };
     root = zbdd.minimal(convert(flat.top()));
+    conversion_complete = true;
     // For the symbolic engine the working set IS the diagram.
     context.track_peak(zbdd.size());
 
@@ -1029,12 +1097,24 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
 
     // Extract the minimal family. The limits apply per path: long sets
     // are skipped (max_order), the enumeration stops at max_sets.
+    //
+    // Diagram-native mode makes extraction a LISTING concern only: the
+    // reliability numbers come from diagram sweeps, so once set_count()
+    // proves the family over max_sets (the run is truncated either way)
+    // there is no reason to enumerate the full quota -- a bounded sample
+    // keeps the listing informative while the dominant cost of huge-family
+    // runs disappears.
+    std::size_t extract_cap = context.options().max_sets;
+    if (options.keep_diagram &&
+        zbdd.set_count(root) > static_cast<double>(extract_cap)) {
+      extract_cap = std::min(extract_cap, kDiagramSampleSets);
+    }
     std::vector<int> path;
     bool truncated_paths = false;
     auto extract = [&](auto&& self, Zbdd::Ref ref) -> void {
       if (context.deadline_hit()) return;
       if (ref == Zbdd::kEmpty) return;
-      if (sets.size() > context.options().max_sets) {
+      if (sets.size() > extract_cap) {
         truncated_paths = true;
         return;
       }
@@ -1062,11 +1142,66 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
     // re-canonicalise (sort literals per set, sets by set_less) -- cache
     // contents, like stdout, must be byte-identical across policies.
     if (cache != nullptr && context.clean() && !context.deadline_hit()) {
+      // Cone diagram -> serialised structure, postorder (low child first)
+      // so children land on earlier slots than every parent. Serialised
+      // under the CURRENT variable order; consumers rebuild with
+      // order-independent algebra, so the entry stays valid whatever
+      // order they run under (the file bytes, unlike family entries, DO
+      // depend on the producer's order policy -- an accepted asymmetry,
+      // documented in docs/FORMATS.md, that never reaches stdout because
+      // extraction re-canonicalises).
+      auto diagram_from_ref = [&](Zbdd::Ref ref) -> ConeDiagram {
+        ConeDiagram out;
+        std::unordered_map<Zbdd::Ref, std::uint32_t> slot;
+        auto slot_of = [&](Zbdd::Ref r) -> std::uint32_t {
+          if (r == Zbdd::kEmpty) return 0;
+          if (r == Zbdd::kBase) return 1;
+          return slot.at(r) + 2;
+        };
+        struct Frame {
+          Zbdd::Ref ref;
+          int stage;  // 0 = visit low, 1 = visit high, 2 = emit
+        };
+        std::vector<Frame> stack;
+        if (!zbdd.is_terminal(ref)) stack.push_back({ref, 0});
+        while (!stack.empty()) {
+          Frame& frame = stack.back();
+          if (frame.stage == 2) {
+            if (slot.find(frame.ref) == slot.end()) {
+              const Zbdd::Node& node = zbdd.node(frame.ref);
+              const std::uint32_t low = slot_of(node.low);
+              const std::uint32_t high = slot_of(node.high);
+              slot.emplace(frame.ref,
+                           static_cast<std::uint32_t>(out.nodes.size()));
+              out.nodes.push_back({context.event_of(node.var)->name(),
+                                   (node.var & 1) != 0, low, high});
+            }
+            stack.pop_back();
+            continue;
+          }
+          const Zbdd::Node& node = zbdd.node(frame.ref);
+          const Zbdd::Ref child = frame.stage == 0 ? node.low : node.high;
+          ++frame.stage;
+          if (!zbdd.is_terminal(child) && slot.find(child) == slot.end())
+            stack.push_back({child, 0});
+        }
+        out.root = slot_of(ref);
+        return out;
+      };
       for (const auto& [node, ref] : memo) {
         if (!cacheable_cone(node)) continue;
         if (zbdd.set_count(ref) >
-            static_cast<double>(ConeCache::kMaxCachedSets))
+            static_cast<double>(ConeCache::kMaxCachedSets)) {
+          // Too many sets to enumerate -- the very cones the diagram
+          // record kind exists for. Only a diagram too big for the node
+          // cap stays uncacheable.
+          if (zbdd.node_count(ref) <= ConeCache::kMaxCachedDiagramNodes) {
+            cache->store_diagram(hashes.at(node), diagram_from_ref(ref));
+          } else {
+            cache->note_oversize_skip();
+          }
           continue;
+        }
         std::vector<Set> cone_sets;
         zbdd.for_each_set(ref, [&](const std::vector<int>& literals) {
           cone_sets.push_back(context.set_from_literals(literals));
@@ -1110,6 +1245,24 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
   CutSetAnalysis analysis = context.finish(context.clamp(std::move(sets)));
   analysis.reorder = std::move(report);
   remap_events(analysis, tree);
+
+  if (options.keep_diagram) {
+    // The manager outlives this frame inside the handle: detach the
+    // run-local budget copy (it dies here) and drop everything but the
+    // family itself.
+    zbdd.set_budget(nullptr);
+    zbdd.collect_garbage({root});
+    diagram_handle->root = root;
+    diagram_handle->exact = conversion_complete;
+    diagram_handle->events.reserve(order.size());
+    // Same remap as cut-set literals: variable 2r/2r+1 -> the original
+    // tree's equally-named leaf (null only for a leaf the normalised copy
+    // invented, which remap_events above would have rejected for any
+    // literal actually reachable).
+    for (const FtNode* event : order)
+      diagram_handle->events.push_back(tree.find_event(event->name()));
+    analysis.diagram = std::move(diagram_handle);
+  }
   return analysis;
 }
 

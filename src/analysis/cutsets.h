@@ -34,11 +34,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/ordering.h"
+#include "bdd/zbdd.h"
 #include "core/budget.h"
 #include "fta/fault_tree.h"
 
@@ -53,6 +56,27 @@ enum class CutSetEngine {
   kMocus,   ///< top-down MOCUS row expansion
   kZbdd,    ///< symbolic ZBDD engine
 };
+
+/// How the reporting layer computes probabilities and importance
+/// (CLI --prob-mode). kCutSets evaluates over the extracted family --
+/// the classic path, partial whenever extraction truncated. kDiagram
+/// keeps the ZBDD engine's minimal-family diagram past extraction
+/// (CutSetOptions::keep_diagram) and evaluates measures by diagram
+/// traversal (bdd/zbdd_prob.h): on clean runs the rendered numbers are
+/// byte-identical to kCutSets (same kernels, same family), and on runs
+/// whose family blew past max_sets the numbers are EXACT where the
+/// cut-set path's were partial. kAuto picks kDiagram exactly when the
+/// ZBDD engine is active (the set-based engines have no diagram and
+/// always use the family).
+enum class ProbMode {
+  kCutSets,
+  kDiagram,
+  kAuto,
+};
+
+/// CLI spelling: "cutsets" | "diagram" | "auto".
+std::string to_string(ProbMode mode);
+std::optional<ProbMode> parse_prob_mode(std::string_view text);
 
 struct CutSetOptions {
   /// Engine selection; every engine honours the limits below and returns
@@ -89,6 +113,14 @@ struct CutSetOptions {
   /// the policy only changes diagram size and time. The set-based engines
   /// ignore it.
   OrderPolicy order = OrderPolicy::kStatic;
+  /// ZBDD engine only: retain the minimal-family diagram on the returned
+  /// analysis (CutSetAnalysis::diagram) for diagram-native probability and
+  /// importance. Also caps path extraction: once the diagram proves the
+  /// family larger than max_sets, only a bounded sample of sets is
+  /// extracted for the listing (flagged truncated exactly as the full
+  /// extraction would have been) -- the reliability numbers no longer
+  /// need the paths. The set-based engines ignore the flag.
+  bool keep_diagram = false;
 };
 
 /// One literal of a cut set: an event, possibly negated.
@@ -119,6 +151,23 @@ struct ReorderReport {
   std::vector<std::string> final_order;
 };
 
+/// The ZBDD engine's minimal-family diagram, retained past extraction when
+/// CutSetOptions::keep_diagram is set. Self-contained: the manager, the
+/// family root, and the event behind each variable pair.
+struct CutSetDiagram {
+  Zbdd zbdd;
+  Zbdd::Ref root = Zbdd::kEmpty;
+  /// events[r] owns ZBDD variables 2r (plain) and 2r + 1 (negated).
+  /// Pointers into the ORIGINAL analysed tree, remapped exactly like
+  /// cut-set literals; null for variables absent from the diagram.
+  std::vector<const FtNode*> events;
+  /// True when the symbolic conversion ran to completion: the diagram is
+  /// then the exact complete minimal family, even when path EXTRACTION
+  /// was truncated or sampled -- the case diagram-native analysis exists
+  /// for. False after a node-limit or deadline interrupt mid-conversion.
+  bool exact = false;
+};
+
 /// Result of a cut-set computation. Literals point INTO the analysed tree:
 /// the FaultTree must outlive the analysis (do not pass a temporary).
 struct CutSetAnalysis {
@@ -128,6 +177,9 @@ struct CutSetAnalysis {
   std::size_t peak_sets = 0;     ///< working-set high-water mark (bench metric)
   /// Reordering stats (ZBDD engine only; empty for the set-based engines).
   std::optional<ReorderReport> reorder;
+  /// The retained diagram (ZBDD engine with keep_diagram only). Shared
+  /// ownership: the analysis is copyable/movable as before.
+  std::shared_ptr<const CutSetDiagram> diagram;
 
   /// Smallest cut set order present (0 when there are no cut sets).
   std::size_t min_order() const noexcept;

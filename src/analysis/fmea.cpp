@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "bdd/zbdd_prob.h"
 #include "core/error.h"
 #include "core/strings.h"
 #include "core/text_table.h"
@@ -17,7 +18,7 @@ bool FmeaRow::has_direct_effect() const noexcept {
 std::vector<FmeaRow> synthesise_fmea(
     const std::vector<const FaultTree*>& trees,
     const std::vector<const CutSetAnalysis*>& cut_sets,
-    const ProbabilityOptions& options) {
+    const ProbabilityOptions& options, ProbMode mode) {
   require(trees.size() == cut_sets.size(), ErrorKind::kAnalysis,
           "synthesise_fmea needs one cut-set analysis per tree");
 
@@ -25,9 +26,66 @@ std::vector<FmeaRow> synthesise_fmea(
   // in one row. std::map keeps deterministic ordering.
   std::map<Symbol, FmeaRow> rows;
 
+  // Shared by both regimes: find-or-create the row and its per-top effect
+  // record for one failure-mode event.
+  auto effect_of = [&rows](const FtNode* event,
+                           const std::string& top) -> FmeaEffect& {
+    FmeaRow& row = rows[event->name()];
+    if (row.event == nullptr) {
+      row.event = event;
+      row.origin = event->origin();
+      row.rate = event->rate();
+    }
+    for (FmeaEffect& existing : row.effects)
+      if (existing.top_event == top) return existing;
+    row.effects.push_back({top, false, 0, 0.0});
+    return row.effects.back();
+  };
+
   for (std::size_t i = 0; i < trees.size(); ++i) {
     const FaultTree& tree = *trees[i];
     const CutSetAnalysis& analysis = *cut_sets[i];
+
+    // Diagram regime, per tree: same condition as analyse_reliability --
+    // requested, exact diagram present, extraction cut short. Clean trees
+    // keep the family path so output is byte-identical across modes.
+    const CutSetDiagram* diagram = analysis.diagram.get();
+    if (mode != ProbMode::kCutSets && diagram != nullptr && diagram->exact &&
+        (analysis.truncated || analysis.deadline_exceeded)) {
+      std::vector<double> var_probs(2 * diagram->events.size(), 0.0);
+      for (std::size_t r = 0; r < diagram->events.size(); ++r) {
+        const FtNode* event = diagram->events[r];
+        if (event == nullptr) continue;
+        const double q = event_probability(*event, options);
+        var_probs[2 * r] = q;
+        var_probs[2 * r + 1] = 1.0 - q;
+      }
+      ZbddMeasures measures = zbdd_measures(diagram->zbdd, diagram->root,
+                                            var_probs, options.budget);
+      if (measures.complete) {
+        // Only the plain polarity is a failure mode (the family loop
+        // below skips negated literals the same way).
+        for (std::size_t r = 0; r < diagram->events.size(); ++r) {
+          const FtNode* event = diagram->events[r];
+          if (event == nullptr) continue;
+          if (event->kind() != NodeKind::kBasic) continue;
+          if (event->has_fixed_probability()) continue;
+          const std::size_t order = measures.var_min_order[2 * r];
+          if (order == 0) continue;  // no set holds the plain literal
+          FmeaEffect& effect = effect_of(event, tree.top_description());
+          effect.direct = effect.direct || order == 1;
+          if (effect.smallest_order == 0 || order < effect.smallest_order)
+            effect.smallest_order = order;
+          if (measures.total_mass > 0.0)
+            effect.fussell_vesely +=
+                measures.var_mass[2 * r] / measures.total_mass;
+        }
+        continue;
+      }
+      // Sweep interrupted by the deadline: fall through to the (equally
+      // partial) family numbers, the classic degradation.
+    }
+
     const double total = rare_event_bound(analysis, options);
 
     for (const CutSet& cs : analysis.cut_sets) {
@@ -38,26 +96,11 @@ std::vector<FmeaRow> synthesise_fmea(
         // Data-condition events enable failures but are not failure modes.
         if (literal.event->has_fixed_probability()) continue;
 
-        FmeaRow& row = rows[literal.event->name()];
-        if (row.event == nullptr) {
-          row.event = literal.event;
-          row.origin = literal.event->origin();
-          row.rate = literal.event->rate();
-        }
-        FmeaEffect* effect = nullptr;
-        for (FmeaEffect& existing : row.effects) {
-          if (existing.top_event == tree.top_description())
-            effect = &existing;
-        }
-        if (effect == nullptr) {
-          row.effects.push_back({tree.top_description(), false, 0, 0.0});
-          effect = &row.effects.back();
-        }
-        effect->direct = effect->direct || cs.size() == 1;
-        if (effect->smallest_order == 0 ||
-            cs.size() < effect->smallest_order)
-          effect->smallest_order = cs.size();
-        if (total > 0.0) effect->fussell_vesely += p / total;
+        FmeaEffect& effect = effect_of(literal.event, tree.top_description());
+        effect.direct = effect.direct || cs.size() == 1;
+        if (effect.smallest_order == 0 || cs.size() < effect.smallest_order)
+          effect.smallest_order = cs.size();
+        if (total > 0.0) effect.fussell_vesely += p / total;
       }
     }
   }

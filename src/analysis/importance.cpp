@@ -5,49 +5,136 @@
 #include <unordered_map>
 
 #include "bdd/bdd_prob.h"
+#include "bdd/zbdd_prob.h"
 #include "core/strings.h"
 #include "core/text_table.h"
 
 namespace ftsynth {
 
-std::vector<ImportanceEntry> importance_ranking(
-    const FaultTree& tree, const CutSetAnalysis& analysis,
-    const ProbabilityOptions& options) {
+namespace {
+
+/// var_count sweeps return doubles (families can exceed 2^53 sets);
+/// saturate instead of overflowing the size_t counters.
+std::size_t count_from_double(double count) noexcept {
+  if (count >= 1.8e19) return static_cast<std::size_t>(-1);
+  return count <= 0.0 ? 0 : static_cast<std::size_t>(count + 0.5);
+}
+
+/// Combines the two polarities' smallest orders (0 = event absent).
+std::size_t min_nonzero(std::size_t a, std::size_t b) noexcept {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+}  // namespace
+
+ReliabilitySummary analyse_reliability(const FaultTree& tree,
+                                       const CutSetAnalysis& analysis,
+                                       const ProbabilityOptions& options,
+                                       ProbMode mode) {
+  ReliabilitySummary out;
   std::unordered_map<const FtNode*, ImportanceEntry> entries;
   for (const FtNode* event : tree.basic_events())
     entries.emplace(event, ImportanceEntry{event, 0.0, 0.0, 0.0, 0.0, 0, 0});
 
-  // Fussell-Vesely from the cut sets.
-  const double total = rare_event_bound(analysis, options);
-  for (const CutSet& cs : analysis.cut_sets) {
-    const double p = cut_set_probability(cs, options);
-    for (const CutLiteral& literal : cs) {
-      auto it = entries.find(literal.event);
+  // The diagram regime: requested, an exact diagram is present, AND
+  // extraction was cut short. On clean runs both modes evaluate the
+  // extracted family with the same kernels, so the rendered output is
+  // byte-identical across modes; once extraction truncates, the family
+  // numbers are partial while the diagram's are exact -- the whole point
+  // of keeping the diagram.
+  const CutSetDiagram* diagram = analysis.diagram.get();
+  bool use_diagram = mode != ProbMode::kCutSets && diagram != nullptr &&
+                     diagram->exact &&
+                     (analysis.truncated || analysis.deadline_exceeded);
+  ZbddMeasures measures;
+  if (use_diagram) {
+    // ZBDD variable 2r is the plain polarity of events[r], 2r + 1 the
+    // negated one with probability 1 - q -- the same convention
+    // cut_set_probability applies per literal.
+    std::vector<double> var_probs(2 * diagram->events.size(), 0.0);
+    for (std::size_t r = 0; r < diagram->events.size(); ++r) {
+      const FtNode* event = diagram->events[r];
+      if (event == nullptr) continue;  // variable absent from the diagram
+      const double q = event_probability(*event, options);
+      var_probs[2 * r] = q;
+      var_probs[2 * r + 1] = 1.0 - q;
+    }
+    measures = zbdd_measures(diagram->zbdd, diagram->root, var_probs,
+                             options.budget);
+    // A deadline mid-sweep degrades to the family numbers: partial sweep
+    // results are unusable, while the (equally partial) family numbers
+    // preserve the classic deadline behaviour.
+    if (!measures.complete) use_diagram = false;
+  }
+
+  if (use_diagram) {
+    out.diagram_native = true;
+    out.p_rare_event = measures.total_mass;
+    out.p_esary_proschan = measures.esary_proschan;
+    for (std::size_t r = 0; r < diagram->events.size(); ++r) {
+      const FtNode* event = diagram->events[r];
+      if (event == nullptr) continue;
+      auto it = entries.find(event);
       if (it == entries.end()) continue;  // undeveloped / loop leaves
       ImportanceEntry& entry = it->second;
-      if (total > 0.0) entry.fussell_vesely += p / total;
-      ++entry.cut_set_count;
-      if (entry.smallest_order == 0 || cs.size() < entry.smallest_order)
-        entry.smallest_order = cs.size();
+      // Both polarities attribute to the event, exactly like the family
+      // loop below (a set holding NOT x still counts against x).
+      const double mass =
+          measures.var_mass[2 * r] + measures.var_mass[2 * r + 1];
+      if (out.p_rare_event > 0.0)
+        entry.fussell_vesely = mass / out.p_rare_event;
+      entry.cut_set_count = count_from_double(
+          measures.var_count[2 * r] + measures.var_count[2 * r + 1]);
+      entry.smallest_order = min_nonzero(measures.var_min_order[2 * r],
+                                         measures.var_min_order[2 * r + 1]);
+    }
+  } else {
+    // Classic path: Fussell-Vesely, counts and orders from the extracted
+    // family; bounds from probability.h.
+    out.p_rare_event = rare_event_bound(analysis, options);
+    out.p_esary_proschan = esary_proschan_bound(analysis, options);
+    for (const CutSet& cs : analysis.cut_sets) {
+      const double p = cut_set_probability(cs, options);
+      for (const CutLiteral& literal : cs) {
+        auto it = entries.find(literal.event);
+        if (it == entries.end()) continue;  // undeveloped / loop leaves
+        ImportanceEntry& entry = it->second;
+        if (out.p_rare_event > 0.0)
+          entry.fussell_vesely += p / out.p_rare_event;
+        ++entry.cut_set_count;
+        if (entry.smallest_order == 0 || cs.size() < entry.smallest_order)
+          entry.smallest_order = cs.size();
+      }
     }
   }
 
-  // Birnbaum, RAW and RRW exactly on the BDD.
+  // Exact probability plus Birnbaum/RAW/RRW for every event from ONE BDD
+  // encoding. The shared-memo engine computes P(top); the combined
+  // upward/downward sweep then yields all Birnbaum measures in O(N) where
+  // the per-variable restrict loop paid O(V*N). RAW and RRW keep the
+  // restricted evaluations: deriving P(top | v = b) from the sweep via
+  // P(top) - p_v * BM(v) cancels catastrophically when the conditioned
+  // probability is orders of magnitude below P(top) -- exactly the rare
+  // events RRW exists to rank -- while the cofactor evaluations reuse the
+  // engine's probability memo, so each one touches only the nodes the
+  // restriction actually changed.
   BddEncoding encoding = encode_bdd(tree);
-  const std::vector<double> probabilities =
-      encoding.probabilities(options);
-  const double p_top =
-      bdd_probability(encoding.bdd, encoding.root, probabilities);
+  const std::vector<double> probabilities = encoding.probabilities(options);
+  BddProbabilityEngine engine(encoding.bdd, probabilities);
+  const double p_top = engine.probability(encoding.root);
+  out.p_exact = p_top;
+  const std::vector<double> birnbaum = engine.birnbaum_all(encoding.root);
   for (std::size_t v = 0; v < encoding.events.size(); ++v) {
     auto it = entries.find(encoding.events[v]);
     if (it == entries.end()) continue;
-    const double p_given = bdd_probability_given(
-        encoding.bdd, encoding.root, probabilities, static_cast<int>(v),
-        true);
-    const double p_without = bdd_probability_given(
-        encoding.bdd, encoding.root, probabilities, static_cast<int>(v),
-        false);
-    it->second.birnbaum = p_given - p_without;
+    const double bm = birnbaum[v];
+    const double p_given =
+        engine.probability_given(encoding.root, static_cast<int>(v), true);
+    const double p_without =
+        engine.probability_given(encoding.root, static_cast<int>(v), false);
+    it->second.birnbaum = bm;
     it->second.raw = p_top > 0.0 ? p_given / p_top : 0.0;
     it->second.rrw = p_without > 0.0 ? p_top / p_without
                      : p_top > 0.0   ? std::numeric_limits<double>::infinity()
@@ -64,7 +151,15 @@ std::vector<ImportanceEntry> importance_ranking(
               if (a.birnbaum != b.birnbaum) return a.birnbaum > b.birnbaum;
               return a.event->name() < b.event->name();
             });
-  return ranking;
+  out.importance = std::move(ranking);
+  return out;
+}
+
+std::vector<ImportanceEntry> importance_ranking(
+    const FaultTree& tree, const CutSetAnalysis& analysis,
+    const ProbabilityOptions& options) {
+  return analyse_reliability(tree, analysis, options, ProbMode::kCutSets)
+      .importance;
 }
 
 std::string render_importance(const std::vector<ImportanceEntry>& ranking) {

@@ -30,8 +30,41 @@ struct ImportanceEntry {
   std::size_t smallest_order = 0;   ///< order of the smallest such cut set
 };
 
+/// Every probability-stage number of one tree analysis, computed together
+/// so the expensive artefacts are built once: one BDD encoding serves the
+/// exact top probability, the O(N) all-variables Birnbaum sweep and the
+/// memo-sharing restricted evaluations behind RAW/RRW, and -- in the
+/// diagram regime -- one set of ZBDD
+/// measure sweeps serves Fussell-Vesely, the rare-event and Esary-Proschan
+/// bounds, the per-event set counts and the smallest orders.
+struct ReliabilitySummary {
+  std::vector<ImportanceEntry> importance;  ///< ranked as importance_ranking
+  double p_exact = 0.0;          ///< exact P(top) on the BDD
+  double p_rare_event = 0.0;     ///< sum of cut-set probabilities
+  double p_esary_proschan = 0.0; ///< 1 - prod(1 - P(set))
+  /// True when the family-derived numbers above (rare-event, EP, FV,
+  /// counts, orders) came from diagram traversal rather than the
+  /// extracted cut-set list. Happens only when `mode` requested it, the
+  /// analysis carries an exact diagram, AND extraction was cut short --
+  /// the case where the diagram numbers are exact while the family
+  /// numbers would have been partial. On clean runs both paths use the
+  /// extracted family, keeping output byte-identical across modes.
+  bool diagram_native = false;
+};
+
+/// Computes the full probability stage for one analysed tree. With
+/// ProbMode::kCutSets this reproduces the classic pipeline bit for bit
+/// (importance_ranking + the probability.h bounds); kDiagram/kAuto switch
+/// the family-derived numbers to diagram sweeps exactly under the
+/// conditions documented on ReliabilitySummary::diagram_native.
+ReliabilitySummary analyse_reliability(const FaultTree& tree,
+                                       const CutSetAnalysis& analysis,
+                                       const ProbabilityOptions& options,
+                                       ProbMode mode = ProbMode::kCutSets);
+
 /// Ranks every basic event of `tree`, most important (by Fussell-Vesely,
-/// then Birnbaum) first.
+/// then Birnbaum) first. Thin wrapper over analyse_reliability (cut-set
+/// mode) kept for the existing call sites and tests.
 std::vector<ImportanceEntry> importance_ranking(
     const FaultTree& tree, const CutSetAnalysis& analysis,
     const ProbabilityOptions& options);

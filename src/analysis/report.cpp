@@ -9,15 +9,30 @@ TreeAnalysis analyse_tree(const FaultTree& tree,
   TreeAnalysis analysis;
   analysis.top_event = tree.top_description();
   analysis.tree_stats = tree.stats();
-  analysis.cut_sets = compute_cut_sets(tree, options.cut_sets);
+  // Diagram-native evaluation needs the ZBDD engine to retain its diagram;
+  // kAuto means "diagram exactly when that engine is active".
+  CutSetOptions cut_options = options.cut_sets;
+  const bool want_diagram =
+      options.prob_mode != ProbMode::kCutSets &&
+      cut_options.engine == CutSetEngine::kZbdd;
+  cut_options.keep_diagram = want_diagram;
+  analysis.cut_sets = compute_cut_sets(tree, cut_options);
   analysis.common_cause = analyse_common_cause(tree, analysis.cut_sets);
-  analysis.importance =
-      importance_ranking(tree, analysis.cut_sets, options.probability);
-  analysis.p_rare_event =
-      rare_event_bound(analysis.cut_sets, options.probability);
-  analysis.p_esary_proschan =
-      esary_proschan_bound(analysis.cut_sets, options.probability);
-  analysis.p_exact = exact_probability(tree, options.probability);
+  // One call computes the whole probability stage: exact P(top) and all
+  // importance measures share a single BDD encoding and probability memo,
+  // and -- in the diagram regime -- the bounds, FV, counts and orders come
+  // from ZBDD measure sweeps instead of the extracted family.
+  ReliabilitySummary reliability = analyse_reliability(
+      tree, analysis.cut_sets, options.probability,
+      want_diagram ? ProbMode::kDiagram : ProbMode::kCutSets);
+  analysis.importance = std::move(reliability.importance);
+  analysis.p_rare_event = reliability.p_rare_event;
+  analysis.p_esary_proschan = reliability.p_esary_proschan;
+  analysis.p_exact = reliability.p_exact;
+  analysis.diagram_native = reliability.diagram_native;
+  // The diagram has served its purpose; drop it so TreeAnalysis stays as
+  // light as before for callers that hold many of them.
+  analysis.cut_sets.diagram.reset();
   if (options.cut_sets.cone_cache != nullptr)
     analysis.cache_stats = options.cut_sets.cone_cache->stats();
   return analysis;

@@ -1,6 +1,7 @@
 #include "bdd/bdd_prob.h"
 
 #include <unordered_map>
+#include <vector>
 
 #include "core/error.h"
 
@@ -8,13 +9,14 @@ namespace ftsynth {
 
 namespace {
 
-// Reordering audit: every memo in this file lives for one public call, and
-// no Bdd operation reorders, so levels cannot move mid-traversal. Holding
-// these memos ACROSS a swap_adjacent_levels()/sift() would still be sound
-// for probability_rec -- swaps rewrite nodes in place preserving each Ref's
-// function, and probability depends only on the function -- but NOT for
-// restrict_var, whose results depend on the order through its level-based
-// pruning; keep them per-invocation.
+// Reordering audit: every memo in this file lives for one public call (or
+// one BddProbabilityEngine), and no Bdd operation reorders, so levels
+// cannot move mid-traversal. Holding these memos ACROSS a
+// swap_adjacent_levels()/sift() would still be sound for probability_rec --
+// swaps rewrite nodes in place preserving each Ref's function, and
+// probability depends only on the function -- but NOT for
+// conditional_rec, whose memo entries depend on the order through the
+// level-based shared-memo handoff; keep that one per-invocation.
 double probability_rec(const Bdd& bdd, Bdd::Ref f,
                        const std::vector<double>& probabilities,
                        std::unordered_map<Bdd::Ref, double>& memo) {
@@ -32,26 +34,73 @@ double probability_rec(const Bdd& bdd, Bdd::Ref f,
   return result;
 }
 
-// Restricts f by fixing variable v to `value`.
-Bdd::Ref restrict_var(Bdd& bdd, Bdd::Ref f, int v, bool value,
-                      std::unordered_map<Bdd::Ref, Bdd::Ref>& memo) {
-  if (bdd.is_terminal(f)) return f;
-  const Bdd::Node n = bdd.node(f);
-  // v cannot appear below a deeper level. Looked up live (never cached
-  // across calls): levels move under dynamic reordering.
-  if (bdd.level_of(n.var) > bdd.level_of(v)) return f;
+// P(f | v = value), evaluated directly on the original diagram: at a
+// v-node only the forced branch contributes (and without v's probability
+// factor); at every other node the Shannon expansion proceeds as usual.
+// No cofactor diagram is ever built -- the old restrict-then-evaluate
+// path paid an ite (unique-table allocation) per visited node, which
+// dominated importance analysis once every variable asked twice. Nodes
+// strictly below v's level cannot contain v (ordered diagram; level
+// looked up live, never cached across calls, as levels move under
+// dynamic reordering), so their values come from -- and land in -- the
+// caller's unrestricted memo; only the v-dependent region above needs
+// the per-call conditional memo.
+double conditional_rec(const Bdd& bdd, Bdd::Ref f, int v, bool value,
+                       const std::vector<double>& probabilities,
+                       std::unordered_map<Bdd::Ref, double>& shared_memo,
+                       std::unordered_map<Bdd::Ref, double>& memo) {
+  if (bdd.is_false(f)) return 0.0;
+  if (bdd.is_true(f)) return 1.0;
+  const Bdd::Node& n = bdd.node(f);
+  if (bdd.level_of(n.var) > bdd.level_of(v))
+    return probability_rec(bdd, f, probabilities, shared_memo);
+  if (n.var == v)
+    return probability_rec(bdd, value ? n.high : n.low, probabilities,
+                           shared_memo);
   if (auto it = memo.find(f); it != memo.end()) return it->second;
-  Bdd::Ref result;
-  if (n.var == v) {
-    result = value ? n.high : n.low;
-  } else {
-    Bdd::Ref low = restrict_var(bdd, n.low, v, value, memo);
-    Bdd::Ref high = restrict_var(bdd, n.high, v, value, memo);
-    // Rebuild through ite on the decision variable to stay reduced.
-    result = bdd.ite(bdd.var(n.var), high, low);
-  }
+  const double p = probabilities[static_cast<std::size_t>(n.var)];
+  const double result =
+      p * conditional_rec(bdd, n.high, v, value, probabilities, shared_memo,
+                          memo) +
+      (1.0 - p) * conditional_rec(bdd, n.low, v, value, probabilities,
+                                  shared_memo, memo);
   memo.emplace(f, result);
   return result;
+}
+
+// Reachable internal nodes of `f` in postorder (low subgraph first), with
+// a Ref -> postorder-index map. Iterative so adversarially deep diagrams
+// cannot overflow the stack; the visit order depends only on the diagram's
+// structure, never on Ref numbering, which keeps downstream floating-point
+// summation order deterministic across runs and cache states.
+void postorder_nodes(const Bdd& bdd, Bdd::Ref f, std::vector<Bdd::Ref>* order,
+                     std::unordered_map<Bdd::Ref, std::uint32_t>* index) {
+  if (bdd.is_terminal(f)) return;
+  struct Frame {
+    Bdd::Ref ref;
+    int stage;  // 0 = visit low, 1 = visit high, 2 = emit
+  };
+  std::vector<Frame> stack;
+  stack.push_back({f, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.stage == 2) {
+      if (index->find(frame.ref) == index->end()) {
+        index->emplace(frame.ref, static_cast<std::uint32_t>(order->size()));
+        order->push_back(frame.ref);
+      }
+      stack.pop_back();
+      continue;
+    }
+    const Bdd::Node& n = bdd.node(frame.ref);
+    const Bdd::Ref child = frame.stage == 0 ? n.low : n.high;
+    ++frame.stage;
+    if (!bdd.is_terminal(child) && index->find(child) == index->end()) {
+      // Defer duplicates to the emit stage (a child pushed twice before
+      // its first emit collapses there).
+      stack.push_back({child, 0});
+    }
+  }
 }
 
 }  // namespace
@@ -64,20 +113,73 @@ double bdd_probability(const Bdd& bdd, Bdd::Ref f,
 
 double bdd_birnbaum(Bdd& bdd, Bdd::Ref f,
                     const std::vector<double>& probabilities, int v) {
-  std::unordered_map<Bdd::Ref, Bdd::Ref> memo_high;
-  std::unordered_map<Bdd::Ref, Bdd::Ref> memo_low;
-  Bdd::Ref f_high = restrict_var(bdd, f, v, true, memo_high);
-  Bdd::Ref f_low = restrict_var(bdd, f, v, false, memo_low);
-  return bdd_probability(bdd, f_high, probabilities) -
-         bdd_probability(bdd, f_low, probabilities);
+  BddProbabilityEngine engine(bdd, probabilities);
+  return engine.birnbaum(f, v);
 }
 
 double bdd_probability_given(Bdd& bdd, Bdd::Ref f,
                              const std::vector<double>& probabilities, int v,
                              bool value) {
-  std::unordered_map<Bdd::Ref, Bdd::Ref> memo;
-  return bdd_probability(bdd, restrict_var(bdd, f, v, value, memo),
-                         probabilities);
+  BddProbabilityEngine engine(bdd, probabilities);
+  return engine.probability_given(f, v, value);
+}
+
+BddProbabilityEngine::BddProbabilityEngine(Bdd& bdd,
+                                           std::vector<double> probabilities)
+    : bdd_(bdd), probabilities_(std::move(probabilities)) {}
+
+double BddProbabilityEngine::probability(Bdd::Ref f) {
+  return probability_rec(bdd_, f, probabilities_, memo_);
+}
+
+double BddProbabilityEngine::probability_given(Bdd::Ref f, int v, bool value) {
+  std::unordered_map<Bdd::Ref, double> conditional_memo;
+  return conditional_rec(bdd_, f, v, value, probabilities_, memo_,
+                         conditional_memo);
+}
+
+double BddProbabilityEngine::birnbaum(Bdd::Ref f, int v) {
+  // Both restricted evaluations run against the shared probability memo:
+  // the cofactor diagrams overlap heavily with f and with each other, so
+  // the second evaluation is mostly memo hits.
+  return probability_given(f, v, true) - probability_given(f, v, false);
+}
+
+std::vector<double> BddProbabilityEngine::birnbaum_all(Bdd::Ref f) {
+  std::vector<double> result(probabilities_.size(), 0.0);
+  if (bdd_.is_terminal(f)) return result;
+
+  std::vector<Bdd::Ref> order;
+  std::unordered_map<Bdd::Ref, std::uint32_t> index;
+  postorder_nodes(bdd_, f, &order, &index);
+
+  // Upward sweep: node probabilities (fills the shared memo).
+  probability(f);
+  auto node_probability = [&](Bdd::Ref ref) -> double {
+    if (bdd_.is_false(ref)) return 0.0;
+    if (bdd_.is_true(ref)) return 1.0;
+    return memo_.at(ref);
+  };
+
+  // Downward sweep in reverse postorder (a topological order: every
+  // parent precedes both children), accumulating the probability that a
+  // root-to-terminal walk reaches each node.
+  std::vector<double> reach(order.size(), 0.0);
+  reach[index.at(f)] = 1.0;
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const Bdd::Node& n = bdd_.node(order[i]);
+    check_internal(static_cast<std::size_t>(n.var) < probabilities_.size(),
+                   "probability vector too short for BDD");
+    const double p = probabilities_[static_cast<std::size_t>(n.var)];
+    const double r = reach[i];
+    if (!bdd_.is_terminal(n.low)) reach[index.at(n.low)] += (1.0 - p) * r;
+    if (!bdd_.is_terminal(n.high)) reach[index.at(n.high)] += p * r;
+    // Variables skipped between this node and its children marginalise to
+    // a factor of 1, so level skipping needs no correction term.
+    result[static_cast<std::size_t>(n.var)] +=
+        r * (node_probability(n.high) - node_probability(n.low));
+  }
+  return result;
 }
 
 }  // namespace ftsynth

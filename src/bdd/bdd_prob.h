@@ -4,9 +4,15 @@
 // probability in one linear pass:
 //
 //   P(node v) = p_v * P(high) + (1 - p_v) * P(low)
+//
+// BddProbabilityEngine is the batched form: one probability memo shared
+// across every query of an analysis (probability, conditionals, Birnbaum),
+// plus the O(N) all-variables Birnbaum sweep that replaces the per-variable
+// restrict-and-reevaluate loop (O(V*N) -> O(N)).
 
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "bdd/bdd.h"
@@ -29,5 +35,58 @@ double bdd_birnbaum(Bdd& bdd, Bdd::Ref f,
 double bdd_probability_given(Bdd& bdd, Bdd::Ref f,
                              const std::vector<double>& probabilities, int v,
                              bool value);
+
+/// Batches probability queries over one BDD under one fixed probability
+/// vector, sharing a single probability memo across every call -- N
+/// importance queries reuse each other's subresults instead of recomputing
+/// the full bottom-up pass per variable.
+///
+/// Reordering audit: the shared probability memo maps Ref -> P[function],
+/// which swaps preserve, but restrict-based queries depend on the level
+/// order; the engine must not be used across a sift() of its diagram.
+/// (In practice the probability BDD is built under a static order and
+/// never sifted.) Restriction may allocate nodes; existing Refs -- and
+/// therefore memo entries -- remain valid.
+class BddProbabilityEngine {
+ public:
+  /// `probabilities` must cover every variable appearing in any queried
+  /// function; it is copied (queries must see a stable vector).
+  BddProbabilityEngine(Bdd& bdd, std::vector<double> probabilities);
+
+  /// Exact P[f = true]; memoised across all queries on this engine.
+  double probability(Bdd::Ref f);
+
+  /// Exact P[f | v = value]. The restriction memo is per-call (it is
+  /// order-dependent); the probability memo is shared.
+  double probability_given(Bdd::Ref f, int v, bool value);
+
+  /// Birnbaum importance of `v`: P[f | v=1] - P[f | v=0]. Both restricted
+  /// evaluations share the engine's probability memo.
+  double birnbaum(Bdd::Ref f, int v);
+
+  /// Birnbaum importance of EVERY variable in one combined pass: an upward
+  /// sweep computing P[node] for each reachable node and a downward sweep
+  /// computing each node's reachability weight R[node] (the probability
+  /// that the path from the root reaches it), then
+  ///
+  ///   BM(v) = sum over nodes n labelled v of R[n] * (P[high] - P[low])
+  ///
+  /// -- exact, equal to the restrict-based definition, and O(N) total
+  /// instead of O(V*N). The returned vector is indexed by variable and
+  /// sized like the probability vector; variables not in `f` get 0.
+  /// Traversal and summation order are structure-determined (postorder,
+  /// low child first), so results are bit-identical across runs
+  /// regardless of Ref numbering.
+  std::vector<double> birnbaum_all(Bdd::Ref f);
+
+  const std::vector<double>& probabilities() const noexcept {
+    return probabilities_;
+  }
+
+ private:
+  Bdd& bdd_;
+  std::vector<double> probabilities_;
+  std::unordered_map<Bdd::Ref, double> memo_;
+};
 
 }  // namespace ftsynth

@@ -1,0 +1,239 @@
+#include "bdd/zbdd_prob.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace ftsynth {
+
+namespace {
+
+// Saturating "set size" arithmetic: the empty family has no smallest set,
+// which the recurrences model as an infinite order.
+constexpr std::size_t kInfOrder = static_cast<std::size_t>(-1) / 2;
+
+std::size_t add_order(std::size_t a, std::size_t b) {
+  return a >= kInfOrder || b >= kInfOrder ? kInfOrder : a + b;
+}
+
+// Reachable internal nodes of `root` in postorder (low subgraph first),
+// plus a Ref -> postorder-index map. Iterative (explicit frame stack) so
+// adversarially deep diagrams cannot overflow the call stack. The visit
+// order depends only on diagram structure, never on Ref numbering, which
+// keeps every downstream floating-point summation bit-identical across
+// runs and cache states (a warm rebuild allocates different Refs for the
+// same canonical diagram).
+bool postorder_nodes(const Zbdd& zbdd, Zbdd::Ref root, Budget& budget,
+                     std::vector<Zbdd::Ref>* order,
+                     std::unordered_map<Zbdd::Ref, std::uint32_t>* index) {
+  if (zbdd.is_terminal(root)) return true;
+  struct Frame {
+    Zbdd::Ref ref;
+    int stage;  // 0 = visit low, 1 = visit high, 2 = emit
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    if (budget.poll()) return false;
+    Frame& frame = stack.back();
+    if (frame.stage == 2) {
+      if (index->find(frame.ref) == index->end()) {
+        index->emplace(frame.ref, static_cast<std::uint32_t>(order->size()));
+        order->push_back(frame.ref);
+      }
+      stack.pop_back();
+      continue;
+    }
+    const Zbdd::Node& n = zbdd.node(frame.ref);
+    const Zbdd::Ref child = frame.stage == 0 ? n.low : n.high;
+    ++frame.stage;
+    if (!zbdd.is_terminal(child) && index->find(child) == index->end())
+      stack.push_back({child, 0});
+  }
+  return true;
+}
+
+// One upward mass sweep under an arbitrary per-variable weight vector:
+// out[i] = sum over sets s in family(order[i]) of prod_{v in s} weight[v].
+// `out` must be sized to order.size(); terminals contribute 0 / 1 inline.
+void mass_sweep(const Zbdd& zbdd, const std::vector<Zbdd::Ref>& order,
+                const std::unordered_map<Zbdd::Ref, std::uint32_t>& index,
+                const std::vector<double>& weight, std::vector<double>* out) {
+  auto value = [&](Zbdd::Ref ref) -> double {
+    if (ref == Zbdd::kEmpty) return 0.0;
+    if (ref == Zbdd::kBase) return 1.0;
+    return (*out)[index.at(ref)];
+  };
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Zbdd::Node& n = zbdd.node(order[i]);
+    (*out)[i] = value(n.low) +
+                weight[static_cast<std::size_t>(n.var)] * value(n.high);
+  }
+}
+
+}  // namespace
+
+ZbddMeasures zbdd_measures(const Zbdd& zbdd, Zbdd::Ref root,
+                           const std::vector<double>& probabilities,
+                           Budget budget) {
+  ZbddMeasures m;
+  m.var_mass.assign(probabilities.size(), 0.0);
+  m.var_count.assign(probabilities.size(), 0.0);
+  m.var_min_order.assign(probabilities.size(), 0);
+
+  if (root == Zbdd::kEmpty) {
+    // No sets: every measure is its identity.
+    m.complete = true;
+    m.esary_converged = true;
+    return m;
+  }
+  if (root == Zbdd::kBase) {
+    // Only the empty set, whose product over literals is 1: the top event
+    // is certain and no variable participates.
+    m.complete = true;
+    m.set_count = 1.0;
+    m.total_mass = 1.0;
+    m.esary_proschan = 1.0;
+    m.esary_converged = true;
+    return m;
+  }
+
+  std::vector<Zbdd::Ref> order;
+  std::unordered_map<Zbdd::Ref, std::uint32_t> index;
+  if (!postorder_nodes(zbdd, root, budget, &order, &index)) return m;
+  const std::size_t count = order.size();
+  const std::uint32_t root_index = index.at(root);
+
+  for (const Zbdd::Ref ref : order) {
+    const Zbdd::Node& n = zbdd.node(ref);
+    check_internal(static_cast<std::size_t>(n.var) < probabilities.size(),
+                   "probability vector too short for ZBDD");
+  }
+
+  // --- Upward sweeps: per-node family measures. ----------------------
+  std::vector<double> mass(count), sets(count);
+  std::vector<std::size_t> up_order(count);
+  mass_sweep(zbdd, order, index, probabilities, &mass);
+  if (budget.poll()) return m;
+  {
+    auto value = [&](Zbdd::Ref ref) -> double {
+      if (ref == Zbdd::kEmpty) return 0.0;
+      if (ref == Zbdd::kBase) return 1.0;
+      return sets[index.at(ref)];
+    };
+    auto ord = [&](Zbdd::Ref ref) -> std::size_t {
+      if (ref == Zbdd::kEmpty) return kInfOrder;
+      if (ref == Zbdd::kBase) return 0;
+      return up_order[index.at(ref)];
+    };
+    for (std::size_t i = 0; i < count; ++i) {
+      const Zbdd::Node& n = zbdd.node(order[i]);
+      sets[i] = value(n.low) + value(n.high);
+      up_order[i] = std::min(ord(n.low), add_order(1, ord(n.high)));
+    }
+  }
+  if (budget.poll()) return m;
+
+  // --- Downward sweeps: reachability splits per variable. -------------
+  // reach_mass[i] = sum over root paths to node i of the product of p_v
+  // over the variables taken on HIGH edges (low edges contribute factor 1:
+  // a ZBDD low branch asserts nothing about its variable); reach_sets
+  // counts those paths; reach_order is the fewest HIGH edges on any such
+  // path. Reverse postorder is a topological order (parents first), so
+  // each node's value is final before it propagates.
+  std::vector<double> reach_mass(count, 0.0), reach_sets(count, 0.0);
+  std::vector<std::size_t> reach_order(count, kInfOrder);
+  reach_mass[root_index] = 1.0;
+  reach_sets[root_index] = 1.0;
+  reach_order[root_index] = 0;
+  auto mass_of = [&](Zbdd::Ref ref) -> double {
+    if (ref == Zbdd::kEmpty) return 0.0;
+    if (ref == Zbdd::kBase) return 1.0;
+    return mass[index.at(ref)];
+  };
+  auto sets_of = [&](Zbdd::Ref ref) -> double {
+    if (ref == Zbdd::kEmpty) return 0.0;
+    if (ref == Zbdd::kBase) return 1.0;
+    return sets[index.at(ref)];
+  };
+  auto order_of = [&](Zbdd::Ref ref) -> std::size_t {
+    if (ref == Zbdd::kEmpty) return kInfOrder;
+    if (ref == Zbdd::kBase) return 0;
+    return up_order[index.at(ref)];
+  };
+  for (std::size_t i = count; i-- > 0;) {
+    if (budget.poll()) return m;
+    const Zbdd::Node& n = zbdd.node(order[i]);
+    const std::size_t v = static_cast<std::size_t>(n.var);
+    const double p = probabilities[v];
+    if (!zbdd.is_terminal(n.low)) {
+      const std::uint32_t low = index.at(n.low);
+      reach_mass[low] += reach_mass[i];
+      reach_sets[low] += reach_sets[i];
+      reach_order[low] = std::min(reach_order[low], reach_order[i]);
+    }
+    if (!zbdd.is_terminal(n.high)) {
+      const std::uint32_t high = index.at(n.high);
+      reach_mass[high] += p * reach_mass[i];
+      reach_sets[high] += reach_sets[i];
+      reach_order[high] =
+          std::min(reach_order[high], add_order(reach_order[i], 1));
+    }
+    // Every set through this node's HIGH edge contains v: reach * p_v *
+    // (mass of the stripped tail) is exactly the mass of those sets.
+    m.var_mass[v] += reach_mass[i] * p * mass_of(n.high);
+    m.var_count[v] += reach_sets[i] * sets_of(n.high);
+    const std::size_t via =
+        add_order(reach_order[i], add_order(1, order_of(n.high)));
+    if (via < kInfOrder) {
+      std::size_t& slot = m.var_min_order[v];
+      if (slot == 0 || via < slot) slot = via;
+    }
+  }
+
+  m.set_count = sets[root_index];
+  m.min_order = up_order[root_index] >= kInfOrder ? 0 : up_order[root_index];
+  m.total_mass = mass[root_index];
+
+  // --- Esary-Proschan via power sums. ---------------------------------
+  //   log prod_s (1 - P(s)) = -sum_k (sum_s P(s)^k) / k
+  // The k-th power sum is a mass sweep under the pointwise k-th power of
+  // the probability vector, and decays at least as fast as q^k with
+  // q = max_s P(s) < 1; terms stop mattering once M_k/k drops below the
+  // accumulated sum's double-precision floor, and once the exponent
+  // passes 45 the bound is 1 to the last bit (exp(-45) < 2^-64). A
+  // probability-1 set (q == 1) never decays -- the exponent test catches
+  // it. The pass cap is a safety net for q so close to 1 that thousands
+  // of terms contribute; a capped-out sweep reports esary_converged =
+  // false and the (slightly low) partial bound.
+  {
+    constexpr int kMaxTerms = 8192;
+    std::vector<double> weight = probabilities;
+    std::vector<double> moment(count);
+    double exponent = 0.0;
+    int k = 1;
+    for (; k <= kMaxTerms; ++k) {
+      if (k > 1) {
+        for (std::size_t v = 0; v < weight.size(); ++v)
+          weight[v] *= probabilities[v];
+      }
+      mass_sweep(zbdd, order, index, weight, &moment);
+      if (budget.poll()) return m;
+      const double term = moment[root_index] / k;
+      exponent += term;
+      if (exponent > 45.0 || term <= exponent * 1e-17) {
+        m.esary_converged = true;
+        break;
+      }
+    }
+    m.esary_proschan = 1.0 - std::exp(-exponent);
+  }
+
+  m.complete = true;
+  return m;
+}
+
+}  // namespace ftsynth

@@ -1,0 +1,80 @@
+// Diagram-native measures of a ZBDD-encoded set family.
+//
+// The ZBDD engine's minimal cut-set family can be astronomically larger
+// than its diagram (2^n sets in O(n) nodes), so any number computed by
+// first *extracting* the family inherits the enumeration cost -- and is
+// silently partial once extraction truncates. Every reliability figure the
+// reporting layer derives from the family is in fact a sum or minimum over
+// the sets, and such measures decompose over ZBDD structure: with S(n) the
+// measure of the family rooted at n,
+//
+//   mass   M(empty) = 0, M(base) = 1,  M(n) = M(low) + p_v * M(high)
+//   count  C(empty) = 0, C(base) = 1,  C(n) = C(low) + C(high)
+//   order  U(empty) = inf, U(base) = 0, U(n) = min(U(low), 1 + U(high))
+//
+// (low = subfamily without v, high = subfamily containing v with v
+// stripped; no complement factor on the low edge -- unlike a BDD, a ZBDD
+// low branch asserts nothing about v.) One upward pass per measure gives
+// the whole-family value; a downward reachability pass then splits each
+// measure per variable, yielding Fussell-Vesely numerators, per-event set
+// counts and smallest orders for ALL events in O(N) total -- the numbers
+// importance and FMEA ranking need, exact even when the family was never
+// extracted.
+//
+// The Esary-Proschan bound 1 - prod_s (1 - P(s)) is not node-decomposable
+// (it multiplies over sets), but log(1 - EP) = sum_s log(1 - P(s)) expands
+// into power sums sum_s P(s)^k / k, and each power sum IS a mass sweep
+// under the pointwise k-th power of the probability vector. Summing
+// moments until they vanish (they decay at least geometrically with ratio
+// max_s P(s)) evaluates the bound to double precision in a handful of
+// O(N) passes.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/zbdd.h"
+#include "core/budget.h"
+
+namespace ftsynth {
+
+/// Family-level and per-variable measures of one ZBDD family. All sweep
+/// and summation orders are structure-determined (postorder, low child
+/// first), so values are bit-identical across runs, Ref numberings and
+/// cache states.
+struct ZbddMeasures {
+  /// False when the budget deadline fired mid-sweep; every other field is
+  /// then partial and must not be used.
+  bool complete = false;
+
+  double set_count = 0.0;      ///< |family| (exact while < 2^53)
+  std::size_t min_order = 0;   ///< smallest set size; 0 for empty family
+  double total_mass = 0.0;     ///< sum over sets of P(set): rare-event sum
+  double esary_proschan = 0.0; ///< 1 - prod over sets of (1 - P(set))
+  /// True when the power-sum series for esary_proschan reached double
+  /// precision within the pass cap (it converges whenever every set
+  /// probability is < 1; a family containing a probability-1 set exits
+  /// early with the bound saturated at 1).
+  bool esary_converged = false;
+
+  /// Per-variable splits, indexed by ZBDD variable id (sized like the
+  /// probability vector). var_mass[v] = sum of P(set) over sets containing
+  /// v -- the Fussell-Vesely numerator; var_count[v] = number of such
+  /// sets; var_min_order[v] = size of the smallest such set (0 when v is
+  /// in no set).
+  std::vector<double> var_mass;
+  std::vector<double> var_count;
+  std::vector<std::size_t> var_min_order;
+};
+
+/// Computes every measure for the family rooted at `root`.
+/// `probabilities[v]` is the probability of the literal behind ZBDD
+/// variable v and must cover every variable in the diagram. `budget` is
+/// polled between node visits; on deadline expiry the result comes back
+/// with complete == false.
+ZbddMeasures zbdd_measures(const Zbdd& zbdd, Zbdd::Ref root,
+                           const std::vector<double>& probabilities,
+                           Budget budget = Budget());
+
+}  // namespace ftsynth

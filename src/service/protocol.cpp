@@ -198,6 +198,16 @@ std::variant<WireRequest, WireError> parse_wire_request(
                        "unknown order policy '" + order + "'"});
     }
   }
+  std::string prob_mode;
+  if (!read_string(*json, "prob_mode", &prob_mode, &error)) return fail(error);
+  if (!prob_mode.empty()) {
+    if (std::optional<ProbMode> mode = parse_prob_mode(prob_mode)) {
+      request.prob_mode = *mode;
+    } else {
+      return fail(WireError{WireErrorCode::kBadRequest,
+                       "unknown prob mode '" + prob_mode + "'"});
+    }
+  }
 
   // The mandatory per-request budget: a wall-clock deadline, always.
   // max_depth/max_nodes refine it but cannot stand in for it -- only the

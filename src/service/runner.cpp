@@ -332,6 +332,7 @@ int cmd_analyse(const Model& model, Exec& exec, std::ostream& out,
   batch_options.analysis.cut_sets.order = exec.request.order;
   batch_options.analysis.cut_sets.budget = exec.make_budget();
   batch_options.analysis.probability.budget = exec.make_budget();
+  batch_options.analysis.prob_mode = exec.request.prob_mode;
   batch_options.share_cones = !exec.request.no_cache;
   std::optional<ConeCache> local;
   ConeCache* cones =
@@ -346,6 +347,11 @@ int cmd_analyse(const Model& model, Exec& exec, std::ostream& out,
     if (!replay_item(item, exec)) continue;
     report_reorder_stats(exec, item.top.to_string(),
                          item.analysis->cut_sets.reorder, err);
+    // Log-only, like the reorder stats: `output` stays byte-identical.
+    if (exec.request.verbose && item.analysis->diagram_native) {
+      err << "probability [" << item.top.to_string()
+          << "]: diagram-native (exact despite truncated extraction)\n";
+    }
     if (!exec.request.strict && item.analysis->cut_sets.deadline_exceeded) {
       exec.sink.warning(ErrorKind::kAnalysis,
                         "cut-set analysis stopped at the deadline; "
@@ -383,6 +389,7 @@ int cmd_report(const Model& model, Exec& exec, std::ostream& out,
   report_options.analysis.cut_sets.order = exec.request.order;
   report_options.analysis.cut_sets.budget = exec.make_budget();
   report_options.analysis.probability.budget = exec.make_budget();
+  report_options.analysis.prob_mode = exec.request.prob_mode;
   std::optional<ConeCache> local;
   ConeCache* cones =
       choose_cone_cache(exec, report_options.analysis.cut_sets, true, local);
@@ -444,6 +451,11 @@ int cmd_fmea(const Model& model, Exec& exec, std::ostream& out,
   cut_set_options.order = exec.request.order;
   cut_set_options.budget = exec.make_budget();
   cut_set_options.pool = exec.pool;
+  // Diagram-native FMEA columns need the ZBDD engine's retained diagram.
+  const bool fmea_diagram =
+      exec.request.prob_mode != ProbMode::kCutSets &&
+      exec.request.engine == CutSetEngine::kZbdd;
+  cut_set_options.keep_diagram = fmea_diagram;
   // FMEA analyses every derivable top event of one model: prime sharing
   // territory for the cone cache (plus the persistent layer on --cache).
   std::optional<ConeCache> local;
@@ -483,8 +495,9 @@ int cmd_fmea(const Model& model, Exec& exec, std::ostream& out,
     tree_ptrs.push_back(&trees[i]);
     analysis_ptrs.push_back(&analyses[i]);
   }
-  std::string text =
-      render_fmea(synthesise_fmea(tree_ptrs, analysis_ptrs, probability));
+  std::string text = render_fmea(
+      synthesise_fmea(tree_ptrs, analysis_ptrs, probability,
+                      fmea_diagram ? ProbMode::kDiagram : ProbMode::kCutSets));
   return emit(text, exec, out, err);
 }
 
@@ -638,7 +651,8 @@ std::optional<std::string> ServiceRunner::response_key(
       << '\x1f' << request.render_tree << request.strict << request.no_cache
       << '\x1f' << request.max_errors << '\x1f' << request.max_depth << '\x1f'
       << request.max_nodes << '\x1f' << static_cast<int>(request.engine)
-      << '\x1f' << static_cast<int>(request.order);
+      << '\x1f' << static_cast<int>(request.order) << '\x1f'
+      << static_cast<int>(request.prob_mode);
   return key.str();
 }
 

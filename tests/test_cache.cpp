@@ -309,7 +309,7 @@ TEST(ConeCachePersistTest, CorruptFilesAreRejectedWithDiagnostics) {
   expect_rejected(original.substr(0, original.size() / 2), "truncated body");
   {
     std::string wrong_version = original;
-    wrong_version.replace(wrong_version.find(" v1"), 3, " v9");
+    wrong_version.replace(wrong_version.find(" v2"), 3, " v9");
     expect_rejected(wrong_version, "format version mismatch");
   }
   {

@@ -1,0 +1,454 @@
+// Diagram-native probability and importance (--prob-mode).
+//
+// The contract under test has three legs:
+//
+//   1. Differential: every number the ZBDD measure sweeps produce (mass,
+//      count, order, Esary-Proschan, per-variable splits) must agree with
+//      the same number computed the classic way -- by enumerating the
+//      extracted family -- to 1e-12 relative, over a seeded fuzz corpus
+//      of random AND/OR/NOT DAGs. Likewise the one-pass Birnbaum sweep
+//      against the per-variable restricted evaluations it replaced.
+//
+//   2. Regimes: on a CLEAN run the report must be byte-identical across
+//      --prob-mode cutsets/diagram/auto (both paths evaluate the same
+//      extracted family); on a TRUNCATED run diagram mode must deliver
+//      the numbers of the untruncated reference exactly, and a deadline
+//      that fires mid-sweep must degrade back to the family-derived
+//      partials instead of reporting garbage.
+//
+//   3. Plumbing: the prob-mode parser and its wire field, and the cone
+//      cache's diagram records -- cones whose family outgrows
+//      kMaxCachedSets round-trip through disk as serialised diagrams
+//      (byte-identical warm runs), while the set-based engines count an
+//      oversize skip for the same cone.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <optional>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "analysis/cache.h"
+#include "analysis/cutsets.h"
+#include "analysis/importance.h"
+#include "analysis/probability.h"
+#include "analysis/report.h"
+#include "bdd/bdd_prob.h"
+#include "bdd/zbdd_prob.h"
+#include "casestudy/synthetic.h"
+#include "core/budget.h"
+#include "core/diagnostics.h"
+#include "core/symbol.h"
+#include "fta/fault_tree.h"
+#include "fta/synthesis.h"
+#include "service/protocol.h"
+
+namespace ftsynth {
+namespace {
+
+// -- Helpers ------------------------------------------------------------------
+
+/// Relative 1e-12 agreement (absolute near zero): the diagram sweeps and
+/// the family enumeration sum the same products in different orders, so
+/// they match to rounding, not bit-for-bit.
+void expect_close(double actual, double expected, const char* what) {
+  EXPECT_NEAR(actual, expected, 1e-12 * std::max(1.0, std::abs(expected)))
+      << what;
+}
+
+/// Random AND/OR/NOT DAG, same shape discipline as test_reorder_fuzz.cpp:
+/// small enough that no engine truncates, NOT only over leaves (the
+/// supported non-coherent fragment), shared subtrees arising naturally.
+FaultTree random_tree(std::mt19937& rng, int tag) {
+  FaultTree tree("prob_fuzz_" + std::to_string(tag));
+  std::uniform_int_distribution<int> event_count(4, 10);
+  const int events = event_count(rng);
+
+  std::vector<FtNode*> pool;
+  std::uniform_real_distribution<double> rate(1e-6, 1e-2);
+  for (int i = 0; i < events; ++i)
+    pool.push_back(tree.add_basic(Symbol("e" + std::to_string(i)), rate(rng),
+                                  "fuzz event", "fuzz"));
+  std::uniform_int_distribution<int> not_count(0, 2);
+  std::uniform_int_distribution<int> leaf_pick(0, events - 1);
+  const int nots = not_count(rng);
+  for (int i = 0; i < nots; ++i)
+    pool.push_back(tree.add_gate(GateKind::kNot, "not gate",
+                                 {pool[leaf_pick(rng)]}));
+
+  std::uniform_int_distribution<int> gate_count(3, 8);
+  std::uniform_int_distribution<int> child_count(2, 4);
+  std::uniform_int_distribution<int> kind_pick(0, 1);
+  const int gates = gate_count(rng);
+  FtNode* last = nullptr;
+  for (int g = 0; g < gates; ++g) {
+    std::uniform_int_distribution<int> pick(0,
+                                            static_cast<int>(pool.size()) - 1);
+    const int arity = child_count(rng);
+    std::vector<FtNode*> children;
+    for (int c = 0; c < arity; ++c) {
+      FtNode* child = pool[pick(rng)];
+      bool duplicate = false;
+      for (FtNode* seen : children) duplicate |= seen == child;
+      if (!duplicate) children.push_back(child);
+    }
+    if (children.size() < 2) children.push_back(pool[leaf_pick(rng)]);
+    last = tree.add_gate(kind_pick(rng) == 0 ? GateKind::kAnd : GateKind::kOr,
+                         "gate " + std::to_string(g), std::move(children));
+    pool.push_back(last);
+  }
+  tree.set_top(last);
+  tree.set_top_description("fuzz top " + std::to_string(tag));
+  return tree;
+}
+
+/// Literal probabilities for a retained diagram: event r owns variable 2r
+/// (plain, probability p) and 2r + 1 (negated, 1 - p).
+std::vector<double> diagram_probabilities(const CutSetDiagram& diagram,
+                                          const ProbabilityOptions& options) {
+  std::vector<double> probs(2 * diagram.events.size(), 0.0);
+  for (std::size_t r = 0; r < diagram.events.size(); ++r) {
+    if (diagram.events[r] == nullptr) continue;
+    const double p = event_probability(*diagram.events[r], options);
+    probs[2 * r] = p;
+    probs[2 * r + 1] = 1.0 - p;
+  }
+  return probs;
+}
+
+/// The replicated-voter fixture whose minimal family (stages^channels ways
+/// to lose all lanes, plus the shared supply) dwarfs its linear diagram.
+FaultTree replicated_tree(int channels, int stages) {
+  synthetic::ReplicatedConfig config;
+  config.channels = channels;
+  config.stages = stages;
+  static std::vector<Model> keep_alive;  // trees point into their models
+  keep_alive.push_back(synthetic::build_replicated(config));
+  return Synthesiser(keep_alive.back()).synthesise("Omission-sink");
+}
+
+// -- Prob-mode parsing and wire plumbing --------------------------------------
+
+TEST(ProbModeTest, ParseAndRenderRoundTrip) {
+  for (ProbMode mode :
+       {ProbMode::kCutSets, ProbMode::kDiagram, ProbMode::kAuto}) {
+    const std::optional<ProbMode> parsed = parse_prob_mode(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(parse_prob_mode("cutsets"), ProbMode::kCutSets);
+  EXPECT_EQ(parse_prob_mode("diagram"), ProbMode::kDiagram);
+  EXPECT_EQ(parse_prob_mode("auto"), ProbMode::kAuto);
+}
+
+TEST(ProbModeTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_prob_mode("").has_value());
+  EXPECT_FALSE(parse_prob_mode("bdd").has_value());
+  EXPECT_FALSE(parse_prob_mode("Diagram").has_value());
+}
+
+TEST(ProbModeWireTest, ParsesEveryModeAndDefaultsToAuto) {
+  for (const char* mode : {"cutsets", "diagram", "auto"}) {
+    const auto parsed = service::parse_wire_request(
+        R"({"command":"analyse","model":"m.mdl","deadline_ms":1000,)"
+        R"("prob_mode":")" + std::string(mode) + R"("})");
+    ASSERT_TRUE(std::holds_alternative<service::WireRequest>(parsed)) << mode;
+    EXPECT_EQ(std::get<service::WireRequest>(parsed).request.prob_mode,
+              *parse_prob_mode(mode));
+  }
+  const auto plain = service::parse_wire_request(
+      R"({"command":"analyse","model":"m.mdl","deadline_ms":1000})");
+  ASSERT_TRUE(std::holds_alternative<service::WireRequest>(plain));
+  EXPECT_EQ(std::get<service::WireRequest>(plain).request.prob_mode,
+            ProbMode::kAuto);
+}
+
+TEST(ProbModeWireTest, RejectsUnknownMode) {
+  const auto parsed = service::parse_wire_request(
+      R"({"command":"analyse","model":"m.mdl","deadline_ms":1000,)"
+      R"("prob_mode":"exact"})");
+  ASSERT_TRUE(std::holds_alternative<service::WireError>(parsed));
+  const service::WireError& error = std::get<service::WireError>(parsed);
+  EXPECT_EQ(error.code, service::WireErrorCode::kBadRequest);
+  EXPECT_NE(error.message.find("prob mode"), std::string::npos)
+      << error.message;
+}
+
+// -- Differential: diagram sweeps vs family enumeration -----------------------
+
+TEST(DiagramMeasuresFuzz, SweepsMatchFamilyDerivedNumbers) {
+  ProbabilityOptions prob_options;
+  for (int seed = 1; seed <= 8; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed) * 2654435761u + 17u);
+    for (int t = 0; t < 6; ++t) {
+      FaultTree tree = random_tree(rng, seed * 100 + t);
+      CutSetOptions options;
+      options.engine = CutSetEngine::kZbdd;
+      options.keep_diagram = true;
+      CutSetAnalysis analysis = compute_cut_sets(tree, options);
+      ASSERT_FALSE(analysis.truncated) << "seed=" << seed << " tree=" << t;
+      ASSERT_NE(analysis.diagram, nullptr);
+      ASSERT_TRUE(analysis.diagram->exact);
+      const CutSetDiagram& diagram = *analysis.diagram;
+
+      const std::vector<double> probs =
+          diagram_probabilities(diagram, prob_options);
+      const ZbddMeasures measures =
+          zbdd_measures(diagram.zbdd, diagram.root, probs);
+      ASSERT_TRUE(measures.complete);
+
+      // Family-level measures against the probability.h reference path.
+      EXPECT_EQ(measures.set_count,
+                static_cast<double>(analysis.cut_sets.size()));
+      EXPECT_EQ(measures.min_order, analysis.min_order());
+      expect_close(measures.total_mass,
+                   rare_event_bound(analysis, prob_options), "total mass");
+      const double esary = esary_proschan_bound(analysis, prob_options);
+      if (measures.esary_converged) {
+        expect_close(measures.esary_proschan, esary, "esary-proschan");
+      } else {
+        // A near-probability-1 set (a negated rare literal) can cap out
+        // the power-sum series; the partial bound is documented to come
+        // back slightly LOW. Tolerate the truncated tail, never an
+        // overshoot.
+        EXPECT_LE(measures.esary_proschan, esary + 1e-15);
+        EXPECT_NEAR(measures.esary_proschan, esary, 1e-8);
+      }
+
+      // Per-event splits against a direct sweep over the extracted sets.
+      std::unordered_map<const FtNode*, std::size_t> index;
+      for (std::size_t r = 0; r < diagram.events.size(); ++r)
+        if (diagram.events[r] != nullptr) index.emplace(diagram.events[r], r);
+      std::vector<double> family_mass(diagram.events.size(), 0.0);
+      std::vector<double> family_count(diagram.events.size(), 0.0);
+      std::vector<std::size_t> family_min(diagram.events.size(), 0);
+      for (const CutSet& cs : analysis.cut_sets) {
+        const double p = cut_set_probability(cs, prob_options);
+        for (const CutLiteral& literal : cs) {
+          auto it = index.find(literal.event);
+          ASSERT_NE(it, index.end());
+          const std::size_t r = it->second;
+          family_mass[r] += p;
+          family_count[r] += 1.0;
+          if (family_min[r] == 0 || cs.size() < family_min[r])
+            family_min[r] = cs.size();
+        }
+      }
+      for (std::size_t r = 0; r < diagram.events.size(); ++r) {
+        if (diagram.events[r] == nullptr) continue;
+        // Either polarity of the event counts toward its importance,
+        // exactly as the classic literal loop attributes them.
+        expect_close(
+            measures.var_mass[2 * r] + measures.var_mass[2 * r + 1],
+            family_mass[r], "per-event mass");
+        EXPECT_EQ(
+            measures.var_count[2 * r] + measures.var_count[2 * r + 1],
+            family_count[r]);
+        std::size_t sweep_min = measures.var_min_order[2 * r];
+        const std::size_t negated = measures.var_min_order[2 * r + 1];
+        if (sweep_min == 0 || (negated != 0 && negated < sweep_min))
+          sweep_min = negated;
+        EXPECT_EQ(sweep_min, family_min[r]);
+      }
+    }
+  }
+}
+
+TEST(BirnbaumSweepFuzz, MatchesPerVariableEvaluation) {
+  ProbabilityOptions options;
+  for (int seed = 1; seed <= 6; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed) * 40503u + 3u);
+    for (int t = 0; t < 6; ++t) {
+      FaultTree tree = random_tree(rng, seed * 100 + t);
+      BddEncoding encoding = encode_bdd(tree);
+      const std::vector<double> probs = encoding.probabilities(options);
+      BddProbabilityEngine engine(encoding.bdd, probs);
+      const std::vector<double> sweep = engine.birnbaum_all(encoding.root);
+      ASSERT_EQ(sweep.size(), probs.size());
+      for (std::size_t v = 0; v < encoding.events.size(); ++v) {
+        const double reference =
+            bdd_birnbaum(encoding.bdd, encoding.root, probs,
+                         static_cast<int>(v));
+        EXPECT_NEAR(sweep[v], reference,
+                    1e-12 * std::max(1.0, std::abs(reference)))
+            << "seed=" << seed << " tree=" << t << " var=" << v;
+      }
+    }
+  }
+}
+
+// -- Regimes: clean runs, truncated runs, deadline degradation ----------------
+
+TEST(ProbModeFuzz, CleanRunRendersByteIdenticalAcrossModes) {
+  for (int seed = 1; seed <= 4; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed) * 69069u + 7u);
+    for (int t = 0; t < 4; ++t) {
+      FaultTree tree = random_tree(rng, seed * 100 + t);
+      AnalysisOptions options;
+      options.cut_sets.engine = CutSetEngine::kZbdd;
+      options.prob_mode = ProbMode::kCutSets;
+      const TreeAnalysis reference = analyse_tree(tree, options);
+      ASSERT_FALSE(reference.cut_sets.truncated);
+      EXPECT_FALSE(reference.diagram_native);
+      const std::string expected = render(tree, reference, options);
+
+      for (ProbMode mode : {ProbMode::kDiagram, ProbMode::kAuto}) {
+        options.prob_mode = mode;
+        const TreeAnalysis analysis = analyse_tree(tree, options);
+        // Clean run: even diagram mode evaluates the extracted family.
+        EXPECT_FALSE(analysis.diagram_native);
+        EXPECT_EQ(render(tree, analysis, options), expected)
+            << "seed=" << seed << " tree=" << t
+            << " mode=" << to_string(mode);
+      }
+    }
+  }
+}
+
+TEST(DiagramNativeTest, TruncatedRunKeepsExactNumbers) {
+  FaultTree tree = replicated_tree(3, 12);  // 12^3 lane sets + supply
+
+  AnalysisOptions reference_options;
+  reference_options.cut_sets.engine = CutSetEngine::kZbdd;
+  reference_options.prob_mode = ProbMode::kCutSets;
+  const TreeAnalysis reference = analyse_tree(tree, reference_options);
+  ASSERT_FALSE(reference.cut_sets.truncated);
+  ASSERT_GT(reference.cut_sets.cut_sets.size(), 1000u);
+
+  AnalysisOptions truncated_options = reference_options;
+  truncated_options.cut_sets.max_sets = 256;
+  truncated_options.prob_mode = ProbMode::kDiagram;
+  const TreeAnalysis truncated = analyse_tree(tree, truncated_options);
+  ASSERT_TRUE(truncated.cut_sets.truncated);
+  EXPECT_TRUE(truncated.diagram_native);
+  // The listing is a bounded sample, not the family...
+  EXPECT_LE(truncated.cut_sets.cut_sets.size(), 257u);
+  // ...but every reliability number matches the untruncated reference.
+  expect_close(truncated.p_exact, reference.p_exact, "p_exact");
+  expect_close(truncated.p_rare_event, reference.p_rare_event,
+               "rare-event bound");
+  expect_close(truncated.p_esary_proschan, reference.p_esary_proschan,
+               "esary-proschan bound");
+  ASSERT_EQ(truncated.importance.size(), reference.importance.size());
+  std::unordered_map<const FtNode*, const ImportanceEntry*> by_event;
+  for (const ImportanceEntry& entry : reference.importance)
+    by_event.emplace(entry.event, &entry);
+  for (const ImportanceEntry& entry : truncated.importance) {
+    const auto it = by_event.find(entry.event);
+    ASSERT_NE(it, by_event.end());
+    const ImportanceEntry& expected = *it->second;
+    expect_close(entry.fussell_vesely, expected.fussell_vesely, "FV");
+    expect_close(entry.birnbaum, expected.birnbaum, "Birnbaum");
+    EXPECT_EQ(entry.cut_set_count, expected.cut_set_count)
+        << entry.event->name().str();
+    EXPECT_EQ(entry.smallest_order, expected.smallest_order)
+        << entry.event->name().str();
+  }
+
+  // The same truncated run in cut-set mode reports the partial sums: the
+  // sampled listing carries strictly less mass than the full family.
+  truncated_options.prob_mode = ProbMode::kCutSets;
+  const TreeAnalysis partial = analyse_tree(tree, truncated_options);
+  EXPECT_FALSE(partial.diagram_native);
+  EXPECT_LT(partial.p_rare_event, reference.p_rare_event);
+}
+
+TEST(DiagramNativeTest, DeadlineMidSweepFallsBackToFamily) {
+  FaultTree tree = replicated_tree(3, 12);
+  CutSetOptions cut_options;
+  cut_options.engine = CutSetEngine::kZbdd;
+  cut_options.max_sets = 256;
+  cut_options.keep_diagram = true;
+  const CutSetAnalysis analysis = compute_cut_sets(tree, cut_options);
+  ASSERT_TRUE(analysis.truncated);
+  ASSERT_NE(analysis.diagram, nullptr);
+  ASSERT_TRUE(analysis.diagram->exact);
+
+  ProbabilityOptions expired;
+  expired.budget.force_expire();
+  // The sweep itself reports the interrupt...
+  const ZbddMeasures measures = zbdd_measures(
+      analysis.diagram->zbdd, analysis.diagram->root,
+      diagram_probabilities(*analysis.diagram, expired), expired.budget);
+  EXPECT_FALSE(measures.complete);
+
+  // ...and the reliability stage degrades to the family-derived partials
+  // instead of using them.
+  const ReliabilitySummary degraded =
+      analyse_reliability(tree, analysis, expired, ProbMode::kDiagram);
+  EXPECT_FALSE(degraded.diagram_native);
+  ProbabilityOptions fresh;
+  const ReliabilitySummary family =
+      analyse_reliability(tree, analysis, fresh, ProbMode::kCutSets);
+  EXPECT_EQ(degraded.p_rare_event, family.p_rare_event);
+  EXPECT_EQ(degraded.p_esary_proschan, family.p_esary_proschan);
+  ASSERT_EQ(degraded.importance.size(), family.importance.size());
+  for (std::size_t i = 0; i < family.importance.size(); ++i) {
+    EXPECT_EQ(degraded.importance[i].event, family.importance[i].event);
+    EXPECT_EQ(degraded.importance[i].fussell_vesely,
+              family.importance[i].fussell_vesely);
+    EXPECT_EQ(degraded.importance[i].cut_set_count,
+              family.importance[i].cut_set_count);
+  }
+}
+
+// -- Cone cache: diagram records and the oversize counter ---------------------
+
+TEST(ConeCacheDiagramTest, BigConeRoundTripsThroughDiagramRecord) {
+  // 20^3 = 8000 sets in the voter cone: past kMaxCachedSets (4096), so
+  // only the diagram record kind can cache it.
+  FaultTree tree = replicated_tree(3, 20);
+  CutSetOptions options;
+  options.engine = CutSetEngine::kZbdd;
+
+  ConeCache producer(cone_keyspace(options));
+  options.cone_cache = &producer;
+  const std::string cold = compute_cut_sets(tree, options).to_string();
+  EXPECT_GT(producer.stats().diagram_entries, 0u);
+  EXPECT_EQ(producer.stats().skipped_oversize, 0u);
+
+  const std::string dir =
+      testing::TempDir() + "/prob_native_diagram_cache";
+  std::filesystem::remove_all(dir);
+  DiagnosticSink sink;
+  ASSERT_TRUE(producer.save(dir, &sink));
+
+  ConeCache warm(cone_keyspace(options));
+  ASSERT_TRUE(warm.load(dir, &sink));
+  EXPECT_GT(warm.stats().diagram_entries, 0u);
+  options.cone_cache = &warm;
+  EXPECT_EQ(compute_cut_sets(tree, options).to_string(), cold);
+  EXPECT_GT(warm.stats().hits, 0u);
+}
+
+TEST(ConeCacheDiagramTest, SetEngineCountsOversizeSkip) {
+  // The bottom-up engine has no structural fallback: the same 8000-set
+  // cone is clean but uncacheable, and the stats must say so.
+  FaultTree tree = replicated_tree(3, 20);
+  CutSetOptions options;  // micsup
+  ConeCache cache(cone_keyspace(options));
+  options.cone_cache = &cache;
+  compute_cut_sets(tree, options);
+  EXPECT_GT(cache.stats().skipped_oversize, 0u);
+  EXPECT_NE(cache.stats().to_string().find("oversize skip"),
+            std::string::npos);
+}
+
+TEST(ConeCacheDiagramTest, OversizeCounterIsDirectlyObservable) {
+  ConeCache cache;
+  EXPECT_EQ(cache.stats().skipped_oversize, 0u);
+  // The line only appears once there is something to report.
+  EXPECT_EQ(cache.stats().to_string().find("oversize"), std::string::npos);
+  cache.note_oversize_skip();
+  cache.note_oversize_skip();
+  EXPECT_EQ(cache.stats().skipped_oversize, 2u);
+  EXPECT_NE(cache.stats().to_string().find("oversize"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsynth

@@ -65,6 +65,13 @@ options:
                      sift-converge (sift until a pass stops paying). Every
                      policy emits identical output; sift keeps the diagram
                      small on adversarially shaped models.
+  --prob-mode MODE   probability/importance computation for analyse/fmea/
+                     report: cutsets (evaluate the extracted cut-set list),
+                     diagram (evaluate the zbdd engine's diagram directly:
+                     identical output on clean runs, EXACT probabilities
+                     and importance even when the cut-set listing is
+                     truncated), or auto (default: diagram exactly when
+                     --engine zbdd)
   --cache DIR        persist per-cone cut-set results in DIR and reuse them
                      on later runs of analyse/fmea/report (incremental
                      re-analysis: after an edit only affected cones are
@@ -234,6 +241,16 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
             << "' (expected static, sift or sift-converge)\n";
         return std::nullopt;
       }
+    } else if (arg == "--prob-mode") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      if (std::optional<ProbMode> mode = parse_prob_mode(*v)) {
+        options.request.prob_mode = *mode;
+      } else {
+        err << "error: unknown --prob-mode '" << *v
+            << "' (expected cutsets, diagram or auto)\n";
+        return std::nullopt;
+      }
     } else if (arg == "--cache") {
       auto v = value();
       if (!v) return std::nullopt;
@@ -359,6 +376,8 @@ service::Json build_wire_request(const Options& options) {
   } else if (request.order == OrderPolicy::kSiftConverge) {
     json.set("order", Json::string("sift-converge"));
   }
+  if (request.prob_mode != ProbMode::kAuto)
+    json.set("prob_mode", Json::string(to_string(request.prob_mode)));
   const long deadline_ms =
       request.deadline_ms > 0 ? request.deadline_ms : 60000;
   json.set("deadline_ms", Json::number(static_cast<double>(deadline_ms)));

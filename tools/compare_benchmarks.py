@@ -118,6 +118,67 @@ def service_report(path: str, metric: str, min_speedup: float) -> int:
     return 0
 
 
+def prob_report(path: str, metric: str, min_speedup: float) -> int:
+    """Cut-set-path vs diagram-path analyse latency from BENCH_prob.json.
+
+    Pairs every BM_Analyse<Fixture>Cutsets record with its
+    BM_Analyse<Fixture>Diagram counterpart. The truncated fixtures (where
+    extraction dominates and the diagram path skips it) carry the
+    --min-speedup bar; the Bbw pair is the honesty axis -- a clean run
+    costs the same in both modes by construction -- and is report-only.
+    """
+    times = load_benchmarks(path, metric)
+    pattern = re.compile(r"^BM_Analyse(.*?)(Cutsets|Diagram)$")
+    fixtures: dict[str, dict[str, float]] = {}
+    for name, value in times.items():
+        match = pattern.match(name)
+        if match:
+            fixtures.setdefault(match.group(1) or "Truncated", {})[
+                match.group(2)
+            ] = value
+
+    pairs = {
+        name: axes
+        for name, axes in sorted(fixtures.items())
+        if "Cutsets" in axes and "Diagram" in axes
+    }
+    if not pairs:
+        print(
+            "error: no Cutsets/Diagram benchmark pairs in " + path,
+            file=sys.stderr,
+        )
+        return 1
+
+    width = max(len(name) for name in pairs)
+    too_slow = []
+    print(f"{'fixture':<{width}}  {'cutsets ms':>11}  {'diagram ms':>11}  speedup")
+    for name, axes in pairs.items():
+        cutsets = axes["Cutsets"]
+        diagram = axes["Diagram"]
+        speedup = cutsets / diagram if diagram > 0 else float("inf")
+        honesty = name.startswith("Bbw")
+        note = "  (honesty axis, ~1x expected)" if honesty else ""
+        print(
+            f"{name:<{width}}  {cutsets:>11.2f}  {diagram:>11.2f}  "
+            f"{speedup:>6.1f}x{note}"
+        )
+        if not honesty and min_speedup > 0 and speedup < min_speedup:
+            too_slow.append((name, speedup))
+
+    if too_slow:
+        print(
+            f"\n{len(too_slow)} fixture(s) below the {min_speedup:.0f}x "
+            "diagram-mode bar:",
+            file=sys.stderr,
+        )
+        for name, speedup in too_slow:
+            print(f"  {name}: {speedup:.1f}x", file=sys.stderr)
+        return 1
+    if min_speedup > 0:
+        print(f"\nok: every truncated fixture meets the {min_speedup:.0f}x bar")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Diff two google-benchmark JSON files."
@@ -135,12 +196,19 @@ def main() -> int:
         "BENCH_service.json instead of diffing two files",
     )
     parser.add_argument(
+        "--prob-report",
+        metavar="RESULTS",
+        help="report cut-set-path vs diagram-path analyse latency from one "
+        "BENCH_prob.json instead of diffing two files",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=0.0,
         metavar="X",
-        help="with --service-report: fail when any workload's "
-        "ColdProcess/WarmDaemon ratio is below X (default: report only)",
+        help="with --service-report (--prob-report): fail when any "
+        "workload's cold/warm (cutsets/diagram) ratio is below X "
+        "(default: report only)",
     )
     parser.add_argument(
         "--threshold",
@@ -166,8 +234,13 @@ def main() -> int:
 
     if args.service_report:
         return service_report(args.service_report, args.metric, args.min_speedup)
+    if args.prob_report:
+        return prob_report(args.prob_report, args.metric, args.min_speedup)
     if args.baseline is None or args.candidate is None:
-        parser.error("BASELINE and CANDIDATE are required unless --service-report")
+        parser.error(
+            "BASELINE and CANDIDATE are required unless "
+            "--service-report/--prob-report"
+        )
 
     baseline = load_benchmarks(args.baseline, args.metric)
     candidate = load_benchmarks(args.candidate, args.metric)

@@ -151,6 +151,24 @@ def main() -> int:
                     ["analyse", model, "--engine", engine, "--order", order],
                 )
             )
+    # Explicit prob modes: diagram-native evaluation (zbdd) and forced
+    # cut-set evaluation, both byte-identical to the serial CLI.
+    for prob_mode in ("diagram", "cutsets"):
+        workload.append(
+            (
+                {"command": "analyse", "model": model, "engine": "zbdd",
+                 "prob_mode": prob_mode},
+                ["analyse", model, "--engine", "zbdd",
+                 "--prob-mode", prob_mode],
+            )
+        )
+    workload.append(
+        (
+            {"command": "fmea", "model": model, "engine": "zbdd",
+             "prob_mode": "diagram"},
+            ["fmea", model, "--engine", "zbdd", "--prob-mode", "diagram"],
+        )
+    )
     workload.append(({"command": "info", "model": model}, ["info", model]))
     workload.append(({"command": "fmea", "model": model}, ["fmea", model]))
     workload.append(({"command": "report", "model": model}, ["report", model]))
