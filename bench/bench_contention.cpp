@@ -1,0 +1,169 @@
+// Contention benchmarks for the sharded decision-diagram managers and the
+// parallel bottom-up ZBDD conversion (DESIGN.md section 12).
+//
+// The fixture is a forest of independent adversarial cones: a top OR over
+// `cones` subtrees with pairwise-disjoint basic events, where each cone is
+// the (a1+b1)(a2+b2)...(an+bn) transversal product led by its absorbed
+// spine a1...an. The spine forces the static DFS-occurrence order to group
+// all a's before all b's, which makes every cone's product fold build an
+// exponential intermediate diagram -- heavy, independent work per cone,
+// which is exactly the shape the cone scheduler spreads across workers.
+// The acceptance bar for this file is the 8-worker real-time speedup of
+// BM_ParallelConvertForest over its 1-worker (serial, null-pool) baseline.
+//
+// The family is identical on every axis point by the byte-identity
+// contract, so the cut_sets counter doubles as a correctness check: it
+// must read cones * 2^pairs everywhere.
+//
+// UseRealTime everywhere: the work spreads across pool workers, so CPU
+// time of the calling thread is meaningless as a progress measure.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "analysis/cutsets.h"
+#include "bdd/zbdd.h"
+#include "core/thread_pool.h"
+#include "fta/fault_tree.h"
+
+namespace {
+
+using namespace ftsynth;
+
+// workers == 1 runs the genuine serial path (null pool), not a 1-thread
+// pool, so the baseline has zero synchronisation overhead.
+ThreadPool* pool_for(std::int64_t workers, std::optional<ThreadPool>& owned) {
+  if (workers <= 1) return nullptr;
+  owned.emplace(static_cast<int>(workers));
+  return &*owned;
+}
+
+// Top OR over `cones` disjoint adversarial-product cones of `pairs` pairs
+// each. Minimal cut sets: cones * 2^pairs transversals of size `pairs`.
+FaultTree build_cone_forest(int cones, int pairs) {
+  FaultTree tree("cone_forest");
+  tree.set_top_description("Omission-forest");
+  std::vector<FtNode*> cone_nodes;
+  for (int c = 0; c < cones; ++c) {
+    std::vector<FtNode*> spine;
+    std::vector<FtNode*> factors;
+    for (int j = 0; j < pairs; ++j) {
+      const std::string suffix =
+          "_" + std::to_string(c) + "_" + std::to_string(j);
+      FtNode* a = tree.add_basic(Symbol("a" + suffix), 1e-4, "", "forest");
+      FtNode* b = tree.add_basic(Symbol("b" + suffix), 1e-4, "", "forest");
+      spine.push_back(a);
+      factors.push_back(tree.add_gate(GateKind::kOr, "", {a, b}));
+    }
+    // The spine {a_c_0 ... a_c_n} is itself a transversal, so OR-ing it in
+    // leaves the minimal family unchanged -- but depth-first occurrence
+    // now groups every a before every b, the worst static order.
+    FtNode* spine_gate = tree.add_gate(GateKind::kAnd, "", spine);
+    FtNode* product = tree.add_gate(GateKind::kAnd, "", factors);
+    cone_nodes.push_back(
+        tree.add_gate(GateKind::kOr, "", {spine_gate, product}));
+  }
+  tree.set_top(tree.add_gate(GateKind::kOr, "", cone_nodes));
+  return tree;
+}
+
+constexpr int kCones = 8;
+constexpr int kPairs = 11;  // 2^11 sets per cone, 16384 total
+
+// The headline series: parallel bottom-up conversion of the forest on the
+// sharded ZBDD, static (worst-case) order, 1/2/4/8 workers. Every cone is
+// one heavy independent gate task; the top OR join is a cheap union of
+// disjoint-variable families.
+void BM_ParallelConvertForest(benchmark::State& state) {
+  static FaultTree tree = build_cone_forest(kCones, kPairs);
+  std::optional<ThreadPool> owned;
+  CutSetOptions options;
+  options.engine = CutSetEngine::kZbdd;
+  options.pool = pool_for(state.range(0), owned);
+  std::size_t cut_sets = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = compute_cut_sets(tree, options);
+    cut_sets = analysis.cut_sets.size();
+    benchmark::DoNotOptimize(cut_sets);
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+}
+BENCHMARK(BM_ParallelConvertForest)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same forest under dynamic reordering: workers rendezvous for
+// stop-the-world sifting whenever the table crosses the growth threshold,
+// so this series prices the pause protocol on top of the parallel fold.
+// Sifting recovers the interleaved per-cone order, so the workload is
+// lighter overall than the static series -- the interesting number is the
+// 8-vs-1 ratio, not the absolute time.
+void BM_ParallelConvertForestSift(benchmark::State& state) {
+  static FaultTree tree = build_cone_forest(kCones, kPairs);
+  std::optional<ThreadPool> owned;
+  CutSetOptions options;
+  options.engine = CutSetEngine::kZbdd;
+  options.order = OrderPolicy::kSift;
+  options.pool = pool_for(state.range(0), owned);
+  std::size_t cut_sets = 0;
+  for (auto _ : state) {
+    CutSetAnalysis analysis = compute_cut_sets(tree, options);
+    cut_sets = analysis.cut_sets.size();
+    benchmark::DoNotOptimize(cut_sets);
+  }
+  state.counters["cut_sets"] = static_cast<double>(cut_sets);
+}
+BENCHMARK(BM_ParallelConvertForestSift)
+    ->Arg(1)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Manager-level shard contention: T threads hammer ONE Zbdd with
+// interleaved make/product/union over disjoint variable blocks. There is
+// no algorithmic sharing between threads, so any slowdown relative to the
+// single-thread series is pure synchronisation cost on the striped unique
+// table and op caches -- the number the 64-way sharding is meant to keep
+// flat.
+void BM_ZbddShardContention(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kVarsPerThread = 16;
+  constexpr int kRounds = 512;
+  for (auto _ : state) {
+    Zbdd zbdd;
+    std::vector<std::vector<int>> vars(8);
+    for (int t = 0; t < 8; ++t)
+      for (int j = 0; j < kVarsPerThread; ++j) vars[t].push_back(zbdd.new_var());
+    std::vector<Zbdd::Ref> results(static_cast<std::size_t>(threads));
+    std::vector<std::thread> team;
+    for (int t = 0; t < threads; ++t) {
+      team.emplace_back([&, t] {
+        const std::vector<int>& mine = vars[t % 8];
+        Zbdd::Ref acc = zbdd.single(mine[0]);
+        for (int round = 0; round < kRounds; ++round) {
+          Zbdd::Ref prod = zbdd.single(mine[(round + 1) % kVarsPerThread]);
+          for (int j = 0; j < 4; ++j) {
+            prod = zbdd.product(
+                prod, zbdd.single(mine[(round + j) % kVarsPerThread]));
+          }
+          acc = zbdd.set_union(acc, prod);
+        }
+        results[static_cast<std::size_t>(t)] = zbdd.minimal(acc);
+      });
+    }
+    for (std::thread& worker : team) worker.join();
+    benchmark::DoNotOptimize(results.data());
+    state.counters["table_nodes"] = static_cast<double>(zbdd.table_size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          threads * kRounds);
+}
+BENCHMARK(BM_ZbddShardContention)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -84,6 +84,11 @@ std::string ConeCacheStats::to_string() const {
         << (disk_entries_loaded == 1 ? "y" : "ies") << " loaded, "
         << disk_files_rejected << " file(s) rejected";
   }
+  if (entries != 0 && !shard_entries.empty()) {
+    out << "; shard occupancy:";
+    for (std::size_t i = 0; i < shard_entries.size(); ++i)
+      out << (i == 0 ? " " : "/") << shard_entries[i];
+  }
   return out.str();
 }
 
@@ -93,77 +98,85 @@ ConeCache::ConeCache(ConeKeyspace keyspace, std::size_t max_entries)
 
 std::shared_ptr<const ConeFamily> ConeCache::find(
     const StructuralHash& hash) const {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(hash);
+  shard.counters.lookups.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (auto it = shard.map.find(hash); it != shard.map.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.counters.hits.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.misses.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
 ConeCache::ConeHit ConeCache::find_any(const StructuralHash& hash) const {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
   ConeHit hit;
   Shard& shard = shard_for(hash);
+  shard.counters.lookups.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (auto it = shard.map.find(hash); it != shard.map.end()) {
     hit.family = it->second;
   } else if (auto dit = shard.diagrams.find(hash); dit != shard.diagrams.end()) {
     hit.diagram = dit->second;
   }
-  (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  (hit ? shard.counters.hits : shard.counters.misses)
+      .fetch_add(1, std::memory_order_relaxed);
   return hit;
 }
 
 void ConeCache::store(const StructuralHash& hash, ConeFamily family) {
-  if (entries_.load(std::memory_order_relaxed) >= max_entries_) {
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(hash);
+  if (total_entries() >= max_entries_) {
+    shard.counters.evictions.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   auto value = std::make_shared<const ConeFamily>(std::move(family));
   const std::size_t bytes = family_bytes(*value);
-  Shard& shard = shard_for(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
   // First writer wins: concurrent stores for one hash computed the same
   // clean family, so dropping the duplicate loses nothing. A hash is one
   // entry of ONE kind; an existing diagram entry also blocks the store.
   if (shard.diagrams.find(hash) != shard.diagrams.end()) return;
   if (!shard.map.emplace(hash, std::move(value)).second) return;
-  stores_.fetch_add(1, std::memory_order_relaxed);
-  entries_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  shard.counters.stores.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.entries.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void ConeCache::store_diagram(const StructuralHash& hash, ConeDiagram diagram) {
-  if (entries_.load(std::memory_order_relaxed) >= max_entries_) {
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(hash);
+  if (total_entries() >= max_entries_) {
+    shard.counters.evictions.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   auto value = std::make_shared<const ConeDiagram>(std::move(diagram));
   const std::size_t bytes = sizeof(ConeDiagram) + value->node_bytes();
-  Shard& shard = shard_for(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (shard.map.find(hash) != shard.map.end()) return;
   if (!shard.diagrams.emplace(hash, std::move(value)).second) return;
-  stores_.fetch_add(1, std::memory_order_relaxed);
-  entries_.fetch_add(1, std::memory_order_relaxed);
-  diagram_entries_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  shard.counters.stores.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.entries.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.diagram_entries.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 ConeCacheStats ConeCache::stats() const {
   ConeCacheStats stats;
-  stats.lookups = lookups_.load(std::memory_order_relaxed);
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.stores = stores_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.entries = entries_.load(std::memory_order_relaxed);
-  stats.diagram_entries = diagram_entries_.load(std::memory_order_relaxed);
-  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.shard_entries.reserve(kShards);
+  for (const Shard& shard : shards_) {
+    const ShardCounters& c = shard.counters;
+    stats.lookups += c.lookups.load(std::memory_order_relaxed);
+    stats.hits += c.hits.load(std::memory_order_relaxed);
+    stats.misses += c.misses.load(std::memory_order_relaxed);
+    stats.stores += c.stores.load(std::memory_order_relaxed);
+    stats.evictions += c.evictions.load(std::memory_order_relaxed);
+    const std::uint64_t entries = c.entries.load(std::memory_order_relaxed);
+    stats.entries += entries;
+    stats.shard_entries.push_back(entries);
+    stats.diagram_entries +=
+        c.diagram_entries.load(std::memory_order_relaxed);
+    stats.bytes += c.bytes.load(std::memory_order_relaxed);
+  }
   stats.disk_entries_loaded = disk_entries_loaded_.load(std::memory_order_relaxed);
   stats.disk_files_rejected = disk_files_rejected_.load(std::memory_order_relaxed);
   stats.skipped_oversize = skipped_oversize_.load(std::memory_order_relaxed);

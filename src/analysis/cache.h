@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "core/symbol.h"
+#include "core/sync.h"
 #include "fta/simplify.h"
 
 namespace ftsynth {
@@ -119,9 +120,9 @@ struct ConeKeyspace {
 ConeKeyspace cone_keyspace(const CutSetOptions& options);
 
 /// Counters for the --verbose stats block and the cache benchmarks.
-/// Snapshot semantics: stats() reads each counter atomically; the set is
-/// consistent enough for reporting, not for exact cross-counter invariants
-/// while writers are live.
+/// Snapshot semantics: stats() aggregates the per-shard counter blocks at
+/// read time; the set is consistent enough for reporting, not for exact
+/// cross-counter invariants while writers are live.
 struct ConeCacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
@@ -139,8 +140,13 @@ struct ConeCacheStats {
   /// "miss that will miss again" the diagram record kind exists to
   /// shrink. Distinguishes "cold" from "uncacheable" in --verbose output.
   std::uint64_t skipped_oversize = 0;
+  /// Resident entries per shard (--verbose occupancy line): a skewed
+  /// distribution means the structural hash is clustering and one shard's
+  /// lock is doing most of the work.
+  std::vector<std::uint64_t> shard_entries;
 
-  /// "cone cache: 12 hits / 4 misses ..." one-line rendering.
+  /// "cone cache: 12 hits / 4 misses ..." one-line rendering (occupancy
+  /// appended when any shard is non-empty).
   std::string to_string() const;
 };
 
@@ -246,6 +252,23 @@ class ConeCache {
   bool save(const std::string& directory, DiagnosticSink* sink) const;
 
  private:
+  /// One shard's counter block, padded onto its own cache line: the warm
+  /// read-mostly path (every lookup bumps lookups + hits) stays entirely
+  /// within the shard the hash already routed to, so counter traffic never
+  /// couples shards -- previously these were a single row of adjacent
+  /// cache-wide atomics that every worker's increments bounced between
+  /// cores. Updated with relaxed increments, aggregated by stats().
+  struct alignas(kCacheLineSize) ShardCounters {
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> entries{0};
+    std::atomic<std::uint64_t> diagram_entries{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<StructuralHash, std::shared_ptr<const ConeFamily>,
@@ -254,6 +277,7 @@ class ConeCache {
     std::unordered_map<StructuralHash, std::shared_ptr<const ConeDiagram>,
                        StructuralHashHasher>
         diagrams;
+    mutable ShardCounters counters;
   };
 
   static constexpr std::size_t kShards = 16;
@@ -262,17 +286,21 @@ class ConeCache {
     return shards_[StructuralHashHasher{}(hash) % kShards];
   }
 
+  /// Aggregate resident-entry count (the store cap probe). O(kShards)
+  /// relaxed loads -- stores are rare next to lookups, so the scan is
+  /// cheaper than keeping one contended global counter hot.
+  std::uint64_t total_entries() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+      total += shard.counters.entries.load(std::memory_order_relaxed);
+    return total;
+  }
+
   ConeKeyspace keyspace_;
   std::size_t max_entries_;
   mutable std::array<Shard, kShards> shards_;
-  mutable std::atomic<std::uint64_t> lookups_{0};
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> stores_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> entries_{0};
-  std::atomic<std::uint64_t> diagram_entries_{0};
-  std::atomic<std::uint64_t> bytes_{0};
+  // Cold-path counters (disk IO and oversize skips happen at most once per
+  // cone/run): cache-wide atomics are fine here.
   std::atomic<std::uint64_t> disk_entries_loaded_{0};
   std::atomic<std::uint64_t> disk_files_rejected_{0};
   std::atomic<std::uint64_t> skipped_oversize_{0};

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <bit>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "analysis/cache.h"
 #include "analysis/ordering.h"
@@ -1081,7 +1087,250 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
       }
       return memo.at(top);
     };
-    root = zbdd.minimal(convert(flat.top()));
+
+    // -- Parallel bottom-up DAG conversion (the --jobs path) ---------------
+    //
+    // Independent cones of the gate DAG convert concurrently on the shared
+    // pool. Node construction is thread-safe (the managers' sharded
+    // tables), and the family each gate converges to is canonical under
+    // the current variable order however the folds interleave, so the
+    // extracted (and canonically sorted) listing is byte-identical to a
+    // --jobs 1 run. The STRUCTURAL phases are not concurrent: a worker
+    // that observes the reorder-pressure flag requests a stop-the-world
+    // rendezvous, every participant parks at a safe point between
+    // operations with its partial accumulator published as a GC root, the
+    // last one to park runs the sift exclusively, and the rest resume.
+    // The protocol and its determinism argument live in DESIGN.md §12.
+    auto parallel_convert = [&](const FtNode* top) -> Zbdd::Ref {
+      if (std::optional<Zbdd::Ref> simple = resolve_simple(top))
+        return *simple;
+      struct ChildSlot {
+        Zbdd::Ref ref = Zbdd::kEmpty;
+        std::ptrdiff_t task = -1;  ///< >= 0: index of the producing task
+      };
+      struct GateTask {
+        const FtNode* node = nullptr;
+        bool is_or = false;
+        std::vector<ChildSlot> children;
+        std::vector<std::size_t> parents;  ///< one entry per waiting edge
+        std::size_t unresolved = 0;        ///< child tasks not yet done
+        Zbdd::Ref result = Zbdd::kEmpty;
+        bool done = false;
+      };
+      // Discovery runs serially on the caller: everything resolve_simple
+      // can answer (leaves, NOT gates, memo/cache hits) is built here,
+      // before workers start; only AND/OR gates become tasks, with their
+      // child refs pre-resolved so workers never touch the memo, the cone
+      // cache or the context.
+      std::vector<GateTask> tasks;
+      std::unordered_map<const FtNode*, std::size_t> task_of;
+      {
+        std::vector<const FtNode*> stack{top};
+        while (!stack.empty()) {
+          const FtNode* node = stack.back();
+          stack.pop_back();
+          if (task_of.count(node) != 0) continue;
+          task_of.emplace(node, tasks.size());
+          tasks.push_back({node, node->gate() == GateKind::kOr, {}, {}, 0,
+                           Zbdd::kEmpty, false});
+          for (const FtNode* child : node->children())
+            if (!resolve_simple(child)) stack.push_back(child);
+        }
+      }
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        GateTask& task = tasks[t];
+        task.children.reserve(task.node->children().size());
+        for (const FtNode* child : task.node->children()) {
+          if (std::optional<Zbdd::Ref> ready = resolve_simple(child)) {
+            task.children.push_back({*ready, -1});
+          } else {
+            const std::size_t producer = task_of.at(child);
+            task.children.push_back(
+                {Zbdd::kEmpty, static_cast<std::ptrdiff_t>(producer)});
+            tasks[producer].parents.push_back(t);
+            ++task.unresolved;
+          }
+        }
+      }
+
+      // Scheduler state. Heap-shared so pool helpers that start AFTER the
+      // caller has already drained the graph can still run their prologue
+      // safely: they check `closed` under the mutex and leave without
+      // touching anything frame-local. The caller only sets `closed` once
+      // every entered helper has left (`entered == 0`).
+      struct Shared {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool closed = false;
+        std::size_t entered = 0;  ///< threads currently inside drive()
+        std::deque<std::size_t> ready;
+        std::size_t remaining = 0;
+        bool stw = false;  ///< stop-the-world rendezvous requested
+        std::size_t parked = 0;
+        std::uint64_t generation = 0;
+        std::vector<Zbdd::Ref> parked_accs;  ///< GC roots of parked workers
+        bool abort = false;
+        bool have_interrupt = false;
+        bool interrupt_deadline = false;
+      };
+      auto shared = std::make_shared<Shared>();
+      shared->remaining = tasks.size();
+      for (std::size_t t = 0; t < tasks.size(); ++t)
+        if (tasks[t].unresolved == 0) shared->ready.push_back(t);
+
+      // Parks the caller at a safe point: no worker holds manager state
+      // outside parked_accs / done results / the memo. The LAST one to
+      // park becomes the leader and runs the reorder with every live ref
+      // rooted; the others sleep until the generation advances. Returns
+      // false when the run aborted instead.
+      auto rendezvous = [&](Shared& s, std::unique_lock<std::mutex>& lock,
+                            std::optional<Zbdd::Ref> acc) -> bool {
+        if (acc) s.parked_accs.push_back(*acc);
+        ++s.parked;
+        const std::uint64_t gen = s.generation;
+        if (s.parked == s.entered) {
+          std::vector<Zbdd::Ref> roots;
+          roots.reserve(memo.size() + tasks.size() + s.parked_accs.size() + 1);
+          roots.push_back(contra);
+          for (const auto& [node, ref] : memo) roots.push_back(ref);
+          for (const GateTask& task : tasks)
+            if (task.done) roots.push_back(task.result);
+          for (Zbdd::Ref parked : s.parked_accs) roots.push_back(parked);
+          // Exclusive access: everyone else is parked in the wait below or
+          // blocked on the mutex (held throughout the structural phase).
+          if (std::optional<SiftStats> stats =
+                  zbdd.maybe_reorder(roots, sift_options))
+            sift_total.merge(*stats);
+          s.parked_accs.clear();
+          s.parked = 0;
+          s.stw = false;
+          ++s.generation;
+          s.cv.notify_all();
+          return !s.abort;
+        }
+        s.cv.wait(lock, [&] { return s.generation != gen || s.abort; });
+        if (s.generation == gen) {  // abort fired before a leader emerged
+          --s.parked;
+          return false;
+        }
+        return !s.abort;
+      };
+
+      // Folds one gate. Unlocked except at the safe points between
+      // operations; returns nullopt when the run aborted mid-fold.
+      auto run_task = [&](Shared& s, GateTask& task)
+          -> std::optional<Zbdd::Ref> {
+        Zbdd::Ref acc = task.is_or ? Zbdd::kEmpty : Zbdd::kBase;
+        auto safe_point = [&]() -> bool {
+          const bool pressure = dynamic_order && zbdd.reorder_pending();
+          std::unique_lock<std::mutex> lock(s.mutex);
+          if (s.abort) return false;
+          if (pressure) {
+            s.stw = true;
+            s.cv.notify_all();  // idle workers park too
+          }
+          if (s.stw) return rendezvous(s, lock, acc);
+          return true;
+        };
+        try {
+          for (const ChildSlot& slot : task.children) {
+            const Zbdd::Ref child =
+                slot.task < 0
+                    ? slot.ref
+                    : tasks[static_cast<std::size_t>(slot.task)].result;
+            acc = task.is_or ? zbdd.set_union(acc, child)
+                             : zbdd.product(acc, child);
+            if (!safe_point()) return std::nullopt;
+          }
+          if (!task.is_or && contra != Zbdd::kEmpty) {
+            acc = zbdd.without(acc, contra);
+            if (!safe_point()) return std::nullopt;
+          }
+          acc = zbdd.minimal(acc);
+        } catch (const Zbdd::Interrupt& interrupt) {
+          std::lock_guard<std::mutex> lock(s.mutex);
+          if (!s.have_interrupt) {
+            s.have_interrupt = true;
+            s.interrupt_deadline = interrupt.deadline_exceeded;
+          }
+          s.abort = true;
+          s.cv.notify_all();
+          return std::nullopt;
+        }
+        return acc;
+      };
+
+      // The worker loop every participant runs: caller and helpers alike.
+      auto drive = [&](Shared& s) {
+        std::unique_lock<std::mutex> lock(s.mutex);
+        for (;;) {
+          if (s.abort) return;
+          if (s.stw) {
+            if (!rendezvous(s, lock, std::nullopt)) return;
+            continue;
+          }
+          if (!s.ready.empty()) {
+            const std::size_t index = s.ready.front();
+            s.ready.pop_front();
+            lock.unlock();
+            GateTask& task = tasks[index];
+            std::optional<Zbdd::Ref> result = run_task(s, task);
+            lock.lock();
+            if (!result) continue;  // abort recorded; next check exits
+            task.result = *result;
+            task.done = true;
+            --s.remaining;
+            for (std::size_t parent : task.parents)
+              if (--tasks[parent].unresolved == 0) s.ready.push_back(parent);
+            s.cv.notify_all();
+            continue;
+          }
+          if (s.remaining == 0) return;
+          s.cv.wait(lock, [&] {
+            return s.abort || s.stw || !s.ready.empty() || s.remaining == 0;
+          });
+        }
+      };
+
+      ThreadPool* pool = context.pool();
+      const std::size_t helpers = std::min(pool->size(), tasks.size());
+      for (std::size_t i = 0; i < helpers; ++i) {
+        pool->submit([shared, &drive] {
+          std::unique_lock<std::mutex> lock(shared->mutex);
+          if (shared->closed) return;
+          ++shared->entered;
+          lock.unlock();
+          drive(*shared);  // safe: the caller waits for entered == 0
+          lock.lock();
+          --shared->entered;
+          shared->cv.notify_all();
+        });
+      }
+      {
+        std::unique_lock<std::mutex> lock(shared->mutex);
+        ++shared->entered;
+        lock.unlock();
+        drive(*shared);
+        lock.lock();
+        --shared->entered;
+        shared->cv.notify_all();
+        shared->cv.wait(lock, [&] { return shared->entered == 0; });
+        shared->closed = true;
+      }
+      if (shared->have_interrupt)
+        throw Zbdd::Interrupt{shared->interrupt_deadline};
+      check_internal(shared->remaining == 0,
+                     "parallel ZBDD conversion left unfinished gates");
+      // Adopt the gate results into the memo: the cache-publishing pass,
+      // the GC root builder and keep_diagram all read it.
+      for (const GateTask& task : tasks) memo.emplace(task.node, task.result);
+      return memo.at(top);
+    };
+
+    const bool parallel =
+        context.pool() != nullptr && context.pool()->size() > 1;
+    root = zbdd.minimal(parallel ? parallel_convert(flat.top())
+                                 : convert(flat.top()));
     conversion_complete = true;
     // For the symbolic engine the working set IS the diagram.
     context.track_peak(zbdd.size());
@@ -1105,34 +1354,107 @@ CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
     // keeps the listing informative while the dominant cost of huge-family
     // runs disappears.
     std::size_t extract_cap = context.options().max_sets;
-    if (options.keep_diagram &&
-        zbdd.set_count(root) > static_cast<double>(extract_cap)) {
+    const double family_size = zbdd.set_count(root);
+    if (options.keep_diagram && family_size > static_cast<double>(extract_cap))
       extract_cap = std::min(extract_cap, kDiagramSampleSets);
-    }
     std::vector<int> path;
     bool truncated_paths = false;
-    auto extract = [&](auto&& self, Zbdd::Ref ref) -> void {
-      if (context.deadline_hit()) return;
-      if (ref == Zbdd::kEmpty) return;
-      if (sets.size() > extract_cap) {
-        truncated_paths = true;
-        return;
-      }
-      if (ref == Zbdd::kBase) {
-        if (path.size() > context.options().max_order) {
+    if (family_size <= static_cast<double>(extract_cap)) {
+      // The whole family fits the cap: one diagram-order walk lists it
+      // all, and finish() sorts canonically. Only max_order can truncate.
+      auto extract = [&](auto&& self, Zbdd::Ref ref) -> void {
+        if (context.deadline_hit()) return;
+        if (ref == Zbdd::kEmpty) return;
+        if (sets.size() > extract_cap) {
           truncated_paths = true;
           return;
         }
-        sets.push_back(context.set_from_literals(path));
-        return;
+        if (ref == Zbdd::kBase) {
+          if (path.size() > context.options().max_order) {
+            truncated_paths = true;
+            return;
+          }
+          sets.push_back(context.set_from_literals(path));
+          return;
+        }
+        const Zbdd::Node node = zbdd.node(ref);
+        self(self, node.low);
+        path.push_back(node.var);
+        self(self, node.high);
+        path.pop_back();
+      };
+      extract(extract, root);
+    } else {
+      // Truncated family: the listing is a bounded sample. Sample it
+      // CANONICALLY -- smallest sets first, set_less within one order --
+      // instead of in diagram order: diagram order follows the variable
+      // order, which dynamic reordering (and, under --jobs, its timing)
+      // moves, and stdout must depend on neither. Per-node order bounds
+      // prune each sweep to the subgraphs that can hold a set of the
+      // wanted size; the enumeration ceiling bounds the boundary order's
+      // cost (a sample past the ceiling keeps the enumeration prefix --
+      // the documented residual, docs/FORMATS.md).
+      truncated_paths = true;
+      constexpr std::size_t kNoSets = std::numeric_limits<std::size_t>::max();
+      std::unordered_map<Zbdd::Ref, std::pair<std::size_t, std::size_t>>
+          bounds;  // min / max literals over the node's family
+      auto order_bounds = [&](auto&& self, Zbdd::Ref ref)
+          -> std::pair<std::size_t, std::size_t> {
+        if (ref == Zbdd::kEmpty) return {kNoSets, 0};
+        if (ref == Zbdd::kBase) return {0, 0};
+        if (auto it = bounds.find(ref); it != bounds.end()) return it->second;
+        const Zbdd::Node node = zbdd.node(ref);
+        const auto low = self(self, node.low);
+        const auto high = self(self, node.high);  // never the empty family
+        const std::pair<std::size_t, std::size_t> result{
+            std::min(low.first,
+                     high.first == kNoSets ? kNoSets : high.first + 1),
+            std::max(low.second, high.second + 1)};
+        bounds.emplace(ref, result);
+        return result;
+      };
+      const auto root_bounds = order_bounds(order_bounds, root);
+      const std::size_t k_hi =
+          std::min(root_bounds.second, context.options().max_order);
+      const std::size_t ceiling =
+          std::max<std::size_t>(4 * extract_cap, std::size_t{1} << 16);
+      std::vector<Set> order_sets;
+      auto enumerate = [&](auto&& self, Zbdd::Ref ref,
+                           std::size_t want) -> bool {
+        if (ref == Zbdd::kEmpty) return true;
+        if (context.deadline_hit()) return false;
+        if (ref == Zbdd::kBase) {
+          if (want == 0) {
+            if (order_sets.size() >= ceiling) return false;
+            order_sets.push_back(context.set_from_literals(path));
+          }
+          return true;
+        }
+        const auto node_bounds = order_bounds(order_bounds, ref);
+        if (node_bounds.first > want || node_bounds.second < want)
+          return true;  // no set of exactly `want` literals below here
+        const Zbdd::Node node = zbdd.node(ref);
+        if (!self(self, node.low, want)) return false;
+        if (want > 0) {
+          path.push_back(node.var);
+          const bool keep_going = self(self, node.high, want - 1);
+          path.pop_back();
+          if (!keep_going) return false;
+        }
+        return true;
+      };
+      bool stop = false;
+      for (std::size_t k = root_bounds.first;
+           !stop && k <= k_hi && sets.size() < extract_cap; ++k) {
+        order_sets.clear();
+        if (!enumerate(enumerate, root, k)) stop = true;
+        std::sort(order_sets.begin(), order_sets.end(), set_less);
+        for (Set& set : order_sets) {
+          if (sets.size() >= extract_cap) break;
+          sets.push_back(std::move(set));
+        }
       }
-      const Zbdd::Node node = zbdd.node(ref);
-      self(self, node.low);
-      path.push_back(node.var);
-      self(self, node.high);
-      path.pop_back();
-    };
-    extract(extract, root);
+    }
     if (truncated_paths) context.mark_truncated();
 
     // Publish every memoised gate family after a CLEAN run (partial

@@ -73,6 +73,7 @@ ReliabilitySummary analyse_reliability(const FaultTree& tree,
     out.diagram_native = true;
     out.p_rare_event = measures.total_mass;
     out.p_esary_proschan = measures.esary_proschan;
+    out.p_mcub = measures.mcub;
     for (std::size_t r = 0; r < diagram->events.size(); ++r) {
       const FtNode* event = diagram->events[r];
       if (event == nullptr) continue;
@@ -95,6 +96,7 @@ ReliabilitySummary analyse_reliability(const FaultTree& tree,
     // family; bounds from probability.h.
     out.p_rare_event = rare_event_bound(analysis, options);
     out.p_esary_proschan = esary_proschan_bound(analysis, options);
+    out.p_mcub = mcub_bound(analysis, options);
     for (const CutSet& cs : analysis.cut_sets) {
       const double p = cut_set_probability(cs, options);
       for (const CutLiteral& literal : cs) {

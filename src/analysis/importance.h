@@ -42,6 +42,7 @@ struct ReliabilitySummary {
   double p_exact = 0.0;          ///< exact P(top) on the BDD
   double p_rare_event = 0.0;     ///< sum of cut-set probabilities
   double p_esary_proschan = 0.0; ///< 1 - prod(1 - P(set))
+  double p_mcub = 0.0;           ///< same bound in log space (mcub_bound)
   /// True when the family-derived numbers above (rare-event, EP, FV,
   /// counts, orders) came from diagram traversal rather than the
   /// extracted cut-set list. Happens only when `mode` requested it, the

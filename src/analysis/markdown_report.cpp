@@ -98,6 +98,7 @@ void render_top_event(const FaultTree& tree, const TreeAnalysis& analysis,
          std::to_string(stats.depth) + "\n";
   out += "- P(top): rare-event " + format_double(analysis.p_rare_event) +
          ", Esary-Proschan " + format_double(analysis.p_esary_proschan) +
+         ", MCUB " + format_double(analysis.p_mcub) +
          ", exact " + format_double(analysis.p_exact) + " (t = " +
          format_double(options.analysis.probability.mission_time_hours) +
          " h)\n";

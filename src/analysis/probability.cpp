@@ -55,6 +55,17 @@ double esary_proschan_bound(const CutSetAnalysis& analysis,
   return 1.0 - product;
 }
 
+double mcub_bound(const CutSetAnalysis& analysis,
+                  const ProbabilityOptions& options) {
+  double log_q = 0.0;  // log prod (1 - P(cs)), accumulated without rounding
+  for (const CutSet& cs : analysis.cut_sets) {
+    const double p = cut_set_probability(cs, options);
+    if (p >= 1.0) return 1.0;  // a certain cut set saturates the bound
+    log_q += std::log1p(-p);
+  }
+  return -std::expm1(log_q);
+}
+
 namespace {
 
 /// Probability of the union of literal sets `indices` (intersection of the

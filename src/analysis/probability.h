@@ -49,6 +49,16 @@ double rare_event_bound(const CutSetAnalysis& analysis,
 double esary_proschan_bound(const CutSetAnalysis& analysis,
                             const ProbabilityOptions& options);
 
+/// The minimal-cut-set upper bound (MCUB): the same product bound as
+/// Esary-Proschan, evaluated in log space as -expm1(sum log1p(-P(cs))).
+/// Agrees with esary_proschan_bound to rounding, but keeps full relative
+/// precision when every set probability is tiny -- the naive product
+/// rounds each factor 1 - P(cs) to 1 and collapses to 0 long before the
+/// sum of masses does. Reported as its own figure so the reader can see
+/// when the two evaluations of the bound part ways.
+double mcub_bound(const CutSetAnalysis& analysis,
+                  const ProbabilityOptions& options);
+
 /// Inclusion-exclusion over cut-set unions, truncated after `max_terms`
 /// intersection orders (exact when max_terms >= number of cut sets).
 /// Intersections account for shared events correctly. When

@@ -28,6 +28,7 @@ TreeAnalysis analyse_tree(const FaultTree& tree,
   analysis.importance = std::move(reliability.importance);
   analysis.p_rare_event = reliability.p_rare_event;
   analysis.p_esary_proschan = reliability.p_esary_proschan;
+  analysis.p_mcub = reliability.p_mcub;
   analysis.p_exact = reliability.p_exact;
   analysis.diagram_native = reliability.diagram_native;
   // The diagram has served its purpose; drop it so TreeAnalysis stays as
@@ -76,6 +77,7 @@ std::string render(const FaultTree& tree, const TreeAnalysis& analysis,
 
   out += "P(top): rare-event " + format_double(analysis.p_rare_event) +
          ", Esary-Proschan " + format_double(analysis.p_esary_proschan) +
+         ", MCUB " + format_double(analysis.p_mcub) +
          ", exact (BDD) " + format_double(analysis.p_exact) + "  [t = " +
          format_double(options.probability.mission_time_hours) + " h]\n";
 

@@ -45,6 +45,7 @@ struct TreeAnalysis {
   std::vector<ImportanceEntry> importance;
   double p_rare_event = 0.0;
   double p_esary_proschan = 0.0;
+  double p_mcub = 0.0;
   double p_exact = 0.0;
   /// True when the family-derived numbers came from diagram traversal
   /// (see ReliabilitySummary::diagram_native). Deliberately absent from

@@ -88,6 +88,7 @@ ZbddMeasures zbdd_measures(const Zbdd& zbdd, Zbdd::Ref root,
     // No sets: every measure is its identity.
     m.complete = true;
     m.esary_converged = true;
+    m.mcub_converged = true;
     return m;
   }
   if (root == Zbdd::kBase) {
@@ -98,6 +99,8 @@ ZbddMeasures zbdd_measures(const Zbdd& zbdd, Zbdd::Ref root,
     m.total_mass = 1.0;
     m.esary_proschan = 1.0;
     m.esary_converged = true;
+    m.mcub = 1.0;
+    m.mcub_converged = true;
     return m;
   }
 
@@ -230,6 +233,8 @@ ZbddMeasures zbdd_measures(const Zbdd& zbdd, Zbdd::Ref root,
       }
     }
     m.esary_proschan = 1.0 - std::exp(-exponent);
+    m.mcub = -std::expm1(-exponent);
+    m.mcub_converged = m.esary_converged;
   }
 
   m.complete = true;

@@ -57,6 +57,12 @@ struct ZbddMeasures {
   /// probability is < 1; a family containing a probability-1 set exits
   /// early with the bound saturated at 1).
   bool esary_converged = false;
+  /// The minimal-cut-set upper bound: the same exponent as esary_proschan
+  /// finished with -expm1 instead of 1 - exp, so tiny bounds keep full
+  /// relative precision (mirrors probability.h's mcub_bound on the
+  /// extracted family).
+  double mcub = 0.0;
+  bool mcub_converged = false;  ///< same series, same convergence
 
   /// Per-variable splits, indexed by ZBDD variable id (sized like the
   /// probability vector). var_mass[v] = sum of P(set) over sets containing

@@ -52,7 +52,6 @@ class Budget {
     latch_ = other.latch_;
     expired_.store(other.expired_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
-    tick_.store(0, std::memory_order_relaxed);
     return *this;
   }
 
@@ -109,8 +108,13 @@ class Budget {
   bool poll() noexcept {
     if (expired_.load(std::memory_order_relaxed)) return true;
     if (!deadline_ && !latch_) return false;
-    if (tick_.fetch_add(1, std::memory_order_relaxed) % kStride != 0)
-      return false;
+    // Per-thread stride counter: a shared fetch_add would bounce one cache
+    // line between every worker polling the same budget object (the
+    // diagram managers hand all conversion workers a single Budget*). The
+    // counter amortises clock reads, so sharing it across unrelated
+    // Budget objects on one thread is harmless.
+    thread_local unsigned tick = 0;
+    if (++tick % kStride != 0) return false;
     return expired();
   }
 
@@ -125,7 +129,6 @@ class Budget {
   std::optional<Clock::time_point> deadline_;
   /// Latched expiry shared by all copies taken after set_deadline().
   std::shared_ptr<std::atomic<bool>> latch_;
-  std::atomic<unsigned> tick_{0};
   mutable std::atomic<bool> expired_{false};
 };
 

@@ -34,9 +34,12 @@ std::string Diagnostic::to_string() const {
 void DiagnosticSink::report(Diagnostic diagnostic) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (diagnostic.severity == Severity::kError) {
-    ++error_count_;
-    if (kept_errors_ >= max_errors_) return;  // dropped, but still counted
-    ++kept_errors_;
+    error_count_.add(1);
+    if (kept_errors_.load() >= max_errors_)
+      return;  // dropped, but still counted
+    kept_errors_.add(1);
+  } else {
+    warning_count_.add(1);
   }
   diagnostics_.push_back(std::move(diagnostic));
 }
@@ -83,10 +86,10 @@ std::string DiagnosticSink::render_table() const {
                    d.location.to_string(), std::string(to_string(d.kind)),
                    d.block_path, d.message});
   }
-  const std::size_t warnings = diagnostics_.size() - kept_errors_;
-  const std::size_t dropped = error_count_ - kept_errors_;
+  const std::size_t warnings = diagnostics_.size() - kept_errors_.load();
+  const std::size_t dropped = error_count_.load() - kept_errors_.load();
   std::string out = table.render();
-  out += std::to_string(error_count_) + " error(s), " +
+  out += std::to_string(error_count_.load()) + " error(s), " +
          std::to_string(warnings) + " warning(s)";
   if (dropped > 0) {
     out += " (" + std::to_string(dropped) +

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "core/sync.h"
 
 namespace ftsynth {
 
@@ -61,12 +62,14 @@ struct Diagnostic {
 ///
 /// Concurrency: report() and the counter accessors are safe to call from
 /// many threads sharing one sink -- the cap is applied atomically, no
-/// diagnostic is lost, and the counts stay exact. The order in which
-/// concurrent reports land is scheduling-dependent, so deterministic
-/// pipelines (the batch orchestrator) collect into per-item sinks and
-/// merge them in item order instead of reporting concurrently.
-/// diagnostics() returns a reference into the sink: only read it once all
-/// producers are done.
+/// diagnostic is lost, and the counts stay exact. The counters live in
+/// padded atomics, so the accessors recovering parsers poll in their hot
+/// loops (saturated(), error_count()) are lock-free reads that never
+/// contend with an appending producer. The order in which concurrent
+/// reports land is scheduling-dependent, so deterministic pipelines (the
+/// batch orchestrator) collect into per-item sinks and merge them in item
+/// order instead of reporting concurrently. diagnostics() returns a
+/// reference into the sink: only read it once all producers are done.
 class DiagnosticSink {
  public:
   static constexpr std::size_t kDefaultMaxErrors = 100;
@@ -89,31 +92,20 @@ class DiagnosticSink {
     return diagnostics_;
   }
 
-  std::size_t error_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return error_count_;
-  }
-  std::size_t warning_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return diagnostics_.size() - kept_errors_;
-  }
+  std::size_t error_count() const { return error_count_.load(); }
+  std::size_t warning_count() const { return warning_count_.load(); }
   bool has_errors() const { return error_count() > 0; }
   bool empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return diagnostics_.empty();
+    return kept_errors_.load() + warning_count_.load() == 0;
   }
 
   /// True once the error cap is reached; producers should give up on
   /// recovery and synchronise to the end of their input.
-  bool saturated() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return kept_errors_ >= max_errors_;
-  }
+  bool saturated() const { return kept_errors_.load() >= max_errors_; }
 
   /// Errors reported past the cap (counted, not stored).
   std::size_t dropped() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return error_count_ - kept_errors_;
+    return error_count_.load() - kept_errors_.load();
   }
 
   /// First error diagnostic, or nullptr when there is none.
@@ -129,11 +121,15 @@ class DiagnosticSink {
   std::string render_table() const;
 
  private:
-  mutable std::mutex mutex_;  ///< guards everything below
+  mutable std::mutex mutex_;  ///< guards the diagnostics_ vector
   std::size_t max_errors_;
   std::vector<Diagnostic> diagnostics_;
-  std::size_t error_count_ = 0;  ///< including dropped
-  std::size_t kept_errors_ = 0;
+  // Counter mirrors, updated under mutex_ (so they stay mutually exact)
+  // but readable without it. Each on its own cache line: a polling reader
+  // never stalls an appending producer.
+  PaddedAtomic<std::size_t> error_count_;  ///< including dropped
+  PaddedAtomic<std::size_t> kept_errors_;
+  PaddedAtomic<std::size_t> warning_count_;
 };
 
 }  // namespace ftsynth

@@ -1,0 +1,55 @@
+// Scalable-synchronization building blocks for the sharded diagram
+// managers and the intra-tree parallel conversion (DESIGN.md section 12).
+//
+// The shapes here follow the classic scalable-synchronization playbook:
+// counters that different threads bump concurrently live on their own
+// cache line (no false sharing), shared hot structures are split into
+// striped, hash-addressed shards so writers serialise only per shard, and
+// rare global phases (garbage collection, variable reordering) park every
+// worker at a generation-counted rendezvous instead of taking a big lock
+// around the hot path.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace ftsynth {
+
+/// The alignment used to keep independently-written hot words on their
+/// own cache line. hardware_destructive_interference_size would be the
+/// textbook constant, but libstdc++ gates it behind a warning and 64 is
+/// right for every target this project builds on.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// An atomic counter padded to a full cache line. Use one per thread (or
+/// per shard) for statistics that are aggregated at read time: writers
+/// stay relaxed and never bounce each other's lines.
+template <typename T>
+struct alignas(kCacheLineSize) PaddedAtomic {
+  std::atomic<T> value{};
+
+  void add(T delta, std::memory_order order = std::memory_order_relaxed) {
+    value.fetch_add(delta, order);
+  }
+  T load(std::memory_order order = std::memory_order_relaxed) const {
+    return value.load(order);
+  }
+  void store(T v, std::memory_order order = std::memory_order_relaxed) {
+    value.store(v, order);
+  }
+};
+
+/// Mixes a hash into a shard index in [0, 1 << bits). The multiplier is
+/// the 64-bit golden ratio; taking the TOP bits decorrelates shard choice
+/// from the low bits unordered_map buckets consume, so one shard's map
+/// does not see a biased key distribution.
+inline std::size_t shard_index(std::size_t hash, unsigned bits) noexcept {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(hash) * 0x9E3779B97F4A7C15ull) >>
+      (64 - bits));
+}
+
+}  // namespace ftsynth

@@ -68,6 +68,7 @@ std::string write_json(const FaultTree& tree, const TreeAnalysis& analysis) {
   out += ",\n  \"probability\": {\"rare_event\": " +
          format_double(analysis.p_rare_event) +
          ", \"esary_proschan\": " + format_double(analysis.p_esary_proschan) +
+         ", \"mcub\": " + format_double(analysis.p_mcub) +
          ", \"exact\": " + format_double(analysis.p_exact) + "},\n";
 
   out += "  \"cut_sets\": [\n";

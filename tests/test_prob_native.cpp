@@ -219,6 +219,20 @@ TEST(DiagramMeasuresFuzz, SweepsMatchFamilyDerivedNumbers) {
         EXPECT_LE(measures.esary_proschan, esary + 1e-15);
         EXPECT_NEAR(measures.esary_proschan, esary, 1e-8);
       }
+      // MCUB: the same product bound through -expm1, so the sweep value
+      // and the family-derived log-space evaluation agree to rounding.
+      const double mcub = mcub_bound(analysis, prob_options);
+      EXPECT_EQ(measures.mcub_converged, measures.esary_converged);
+      if (measures.mcub_converged) {
+        EXPECT_NEAR(measures.mcub, mcub,
+                    1e-12 * std::max(1.0, std::abs(mcub)))
+            << "seed=" << seed << " tree=" << t;
+      } else {
+        EXPECT_LE(measures.mcub, mcub + 1e-15);
+      }
+      // The bound itself sits between its cruder neighbours: never above
+      // the rare-event sum, never meaningfully below EP's evaluation.
+      EXPECT_LE(mcub, rare_event_bound(analysis, prob_options) + 1e-15);
 
       // Per-event splits against a direct sweep over the extracted sets.
       std::unordered_map<const FtNode*, std::size_t> index;
