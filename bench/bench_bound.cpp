@@ -1,0 +1,146 @@
+// The anytime bound engine (ISSUE 9): convergence-vs-time on the
+// committed adversarial fixture shape (examples/bound_frontier.mdl built
+// in code) against the exact ZBDD engine given ten times the node budget.
+//
+// The headline counters in BENCH_bound.json are the acceptance evidence:
+// BM_BoundFrontierConverge reaches a certified interval of width well
+// under 1e-3 in milliseconds (counters: width, converged, expansions),
+// while BM_ZbddTenXNodeBudget -- the same tree, a node ceiling ten times
+// the bound engine's whole expansion budget -- hits its ceiling and
+// returns a truncated family (counter: truncated). The
+// tools/compare_benchmarks.py --bound-report view gates on exactly these
+// counters.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/cutsets.h"
+#include "core/symbol.h"
+#include "fta/fault_tree.h"
+
+namespace {
+
+using namespace ftsynth;
+
+/// The bound engine's expansion budget; the ZBDD run gets a node ceiling
+/// of ten times this number.
+constexpr std::size_t kBoundExpansionBudget = 10'000;
+
+/// OR of `ladder` independent AND pairs (the dominant mass) plus a spine
+/// of 2^pairs minimal cut sets behind a 1e-6 guard, with a leading AND
+/// chain that pins the DFS variable order to the grouped (exponential
+/// diagram) order -- the examples/bound_frontier.mdl shape.
+FaultTree frontier_tree(int ladder, int pairs) {
+  FaultTree tree("bound_frontier");
+  std::vector<FtNode*> disjuncts;
+  for (int i = 0; i < ladder; ++i) {
+    FtNode* a = tree.add_basic(Symbol("la" + std::to_string(i)), 0.05,
+                               "ladder primary", "core");
+    FtNode* b = tree.add_basic(Symbol("lb" + std::to_string(i)), 0.05,
+                               "ladder backup", "core");
+    disjuncts.push_back(tree.add_gate(GateKind::kAnd, "ladder pair", {a, b}));
+  }
+  FtNode* guard = tree.add_basic(Symbol("guard"), 1e-6, "guard", "core");
+  if (pairs > 0) {
+    std::vector<FtNode*> as, ors;
+    for (int i = 0; i < pairs; ++i) {
+      FtNode* a = tree.add_basic(Symbol("a" + std::to_string(i)), 0.02,
+                                 "spine primary", "core");
+      FtNode* b = tree.add_basic(Symbol("b" + std::to_string(i)), 0.02,
+                                 "spine backup", "core");
+      as.push_back(a);
+      ors.push_back(tree.add_gate(GateKind::kOr, "spine pair", {a, b}));
+    }
+    FtNode* chain = tree.add_gate(GateKind::kAnd, "order-forcing chain", as);
+    FtNode* product = tree.add_gate(GateKind::kAnd, "spine product", ors);
+    FtNode* inner = tree.add_gate(GateKind::kOr, "spine", {chain, product});
+    disjuncts.push_back(
+        tree.add_gate(GateKind::kAnd, "guarded spine", {guard, inner}));
+  } else {
+    disjuncts.push_back(guard);
+  }
+  FtNode* top = tree.add_gate(GateKind::kOr, "top", std::move(disjuncts));
+  tree.set_top(top);
+  tree.set_top_description("Omission-sink");
+  return tree;
+}
+
+void report_bound(benchmark::State& state, const CutSetAnalysis& analysis) {
+  state.counters["cut_sets"] = static_cast<double>(analysis.cut_sets.size());
+  state.counters["truncated"] = analysis.truncated ? 1.0 : 0.0;
+  if (!analysis.p_lower || !analysis.p_upper) return;
+  state.counters["p_lower"] = *analysis.p_lower;
+  state.counters["width"] = *analysis.p_upper - *analysis.p_lower;
+  state.counters["converged"] = analysis.converged ? 1.0 : 0.0;
+  if (analysis.frontier_stats) {
+    state.counters["expansions"] =
+        static_cast<double>(analysis.frontier_stats->expansions);
+    state.counters["emitted"] =
+        static_cast<double>(analysis.frontier_stats->emitted);
+  }
+}
+
+/// Anytime convergence on the adversarial tree at epsilon = 10^-range(0):
+/// the convergence-vs-time regression view. Every point must stay
+/// converged with width <= epsilon, within the fixed expansion budget.
+void BM_BoundFrontierConverge(benchmark::State& state) {
+  static FaultTree tree = frontier_tree(12, 20);
+  const double epsilon = std::pow(10.0, -static_cast<double>(state.range(0)));
+  state.SetLabel("bound_frontier/eps=1e-" + std::to_string(state.range(0)));
+  CutSetOptions options;
+  options.engine = CutSetEngine::kBound;
+  options.bound_epsilon = epsilon;
+  options.budget.max_nodes = kBoundExpansionBudget;
+  CutSetAnalysis analysis;
+  for (auto _ : state) {
+    analysis = compute_cut_sets(tree, options);
+    benchmark::DoNotOptimize(&analysis);
+  }
+  report_bound(state, analysis);
+}
+BENCHMARK(BM_BoundFrontierConverge)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+/// The exact ZBDD engine on the same tree with a node ceiling of ten
+/// times the bound engine's whole expansion budget (the engine's ceiling
+/// is 8 * max_sets + 2^16 nodes): the grouped variable order forces an
+/// exponential diagram, the ceiling fires, and the family comes back
+/// truncated -- no certified probability at ten times the budget.
+void BM_ZbddTenXNodeBudget(benchmark::State& state) {
+  static FaultTree tree = frontier_tree(12, 20);
+  state.SetLabel("bound_frontier/zbdd_10x_nodes");
+  CutSetOptions options;
+  options.engine = CutSetEngine::kZbdd;
+  options.max_sets = (10 * kBoundExpansionBudget - (1u << 16)) / 8;
+  CutSetAnalysis analysis;
+  for (auto _ : state) {
+    analysis = compute_cut_sets(tree, options);
+    benchmark::DoNotOptimize(&analysis);
+  }
+  report_bound(state, analysis);
+}
+BENCHMARK(BM_ZbddTenXNodeBudget)->Unit(benchmark::kMillisecond);
+
+/// Exhaustion floor on a tractable tree (no spine): the bound engine run
+/// with early stopping disabled must enumerate the same family as the
+/// exact engines; this prices the best-first queue against the ZBDD on a
+/// case both can finish.
+void BM_BoundExhaustLadder(benchmark::State& state) {
+  static FaultTree tree = frontier_tree(12, 0);
+  state.SetLabel("ladder12/exhaust");
+  CutSetOptions options;
+  options.engine = CutSetEngine::kBound;
+  options.bound_epsilon = -1.0;
+  CutSetAnalysis analysis;
+  for (auto _ : state) {
+    analysis = compute_cut_sets(tree, options);
+    benchmark::DoNotOptimize(&analysis);
+  }
+  report_bound(state, analysis);
+}
+BENCHMARK(BM_BoundExhaustLadder)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -16,6 +16,8 @@
 #include "analysis/ordering.h"
 #include "analysis/probability.h"
 #include "bdd/zbdd.h"
+#include "bound/frontier.h"
+#include "bound/pdag.h"
 #include "core/error.h"
 #include "core/parallel.h"
 #include "core/thread_pool.h"
@@ -426,6 +428,10 @@ std::string_view engine_tag(CutSetEngine engine) noexcept {
       return "mocus";
     case CutSetEngine::kZbdd:
       return "zbdd";
+    case CutSetEngine::kBound:
+      // The bound engine never consults the cone cache (a cached family
+      // carries no interval), so this tag only keeps keyspaces distinct.
+      return "bound";
   }
   return "micsup";
 }
@@ -829,6 +835,8 @@ CutSetAnalysis compute_cut_sets(const FaultTree& tree,
       return mocus_cut_sets(tree, options);
     case CutSetEngine::kZbdd:
       return zbdd_cut_sets(tree, options);
+    case CutSetEngine::kBound:
+      return bound_cut_sets(tree, options);
     case CutSetEngine::kMicsup:
       break;
   }
@@ -1720,6 +1728,67 @@ CutSetAnalysis bdd_cut_sets(const FaultTree& tree,
   CutSetAnalysis analysis = context.finish(
       context.deadline_hit() ? std::move(sets)
                              : minimise(std::move(sets), &context));
+  remap_events(analysis, tree);
+  return analysis;
+}
+
+// -- Anytime bound engine --------------------------------------------------------
+
+CutSetAnalysis bound_cut_sets(const FaultTree& tree,
+                              const CutSetOptions& options) {
+  FaultTree flat = normalise(tree);
+  Context context(options);
+  std::vector<const FtNode*> order = dfs_variable_order(flat);
+  context.intern(order);
+
+  // The frontier is probability-driven, so the basic probabilities enter
+  // here rather than at the reporting stage; polarity adjustment happens
+  // inside the PDAG (literal ids match this context's convention).
+  ProbabilityOptions prob;
+  prob.mission_time_hours = options.bound_mission_time_hours;
+  prob.default_event_probability = options.bound_default_probability;
+  std::vector<double> probabilities;
+  probabilities.reserve(order.size());
+  for (const FtNode* event : order)
+    probabilities.push_back(event_probability(*event, prob));
+  const bound::Pdag pdag = bound::compile_pdag(flat, order, probabilities);
+
+  bound::BoundLimits limits;
+  limits.epsilon = options.bound_epsilon;
+  limits.max_order = options.max_order;
+  limits.max_sets = options.max_sets;
+  limits.max_expansions = options.budget.max_nodes;
+  limits.budget = options.budget;
+  limits.pool = options.pool;
+  bound::BoundOutcome outcome = bound::drain_frontier(pdag, limits);
+
+  if (outcome.deadline_exceeded) context.mark_deadline();
+  if (outcome.truncated) context.mark_truncated();
+  context.track_peak(outcome.stats.peak_frontier);
+
+  // Best-first emission is probability-ordered, not subset-ordered: a
+  // later, smaller set can subsume an earlier one, so the canonical
+  // minimisation pass still runs. On exhausted runs the result is the
+  // exact minimal family -- literal-for-literal what the exact engines
+  // return through this same kernel.
+  std::vector<Set> sets;
+  sets.reserve(outcome.products.size());
+  for (const std::vector<int>& product : outcome.products)
+    sets.push_back(context.set_from_literals(product));
+  CutSetAnalysis analysis =
+      context.finish(context.clamp(minimise(std::move(sets), &context)));
+
+  analysis.p_lower = outcome.p_lower;
+  analysis.p_upper = outcome.p_upper;
+  analysis.converged = outcome.converged;
+  FrontierStats stats;
+  stats.rounds = outcome.stats.rounds;
+  stats.expansions = outcome.stats.expansions;
+  stats.emitted = outcome.stats.emitted;
+  stats.peak_frontier = outcome.stats.peak_frontier;
+  stats.subsumed = outcome.stats.subsumed;
+  stats.deferred = outcome.stats.deferred;
+  analysis.frontier_stats = stats;
   remap_events(analysis, tree);
   return analysis;
 }

@@ -17,6 +17,14 @@
 //     minimal with Rauzy's minsol, and only enumerates the final minimal
 //     family. Polynomial in the diagram size where the enumerating
 //     engines pay for every intermediate set.
+//   * bound_cut_sets -- anytime: compiles the tree to a PDAG (src/bound/)
+//     and drains a best-first frontier of partial products,
+//     most-probable-first, maintaining certified lower/upper bounds on
+//     the top-event probability (CutSetAnalysis::p_lower/p_upper). Stops
+//     on convergence (CutSetOptions::bound_epsilon), Budget expiry or
+//     exhaustion; exhausted runs return the exact family, byte-identical
+//     to the exact engines. The engine for trees beyond exact reach: a
+//     fixed budget always buys a guaranteed interval.
 //
 // The set-based engines share an interned-bitset kernel: every (event,
 // polarity) literal of the normalised tree is mapped once to a dense id in
@@ -55,6 +63,7 @@ enum class CutSetEngine {
   kMicsup,  ///< bottom-up set combination (default)
   kMocus,   ///< top-down MOCUS row expansion
   kZbdd,    ///< symbolic ZBDD engine
+  kBound,   ///< anytime best-first engine with certified bounds
 };
 
 /// How the reporting layer computes probabilities and importance
@@ -123,6 +132,18 @@ struct CutSetOptions {
   /// extraction would have been) -- the reliability numbers no longer
   /// need the paths. The set-based engines ignore the flag.
   bool keep_diagram = false;
+  /// Bound engine only: stop once p_upper - p_lower <= bound_epsilon
+  /// (CLI --bound-epsilon). Negative disables early stopping: the run goes
+  /// to exhaustion or Budget expiry, which is how the exact engines are
+  /// matched byte-for-byte. The other engines ignore it.
+  double bound_epsilon = 1e-6;
+  /// Bound engine only: basic-event probability inputs (the enumeration
+  /// order and the interval are probability-driven, so the engine needs
+  /// them up front where the exact engines defer probability to the
+  /// reporting stage). The analysis layer copies these from
+  /// ProbabilityOptions; direct callers set them to match.
+  double bound_mission_time_hours = 1.0;
+  double bound_default_probability = 0.0;
 };
 
 /// One literal of a cut set: an event, possibly negated.
@@ -170,6 +191,17 @@ struct CutSetDiagram {
   bool exact = false;
 };
 
+/// What the bound engine's frontier did (--verbose stats; mirrors
+/// bound::BoundStats so the analysis API stays free of bound headers).
+struct FrontierStats {
+  std::size_t rounds = 0;       ///< synchronised drain rounds
+  std::size_t expansions = 0;   ///< partial products resolved
+  std::size_t emitted = 0;      ///< complete products emitted
+  std::size_t peak_frontier = 0;  ///< open-item high-water mark
+  std::size_t subsumed = 0;     ///< items pruned against emitted sets
+  std::size_t deferred = 0;     ///< sets outside the exact lower bound
+};
+
 /// Result of a cut-set computation. Literals point INTO the analysed tree:
 /// the FaultTree must outlive the analysis (do not pass a temporary).
 struct CutSetAnalysis {
@@ -182,6 +214,17 @@ struct CutSetAnalysis {
   /// The retained diagram (ZBDD engine with keep_diagram only). Shared
   /// ownership: the analysis is copyable/movable as before.
   std::shared_ptr<const CutSetDiagram> diagram;
+  /// Bound engine only: certified interval on the top-event probability at
+  /// the mission time the engine ran with (absent for the exact engines).
+  /// p_lower is the exact measure of the emitted sets' union; p_upper adds
+  /// the open frontier's residual mass. Always p_lower <= P(top) <= p_upper.
+  std::optional<double> p_lower;
+  std::optional<double> p_upper;
+  /// Bound engine only: the interval width reached bound_epsilon (or the
+  /// run exhausted with width zero). False on deadline/limit stops.
+  bool converged = false;
+  /// Bound engine only: frontier counters (--verbose).
+  std::optional<FrontierStats> frontier_stats;
 
   /// Smallest cut set order present (0 when there are no cut sets).
   std::size_t min_order() const noexcept;
@@ -210,6 +253,15 @@ CutSetAnalysis mocus_cut_sets(const FaultTree& tree,
 /// sets are subtracted symbolically.
 CutSetAnalysis zbdd_cut_sets(const FaultTree& tree,
                              const CutSetOptions& options = {});
+
+/// Anytime best-first engine (see header comment). Emits the
+/// highest-probability minimal cut sets first and certifies
+/// p_lower <= P(top) <= p_upper at every stop; honours max_order/max_sets,
+/// the Budget deadline, and Budget::max_nodes as an expansion cap. Runs
+/// the round-synchronised frontier on `options.pool`; output is
+/// byte-identical across worker counts.
+CutSetAnalysis bound_cut_sets(const FaultTree& tree,
+                              const CutSetOptions& options = {});
 
 /// BDD engine (Rauzy's minimal-solutions algorithm): encodes the tree as a
 /// BDD, computes the minimal-solutions BDD with the `without` operator and

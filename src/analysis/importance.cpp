@@ -27,6 +27,16 @@ std::size_t min_nonzero(std::size_t a, std::size_t b) noexcept {
   return std::min(a, b);
 }
 
+/// Rare-event ingredients for one basic event's Birnbaum/RAW/RRW when the
+/// exact BDD stage is unavailable (bound-engine runs): total family mass
+/// of sets mentioning the event, and the mass of those sets with the
+/// mentioning literal forced true, per polarity.
+struct RareEventMasses {
+  double with_literal = 0.0;
+  double pos_without = 0.0;
+  double neg_without = 0.0;
+};
+
 }  // namespace
 
 ReliabilitySummary analyse_reliability(const FaultTree& tree,
@@ -37,6 +47,14 @@ ReliabilitySummary analyse_reliability(const FaultTree& tree,
   std::unordered_map<const FtNode*, ImportanceEntry> entries;
   for (const FtNode* event : tree.basic_events())
     entries.emplace(event, ImportanceEntry{event, 0.0, 0.0, 0.0, 0.0, 0, 0});
+
+  // Bound-engine runs target trees where whole-tree BDD encoding is off
+  // the table (that is why the caller chose the engine), so the exact
+  // block below must not run: encode_bdd has no budget and would blow up
+  // precisely on those inputs. Birnbaum/RAW/RRW instead come from
+  // rare-event conditionals over the emitted family.
+  const bool bound_run = analysis.p_lower.has_value();
+  std::unordered_map<const FtNode*, RareEventMasses> rare_masses;
 
   // The diagram regime: requested, an exact diagram is present, AND
   // extraction was cut short. On clean runs both modes evaluate the
@@ -97,6 +115,7 @@ ReliabilitySummary analyse_reliability(const FaultTree& tree,
     out.p_rare_event = rare_event_bound(analysis, options);
     out.p_esary_proschan = esary_proschan_bound(analysis, options);
     out.p_mcub = mcub_bound(analysis, options);
+    std::vector<double> literal_probs;
     for (const CutSet& cs : analysis.cut_sets) {
       const double p = cut_set_probability(cs, options);
       for (const CutLiteral& literal : cs) {
@@ -109,38 +128,83 @@ ReliabilitySummary analyse_reliability(const FaultTree& tree,
         if (entry.smallest_order == 0 || cs.size() < entry.smallest_order)
           entry.smallest_order = cs.size();
       }
+      if (!bound_run) continue;
+      // Rare-event conditionals: for each literal, the set's probability
+      // with that literal forced true (product of the others). Products
+      // rather than division by the literal's probability so zero-rate
+      // events stay finite.
+      literal_probs.clear();
+      for (const CutLiteral& literal : cs) {
+        const double q = event_probability(*literal.event, options);
+        literal_probs.push_back(literal.negated ? 1.0 - q : q);
+      }
+      for (std::size_t j = 0; j < cs.size(); ++j) {
+        auto it = entries.find(cs[j].event);
+        if (it == entries.end()) continue;
+        double without = 1.0;
+        for (std::size_t i = 0; i < cs.size(); ++i)
+          if (i != j) without *= literal_probs[i];
+        RareEventMasses& m = rare_masses[cs[j].event];
+        m.with_literal += p;
+        if (cs[j].negated) m.neg_without += without;
+        else m.pos_without += without;
+      }
     }
   }
 
-  // Exact probability plus Birnbaum/RAW/RRW for every event from ONE BDD
-  // encoding. The shared-memo engine computes P(top); the combined
-  // upward/downward sweep then yields all Birnbaum measures in O(N) where
-  // the per-variable restrict loop paid O(V*N). RAW and RRW keep the
-  // restricted evaluations: deriving P(top | v = b) from the sweep via
-  // P(top) - p_v * BM(v) cancels catastrophically when the conditioned
-  // probability is orders of magnitude below P(top) -- exactly the rare
-  // events RRW exists to rank -- while the cofactor evaluations reuse the
-  // engine's probability memo, so each one touches only the nodes the
-  // restriction actually changed.
-  BddEncoding encoding = encode_bdd(tree);
-  const std::vector<double> probabilities = encoding.probabilities(options);
-  BddProbabilityEngine engine(encoding.bdd, probabilities);
-  const double p_top = engine.probability(encoding.root);
-  out.p_exact = p_top;
-  const std::vector<double> birnbaum = engine.birnbaum_all(encoding.root);
-  for (std::size_t v = 0; v < encoding.events.size(); ++v) {
-    auto it = entries.find(encoding.events[v]);
-    if (it == entries.end()) continue;
-    const double bm = birnbaum[v];
-    const double p_given =
-        engine.probability_given(encoding.root, static_cast<int>(v), true);
-    const double p_without =
-        engine.probability_given(encoding.root, static_cast<int>(v), false);
-    it->second.birnbaum = bm;
-    it->second.raw = p_top > 0.0 ? p_given / p_top : 0.0;
-    it->second.rrw = p_without > 0.0 ? p_top / p_without
-                     : p_top > 0.0   ? std::numeric_limits<double>::infinity()
-                                     : 0.0;
+  if (bound_run) {
+    // Rare-event Birnbaum/RAW/RRW from the family: with S the rare-event
+    // sum, S(v=1) = S - with_literal + pos_without (sets mentioning v are
+    // re-weighted with the literal forced; NOT-v sets vanish), likewise
+    // S(v=0) with neg_without. BM = S(v=1) - S(v=0) needs no S at all.
+    // p_exact stays 0: the interval in p_lower/p_upper is the probability
+    // statement for these runs.
+    const double s = out.p_rare_event;
+    for (const auto& [event, m] : rare_masses) {
+      auto it = entries.find(event);
+      if (it == entries.end()) continue;
+      const double s_with = s - m.with_literal + m.pos_without;
+      const double s_without = s - m.with_literal + m.neg_without;
+      it->second.birnbaum = m.pos_without - m.neg_without;
+      it->second.raw = s > 0.0 ? s_with / s : 0.0;
+      it->second.rrw =
+          s_without > 0.0 ? s / s_without
+          : s > 0.0       ? std::numeric_limits<double>::infinity()
+                          : 0.0;
+    }
+  } else {
+    // Exact probability plus Birnbaum/RAW/RRW for every event from ONE
+    // BDD encoding. The shared-memo engine computes P(top); the combined
+    // upward/downward sweep then yields all Birnbaum measures in O(N)
+    // where the per-variable restrict loop paid O(V*N). RAW and RRW keep
+    // the restricted evaluations: deriving P(top | v = b) from the sweep
+    // via P(top) - p_v * BM(v) cancels catastrophically when the
+    // conditioned probability is orders of magnitude below P(top) --
+    // exactly the rare events RRW exists to rank -- while the cofactor
+    // evaluations reuse the engine's probability memo, so each one
+    // touches only the nodes the restriction actually changed.
+    BddEncoding encoding = encode_bdd(tree);
+    const std::vector<double> probabilities =
+        encoding.probabilities(options);
+    BddProbabilityEngine engine(encoding.bdd, probabilities);
+    const double p_top = engine.probability(encoding.root);
+    out.p_exact = p_top;
+    const std::vector<double> birnbaum = engine.birnbaum_all(encoding.root);
+    for (std::size_t v = 0; v < encoding.events.size(); ++v) {
+      auto it = entries.find(encoding.events[v]);
+      if (it == entries.end()) continue;
+      const double bm = birnbaum[v];
+      const double p_given =
+          engine.probability_given(encoding.root, static_cast<int>(v), true);
+      const double p_without = engine.probability_given(
+          encoding.root, static_cast<int>(v), false);
+      it->second.birnbaum = bm;
+      it->second.raw = p_top > 0.0 ? p_given / p_top : 0.0;
+      it->second.rrw =
+          p_without > 0.0 ? p_top / p_without
+          : p_top > 0.0   ? std::numeric_limits<double>::infinity()
+                          : 0.0;
+    }
   }
 
   std::vector<ImportanceEntry> ranking;

@@ -96,12 +96,24 @@ void render_top_event(const FaultTree& tree, const TreeAnalysis& analysis,
   out += "- tree: " + std::to_string(stats.node_count) + " nodes, " +
          std::to_string(stats.basic_event_count) + " basic events, depth " +
          std::to_string(stats.depth) + "\n";
-  out += "- P(top): rare-event " + format_double(analysis.p_rare_event) +
-         ", Esary-Proschan " + format_double(analysis.p_esary_proschan) +
-         ", MCUB " + format_double(analysis.p_mcub) +
-         ", exact " + format_double(analysis.p_exact) + " (t = " +
-         format_double(options.analysis.probability.mission_time_hours) +
-         " h)\n";
+  if (analysis.p_lower && analysis.p_upper) {
+    // Bound-engine run: the certified interval stands in for the exact
+    // number (see render() in report.cpp for the rationale).
+    out += "- P(top): certified [" + format_double(*analysis.p_lower) +
+           ", " + format_double(*analysis.p_upper) + "], width " +
+           format_double(*analysis.p_upper - *analysis.p_lower) +
+           (analysis.bound_converged ? ", converged" : ", open frontier") +
+           " (t = " +
+           format_double(options.analysis.probability.mission_time_hours) +
+           " h)\n";
+  } else {
+    out += "- P(top): rare-event " + format_double(analysis.p_rare_event) +
+           ", Esary-Proschan " + format_double(analysis.p_esary_proschan) +
+           ", MCUB " + format_double(analysis.p_mcub) +
+           ", exact " + format_double(analysis.p_exact) + " (t = " +
+           format_double(options.analysis.probability.mission_time_hours) +
+           " h)\n";
+  }
   out += "- minimal cut sets: " +
          std::to_string(analysis.cut_sets.cut_sets.size()) +
          (analysis.cut_sets.truncated ? " (truncated)" : "") +

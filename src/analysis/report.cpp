@@ -16,6 +16,12 @@ TreeAnalysis analyse_tree(const FaultTree& tree,
       options.prob_mode != ProbMode::kCutSets &&
       cut_options.engine == CutSetEngine::kZbdd;
   cut_options.keep_diagram = want_diagram;
+  // The bound engine consumes probabilities during enumeration; hand it
+  // the same inputs the reporting stage below will use.
+  cut_options.bound_mission_time_hours =
+      options.probability.mission_time_hours;
+  cut_options.bound_default_probability =
+      options.probability.default_event_probability;
   analysis.cut_sets = compute_cut_sets(tree, cut_options);
   analysis.common_cause = analyse_common_cause(tree, analysis.cut_sets);
   // One call computes the whole probability stage: exact P(top) and all
@@ -34,6 +40,10 @@ TreeAnalysis analyse_tree(const FaultTree& tree,
   // The diagram has served its purpose; drop it so TreeAnalysis stays as
   // light as before for callers that hold many of them.
   analysis.cut_sets.diagram.reset();
+  analysis.p_lower = analysis.cut_sets.p_lower;
+  analysis.p_upper = analysis.cut_sets.p_upper;
+  analysis.bound_converged = analysis.cut_sets.converged;
+  analysis.frontier_stats = analysis.cut_sets.frontier_stats;
   if (options.cut_sets.cone_cache != nullptr)
     analysis.cache_stats = options.cut_sets.cone_cache->stats();
   return analysis;
@@ -75,11 +85,24 @@ std::string render(const FaultTree& tree, const TreeAnalysis& analysis,
            " more\n";
   }
 
-  out += "P(top): rare-event " + format_double(analysis.p_rare_event) +
-         ", Esary-Proschan " + format_double(analysis.p_esary_proschan) +
-         ", MCUB " + format_double(analysis.p_mcub) +
-         ", exact (BDD) " + format_double(analysis.p_exact) + "  [t = " +
-         format_double(options.probability.mission_time_hours) + " h]\n";
+  if (analysis.p_lower && analysis.p_upper) {
+    // Bound-engine run: the certified interval replaces the exact-BDD
+    // number (no whole-tree BDD is ever built on this path), and the
+    // family bounds are omitted -- over an intentionally partial family
+    // they would under-state every measure the interval already brackets.
+    out += "P(top): certified [" + format_double(*analysis.p_lower) + ", " +
+           format_double(*analysis.p_upper) + "], width " +
+           format_double(*analysis.p_upper - *analysis.p_lower) +
+           (analysis.bound_converged ? ", converged" : ", open frontier") +
+           "  [t = " +
+           format_double(options.probability.mission_time_hours) + " h]\n";
+  } else {
+    out += "P(top): rare-event " + format_double(analysis.p_rare_event) +
+           ", Esary-Proschan " + format_double(analysis.p_esary_proschan) +
+           ", MCUB " + format_double(analysis.p_mcub) +
+           ", exact (BDD) " + format_double(analysis.p_exact) + "  [t = " +
+           format_double(options.probability.mission_time_hours) + " h]\n";
+  }
 
   out += analysis.common_cause.to_string();
 

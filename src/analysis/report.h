@@ -58,6 +58,15 @@ struct TreeAnalysis {
   /// absent from render() so cached and uncached reports stay
   /// byte-identical; the CLI surfaces it behind --verbose.
   std::optional<ConeCacheStats> cache_stats;
+  /// Bound engine only (mirrors CutSetAnalysis): certified interval on
+  /// P(top), whether it converged to bound_epsilon, and the frontier's
+  /// counters. render() prints the interval in place of the exact-BDD
+  /// number -- the bound engine targets trees where whole-tree BDD
+  /// encoding is off the table.
+  std::optional<double> p_lower;
+  std::optional<double> p_upper;
+  bool bound_converged = false;
+  std::optional<FrontierStats> frontier_stats;
 };
 
 /// Runs cut sets, probabilities, importance and common-cause on `tree`.

@@ -1,0 +1,85 @@
+// PDAG compilation for the anytime bound engine.
+//
+// The best-first enumerator (bound/frontier.h) does not walk FtNode
+// pointers: it works on a compact gate graph over dense literal ids, so a
+// frontier item is two small sorted id vectors and every probability or
+// support lookup is an array index. This module compiles a *normalised*
+// FaultTree (fta/simplify.h: NNF, NOT only over leaves, flattened,
+// structure-shared) into that form and precomputes, per gate, a certified
+// upper bound on its probability plus its event support:
+//
+//   * literal:      ub = p (caller-supplied, polarity-adjusted);
+//   * OR:           ub = min(1, sum of child ubs)      (union bound);
+//   * AND, children with pairwise-disjoint supports:
+//                   ub = product of child ubs          (independence);
+//   * AND, overlapping supports:
+//                   ub = min over child ubs            (monotonicity).
+//
+// All three bounds hold for arbitrary sharing of independent basic events,
+// so every number derived from them downstream is certified, never a
+// heuristic. The disjointness flag is kept on the gate: the frontier uses
+// it again to decide whether an item's residual mass may multiply its open
+// gates' bounds or must fall back to the min rule.
+//
+// Literal ids follow the analysis/cutsets.cpp convention: id =
+// 2 * event_rank + (negated ? 1 : 0), with event ranks assigned by the
+// caller (the depth-first occurrence order of ordering.h), so emitted
+// products convert straight into the cut-set kernel's bitsets.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fta/fault_tree.h"
+
+namespace ftsynth::bound {
+
+/// Child reference: a non-negative value indexes Pdag::gates; a negative
+/// value encodes literal id `~ref`.
+using Ref = std::int32_t;
+
+constexpr Ref literal_ref(int literal) noexcept {
+  return ~static_cast<Ref>(literal);
+}
+constexpr bool is_literal(Ref ref) noexcept { return ref < 0; }
+constexpr int literal_of(Ref ref) noexcept { return ~ref; }
+
+struct PdagGate {
+  /// true: conjunction (AND / priority-AND, identical cut-set semantics);
+  /// false: disjunction.
+  bool conjunction = false;
+  /// Children supports are pairwise disjoint (relevant for conjunctions:
+  /// enables the product upper bound and item-mass factorisation).
+  bool disjoint_children = false;
+  /// Certified upper bound on the gate's probability.
+  double ub = 0.0;
+  std::vector<Ref> children;
+  /// Event-index bitset of the gate's support (one bit per event rank).
+  std::vector<std::uint64_t> support;
+};
+
+struct Pdag {
+  /// Topological: every gate's gate-children precede it.
+  std::vector<PdagGate> gates;
+  Ref root = 0;
+  bool constant_false = false;  ///< empty tree (no top): no cut sets
+  std::size_t event_count = 0;
+  /// Probability per literal id (2 * event_count entries): the caller's
+  /// event probabilities with p(NOT x) = 1 - p(x) applied.
+  std::vector<double> literal_probability;
+};
+
+/// Compiles `normalised` over `event_order` (rank = index; must cover every
+/// distinct non-house leaf, i.e. dfs_variable_order of the same tree) with
+/// `event_probability[rank]` as the basic probabilities. Throws
+/// ErrorKind::kInternal on a non-normalised shape (NOT over a gate).
+Pdag compile_pdag(const FaultTree& normalised,
+                  const std::vector<const FtNode*>& event_order,
+                  const std::vector<double>& event_probability);
+
+/// True when the two supports share no event.
+bool supports_disjoint(const std::vector<std::uint64_t>& a,
+                       const std::vector<std::uint64_t>& b) noexcept;
+
+}  // namespace ftsynth::bound

@@ -69,7 +69,17 @@ std::string write_json(const FaultTree& tree, const TreeAnalysis& analysis) {
          format_double(analysis.p_rare_event) +
          ", \"esary_proschan\": " + format_double(analysis.p_esary_proschan) +
          ", \"mcub\": " + format_double(analysis.p_mcub) +
-         ", \"exact\": " + format_double(analysis.p_exact) + "},\n";
+         ", \"exact\": " + format_double(analysis.p_exact);
+  if (analysis.p_lower && analysis.p_upper) {
+    // Bound-engine runs: the certified interval; "exact" above stays 0 on
+    // this path (no whole-tree BDD is built). Exact-engine JSON is
+    // unchanged -- these keys only appear for --engine bound.
+    out += ", \"p_lower\": " + format_double(*analysis.p_lower) +
+           ", \"p_upper\": " + format_double(*analysis.p_upper) +
+           ", \"converged\": " +
+           (analysis.bound_converged ? "true" : "false");
+  }
+  out += "},\n";
 
   out += "  \"cut_sets\": [\n";
   for (std::size_t i = 0; i < analysis.cut_sets.cut_sets.size(); ++i) {

@@ -81,6 +81,45 @@ std::string write_xml(const FaultTree& tree) {
   return write_xml(std::vector<const FaultTree*>{&tree});
 }
 
+std::string write_xml(const FaultTree& tree, const TreeAnalysis& analysis) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<fault-tree-set generator=\"ftsynth\">\n";
+  write_tree_body(tree, out);
+  out += "  <analysis top-event=\"" + escape_xml(analysis.top_event) +
+         "\">\n";
+  if (analysis.p_lower && analysis.p_upper) {
+    // Bound-engine run: the certified interval is the probability result.
+    out += "    <probability p-lower=\"" +
+           format_double(*analysis.p_lower) + "\" p-upper=\"" +
+           format_double(*analysis.p_upper) + "\" converged=\"" +
+           (analysis.bound_converged ? "true" : "false") + "\"/>\n";
+  } else {
+    out += "    <probability rare-event=\"" +
+           format_double(analysis.p_rare_event) + "\" esary-proschan=\"" +
+           format_double(analysis.p_esary_proschan) + "\" mcub=\"" +
+           format_double(analysis.p_mcub) + "\" exact=\"" +
+           format_double(analysis.p_exact) + "\"/>\n";
+  }
+  out += "    <cut-sets count=\"" +
+         std::to_string(analysis.cut_sets.cut_sets.size()) +
+         "\" truncated=\"" +
+         (analysis.cut_sets.truncated ? "true" : "false") + "\">\n";
+  for (const CutSet& cs : analysis.cut_sets.cut_sets) {
+    out += "      <cut-set order=\"" + std::to_string(cs.size()) + "\">\n";
+    for (const CutLiteral& literal : cs) {
+      out += "        <literal ref=\"" +
+             escape_xml(std::string(literal.event->name().view())) + "\"";
+      if (literal.negated) out += " negated=\"true\"";
+      out += "/>\n";
+    }
+    out += "      </cut-set>\n";
+  }
+  out += "    </cut-sets>\n";
+  out += "  </analysis>\n";
+  out += "</fault-tree-set>\n";
+  return out;
+}
+
 void write_xml_file(const FaultTree& tree, const std::string& path) {
   std::ofstream file(path);
   require(file.good(), ErrorKind::kParse,

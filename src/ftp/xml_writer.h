@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/report.h"
 #include "fta/fault_tree.h"
 
 namespace ftsynth {
@@ -23,6 +24,12 @@ std::string write_xml(const FaultTree& tree);
 
 /// Several trees under one <fault-tree-set> root.
 std::string write_xml(const std::vector<const FaultTree*>& trees);
+
+/// One tree plus its analysis results: the tree body followed by an
+/// <analysis> element with the probability figures (the certified
+/// interval for --engine bound runs, the classic bounds + exact number
+/// otherwise) and the minimal cut sets.
+std::string write_xml(const FaultTree& tree, const TreeAnalysis& analysis);
 
 void write_xml_file(const FaultTree& tree, const std::string& path);
 

@@ -183,11 +183,15 @@ std::variant<WireRequest, WireError> parse_wire_request(
       request.engine = CutSetEngine::kMocus;
     } else if (engine == "zbdd") {
       request.engine = CutSetEngine::kZbdd;
+    } else if (engine == "bound") {
+      request.engine = CutSetEngine::kBound;
     } else {
       return fail(WireError{WireErrorCode::kBadRequest,
                        "unknown engine '" + engine + "'"});
     }
   }
+  if (!read_number(*json, "bound_epsilon", &request.bound_epsilon, &error))
+    return fail(error);
   std::string order;
   if (!read_string(*json, "order", &order, &error)) return fail(error);
   if (!order.empty()) {

@@ -117,6 +117,19 @@ void report_reorder_stats(const Exec& exec, const std::string& top,
   }
 }
 
+/// --verbose frontier counters for one bound-engine run. Log only, like
+/// the reorder stats: `output` must stay byte-identical across --jobs.
+void report_frontier_stats(const Exec& exec, const std::string& top,
+                           const std::optional<FrontierStats>& frontier,
+                           std::ostream& err) {
+  if (!exec.request.verbose || !frontier) return;
+  err << "bound frontier [" << top << "]: rounds " << frontier->rounds
+      << ", expansions " << frontier->expansions << ", emitted "
+      << frontier->emitted << ", peak frontier " << frontier->peak_frontier
+      << ", subsumed " << frontier->subsumed << ", deferred "
+      << frontier->deferred << "\n";
+}
+
 /// Synthesis options for a command run: resource budget always, degraded
 /// mode (diagnostics instead of aborts) unless --strict.
 SynthesisOptions synthesis_options(Exec& exec) {
@@ -329,6 +342,7 @@ int cmd_analyse(const Model& model, Exec& exec, std::ostream& out,
       exec.request.mission_time_hours;
   batch_options.analysis.render_tree = exec.request.render_tree;
   batch_options.analysis.cut_sets.engine = exec.request.engine;
+  batch_options.analysis.cut_sets.bound_epsilon = exec.request.bound_epsilon;
   batch_options.analysis.cut_sets.order = exec.request.order;
   batch_options.analysis.cut_sets.budget = exec.make_budget();
   batch_options.analysis.probability.budget = exec.make_budget();
@@ -347,6 +361,8 @@ int cmd_analyse(const Model& model, Exec& exec, std::ostream& out,
     if (!replay_item(item, exec)) continue;
     report_reorder_stats(exec, item.top.to_string(),
                          item.analysis->cut_sets.reorder, err);
+    report_frontier_stats(exec, item.top.to_string(),
+                          item.analysis->frontier_stats, err);
     // Log-only, like the reorder stats: `output` stays byte-identical.
     if (exec.request.verbose && item.analysis->diagram_native) {
       err << "probability [" << item.top.to_string()
@@ -386,6 +402,7 @@ int cmd_report(const Model& model, Exec& exec, std::ostream& out,
   report_options.analysis.probability.mission_time_hours =
       exec.request.mission_time_hours;
   report_options.analysis.cut_sets.engine = exec.request.engine;
+  report_options.analysis.cut_sets.bound_epsilon = exec.request.bound_epsilon;
   report_options.analysis.cut_sets.order = exec.request.order;
   report_options.analysis.cut_sets.budget = exec.make_budget();
   report_options.analysis.probability.budget = exec.make_budget();
@@ -448,6 +465,12 @@ int cmd_fmea(const Model& model, Exec& exec, std::ostream& out,
   probability.budget = exec.make_budget();
   CutSetOptions cut_set_options;
   cut_set_options.engine = exec.request.engine;
+  cut_set_options.bound_epsilon = exec.request.bound_epsilon;
+  // FMEA calls compute_cut_sets directly (no analyse_tree to copy the
+  // probability inputs over), so hand the bound engine its inputs here.
+  cut_set_options.bound_mission_time_hours = exec.request.mission_time_hours;
+  cut_set_options.bound_default_probability =
+      probability.default_event_probability;
   cut_set_options.order = exec.request.order;
   cut_set_options.budget = exec.make_budget();
   cut_set_options.pool = exec.pool;
@@ -651,7 +674,8 @@ std::optional<std::string> ServiceRunner::response_key(
       << '\x1f' << request.render_tree << request.strict << request.no_cache
       << '\x1f' << request.max_errors << '\x1f' << request.max_depth << '\x1f'
       << request.max_nodes << '\x1f' << static_cast<int>(request.engine)
-      << '\x1f' << static_cast<int>(request.order) << '\x1f'
+      << '\x1f' << request.bound_epsilon << '\x1f'
+      << static_cast<int>(request.order) << '\x1f'
       << static_cast<int>(request.prob_mode);
   return key.str();
 }

@@ -79,6 +79,11 @@ struct ServiceRequest {
   int jobs = 0;                ///< cold mode only; warm mode uses the
                                ///< runner's shared pool (output identical)
   CutSetEngine engine = CutSetEngine::kMicsup;
+  /// Bound engine only (CLI --bound-epsilon, wire "bound_epsilon"):
+  /// interval-width convergence target; negative disables early stopping.
+  /// Part of the response-memo key -- different targets emit different
+  /// families.
+  double bound_epsilon = 1e-6;
   OrderPolicy order = OrderPolicy::kStatic;
   /// Probability/importance mode (CLI --prob-mode, wire "prob_mode").
   /// kAuto = diagram-native exactly when engine is kZbdd. Part of the

@@ -282,6 +282,38 @@ TEST_F(CliTest, UnknownEngineIsUsageError) {
   EXPECT_NE(err_.str().find("unknown --engine"), std::string::npos);
 }
 
+TEST_F(CliTest, BoundEngineRendersCertifiedIntervalIdenticallyAcrossJobs) {
+  // The anytime engine reports a certified interval instead of the
+  // exact-BDD figure, and its bytes must not depend on the worker count.
+  std::string reference;
+  for (const char* jobs : {"1", "2", "8"}) {
+    ASSERT_EQ(run({"analyse", model_path_, "--top", "Omission-brake_force_fl",
+                   "--time", "1000", "--engine", "bound", "--jobs", jobs}),
+              0)
+        << "jobs " << jobs;
+    if (reference.empty()) {
+      reference = out_.str();
+      EXPECT_NE(reference.find("minimal cut sets:"), std::string::npos);
+      EXPECT_NE(reference.find("P(top): certified ["), std::string::npos);
+    } else {
+      EXPECT_EQ(out_.str(), reference) << "jobs " << jobs;
+    }
+  }
+}
+
+TEST_F(CliTest, BoundEpsilonFlagParses) {
+  EXPECT_EQ(run({"analyse", model_path_, "--top", "Omission-brake_force_fl",
+                 "--engine", "bound", "--bound-epsilon", "0.5"}),
+            0);
+  EXPECT_NE(out_.str().find("P(top): certified ["), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedBoundEpsilonIsUsageError) {
+  EXPECT_EQ(run({"analyse", model_path_, "--engine", "bound",
+                 "--bound-epsilon", "tight"}),
+            2);
+}
+
 TEST_F(CliTest, DeadlineFlagIsAcceptedOnCleanRuns) {
   // A generous deadline must not change a healthy run's outcome.
   EXPECT_EQ(run({"analyse", model_path_, "--top", "Omission-total_braking",

@@ -135,6 +135,46 @@ TEST(JsonWriter, WithAnalysisIncludesCutSetsAndImportance) {
   EXPECT_NE(json.find("\"probability\""), std::string::npos);
   EXPECT_NE(json.find("\"importance\""), std::string::npos);
   EXPECT_NE(json.find("\"!block.b\""), std::string::npos);  // negated literal
+  // Exact-engine documents carry no interval keys.
+  EXPECT_EQ(json.find("\"p_lower\""), std::string::npos);
+}
+
+TEST(JsonWriter, BoundAnalysisIncludesCertifiedInterval) {
+  FaultTree tree = sample_tree();
+  AnalysisOptions options;
+  options.cut_sets.engine = CutSetEngine::kBound;
+  TreeAnalysis analysis = analyse_tree(tree, options);
+  ASSERT_TRUE(analysis.p_lower.has_value());
+  const std::string json = write_json(tree, analysis);
+  EXPECT_NE(json.find("\"p_lower\""), std::string::npos);
+  EXPECT_NE(json.find("\"p_upper\""), std::string::npos);
+  EXPECT_NE(json.find("\"converged\": true"), std::string::npos);
+}
+
+TEST(XmlWriter, WithAnalysisEmitsProbabilityAndCutSets) {
+  FaultTree tree = sample_tree();
+  TreeAnalysis analysis = analyse_tree(tree);
+  const std::string xml = write_xml(tree, analysis);
+  EXPECT_EQ(xml.rfind("<?xml", 0), 0u);
+  EXPECT_NE(xml.find("<analysis"), std::string::npos);
+  EXPECT_NE(xml.find("rare-event="), std::string::npos);
+  EXPECT_NE(xml.find("exact="), std::string::npos);
+  EXPECT_NE(xml.find("<cut-sets count="), std::string::npos);
+  EXPECT_NE(xml.find("negated=\"true\""), std::string::npos);
+  EXPECT_EQ(xml.find("p-lower="), std::string::npos);
+}
+
+TEST(XmlWriter, BoundAnalysisEmitsCertifiedInterval) {
+  FaultTree tree = sample_tree();
+  AnalysisOptions options;
+  options.cut_sets.engine = CutSetEngine::kBound;
+  TreeAnalysis analysis = analyse_tree(tree, options);
+  ASSERT_TRUE(analysis.p_lower.has_value());
+  const std::string xml = write_xml(tree, analysis);
+  EXPECT_NE(xml.find("p-lower="), std::string::npos);
+  EXPECT_NE(xml.find("p-upper="), std::string::npos);
+  EXPECT_NE(xml.find("converged=\"true\""), std::string::npos);
+  EXPECT_EQ(xml.find("rare-event="), std::string::npos);
 }
 
 // -- FTP reader / round-trip --------------------------------------------------------

@@ -2,10 +2,14 @@
 //
 // A seeded generator produces random AND/OR/NOT fault trees (shared
 // subtrees included, so they are DAGs); every tree is analysed by all
-// three engines (micsup, mocus, zbdd) under every --order policy, with a
-// cold and a warm cone cache, and with the set engine running on a thread
-// pool. All renderings must be byte-identical: the canonical minimal
-// cut-set family is order-, engine-, cache- and schedule-invariant.
+// four engines (micsup, mocus, zbdd, bound) under every --order policy,
+// with a cold and a warm cone cache, and with the set engine running on a
+// thread pool. All renderings must be byte-identical: the canonical
+// minimal cut-set family is order-, engine-, cache- and
+// schedule-invariant. The bound engine additionally certifies a
+// probability interval, which must always contain the exact BDD
+// probability -- both when run to exhaustion and when stopped early at
+// the default epsilon.
 //
 // Failures report the offending seed; rerun a single seed with
 //   ctest -R 'DifferentialFuzz.*/<seed>'
@@ -22,6 +26,8 @@
 
 #include "analysis/cache.h"
 #include "analysis/cutsets.h"
+#include "analysis/probability.h"
+#include "bdd/bdd_prob.h"
 #include "casestudy/synthetic.h"
 #include "core/symbol.h"
 #include "core/thread_pool.h"
@@ -131,11 +137,45 @@ TEST_P(DifferentialFuzz, EnginesOrdersAndCachesAgree) {
     pooled.pool = &pool;
     EXPECT_EQ(compute_cut_sets(tree, pooled).to_string(), expected)
         << "pooled micsup diverged; seed=" << seed << " tree=" << t;
+
+    // The bound engine, run to exhaustion (negative epsilon disables
+    // early stopping): same canonical family, byte-identical.
+    BddEncoding encoding = encode_bdd(tree);
+    BddProbabilityEngine prob_engine(
+        encoding.bdd, encoding.probabilities(ProbabilityOptions{}));
+    const double exact = prob_engine.probability(encoding.root);
+
+    CutSetOptions bound;
+    bound.engine = CutSetEngine::kBound;
+    bound.bound_epsilon = -1.0;
+    CutSetAnalysis exhausted = compute_cut_sets(tree, bound);
+    EXPECT_EQ(exhausted.to_string(), expected)
+        << "bound exhaustion diverged; seed=" << seed << " tree=" << t;
+    // Certified containment: the SDP lower bound and the BDD take
+    // different arithmetic routes, so allow a 1e-9 rounding whisker.
+    ASSERT_TRUE(exhausted.p_lower.has_value());
+    ASSERT_TRUE(exhausted.p_upper.has_value());
+    EXPECT_LE(*exhausted.p_lower, exact + 1e-9)
+        << "bound lower bound above exact; seed=" << seed << " tree=" << t;
+    EXPECT_GE(*exhausted.p_upper, exact - 1e-9)
+        << "bound upper bound below exact; seed=" << seed << " tree=" << t;
+
+    // And again at the default epsilon: the run may stop early, but the
+    // interval must still bracket the exact probability.
+    bound.bound_epsilon = 1e-6;
+    CutSetAnalysis anytime = compute_cut_sets(tree, bound);
+    ASSERT_TRUE(anytime.p_lower.has_value());
+    ASSERT_TRUE(anytime.p_upper.has_value());
+    EXPECT_LE(*anytime.p_lower, exact + 1e-9)
+        << "anytime lower bound above exact; seed=" << seed << " tree=" << t;
+    EXPECT_GE(*anytime.p_upper, exact - 1e-9)
+        << "anytime upper bound below exact; seed=" << seed << " tree=" << t;
   }
 }
 
-// 25 seeds x 10 trees = 250 random DAGs per CI run, each analysed nine
-// ways. The ISSUE acceptance floor is 200 trees.
+// 25 seeds x 10 trees = 250 random DAGs per CI run, each analysed eleven
+// ways (including two bound-engine runs checked against the exact BDD
+// probability). The ISSUE acceptance floor is 200 trees.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 25));
 
 }  // namespace

@@ -203,6 +203,7 @@ TEST(ServiceProtocol, RejectsWrongFieldTypesInsteadOfCoercing) {
       R"({"command":"analyse","model":"m","engine":"magic","deadline_ms":1000})",
       R"({"command":"analyse","model":"m","order":"bogus","deadline_ms":1000})",
       R"({"command":"analyse","model":"m","max_errors":-1,"deadline_ms":1000})",
+      R"({"command":"analyse","model":"m","bound_epsilon":"tiny","deadline_ms":1000})",
   };
   for (const char* line : cases) {
     const auto parsed = service::parse_wire_request(line);
@@ -249,6 +250,17 @@ TEST(ServiceProtocol, ParsesEveryRequestField) {
   EXPECT_EQ(request.engine, CutSetEngine::kZbdd);
   EXPECT_EQ(request.order, OrderPolicy::kSiftConverge);
   EXPECT_EQ(request.deadline_ms, 2500);
+}
+
+TEST(ServiceProtocol, ParsesBoundEngineAndEpsilon) {
+  const auto parsed = service::parse_wire_request(R"({
+    "command": "analyse", "model": "m.mdl",
+    "engine": "bound", "bound_epsilon": 0.001, "deadline_ms": 2000
+  })");
+  const WireRequest* wire = std::get_if<WireRequest>(&parsed);
+  ASSERT_NE(wire, nullptr);
+  EXPECT_EQ(wire->request.engine, CutSetEngine::kBound);
+  EXPECT_DOUBLE_EQ(wire->request.bound_epsilon, 0.001);
 }
 
 TEST(ServiceProtocol, ResponseEnvelopesCarryTheContract) {
@@ -660,6 +672,33 @@ TEST_F(ServiceDaemonTest, ConcurrentMixedEngineTrafficIsByteIdentical) {
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_GE(server_->stats().executed,
             static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+}
+
+TEST_F(ServiceDaemonTest, BoundEngineOverTheWireMatchesSerialCli) {
+  start(base_options());
+  const CliRun reference =
+      run_cli({"analyse", model_path_, "--engine", "bound", "--jobs", "1"});
+  ASSERT_EQ(reference.code, 0);
+  ASSERT_NE(reference.out.find("P(top): certified ["), std::string::npos);
+
+  Json request = analyse_request(model_path_, "bound");
+  Json first = roundtrip(request.dump());
+  EXPECT_EQ(first.find("status")->as_string(), "ok");
+  EXPECT_EQ(first.find("output")->as_string(), reference.out);
+  // A repeat replays through the response memo: still the same bytes.
+  Json second = roundtrip(request.dump());
+  EXPECT_EQ(second.find("output")->as_string(), reference.out);
+
+  // A different convergence target is a different memo key: the answer
+  // must match the serial CLI at that target, not alias the first run.
+  const CliRun wide_reference =
+      run_cli({"analyse", model_path_, "--engine", "bound", "--bound-epsilon",
+               "0.5", "--jobs", "1"});
+  ASSERT_EQ(wide_reference.code, 0);
+  Json wide = analyse_request(model_path_, "bound");
+  wide.set("bound_epsilon", Json::number(0.5));
+  Json third = roundtrip(wide.dump());
+  EXPECT_EQ(third.find("output")->as_string(), wide_reference.out);
 }
 
 TEST_F(ServiceDaemonTest, FullQueueShedsWithOverloaded) {

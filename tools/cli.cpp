@@ -57,8 +57,17 @@ options:
                      (default: hardware concurrency; 1 = serial; output
                      is byte-identical for every N)
   --engine ENG       cut-set engine for analyse/fmea/report: micsup
-                     (default), mocus, or zbdd (symbolic; fastest on large
-                     trees). Every engine emits identical cut sets.
+                     (default), mocus, zbdd (symbolic; fastest on large
+                     trees), or bound (anytime best-first: emits the most
+                     probable cut sets first and certifies a [lower, upper]
+                     interval on P(top); the only engine that returns a
+                     sound probability statement on trees beyond exact
+                     reach). The exact engines emit identical cut sets;
+                     bound matches them when it runs to exhaustion.
+  --bound-epsilon E  bound engine: stop once the interval width is <= E
+                     (default 1e-6). Negative E disables early stopping:
+                     run to exhaustion or budget expiry. With --max-nodes N
+                     the bound engine caps total frontier expansions at N.
   --order POL        variable-order policy for the zbdd engine: static
                      (default; the fixed DFS-occurrence heuristic), sift
                      (Rudell sifting on unique-table pressure), or
@@ -226,9 +235,20 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
         options.request.engine = CutSetEngine::kMocus;
       } else if (*v == "zbdd") {
         options.request.engine = CutSetEngine::kZbdd;
+      } else if (*v == "bound") {
+        options.request.engine = CutSetEngine::kBound;
       } else {
         err << "error: unknown --engine '" << *v
-            << "' (expected micsup, mocus or zbdd)\n";
+            << "' (expected micsup, mocus, zbdd or bound)\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--bound-epsilon") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      try {
+        options.request.bound_epsilon = std::stod(*v);
+      } catch (const std::exception&) {
+        err << "error: --bound-epsilon needs a number, got '" << *v << "'\n";
         return std::nullopt;
       }
     } else if (arg == "--order") {
@@ -370,7 +390,11 @@ service::Json build_wire_request(const Options& options) {
     json.set("engine", Json::string("mocus"));
   } else if (request.engine == CutSetEngine::kZbdd) {
     json.set("engine", Json::string("zbdd"));
+  } else if (request.engine == CutSetEngine::kBound) {
+    json.set("engine", Json::string("bound"));
   }
+  if (request.bound_epsilon != 1e-6)
+    json.set("bound_epsilon", Json::number(request.bound_epsilon));
   if (request.order == OrderPolicy::kSift) {
     json.set("order", Json::string("sift"));
   } else if (request.order == OrderPolicy::kSiftConverge) {

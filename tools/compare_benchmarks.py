@@ -8,6 +8,8 @@ Usage:
         [--min-speedup X]
     tools/compare_benchmarks.py --contention-report RESULTS.json
         [--min-speedup X]
+    tools/compare_benchmarks.py --bound-report RESULTS.json
+        [--min-speedup X]
 
 Pairs benchmark records by name (e.g. "BM_ZbddReplicated/6/4") and prints
 one line per pair with the baseline time, the candidate time and the
@@ -273,6 +275,100 @@ def contention_report(path: str, metric: str, min_speedup: float) -> int:
     return 0
 
 
+def bound_report(path: str, metric: str, min_speedup: float) -> int:
+    """Convergence-vs-time of the anytime bound engine from
+    BENCH_bound.json (bench/bench_bound.cpp).
+
+    Reads the BM_BoundFrontierConverge/E epsilon sweep (E = the epsilon
+    exponent) and the BM_ZbddTenXNodeBudget run on the same adversarial
+    tree, and gates on the acceptance counters: every bound point must be
+    converged with interval width <= 1e-3 inside a 2000 ms wall budget,
+    and the ZBDD run -- given ten times the bound engine's node budget --
+    must come back truncated (if it ever stops truncating, the fixture no
+    longer demonstrates the gap and needs regrowing). With --min-speedup X
+    the tightest-epsilon bound run must additionally be at least X times
+    faster than the truncated ZBDD run.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    records: dict[str, dict[str, float]] = {}
+    for record in data.get("benchmarks", []):
+        if record.get("run_type", "iteration") == "aggregate":
+            continue
+        records[record["name"]] = {
+            key: float(value)
+            for key, value in record.items()
+            if isinstance(value, (int, float))
+        }
+
+    sweep = {
+        int(m.group(1)): fields
+        for name, fields in sorted(records.items())
+        if (m := re.match(r"^BM_BoundFrontierConverge/(\d+)$", name))
+    }
+    zbdd = records.get("BM_ZbddTenXNodeBudget")
+    if not sweep or zbdd is None:
+        print(
+            "error: no BM_BoundFrontierConverge/E sweep plus "
+            "BM_ZbddTenXNodeBudget in " + path,
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    print(f"{'benchmark':<30}  {'time ms':>10}  {'width':>12}  converged")
+    tightest = max(sweep)
+    for exponent in sorted(sweep):
+        fields = sweep[exponent]
+        time_ms = fields.get(metric, 0.0)
+        width = fields.get("width", float("inf"))
+        converged = fields.get("converged", 0.0) == 1.0
+        name = f"BM_BoundFrontierConverge/{exponent}"
+        print(
+            f"{name:<30}  {time_ms:>10.2f}  {width:>12.3e}  "
+            f"{'yes' if converged else 'NO'}"
+        )
+        if not converged:
+            failures.append(f"{name}: did not converge")
+        if width > 1e-3:
+            failures.append(f"{name}: width {width:.3e} above the 1e-3 bar")
+        if time_ms > 2000.0:
+            failures.append(f"{name}: {time_ms:.0f} ms over the 2 s budget")
+
+    zbdd_ms = zbdd.get(metric, 0.0)
+    truncated = zbdd.get("truncated", 0.0) == 1.0
+    print(
+        f"{'BM_ZbddTenXNodeBudget':<30}  {zbdd_ms:>10.2f}  {'-':>12}  "
+        f"{'truncated' if truncated else 'COMPLETED'}"
+    )
+    if not truncated:
+        failures.append(
+            "BM_ZbddTenXNodeBudget: completed at 10x the node budget; the "
+            "fixture no longer demonstrates the exact-engine gap"
+        )
+    bound_ms = sweep[tightest].get(metric, 0.0)
+    if min_speedup > 0 and bound_ms > 0:
+        speedup = zbdd_ms / bound_ms
+        print(
+            f"\ntightest epsilon vs truncated zbdd: {speedup:.1f}x "
+            f"({zbdd_ms:.1f} ms / {bound_ms:.2f} ms)"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"bound engine only {speedup:.1f}x faster than the "
+                f"truncated zbdd run (bar: {min_speedup:.0f}x)"
+            )
+
+    if failures:
+        print(f"\n{len(failures)} bound-engine check(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nok: certified interval within width and time budget; "
+          "zbdd truncates at 10x the node budget")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Diff two google-benchmark JSON files."
@@ -302,13 +398,20 @@ def main() -> int:
         "from one BENCH_contention.json instead of diffing two files",
     )
     parser.add_argument(
+        "--bound-report",
+        metavar="RESULTS",
+        help="report anytime-bound convergence vs the truncated ZBDD run "
+        "from one BENCH_bound.json instead of diffing two files",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=0.0,
         metavar="X",
-        help="with --service-report (--prob-report, --contention-report): "
-        "fail when any workload's cold/warm (cutsets/diagram, serial/"
-        "parallel) ratio is below X (default: report only)",
+        help="with --service-report (--prob-report, --contention-report, "
+        "--bound-report): fail when any workload's cold/warm (cutsets/"
+        "diagram, serial/parallel, zbdd/bound) ratio is below X "
+        "(default: report only)",
     )
     parser.add_argument(
         "--threshold",
@@ -340,10 +443,13 @@ def main() -> int:
         return contention_report(
             args.contention_report, args.metric, args.min_speedup
         )
+    if args.bound_report:
+        return bound_report(args.bound_report, args.metric, args.min_speedup)
     if args.baseline is None or args.candidate is None:
         parser.error(
             "BASELINE and CANDIDATE are required unless "
-            "--service-report/--prob-report/--contention-report"
+            "--service-report/--prob-report/--contention-report/"
+            "--bound-report"
         )
 
     baseline = load_benchmarks(args.baseline, args.metric)

@@ -7,7 +7,8 @@ Usage:
 Drives a live daemon through ~200 mixed requests (default) and checks the
 robustness ladder end to end, from outside the process boundary:
 
-  * valid analyse/report/fmea/info traffic across engines and order
+  * valid analyse/report/fmea/info traffic across engines (including the
+    anytime bound engine at several convergence targets) and order
     policies, byte-compared against fresh serial CLI runs of the same
     flags (the daemon's byte-identity contract);
   * malformed JSON lines, unknown commands and unbudgeted requests, which
@@ -167,6 +168,29 @@ def main() -> int:
             {"command": "fmea", "model": model, "engine": "zbdd",
              "prob_mode": "diagram"},
             ["fmea", model, "--engine", "zbdd", "--prob-mode", "diagram"],
+        )
+    )
+    # The anytime bound engine: default convergence target, an explicit
+    # tight target (distinct response-memo key), and a run-to-exhaustion
+    # request -- all byte-identical to the serial CLI.
+    workload.append(
+        (
+            {"command": "analyse", "model": model, "engine": "bound"},
+            ["analyse", model, "--engine", "bound"],
+        )
+    )
+    workload.append(
+        (
+            {"command": "analyse", "model": model, "engine": "bound",
+             "bound_epsilon": 1e-9},
+            ["analyse", model, "--engine", "bound", "--bound-epsilon", "1e-9"],
+        )
+    )
+    workload.append(
+        (
+            {"command": "report", "model": model, "engine": "bound",
+             "bound_epsilon": -1},
+            ["report", model, "--engine", "bound", "--bound-epsilon", "-1"],
         )
     )
     workload.append(({"command": "info", "model": model}, ["info", model]))
