@@ -54,6 +54,40 @@ BatchResult analyse_batch(const Model& model,
   return result;
 }
 
+BatchResult analyse_trees(std::vector<FaultTree> trees,
+                          const std::vector<std::string>& labels,
+                          const BatchOptions& options, ThreadPool* pool) {
+  BatchResult result;
+  result.items.reserve(trees.size());
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    BatchItem item;
+    item.label = i < labels.size() ? labels[i] : trees[i].name();
+    item.tree.emplace(std::move(trees[i]));
+    result.items.push_back(std::move(item));
+  }
+
+  std::optional<ConeCache> batch_cones;
+  ConeCache* cones = options.analysis.cut_sets.cone_cache;
+  if (cones == nullptr && options.share_cones) {
+    batch_cones.emplace(cone_keyspace(options.analysis.cut_sets));
+    cones = &*batch_cones;
+  }
+
+  parallel_for(pool, result.items.size(), [&](std::size_t index) {
+    BatchItem& item = result.items[index];
+    AnalysisOptions analysis = options.analysis;
+    analysis.cut_sets.pool = pool;
+    analysis.cut_sets.cone_cache = cones;
+    try {
+      item.analysis.emplace(analyse_tree(*item.tree, analysis));
+    } catch (...) {
+      item.error = std::current_exception();
+    }
+  });
+  if (cones != nullptr) result.cache_stats = cones->stats();
+  return result;
+}
+
 void merge_diagnostics(const BatchResult& result, DiagnosticSink& sink) {
   for (const BatchItem& item : result.items) {
     for (const Diagnostic& diagnostic : item.diagnostics)

@@ -60,12 +60,20 @@ struct BatchOptions {
 /// One top event's pipeline result.
 struct BatchItem {
   Deviation top;
+  /// Display name override for tree batches (analyse_trees), where no
+  /// Deviation exists; empty for model batches.
+  std::string label;
   std::optional<FaultTree> tree;  ///< empty when synthesis threw
   /// Points INTO `tree` (FtNode pointers); moving the item is fine, the
   /// tree arena is stable, but `tree` must outlive the analysis.
   std::optional<TreeAnalysis> analysis;
   std::vector<Diagnostic> diagnostics;  ///< per-item, deterministic order
   std::exception_ptr error;             ///< set when a stage threw
+
+  /// The name diagnostics and verbose stats report the item under.
+  std::string display_name() const {
+    return label.empty() ? top.to_string() : label;
+  }
 };
 
 struct BatchResult {
@@ -89,6 +97,18 @@ struct BatchResult {
 /// depend on the pool.
 BatchResult analyse_batch(const Model& model,
                           const std::vector<Deviation>& tops,
+                          const BatchOptions& options = {},
+                          ThreadPool* pool = nullptr);
+
+/// Analyses already-built trees (e.g. Open-PSA imports: fault-tree roots
+/// and event-tree sequence tops) through the identical deterministic
+/// pipeline -- same per-item sinks, shared cone cache, pool semantics and
+/// ordering guarantees, minus the synthesis stage. Trees are moved into
+/// the items; `labels[i]` becomes items[i].label (labels may be shorter
+/// than `trees`; missing entries use the tree name). options.synthesis
+/// and options.analyse are ignored (trees exist; they are analysed).
+BatchResult analyse_trees(std::vector<FaultTree> trees,
+                          const std::vector<std::string>& labels,
                           const BatchOptions& options = {},
                           ThreadPool* pool = nullptr);
 

@@ -1,0 +1,99 @@
+#include "analysis/event_tree.h"
+
+#include <algorithm>
+
+#include "core/strings.h"
+
+namespace ftsynth {
+
+FtNode* collect_sequence_gate(
+    FaultTree& tree, const std::vector<std::vector<FtNode*>>& paths) {
+  std::vector<FtNode*> terms;
+  for (const std::vector<FtNode*>& path : paths) {
+    if (path.empty()) continue;
+    if (path.size() == 1) {
+      terms.push_back(path.front());
+    } else {
+      terms.push_back(tree.add_gate(GateKind::kAnd, "", path));
+    }
+  }
+  if (terms.empty()) return nullptr;
+  if (terms.size() == 1) return terms.front();
+  return tree.add_gate(GateKind::kOr, "", terms);
+}
+
+SequenceSummary summarise_sequence(std::string name,
+                                   const TreeAnalysis& analysis) {
+  SequenceSummary row;
+  row.name = std::move(name);
+  row.description = analysis.top_event;
+  row.cut_set_count = analysis.cut_sets.cut_sets.size();
+  row.min_order = analysis.cut_sets.min_order();
+  row.truncated =
+      analysis.cut_sets.truncated || analysis.cut_sets.deadline_exceeded;
+  if (analysis.p_lower && analysis.p_upper) {
+    row.p_lower = analysis.p_lower;
+    row.p_upper = analysis.p_upper;
+    row.probability = *analysis.p_upper;
+  } else {
+    row.probability = analysis.p_exact;
+  }
+  return row;
+}
+
+namespace {
+
+std::string probability_text(const SequenceSummary& row) {
+  if (row.p_lower && row.p_upper) {
+    return "[" + format_double(*row.p_lower) + ", " +
+           format_double(*row.p_upper) + "]";
+  }
+  return format_double(row.probability);
+}
+
+}  // namespace
+
+std::string render_sequence_table(const std::vector<SequenceSummary>& rows) {
+  if (rows.empty()) return "";
+  std::size_t name_width = std::string("sequence").size();
+  std::size_t prob_width = std::string("probability").size();
+  for (const SequenceSummary& row : rows) {
+    name_width = std::max(name_width, row.name.size());
+    prob_width = std::max(prob_width, probability_text(row).size());
+  }
+  std::string text = "=== Event-tree sequences ===\n";
+  text += "sequence" + std::string(name_width - 8, ' ') + "  probability" +
+          std::string(prob_width - 11, ' ') + "  cut sets  min order\n";
+  for (const SequenceSummary& row : rows) {
+    const std::string probability = probability_text(row);
+    text += row.name + std::string(name_width - row.name.size(), ' ');
+    text += "  " + probability +
+            std::string(prob_width - probability.size(), ' ');
+    const std::string sets = std::to_string(row.cut_set_count);
+    text += "  " + std::string(sets.size() < 8 ? 8 - sets.size() : 0, ' ') +
+            sets;
+    const std::string order = std::to_string(row.min_order);
+    text += "  " +
+            std::string(order.size() < 9 ? 9 - order.size() : 0, ' ') + order;
+    if (row.truncated) text += "  (truncated)";
+    text += "\n";
+  }
+  return text;
+}
+
+std::string render_sequence_markdown(
+    const std::vector<SequenceSummary>& rows) {
+  if (rows.empty()) return "";
+  std::string text = "### Event-tree sequences\n\n";
+  text += "| sequence | probability | cut sets | min order |\n";
+  text += "|---|---|---|---|\n";
+  for (const SequenceSummary& row : rows) {
+    text += "| " + row.name + " | " + probability_text(row) + " | " +
+            std::to_string(row.cut_set_count) + " | " +
+            std::to_string(row.min_order) +
+            (row.truncated ? " (truncated)" : "") + " |\n";
+  }
+  return text;
+}
+
+}  // namespace ftsynth

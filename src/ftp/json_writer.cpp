@@ -111,6 +111,38 @@ std::string write_json(const FaultTree& tree, const TreeAnalysis& analysis) {
   return out;
 }
 
+std::string write_json(const std::vector<const FaultTree*>& trees,
+                       const std::vector<const TreeAnalysis*>& analyses,
+                       const std::vector<SequenceSummary>& sequences) {
+  std::string out = "{\n\"trees\": [\n";
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    // Each element is the single-tree document verbatim (sans trailing
+    // newline), so downstream consumers parse one schema either way.
+    std::string doc = i < analyses.size() ? write_json(*trees[i], *analyses[i])
+                                          : write_json(*trees[i]);
+    if (!doc.empty() && doc.back() == '\n') doc.pop_back();
+    out += doc;
+    out += i + 1 != trees.size() ? ",\n" : "\n";
+  }
+  out += "],\n\"sequences\": [\n";
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const SequenceSummary& row = sequences[i];
+    out += "  {\"name\": " + quote(row.name) +
+           ", \"probability\": " + format_double(row.probability);
+    if (row.p_lower && row.p_upper) {
+      out += ", \"p_lower\": " + format_double(*row.p_lower) +
+             ", \"p_upper\": " + format_double(*row.p_upper);
+    }
+    out += ", \"cut_sets\": " + std::to_string(row.cut_set_count) +
+           ", \"min_order\": " + std::to_string(row.min_order) +
+           ", \"truncated\": " + (row.truncated ? "true" : "false") + "}";
+    if (i + 1 != sequences.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
 void write_json_file(const FaultTree& tree, const std::string& path) {
   std::ofstream file(path);
   require(file.good(), ErrorKind::kParse,

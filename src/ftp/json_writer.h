@@ -4,7 +4,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "analysis/event_tree.h"
 #include "analysis/report.h"
 #include "fta/fault_tree.h"
 
@@ -15,6 +17,14 @@ std::string write_json(const FaultTree& tree);
 
 /// Tree plus its TreeAnalysis (cut sets, probabilities, importance).
 std::string write_json(const FaultTree& tree, const TreeAnalysis& analysis);
+
+/// Several analysed trees (parallel vectors) in one document:
+/// {"trees": [...], "sequences": [...]} -- the Open-PSA
+/// `analyse --format json` output; "sequences" lists the event-tree rows
+/// (empty array when the model has none).
+std::string write_json(const std::vector<const FaultTree*>& trees,
+                       const std::vector<const TreeAnalysis*>& analyses,
+                       const std::vector<SequenceSummary>& sequences);
 
 void write_json_file(const FaultTree& tree, const std::string& path);
 

@@ -1,0 +1,28 @@
+// Open-PSA Model Exchange Format export.
+//
+// Writes a synthesised FaultTree as a MEF document that
+// openpsa::read_openpsa imports back to an equivalent tree: the same DAG
+// (gates referenced by name keep their sharing), the same leaf
+// probabilities (format_double emits the shortest decimal that strtod
+// round-trips), the same descriptions (as <label>) and the same top
+// description (the root gate's label). The differential fuzz suite leans
+// on this: export -> import -> re-analyse must be byte-identical.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fta/fault_tree.h"
+
+namespace ftsynth {
+
+/// Renders `tree` as one <opsa-mef> document. Throws
+/// ErrorKind::kAnalysis on a Priority-AND gate -- the MEF has no ordered
+/// conjunction, so a PAND tree cannot round-trip faithfully.
+std::string write_openpsa(const FaultTree& tree);
+
+/// Several trees as sibling define-fault-tree sections of one document.
+std::string write_openpsa(const std::vector<const FaultTree*>& trees);
+
+}  // namespace ftsynth

@@ -67,24 +67,7 @@ void write_tree_body(const FaultTree& tree, std::string& out) {
   out += "  </fault-tree>\n";
 }
 
-}  // namespace
-
-std::string write_xml(const std::vector<const FaultTree*>& trees) {
-  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
-  out += "<fault-tree-set generator=\"ftsynth\">\n";
-  for (const FaultTree* tree : trees) write_tree_body(*tree, out);
-  out += "</fault-tree-set>\n";
-  return out;
-}
-
-std::string write_xml(const FaultTree& tree) {
-  return write_xml(std::vector<const FaultTree*>{&tree});
-}
-
-std::string write_xml(const FaultTree& tree, const TreeAnalysis& analysis) {
-  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
-  out += "<fault-tree-set generator=\"ftsynth\">\n";
-  write_tree_body(tree, out);
+void write_analysis_body(const TreeAnalysis& analysis, std::string& out) {
   out += "  <analysis top-event=\"" + escape_xml(analysis.top_event) +
          "\">\n";
   if (analysis.p_lower && analysis.p_upper) {
@@ -116,6 +99,57 @@ std::string write_xml(const FaultTree& tree, const TreeAnalysis& analysis) {
   }
   out += "    </cut-sets>\n";
   out += "  </analysis>\n";
+}
+
+}  // namespace
+
+std::string write_xml(const std::vector<const FaultTree*>& trees) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<fault-tree-set generator=\"ftsynth\">\n";
+  for (const FaultTree* tree : trees) write_tree_body(*tree, out);
+  out += "</fault-tree-set>\n";
+  return out;
+}
+
+std::string write_xml(const FaultTree& tree) {
+  return write_xml(std::vector<const FaultTree*>{&tree});
+}
+
+std::string write_xml(const FaultTree& tree, const TreeAnalysis& analysis) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<fault-tree-set generator=\"ftsynth\">\n";
+  write_tree_body(tree, out);
+  write_analysis_body(analysis, out);
+  out += "</fault-tree-set>\n";
+  return out;
+}
+
+std::string write_xml(const std::vector<const FaultTree*>& trees,
+                      const std::vector<const TreeAnalysis*>& analyses,
+                      const std::vector<SequenceSummary>& sequences) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<fault-tree-set generator=\"ftsynth\">\n";
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    write_tree_body(*trees[i], out);
+    if (i < analyses.size()) write_analysis_body(*analyses[i], out);
+  }
+  if (!sequences.empty()) {
+    out += "  <sequences>\n";
+    for (const SequenceSummary& row : sequences) {
+      out += "    <sequence name=\"" + escape_xml(row.name) + "\"";
+      if (row.p_lower && row.p_upper) {
+        out += " p-lower=\"" + format_double(*row.p_lower) + "\" p-upper=\"" +
+               format_double(*row.p_upper) + "\"";
+      } else {
+        out += " probability=\"" + format_double(row.probability) + "\"";
+      }
+      out += " cut-sets=\"" + std::to_string(row.cut_set_count) +
+             "\" min-order=\"" + std::to_string(row.min_order) +
+             "\" truncated=\"" + (row.truncated ? "true" : "false") +
+             "\"/>\n";
+    }
+    out += "  </sequences>\n";
+  }
   out += "</fault-tree-set>\n";
   return out;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/event_tree.h"
 #include "analysis/report.h"
 #include "fta/fault_tree.h"
 
@@ -30,6 +31,13 @@ std::string write_xml(const std::vector<const FaultTree*>& trees);
 /// interval for --engine bound runs, the classic bounds + exact number
 /// otherwise) and the minimal cut sets.
 std::string write_xml(const FaultTree& tree, const TreeAnalysis& analysis);
+
+/// Several analysed trees (parallel vectors) under one root, followed by
+/// a <sequences> element when event-tree sequence rows are present --
+/// the Open-PSA `analyse --format xml` document.
+std::string write_xml(const std::vector<const FaultTree*>& trees,
+                      const std::vector<const TreeAnalysis*>& analyses,
+                      const std::vector<SequenceSummary>& sequences);
 
 void write_xml_file(const FaultTree& tree, const std::string& path);
 

@@ -1,0 +1,835 @@
+#include "openpsa/mef_reader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/event_tree.h"
+#include "core/error.h"
+#include "openpsa/xml_reader.h"
+
+namespace ftsynth::openpsa {
+namespace {
+
+// Gate-reference chains longer than this are cut with a diagnostic; the
+// per-top builder recurses through named definitions.
+constexpr int kMaxGateDepth = 1000;
+
+/// A formula value during construction: either a node in the target
+/// arena or a boolean constant (house events fold at import time -- the
+/// FaultTree has no "false" leaf).
+struct Value {
+  bool is_constant = false;
+  bool constant = false;
+  FtNode* node = nullptr;
+
+  static Value of(FtNode* n) { return {false, false, n}; }
+  static Value of(bool c) { return {true, c, nullptr}; }
+};
+
+/// One define-basic-event, parsed once so range problems are reported at
+/// the definition site, not per reference.
+struct BasicDef {
+  NodeKind kind = NodeKind::kBasic;  ///< kBasic/kUndeveloped/kLoop
+  double fixed_probability = -1.0;
+  double rate = 0.0;
+  std::string label;
+};
+
+struct HouseDef {
+  bool value = false;
+  std::string label;
+};
+
+struct GateDef {
+  const XmlElement* formula = nullptr;  ///< the one connective child
+  std::string label;
+  SourceLocation location;
+};
+
+double parse_float_attr(const XmlElement& element, bool& ok) {
+  std::string text(element.attribute("value"));
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  ok = !text.empty() && end != nullptr && *end == '\0';
+  return value;
+}
+
+std::string_view leaf_kind_attribute(const XmlElement& definition) {
+  const XmlElement* attrs = definition.child("attributes");
+  if (attrs == nullptr) return {};
+  for (const auto& attr : attrs->children) {
+    if (attr->name == "attribute" && attr->attribute("name") == "ftsynth-kind")
+      return attr->attribute("value");
+  }
+  return {};
+}
+
+class Importer {
+ public:
+  explicit Importer(DiagnosticSink* sink) : sink_(sink) {}
+
+  MefModel import(const XmlElement& root) {
+    if (root.name != "opsa-mef") {
+      // Not recoverable: nothing below a foreign root is meaningful.
+      throw ParseError("Open-PSA: root element is <" + root.name +
+                           ">, expected <opsa-mef>",
+                       root.location.line, root.location.column);
+    }
+    model_.name = root.has_attribute("name")
+                      ? std::string(root.attribute("name"))
+                      : "openpsa";
+    collect_definitions(root);
+    build_fault_tree_tops();
+    build_event_tree_tops();
+    return std::move(model_);
+  }
+
+ private:
+  // -- error discipline ------------------------------------------------------
+
+  void fail(ErrorKind kind, const std::string& message, SourceLocation where) {
+    if (sink_ != nullptr) {
+      sink_->error(kind, "Open-PSA: " + message, where);
+      return;
+    }
+    if (kind == ErrorKind::kParse && where.known()) {
+      throw ParseError("Open-PSA: " + message, where.line, where.column);
+    }
+    std::string text = "Open-PSA: " + message;
+    if (where.known()) text += " (line " + where.to_string() + ")";
+    throw Error(kind, text);
+  }
+
+  void warn(const std::string& message, SourceLocation where) {
+    if (sink_ != nullptr)
+      sink_->warning(ErrorKind::kModel, "Open-PSA: " + message, where);
+  }
+
+  // -- pass 1: definition registries -----------------------------------------
+
+  void collect_definitions(const XmlElement& root) {
+    for (const auto& section : root.children) {
+      if (section->name == "define-fault-tree") {
+        collect_fault_tree(*section);
+      } else if (section->name == "model-data") {
+        for (const auto& entry : section->children) collect_event(*entry);
+      } else if (section->name == "define-event-tree") {
+        ++model_.event_tree_count;
+        std::string name(section->attribute("name"));
+        if (name.empty()) {
+          fail(ErrorKind::kParse, "define-event-tree without a name",
+               section->location);
+          continue;
+        }
+        if (!event_trees_.emplace(name, section.get()).second) {
+          fail(ErrorKind::kModel, "duplicate event tree '" + name + "'",
+               section->location);
+          continue;
+        }
+        event_tree_order_.push_back(name);
+        for (const auto& entry : section->children) {
+          if (entry->name == "define-sequence") {
+            sequence_defs_[name + "\x1f" +
+                           std::string(entry->attribute("name"))] = entry.get();
+          } else if (entry->name == "define-branch") {
+            branch_defs_[name + "\x1f" +
+                         std::string(entry->attribute("name"))] = entry.get();
+          }
+        }
+      } else if (section->name == "define-initiating-event") {
+        std::string tree(section->attribute("event-tree"));
+        std::string name(section->attribute("name"));
+        if (!tree.empty() && !name.empty())
+          initiating_events_.emplace(tree, name);
+      } else if (section->name == "label" || section->name == "attributes") {
+        // Document metadata; nothing to import.
+      } else {
+        warn("ignoring unsupported section <" + section->name + ">",
+             section->location);
+      }
+    }
+  }
+
+  void collect_fault_tree(const XmlElement& definition) {
+    ++model_.fault_tree_count;
+    std::string name(definition.attribute("name"));
+    if (name.empty()) {
+      fail(ErrorKind::kParse, "define-fault-tree without a name",
+           definition.location);
+      return;
+    }
+    if (!fault_trees_.emplace(name, &definition).second) {
+      fail(ErrorKind::kModel, "duplicate fault tree '" + name + "'",
+           definition.location);
+      return;
+    }
+    fault_tree_order_.push_back(name);
+    for (const auto& entry : definition.children) collect_event(*entry);
+  }
+
+  void collect_event(const XmlElement& definition) {
+    if (definition.name == "define-gate") {
+      ++model_.gate_count;
+      std::string name(definition.attribute("name"));
+      if (name.empty()) {
+        fail(ErrorKind::kParse, "define-gate without a name",
+             definition.location);
+        return;
+      }
+      GateDef def;
+      def.location = definition.location;
+      for (const auto& child : definition.children) {
+        if (child->name == "label") {
+          def.label = child->text;
+        } else if (child->name == "attributes") {
+          continue;
+        } else if (def.formula == nullptr) {
+          def.formula = child.get();
+        } else {
+          fail(ErrorKind::kParse,
+               "gate '" + name + "' has more than one formula",
+               child->location);
+        }
+      }
+      if (def.formula == nullptr) {
+        fail(ErrorKind::kParse, "gate '" + name + "' has no formula",
+             definition.location);
+        return;
+      }
+      if (!gates_.emplace(std::move(name), def).second) {
+        fail(ErrorKind::kModel,
+             "duplicate gate '" + std::string(definition.attribute("name")) +
+                 "'",
+             definition.location);
+      }
+    } else if (definition.name == "define-basic-event") {
+      ++model_.basic_event_count;
+      std::string name(definition.attribute("name"));
+      if (name.empty()) {
+        fail(ErrorKind::kParse, "define-basic-event without a name",
+             definition.location);
+        return;
+      }
+      BasicDef def = parse_basic_event(name, definition);
+      if (!basics_.emplace(std::move(name), def).second) {
+        fail(ErrorKind::kModel,
+             "duplicate basic event '" +
+                 std::string(definition.attribute("name")) + "'",
+             definition.location);
+      }
+    } else if (definition.name == "define-house-event") {
+      ++model_.house_event_count;
+      std::string name(definition.attribute("name"));
+      if (name.empty()) {
+        fail(ErrorKind::kParse, "define-house-event without a name",
+             definition.location);
+        return;
+      }
+      HouseDef def;
+      if (const XmlElement* label = definition.child("label"))
+        def.label = label->text;
+      const XmlElement* constant = definition.child("constant");
+      if (constant == nullptr) {
+        // The MEF default state for a house event is false.
+        def.value = false;
+      } else {
+        std::string_view value = constant->attribute("value");
+        if (value == "true") {
+          def.value = true;
+        } else if (value == "false") {
+          def.value = false;
+        } else {
+          fail(ErrorKind::kParse,
+               "house event '" + name + "' has non-boolean value '" +
+                   std::string(value) + "'",
+               constant->location);
+        }
+      }
+      if (!houses_.emplace(std::move(name), def).second) {
+        fail(ErrorKind::kModel,
+             "duplicate house event '" +
+                 std::string(definition.attribute("name")) + "'",
+             definition.location);
+      }
+    } else if (definition.name == "label" ||
+               definition.name == "attributes") {
+      // Container metadata.
+    } else {
+      warn("ignoring unsupported definition <" + definition.name + ">",
+           definition.location);
+    }
+  }
+
+  BasicDef parse_basic_event(const std::string& name,
+                             const XmlElement& definition) {
+    BasicDef def;
+    std::string_view kind = leaf_kind_attribute(definition);
+    if (kind == "undeveloped") def.kind = NodeKind::kUndeveloped;
+    if (kind == "loop") def.kind = NodeKind::kLoop;
+    if (const XmlElement* label = definition.child("label"))
+      def.label = label->text;
+    for (const auto& child : definition.children) {
+      if (child->name == "float") {
+        bool ok = false;
+        double value = parse_float_attr(*child, ok);
+        if (!ok) {
+          fail(ErrorKind::kParse,
+               "basic event '" + name + "' has a malformed <float>",
+               child->location);
+          continue;
+        }
+        if (value < 0.0 || value > 1.0) {
+          fail(ErrorKind::kModel,
+               "basic event '" + name + "' probability " +
+                   std::to_string(value) + " outside [0, 1]; clamping",
+               child->location);
+          value = value < 0.0 ? 0.0 : 1.0;
+        }
+        def.fixed_probability = value;
+      } else if (child->name == "exponential") {
+        const XmlElement* lambda = child->child("float");
+        bool ok = false;
+        double rate = lambda != nullptr ? parse_float_attr(*lambda, ok) : 0.0;
+        if (!ok) {
+          fail(ErrorKind::kParse,
+               "basic event '" + name + "' has a malformed <exponential>",
+               child->location);
+          continue;
+        }
+        if (rate < 0.0) {
+          fail(ErrorKind::kModel,
+               "basic event '" + name + "' has negative rate; clamping to 0",
+               child->location);
+          rate = 0.0;
+        }
+        def.rate = rate;
+      } else if (child->name == "label" || child->name == "attributes") {
+        continue;
+      } else {
+        warn("ignoring unsupported expression <" + child->name +
+                 "> on basic event '" + name + "'",
+             child->location);
+      }
+    }
+    return def;
+  }
+
+  // -- per-top formula construction ------------------------------------------
+
+  /// Builds formulas for one self-contained top. Named gates are memoised
+  /// (per-arena DAG sharing); cycles are detected on the in-progress set.
+  struct TreeBuilder {
+    Importer& importer;
+    FaultTree& tree;
+    std::unordered_map<std::string, Value> gate_memo;
+    std::unordered_set<std::string> in_progress;
+    int depth = 0;
+
+    Value make_not(Value operand) {
+      if (operand.is_constant) return Value::of(!operand.constant);
+      return Value::of(
+          tree.add_gate(GateKind::kNot, "", {operand.node}));
+    }
+
+    Value make_and(const std::vector<Value>& operands) {
+      std::vector<FtNode*> nodes;
+      for (const Value& operand : operands) {
+        if (operand.is_constant) {
+          if (!operand.constant) return Value::of(false);
+          continue;  // true: AND identity
+        }
+        nodes.push_back(operand.node);
+      }
+      if (nodes.empty()) return Value::of(true);
+      if (nodes.size() == 1) return Value::of(nodes.front());
+      return Value::of(tree.add_gate(GateKind::kAnd, "", std::move(nodes)));
+    }
+
+    Value make_or(const std::vector<Value>& operands) {
+      std::vector<FtNode*> nodes;
+      for (const Value& operand : operands) {
+        if (operand.is_constant) {
+          if (operand.constant) return Value::of(true);
+          continue;  // false: OR identity
+        }
+        nodes.push_back(operand.node);
+      }
+      if (nodes.empty()) return Value::of(false);
+      if (nodes.size() == 1) return Value::of(nodes.front());
+      return Value::of(tree.add_gate(GateKind::kOr, "", std::move(nodes)));
+    }
+
+    Value make_xor(Value a, Value b) {
+      return make_or({make_and({a, make_not(b)}), make_and({make_not(a), b})});
+    }
+
+    /// atleast k of `operands`: the shared take/skip expansion. f(i, k) =
+    /// "at least k of operands[i..]" = OR(AND(op[i], f(i+1, k-1)),
+    /// f(i+1, k)), memoised so the expansion is an O(n*k) DAG, not an
+    /// exponential tree.
+    Value make_atleast(std::vector<Value> operands, long k) {
+      std::vector<Value> nodes;
+      for (const Value& operand : operands) {
+        if (operand.is_constant) {
+          if (operand.constant) --k;  // an always-true vote input
+          continue;
+        }
+        nodes.push_back(operand);
+      }
+      const long n = static_cast<long>(nodes.size());
+      if (k <= 0) return Value::of(true);
+      if (k > n) return Value::of(false);
+      if (k == n) return make_and(nodes);
+      if (k == 1) return make_or(nodes);
+      std::unordered_map<long, Value> memo;
+      const std::function<Value(long, long)> at_least = [&](long i,
+                                                            long need) {
+        if (need <= 0) return Value::of(true);
+        if (need > n - i) return Value::of(false);
+        const long key = i * (n + 1) + need;
+        if (auto it = memo.find(key); it != memo.end()) return it->second;
+        Value take = make_and({nodes[static_cast<std::size_t>(i)],
+                               at_least(i + 1, need - 1)});
+        Value skip = at_least(i + 1, need);
+        Value result = make_or({take, skip});
+        memo.emplace(key, result);
+        return result;
+      };
+      return at_least(0, k);
+    }
+
+    Value undeveloped(const std::string& reference) {
+      return Value::of(tree.add_undeveloped(
+          Symbol("und:" + reference),
+          "unresolved Open-PSA reference '" + reference + "'", ""));
+    }
+
+    Value basic_leaf(const std::string& name, const BasicDef& def) {
+      FtNode* leaf = nullptr;
+      switch (def.kind) {
+        case NodeKind::kUndeveloped:
+          leaf = tree.add_undeveloped(Symbol(name), def.label, "");
+          break;
+        case NodeKind::kLoop:
+          leaf = tree.add_loop(Symbol(name), def.label, "");
+          break;
+        default:
+          leaf = tree.add_basic(Symbol(name), def.rate, def.label, "");
+          if (def.fixed_probability >= 0.0)
+            leaf->set_fixed_probability(def.fixed_probability);
+          break;
+      }
+      return Value::of(leaf);
+    }
+
+    Value build_basic(const std::string& name, SourceLocation where) {
+      auto it = importer.basics_.find(name);
+      if (it == importer.basics_.end()) {
+        importer.warn(
+            "basic event '" + name + "' has no definition; unquantified",
+            where);
+        return Value::of(tree.add_basic(Symbol(name), 0.0, "", ""));
+      }
+      return basic_leaf(name, it->second);
+    }
+
+    Value build_house(const std::string& name, SourceLocation where) {
+      auto it = importer.houses_.find(name);
+      if (it == importer.houses_.end()) {
+        importer.fail(ErrorKind::kModel,
+                      "undefined house event '" + name + "'", where);
+        return undeveloped(name);
+      }
+      return Value::of(it->second.value);
+    }
+
+    Value build_gate(const std::string& name, SourceLocation where) {
+      if (auto it = gate_memo.find(name); it != gate_memo.end())
+        return it->second;
+      auto def = importer.gates_.find(name);
+      if (def == importer.gates_.end()) {
+        importer.fail(ErrorKind::kModel, "undefined gate '" + name + "'",
+                      where);
+        Value value = undeveloped(name);
+        gate_memo.emplace(name, value);
+        return value;
+      }
+      if (in_progress.count(name) != 0) {
+        importer.fail(ErrorKind::kModel,
+                      "cyclic gate definition through '" + name + "'", where);
+        return undeveloped(name);  // cut the cycle; deliberately not memoised
+      }
+      if (depth >= kMaxGateDepth) {
+        importer.fail(ErrorKind::kModel,
+                      "gate definitions nested deeper than " +
+                          std::to_string(kMaxGateDepth),
+                      where);
+        return undeveloped(name);
+      }
+      in_progress.insert(name);
+      ++depth;
+      Value value = build_formula(*def->second.formula);
+      --depth;
+      in_progress.erase(name);
+      if (!value.is_constant && value.node->kind() == NodeKind::kGate &&
+          value.node->description().empty() && !def->second.label.empty()) {
+        value.node->set_description(def->second.label);
+      }
+      gate_memo.emplace(name, value);
+      return value;
+    }
+
+    /// Resolves an untyped <event name=.../> reference.
+    Value build_event(const std::string& name, SourceLocation where) {
+      if (importer.gates_.count(name) != 0) return build_gate(name, where);
+      if (importer.houses_.count(name) != 0) return build_house(name, where);
+      return build_basic(name, where);
+    }
+
+    std::vector<Value> build_operands(const XmlElement& connective) {
+      std::vector<Value> operands;
+      for (const auto& child : connective.children)
+        operands.push_back(build_formula(*child));
+      return operands;
+    }
+
+    Value build_formula(const XmlElement& formula) {
+      const std::string& op = formula.name;
+      std::string name(formula.attribute("name"));
+      if (op == "gate") return build_gate(name, formula.location);
+      if (op == "basic-event") return build_basic(name, formula.location);
+      if (op == "house-event") return build_house(name, formula.location);
+      if (op == "event") return build_event(name, formula.location);
+      if (op == "bool" || op == "constant") {
+        return Value::of(formula.attribute("value") == "true");
+      }
+      if (op == "and") return make_and(build_operands(formula));
+      if (op == "or") return make_or(build_operands(formula));
+      if (op == "nand") return make_not(make_and(build_operands(formula)));
+      if (op == "nor") return make_not(make_or(build_operands(formula)));
+      if (op == "not") {
+        if (formula.children.size() != 1) {
+          importer.fail(ErrorKind::kParse, "<not> takes exactly one operand",
+                        formula.location);
+          return undeveloped("not");
+        }
+        return make_not(build_formula(*formula.children.front()));
+      }
+      if (op == "xor") {
+        std::vector<Value> operands = build_operands(formula);
+        if (operands.empty()) {
+          importer.fail(ErrorKind::kParse, "<xor> takes operands",
+                        formula.location);
+          return undeveloped("xor");
+        }
+        Value result = operands.front();
+        for (std::size_t i = 1; i < operands.size(); ++i)
+          result = make_xor(result, operands[i]);
+        return result;
+      }
+      if (op == "atleast" || op == "vote") {
+        std::string min_text(formula.attribute("min"));
+        char* end = nullptr;
+        long k = std::strtol(min_text.c_str(), &end, 10);
+        if (min_text.empty() || *end != '\0' || k < 1) {
+          importer.fail(ErrorKind::kParse,
+                        "<" + op + "> needs a positive min attribute",
+                        formula.location);
+          return undeveloped(op);
+        }
+        return make_atleast(build_operands(formula), k);
+      }
+      importer.fail(ErrorKind::kParse,
+                    "unsupported formula element <" + op + ">",
+                    formula.location);
+      return undeveloped(op);
+    }
+  };
+
+  /// Installs a built top value on `tree`: node tops directly, constant
+  /// true as a house leaf, constant false as the null top (the synthesis
+  /// convention for "impossible", analysed as probability 0).
+  static void install_top(FaultTree& tree, Value top) {
+    if (!top.is_constant) {
+      tree.set_top(top.node);
+    } else if (top.constant) {
+      tree.set_top(tree.add_house(Symbol("true"), "constant true"));
+    }
+  }
+
+  // -- pass 2: fault-tree tops -----------------------------------------------
+
+  void build_fault_tree_tops() {
+    // A fault tree's tops are its unreferenced gates: referenced-ness is
+    // computed over every gate formula in the document (a gate used by
+    // another fault tree is not a root), but NOT over event-tree
+    // collect-formulas -- a system fault tree referenced only from an
+    // event tree still deserves its own standalone analysis.
+    std::unordered_set<std::string> referenced;
+    for (const auto& [name, def] : gates_) collect_gate_refs(*def.formula,
+                                                             referenced);
+    for (const std::string& ft_name : fault_tree_order_) {
+      const XmlElement& definition = *fault_trees_.at(ft_name);
+      std::vector<std::string> roots;
+      std::size_t gates_defined = 0;
+      for (const auto& entry : definition.children) {
+        if (entry->name != "define-gate") continue;
+        std::string gate_name(entry->attribute("name"));
+        if (gate_name.empty() || gates_.count(gate_name) == 0) continue;
+        ++gates_defined;
+        if (referenced.count(gate_name) == 0) roots.push_back(gate_name);
+      }
+      if (roots.empty()) {
+        if (gates_defined != 0) {
+          fail(ErrorKind::kModel,
+               "fault tree '" + ft_name +
+                   "' has no root gate (every gate is referenced)",
+               definition.location);
+        } else {
+          warn("fault tree '" + ft_name + "' defines no gates",
+               definition.location);
+        }
+        continue;
+      }
+      for (const std::string& root : roots) {
+        std::string top_name =
+            roots.size() == 1 ? ft_name : ft_name + "." + root;
+        FaultTree tree(top_name);
+        TreeBuilder builder{*this, tree, {}, {}, 0};
+        Value top = builder.build_gate(root, definition.location);
+        install_top(tree, top);
+        const GateDef& root_def = gates_.at(root);
+        tree.set_top_description(
+            !root_def.label.empty()
+                ? root_def.label
+                : "top gate '" + root + "' of fault tree '" + ft_name + "'");
+        model_.tops.emplace_back(MefTop::Kind::kFaultTree,
+                                 std::move(top_name), std::move(tree));
+      }
+    }
+  }
+
+  static void collect_gate_refs(const XmlElement& formula,
+                                std::unordered_set<std::string>& out) {
+    if (formula.name == "gate" || formula.name == "event")
+      out.insert(std::string(formula.attribute("name")));
+    for (const auto& child : formula.children) collect_gate_refs(*child, out);
+  }
+
+  // -- pass 3: event-tree sequence tops --------------------------------------
+
+  void build_event_tree_tops() {
+    for (const std::string& et_name : event_tree_order_) {
+      const XmlElement& definition = *event_trees_.at(et_name);
+      const XmlElement* initial = definition.child("initial-state");
+      if (initial == nullptr) {
+        warn("event tree '" + et_name + "' has no initial-state",
+             definition.location);
+        continue;
+      }
+      // Walk the fork structure: every root-to-sequence path yields the
+      // list of collect-formula elements seen along it.
+      std::vector<std::string> sequence_order;
+      std::unordered_map<std::string,
+                         std::vector<std::vector<const XmlElement*>>>
+          paths_of;
+      std::vector<const XmlElement*> collected;
+      walk_instructions(et_name, *initial, collected, sequence_order,
+                        paths_of, 0);
+
+      std::string initiating;
+      if (auto it = initiating_events_.find(et_name);
+          it != initiating_events_.end())
+        initiating = it->second;
+
+      for (const std::string& seq_name : sequence_order) {
+        ++model_.sequence_count;
+        std::string top_name = et_name + "/" + seq_name;
+        FaultTree tree(top_name);
+        TreeBuilder builder{*this, tree, {}, {}, 0};
+        // The initiating event joins every path when it is itself a
+        // modelled event (gate or basic event); otherwise it only names
+        // the scenario.
+        Value init = Value::of(true);
+        if (!initiating.empty() &&
+            (gates_.count(initiating) != 0 || basics_.count(initiating) != 0))
+          init = builder.build_event(initiating, definition.location);
+
+        // Constant-fold each path: false drops the path, all-true makes
+        // the path (and so the sequence) certain. The surviving pure-node
+        // paths collect into the OR-of-ANDs sequence gate.
+        bool certain = false;
+        std::vector<std::vector<FtNode*>> node_paths;
+        for (const std::vector<const XmlElement*>& path :
+             paths_of.at(seq_name)) {
+          bool impossible = false;
+          std::vector<FtNode*> nodes;
+          if (!init.is_constant) nodes.push_back(init.node);
+          for (const XmlElement* formula : path) {
+            Value value = builder.build_formula(*formula);
+            if (value.is_constant) {
+              if (!value.constant) impossible = true;
+            } else {
+              nodes.push_back(value.node);
+            }
+            if (impossible) break;
+          }
+          if (impossible) continue;
+          if (nodes.empty()) {
+            certain = true;
+            break;
+          }
+          node_paths.push_back(std::move(nodes));
+        }
+        if (certain) {
+          install_top(tree, Value::of(true));
+        } else {
+          tree.set_top(collect_sequence_gate(tree, node_paths));
+        }
+        std::string description =
+            "sequence '" + seq_name + "' of event tree '" + et_name + "'";
+        if (!initiating.empty())
+          description += " (initiating event '" + initiating + "')";
+        tree.set_top_description(std::move(description));
+        model_.tops.emplace_back(MefTop::Kind::kSequence, std::move(top_name),
+                                 std::move(tree));
+      }
+    }
+  }
+
+  /// Walks one instruction list (initial-state, path, branch or sequence
+  /// body): collect-formula accumulates, fork branches, sequence/branch
+  /// elements terminate or continue the path.
+  void walk_instructions(
+      const std::string& et_name, const XmlElement& container,
+      std::vector<const XmlElement*> collected,
+      std::vector<std::string>& sequence_order,
+      std::unordered_map<std::string,
+                         std::vector<std::vector<const XmlElement*>>>&
+          paths_of,
+      int depth) {
+    if (depth > kMaxGateDepth) {
+      fail(ErrorKind::kModel,
+           "event tree '" + et_name + "' branches nested too deeply",
+           container.location);
+      return;
+    }
+    for (const auto& child : container.children) {
+      if (child->name == "collect-formula") {
+        if (child->children.size() == 1) {
+          collected.push_back(child->children.front().get());
+        } else {
+          fail(ErrorKind::kParse,
+               "collect-formula takes exactly one formula", child->location);
+        }
+      } else if (child->name == "fork") {
+        for (const auto& path : child->children) {
+          if (path->name != "path") continue;
+          walk_instructions(et_name, *path, collected, sequence_order,
+                            paths_of, depth + 1);
+        }
+        return;  // a fork ends this instruction list
+      } else if (child->name == "sequence") {
+        std::string seq_name(child->attribute("name"));
+        if (seq_name.empty()) {
+          fail(ErrorKind::kParse, "sequence reference without a name",
+               child->location);
+          return;
+        }
+        // define-sequence bodies append their own collect-formulas.
+        if (auto it = sequence_defs_.find(et_name + "\x1f" + seq_name);
+            it != sequence_defs_.end()) {
+          for (const auto& instruction : it->second->children) {
+            if (instruction->name == "collect-formula" &&
+                instruction->children.size() == 1)
+              collected.push_back(instruction->children.front().get());
+          }
+        }
+        auto [it, inserted] = paths_of.emplace(
+            seq_name, std::vector<std::vector<const XmlElement*>>{});
+        if (inserted) sequence_order.push_back(seq_name);
+        it->second.push_back(std::move(collected));
+        return;
+      } else if (child->name == "branch") {
+        std::string branch_name(child->attribute("name"));
+        auto it = branch_defs_.find(et_name + "\x1f" + branch_name);
+        if (it == branch_defs_.end()) {
+          fail(ErrorKind::kModel,
+               "undefined branch '" + branch_name + "' in event tree '" +
+                   et_name + "'",
+               child->location);
+          return;
+        }
+        walk_instructions(et_name, *it->second, std::move(collected),
+                          sequence_order, paths_of, depth + 1);
+        return;
+      } else {
+        warn("ignoring unsupported instruction <" + child->name +
+                 "> in event tree '" + et_name + "'",
+             child->location);
+      }
+    }
+  }
+
+  DiagnosticSink* sink_;
+  MefModel model_;
+  std::unordered_map<std::string, GateDef> gates_;
+  std::unordered_map<std::string, BasicDef> basics_;
+  std::unordered_map<std::string, HouseDef> houses_;
+  std::unordered_map<std::string, const XmlElement*> fault_trees_;
+  std::vector<std::string> fault_tree_order_;
+  std::unordered_map<std::string, const XmlElement*> event_trees_;
+  std::vector<std::string> event_tree_order_;
+  std::unordered_map<std::string, const XmlElement*> sequence_defs_;
+  std::unordered_map<std::string, const XmlElement*> branch_defs_;
+  std::unordered_map<std::string, std::string> initiating_events_;
+};
+
+MefModel read_impl(std::string_view text, DiagnosticSink* sink) {
+  std::unique_ptr<XmlElement> root = parse_xml(text);
+  return Importer(sink).import(*root);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  require(file.good(), ErrorKind::kParse, "cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+MefModel read_openpsa(std::string_view text) {
+  return read_impl(text, nullptr);
+}
+
+MefModel read_openpsa(std::string_view text, DiagnosticSink& sink) {
+  return read_impl(text, &sink);
+}
+
+MefModel read_openpsa_file(const std::string& path) {
+  return read_openpsa(slurp(path));
+}
+
+MefModel read_openpsa_file(const std::string& path, DiagnosticSink& sink) {
+  return read_openpsa(slurp(path), sink);
+}
+
+bool looks_like_openpsa(std::string_view path, std::string_view content) {
+  if (path.size() >= 4) {
+    std::string_view ext = path.substr(path.size() - 4);
+    if (ext == ".xml" || ext == ".XML") return true;
+  }
+  for (char c : content) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') continue;
+    return c == '<';
+  }
+  return false;
+}
+
+}  // namespace ftsynth::openpsa

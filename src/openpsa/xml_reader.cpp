@@ -1,0 +1,343 @@
+#include "openpsa/xml_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace ftsynth::openpsa {
+namespace {
+
+// Documents nested past this many open elements are rejected rather than
+// parsed: the cursor-based parser below is iterative, but downstream
+// consumers walk the DOM recursively, so depth must stay bounded.
+constexpr int kMaxDepth = 512;
+
+/// Cursor over the document text tracking a 1-based line/column.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return eof() ? '\0' : text_[pos_]; }
+  char peek_at(std::size_t ahead) const noexcept {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  char advance() noexcept {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool consume(std::string_view expected) noexcept {
+    if (text_.substr(pos_, expected.size()) != expected) return false;
+    for (std::size_t i = 0; i < expected.size(); ++i) advance();
+    return true;
+  }
+
+  void skip_whitespace() noexcept {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+  }
+
+  SourceLocation location() const noexcept { return {line_, column_}; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("XML: " + message, line_, column_);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool is_name_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) noexcept {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+std::string parse_name(Cursor& cursor) {
+  if (!is_name_start(cursor.peek())) cursor.fail("expected a name");
+  std::string name;
+  while (is_name_char(cursor.peek())) name.push_back(cursor.advance());
+  return name;
+}
+
+/// Decodes one entity reference positioned on '&'. Only the five XML
+/// built-ins and numeric character references are recognised; the MEF
+/// defines no others and silent pass-through would corrupt round trips.
+void append_entity(Cursor& cursor, std::string& out) {
+  SourceLocation start = cursor.location();
+  cursor.advance();  // '&'
+  std::string entity;
+  while (!cursor.eof() && cursor.peek() != ';' && entity.size() <= 8) {
+    entity.push_back(cursor.advance());
+  }
+  if (cursor.peek() != ';') {
+    throw ParseError("XML: unterminated entity reference", start.line,
+                     start.column);
+  }
+  cursor.advance();  // ';'
+  if (entity == "amp") {
+    out.push_back('&');
+  } else if (entity == "lt") {
+    out.push_back('<');
+  } else if (entity == "gt") {
+    out.push_back('>');
+  } else if (entity == "quot") {
+    out.push_back('"');
+  } else if (entity == "apos") {
+    out.push_back('\'');
+  } else if (entity.size() > 1 && entity[0] == '#') {
+    const bool hex = entity[1] == 'x' || entity[1] == 'X';
+    char* end = nullptr;
+    const char* digits = entity.c_str() + (hex ? 2 : 1);
+    long code = std::strtol(digits, &end, hex ? 16 : 10);
+    if (end == digits || *end != '\0' || code <= 0 || code > 0x10FFFF) {
+      throw ParseError("XML: bad character reference '&" + entity + ";'",
+                       start.line, start.column);
+    }
+    // UTF-8 encode the code point.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  } else {
+    throw ParseError("XML: unknown entity '&" + entity + ";'", start.line,
+                     start.column);
+  }
+}
+
+std::string parse_attribute_value(Cursor& cursor) {
+  char quote = cursor.peek();
+  if (quote != '"' && quote != '\'') {
+    cursor.fail("expected a quoted attribute value");
+  }
+  cursor.advance();
+  std::string value;
+  while (!cursor.eof() && cursor.peek() != quote) {
+    if (cursor.peek() == '<') cursor.fail("'<' in attribute value");
+    if (cursor.peek() == '&') {
+      append_entity(cursor, value);
+    } else {
+      value.push_back(cursor.advance());
+    }
+  }
+  if (cursor.eof()) cursor.fail("unterminated attribute value");
+  cursor.advance();  // closing quote
+  return value;
+}
+
+/// Skips "<!--...-->", "<?...?>" and "<!DOCTYPE ...>" (with possible
+/// internal-subset brackets). Positioned on '<'; returns true when one of
+/// these was consumed.
+bool skip_misc(Cursor& cursor) {
+  if (cursor.peek() != '<') return false;
+  if (cursor.peek_at(1) == '!' && cursor.peek_at(2) == '-' &&
+      cursor.peek_at(3) == '-') {
+    SourceLocation start = cursor.location();
+    cursor.consume("<!--");
+    while (!cursor.consume("-->")) {
+      if (cursor.eof()) {
+        throw ParseError("XML: unterminated comment", start.line,
+                         start.column);
+      }
+      cursor.advance();
+    }
+    return true;
+  }
+  if (cursor.peek_at(1) == '?') {
+    SourceLocation start = cursor.location();
+    cursor.consume("<?");
+    while (!cursor.consume("?>")) {
+      if (cursor.eof()) {
+        throw ParseError("XML: unterminated processing instruction",
+                         start.line, start.column);
+      }
+      cursor.advance();
+    }
+    return true;
+  }
+  if (cursor.peek_at(1) == '!') {  // DOCTYPE: skip, never fetch or expand
+    SourceLocation start = cursor.location();
+    cursor.consume("<!");
+    int brackets = 0;
+    while (!cursor.eof()) {
+      char c = cursor.advance();
+      if (c == '[') ++brackets;
+      if (c == ']') --brackets;
+      if (c == '>' && brackets <= 0) return true;
+    }
+    throw ParseError("XML: unterminated '<!' declaration", start.line,
+                     start.column);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view XmlElement::attribute(std::string_view key) const noexcept {
+  for (const auto& [name_, value] : attributes) {
+    if (name_ == key) return value;
+  }
+  return {};
+}
+
+bool XmlElement::has_attribute(std::string_view key) const noexcept {
+  for (const auto& [name_, value] : attributes) {
+    if (name_ == key) return true;
+  }
+  return false;
+}
+
+const XmlElement* XmlElement::child(std::string_view child_name) const noexcept {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<XmlElement> parse_xml(std::string_view text) {
+  Cursor cursor(text);
+  std::unique_ptr<XmlElement> root;
+  // Explicit element stack: the parser itself never recurses, so input
+  // depth cannot overflow the call stack (it is capped for consumers).
+  std::vector<XmlElement*> open;
+
+  while (true) {
+    if (open.empty()) cursor.skip_whitespace();
+    if (cursor.eof()) break;
+
+    if (cursor.peek() != '<') {
+      // Character data. Outside the root only whitespace is legal.
+      if (open.empty()) cursor.fail("text outside the root element");
+      std::string& out = open.back()->text;
+      while (!cursor.eof() && cursor.peek() != '<') {
+        if (cursor.peek() == '&') {
+          append_entity(cursor, out);
+        } else {
+          out.push_back(cursor.advance());
+        }
+      }
+      continue;
+    }
+
+    if (skip_misc(cursor)) continue;
+
+    if (cursor.peek_at(1) == '/') {  // closing tag
+      SourceLocation start = cursor.location();
+      cursor.consume("</");
+      std::string name = parse_name(cursor);
+      cursor.skip_whitespace();
+      if (cursor.peek() != '>') cursor.fail("expected '>' in closing tag");
+      cursor.advance();
+      if (open.empty()) {
+        throw ParseError("XML: closing tag </" + name + "> with no open tag",
+                         start.line, start.column);
+      }
+      if (open.back()->name != name) {
+        throw ParseError("XML: closing tag </" + name + "> does not match <" +
+                             open.back()->name + ">",
+                         start.line, start.column);
+      }
+      open.pop_back();
+      if (open.empty()) break;  // root closed: only misc may follow
+      continue;
+    }
+
+    // Opening tag.
+    SourceLocation start = cursor.location();
+    cursor.advance();  // '<'
+    auto element = std::make_unique<XmlElement>();
+    element->name = parse_name(cursor);
+    element->location = start;
+    for (;;) {
+      cursor.skip_whitespace();
+      if (cursor.eof()) {
+        throw ParseError("XML: unterminated tag <" + element->name + ">",
+                         start.line, start.column);
+      }
+      if (cursor.peek() == '>' || cursor.peek() == '/') break;
+      std::string key = parse_name(cursor);
+      cursor.skip_whitespace();
+      if (cursor.peek() != '=') cursor.fail("expected '=' after attribute");
+      cursor.advance();
+      cursor.skip_whitespace();
+      std::string value = parse_attribute_value(cursor);
+      for (const auto& [existing, unused] : element->attributes) {
+        if (existing == key) {
+          cursor.fail("duplicate attribute '" + key + "'");
+        }
+      }
+      element->attributes.emplace_back(std::move(key), std::move(value));
+    }
+    const bool self_closing = cursor.peek() == '/';
+    if (self_closing) {
+      cursor.advance();
+      if (cursor.peek() != '>') cursor.fail("expected '>' after '/'");
+    }
+    cursor.advance();  // '>'
+
+    XmlElement* raw = element.get();
+    if (open.empty()) {
+      if (root) {
+        throw ParseError("XML: more than one root element", start.line,
+                         start.column);
+      }
+      root = std::move(element);
+    } else {
+      open.back()->children.push_back(std::move(element));
+    }
+    if (!self_closing) {
+      if (static_cast<int>(open.size()) >= kMaxDepth) {
+        throw ParseError("XML: elements nested deeper than " +
+                             std::to_string(kMaxDepth),
+                         start.line, start.column);
+      }
+      open.push_back(raw);
+    } else if (open.empty()) {
+      break;  // self-closing root
+    }
+  }
+
+  if (!open.empty()) {
+    SourceLocation at = open.back()->location;
+    throw ParseError("XML: unclosed element <" + open.back()->name + ">",
+                     at.line, at.column);
+  }
+  if (!root) throw ParseError("XML: no root element", 1, 1);
+
+  // Only comments/PIs/whitespace may trail the root.
+  cursor.skip_whitespace();
+  while (!cursor.eof()) {
+    if (!skip_misc(cursor)) cursor.fail("content after the root element");
+    cursor.skip_whitespace();
+  }
+  return root;
+}
+
+}  // namespace ftsynth::openpsa

@@ -1,0 +1,48 @@
+// Dependency-free XML reader for the Open-PSA importer.
+//
+// The Model Exchange Format is plain XML, but pulling in a full XML
+// library for the subset the MEF uses (elements, attributes, character
+// data, comments) would be the only external dependency in the tree. This
+// reader parses exactly that subset into an owned DOM: no namespaces, no
+// external entities, no DTD expansion -- a DOCTYPE is skipped, never
+// fetched, so the classic XXE/billion-laughs attacks are structurally
+// impossible. Malformed input throws ParseError with a 1-based
+// line/column, which the service layer already maps to exit code 2.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/diagnostics.h"
+
+namespace ftsynth::openpsa {
+
+/// One element of the parsed document. Children are owned; text content
+/// is the concatenation of all character data directly inside the
+/// element (MEF grammars never mix meaningful text with child elements).
+struct XmlElement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;
+  SourceLocation location;  ///< of the opening '<'
+
+  /// Attribute value, or empty string_view when absent.
+  std::string_view attribute(std::string_view key) const noexcept;
+  bool has_attribute(std::string_view key) const noexcept;
+
+  /// First child with the given element name, or nullptr.
+  const XmlElement* child(std::string_view child_name) const noexcept;
+};
+
+/// Parses a complete XML document and returns its root element.
+/// Throws ParseError (ErrorKind::kParse) on any well-formedness
+/// violation: unclosed or mismatched tags, bad attribute syntax, stray
+/// text outside the root, unknown entities, nesting deeper than an
+/// internal cap.
+std::unique_ptr<XmlElement> parse_xml(std::string_view text);
+
+}  // namespace ftsynth::openpsa

@@ -1,0 +1,81 @@
+// Shared per-request execution state for the service command handlers.
+//
+// Internal to src/service/: runner.cpp owns request dispatch for .mdl
+// models, openpsa_commands.cpp for Open-PSA XML models. Both sets of
+// handlers thread the same Exec through the same helpers (exit-code
+// mapping, cone-cache selection, --verbose stat reporting), so a command
+// behaves identically whichever parser fed it.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "analysis/batch.h"
+#include "analysis/cache.h"
+#include "core/budget.h"
+#include "core/diagnostics.h"
+#include "service/runner.h"
+
+namespace ftsynth {
+class ThreadPool;
+}
+
+namespace ftsynth::service {
+
+/// Per-request execution state threaded through the command handlers.
+/// `budget` is the run's single armed budget: every stage copies it, so
+/// all of them share one deadline latch (and the daemon's
+/// disconnect/shutdown force_expire reaches every worker).
+struct Exec {
+  const ServiceRequest& request;
+  ServiceRunner& runner;
+  DiagnosticSink& sink;
+  ThreadPool* pool = nullptr;
+  Budget budget;
+
+  Budget make_budget() const { return budget; }
+};
+
+namespace detail {
+
+/// Hard-failure exit code for an error category (see tools/cli.h).
+int exit_code_for(ErrorKind kind) noexcept;
+
+/// Sends `text` to the request's --output file or to the result output.
+int emit(const std::string& text, const Exec& exec, std::ostream& out,
+         std::ostream& err);
+
+/// The cone cache a command should use, or nullptr (--no-cache, and cold
+/// mode without a cache_dir unless `always_local`). See runner.cpp for
+/// the full warm/cold discipline.
+ConeCache* choose_cone_cache(Exec& exec, const CutSetOptions& cut_sets,
+                             bool always_local,
+                             std::optional<ConeCache>& local);
+
+/// Cold-mode counterpart of choose_cone_cache: persists the request-local
+/// cache after the run (the CLI's per-run --cache DIR round trip).
+void save_local_cache(Exec& exec, std::optional<ConeCache>& local);
+
+/// --verbose stat blocks. All go to the log so `output` stays
+/// byte-identical across cache/order/jobs variants (the acceptance bar).
+void report_cache_stats(const Exec& exec,
+                        const std::optional<ConeCacheStats>& stats,
+                        std::ostream& err);
+void report_reorder_stats(const Exec& exec, const std::string& top,
+                          const std::optional<ReorderReport>& reorder,
+                          std::ostream& err);
+void report_frontier_stats(const Exec& exec, const std::string& top,
+                           const std::optional<FrontierStats>& frontier,
+                           std::ostream& err);
+
+/// Replays one batch item's diagnostics and error into the shared sink in
+/// the order a serial loop would have produced them. Returns false when
+/// the item failed (strict mode rethrows instead; non-Error exceptions
+/// always propagate, as they would from a serial loop body).
+bool replay_item(BatchItem& item, Exec& exec);
+
+}  // namespace detail
+
+}  // namespace ftsynth::service

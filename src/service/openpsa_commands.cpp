@@ -1,0 +1,419 @@
+#include "service/openpsa_commands.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <utility>
+
+#include "analysis/batch.h"
+#include "analysis/fmea.h"
+#include "analysis/report.h"
+#include "analysis/sensitivity.h"
+#include "core/error.h"
+#include "core/parallel.h"
+#include "core/strings.h"
+#include "ftp/dot_writer.h"
+#include "ftp/ftp_writer.h"
+#include "ftp/json_writer.h"
+#include "ftp/openpsa_writer.h"
+#include "ftp/xml_writer.h"
+#include "openpsa/mef_reader.h"
+#include "service/exec.h"
+
+namespace ftsynth::service {
+
+namespace {
+
+using namespace detail;
+using openpsa::MefModel;
+using openpsa::MefTop;
+
+/// Imports the request's model (strict: throw on the first semantic
+/// problem; default: recover through the sink) and applies the --top
+/// selection. An unknown --top name is a lookup error, like the mdl path.
+MefModel load_model(Exec& exec) {
+  MefModel mef =
+      exec.request.strict
+          ? openpsa::read_openpsa_file(exec.request.model_path)
+          : openpsa::read_openpsa_file(exec.request.model_path, exec.sink);
+  if (exec.request.tops.empty()) return mef;
+  std::vector<MefTop> selected;
+  for (const std::string& name : exec.request.tops) {
+    auto it = std::find_if(
+        mef.tops.begin(), mef.tops.end(),
+        [&](const MefTop& top) { return top.name == name; });
+    require(it != mef.tops.end(), ErrorKind::kLookup,
+            "no top event '" + name +
+                "' in this model (Open-PSA tops are named "
+                "\"fault-tree\", \"fault-tree.gate\" or "
+                "\"event-tree/sequence\")");
+    selected.push_back(std::move(*it));
+    // Leave a non-matching shell behind so a repeated --top NAME fails
+    // the lookup above instead of analysing a moved-from tree.
+    it->name.clear();
+  }
+  mef.tops = std::move(selected);
+  return mef;
+}
+
+/// Exit for commands that found nothing to work on: diagnostics explain
+/// it when present, otherwise the canonical no-tops parse error.
+int empty_exit(Exec& exec, std::ostream& err) {
+  if (exec.sink.has_errors())
+    return exit_code_for(exec.sink.first_error_kind());
+  err << "error: no importable top events in this model\n";
+  return 2;
+}
+
+/// The request's analysis knobs, exactly as the mdl handlers map them.
+AnalysisOptions analysis_options(Exec& exec) {
+  AnalysisOptions analysis;
+  analysis.probability.mission_time_hours = exec.request.mission_time_hours;
+  analysis.render_tree = exec.request.render_tree;
+  analysis.cut_sets.engine = exec.request.engine;
+  analysis.cut_sets.bound_epsilon = exec.request.bound_epsilon;
+  analysis.cut_sets.order = exec.request.order;
+  analysis.cut_sets.budget = exec.make_budget();
+  analysis.probability.budget = exec.make_budget();
+  analysis.prob_mode = exec.request.prob_mode;
+  return analysis;
+}
+
+/// Moves the selected tops into the deterministic batch pipeline. Labels
+/// are the MEF top names, so diagnostics and --verbose stats report
+/// "fault-tree.gate" / "event-tree/sequence" names.
+BatchResult run_batch(MefModel& mef, Exec& exec,
+                      const BatchOptions& batch_options) {
+  std::vector<FaultTree> trees;
+  std::vector<std::string> labels;
+  trees.reserve(mef.tops.size());
+  for (MefTop& top : mef.tops) {
+    labels.push_back(top.name);
+    trees.push_back(std::move(top.tree));
+  }
+  return analyse_trees(std::move(trees), labels, batch_options, exec.pool);
+}
+
+int cmd_openpsa_info(const MefModel& mef, Exec& exec, std::ostream& out,
+                     std::ostream& err) {
+  std::string text = "model: " + mef.name + "\n";
+  text += "fault trees: " + std::to_string(mef.fault_tree_count) + "\n";
+  text += "event trees: " + std::to_string(mef.event_tree_count) + "\n";
+  text += "gates: " + std::to_string(mef.gate_count) + "\n";
+  text += "basic events: " + std::to_string(mef.basic_event_count) + "\n";
+  text += "house events: " + std::to_string(mef.house_event_count) + "\n";
+  text += "sequences: " + std::to_string(mef.sequence_count) + "\n";
+  text += "top events:\n";
+  for (const MefTop& top : mef.tops) {
+    text += "  " + top.name + " [" +
+            (top.kind == MefTop::Kind::kSequence ? "sequence" : "fault-tree") +
+            "]\n";
+  }
+  return emit(text, exec, out, err);
+}
+
+int cmd_openpsa_validate(const MefModel& mef, Exec& exec, std::ostream& out,
+                         std::ostream& err) {
+  // The import itself is the validation pass: semantic problems are
+  // already in the sink (rendered into the log; they drive the exit
+  // code). The output carries the summary the mdl validate prints.
+  std::string text = "model: " + mef.name + "\n";
+  text += "top events: " + std::to_string(mef.tops.size()) + "\n";
+  text += std::to_string(exec.sink.error_count()) + " error(s), " +
+          std::to_string(exec.sink.warning_count()) + " warning(s)\n";
+  return emit(text, exec, out, err);
+}
+
+int cmd_openpsa_synthesise(const MefModel& mef, Exec& exec, std::ostream& out,
+                           std::ostream& err) {
+  if (mef.tops.empty()) return empty_exit(exec, err);
+  std::vector<const FaultTree*> pointers;
+  for (const MefTop& top : mef.tops) pointers.push_back(&top.tree);
+  std::string text;
+  const std::string& format = exec.request.format;
+  if (format == "text") {
+    for (const FaultTree* tree : pointers) text += tree->to_text() + "\n";
+  } else if (format == "dot") {
+    for (const FaultTree* tree : pointers) text += write_dot(*tree);
+  } else if (format == "xml") {
+    text = write_xml(pointers);
+  } else if (format == "json") {
+    for (const FaultTree* tree : pointers) text += write_json(*tree);
+  } else if (format == "ftp") {
+    text = write_ftp_project(mef.name, pointers);
+  } else if (format == "openpsa") {
+    text = write_openpsa(pointers);
+  } else {
+    err << "error: unknown --format '" << format << "'\n";
+    return 2;
+  }
+  return emit(text, exec, out, err);
+}
+
+int cmd_openpsa_analyse(MefModel& mef, Exec& exec, std::ostream& out,
+                        std::ostream& err,
+                        std::vector<SequenceSummary>* sequences) {
+  if (mef.tops.empty()) return empty_exit(exec, err);
+  const std::string& format = exec.request.format;
+  if (format != "text" && format != "xml" && format != "json") {
+    err << "error: unknown --format '" << format
+        << "' (analyse supports text|xml|json)\n";
+    return 2;
+  }
+  BatchOptions batch_options;
+  batch_options.analysis = analysis_options(exec);
+  batch_options.share_cones = !exec.request.no_cache;
+  std::optional<ConeCache> local;
+  ConeCache* cones =
+      choose_cone_cache(exec, batch_options.analysis.cut_sets, false, local);
+  if (cones != nullptr) batch_options.analysis.cut_sets.cone_cache = cones;
+  std::vector<MefTop::Kind> kinds;
+  for (const MefTop& top : mef.tops) kinds.push_back(top.kind);
+  BatchResult batch = run_batch(mef, exec, batch_options);
+  save_local_cache(exec, local);
+  report_cache_stats(exec, batch.cache_stats, err);
+  std::string text;
+  std::vector<const FaultTree*> tree_ptrs;
+  std::vector<const TreeAnalysis*> analysis_ptrs;
+  std::vector<SequenceSummary> rows;
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    BatchItem& item = batch.items[i];
+    if (!replay_item(item, exec)) continue;
+    report_reorder_stats(exec, item.display_name(),
+                         item.analysis->cut_sets.reorder, err);
+    report_frontier_stats(exec, item.display_name(),
+                          item.analysis->frontier_stats, err);
+    // Log-only, like the reorder stats: `output` stays byte-identical.
+    if (exec.request.verbose && item.analysis->diagram_native) {
+      err << "probability [" << item.display_name()
+          << "]: diagram-native (exact despite truncated extraction)\n";
+    }
+    if (!exec.request.strict && item.analysis->cut_sets.deadline_exceeded) {
+      exec.sink.warning(ErrorKind::kAnalysis,
+                        "cut-set analysis stopped at the deadline; "
+                        "results are partial",
+                        {}, item.display_name());
+    }
+    if (format == "text")
+      text += render(*item.tree, *item.analysis, batch_options.analysis) + "\n";
+    tree_ptrs.push_back(&*item.tree);
+    analysis_ptrs.push_back(&*item.analysis);
+    if (kinds[i] == MefTop::Kind::kSequence)
+      rows.push_back(summarise_sequence(item.display_name(), *item.analysis));
+  }
+  if (tree_ptrs.empty()) return empty_exit(exec, err);
+  if (format == "text") {
+    text += render_sequence_table(rows);
+  } else if (format == "xml") {
+    text = write_xml(tree_ptrs, analysis_ptrs, rows);
+  } else {
+    text = write_json(tree_ptrs, analysis_ptrs, rows);
+  }
+  if (sequences != nullptr) *sequences = std::move(rows);
+  return emit(text, exec, out, err);
+}
+
+/// Caps matching MarkdownReportOptions' defaults, so the .mdl and
+/// Open-PSA reports read alike.
+constexpr std::size_t kReportMaxCutSets = 25;
+constexpr std::size_t kReportMaxImportanceRows = 10;
+
+void markdown_top_section(const BatchItem& item, std::string& text) {
+  const TreeAnalysis& analysis = *item.analysis;
+  text += "## Top event: " + item.display_name() + "\n\n";
+  if (!item.tree->top_description().empty())
+    text += item.tree->top_description() + "\n\n";
+  if (analysis.p_lower && analysis.p_upper) {
+    text += "Probability bound: [" + format_double(*analysis.p_lower) + ", " +
+            format_double(*analysis.p_upper) + "]" +
+            (analysis.bound_converged ? "" : " (not converged)") + "\n\n";
+  } else {
+    text += "| measure | value |\n|---|---|\n";
+    text += "| exact (BDD) | " + format_double(analysis.p_exact) + " |\n";
+    text += "| rare event | " + format_double(analysis.p_rare_event) + " |\n";
+    text += "| Esary-Proschan | " + format_double(analysis.p_esary_proschan) +
+            " |\n";
+    text += "| MCUB | " + format_double(analysis.p_mcub) + " |\n\n";
+  }
+  const std::vector<CutSet>& cut_sets = analysis.cut_sets.cut_sets;
+  text += "Minimal cut sets: " + std::to_string(cut_sets.size()) +
+          (analysis.cut_sets.truncated ? " (truncated)" : "") + "\n\n";
+  const std::size_t shown = std::min(cut_sets.size(), kReportMaxCutSets);
+  for (std::size_t i = 0; i < shown; ++i) {
+    text += "- {";
+    for (std::size_t j = 0; j < cut_sets[i].size(); ++j) {
+      if (j != 0) text += ", ";
+      if (cut_sets[i][j].negated) text += "!";
+      text += std::string(cut_sets[i][j].event->name().view());
+    }
+    text += "}\n";
+  }
+  if (shown < cut_sets.size()) {
+    text += "- ... " + std::to_string(cut_sets.size() - shown) + " more\n";
+  }
+  if (shown != 0) text += "\n";
+  if (!analysis.importance.empty()) {
+    text += "| event | Fussell-Vesely | Birnbaum |\n|---|---|---|\n";
+    const std::size_t importance_shown =
+        std::min(analysis.importance.size(), kReportMaxImportanceRows);
+    for (std::size_t i = 0; i < importance_shown; ++i) {
+      const ImportanceEntry& entry = analysis.importance[i];
+      text += "| " + std::string(entry.event->name().view()) + " | " +
+              format_double(entry.fussell_vesely) + " | " +
+              format_double(entry.birnbaum) + " |\n";
+    }
+    text += "\n";
+  }
+}
+
+int cmd_openpsa_report(MefModel& mef, Exec& exec, std::ostream& out,
+                       std::ostream& err,
+                       std::vector<SequenceSummary>* sequences) {
+  if (mef.tops.empty()) return empty_exit(exec, err);
+  BatchOptions batch_options;
+  batch_options.analysis = analysis_options(exec);
+  batch_options.share_cones = !exec.request.no_cache;
+  std::optional<ConeCache> local;
+  ConeCache* cones =
+      choose_cone_cache(exec, batch_options.analysis.cut_sets, true, local);
+  if (cones != nullptr) batch_options.analysis.cut_sets.cone_cache = cones;
+  std::vector<MefTop::Kind> kinds;
+  for (const MefTop& top : mef.tops) kinds.push_back(top.kind);
+  BatchResult batch = run_batch(mef, exec, batch_options);
+  save_local_cache(exec, local);
+  report_cache_stats(exec, batch.cache_stats, err);
+  std::string text = "# Safety analysis report: " + mef.name + "\n\n";
+  text += "## Model summary\n\n";
+  text += "| item | count |\n|---|---|\n";
+  text += "| fault trees | " + std::to_string(mef.fault_tree_count) + " |\n";
+  text += "| event trees | " + std::to_string(mef.event_tree_count) + " |\n";
+  text += "| gates | " + std::to_string(mef.gate_count) + " |\n";
+  text += "| basic events | " + std::to_string(mef.basic_event_count) + " |\n";
+  text +=
+      "| house events | " + std::to_string(mef.house_event_count) + " |\n";
+  text += "| sequences | " + std::to_string(mef.sequence_count) + " |\n\n";
+  std::vector<SequenceSummary> rows;
+  bool analysed = false;
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    BatchItem& item = batch.items[i];
+    if (!replay_item(item, exec)) continue;
+    analysed = true;
+    markdown_top_section(item, text);
+    if (kinds[i] == MefTop::Kind::kSequence)
+      rows.push_back(summarise_sequence(item.display_name(), *item.analysis));
+  }
+  if (!analysed) return empty_exit(exec, err);
+  text += render_sequence_markdown(rows);
+  if (sequences != nullptr) *sequences = std::move(rows);
+  return emit(text, exec, out, err);
+}
+
+int cmd_openpsa_sensitivity(const MefModel& mef, Exec& exec,
+                            std::ostream& out, std::ostream& err) {
+  if (mef.tops.empty()) return empty_exit(exec, err);
+  SensitivityOptions sensitivity;
+  sensitivity.probability.mission_time_hours =
+      exec.request.mission_time_hours;
+  std::string text;
+  for (const MefTop& top : mef.tops) {
+    const std::string& description = top.tree.top_description();
+    text += "=== " + (description.empty() ? top.name : description) +
+            " ===\n";
+    text += render_sensitivity(rate_sensitivity(top.tree, sensitivity));
+  }
+  return emit(text, exec, out, err);
+}
+
+int cmd_openpsa_fmea(const MefModel& mef, Exec& exec, std::ostream& out,
+                     std::ostream& err) {
+  if (mef.tops.empty()) return empty_exit(exec, err);
+  ProbabilityOptions probability;
+  probability.mission_time_hours = exec.request.mission_time_hours;
+  probability.budget = exec.make_budget();
+  CutSetOptions cut_set_options;
+  cut_set_options.engine = exec.request.engine;
+  cut_set_options.bound_epsilon = exec.request.bound_epsilon;
+  cut_set_options.bound_mission_time_hours = exec.request.mission_time_hours;
+  cut_set_options.bound_default_probability =
+      probability.default_event_probability;
+  cut_set_options.order = exec.request.order;
+  cut_set_options.budget = exec.make_budget();
+  cut_set_options.pool = exec.pool;
+  const bool fmea_diagram = exec.request.prob_mode != ProbMode::kCutSets &&
+                            exec.request.engine == CutSetEngine::kZbdd;
+  cut_set_options.keep_diagram = fmea_diagram;
+  std::optional<ConeCache> local;
+  ConeCache* cones = choose_cone_cache(exec, cut_set_options, true, local);
+  if (cones != nullptr) cut_set_options.cone_cache = cones;
+  std::vector<CutSetAnalysis> analyses =
+      parallel_map(exec.pool, mef.tops.size(), [&](std::size_t i) {
+        return compute_cut_sets(mef.tops[i].tree, cut_set_options);
+      });
+  save_local_cache(exec, local);
+  report_cache_stats(
+      exec,
+      cones != nullptr ? std::optional<ConeCacheStats>(cones->stats())
+                       : std::nullopt,
+      err);
+  for (std::size_t i = 0; i < mef.tops.size(); ++i)
+    report_reorder_stats(exec, mef.tops[i].name, analyses[i].reorder, err);
+  std::vector<const FaultTree*> tree_ptrs;
+  std::vector<const CutSetAnalysis*> analysis_ptrs;
+  for (std::size_t i = 0; i < mef.tops.size(); ++i) {
+    tree_ptrs.push_back(&mef.tops[i].tree);
+    analysis_ptrs.push_back(&analyses[i]);
+  }
+  std::string text = render_fmea(
+      synthesise_fmea(tree_ptrs, analysis_ptrs, probability,
+                      fmea_diagram ? ProbMode::kDiagram : ProbMode::kCutSets));
+  return emit(text, exec, out, err);
+}
+
+}  // namespace
+
+bool openpsa_model(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::string head;
+  if (file.good()) {
+    head.resize(256);
+    file.read(head.data(), static_cast<std::streamsize>(head.size()));
+    head.resize(static_cast<std::size_t>(file.gcount()));
+  }
+  return openpsa::looks_like_openpsa(path, head);
+}
+
+int run_openpsa_command(Exec& exec, std::ostream& out, std::ostream& err,
+                        std::vector<SequenceSummary>* sequences) {
+  if (sequences != nullptr) sequences->clear();
+  const std::string& command = exec.request.command;
+  if (command == "audit" || command == "diff") {
+    err << "error: '" << command
+        << "' needs a .mdl architecture model (an Open-PSA document has "
+           "no block structure)\n";
+    return 2;
+  }
+  const bool known =
+      command == "info" || command == "load" || command == "validate" ||
+      command == "synthesise" || command == "synthesize" ||
+      command == "analyse" || command == "analyze" || command == "report" ||
+      command == "fmea" || command == "sensitivity";
+  if (!known) {
+    err << "error: unknown command '" << command << "'\n";
+    return 2;
+  }
+  MefModel mef = load_model(exec);
+  if (command == "info" || command == "load")
+    return cmd_openpsa_info(mef, exec, out, err);
+  if (command == "validate") return cmd_openpsa_validate(mef, exec, out, err);
+  if (command == "synthesise" || command == "synthesize")
+    return cmd_openpsa_synthesise(mef, exec, out, err);
+  if (command == "analyse" || command == "analyze")
+    return cmd_openpsa_analyse(mef, exec, out, err, sequences);
+  if (command == "report")
+    return cmd_openpsa_report(mef, exec, out, err, sequences);
+  if (command == "fmea") return cmd_openpsa_fmea(mef, exec, out, err);
+  return cmd_openpsa_sensitivity(mef, exec, out, err);
+}
+
+}  // namespace ftsynth::service

@@ -1,0 +1,37 @@
+// Service command handlers for Open-PSA MEF models.
+//
+// runner.cpp dispatches a request here when its model path sniffs as XML
+// (openpsa_model). The handlers import the document (src/openpsa/), run
+// the imported fault-tree roots and event-tree sequence tops through the
+// same deterministic batch pipeline as .mdl models -- every engine,
+// --jobs, --order, --prob-mode, the cone cache and the response memo work
+// unchanged -- and render through the same emit/exit-code discipline, so
+// `ftsynth analyse model.xml` behaves exactly like its .mdl counterpart.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/event_tree.h"
+
+namespace ftsynth::service {
+
+struct Exec;
+
+/// True when `path` should go to the Open-PSA handlers: the extension is
+/// .xml, or the file's leading non-whitespace byte is '<'. An unreadable
+/// non-.xml path returns false so the mdl parser reports its canonical
+/// "cannot read" error.
+bool openpsa_model(const std::string& path);
+
+/// Executes exec.request against the Open-PSA model at its model_path.
+/// Returns the command's exit code (the sink may add more); fills
+/// `sequences` with the event-tree rows of analyse/report runs (cleared
+/// otherwise). Throws ftsynth::Error exactly like the .mdl handlers --
+/// execute()'s catch ladder maps it to the exit code.
+int run_openpsa_command(Exec& exec, std::ostream& out, std::ostream& err,
+                        std::vector<SequenceSummary>* sequences);
+
+}  // namespace ftsynth::service

@@ -235,6 +235,25 @@ std::string render_ok_response(const Json& id, const ServiceResult& result) {
   response.set("exit_code", Json::number(result.exit_code));
   response.set("output", Json::string(result.output));
   response.set("log", Json::string(result.log));
+  // Open-PSA event-tree runs carry structured per-sequence rows so wire
+  // clients need not scrape the text table. Absent (not an empty array)
+  // for every other request -- pre-event-tree envelopes are unchanged.
+  if (!result.sequences.empty()) {
+    Json rows = Json::array();
+    for (const SequenceSummary& row : result.sequences) {
+      Json entry = Json::object();
+      entry.set("name", Json::string(row.name));
+      entry.set("probability", Json::number(row.probability));
+      if (row.p_lower) entry.set("p_lower", Json::number(*row.p_lower));
+      if (row.p_upper) entry.set("p_upper", Json::number(*row.p_upper));
+      entry.set("cut_sets",
+                Json::number(static_cast<double>(row.cut_set_count)));
+      entry.set("min_order", Json::number(static_cast<double>(row.min_order)));
+      entry.set("truncated", Json::boolean(row.truncated));
+      rows.push_back(std::move(entry));
+    }
+    response.set("sequences", std::move(rows));
+  }
   return response.dump();
 }
 

@@ -20,16 +20,18 @@
 #include "ftp/dot_writer.h"
 #include "ftp/ftp_writer.h"
 #include "ftp/json_writer.h"
+#include "ftp/openpsa_writer.h"
 #include "ftp/xml_writer.h"
 #include "mdl/parser.h"
 #include "model/diff.h"
 #include "model/validate.h"
+#include "service/exec.h"
+#include "service/openpsa_commands.h"
 
 namespace ftsynth::service {
 
-namespace {
+namespace detail {
 
-/// Hard-failure exit code for an error category (see tools/cli.h).
 int exit_code_for(ErrorKind kind) noexcept {
   switch (kind) {
     case ErrorKind::kParse:
@@ -45,6 +47,12 @@ int exit_code_for(ErrorKind kind) noexcept {
   }
   return 6;
 }
+
+}  // namespace detail
+
+namespace {
+
+using namespace detail;
 
 /// FNV-1a 64 over the model file bytes: the warm model-cache key. Content
 /// addressing (not mtime) so an edit-and-undo round trip still hits and a
@@ -68,21 +76,7 @@ std::optional<std::string> read_file_bytes(const std::string& path) {
 
 }  // namespace
 
-/// Per-request execution state threaded through the command handlers.
-/// `budget` is the run's single armed budget: every stage copies it, so
-/// all of them share one deadline latch (and the daemon's
-/// disconnect/shutdown force_expire reaches every worker).
-struct Exec {
-  const ServiceRequest& request;
-  ServiceRunner& runner;
-  DiagnosticSink& sink;
-  ThreadPool* pool = nullptr;
-  Budget budget;
-
-  Budget make_budget() const { return budget; }
-};
-
-namespace {
+namespace detail {
 
 /// --verbose stats block. Stats go to the log so `output` stays
 /// byte-identical with and without the cache (the acceptance bar).
@@ -128,15 +122,6 @@ void report_frontier_stats(const Exec& exec, const std::string& top,
       << frontier->emitted << ", peak frontier " << frontier->peak_frontier
       << ", subsumed " << frontier->subsumed << ", deferred "
       << frontier->deferred << "\n";
-}
-
-/// Synthesis options for a command run: resource budget always, degraded
-/// mode (diagnostics instead of aborts) unless --strict.
-SynthesisOptions synthesis_options(Exec& exec) {
-  SynthesisOptions synthesis;
-  synthesis.budget = exec.make_budget();
-  if (!exec.request.strict) synthesis.sink = &exec.sink;
-  return synthesis;
 }
 
 /// Sends `text` to the request's --output file or to the result output.
@@ -185,6 +170,34 @@ void save_local_cache(Exec& exec, std::optional<ConeCache>& local) {
   if (!local) return;
   const std::string& dir = exec.runner.options().cache_dir;
   if (!dir.empty() && !exec.runner.options().warm) local->save(dir, &exec.sink);
+}
+
+bool replay_item(BatchItem& item, Exec& exec) {
+  for (const Diagnostic& diagnostic : item.diagnostics)
+    exec.sink.report(diagnostic);
+  if (!item.error) return true;
+  if (exec.request.strict) std::rethrow_exception(item.error);
+  try {
+    std::rethrow_exception(item.error);
+  } catch (const Error& error) {
+    exec.sink.error_from(error, item.display_name());
+  }
+  return false;
+}
+
+}  // namespace detail
+
+namespace {
+
+using namespace detail;
+
+/// Synthesis options for a command run: resource budget always, degraded
+/// mode (diagnostics instead of aborts) unless --strict.
+SynthesisOptions synthesis_options(Exec& exec) {
+  SynthesisOptions synthesis;
+  synthesis.budget = exec.make_budget();
+  if (!exec.request.strict) synthesis.sink = &exec.sink;
+  return synthesis;
 }
 
 std::vector<Deviation> resolve_tops(const Model& model, Exec& exec,
@@ -277,23 +290,6 @@ int cmd_validate(const Model& model, Exec& exec, std::ostream& out,
   return 0;
 }
 
-/// Replays one batch item's diagnostics and error into the shared sink in
-/// the order a serial loop would have produced them. Returns false when
-/// the item failed (strict mode rethrows instead; non-Error exceptions
-/// always propagate, as they would from a serial loop body).
-bool replay_item(BatchItem& item, Exec& exec) {
-  for (const Diagnostic& diagnostic : item.diagnostics)
-    exec.sink.report(diagnostic);
-  if (!item.error) return true;
-  if (exec.request.strict) std::rethrow_exception(item.error);
-  try {
-    std::rethrow_exception(item.error);
-  } catch (const Error& error) {
-    exec.sink.error_from(error, item.top.to_string());
-  }
-  return false;
-}
-
 int cmd_synthesise(const Model& model, Exec& exec, std::ostream& out,
                    std::ostream& err) {
   BatchOptions batch_options;
@@ -327,6 +323,10 @@ int cmd_synthesise(const Model& model, Exec& exec, std::ostream& out,
     std::vector<const FaultTree*> pointers;
     for (const FaultTree& tree : trees) pointers.push_back(&tree);
     text = write_ftp_project(model.name(), pointers);
+  } else if (format == "openpsa") {
+    std::vector<const FaultTree*> pointers;
+    for (const FaultTree& tree : trees) pointers.push_back(&tree);
+    text = write_openpsa(pointers);
   } else {
     err << "error: unknown --format '" << format << "'\n";
     return 2;
@@ -359,20 +359,20 @@ int cmd_analyse(const Model& model, Exec& exec, std::ostream& out,
   std::string text;
   for (BatchItem& item : batch.items) {
     if (!replay_item(item, exec)) continue;
-    report_reorder_stats(exec, item.top.to_string(),
+    report_reorder_stats(exec, item.display_name(),
                          item.analysis->cut_sets.reorder, err);
-    report_frontier_stats(exec, item.top.to_string(),
+    report_frontier_stats(exec, item.display_name(),
                           item.analysis->frontier_stats, err);
     // Log-only, like the reorder stats: `output` stays byte-identical.
     if (exec.request.verbose && item.analysis->diagram_native) {
-      err << "probability [" << item.top.to_string()
+      err << "probability [" << item.display_name()
           << "]: diagram-native (exact despite truncated extraction)\n";
     }
     if (!exec.request.strict && item.analysis->cut_sets.deadline_exceeded) {
       exec.sink.warning(ErrorKind::kAnalysis,
                         "cut-set analysis stopped at the deadline; "
                         "results are partial",
-                        {}, item.top.to_string());
+                        {}, item.display_name());
     }
     text += render(*item.tree, *item.analysis, batch_options.analysis) + "\n";
   }
@@ -733,19 +733,11 @@ ServiceResult ServiceRunner::execute(const ServiceRequest& request) {
   std::ostringstream out;
   std::ostringstream err;
   DiagnosticSink sink(request.max_errors);
+  std::vector<SequenceSummary> sequences;
   int rc = 0;
   bool deadline_fired = false;
   try {
     const std::string& command = request.command;
-    // `validate` parses without the implicit validation so it can report
-    // the issues itself instead of dying on the first one; the recovering
-    // parser (default) reports syntax AND validation problems to the sink
-    // and returns the best-effort model.
-    const bool implicit_validation = command != "validate";
-    std::shared_ptr<const Model> model_ptr = acquire_model(
-        request.model_path, request, implicit_validation,
-        request.strict ? nullptr : &sink);
-    const Model& model = *model_ptr;
 
     Exec exec{request, *this, sink, nullptr, Budget{}};
     // One budget, armed once: every stage and worker copies it, so they
@@ -775,29 +767,47 @@ ServiceResult ServiceRunner::execute(const ServiceRequest& request) {
       exec.pool = owned_pool ? &*owned_pool : nullptr;
     }
 
-    if (command == "info" || command == "load") {
-      // `load` is the daemon's warm-up verb: acquire_model above already
-      // pinned the parsed model; the summary doubles as confirmation.
-      rc = cmd_info(model, exec, out, err);
-    } else if (command == "validate") {
-      rc = cmd_validate(model, exec, out, err);
-    } else if (command == "synthesise" || command == "synthesize") {
-      rc = cmd_synthesise(model, exec, out, err);
-    } else if (command == "analyse" || command == "analyze") {
-      rc = cmd_analyse(model, exec, out, err);
-    } else if (command == "audit") {
-      rc = cmd_audit(model, exec, out, err);
-    } else if (command == "fmea") {
-      rc = cmd_fmea(model, exec, out, err);
-    } else if (command == "sensitivity") {
-      rc = cmd_sensitivity(model, exec, out, err);
-    } else if (command == "report") {
-      rc = cmd_report(model, exec, out, err);
-    } else if (command == "diff") {
-      rc = cmd_diff(model, exec, out, err);
+    if (openpsa_model(request.model_path)) {
+      // Open-PSA XML model: its own dispatch over imported trees. The
+      // model cache is skipped on purpose -- importing is cheap relative
+      // to analysis and the response memo already gives warm replays.
+      rc = run_openpsa_command(exec, out, err, &sequences);
     } else {
-      err << "error: unknown command '" << command << "'\n";
-      rc = 2;
+      // `validate` parses without the implicit validation so it can
+      // report the issues itself instead of dying on the first one; the
+      // recovering parser (default) reports syntax AND validation
+      // problems to the sink and returns the best-effort model.
+      const bool implicit_validation = command != "validate";
+      std::shared_ptr<const Model> model_ptr = acquire_model(
+          request.model_path, request, implicit_validation,
+          request.strict ? nullptr : &sink);
+      const Model& model = *model_ptr;
+
+      if (command == "info" || command == "load") {
+        // `load` is the daemon's warm-up verb: acquire_model above
+        // already pinned the parsed model; the summary doubles as
+        // confirmation.
+        rc = cmd_info(model, exec, out, err);
+      } else if (command == "validate") {
+        rc = cmd_validate(model, exec, out, err);
+      } else if (command == "synthesise" || command == "synthesize") {
+        rc = cmd_synthesise(model, exec, out, err);
+      } else if (command == "analyse" || command == "analyze") {
+        rc = cmd_analyse(model, exec, out, err);
+      } else if (command == "audit") {
+        rc = cmd_audit(model, exec, out, err);
+      } else if (command == "fmea") {
+        rc = cmd_fmea(model, exec, out, err);
+      } else if (command == "sensitivity") {
+        rc = cmd_sensitivity(model, exec, out, err);
+      } else if (command == "report") {
+        rc = cmd_report(model, exec, out, err);
+      } else if (command == "diff") {
+        rc = cmd_diff(model, exec, out, err);
+      } else {
+        err << "error: unknown command '" << command << "'\n";
+        rc = 2;
+      }
     }
     deadline_fired = exec.budget.expired();
   } catch (const Error& error) {
@@ -822,6 +832,7 @@ ServiceResult ServiceRunner::execute(const ServiceRequest& request) {
   result.exit_code = rc != 0 ? rc : (sink.has_errors() ? 1 : 0);
   result.output = out.str();
   result.log = err.str();
+  result.sequences = std::move(sequences);
   // Clean-run-only stores, like the cone cache: a result whose deadline
   // fired may be partial (wall-clock nondeterminism), so only complete
   // runs are replayable -- and a complete run satisfies any deadline.

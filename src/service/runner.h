@@ -48,6 +48,7 @@
 
 #include "analysis/cache.h"
 #include "analysis/cutsets.h"
+#include "analysis/event_tree.h"
 #include "core/budget.h"
 #include "core/diagnostics.h"
 
@@ -64,7 +65,7 @@ namespace ftsynth::service {
 struct ServiceRequest {
   std::string command;       ///< info|validate|synthesise|analyse|audit|
                              ///< fmea|sensitivity|report|diff|load
-  std::string model_path;    ///< the .mdl file
+  std::string model_path;    ///< the .mdl file, or an Open-PSA .xml model
   std::string against_path;  ///< diff only: the revised model
   std::vector<std::string> tops;
   std::string format = "text";  ///< synthesise: text|dot|xml|json|ftp
@@ -103,6 +104,10 @@ struct ServiceResult {
   int exit_code = 0;   ///< the CLI exit code contract (tools/cli.h)
   std::string output;  ///< exactly the serial CLI's stdout bytes
   std::string log;     ///< exactly the serial CLI's stderr bytes
+  /// Event-tree sequence rows from an Open-PSA analyse/report run, in
+  /// walk order; empty otherwise. Carried through the response memo and
+  /// surfaced as the wire `sequences` field (docs/FORMATS.md section 5).
+  std::vector<SequenceSummary> sequences;
 };
 
 /// Executes ServiceRequests; owns the warm state in warm mode.

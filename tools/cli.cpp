@@ -20,7 +20,12 @@ namespace ftsynth::cli {
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: ftsynth <command> <model.mdl> [options]
+constexpr const char* kUsage = R"(usage: ftsynth <command> <model> [options]
+
+The model is a .mdl architecture file, or an Open-PSA MEF XML document
+(sniffed by the .xml extension or a leading '<'): fault-tree roots and
+event-tree sequences become the top events, and analyse appends a
+per-sequence probability table. audit/diff need a .mdl model.
 
 commands:
   info         print model summary (blocks, hierarchy, annotations)
@@ -42,7 +47,9 @@ options:
   --top CLASS-PORT   top event, e.g. Omission-brake_force_fl (repeatable;
                      analyse/fmea default to every derivable top event)
   --against FILE     diff: the revised model to compare against
-  --format FMT       synthesise output: text (default), dot, xml, json, ftp
+  --format FMT       synthesise output: text (default), dot, xml, json,
+                     ftp, openpsa (Open-PSA MEF XML; re-importable);
+                     Open-PSA analyse also takes xml or json
   --output FILE      write to FILE instead of stdout
   --time HOURS       mission time for probabilities (default 1)
   --tree             include the rendered tree in analyse output

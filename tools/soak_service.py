@@ -196,6 +196,29 @@ def main() -> int:
     workload.append(({"command": "info", "model": model}, ["info", model]))
     workload.append(({"command": "fmea", "model": model}, ["fmea", model]))
     workload.append(({"command": "report", "model": model}, ["report", model]))
+    # Open-PSA event-tree traffic: the daemon sniffs the XML model, runs
+    # the sequence pipeline, and must answer byte-identically to the
+    # serial CLI -- including the structured `sequences` wire field, which
+    # rides through the response memo (checked below for every ok
+    # analyse/report answer on this model).
+    xml_model = "tests/openpsa/event_tree.xml"
+    workload.append(
+        ({"command": "analyse", "model": xml_model}, ["analyse", xml_model])
+    )
+    workload.append(
+        (
+            {"command": "analyse", "model": xml_model, "engine": "bound",
+             "bound_epsilon": -1},
+            ["analyse", xml_model, "--engine", "bound",
+             "--bound-epsilon", "-1"],
+        )
+    )
+    workload.append(
+        ({"command": "report", "model": xml_model}, ["report", xml_model])
+    )
+    workload.append(
+        ({"command": "info", "model": xml_model}, ["info", xml_model])
+    )
 
     print("computing serial references ...")
     references = [serial_reference(args.ftsynth, flags) for _, flags in workload]
@@ -218,6 +241,14 @@ def main() -> int:
                 )
             elif response.get("output", "").encode() != stdout:
                 failures.append(f"{request}: output diverged from serial CLI")
+            elif (
+                request.get("model", "").endswith(".xml")
+                and request["command"] in ("analyse", "report")
+                and len(response.get("sequences", [])) != 2
+            ):
+                # Both LOSP sequences must arrive as structured rows on
+                # every answer -- cold, warm, and memo-replayed alike.
+                failures.append(f"{request}: missing sequences field")
             else:
                 counters["ok"] += 1
         else:
